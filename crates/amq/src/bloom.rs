@@ -1,0 +1,198 @@
+//! The standard Bloom filter (Bloom, 1970) used by the paper's prefix
+//! filters, with double hashing (Kirsch–Mitzenmacher) over a 128-bit key
+//! hash.
+
+use crate::hash::KeyHash;
+use crate::{optimal_hash_count, standard_bloom_fpr, Amq};
+
+/// A standard Bloom filter over pre-hashed items.
+///
+/// The filter is sized explicitly in bits; the number of hash functions is
+/// `ceil(m/n * ln 2)` capped at 32, per Eq. 6 of the paper. `n` is the
+/// *expected* number of insertions and is fixed at construction because the
+/// hash count depends on it.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: u64,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Create a filter with `m_bits` of memory expecting `n` insertions.
+    ///
+    /// A zero-size filter is permitted and reports every query positive
+    /// (the degenerate case the CPFPR model assigns FPR 1).
+    pub fn new(m_bits: u64, n: u64) -> Self {
+        let words = m_bits.div_ceil(64) as usize;
+        BloomFilter {
+            bits: vec![0u64; words],
+            m: m_bits,
+            k: optimal_hash_count(m_bits, n),
+            inserted: 0,
+        }
+    }
+
+    /// Create with an explicit hash count (used by Rosetta, whose per-level
+    /// allocation wants uniform hash counts).
+    pub fn with_hash_count(m_bits: u64, k: u32) -> Self {
+        let words = m_bits.div_ceil(64) as usize;
+        BloomFilter { bits: vec![0u64; words], m: m_bits, k: k.clamp(1, crate::MAX_HASH_FUNCTIONS), inserted: 0 }
+    }
+
+    /// Number of hash functions in use.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of items inserted so far.
+    pub fn len(&self) -> u64 {
+        self.inserted
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Insert a pre-hashed item.
+    #[inline]
+    pub fn insert(&mut self, h: KeyHash) {
+        if self.m == 0 {
+            self.inserted += 1;
+            return;
+        }
+        for i in 0..self.k {
+            let bit = h.probe(i, self.m);
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Query a pre-hashed item. Zero-size filters always report `true`
+    /// (never a false negative).
+    #[inline]
+    pub fn contains(&self, h: KeyHash) -> bool {
+        if self.m == 0 {
+            return true;
+        }
+        for i in 0..self.k {
+            let bit = h.probe(i, self.m);
+            if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bits of memory of the bit array.
+    pub fn size_bits(&self) -> u64 {
+        self.m
+    }
+
+    /// Fraction of bits set; diagnostic for load-factor assertions in tests
+    /// and benches.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.m == 0 {
+            return 1.0;
+        }
+        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        ones as f64 / self.m as f64
+    }
+}
+
+impl Amq for BloomFilter {
+    fn insert_hash(&mut self, h: u128) {
+        self.insert(KeyHash::from_u128(h));
+    }
+    fn contains_hash(&self, h: u128) -> bool {
+        self.contains(KeyHash::from_u128(h))
+    }
+    fn size_bits(&self) -> u64 {
+        self.m
+    }
+    fn model_fpr(m_bits: u64, n: u64) -> f64 {
+        standard_bloom_fpr(m_bits, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::murmur3::murmur3_x64_128;
+
+    fn h(x: u64) -> KeyHash {
+        KeyHash::from_u128(murmur3_x64_128(&x.to_le_bytes(), 0))
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let n = 10_000u64;
+        let mut f = BloomFilter::new(n * 10, n);
+        for i in 0..n {
+            f.insert(h(i));
+        }
+        for i in 0..n {
+            assert!(f.contains(h(i)), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn observed_fpr_tracks_eq6() {
+        let n = 20_000u64;
+        for bpk in [8u64, 12, 16] {
+            let mut f = BloomFilter::new(n * bpk, n);
+            for i in 0..n {
+                f.insert(h(i));
+            }
+            let trials = 200_000u64;
+            let fps = (n..n + trials).filter(|&i| f.contains(h(i))).count() as f64;
+            let observed = fps / trials as f64;
+            let expected = standard_bloom_fpr(n * bpk, n);
+            // The exact model should be tight; allow sampling noise.
+            assert!(
+                (observed - expected).abs() < expected * 0.15 + 2e-4,
+                "bpk={bpk}: observed {observed:.5} vs expected {expected:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_size_filter_is_always_positive() {
+        let mut f = BloomFilter::new(0, 100);
+        f.insert(h(1));
+        assert!(f.contains(h(1)));
+        assert!(f.contains(h(999)));
+        assert_eq!(f.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fill_ratio_near_half_at_optimal_k() {
+        // At the optimal hash count a Bloom filter is ~50% full.
+        let n = 50_000u64;
+        let mut f = BloomFilter::new(n * 10, n);
+        for i in 0..n {
+            f.insert(h(i));
+        }
+        let fill = f.fill_ratio();
+        assert!((0.42..0.58).contains(&fill), "fill ratio {fill}");
+    }
+
+    #[test]
+    fn amq_trait_roundtrip() {
+        let mut f = BloomFilter::new(1024, 10);
+        f.insert_hash(12345u128);
+        assert!(f.contains_hash(12345u128));
+        assert_eq!(<BloomFilter as Amq>::size_bits(&f), 1024);
+    }
+
+    #[test]
+    fn explicit_hash_count_is_respected() {
+        let f = BloomFilter::with_hash_count(1024, 5);
+        assert_eq!(f.hash_count(), 5);
+        let f = BloomFilter::with_hash_count(1024, 99);
+        assert_eq!(f.hash_count(), crate::MAX_HASH_FUNCTIONS);
+        let f = BloomFilter::with_hash_count(1024, 0);
+        assert_eq!(f.hash_count(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Hash functions used by the Proteus filters.
+//!
+//! The paper uses MurmurHash3 for integer workloads and CLHASH (a carry-less
+//! multiplication hash) for string workloads (§4.3 footnote 2 and §7.1).
+//! Both are implemented here from scratch; no external hashing crates are
+//! used.
+
+pub mod clhash;
+pub mod murmur3;
+
+/// A 128-bit key hash split into the two 64-bit halves used for double
+/// hashing (Kirsch–Mitzenmacher): probe `i` uses `h1 + i * h2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyHash {
+    pub h1: u64,
+    pub h2: u64,
+}
+
+impl KeyHash {
+    /// Construct from a raw 128-bit value (low half becomes `h1`).
+    #[inline]
+    pub fn from_u128(h: u128) -> Self {
+        KeyHash { h1: h as u64, h2: (h >> 64) as u64 }
+    }
+
+    /// Pack back into a 128-bit value.
+    #[inline]
+    pub fn to_u128(self) -> u128 {
+        (self.h1 as u128) | ((self.h2 as u128) << 64)
+    }
+
+    /// The `i`-th probe index within a table of `m` slots.
+    #[inline]
+    pub fn probe(self, i: u32, m: u64) -> u64 {
+        debug_assert!(m > 0);
+        // Force h2 odd so successive probes cycle through many slots even
+        // when m is a power of two.
+        let h2 = self.h2 | 1;
+        self.h1.wrapping_add((i as u64).wrapping_mul(h2)) % m
+    }
+}
+
+/// Which hash family a prefix filter uses.
+///
+/// The paper: "We use the MurmurHash3 and CLHASH hash functions for integer
+/// and string workloads respectively".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashFamily {
+    /// MurmurHash3 x64_128 (integer workloads).
+    #[default]
+    Murmur3,
+    /// CLHash-style carry-less multiplication hash (string workloads).
+    ClHash,
+}
+
+/// Hashes `(prefix bytes, bit length)` pairs into [`KeyHash`]es.
+///
+/// Two different prefixes of the same key must hash differently even when
+/// the trailing bits of the final byte agree, so the hasher masks the unused
+/// low bits of the last byte and mixes the bit length into the seed.
+#[derive(Debug, Clone)]
+pub struct PrefixHasher {
+    family: HashFamily,
+    clhash: clhash::ClHasher,
+    seed: u32,
+}
+
+impl PrefixHasher {
+    pub fn new(family: HashFamily, seed: u32) -> Self {
+        PrefixHasher { family, clhash: clhash::ClHasher::new(seed as u64), seed }
+    }
+
+    /// Hash the first `bits` bits of `key_bytes` (big-endian bit order).
+    ///
+    /// `key_bytes` must contain at least `ceil(bits / 8)` bytes. Bytes past
+    /// the prefix are ignored; the final partial byte is masked.
+    pub fn hash_prefix(&self, key_bytes: &[u8], bits: u32) -> KeyHash {
+        let nbytes = bits.div_ceil(8) as usize;
+        debug_assert!(key_bytes.len() >= nbytes, "key too short for prefix");
+        // Stack buffer: prefixes are at most 256 bytes in practice (2048-bit
+        // keys); fall back to hashing in two pieces for longer ones.
+        let mut buf = [0u8; 256];
+        let seed = self.seed ^ bits.rotate_left(16);
+        if nbytes <= buf.len() {
+            buf[..nbytes].copy_from_slice(&key_bytes[..nbytes]);
+            mask_last_byte(&mut buf[..nbytes], bits);
+            self.dispatch(&buf[..nbytes], seed)
+        } else {
+            let mut tail = key_bytes[nbytes - 1];
+            let rem = bits % 8;
+            if rem != 0 {
+                tail &= 0xFFu8 << (8 - rem);
+            }
+            let head = self.dispatch(&key_bytes[..nbytes - 1], seed);
+            let h = self.dispatch(&[tail], seed ^ head.h1 as u32);
+            KeyHash { h1: head.h1 ^ h.h1.rotate_left(31), h2: head.h2 ^ h.h2.rotate_left(17) }
+        }
+    }
+
+    /// Hash a complete byte string (all `8 * len` bits).
+    pub fn hash_bytes(&self, bytes: &[u8]) -> KeyHash {
+        self.dispatch(bytes, self.seed ^ ((bytes.len() as u32 * 8).rotate_left(16)))
+    }
+
+    fn dispatch(&self, data: &[u8], seed: u32) -> KeyHash {
+        match self.family {
+            HashFamily::Murmur3 => KeyHash::from_u128(murmur3::murmur3_x64_128(data, seed)),
+            HashFamily::ClHash => {
+                let h = self.clhash.hash(data, seed as u64);
+                // Derive a second independent word for double hashing.
+                let h2 = murmur3::fmix64(h ^ 0x9E37_79B9_7F4A_7C15);
+                KeyHash { h1: h, h2 }
+            }
+        }
+    }
+}
+
+/// Zero the bits of the final byte that lie past `bits`.
+#[inline]
+fn mask_last_byte(buf: &mut [u8], bits: u32) {
+    let rem = bits % 8;
+    if rem != 0 {
+        if let Some(last) = buf.last_mut() {
+            *last &= 0xFFu8 << (8 - rem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_sequence_is_well_distributed() {
+        let h = KeyHash { h1: 12345, h2: 67890 };
+        let m = 1024;
+        let probes: Vec<u64> = (0..16).map(|i| h.probe(i, m)).collect();
+        let mut uniq = probes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() >= 14, "double hashing should rarely collide: {probes:?}");
+        assert!(probes.iter().all(|&p| p < m));
+    }
+
+    #[test]
+    fn keyhash_u128_roundtrip() {
+        let h = KeyHash { h1: 0xDEAD_BEEF, h2: 0xCAFE_BABE };
+        assert_eq!(KeyHash::from_u128(h.to_u128()), h);
+    }
+
+    #[test]
+    fn prefix_hash_distinguishes_lengths() {
+        let hasher = PrefixHasher::new(HashFamily::Murmur3, 7);
+        let key = [0xAB, 0xCD, 0xEF, 0x12];
+        // Same bytes, different advertised bit lengths -> different hashes.
+        assert_ne!(hasher.hash_prefix(&key, 16), hasher.hash_prefix(&key, 24));
+        // A 12-bit prefix must ignore the low nibble of byte 1.
+        let other = [0xAB, 0xC7, 0xFF, 0xFF];
+        assert_eq!(hasher.hash_prefix(&key, 12), hasher.hash_prefix(&other, 12));
+        assert_ne!(hasher.hash_prefix(&key, 13), hasher.hash_prefix(&other, 13));
+    }
+
+    #[test]
+    fn prefix_hash_matches_for_shared_prefixes() {
+        let hasher = PrefixHasher::new(HashFamily::ClHash, 99);
+        let a = [1, 2, 3, 4, 5, 6, 7, 8];
+        let b = [1, 2, 3, 4, 0xFF, 0xFF, 0xFF, 0xFF];
+        for bits in 1..=32 {
+            assert_eq!(
+                hasher.hash_prefix(&a, bits),
+                hasher.hash_prefix(&b, bits),
+                "bits={bits}"
+            );
+        }
+        for bits in 33..=64 {
+            assert_ne!(hasher.hash_prefix(&a, bits), hasher.hash_prefix(&b, bits));
+        }
+    }
+
+    #[test]
+    fn long_prefix_path_is_consistent() {
+        // Prefixes longer than the 256-byte stack buffer take the two-piece
+        // path; masking must still work.
+        let hasher = PrefixHasher::new(HashFamily::Murmur3, 3);
+        let mut a = vec![0x55u8; 400];
+        let mut b = a.clone();
+        a[399] = 0b1010_0000;
+        b[399] = 0b1010_0111;
+        let bits = 399 * 8 + 3;
+        assert_eq!(hasher.hash_prefix(&a, bits), hasher.hash_prefix(&b, bits));
+        assert_ne!(hasher.hash_prefix(&a, bits + 5), hasher.hash_prefix(&b, bits + 5));
+    }
+}

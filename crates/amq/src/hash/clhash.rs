@@ -1,0 +1,240 @@
+//! A CLHash-style hash based on carry-less (polynomial, GF(2)) multiplication.
+//!
+//! The paper switches from MurmurHash3 to CLHASH (Lemire & Kaser, 2016) for
+//! string workloads (§7.1). The original CLHASH leans on the x86
+//! `PCLMULQDQ` instruction; this implementation performs carry-less
+//! multiplication in software (nibble-table method) so it runs on any
+//! platform, and follows the CLNH inner-product construction: 128-bit
+//! products of key-xored message lanes are accumulated with XOR and reduced
+//! to 64 bits modulo the GF(2^64) polynomial `x^64 + x^4 + x^3 + x + 1`.
+
+use super::murmur3::fmix64;
+
+/// Number of 64-bit random key words; messages longer than
+/// `KEY_WORDS * 8` bytes recycle keys with a per-chunk tweak.
+const KEY_WORDS: usize = 128;
+
+/// Carry-less multiplication of two 64-bit polynomials over GF(2).
+///
+/// Uses a 16-entry table of `a * nibble` products so the inner loop runs 16
+/// iterations instead of 64.
+#[inline]
+pub fn clmul64(a: u64, b: u64) -> u128 {
+    // table[n] = a (as polynomial) times n, for n in 0..16.
+    let a = a as u128;
+    let mut table = [0u128; 16];
+    // table[1]=a, table[2]=a<<1, table[4]=a<<2, table[8]=a<<3; the rest are
+    // XOR combinations.
+    table[1] = a;
+    table[2] = a << 1;
+    table[4] = a << 2;
+    table[8] = a << 3;
+    table[3] = table[2] ^ a;
+    table[5] = table[4] ^ a;
+    table[6] = table[4] ^ table[2];
+    table[7] = table[6] ^ a;
+    table[9] = table[8] ^ a;
+    table[10] = table[8] ^ table[2];
+    table[11] = table[10] ^ a;
+    table[12] = table[8] ^ table[4];
+    table[13] = table[12] ^ a;
+    table[14] = table[12] ^ table[2];
+    table[15] = table[14] ^ a;
+
+    let mut acc: u128 = 0;
+    // Process b a nibble at a time from the top so we can shift the
+    // accumulator instead of the table entries.
+    let mut shift = 60;
+    loop {
+        acc = (acc << 4) ^ table[((b >> shift) & 0xF) as usize];
+        if shift == 0 {
+            break;
+        }
+        shift -= 4;
+    }
+    acc
+}
+
+/// Reduce a 128-bit polynomial modulo `x^64 + x^4 + x^3 + x + 1`.
+#[inline]
+fn gf64_reduce(x: u128) -> u64 {
+    // x = hi * x^64 + lo; x^64 ≡ x^4 + x^3 + x + 1 (mod P).
+    const POLY: u64 = 0b11011; // x^4 + x^3 + x + 1
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    // hi * (x^4+x^3+x+1) is a 68-bit quantity; fold twice.
+    let folded = clmul64(hi, POLY);
+    let lo2 = folded as u64;
+    let hi2 = (folded >> 64) as u64; // at most 4 bits
+    let folded2 = clmul64(hi2, POLY) as u64;
+    lo ^ lo2 ^ folded2
+}
+
+/// A keyed CLHash-style hasher. The random key material is derived
+/// deterministically from the constructor seed with a splitmix64 chain, so
+/// equal seeds produce identical hashers.
+#[derive(Debug, Clone)]
+pub struct ClHasher {
+    keys: Box<[u64; KEY_WORDS]>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ClHasher {
+    pub fn new(seed: u64) -> Self {
+        let mut state = seed ^ 0xC2B2_AE3D_27D4_EB4F;
+        let mut keys = Box::new([0u64; KEY_WORDS]);
+        for k in keys.iter_mut() {
+            *k = splitmix64(&mut state);
+        }
+        ClHasher { keys }
+    }
+
+    /// Hash `data` with a per-call `tweak` (used to vary prefix lengths
+    /// without re-keying).
+    pub fn hash(&self, data: &[u8], tweak: u64) -> u64 {
+        let mut acc: u128 = 0;
+        let mut lane_pair = 0usize;
+        let mut chunk_tweak = tweak;
+
+        let mut words = data.chunks_exact(8);
+        let mut m0: Option<u64> = None;
+        for w in words.by_ref() {
+            let lane = u64::from_le_bytes(w.try_into().unwrap());
+            match m0.take() {
+                None => m0 = Some(lane),
+                Some(first) => {
+                    let k0 = self.keys[(lane_pair * 2) % KEY_WORDS] ^ chunk_tweak;
+                    let k1 = self.keys[(lane_pair * 2 + 1) % KEY_WORDS];
+                    acc ^= clmul64(first ^ k0, lane ^ k1);
+                    lane_pair += 1;
+                    if lane_pair * 2 % KEY_WORDS == 0 {
+                        // Recycled key block: tweak so long inputs don't see
+                        // a repeating structure.
+                        chunk_tweak = chunk_tweak.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                    }
+                }
+            }
+        }
+
+        // Tail: remaining full word (if odd count) plus 0..7 bytes, padded
+        // into a final lane with an explicit length terminator so "ab" and
+        // "ab\0" differ.
+        let rem = words.remainder();
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        tail[rem.len().min(7)] ^= 0x80;
+        let tail_lane = u64::from_le_bytes(tail);
+        let first = m0.unwrap_or(0x5555_5555_5555_5555);
+        let k0 = self.keys[(lane_pair * 2) % KEY_WORDS] ^ chunk_tweak;
+        let k1 = self.keys[(lane_pair * 2 + 1) % KEY_WORDS];
+        acc ^= clmul64(first ^ k0, tail_lane ^ k1);
+
+        let reduced = gf64_reduce(acc) ^ (data.len() as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ tweak;
+        fmix64(reduced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_basic_identities() {
+        assert_eq!(clmul64(0, 0xFFFF), 0);
+        assert_eq!(clmul64(1, 0xABCD), 0xABCD);
+        assert_eq!(clmul64(2, 0xABCD), 0xABCD << 1);
+        // (x^63) * (x) = x^64
+        assert_eq!(clmul64(1 << 63, 2), 1u128 << 64);
+    }
+
+    #[test]
+    fn clmul_matches_schoolbook() {
+        // Compare against a bit-by-bit reference.
+        fn reference(a: u64, b: u64) -> u128 {
+            let mut r = 0u128;
+            for i in 0..64 {
+                if (b >> i) & 1 == 1 {
+                    r ^= (a as u128) << i;
+                }
+            }
+            r
+        }
+        let mut s = 42u64;
+        for _ in 0..200 {
+            let a = splitmix64(&mut s);
+            let b = splitmix64(&mut s);
+            assert_eq!(clmul64(a, b), reference(a, b));
+        }
+    }
+
+    #[test]
+    fn clmul_is_commutative_and_distributive() {
+        let mut s = 7u64;
+        for _ in 0..100 {
+            let a = splitmix64(&mut s);
+            let b = splitmix64(&mut s);
+            let c = splitmix64(&mut s);
+            assert_eq!(clmul64(a, b), clmul64(b, a));
+            assert_eq!(clmul64(a ^ b, c), clmul64(a, c) ^ clmul64(b, c));
+        }
+    }
+
+    #[test]
+    fn gf_reduce_of_small_values_is_identity() {
+        for v in [0u128, 1, 0xFFFF, u64::MAX as u128] {
+            assert_eq!(gf64_reduce(v), v as u64);
+        }
+    }
+
+    #[test]
+    fn hash_differs_across_inputs_and_tweaks() {
+        let h = ClHasher::new(0xFEED);
+        assert_ne!(h.hash(b"hello", 0), h.hash(b"hellp", 0));
+        assert_ne!(h.hash(b"hello", 0), h.hash(b"hello", 1));
+        assert_ne!(h.hash(b"ab", 0), h.hash(b"ab\0", 0));
+        assert_ne!(h.hash(b"", 0), h.hash(b"\0", 0));
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_instances() {
+        let a = ClHasher::new(123);
+        let b = ClHasher::new(123);
+        assert_eq!(a.hash(b"proteus", 9), b.hash(b"proteus", 9));
+        let c = ClHasher::new(124);
+        assert_ne!(a.hash(b"proteus", 9), c.hash(b"proteus", 9));
+    }
+
+    #[test]
+    fn long_inputs_hash_without_structure_artifacts() {
+        // Inputs longer than the key schedule (128 words = 1 KiB) must still
+        // produce distinct hashes under single-byte perturbations.
+        let h = ClHasher::new(5);
+        let base = vec![0x11u8; 4096];
+        let base_hash = h.hash(&base, 0);
+        for pos in [0usize, 1023, 1024, 2048, 4095] {
+            let mut v = base.clone();
+            v[pos] ^= 0x01;
+            assert_ne!(h.hash(&v, 0), base_hash, "perturbation at {pos} ignored");
+        }
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let h = ClHasher::new(77);
+        let a = h.hash(b"0123456789abcdef", 0);
+        let mut data = *b"0123456789abcdef";
+        data[3] ^= 1;
+        let b = h.hash(&data, 0);
+        let dist = (a ^ b).count_ones();
+        assert!((16..=48).contains(&dist), "poor avalanche: {dist} bits");
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks: per-query latency of each filter on point,
+//! small-range and large-range queries — the CPU-cost side of §6.3 (e.g.
+//! Rosetta's many-probe penalty on large ranges vs SuRF's constant-time
+//! trie walk vs Proteus's trie-bounded probing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proteus_core::key::u64_key;
+use proteus_core::{
+    KeySet, OnePbf, OnePbfOptions, Proteus, ProteusOptions, RangeFilter, SampleQueries,
+};
+use proteus_filters::{Rosetta, RosettaOptions, Surf, SurfSuffix};
+use proteus_workloads::{Dataset, QueryGen, Workload};
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 100_000usize;
+    let raw = Dataset::Uniform.generate(n, 42);
+    let keys = KeySet::from_u64(&raw);
+    let m = n as u64 * 12;
+
+    let cases: Vec<(&str, Workload)> = vec![
+        ("point", Workload::Correlated { rmax: 2, corr_degree: 1 << 10 }),
+        ("small_range", Workload::Uniform { rmax: 1 << 7 }),
+        ("large_range", Workload::Uniform { rmax: 1 << 15 }),
+    ];
+
+    for (case, workload) in cases {
+        let samples = SampleQueries::from_u64(
+            &QueryGen::new(workload.clone(), &raw, &[], 7).empty_ranges(5_000),
+        );
+        let queries: Vec<(u64, u64)> =
+            QueryGen::new(workload.clone(), &raw, &[], 99).empty_ranges(1_000);
+
+        let filters: Vec<(&str, Box<dyn RangeFilter>)> = vec![
+            ("proteus", Box::new(Proteus::train(&keys, &samples, m, &ProteusOptions::default()))),
+            ("1pbf", Box::new(OnePbf::train(&keys, &samples, m, &OnePbfOptions::default()))),
+            ("surf_real4", Box::new(Surf::build(&keys, SurfSuffix::Real(4)))),
+            ("rosetta", Box::new(Rosetta::train(&keys, &samples, m, &RosettaOptions::default()))),
+        ];
+        let mut group = c.benchmark_group(format!("query/{case}"));
+        for (name, filter) in &filters {
+            group.bench_with_input(BenchmarkId::from_parameter(name), filter, |b, f| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let (lo, hi) = queries[i % queries.len()];
+                    i += 1;
+                    std::hint::black_box(f.may_contain_range(&u64_key(lo), &u64_key(hi)))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_queries
+}
+criterion_main!(benches);

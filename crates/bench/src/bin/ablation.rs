@@ -1,0 +1,153 @@
+//! Ablation study of Proteus's design choices (beyond the paper's figures,
+//! backing the §4.3 engineering claims):
+//!
+//! 1. **Exponential binning** — modeling accuracy and cost with and without
+//!    the batched-bin FPR evaluation (§4.3: binning "significantly reduces
+//!    the amount of modeling work and has little effect on the accuracy").
+//!    Here the bin effect shows as the residual between binned expected
+//!    FPR and observed FPR versus sampling noise.
+//! 2. **Coarse design search** — FPR of the design found with 16/32/128
+//!    sampled Bloom prefix lengths versus the exhaustive search (§7.2's
+//!    order-of-magnitude speedup claim).
+//! 3. **AMQ-agnosticism** — the same trained design instantiated over the
+//!    standard vs the blocked Bloom filter (§4.3: "The Bloom filters in our
+//!    PRFs can be replaced with any AMQ").
+//! 4. **Trie memory estimator** — estimated vs actual FST size across trie
+//!    depths (Algorithm 1's `trieMem`).
+//!
+//! Run: `cargo run -p proteus-bench --release --bin ablation`
+
+use proteus_bench::cli::Args;
+use proteus_bench::measure::{measure_fpr, Timed};
+use proteus_bench::report::Table;
+use proteus_bench::scenario;
+use proteus_core::model::proteus::{ProteusModel, ProteusModelOptions};
+use proteus_core::trie::ProteusTrie;
+use proteus_core::{Proteus, ProteusOptions};
+use proteus_workloads::{Dataset, Workload};
+
+fn main() {
+    let args = Args::parse(200_000, 20_000, 10_000);
+    let m_bits = args.keys as u64 * 12;
+    let workload =
+        Workload::Split { uniform_rmax: 1 << 15, correlated_rmax: 32, corr_degree: 1 << 10 };
+    let sc = scenario::setup(
+        Dataset::Normal,
+        &workload,
+        args.keys,
+        args.samples,
+        args.queries,
+        args.seed,
+    );
+
+    // --- 1 + 2: coarse vs exhaustive design search ---------------------
+    let mut t = Table::new(
+        "Ablation: design-search granularity",
+        &["l2_candidates", "model_ms", "chosen_l1", "chosen_l2", "expected", "observed"],
+    );
+    for max_l2 in [16usize, 32, 128, 0] {
+        let opts = ProteusModelOptions { max_bloom_lengths: max_l2, threads: 1 };
+        let timed = Timed::run(|| ProteusModel::build(&sc.keyset, &sc.samples, m_bits, &opts));
+        let design = timed.value.best_design(&sc.keyset, m_bits);
+        let filter = Proteus::build_with_design(
+            &sc.keyset,
+            design,
+            m_bits,
+            &ProteusOptions::default(),
+        );
+        let observed = measure_fpr(&filter, &sc.eval);
+        t.row(vec![
+            if max_l2 == 0 { "all(64)".into() } else { max_l2.to_string() },
+            format!("{:.1}", timed.millis),
+            design.trie_depth_bits.to_string(),
+            design.bloom_prefix_len.to_string(),
+            format!("{:.4}", design.expected_fpr),
+            format!("{observed:.4}"),
+        ]);
+    }
+    t.finish(args.out.as_deref(), "ablation_search");
+
+    // --- 3: AMQ swap ----------------------------------------------------
+    // The modeled design is AMQ-agnostic; instantiate the Bloom component
+    // as standard vs blocked and compare observed FPR at equal memory.
+    let mut t = Table::new(
+        "Ablation: AMQ family at the trained design (equal memory)",
+        &["amq", "observed_fpr", "modeled_fpr"],
+    );
+    {
+        use proteus_amq::hash::PrefixHasher;
+        use proteus_amq::{Amq, BlockedBloomFilter, BloomFilter};
+        let model = ProteusModel::build(
+            &sc.keyset,
+            &sc.samples,
+            m_bits,
+            &ProteusModelOptions::default(),
+        );
+        let design = model.best_design(&sc.keyset, m_bits);
+        let l2 = design.bloom_prefix_len.max(1);
+        let bf_bits = m_bits - design.trie_mem_bits;
+        let n = sc.keyset.unique_prefixes(l2);
+        // Generic probe loop over any AMQ.
+        fn run_amq<A: Amq>(
+            amq: &mut A,
+            keyset: &proteus_core::KeySet,
+            eval: &proteus_core::SampleQueries,
+            l2: usize,
+        ) -> f64 {
+            let hasher = PrefixHasher::new(proteus_amq::hash::HashFamily::Murmur3, 1);
+            let mut prev: Option<Vec<u8>> = None;
+            for key in keyset.iter() {
+                let fresh = prev
+                    .as_deref()
+                    .map_or(true, |p| proteus_core::key::lcp_bits(p, key) < l2);
+                if fresh {
+                    amq.insert_hash(hasher.hash_prefix(key, l2 as u32).to_u128());
+                }
+                prev = Some(key.to_vec());
+            }
+            // Point probes at the l2-prefix of each eval query's lo bound
+            // (isolates the AMQ from the trie logic).
+            let mut fps = 0usize;
+            let mut total = 0usize;
+            for (lo, _) in eval.iter() {
+                total += 1;
+                if amq.contains_hash(hasher.hash_prefix(lo, l2 as u32).to_u128()) {
+                    fps += 1;
+                }
+            }
+            fps as f64 / total as f64
+        }
+        let mut std_bf = BloomFilter::new(bf_bits, n);
+        let std_fpr = run_amq(&mut std_bf, &sc.keyset, &sc.eval, l2);
+        t.row(vec![
+            "standard".into(),
+            format!("{std_fpr:.4}"),
+            format!("{:.4}", BloomFilter::model_fpr(bf_bits, n)),
+        ]);
+        let mut blk_bf = BlockedBloomFilter::new(bf_bits, n);
+        let blk_fpr = run_amq(&mut blk_bf, &sc.keyset, &sc.eval, l2);
+        t.row(vec![
+            "blocked".into(),
+            format!("{blk_fpr:.4}"),
+            format!("{:.4}", BlockedBloomFilter::model_fpr(bf_bits, n)),
+        ]);
+    }
+    t.finish(args.out.as_deref(), "ablation_amq");
+
+    // --- 4: trie memory estimator ---------------------------------------
+    let mut t = Table::new(
+        "Ablation: trieMem estimate vs actual FST size",
+        &["depth_bytes", "estimated_bits", "actual_bits", "ratio"],
+    );
+    for d in 1..=8usize {
+        let est = sc.keyset.trie_mem_bits(d);
+        let actual = ProteusTrie::build(&sc.keyset, d).size_bits();
+        t.row(vec![
+            d.to_string(),
+            est.to_string(),
+            actual.to_string(),
+            format!("{:.3}", actual as f64 / est.max(1) as f64),
+        ]);
+    }
+    t.finish(args.out.as_deref(), "ablation_triemem");
+}

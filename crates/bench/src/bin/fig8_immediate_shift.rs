@@ -1,0 +1,89 @@
+//! Figure 8: "Proteus is robust to immediate, extreme workload shifts" —
+//! the Fig. 7 transitions repeated with a hard switch at the midpoint
+//! instead of gradual mixing, Proteus only. The FPR spikes right after the
+//! switch and recovers as compactions rebuild filters from the updated
+//! query queue.
+//!
+//! Run: `cargo run -p proteus-bench --release --bin fig8_immediate_shift`
+
+use proteus_bench::cli::Args;
+use proteus_bench::lsm_harness::LsmRun;
+use proteus_bench::report::Table;
+use proteus_lsm::ProteusFactory;
+use proteus_workloads::{Dataset, QueryGen, Workload};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::parse(100_000, 60_000, 2_000);
+    run_immediate(&args, "uniform-to-correlated", Dataset::Normal, false);
+    run_immediate(&args, "correlated-to-uniform", Dataset::Uniform, true);
+}
+
+fn run_immediate(args: &Args, tag: &str, dataset: Dataset, reverse: bool) {
+    let batches = args.get_usize("batches", 12);
+    let per_batch = args.queries / batches;
+    let puts_total = args.get_usize("puts", args.keys);
+    let puts_per_batch = puts_total / batches;
+    let value_len = args.get_usize("value-len", 128);
+
+    let initial_keys = dataset.generate(args.keys, args.seed);
+    let extra_keys = dataset.generate(puts_total, args.seed ^ 0xF00D);
+    let uniform = Workload::Uniform { rmax: 1 << 15 };
+    let correlated = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };
+    let (start_w, end_w) = if reverse { (correlated, uniform) } else { (uniform, correlated) };
+
+    let mut t = Table::new(
+        &format!("Figure 8 ({tag}): immediate shift, Proteus"),
+        &["batch", "phase", "cumulative_s", "batch_fpr", "blocks_read", "filters_built"],
+    );
+
+    let seed_q = QueryGen::new(start_w.clone(), &initial_keys, &[], args.seed ^ 0xA)
+        .empty_ranges(args.samples.min(20_000));
+    let mut cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8);
+    cfg.memtable_bytes = 256 << 10;
+    cfg.sst_target_bytes = 256 << 10;
+    cfg.level_base_bytes = 1 << 20;
+    cfg.sample_every = 5;
+    let mut run = LsmRun::load_cfg(
+        &format!("fig8-{tag}"),
+        cfg,
+        &initial_keys,
+        value_len,
+        &seed_q,
+        Arc::new(ProteusFactory::default()),
+    );
+    let mut cumulative = 0.0;
+    let mut put_cursor = 0usize;
+    for batch in 0..batches {
+        let after_switch = batch * 2 >= batches;
+        for _ in 0..puts_per_batch {
+            if put_cursor < extra_keys.len() {
+                run.put(extra_keys[put_cursor], value_len);
+                put_cursor += 1;
+            }
+        }
+        let keys_now: Vec<u64> = run.mirror.iter().copied().collect();
+        let w = if after_switch { &end_w } else { &start_w };
+        let queries: Vec<(u64, u64)> = {
+            let mut gen = QueryGen::new(w.clone(), &keys_now, &[], args.seed ^ batch as u64);
+            (0..per_batch).map(|_| gen.next_range()).collect()
+        };
+        let r = run.run_batch(&queries);
+        cumulative += r.elapsed_s;
+        let phase = if after_switch { "after" } else { "before" };
+        println!(
+            "{tag:>22} batch {batch:>2} [{phase:>6}]: cum {cumulative:>7.2}s fpr {:.4} filters {}",
+            r.fpr(),
+            r.stats.filters_built
+        );
+        t.row(vec![
+            batch.to_string(),
+            phase.to_string(),
+            format!("{cumulative:.3}"),
+            format!("{:.5}", r.fpr()),
+            r.stats.blocks_read.to_string(),
+            r.stats.filters_built.to_string(),
+        ]);
+    }
+    t.finish(args.out.as_deref(), &format!("fig8_immediate_{tag}"));
+}

@@ -1,0 +1,79 @@
+//! Minimal command-line parsing shared by every experiment binary.
+//!
+//! All binaries accept the same scale knobs so the paper's full scale
+//! (10M keys, 1M queries, 20K samples) can be requested explicitly:
+//!
+//! ```text
+//! --keys N       dataset size            (default laptop-scale per binary)
+//! --queries N    evaluation queries
+//! --samples N    sample queries fed to the models
+//! --seed N       RNG seed
+//! --bpk LIST     comma-separated bits-per-key budgets (e.g. 8,10,12)
+//! --out PATH     CSV output path (default results/<binary>.csv)
+//! --part X       sub-experiment selector (figure-specific)
+//! ```
+
+use std::collections::HashMap;
+
+/// Parsed arguments with defaults supplied by the binary.
+#[derive(Debug, Clone)]
+pub struct Args {
+    map: HashMap<String, String>,
+    pub keys: usize,
+    pub queries: usize,
+    pub samples: usize,
+    pub seed: u64,
+    pub bpk: Vec<u64>,
+    pub out: Option<String>,
+    pub part: String,
+}
+
+impl Args {
+    /// Parse `std::env::args` with per-binary defaults.
+    pub fn parse(default_keys: usize, default_queries: usize, default_samples: usize) -> Args {
+        let mut map = HashMap::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    i += 1;
+                    argv[i].clone()
+                } else {
+                    "true".to_string()
+                };
+                map.insert(name.to_string(), value);
+            }
+            i += 1;
+        }
+        let get_usize =
+            |m: &HashMap<String, String>, k: &str, d: usize| m.get(k).map_or(d, |v| v.parse().expect(k));
+        let keys = get_usize(&map, "keys", default_keys);
+        let queries = get_usize(&map, "queries", default_queries);
+        let samples = get_usize(&map, "samples", default_samples);
+        let seed = map.get("seed").map_or(42, |v| v.parse().expect("seed"));
+        let bpk = map
+            .get("bpk")
+            .map(|v| v.split(',').map(|x| x.trim().parse().expect("bpk")).collect())
+            .unwrap_or_else(|| vec![8, 10, 12, 14, 16, 18]);
+        let out = map.get("out").cloned();
+        let part = map.get("part").cloned().unwrap_or_else(|| "all".to_string());
+        Args { map, keys, queries, samples, seed, bpk, out, part }
+    }
+
+    /// Raw access to a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    /// A `usize` flag with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.map.get(key).map_or(default, |v| v.parse().expect(key))
+    }
+
+    /// A `u64` flag with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.map.get(key).map_or(default, |v| v.parse().expect(key))
+    }
+}

@@ -1,0 +1,98 @@
+//! Experiment output: aligned console tables plus CSV files under
+//! `results/` so EXPERIMENTS.md can reference stable artifacts.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-aligned table that also serializes to CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Read back the accumulated rows (used for summaries).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Print to stdout with aligned columns.
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> =
+                cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+            println!("  {}", padded.join("  "));
+        };
+        line(&self.header);
+        line(&vec!["-".repeat(3); self.header.len()].iter().map(|s| s.clone()).collect::<Vec<_>>());
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Write CSV to `path` (creating parent directories).
+    pub fn write_csv(&self, path: &str) -> std::io::Result<()> {
+        if let Some(parent) = Path::new(path).parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Print and write to the default results path for `name`.
+    pub fn finish(&self, out_override: Option<&str>, name: &str) {
+        self.print();
+        let path = out_override
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("results/{name}.csv"));
+        match self.write_csv(&path) {
+            Ok(()) => println!("  -> {path}"),
+            Err(e) => eprintln!("  (csv write failed: {e})"),
+        }
+    }
+}
+
+/// Format an FPR for display.
+pub fn fpr(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Format milliseconds.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1}")
+}

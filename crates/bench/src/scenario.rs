@@ -1,0 +1,75 @@
+//! Dataset × workload scenario setup shared by the in-memory experiments:
+//! generate keys, model samples and (disjoint) evaluation queries, all
+//! certified empty.
+
+use proteus_core::{KeySet, SampleQueries};
+use proteus_workloads::{Dataset, QueryGen, Workload};
+
+/// A ready-to-run experiment input.
+pub struct Scenario {
+    pub raw_keys: Vec<u64>,
+    pub keyset: KeySet,
+    /// Sample queries for the self-designing models.
+    pub samples: SampleQueries,
+    /// Evaluation queries for observed-FPR measurement (disjoint RNG).
+    pub eval: SampleQueries,
+}
+
+/// Build a scenario. The `Real` workload reserves an extra pool of
+/// dataset-distributed values for left bounds, as §5 prescribes.
+pub fn setup(
+    dataset: Dataset,
+    workload: &Workload,
+    n_keys: usize,
+    n_samples: usize,
+    n_eval: usize,
+    seed: u64,
+) -> Scenario {
+    let needs_pool = matches!(workload, Workload::Real { .. });
+    let total = if needs_pool { n_keys + n_keys / 4 } else { n_keys };
+    let mut all = dataset.generate(total.max(n_keys), seed);
+    let pool: Vec<u64> = if needs_pool {
+        // Reserve every 5th value as a query-bound pool (disjoint sample of
+        // the same distribution).
+        let pool: Vec<u64> = all.iter().copied().skip(4).step_by(5).collect();
+        all = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 5 != 4)
+            .map(|(_, &k)| k)
+            .take(n_keys)
+            .collect();
+        pool
+    } else {
+        Vec::new()
+    };
+    all.truncate(n_keys);
+    let keyset = KeySet::from_u64(&all);
+    let samples = SampleQueries::from_u64(
+        &QueryGen::new(workload.clone(), &all, &pool, seed ^ 0x5A11).empty_ranges(n_samples),
+    );
+    let eval = SampleQueries::from_u64(
+        &QueryGen::new(workload.clone(), &all, &pool, seed ^ 0xE7A1).empty_ranges(n_eval),
+    );
+    Scenario { raw_keys: all, keyset, samples, eval }
+}
+
+/// The (dataset, workload) rows of Fig. 5, by name.
+pub fn fig5_rows(rmax: u64) -> Vec<(Dataset, Workload, &'static str)> {
+    vec![
+        (Dataset::Uniform, Workload::Uniform { rmax }, "uniform-uniform"),
+        (
+            Dataset::Uniform,
+            Workload::Correlated { rmax, corr_degree: 1 << 10 },
+            "uniform-correlated",
+        ),
+        (Dataset::Normal, Workload::Uniform { rmax }, "normal-uniform"),
+        (
+            Dataset::Normal,
+            Workload::Split { uniform_rmax: rmax, correlated_rmax: rmax.min(64), corr_degree: 1 << 10 },
+            "normal-split",
+        ),
+        (Dataset::Books, Workload::Real { rmax }, "books-real"),
+        (Dataset::Facebook, Workload::Real { rmax }, "facebook-real"),
+    ]
+}

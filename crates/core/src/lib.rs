@@ -1,0 +1,103 @@
+//! # proteus-core
+//!
+//! A from-scratch reproduction of **Proteus: A Self-Designing Range Filter**
+//! (Knorr, Lemaire, Lim et al., SIGMOD 2022).
+//!
+//! Proteus answers approximate range-emptiness queries: given a key set `K`
+//! and a query `[lo, hi]`, it returns `false` only when `K ∩ [lo, hi] = ∅`
+//! (no false negatives, tunable false positives). Its design — a
+//! uniform-depth succinct trie over `l1`-bit prefixes combined with a Bloom
+//! filter over `l2`-bit prefixes — is chosen per workload by the Contextual
+//! Prefix FPR (CPFPR) model from a sample of empty queries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use proteus_core::{KeySet, SampleQueries, Proteus, ProteusOptions, key::u64_key};
+//!
+//! // The data to protect and a sample of (empty) queries like the workload's.
+//! let keys = KeySet::from_u64(&[100, 2_000, 30_000, 400_000]);
+//! let mut samples = SampleQueries::from_u64(&[(150, 170), (5_000, 5_100)]);
+//! samples.retain_empty(&keys);
+//!
+//! // Self-design within a 10 bits-per-key budget.
+//! let filter = Proteus::train(&keys, &samples, 10 * keys.len() as u64,
+//!                             &ProteusOptions::default());
+//!
+//! assert!(filter.query_u64(2_000, 2_000));      // member: always positive
+//! assert!(filter.query_u64(90, 110));           // overlapping range: positive
+//! ```
+//!
+//! ## Crate layout
+//!
+//! * [`key`] — canonical keys and bit-level prefix arithmetic;
+//! * [`keyset`] — sorted key set + the statistics Algorithm 1 extracts;
+//! * [`sample`] — sample queries and Chernoff-bound sizing (Table 1);
+//! * [`model`] — the CPFPR model for 1PBF (Eq. 1), 2PBF (Eq. 4) and
+//!   Proteus (Eq. 5 / Algorithm 1);
+//! * [`prefix_bf`] / [`trie`] — the two structural components;
+//! * [`proteus`], [`one_pbf`], [`two_pbf`] — the three Protean Range
+//!   Filters evaluated in the paper.
+
+pub mod counting;
+pub mod key;
+pub mod keyset;
+pub mod model;
+pub mod one_pbf;
+pub mod prefix_bf;
+pub mod proteus;
+pub mod sample;
+pub mod trie;
+pub mod two_pbf;
+
+pub use counting::{CountingProteus, CountingProteusOptions};
+pub use keyset::KeySet;
+pub use one_pbf::{OnePbf, OnePbfOptions};
+pub use proteus::{Proteus, ProteusOptions, DEFAULT_PROBE_CAP};
+pub use sample::SampleQueries;
+pub use trie::ProteusTrie;
+pub use two_pbf::{TwoPbf, TwoPbfFilterOptions};
+
+/// The common interface all range filters in this workspace implement —
+/// Proteus, 1PBF, 2PBF here; SuRF and Rosetta in `proteus-filters`. The LSM
+/// harness plugs any of them into its SST files through this trait.
+pub trait RangeFilter: Send + Sync {
+    /// May the closed range `[lo, hi]` contain a key? `false` is exact
+    /// (guaranteed empty); `true` may be a false positive. Bounds are
+    /// canonical fixed-width keys (see [`key`]).
+    fn may_contain_range(&self, lo: &[u8], hi: &[u8]) -> bool;
+
+    /// Point-query form.
+    fn may_contain(&self, key: &[u8]) -> bool {
+        self.may_contain_range(key, key)
+    }
+
+    /// Memory footprint of the filter in bits.
+    fn size_bits(&self) -> u64;
+
+    /// Human-readable name including the instantiated design.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use key::u64_key;
+
+    #[test]
+    fn trait_objects_dispatch() {
+        let keys = KeySet::from_u64(&[10, 20, 30]);
+        let samples = SampleQueries::from_u64(&[(12, 14), (40, 50)]);
+        let filters: Vec<Box<dyn RangeFilter>> = vec![
+            Box::new(Proteus::train(&keys, &samples, 512, &ProteusOptions::default())),
+            Box::new(OnePbf::train(&keys, &samples, 512, &OnePbfOptions::default())),
+            Box::new(TwoPbf::train(&keys, &samples, 512, &TwoPbfFilterOptions::default())),
+        ];
+        for f in &filters {
+            assert!(f.may_contain(&u64_key(20)), "{}", f.name());
+            assert!(f.may_contain_range(&u64_key(25), &u64_key(35)), "{}", f.name());
+            assert!(f.size_bits() > 0, "{}", f.name());
+            assert!(!f.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! CPFPR model for a single prefix Bloom filter — Eq. 1 of the paper.
+//!
+//! For an empty query Q and a prefix length `l`:
+//!
+//! ```text
+//! P_fp(Q) = 1 - (1-p)^|Q_l|   if lcp(Q,K) < l
+//!           1                 if l ≤ lcp(Q,K)
+//! ```
+
+use super::{extract_contexts, BitScan, ProbeBins};
+use crate::key::get_bit;
+use crate::keyset::KeySet;
+use crate::sample::SampleQueries;
+use proteus_amq::standard_bloom_fpr;
+
+/// Accumulated model state for every candidate prefix length of a 1PBF.
+#[derive(Debug, Clone)]
+pub struct OnePbfModel {
+    /// `bins[l]` for prefix lengths `1..=bits` (index 0 unused).
+    bins: Vec<ProbeBins>,
+    n_samples: u64,
+    bits: usize,
+}
+
+/// A selected 1PBF design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnePbfDesign {
+    /// Chosen prefix length in bits.
+    pub prefix_len: usize,
+    /// Modeled expected FPR.
+    pub expected_fpr: f64,
+}
+
+impl OnePbfModel {
+    /// Scan the sample queries once, accumulating probe-count bins for every
+    /// prefix length.
+    pub fn build(keys: &KeySet, samples: &SampleQueries) -> Self {
+        let bits = keys.bits();
+        let ctxs = extract_contexts(keys, samples);
+        let mut bins: Vec<ProbeBins> = vec![ProbeBins::default(); bits + 1];
+        for (i, (lo, hi)) in samples.iter().enumerate() {
+            let ctx = ctxs[i];
+            let lcp_total = ctx.lcp_total();
+            let mut scan = BitScan::seed(lo, hi, 0);
+            for l in 1..=bits {
+                scan.step(get_bit(lo, l - 1), get_bit(hi, l - 1));
+                if l <= lcp_total {
+                    bins[l].guaranteed += 1;
+                } else {
+                    bins[l].add(scan.regions());
+                }
+            }
+        }
+        OnePbfModel { bins, n_samples: samples.len() as u64, bits }
+    }
+
+    /// Expected FPR (Eq. 1, batched over bins) for prefix length `l` given
+    /// `m_bits` of Bloom memory.
+    pub fn expected_fpr(&self, keys: &KeySet, l: usize, m_bits: u64) -> f64 {
+        let p = standard_bloom_fpr(m_bits, keys.unique_prefixes(l));
+        self.bins[l].expected_fpr(p, self.n_samples)
+    }
+
+    /// Best design over all prefix lengths (ties favor longer prefixes,
+    /// matching Algorithm 1's `≤` comparisons).
+    pub fn best_design(&self, keys: &KeySet, m_bits: u64) -> OnePbfDesign {
+        let mut best = OnePbfDesign { prefix_len: 1, expected_fpr: f64::INFINITY };
+        for l in 1..=self.bits {
+            let fpr = self.expected_fpr(keys, l, m_bits);
+            if fpr <= best.expected_fpr {
+                best = OnePbfDesign { prefix_len: l, expected_fpr: fpr };
+            }
+        }
+        best
+    }
+
+    pub fn n_samples(&self) -> u64 {
+        self.n_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::u64_key;
+
+    fn uniform_keys(n: u64, seed: u64) -> Vec<u64> {
+        // splitmix-based deterministic pseudo-uniform keys
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    /// Build empty uniform range queries against the key set.
+    fn empty_uniform_queries(keys: &KeySet, n: usize, rmax: u64, seed: u64) -> SampleQueries {
+        let mut s = seed;
+        let mut rng = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut out = SampleQueries::new(8);
+        while out.len() < n {
+            let lo = rng() % (u64::MAX - rmax);
+            let hi = lo + 2 + rng() % rmax.max(1);
+            let (lo_k, hi_k) = (u64_key(lo), u64_key(hi));
+            if !keys.range_overlaps(&lo_k, &hi_k) {
+                out.push(&lo_k, &hi_k);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn short_prefixes_probe_few_regions() {
+        let keys = KeySet::from_u64(&uniform_keys(2000, 1));
+        let samples = empty_uniform_queries(&keys, 500, 1 << 10, 7);
+        let model = OnePbfModel::build(&keys, &samples);
+        // At l = 64 - 10, each query spans at most 2 regions; the expected
+        // FPR with generous memory should be near the Bloom point FPR.
+        let m = 2000 * 16;
+        let fpr_coarse = model.expected_fpr(&keys, 54, m);
+        let fpr_full = model.expected_fpr(&keys, 64, m);
+        assert!(fpr_coarse < fpr_full, "coarse {fpr_coarse} vs full {fpr_full}");
+    }
+
+    #[test]
+    fn too_short_prefixes_are_guaranteed_fps() {
+        // With keys uniform over the full 64-bit space, 2000 keys have
+        // lcp(Q,K) around 11+ bits on average — prefix length 1 or 2 is
+        // indistinguishable (every region is occupied).
+        let keys = KeySet::from_u64(&uniform_keys(2000, 3));
+        let samples = empty_uniform_queries(&keys, 300, 1 << 8, 11);
+        let model = OnePbfModel::build(&keys, &samples);
+        let fpr = model.expected_fpr(&keys, 2, 2000 * 16);
+        assert!(fpr > 0.95, "2-bit prefixes should be ~always occupied: {fpr}");
+    }
+
+    #[test]
+    fn best_design_balances_range_and_proximity() {
+        let keys = KeySet::from_u64(&uniform_keys(5000, 5));
+        let samples = empty_uniform_queries(&keys, 500, 1 << 12, 13);
+        let model = OnePbfModel::build(&keys, &samples);
+        let design = model.best_design(&keys, 5000 * 10);
+        // Uniform queries with RMAX 2^12: the classic sweet spot is at or
+        // below 64 - log2(RMAX) = 52 bits (Fig. 4a), well above the
+        // occupied-region cliff.
+        assert!(design.prefix_len <= 53, "chose {}", design.prefix_len);
+        assert!(design.prefix_len >= 12, "chose {}", design.prefix_len);
+        assert!(design.expected_fpr < 0.2, "fpr {}", design.expected_fpr);
+    }
+
+    #[test]
+    fn guaranteed_fraction_is_monotone_in_prefix_len() {
+        let keys = KeySet::from_u64(&uniform_keys(1000, 9));
+        let samples = empty_uniform_queries(&keys, 200, 16, 17);
+        let model = OnePbfModel::build(&keys, &samples);
+        for l in 1..64 {
+            assert!(
+                model.bins[l].guaranteed >= model.bins[l + 1].guaranteed,
+                "guaranteed counts must shrink with longer prefixes"
+            );
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! CPFPR model for Proteus (trie + prefix Bloom filter) — Eq. 5 and
+//! Algorithm 1 of the paper.
+//!
+//! For trie depth `l1` and Bloom prefix length `l2` (`l1 < l2`):
+//!
+//! ```text
+//! P_fp(Q) = 0                         if lcp(Q,K) < l1      (trie resolves)
+//!           1 - (1-p)^(I2|L| + I3|R|) if l1 ≤ lcp(Q,K) < l2 (ends reach BF)
+//!           1                         if l2 ≤ lcp(Q,K)      (indistinguishable)
+//! ```
+//!
+//! where I2/I3 indicate whether the first/last `l1`-region of Q is occupied
+//! by a key, and |L|, |R| are the `l2`-prefix counts inside those regions.
+//! When Q fits inside a single occupied `l1`-region the probe count is
+//! |Q_l2| (the region is shared, not doubled).
+
+use super::{extract_contexts, BitScan, ProbeBins, QueryCtx};
+use crate::key::get_bit;
+use crate::keyset::KeySet;
+use crate::sample::SampleQueries;
+use proteus_amq::standard_bloom_fpr;
+
+/// A Proteus design point: trie depth and Bloom prefix length, in bits.
+/// `l2 == 0` means "no Bloom filter" (trie-only); `l1 == 0` means "no trie"
+/// (pure prefix Bloom filter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProteusDesign {
+    pub trie_depth_bits: usize,
+    pub bloom_prefix_len: usize,
+    pub expected_fpr: f64,
+    /// Estimated trie memory at this design (bits).
+    pub trie_mem_bits: u64,
+}
+
+/// Options controlling the design search.
+#[derive(Debug, Clone)]
+pub struct ProteusModelOptions {
+    /// Evaluate at most this many Bloom prefix lengths per trie depth,
+    /// uniformly spaced (§7.2's coarse search for long keys; 0 = all).
+    pub max_bloom_lengths: usize,
+    /// Parallelize accumulation across trie depths.
+    pub threads: usize,
+}
+
+impl Default for ProteusModelOptions {
+    fn default() -> Self {
+        ProteusModelOptions { max_bloom_lengths: 0, threads: 1 }
+    }
+}
+
+/// Accumulated per-design probe statistics for Proteus.
+#[derive(Debug, Clone)]
+pub struct ProteusModel {
+    /// Trie depth candidates in bits (byte-aligned, ascending, starting at 0).
+    l1_candidates: Vec<usize>,
+    /// Estimated trie memory per candidate.
+    trie_mem: Vec<u64>,
+    /// Queries resolved by the trie alone, per candidate.
+    resolved: Vec<u64>,
+    /// `bins[c][l2]` for candidate `c`; index l2 in bits (0 unused).
+    bins: Vec<Vec<ProbeBins>>,
+    /// Which l2 values were evaluated (per candidate, shared list).
+    l2_values: Vec<usize>,
+    n_samples: u64,
+}
+
+impl ProteusModel {
+    /// Run the modeling pass of Algorithm 1: extract per-query context and
+    /// accumulate probe-count bins for every feasible (l1, l2) design under
+    /// the memory budget `m_bits`.
+    pub fn build(
+        keys: &KeySet,
+        samples: &SampleQueries,
+        m_bits: u64,
+        opts: &ProteusModelOptions,
+    ) -> Self {
+        let bits = keys.bits();
+        // Trie depth candidates: every byte depth whose trie fits the budget
+        // (Algorithm 1 line 6: "for tLen ← 0 such that trieMem(tLen) ≤ m").
+        let mut l1_candidates = vec![0usize];
+        let mut trie_mem = vec![0u64];
+        for d in 1..=keys.width() {
+            let mem = keys.trie_mem_bits(d);
+            if mem <= m_bits {
+                l1_candidates.push(d * 8);
+                trie_mem.push(mem);
+            } else {
+                break;
+            }
+        }
+
+        // Bloom prefix lengths to evaluate (coarse search for long keys).
+        let l2_values: Vec<usize> = if opts.max_bloom_lengths == 0 || opts.max_bloom_lengths >= bits
+        {
+            (1..=bits).collect()
+        } else {
+            let n = opts.max_bloom_lengths;
+            (1..=n).map(|i| (i * bits).div_ceil(n)).collect()
+        };
+
+        let ctxs = extract_contexts(keys, samples);
+        let n_samples = samples.len() as u64;
+
+        let accumulate = |c: usize| -> (u64, Vec<ProbeBins>) {
+            let l1 = l1_candidates[c];
+            let mut resolved = 0u64;
+            let mut bins: Vec<ProbeBins> = vec![ProbeBins::default(); bits + 1];
+            for (i, (lo, hi)) in samples.iter().enumerate() {
+                let ctx = ctxs[i];
+                let lcp_total = ctx.lcp_total();
+                if lcp_total < l1 {
+                    resolved += 1;
+                    continue;
+                }
+                accumulate_query(lo, hi, ctx, l1, bits, &l2_values, &mut bins);
+            }
+            (resolved, bins)
+        };
+
+        let results: Vec<(u64, Vec<ProbeBins>)> = if opts.threads > 1 && l1_candidates.len() > 1 {
+            let mut results: Vec<Option<(u64, Vec<ProbeBins>)>> =
+                (0..l1_candidates.len()).map(|_| None).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots = std::sync::Mutex::new(&mut results);
+            std::thread::scope(|scope| {
+                for _ in 0..opts.threads.min(l1_candidates.len()) {
+                    scope.spawn(|| loop {
+                        let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if c >= l1_candidates.len() {
+                            break;
+                        }
+                        let r = accumulate(c);
+                        slots.lock().unwrap()[c] = Some(r);
+                    });
+                }
+            });
+            results.into_iter().map(|r| r.unwrap()).collect()
+        } else {
+            (0..l1_candidates.len()).map(accumulate).collect()
+        };
+
+        let (resolved, bins) = results.into_iter().unzip();
+        ProteusModel { l1_candidates, trie_mem, resolved, bins, l2_values, n_samples }
+    }
+
+    /// Expected FPR of the design `(l1, l2)` under budget `m_bits`.
+    /// `l2 == 0` evaluates the trie-only design.
+    pub fn expected_fpr(&self, keys: &KeySet, l1: usize, l2: usize, m_bits: u64) -> Option<f64> {
+        let c = self.l1_candidates.iter().position(|&v| v == l1)?;
+        if self.n_samples == 0 {
+            return Some(0.0);
+        }
+        if l2 == 0 {
+            return Some(1.0 - self.resolved[c] as f64 / self.n_samples as f64);
+        }
+        if l2 <= l1 || l2 > keys.bits() {
+            return None;
+        }
+        let bf_bits = m_bits.saturating_sub(self.trie_mem[c]);
+        let p = standard_bloom_fpr(bf_bits, keys.unique_prefixes(l2));
+        // Unconditional probability: queries the trie resolves never reach
+        // the Bloom filter.
+        let bf_fpr = self.bins[c][l2].expected_fpr(p, self.n_samples - self.resolved[c]);
+        Some(bf_fpr * (self.n_samples - self.resolved[c]) as f64 / self.n_samples as f64)
+    }
+
+    /// Algorithm 1's selection loop: the design minimizing expected FPR,
+    /// ties going to later candidates (the paper's `≤` comparisons).
+    pub fn best_design(&self, keys: &KeySet, m_bits: u64) -> ProteusDesign {
+        let mut best = ProteusDesign {
+            trie_depth_bits: 0,
+            bloom_prefix_len: 0,
+            expected_fpr: f64::INFINITY,
+            trie_mem_bits: 0,
+        };
+        for (c, &l1) in self.l1_candidates.iter().enumerate() {
+            // Trie-only design (bLen = 0 in Algorithm 1 line 17).
+            let t_fpr = self.expected_fpr(keys, l1, 0, m_bits).unwrap();
+            if t_fpr <= best.expected_fpr {
+                best = ProteusDesign {
+                    trie_depth_bits: l1,
+                    bloom_prefix_len: 0,
+                    expected_fpr: t_fpr,
+                    trie_mem_bits: self.trie_mem[c],
+                };
+            }
+            if self.trie_mem[c] >= m_bits {
+                continue;
+            }
+            for &l2 in &self.l2_values {
+                if l2 <= l1 {
+                    continue;
+                }
+                let fpr = self.expected_fpr(keys, l1, l2, m_bits).unwrap();
+                if fpr <= best.expected_fpr {
+                    best = ProteusDesign {
+                        trie_depth_bits: l1,
+                        bloom_prefix_len: l2,
+                        expected_fpr: fpr,
+                        trie_mem_bits: self.trie_mem[c],
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// §9's "higher order optimization" extension: select the design
+    /// minimizing `FPR + probe_cost_weight · E[Bloom probes per query]`,
+    /// trading a little FPR for fewer hash probes (CPU). With weight 0 this
+    /// is exactly [`ProteusModel::best_design`]; §6.3's observation that
+    /// Rosetta's low-FPR/high-CPU designs can *increase* end-to-end latency
+    /// is the motivation.
+    pub fn best_design_latency_aware(
+        &self,
+        keys: &KeySet,
+        m_bits: u64,
+        probe_cost_weight: f64,
+    ) -> ProteusDesign {
+        let mut best = ProteusDesign {
+            trie_depth_bits: 0,
+            bloom_prefix_len: 0,
+            expected_fpr: f64::INFINITY,
+            trie_mem_bits: 0,
+        };
+        let mut best_score = f64::INFINITY;
+        for (c, &l1) in self.l1_candidates.iter().enumerate() {
+            let t_fpr = self.expected_fpr(keys, l1, 0, m_bits).unwrap();
+            if t_fpr <= best_score {
+                best_score = t_fpr; // trie-only designs probe nothing
+                best = ProteusDesign {
+                    trie_depth_bits: l1,
+                    bloom_prefix_len: 0,
+                    expected_fpr: t_fpr,
+                    trie_mem_bits: self.trie_mem[c],
+                };
+            }
+            if self.trie_mem[c] >= m_bits {
+                continue;
+            }
+            for &l2 in &self.l2_values {
+                if l2 <= l1 {
+                    continue;
+                }
+                let fpr = self.expected_fpr(keys, l1, l2, m_bits).unwrap();
+                let probes = self.expected_probes(c, l2);
+                let score = fpr + probe_cost_weight * probes;
+                if score <= best_score {
+                    best_score = score;
+                    best = ProteusDesign {
+                        trie_depth_bits: l1,
+                        bloom_prefix_len: l2,
+                        expected_fpr: fpr,
+                        trie_mem_bits: self.trie_mem[c],
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean Bloom probes per sample query at design (candidate c, l2).
+    fn expected_probes(&self, c: usize, l2: usize) -> f64 {
+        if self.n_samples == 0 {
+            return 0.0;
+        }
+        self.bins[c][l2].mean_probes(self.n_samples)
+    }
+
+    pub fn l1_candidates(&self) -> &[usize] {
+        &self.l1_candidates
+    }
+
+    pub fn l2_values(&self) -> &[usize] {
+        &self.l2_values
+    }
+
+    pub fn trie_mem_for(&self, l1: usize) -> Option<u64> {
+        self.l1_candidates.iter().position(|&v| v == l1).map(|c| self.trie_mem[c])
+    }
+}
+
+/// Accumulate one non-resolved query into the per-l2 bins of trie depth
+/// `l1`: the Eq. 5 probe counts as the Bloom prefix length sweeps upward.
+fn accumulate_query(
+    lo: &[u8],
+    hi: &[u8],
+    ctx: QueryCtx,
+    l1: usize,
+    bits: usize,
+    l2_values: &[usize],
+    bins: &mut [ProbeBins],
+) {
+    let lcp_total = ctx.lcp_total();
+    let first_occ = ctx.first_occupied(l1);
+    let last_occ = ctx.last_occupied(l1);
+    let single = ctx.single_region(l1);
+    let mut scan = BitScan::seed(lo, hi, l1);
+    let mut vi = 0usize;
+    while vi < l2_values.len() && l2_values[vi] <= l1 {
+        vi += 1;
+    }
+    if vi >= l2_values.len() {
+        return;
+    }
+    for l2 in l1 + 1..=bits {
+        scan.step(get_bit(lo, l2 - 1), get_bit(hi, l2 - 1));
+        if l2_values[vi] != l2 {
+            continue;
+        }
+        vi += 1;
+        if l2 <= lcp_total {
+            bins[l2].guaranteed += 1;
+        } else {
+            let probes = if single {
+                // Both query ends share the (occupied) l1-region.
+                scan.regions()
+            } else {
+                let mut n = 0u64;
+                if first_occ {
+                    n += scan.left_count();
+                }
+                if last_occ {
+                    n += scan.right_count();
+                }
+                n
+            };
+            bins[l2].add(probes);
+        }
+        if vi >= l2_values.len() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::u64_key;
+
+    fn splitmix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn normal_keys(n: usize, seed: u64) -> Vec<u64> {
+        // Clustered keys (top 24 bits constant) so short tries are cheap.
+        let mut s = seed;
+        (0..n).map(|_| (0xABu64 << 56) | (splitmix(&mut s) >> 24)).collect()
+    }
+
+    fn correlated_queries(keys: &[u64], ks: &KeySet, n: usize, corr: u64, seed: u64) -> SampleQueries {
+        let mut s = seed;
+        let mut out = SampleQueries::new(8);
+        while out.len() < n {
+            let k = keys[(splitmix(&mut s) % keys.len() as u64) as usize];
+            let lo = k + 1 + splitmix(&mut s) % corr;
+            let hi = lo + splitmix(&mut s) % 16;
+            let (l, h) = (u64_key(lo), u64_key(hi));
+            if !ks.range_overlaps(&l, &h) {
+                out.push(&l, &h);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn trie_resolves_distant_queries() {
+        let raw = normal_keys(2000, 1);
+        let keys = KeySet::from_u64(&raw);
+        // Queries far from keys: different top byte.
+        let mut samples = SampleQueries::new(8);
+        let mut s = 5u64;
+        for _ in 0..200 {
+            let lo = splitmix(&mut s) % (1u64 << 50);
+            samples.push(&u64_key(lo), &u64_key(lo + 100));
+        }
+        samples.retain_empty(&keys);
+        let model =
+            ProteusModel::build(&keys, &samples, 2000 * 10, &ProteusModelOptions::default());
+        // An 8-bit (1-byte) trie distinguishes the 0xAB.. cluster from the
+        // low key space: everything resolves.
+        let fpr = model.expected_fpr(&keys, 8, 0, 2000 * 10).unwrap();
+        assert!(fpr < 0.01, "trie-only fpr {fpr}");
+        // No trie, no Bloom prefix: not a valid design; l1=0,l2=0 -> fpr 1.
+        let fpr0 = model.expected_fpr(&keys, 0, 0, 2000 * 10).unwrap();
+        assert!(fpr0 > 0.99);
+    }
+
+    #[test]
+    fn correlated_queries_need_the_bloom_filter() {
+        let raw = normal_keys(3000, 2);
+        let keys = KeySet::from_u64(&raw);
+        let samples = correlated_queries(&raw, &keys, 500, 1 << 10, 77);
+        let m = 3000 * 12;
+        let model = ProteusModel::build(&keys, &samples, m, &ProteusModelOptions::default());
+        let design = model.best_design(&keys, m);
+        // Correlated queries pass any affordable trie; a Bloom filter must
+        // be part of the design and its prefix must reach past the
+        // correlation distance.
+        assert!(design.bloom_prefix_len > 0, "design {design:?}");
+        assert!(design.expected_fpr < 0.5, "design {design:?}");
+        let trie_only = model.expected_fpr(&keys, design.trie_depth_bits, 0, m).unwrap();
+        assert!(design.expected_fpr < trie_only);
+    }
+
+    #[test]
+    fn deeper_tries_resolve_more() {
+        let raw = normal_keys(2000, 3);
+        let keys = KeySet::from_u64(&raw);
+        let samples = correlated_queries(&raw, &keys, 300, 1 << 20, 99);
+        let model =
+            ProteusModel::build(&keys, &samples, 1 << 24, &ProteusModelOptions::default());
+        let mut last = 0u64;
+        for (c, _) in model.l1_candidates.iter().enumerate() {
+            assert!(model.resolved[c] >= last, "resolution monotone in depth");
+            last = model.resolved[c];
+        }
+    }
+
+    #[test]
+    fn coarse_search_subsamples_l2() {
+        let raw = normal_keys(500, 4);
+        let keys = KeySet::from_u64(&raw);
+        let samples = correlated_queries(&raw, &keys, 100, 256, 5);
+        let opts = ProteusModelOptions { max_bloom_lengths: 16, threads: 1 };
+        let model = ProteusModel::build(&keys, &samples, 500 * 10, &opts);
+        assert_eq!(model.l2_values().len(), 16);
+        assert_eq!(*model.l2_values().last().unwrap(), 64);
+        let design = model.best_design(&keys, 500 * 10);
+        assert!(design.expected_fpr.is_finite());
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let raw = normal_keys(1000, 6);
+        let keys = KeySet::from_u64(&raw);
+        let samples = correlated_queries(&raw, &keys, 200, 1 << 8, 15);
+        let m = 1000 * 14;
+        let a = ProteusModel::build(&keys, &samples, m, &ProteusModelOptions::default());
+        let b = ProteusModel::build(
+            &keys,
+            &samples,
+            m,
+            &ProteusModelOptions { threads: 4, ..Default::default() },
+        );
+        let da = a.best_design(&keys, m);
+        let db = b.best_design(&keys, m);
+        assert_eq!(da.trie_depth_bits, db.trie_depth_bits);
+        assert_eq!(da.bloom_prefix_len, db.bloom_prefix_len);
+        assert!((da.expected_fpr - db.expected_fpr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_aware_objective_trades_probes_for_fpr() {
+        let raw = normal_keys(2000, 12);
+        let keys = KeySet::from_u64(&raw);
+        // Large-range queries: low-FPR designs use long prefixes with many
+        // probes; a probe penalty should push toward shorter prefixes.
+        let samples = correlated_queries(&raw, &keys, 300, 1 << 16, 31);
+        let m = 2000 * 12;
+        let model = ProteusModel::build(&keys, &samples, m, &ProteusModelOptions::default());
+        let plain = model.best_design_latency_aware(&keys, m, 0.0);
+        let base = model.best_design(&keys, m);
+        assert_eq!(
+            (plain.trie_depth_bits, plain.bloom_prefix_len),
+            (base.trie_depth_bits, base.bloom_prefix_len),
+            "zero weight must match the FPR-only objective"
+        );
+        let heavy = model.best_design_latency_aware(&keys, m, 0.05);
+        // The penalized objective never picks a design with more expected
+        // probes at equal-or-worse FPR than the plain one.
+        assert!(heavy.expected_fpr >= plain.expected_fpr - 1e-12);
+        if heavy.bloom_prefix_len > 0 && plain.bloom_prefix_len > 0 {
+            assert!(
+                heavy.bloom_prefix_len <= plain.bloom_prefix_len,
+                "probe penalty should not lengthen prefixes: {plain:?} -> {heavy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn design_respects_memory_budget() {
+        let raw = normal_keys(2000, 8);
+        let keys = KeySet::from_u64(&raw);
+        let samples = correlated_queries(&raw, &keys, 200, 1 << 8, 25);
+        for bpk in [6u64, 10, 18] {
+            let m = 2000 * bpk;
+            let model = ProteusModel::build(&keys, &samples, m, &ProteusModelOptions::default());
+            let design = model.best_design(&keys, m);
+            assert!(design.trie_mem_bits <= m, "bpk {bpk}: {design:?}");
+        }
+    }
+}

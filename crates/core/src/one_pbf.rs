@@ -1,0 +1,164 @@
+//! 1PBF: a single self-designing prefix Bloom filter (§4, Eq. 1).
+//!
+//! The simplest Protean Range Filter: one prefix Bloom filter whose prefix
+//! length is chosen by the CPFPR model.
+
+use crate::key::u64_key;
+use crate::keyset::KeySet;
+use crate::model::one_pbf::{OnePbfDesign, OnePbfModel};
+use crate::prefix_bf::PrefixBloom;
+use crate::sample::SampleQueries;
+use crate::RangeFilter;
+use proteus_amq::hash::HashFamily;
+
+/// Construction options for [`OnePbf`].
+#[derive(Debug, Clone)]
+pub struct OnePbfOptions {
+    pub hash_family: HashFamily,
+    pub probe_cap: u64,
+    pub seed: u32,
+}
+
+impl Default for OnePbfOptions {
+    fn default() -> Self {
+        OnePbfOptions {
+            hash_family: HashFamily::Murmur3,
+            probe_cap: crate::proteus::DEFAULT_PROBE_CAP,
+            seed: 0x0B5E_55ED,
+        }
+    }
+}
+
+/// A single prefix Bloom filter with model-selected prefix length.
+#[derive(Debug, Clone)]
+pub struct OnePbf {
+    bloom: PrefixBloom,
+    design: OnePbfDesign,
+    width: usize,
+    probe_cap: u64,
+}
+
+impl OnePbf {
+    /// Self-design: pick the prefix length minimizing modeled FPR.
+    pub fn train(keys: &KeySet, samples: &SampleQueries, m_bits: u64, opts: &OnePbfOptions) -> Self {
+        let model = OnePbfModel::build(keys, samples);
+        let design = model.best_design(keys, m_bits);
+        Self::build_with_prefix_len(keys, design, m_bits, opts)
+    }
+
+    /// Build with an explicit design (Fig. 4a sweeps the whole space).
+    pub fn build_with_prefix_len(
+        keys: &KeySet,
+        design: OnePbfDesign,
+        m_bits: u64,
+        opts: &OnePbfOptions,
+    ) -> Self {
+        let bloom = PrefixBloom::build(keys, design.prefix_len, m_bits, opts.hash_family, opts.seed);
+        OnePbf { bloom, design, width: keys.width(), probe_cap: opts.probe_cap }
+    }
+
+    pub fn design(&self) -> OnePbfDesign {
+        self.design
+    }
+
+    pub fn query(&self, lo: &[u8], hi: &[u8]) -> bool {
+        let mut budget = self.probe_cap;
+        self.bloom.query_window(lo, hi, &mut budget)
+    }
+
+    pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
+        self.query(&u64_key(lo), &u64_key(hi))
+    }
+
+    pub fn size_bits(&self) -> u64 {
+        self.bloom.size_bits()
+    }
+}
+
+impl RangeFilter for OnePbf {
+    fn may_contain_range(&self, lo: &[u8], hi: &[u8]) -> bool {
+        debug_assert_eq!(lo.len(), self.width);
+        self.query(lo, hi)
+    }
+    fn size_bits(&self) -> u64 {
+        self.size_bits()
+    }
+    fn name(&self) -> String {
+        format!("1PBF(l={})", self.design.prefix_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn setup(n: usize, rmax: u64) -> (Vec<u64>, KeySet, SampleQueries) {
+        let mut s = 11u64;
+        let keys: Vec<u64> = (0..n).map(|_| splitmix(&mut s)).collect();
+        let ks = KeySet::from_u64(&keys);
+        let mut q = SampleQueries::new(8);
+        while q.len() < 400 {
+            let lo = splitmix(&mut s) % (u64::MAX - rmax - 2);
+            let hi = lo + 2 + splitmix(&mut s) % rmax;
+            if !ks.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+                q.push(&u64_key(lo), &u64_key(hi));
+            }
+        }
+        (keys, ks, q)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let (keys, ks, samples) = setup(2000, 1 << 10);
+        let f = OnePbf::train(&ks, &samples, 2000 * 12, &OnePbfOptions::default());
+        for &k in keys.iter().step_by(13) {
+            assert!(f.query_u64(k, k));
+            assert!(f.query_u64(k.saturating_sub(5), k.saturating_add(5)));
+        }
+    }
+
+    #[test]
+    fn trained_prefix_respects_range_size() {
+        let (_, ks, samples) = setup(3000, 1 << 16);
+        let f = OnePbf::train(&ks, &samples, 3000 * 12, &OnePbfOptions::default());
+        // For RMAX = 2^16 the optimum sits at or below 64 - 16 = 48 bits
+        // (Fig. 4a): longer prefixes multiply probes per query.
+        assert!(f.design().prefix_len <= 49, "{:?}", f.design());
+    }
+
+    #[test]
+    fn observed_fpr_near_model() {
+        let (_, ks, samples) = setup(3000, 1 << 8);
+        let m = 3000 * 14;
+        let f = OnePbf::train(&ks, &samples, m, &OnePbfOptions::default());
+        let mut s = 999u64;
+        let mut fps = 0usize;
+        let trials = 3000usize;
+        let mut done = 0usize;
+        while done < trials {
+            let lo = splitmix(&mut s) % (u64::MAX - (1 << 8) - 2);
+            let hi = lo + 2 + splitmix(&mut s) % (1 << 8);
+            if ks.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+                continue;
+            }
+            done += 1;
+            if f.query_u64(lo, hi) {
+                fps += 1;
+            }
+        }
+        let observed = fps as f64 / trials as f64;
+        let predicted = f.design().expected_fpr;
+        assert!(
+            (observed - predicted).abs() < 0.05 + predicted,
+            "observed {observed} predicted {predicted}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! A prefix Bloom filter: a Bloom filter over the `l`-bit prefixes of the
+//! key set, with range queries that probe every `l`-bit region overlapping
+//! the query window (§2.1, §3.1).
+
+use crate::key::{increment_prefix, lcp_bits, mask_tail};
+use crate::keyset::KeySet;
+use proteus_amq::hash::{HashFamily, PrefixHasher};
+use proteus_amq::BloomFilter;
+
+/// Bloom filter over fixed-length key prefixes.
+#[derive(Debug, Clone)]
+pub struct PrefixBloom {
+    bloom: BloomFilter,
+    hasher: PrefixHasher,
+    /// Prefix length in bits.
+    prefix_len: usize,
+    /// Canonical key width in bytes.
+    width: usize,
+}
+
+impl PrefixBloom {
+    /// Build over the distinct `prefix_len`-bit prefixes of `keys`, using
+    /// `m_bits` of memory. The expected insertion count (which fixes the
+    /// hash count) is |K_prefix_len|, computed exactly from the sorted keys.
+    pub fn build(keys: &KeySet, prefix_len: usize, m_bits: u64, family: HashFamily, seed: u32) -> Self {
+        assert!(prefix_len >= 1 && prefix_len <= keys.bits());
+        let n = keys.unique_prefixes(prefix_len);
+        let mut bloom = BloomFilter::new(m_bits, n);
+        let hasher = PrefixHasher::new(family, seed);
+        // Insert each distinct prefix once: a key starts a new prefix iff it
+        // shares fewer than `prefix_len` bits with its predecessor.
+        let mut prev: Option<&[u8]> = None;
+        for key in keys.iter() {
+            let fresh = match prev {
+                None => true,
+                Some(p) => lcp_bits(p, key) < prefix_len,
+            };
+            if fresh {
+                bloom.insert(hasher.hash_prefix(key, prefix_len as u32));
+            }
+            prev = Some(key);
+        }
+        PrefixBloom { bloom, hasher, prefix_len, width: keys.width() }
+    }
+
+    /// Prefix length in bits.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    pub fn size_bits(&self) -> u64 {
+        self.bloom.size_bits()
+    }
+
+    /// Probe the single prefix of `key`.
+    #[inline]
+    pub fn contains_prefix_of(&self, key: &[u8]) -> bool {
+        self.bloom.contains(self.hasher.hash_prefix(key, self.prefix_len as u32))
+    }
+
+    /// Probe every `prefix_len`-bit region overlapping the closed window
+    /// `[from, to]` (full-width canonical bounds). Returns `true` on the
+    /// first positive probe. `budget` is decremented per probe; when it
+    /// reaches zero the filter conservatively answers `true` (never a false
+    /// negative) — the probe cap discussed in DESIGN.md.
+    pub fn query_window(&self, from: &[u8], to: &[u8], budget: &mut u64) -> bool {
+        debug_assert_eq!(from.len(), self.width);
+        debug_assert_eq!(to.len(), self.width);
+        debug_assert!(from <= to);
+        let mut cur = from.to_vec();
+        mask_tail(&mut cur, self.prefix_len);
+        let mut end = to.to_vec();
+        mask_tail(&mut end, self.prefix_len);
+        loop {
+            if *budget == 0 {
+                return true;
+            }
+            *budget -= 1;
+            if self.bloom.contains(self.hasher.hash_prefix(&cur, self.prefix_len as u32)) {
+                return true;
+            }
+            if cur == end || increment_prefix(&mut cur, self.prefix_len) {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::u64_key;
+
+    fn build_u64(keys: &[u64], l: usize, bpk: u64) -> (KeySet, PrefixBloom) {
+        let ks = KeySet::from_u64(keys);
+        let m = ks.len() as u64 * bpk;
+        let pb = PrefixBloom::build(&ks, l, m, HashFamily::Murmur3, 1);
+        (ks, pb)
+    }
+
+    #[test]
+    fn no_false_negatives_for_members() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 7_919_777).collect();
+        for l in [8usize, 24, 48, 64] {
+            let (_, pb) = build_u64(&keys, l, 16);
+            for &k in &keys {
+                assert!(pb.contains_prefix_of(&u64_key(k)), "l={l} key={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_probe_finds_members() {
+        let keys: Vec<u64> = vec![1 << 40, 5 << 40, 9 << 40];
+        let (_, pb) = build_u64(&keys, 64, 16);
+        // A window containing a key must be positive regardless of budget
+        // exhaustion behaviour.
+        let mut budget = u64::MAX;
+        assert!(pb.query_window(&u64_key((1 << 40) - 3), &u64_key((1 << 40) + 3), &mut budget));
+    }
+
+    #[test]
+    fn empty_window_is_mostly_negative() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i << 40).collect();
+        let (_, pb) = build_u64(&keys, 24, 14);
+        // Windows in the upper half of the space, far from keys: with 24-bit
+        // prefixes the probes hit empty regions.
+        let mut fps = 0;
+        for i in 0..500u64 {
+            let lo = (1 << 63) + i * (1 << 30);
+            let mut budget = 1 << 20;
+            if pb.query_window(&u64_key(lo), &u64_key(lo + (1 << 29)), &mut budget) {
+                fps += 1;
+            }
+        }
+        assert!(fps < 50, "{fps}/500 false positives");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_safe_positive() {
+        let keys: Vec<u64> = vec![42];
+        let (_, pb) = build_u64(&keys, 64, 16);
+        let mut budget = 4;
+        // Query spanning far more than 4 regions with no keys: budget runs
+        // out -> positive.
+        assert!(pb.query_window(&u64_key(1 << 20), &u64_key(1 << 40), &mut budget));
+        assert_eq!(budget, 0);
+    }
+
+    #[test]
+    fn window_iteration_counts_regions() {
+        let keys: Vec<u64> = vec![u64::MAX]; // keep the filter non-empty
+        let (_, pb) = build_u64(&keys, 8, 1 << 12);
+        // Window spanning exactly 3 8-bit regions: 3 probes.
+        let mut budget = 100;
+        let r = pb.query_window(
+            &u64_key(0x01_00_00_00_00_00_00_00),
+            &u64_key(0x03_FF_FF_FF_FF_FF_FF_FF),
+            &mut budget,
+        );
+        assert!(!r);
+        assert_eq!(budget, 97);
+    }
+
+    #[test]
+    fn prefix_insert_dedupes() {
+        // 1000 keys sharing 8 distinct top bytes: at l = 8 only 8 inserts.
+        let keys: Vec<u64> = (0..1000u64).map(|i| ((i % 8) << 56) | i).collect();
+        let ks = KeySet::from_u64(&keys);
+        let pb = PrefixBloom::build(&ks, 8, 1 << 16, HashFamily::Murmur3, 1);
+        // All 8 top-byte regions positive, the rest nearly all negative.
+        let mut pos = 0;
+        for b in 0..=255u64 {
+            let probe = u64_key(b << 56);
+            if pb.contains_prefix_of(&probe) {
+                pos += 1;
+            }
+        }
+        assert!(pos >= 8 && pos < 20, "{pos} positive top bytes");
+    }
+}

@@ -1,0 +1,316 @@
+//! The Proteus self-designing range filter (§4).
+//!
+//! Proteus combines a uniform-depth succinct trie (depth `l1` bits) with a
+//! prefix Bloom filter (prefix length `l2 > l1` bits). Construction feeds a
+//! sample of empty queries through the CPFPR model (Algorithm 1) to choose
+//! `(l1, l2)`; either component may be dropped entirely, so the filter can
+//! be purely deterministic or purely probabilistic as the workload demands.
+
+use crate::key::{mask_tail, pad_key, set_tail_ones, u64_key};
+use crate::keyset::KeySet;
+use crate::model::proteus::{ProteusDesign, ProteusModel, ProteusModelOptions};
+use crate::prefix_bf::PrefixBloom;
+use crate::sample::SampleQueries;
+use crate::trie::ProteusTrie;
+use crate::RangeFilter;
+use proteus_amq::hash::HashFamily;
+use proteus_succinct::Visit;
+
+/// Default per-query Bloom probe cap (see DESIGN.md: past this the modeled
+/// FPR is ≈ 1 anyway, so the safe positive is indistinguishable).
+pub const DEFAULT_PROBE_CAP: u64 = 65_536;
+
+/// Construction options for [`Proteus`].
+#[derive(Debug, Clone)]
+pub struct ProteusOptions {
+    /// Hash family for the prefix Bloom filter (Murmur3 for integers,
+    /// CLHash for strings, per §4.3/§7.1).
+    pub hash_family: HashFamily,
+    /// Per-query probe budget.
+    pub probe_cap: u64,
+    /// CPFPR search options (coarse l2 grid, threads).
+    pub model: ProteusModelOptions,
+    /// Hash seed (fixed for reproducibility).
+    pub seed: u32,
+}
+
+impl Default for ProteusOptions {
+    fn default() -> Self {
+        ProteusOptions {
+            hash_family: HashFamily::Murmur3,
+            probe_cap: DEFAULT_PROBE_CAP,
+            model: ProteusModelOptions::default(),
+            seed: 0x1CEB_00DA,
+        }
+    }
+}
+
+/// The Proteus range filter.
+#[derive(Debug, Clone)]
+pub struct Proteus {
+    trie: Option<ProteusTrie>,
+    bloom: Option<PrefixBloom>,
+    design: ProteusDesign,
+    width: usize,
+    probe_cap: u64,
+}
+
+impl Proteus {
+    /// Self-design and build: run the CPFPR model over `samples` and
+    /// instantiate the best design within `m_bits` of memory (Algorithm 1
+    /// followed by construction). Samples must be empty queries; use
+    /// [`SampleQueries::retain_empty`] first if unsure.
+    pub fn train(keys: &KeySet, samples: &SampleQueries, m_bits: u64, opts: &ProteusOptions) -> Self {
+        let model = ProteusModel::build(keys, samples, m_bits, &opts.model);
+        let design = model.best_design(keys, m_bits);
+        Self::build_with_design(keys, design, m_bits, opts)
+    }
+
+    /// Build a fixed design (used by the model-validation experiments that
+    /// sweep the whole design space, Fig. 4c).
+    pub fn build_with_design(
+        keys: &KeySet,
+        design: ProteusDesign,
+        m_bits: u64,
+        opts: &ProteusOptions,
+    ) -> Self {
+        let l1 = design.trie_depth_bits;
+        let l2 = design.bloom_prefix_len;
+        debug_assert!(l1 % 8 == 0, "trie depths are byte-granular");
+        let trie = (l1 > 0 && !keys.is_empty()).then(|| ProteusTrie::build(keys, l1 / 8));
+        let trie_bits = trie.as_ref().map_or(0, |t| t.size_bits());
+        let bloom = (l2 > 0 && !keys.is_empty()).then(|| {
+            let bf_bits = m_bits.saturating_sub(trie_bits);
+            PrefixBloom::build(keys, l2, bf_bits, opts.hash_family, opts.seed)
+        });
+        Proteus { trie, bloom, design, width: keys.width(), probe_cap: opts.probe_cap }
+    }
+
+    /// The design the model selected.
+    pub fn design(&self) -> ProteusDesign {
+        self.design
+    }
+
+    /// Canonical key width in bytes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Closed-range emptiness query over canonical keys.
+    pub fn query(&self, lo: &[u8], hi: &[u8]) -> bool {
+        debug_assert_eq!(lo.len(), self.width);
+        debug_assert_eq!(hi.len(), self.width);
+        debug_assert!(lo <= hi);
+        let mut budget = self.probe_cap;
+        match (&self.trie, &self.bloom) {
+            (None, None) => true, // no structure: must answer positive
+            (Some(trie), None) => trie.overlaps(lo, hi),
+            (None, Some(bloom)) => bloom.query_window(lo, hi, &mut budget),
+            (Some(trie), Some(bloom)) => {
+                let d = trie.depth_bytes();
+                let mut from = vec![0u8; self.width];
+                let mut to = vec![0u8; self.width];
+                trie.visit_leaves(lo, hi, |leaf| {
+                    // Clamp the Bloom probe window to the intersection of Q
+                    // with this leaf's l1-region.
+                    if leaf == &lo[..d] {
+                        from.copy_from_slice(lo);
+                    } else {
+                        from[..d].copy_from_slice(leaf);
+                        mask_tail(&mut from, d * 8);
+                    }
+                    if leaf == &hi[..d] {
+                        to.copy_from_slice(hi);
+                    } else {
+                        to[..d].copy_from_slice(leaf);
+                        set_tail_ones(&mut to, d * 8);
+                    }
+                    if bloom.query_window(&from, &to, &mut budget) {
+                        Visit::Stop
+                    } else {
+                        Visit::Continue
+                    }
+                })
+            }
+        }
+    }
+
+    /// Convenience: query over `u64` bounds (closed interval).
+    pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
+        self.query(&u64_key(lo), &u64_key(hi))
+    }
+
+    /// Convenience: query over raw (unpadded) string bounds.
+    pub fn query_str(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.query(&pad_key(lo, self.width), &pad_key(hi, self.width))
+    }
+
+    /// Total memory of trie + Bloom filter in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.trie.as_ref().map_or(0, |t| t.size_bits())
+            + self.bloom.as_ref().map_or(0, |b| b.size_bits())
+    }
+}
+
+impl RangeFilter for Proteus {
+    fn may_contain_range(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.query(lo, hi)
+    }
+    fn size_bits(&self) -> u64 {
+        self.size_bits()
+    }
+    fn name(&self) -> String {
+        format!(
+            "Proteus(l1={}, l2={})",
+            self.design.trie_depth_bits, self.design.bloom_prefix_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed;
+        (0..n).map(|_| splitmix(&mut s)).collect()
+    }
+
+    fn empty_queries(ks: &KeySet, n: usize, rmax: u64, seed: u64) -> SampleQueries {
+        let mut s = seed;
+        let mut q = SampleQueries::new(8);
+        while q.len() < n {
+            let lo = splitmix(&mut s) % (u64::MAX - rmax - 2);
+            let hi = lo + 2 + splitmix(&mut s) % rmax;
+            if !ks.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+                q.push(&u64_key(lo), &u64_key(hi));
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn no_false_negatives_across_designs() {
+        let raw = uniform_keys(2000, 1);
+        let ks = KeySet::from_u64(&raw);
+        let m = 2000 * 12;
+        let opts = ProteusOptions::default();
+        let designs = [
+            (0usize, 64usize),
+            (0, 40),
+            (16, 48),
+            (16, 0),
+            (24, 64),
+        ];
+        for (l1, l2) in designs {
+            if l1 > 0 && ks.trie_mem_bits(l1 / 8) > m {
+                continue;
+            }
+            let design = ProteusDesign {
+                trie_depth_bits: l1,
+                bloom_prefix_len: l2,
+                expected_fpr: 0.0,
+                trie_mem_bits: 0,
+            };
+            let f = Proteus::build_with_design(&ks, design, m, &opts);
+            for &k in raw.iter().step_by(7) {
+                assert!(f.query_u64(k, k), "point fn for {k} at ({l1},{l2})");
+                assert!(
+                    f.query_u64(k.saturating_sub(10), k.saturating_add(10)),
+                    "range fn for {k} at ({l1},{l2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trained_filter_beats_mistuned_designs() {
+        let raw = uniform_keys(3000, 2);
+        let ks = KeySet::from_u64(&raw);
+        let m = 3000 * 12;
+        let samples = empty_queries(&ks, 2000, 1 << 14, 3);
+        let f = Proteus::train(&ks, &samples, m, &ProteusOptions::default());
+
+        let eval = |filter: &Proteus| -> f64 {
+            let queries = empty_queries(&ks, 2000, 1 << 14, 99);
+            let fps =
+                queries.iter().filter(|(lo, hi)| filter.may_contain_range(lo, hi)).count();
+            fps as f64 / queries.len() as f64
+        };
+        let trained_fpr = eval(&f);
+        // A deliberately bad design for large ranges: full-length prefixes.
+        let bad = Proteus::build_with_design(
+            &ks,
+            ProteusDesign {
+                trie_depth_bits: 0,
+                bloom_prefix_len: 64,
+                expected_fpr: 0.0,
+                trie_mem_bits: 0,
+            },
+            m,
+            &ProteusOptions { probe_cap: 1 << 16, ..Default::default() },
+        );
+        let bad_fpr = eval(&bad);
+        assert!(
+            trained_fpr < bad_fpr * 0.8 || trained_fpr < 0.01,
+            "trained {trained_fpr} vs bad {bad_fpr}"
+        );
+        // Model prediction should be in the neighborhood of reality.
+        let predicted = f.design().expected_fpr;
+        assert!(
+            (trained_fpr - predicted).abs() < 0.1,
+            "predicted {predicted} observed {trained_fpr}"
+        );
+    }
+
+    #[test]
+    fn memory_budget_respected() {
+        let raw = uniform_keys(5000, 4);
+        let ks = KeySet::from_u64(&raw);
+        let samples = empty_queries(&ks, 500, 1 << 10, 5);
+        for bpk in [8u64, 12, 18] {
+            let m = 5000 * bpk;
+            let f = Proteus::train(&ks, &samples, m, &ProteusOptions::default());
+            // Allow a few percent of slack for rank-directory rounding.
+            assert!(
+                (f.size_bits() as f64) < m as f64 * 1.10 + 4096.0,
+                "bpk {bpk}: used {} of {m}",
+                f.size_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_keyset_never_matches() {
+        let ks = KeySet::from_u64(&[]);
+        let samples = SampleQueries::from_u64(&[(5, 10)]);
+        let f = Proteus::train(&ks, &samples, 1024, &ProteusOptions::default());
+        assert!(!f.query_u64(0, u64::MAX) || f.size_bits() == 0);
+    }
+
+    #[test]
+    fn string_keys_roundtrip() {
+        let width = 16;
+        let names = [&b"alpha"[..], b"beta", b"gamma", b"delta", b"epsilon"];
+        let ks = KeySet::from_strings(&names, width);
+        let mut samples = SampleQueries::new(width);
+        samples.push(&pad_key(b"zeta", width), &pad_key(b"zeta~~~", width));
+        samples.push(&pad_key(b"aaaa", width), &pad_key(b"aaab", width));
+        let f = Proteus::train(&ks, &samples, 5 * 128, &ProteusOptions {
+            hash_family: HashFamily::ClHash,
+            ..Default::default()
+        });
+        for n in names {
+            assert!(f.query_str(n, n), "{}", String::from_utf8_lossy(n));
+        }
+        assert!(f.query_str(b"alp", b"alz"));
+    }
+}

@@ -1,0 +1,218 @@
+//! 2PBF: a pair of prefix Bloom filters (§3.1, Eq. 4) — "equivalent to an
+//! instance of Rosetta that uses only 2 filters" (§4).
+//!
+//! Range queries walk the coarse (l1) regions of the query; every l1-region
+//! that the first filter cannot rule out is expanded into its l2-prefixes
+//! and probed in the second filter.
+
+use crate::key::{increment_prefix, mask_tail, set_tail_ones, u64_key};
+use crate::keyset::KeySet;
+use crate::model::two_pbf::{TwoPbfDesign, TwoPbfModel, TwoPbfOptions};
+use crate::prefix_bf::PrefixBloom;
+use crate::sample::SampleQueries;
+use crate::RangeFilter;
+use proteus_amq::hash::HashFamily;
+
+/// Construction options for [`TwoPbf`].
+#[derive(Debug, Clone)]
+pub struct TwoPbfFilterOptions {
+    pub hash_family: HashFamily,
+    pub probe_cap: u64,
+    pub seed: u32,
+    /// Model search options (memory splits, coarse l2 grid, threads).
+    pub model: TwoPbfOptions,
+}
+
+impl Default for TwoPbfFilterOptions {
+    fn default() -> Self {
+        TwoPbfFilterOptions {
+            hash_family: HashFamily::Murmur3,
+            probe_cap: crate::proteus::DEFAULT_PROBE_CAP,
+            seed: 0x2B1F_2B1F,
+            model: TwoPbfOptions::default(),
+        }
+    }
+}
+
+/// Two stacked prefix Bloom filters with model-selected prefix lengths and
+/// memory split.
+#[derive(Debug, Clone)]
+pub struct TwoPbf {
+    bf1: PrefixBloom,
+    bf2: PrefixBloom,
+    design: TwoPbfDesign,
+    width: usize,
+    probe_cap: u64,
+}
+
+impl TwoPbf {
+    /// Self-design over the (l1, l2, split) space.
+    pub fn train(
+        keys: &KeySet,
+        samples: &SampleQueries,
+        m_bits: u64,
+        opts: &TwoPbfFilterOptions,
+    ) -> Self {
+        let model = TwoPbfModel::build(keys, samples, m_bits, &opts.model);
+        let design = model.best_design();
+        Self::build_with_design(keys, design, m_bits, opts)
+    }
+
+    /// Build a fixed design (Fig. 4b sweeps the space).
+    pub fn build_with_design(
+        keys: &KeySet,
+        design: TwoPbfDesign,
+        m_bits: u64,
+        opts: &TwoPbfFilterOptions,
+    ) -> Self {
+        let m1 = (m_bits as f64 * design.split) as u64;
+        let m2 = m_bits - m1;
+        let bf1 = PrefixBloom::build(keys, design.l1, m1, opts.hash_family, opts.seed);
+        let bf2 = PrefixBloom::build(keys, design.l2, m2, opts.hash_family, opts.seed ^ 0x9E37);
+        TwoPbf { bf1, bf2, design, width: keys.width(), probe_cap: opts.probe_cap }
+    }
+
+    pub fn design(&self) -> TwoPbfDesign {
+        self.design
+    }
+
+    /// Closed-range emptiness query.
+    pub fn query(&self, lo: &[u8], hi: &[u8]) -> bool {
+        debug_assert!(lo <= hi);
+        let l1 = self.design.l1;
+        let mut budget = self.probe_cap;
+        // Walk the l1-regions of [lo, hi].
+        let mut region = lo.to_vec();
+        mask_tail(&mut region, l1);
+        let mut last_region = hi.to_vec();
+        mask_tail(&mut last_region, l1);
+        let mut from = vec![0u8; self.width];
+        let mut to = vec![0u8; self.width];
+        loop {
+            if budget == 0 {
+                return true;
+            }
+            budget -= 1;
+            if self.bf1.contains_prefix_of(&region) {
+                // Expand into l2 probes clamped to Q.
+                from.copy_from_slice(&region);
+                if from[..] > lo[..] {
+                    // region start is inside Q
+                } else {
+                    from.copy_from_slice(lo);
+                }
+                to.copy_from_slice(&region);
+                set_tail_ones(&mut to, l1);
+                if to[..] > hi[..] {
+                    to.copy_from_slice(hi);
+                }
+                if self.bf2.query_window(&from, &to, &mut budget) {
+                    return true;
+                }
+            }
+            if region == last_region || increment_prefix(&mut region, l1) {
+                return false;
+            }
+        }
+    }
+
+    pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
+        self.query(&u64_key(lo), &u64_key(hi))
+    }
+
+    pub fn size_bits(&self) -> u64 {
+        self.bf1.size_bits() + self.bf2.size_bits()
+    }
+}
+
+impl RangeFilter for TwoPbf {
+    fn may_contain_range(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.query(lo, hi)
+    }
+    fn size_bits(&self) -> u64 {
+        self.size_bits()
+    }
+    fn name(&self) -> String {
+        format!("2PBF(l1={}, l2={}, split={:.1})", self.design.l1, self.design.l2, self.design.split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn setup(n: usize, rmax: u64, seed: u64) -> (Vec<u64>, KeySet, SampleQueries) {
+        let mut s = seed;
+        let keys: Vec<u64> = (0..n).map(|_| splitmix(&mut s)).collect();
+        let ks = KeySet::from_u64(&keys);
+        let mut q = SampleQueries::new(8);
+        while q.len() < 300 {
+            let lo = splitmix(&mut s) % (u64::MAX - rmax - 2);
+            let hi = lo + 2 + splitmix(&mut s) % rmax;
+            if !ks.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+                q.push(&u64_key(lo), &u64_key(hi));
+            }
+        }
+        (keys, ks, q)
+    }
+
+    fn fast_opts() -> TwoPbfFilterOptions {
+        TwoPbfFilterOptions {
+            model: TwoPbfOptions { max_l2_values: 16, threads: 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let (keys, ks, samples) = setup(1500, 1 << 10, 21);
+        let f = TwoPbf::train(&ks, &samples, 1500 * 12, &fast_opts());
+        for &k in keys.iter().step_by(11) {
+            assert!(f.query_u64(k, k), "point {k} design {:?}", f.design());
+            assert!(f.query_u64(k.saturating_sub(20), k.saturating_add(20)));
+        }
+    }
+
+    #[test]
+    fn explicit_design_queries_both_levels() {
+        let (keys, ks, _) = setup(1000, 16, 5);
+        let design = TwoPbfDesign { l1: 24, l2: 56, split: 0.5, expected_fpr: 0.0 };
+        let f = TwoPbf::build_with_design(&ks, design, 1000 * 14, &fast_opts());
+        for &k in keys.iter().step_by(17) {
+            assert!(f.query_u64(k, k));
+        }
+        // Far-away small queries should mostly be negative.
+        let mut s = 404u64;
+        let mut fps = 0;
+        for _ in 0..500 {
+            let lo = splitmix(&mut s);
+            let hi = lo.saturating_add(8);
+            if ks.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+                continue;
+            }
+            if f.query_u64(lo, hi) {
+                fps += 1;
+            }
+        }
+        assert!(fps < 150, "{fps}/500");
+    }
+
+    #[test]
+    fn budget_makes_giant_ranges_safe_positives() {
+        let (_, ks, _) = setup(100, 16, 6);
+        let design = TwoPbfDesign { l1: 60, l2: 64, split: 0.5, expected_fpr: 0.0 };
+        let mut opts = fast_opts();
+        opts.probe_cap = 128;
+        let f = TwoPbf::build_with_design(&ks, design, 100 * 20, &opts);
+        // 2^40-wide query at l1=60 has ~2^36 regions: budget exhausts.
+        assert!(f.query_u64(1 << 20, 1 << 40));
+    }
+}

@@ -1,0 +1,332 @@
+//! ARF — the Adaptive Range Filter (Alexiou, Kossmann, Larson; VLDB 2013),
+//! the §8 related-work baseline: a binary trie over the key domain whose
+//! leaves carry one "may contain keys" bit, trained by escalating (splitting)
+//! on false positives and retracting (merging) least-recently-useful
+//! subtrees to stay within a space budget.
+//!
+//! The paper positions ARF as memory-inefficient and expensive to train
+//! relative to prefix-filter designs ("ARF's encoding strategy limits its
+//! memory efficiency and requires significant time and memory to
+//! pre-train"); this implementation exists so that claim can be reproduced
+//! and measured.
+
+use proteus_core::key::{key_u64, u64_key};
+use proteus_core::{KeySet, RangeFilter};
+
+/// Arena node of the adaptive binary trie over `u64` key space.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Internal node: children indices.
+    Inner { left: u32, right: u32 },
+    /// Leaf: does the covered region possibly contain keys?
+    Leaf { occupied: bool, used: u32 },
+}
+
+/// The Adaptive Range Filter over 64-bit keys.
+#[derive(Debug, Clone)]
+pub struct Arf {
+    nodes: Vec<Node>,
+    /// Logical clock for the LRU replacement of retractions.
+    clock: u32,
+    /// Node budget derived from the bit budget (the VLDB'13 encoding costs
+    /// ~2 bits per node: one shape bit plus one leaf bit amortized).
+    max_nodes: usize,
+}
+
+const ROOT: u32 = 0;
+
+impl Arf {
+    /// Build an ARF for `keys` within `m_bits`, pre-trained on
+    /// `training_queries` (closed, *empty* ranges — exactly the sample
+    /// queries the other filters receive).
+    pub fn train(keys: &KeySet, training_queries: &[(u64, u64)], m_bits: u64) -> Self {
+        assert_eq!(keys.width(), 8, "ARF is defined over u64 keys");
+        let max_nodes = (m_bits / 2).max(8) as usize;
+        let mut arf = Arf {
+            nodes: vec![Node::Leaf { occupied: !keys.is_empty(), used: 0 }],
+            clock: 0,
+            max_nodes,
+        };
+        for &(lo, hi) in training_queries {
+            arf.escalate(keys, lo, hi);
+            // Keep within budget as we go, like the online ARF.
+            while arf.nodes.len() > arf.max_nodes {
+                if !arf.retract_one() {
+                    break;
+                }
+            }
+        }
+        arf
+    }
+
+    /// Number of trie nodes.
+    pub fn node_count(&self) -> usize {
+        // Retractions leave garbage entries in the arena; count reachable.
+        self.count_reachable(ROOT)
+    }
+
+    fn count_reachable(&self, n: u32) -> usize {
+        match self.nodes[n as usize] {
+            Node::Leaf { .. } => 1,
+            Node::Inner { left, right } => {
+                1 + self.count_reachable(left) + self.count_reachable(right)
+            }
+        }
+    }
+
+    /// Teach the filter that `[lo, hi]` is empty: split every intersecting
+    /// occupied leaf until the query region is exactly covered by empty
+    /// leaves (bounded by the true key positions).
+    pub fn escalate(&mut self, keys: &KeySet, lo: u64, hi: u64) {
+        if keys.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+            return; // not an empty query; nothing to learn
+        }
+        self.clock += 1;
+        self.escalate_node(keys, ROOT, 0, u64::MAX, lo, hi, 0);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn escalate_node(
+        &mut self,
+        keys: &KeySet,
+        n: u32,
+        node_lo: u64,
+        node_hi: u64,
+        q_lo: u64,
+        q_hi: u64,
+        depth: u32,
+    ) {
+        if node_hi < q_lo || node_lo > q_hi {
+            return;
+        }
+        match self.nodes[n as usize] {
+            Node::Inner { left, right } => {
+                let mid = node_lo + (node_hi - node_lo) / 2;
+                self.escalate_node(keys, left, node_lo, mid, q_lo, q_hi, depth + 1);
+                self.escalate_node(keys, right, mid + 1, node_hi, q_lo, q_hi, depth + 1);
+            }
+            Node::Leaf { occupied, .. } => {
+                let region_occupied =
+                    keys.range_overlaps(&u64_key(node_lo), &u64_key(node_hi));
+                if !region_occupied {
+                    // The whole leaf region is empty: flip the bit.
+                    self.nodes[n as usize] = Node::Leaf { occupied: false, used: self.clock };
+                    return;
+                }
+                if !occupied {
+                    return; // already resolves the query negatively here
+                }
+                // Occupied leaf overlapping an empty query: split (if depth
+                // remains) and recurse into both halves.
+                if depth >= 63 || node_lo == node_hi {
+                    return; // cannot refine further
+                }
+                let mid = node_lo + (node_hi - node_lo) / 2;
+                let l_occ = keys.range_overlaps(&u64_key(node_lo), &u64_key(mid));
+                let r_occ = keys.range_overlaps(&u64_key(mid + 1), &u64_key(node_hi));
+                let li = self.nodes.len() as u32;
+                self.nodes.push(Node::Leaf { occupied: l_occ, used: self.clock });
+                let ri = self.nodes.len() as u32;
+                self.nodes.push(Node::Leaf { occupied: r_occ, used: self.clock });
+                self.nodes[n as usize] = Node::Inner { left: li, right: ri };
+                self.escalate_node(keys, li, node_lo, mid, q_lo, q_hi, depth + 1);
+                self.escalate_node(keys, ri, mid + 1, node_hi, q_lo, q_hi, depth + 1);
+            }
+        }
+    }
+
+    /// Merge the least-recently-used inner node whose children are both
+    /// leaves. Returns `false` when nothing is mergeable.
+    fn retract_one(&mut self) -> bool {
+        let mut victim: Option<(u32, u32)> = None; // (node, recency)
+        // Find mergeable inner nodes (both children leaves).
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Inner { left, right } = *node {
+                if let (Node::Leaf { used: ul, .. }, Node::Leaf { used: ur, .. }) =
+                    (&self.nodes[left as usize], &self.nodes[right as usize])
+                {
+                    let recency = (*ul).max(*ur);
+                    if victim.map_or(true, |(_, r)| recency < r) {
+                        victim = Some((i as u32, recency));
+                    }
+                }
+            }
+        }
+        let Some((v, _)) = victim else {
+            return false;
+        };
+        if let Node::Inner { left, right } = self.nodes[v as usize] {
+            let occ = matches!(self.nodes[left as usize], Node::Leaf { occupied: true, .. })
+                || matches!(self.nodes[right as usize], Node::Leaf { occupied: true, .. });
+            // Merging loses resolution: the merged leaf must stay occupied
+            // if either half was (no false negatives).
+            self.nodes[v as usize] = Node::Leaf { occupied: occ, used: self.clock };
+            // Arena slots for the children become garbage; reclaimed by
+            // compact() when fragmentation grows.
+            if self.garbage_heavy() {
+                self.compact();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn garbage_heavy(&self) -> bool {
+        self.nodes.len() > 64 && self.count_reachable(ROOT) * 2 < self.nodes.len()
+    }
+
+    /// Rebuild the arena with only reachable nodes.
+    fn compact(&mut self) {
+        let mut new_nodes = Vec::with_capacity(self.count_reachable(ROOT));
+        fn copy(old: &[Node], n: u32, out: &mut Vec<Node>) -> u32 {
+            let idx = out.len() as u32;
+            out.push(old[n as usize].clone());
+            if let Node::Inner { left, right } = old[n as usize] {
+                let li = copy(old, left, out);
+                let ri = copy(old, right, out);
+                out[idx as usize] = Node::Inner { left: li, right: ri };
+            }
+            idx
+        }
+        copy(&self.nodes, ROOT, &mut new_nodes);
+        self.nodes = new_nodes;
+    }
+
+    /// Closed-range emptiness query over `u64` bounds.
+    pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
+        self.query_node(ROOT, 0, u64::MAX, lo, hi)
+    }
+
+    fn query_node(&self, n: u32, node_lo: u64, node_hi: u64, q_lo: u64, q_hi: u64) -> bool {
+        if node_hi < q_lo || node_lo > q_hi {
+            return false;
+        }
+        match self.nodes[n as usize] {
+            Node::Leaf { occupied, .. } => occupied,
+            Node::Inner { left, right } => {
+                let mid = node_lo + (node_hi - node_lo) / 2;
+                self.query_node(left, node_lo, mid, q_lo, q_hi)
+                    || self.query_node(right, mid + 1, node_hi, q_lo, q_hi)
+            }
+        }
+    }
+}
+
+impl RangeFilter for Arf {
+    fn may_contain_range(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.query_u64(key_u64(lo), key_u64(hi))
+    }
+    fn size_bits(&self) -> u64 {
+        // The VLDB'13 succinct encoding: 1 shape bit per node + 1 occupancy
+        // bit per leaf ≈ 1.5 bits per node; we report 2 bits per reachable
+        // node to stay conservative.
+        (self.node_count() * 2) as u64
+    }
+    fn name(&self) -> String {
+        format!("ARF({} nodes)", self.node_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn empty_queries(keys: &KeySet, n: usize, rmax: u64, seed: u64) -> Vec<(u64, u64)> {
+        let mut s = seed;
+        let mut out = Vec::new();
+        while out.len() < n {
+            let lo = splitmix(&mut s) % (u64::MAX - rmax - 1);
+            let hi = lo + splitmix(&mut s) % rmax.max(1);
+            if !keys.range_overlaps(&u64_key(lo), &u64_key(hi)) {
+                out.push((lo, hi));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let mut s = 5u64;
+        let raw: Vec<u64> = (0..500).map(|_| splitmix(&mut s)).collect();
+        let keys = KeySet::from_u64(&raw);
+        let train = empty_queries(&keys, 2_000, 1 << 16, 9);
+        let arf = Arf::train(&keys, &train, 500 * 10);
+        for &k in raw.iter().step_by(7) {
+            assert!(arf.query_u64(k, k), "point {k:#x}");
+            assert!(arf.query_u64(k.saturating_sub(100), k.saturating_add(100)));
+        }
+        assert!(arf.query_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn training_teaches_trained_regions() {
+        let raw: Vec<u64> = (0..100u64).map(|i| i << 40).collect();
+        let keys = KeySet::from_u64(&raw);
+        let train: Vec<(u64, u64)> =
+            (0..99u64).map(|i| ((i << 40) + 1000, (i << 40) + 2000)).collect();
+        let arf = Arf::train(&keys, &train, 100 * 256);
+        // Trained gaps now resolve negative.
+        let mut negs = 0;
+        for &(lo, hi) in &train {
+            negs += !arf.query_u64(lo, hi) as u32;
+        }
+        assert!(negs as usize > train.len() * 8 / 10, "{negs}/{} trained", train.len());
+    }
+
+    #[test]
+    fn untrained_regions_stay_conservative() {
+        let raw: Vec<u64> = vec![1 << 30];
+        let keys = KeySet::from_u64(&raw);
+        let arf = Arf::train(&keys, &[], 1024);
+        // No training: the root is a single occupied leaf.
+        assert!(arf.query_u64(0, 10));
+        assert!(arf.query_u64(1 << 40, 1 << 41));
+    }
+
+    #[test]
+    fn budget_forces_retraction() {
+        let mut s = 3u64;
+        let raw: Vec<u64> = (0..200).map(|_| splitmix(&mut s)).collect();
+        let keys = KeySet::from_u64(&raw);
+        let train = empty_queries(&keys, 5_000, 1 << 10, 4);
+        let tight = Arf::train(&keys, &train, 256); // 128-node budget
+        assert!(tight.node_count() <= 140, "{} nodes", tight.node_count());
+        // Still sound after merging.
+        for &k in raw.iter().step_by(11) {
+            assert!(tight.query_u64(k, k));
+        }
+    }
+
+    #[test]
+    fn escalation_ignores_non_empty_queries() {
+        let raw: Vec<u64> = vec![100, 200];
+        let keys = KeySet::from_u64(&raw);
+        let mut arf = Arf::train(&keys, &[], 1 << 16);
+        let before = arf.node_count();
+        arf.escalate(&keys, 50, 150); // overlaps key 100
+        assert_eq!(arf.node_count(), before, "non-empty query must not train");
+    }
+
+    #[test]
+    fn compaction_preserves_behavior() {
+        let mut s = 9u64;
+        let raw: Vec<u64> = (0..300).map(|_| splitmix(&mut s)).collect();
+        let keys = KeySet::from_u64(&raw);
+        let train = empty_queries(&keys, 3_000, 1 << 12, 5);
+        let mut arf = Arf::train(&keys, &train, 2048);
+        let probe = empty_queries(&keys, 200, 1 << 12, 77);
+        let answers: Vec<bool> = probe.iter().map(|&(l, h)| arf.query_u64(l, h)).collect();
+        arf.compact();
+        let after: Vec<bool> = probe.iter().map(|&(l, h)| arf.query_u64(l, h)).collect();
+        assert_eq!(answers, after);
+    }
+}

@@ -1,0 +1,214 @@
+//! Data block format.
+//!
+//! A block holds a run of `(key, value)` entries with fixed-width keys:
+//!
+//! ```text
+//! [u32 n_entries] ([key: width bytes][u32 value_len][value bytes])*
+//! ```
+//!
+//! On disk a block is prefixed by `[u8 codec][u32 raw_len][u32 stored_len]`
+//! where codec 0 = raw, 1 = zero-RLE ([`crate::compress`]).
+
+use crate::compress;
+
+/// Builder for one data block.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    width: usize,
+    buf: Vec<u8>,
+    n: u32,
+    first_key: Option<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+}
+
+impl BlockBuilder {
+    pub fn new(width: usize) -> Self {
+        BlockBuilder { width, buf: vec![0u8; 4], n: 0, first_key: None, last_key: None }
+    }
+
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert_eq!(key.len(), self.width);
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        self.last_key = Some(key.to_vec());
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(value);
+        self.n += 1;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current uncompressed payload size.
+    pub fn raw_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finish the block: returns `(disk bytes, first_key, last_key)`.
+    pub fn finish(mut self) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        assert!(self.n > 0, "empty block");
+        self.buf[..4].copy_from_slice(&self.n.to_le_bytes());
+        let raw_len = self.buf.len() as u32;
+        let (codec, payload) = match compress::compress(&self.buf) {
+            Some(c) => (1u8, c),
+            None => (0u8, self.buf),
+        };
+        let mut disk = Vec::with_capacity(payload.len() + 9);
+        disk.push(codec);
+        disk.extend_from_slice(&raw_len.to_le_bytes());
+        disk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        disk.extend_from_slice(&payload);
+        (disk, self.first_key.unwrap(), self.last_key.unwrap())
+    }
+}
+
+/// A decoded, searchable block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    width: usize,
+    /// Decoded payload.
+    data: Vec<u8>,
+    /// Byte offset of each entry.
+    offsets: Vec<u32>,
+}
+
+impl Block {
+    /// Decode from disk bytes (including the codec header).
+    pub fn decode(disk: &[u8], width: usize) -> Block {
+        let codec = disk[0];
+        let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
+        let stored_len = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
+        let payload = &disk[9..9 + stored_len];
+        let data = match codec {
+            0 => payload.to_vec(),
+            1 => compress::decompress(payload, raw_len),
+            _ => panic!("unknown block codec {codec}"),
+        };
+        let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let mut offsets = Vec::with_capacity(n);
+        let mut pos = 4usize;
+        for _ in 0..n {
+            offsets.push(pos as u32);
+            let vlen =
+                u32::from_le_bytes(data[pos + width..pos + width + 4].try_into().unwrap()) as usize;
+            pos += width + 4 + vlen;
+        }
+        Block { width, data, offsets }
+    }
+
+    /// On-disk size of the block starting at `disk` (header + payload).
+    pub fn disk_len(disk: &[u8]) -> usize {
+        9 + u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize
+    }
+
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    pub fn key(&self, i: usize) -> &[u8] {
+        let off = self.offsets[i] as usize;
+        &self.data[off..off + self.width]
+    }
+
+    pub fn value(&self, i: usize) -> &[u8] {
+        let off = self.offsets[i] as usize;
+        let vlen = u32::from_le_bytes(
+            self.data[off + self.width..off + self.width + 4].try_into().unwrap(),
+        ) as usize;
+        &self.data[off + self.width + 4..off + self.width + 4 + vlen]
+    }
+
+    /// Index of the first entry with key ≥ `probe`.
+    pub fn lower_bound(&self, probe: &[u8]) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.key(mid) < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Approximate decoded memory footprint (for the block cache budget).
+    pub fn mem_bytes(&self) -> usize {
+        self.data.len() + self.offsets.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> (Vec<u8>, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let mut b = BlockBuilder::new(8);
+        let keys: Vec<Vec<u8>> = (0..50u64).map(|i| (i * 7).to_be_bytes().to_vec()).collect();
+        let vals: Vec<Vec<u8>> = (0..50u64)
+            .map(|i| {
+                let mut v = vec![0u8; 64];
+                v[32..40].copy_from_slice(&i.to_le_bytes());
+                v
+            })
+            .collect();
+        for (k, v) in keys.iter().zip(&vals) {
+            b.add(k, v);
+        }
+        let (disk, first, last) = b.finish();
+        assert_eq!(first, keys[0]);
+        assert_eq!(last, keys[49]);
+        (disk, keys, vals)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (disk, keys, vals) = sample_block();
+        let block = Block::decode(&disk, 8);
+        assert_eq!(block.len(), 50);
+        for i in 0..50 {
+            assert_eq!(block.key(i), &keys[i][..]);
+            assert_eq!(block.value(i), &vals[i][..]);
+        }
+    }
+
+    #[test]
+    fn compression_kicks_in_for_zero_heavy_values() {
+        let (disk, _, _) = sample_block();
+        assert_eq!(disk[0], 1, "half-zero values should compress");
+        let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
+        let stored = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
+        assert!(stored < raw_len);
+        assert_eq!(Block::disk_len(&disk), disk.len());
+    }
+
+    #[test]
+    fn lower_bound_search() {
+        let (disk, _, _) = sample_block();
+        let block = Block::decode(&disk, 8);
+        assert_eq!(block.lower_bound(&0u64.to_be_bytes()), 0);
+        assert_eq!(block.lower_bound(&7u64.to_be_bytes()), 1);
+        assert_eq!(block.lower_bound(&8u64.to_be_bytes()), 2);
+        assert_eq!(block.lower_bound(&343u64.to_be_bytes()), 49);
+        assert_eq!(block.lower_bound(&344u64.to_be_bytes()), 50);
+    }
+
+    #[test]
+    fn empty_values_supported() {
+        let mut b = BlockBuilder::new(4);
+        b.add(&[0, 0, 0, 1], b"");
+        b.add(&[0, 0, 0, 2], b"x");
+        let (disk, _, _) = b.finish();
+        let block = Block::decode(&disk, 4);
+        assert_eq!(block.value(0), b"");
+        assert_eq!(block.value(1), b"x");
+    }
+}

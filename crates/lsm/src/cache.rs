@@ -1,0 +1,182 @@
+//! LRU block cache, the analogue of RocksDB's block cache (§6.2 warms it
+//! before measuring; §6.3 discusses thrashing when a filter forces too many
+//! distinct blocks through it).
+
+use crate::block::Block;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: (SST id, block index).
+pub type BlockId = (u64, u32);
+
+/// A byte-budgeted LRU cache of decoded blocks.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    /// Map to (block, recency stamp).
+    map: HashMap<BlockId, (Arc<Block>, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BlockCache {
+    pub fn new(capacity_bytes: usize) -> Self {
+        BlockCache {
+            capacity_bytes,
+            used_bytes: 0,
+            map: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn get(&mut self, id: BlockId) -> Option<Arc<Block>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(&id) {
+            Some((block, stamp)) => {
+                *stamp = clock;
+                self.hits += 1;
+                Some(Arc::clone(block))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub fn insert(&mut self, id: BlockId, block: Arc<Block>) {
+        if self.capacity_bytes == 0 {
+            return;
+        }
+        let bytes = block.mem_bytes();
+        self.clock += 1;
+        if let Some((old, _)) = self.map.insert(id, (block, self.clock)) {
+            self.used_bytes -= old.mem_bytes();
+        }
+        self.used_bytes += bytes;
+        // Evict least-recently-used entries until within budget. Linear
+        // scan per eviction is fine at the block counts we cache.
+        while self.used_bytes > self.capacity_bytes && self.map.len() > 1 {
+            let (&victim, _) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .expect("non-empty cache");
+            if victim == id && self.map.len() == 1 {
+                break;
+            }
+            let (old, _) = self.map.remove(&victim).unwrap();
+            self.used_bytes -= old.mem_bytes();
+        }
+    }
+
+    /// Drop every cached block belonging to `sst_id` (file deleted by
+    /// compaction).
+    pub fn purge_sst(&mut self, sst_id: u64) {
+        let victims: Vec<BlockId> =
+            self.map.keys().filter(|(id, _)| *id == sst_id).copied().collect();
+        for v in victims {
+            if let Some((old, _)) = self.map.remove(&v) {
+                self.used_bytes -= old.mem_bytes();
+            }
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+
+    fn make_block(tag: u64, entries: usize) -> Arc<Block> {
+        let mut b = BlockBuilder::new(8);
+        for i in 0..entries {
+            b.add(&((tag << 32) + i as u64).to_be_bytes(), &[1u8; 64]);
+        }
+        let (disk, _, _) = b.finish();
+        Arc::new(Block::decode(&disk, 8))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = BlockCache::new(1 << 20);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), make_block(1, 10));
+        assert!(c.get((1, 0)).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        let block = make_block(0, 10);
+        let one = block.mem_bytes();
+        let mut c = BlockCache::new(one * 3 + one / 2);
+        for i in 0..10u32 {
+            c.insert((7, i), make_block(7, 10));
+        }
+        assert!(c.used_bytes() <= one * 4, "{} > {}", c.used_bytes(), one * 4);
+        assert!(c.len() <= 4);
+        // The most recent block survives.
+        assert!(c.get((7, 9)).is_some());
+        assert!(c.get((7, 0)).is_none());
+    }
+
+    #[test]
+    fn recency_updates_on_get() {
+        let block = make_block(0, 10);
+        let one = block.mem_bytes();
+        let mut c = BlockCache::new(one * 2 + one / 2);
+        c.insert((1, 0), make_block(1, 10));
+        c.insert((1, 1), make_block(1, 10));
+        // Touch block 0 so block 1 becomes the LRU victim.
+        assert!(c.get((1, 0)).is_some());
+        c.insert((1, 2), make_block(1, 10));
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((1, 1)).is_none());
+    }
+
+    #[test]
+    fn purge_removes_all_of_an_sst() {
+        let mut c = BlockCache::new(1 << 20);
+        c.insert((1, 0), make_block(1, 5));
+        c.insert((1, 1), make_block(1, 5));
+        c.insert((2, 0), make_block(2, 5));
+        c.purge_sst(1);
+        assert!(c.get((1, 0)).is_none());
+        assert!(c.get((1, 1)).is_none());
+        assert!(c.get((2, 0)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = BlockCache::new(0);
+        c.insert((1, 0), make_block(1, 5));
+        assert!(c.get((1, 0)).is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! The LSM-tree key-value store: MemTable → L0 (overlapping) → leveled,
+//! range-partitioned L1+ with size-ratio-triggered compaction, per-SST
+//! range filters, a block cache and the §6.1 closed-`Seek` read path.
+
+use crate::cache::BlockCache;
+use crate::filter_hook::FilterFactory;
+use crate::memtable::MemTable;
+use crate::query_queue::QueryQueue;
+use crate::sst::{SstReader, SstScanner, SstWriter};
+use crate::stats::Stats;
+use proteus_core::key::u64_key;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Tuning knobs, defaulting to a laptop-scale version of the paper's §6.2
+/// RocksDB configuration (the paper uses 256 MB SSTs and a 1 GB cache on a
+/// 50M-key database; ratios are preserved).
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Canonical key width in bytes.
+    pub key_width: usize,
+    /// MemTable flush threshold (write_buffer_size).
+    pub memtable_bytes: usize,
+    /// Data block size (RocksDB default 4 KiB).
+    pub block_bytes: usize,
+    /// Target SST file size when splitting compaction output.
+    pub sst_target_bytes: u64,
+    /// L0 file count triggering compaction into L1.
+    pub l0_compaction_trigger: usize,
+    /// Total size target of L1 (max_bytes_for_level_base).
+    pub level_base_bytes: u64,
+    /// Per-level size multiplier.
+    pub level_size_ratio: u64,
+    /// Filter memory budget per key.
+    pub bits_per_key: f64,
+    /// Block cache capacity.
+    pub block_cache_bytes: usize,
+    /// Sample query queue capacity (§6.1: 20K).
+    pub queue_capacity: usize,
+    /// Record every n-th executed empty query (§6.1: 100).
+    pub sample_every: u64,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            key_width: 8,
+            memtable_bytes: 4 << 20,
+            block_bytes: 4096,
+            sst_target_bytes: 4 << 20,
+            l0_compaction_trigger: 4,
+            level_base_bytes: 16 << 20,
+            level_size_ratio: 10,
+            bits_per_key: 10.0,
+            block_cache_bytes: 8 << 20,
+            queue_capacity: 20_000,
+            sample_every: 100,
+        }
+    }
+}
+
+/// A single-process LSM-tree database with pluggable per-SST range filters.
+pub struct Db {
+    cfg: DbConfig,
+    dir: PathBuf,
+    mem: MemTable,
+    /// `levels[0]` holds overlapping flush outputs (newest last); deeper
+    /// levels are sorted and disjoint.
+    levels: Vec<Vec<Arc<SstReader>>>,
+    next_sst_id: u64,
+    factory: Arc<dyn FilterFactory>,
+    queue: QueryQueue,
+    cache: BlockCache,
+    stats: Arc<Stats>,
+}
+
+impl Db {
+    /// Open (create) a database in `dir`.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        cfg: DbConfig,
+        factory: Arc<dyn FilterFactory>,
+    ) -> std::io::Result<Db> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let queue = QueryQueue::new(cfg.queue_capacity, cfg.sample_every);
+        let cache = BlockCache::new(cfg.block_cache_bytes);
+        Ok(Db {
+            cfg,
+            dir,
+            mem: MemTable::new(),
+            levels: vec![Vec::new()],
+            next_sst_id: 1,
+            factory,
+            queue,
+            cache,
+            stats: Arc::new(Stats::default()),
+        })
+    }
+
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Seed the sample query queue (§6.2 seeds it with an initial sample).
+    pub fn seed_queries(&mut self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        self.queue.seed(queries);
+    }
+
+    /// Insert a key-value pair; may trigger a flush and compactions.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        assert_eq!(key.len(), self.cfg.key_width, "key width mismatch");
+        self.mem.put(key.to_vec(), value.to_vec());
+        if self.mem.bytes() >= self.cfg.memtable_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Insert with a `u64` key.
+    pub fn put_u64(&mut self, key: u64, value: &[u8]) -> std::io::Result<()> {
+        self.put(&u64_key(key), value)
+    }
+
+    /// Closed-range `Seek`: does any key exist in `[lo, hi]`? This is the
+    /// §6.1 read path: check the MemTable, then every overlapping SST's
+    /// filter; only filter-positive files pay index + block I/O.
+    pub fn seek(&mut self, lo: &[u8], hi: &[u8]) -> std::io::Result<bool> {
+        assert!(lo <= hi);
+        self.stats.seeks.inc();
+        if self.mem.range_contains(lo, hi) {
+            self.stats.seeks_found.inc();
+            return Ok(true);
+        }
+        // Gather overlapping files: L0 newest-first, then deeper levels.
+        let mut candidates: Vec<Arc<SstReader>> = Vec::new();
+        for sst in self.levels[0].iter().rev() {
+            if sst.overlaps(lo, hi) {
+                candidates.push(Arc::clone(sst));
+            }
+        }
+        for level in &self.levels[1..] {
+            let start = level.partition_point(|s| s.max_key.as_slice() < lo);
+            for sst in &level[start..] {
+                if sst.min_key.as_slice() > hi {
+                    break;
+                }
+                candidates.push(Arc::clone(sst));
+            }
+        }
+        let mut probed_any = false;
+        let mut found = false;
+        for sst in &candidates {
+            // Clamp the probe to the file's key range: the filter only
+            // describes this file's keys.
+            let flo = if lo < sst.min_key.as_slice() { sst.min_key.as_slice() } else { lo };
+            let fhi = if hi > sst.max_key.as_slice() { sst.max_key.as_slice() } else { hi };
+            if let Some(filter) = &sst.filter {
+                if !filter.may_contain_range(flo, fhi) {
+                    self.stats.filter_negatives.inc();
+                    continue;
+                }
+            }
+            probed_any = true;
+            if self.search_sst(sst, lo, hi) {
+                self.stats.filter_true_positives.inc();
+                found = true;
+                break;
+            } else {
+                self.stats.filter_false_positives.inc();
+            }
+        }
+        if found {
+            self.stats.seeks_found.inc();
+            return Ok(true);
+        }
+        if !probed_any {
+            self.stats.seeks_filtered.inc();
+        }
+        // Executed empty query: feed the sample queue (§6.1).
+        self.queue.offer(lo, hi);
+        self.stats.sampled_queries.set(self.queue.len() as u64);
+        Ok(false)
+    }
+
+    /// `Seek` with `u64` bounds.
+    pub fn seek_u64(&mut self, lo: u64, hi: u64) -> std::io::Result<bool> {
+        self.seek(&u64_key(lo), &u64_key(hi))
+    }
+
+    /// Scan one SST for a key in `[lo, hi]` via index binary search plus
+    /// block reads through the cache.
+    fn search_sst(&mut self, sst: &Arc<SstReader>, lo: &[u8], hi: &[u8]) -> bool {
+        let mut b = sst.first_candidate_block(lo);
+        while b < sst.n_blocks() {
+            if sst.block_meta(b).first_key.as_slice() > hi {
+                return false;
+            }
+            let id = (sst.id, b as u32);
+            let block = match self.cache.get(id) {
+                Some(block) => {
+                    self.stats.cache_hits.inc();
+                    block
+                }
+                None => {
+                    let block = Arc::new(sst.read_block(b, &self.stats));
+                    self.cache.insert(id, Arc::clone(&block));
+                    block
+                }
+            };
+            let idx = block.lower_bound(lo);
+            if idx < block.len() {
+                return block.key(idx) <= hi;
+            }
+            b += 1;
+        }
+        false
+    }
+
+    /// Flush the MemTable into a new L0 SST (§6.1 MemTable → L0).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let entries = self.mem.drain_sorted();
+        let id = self.alloc_id();
+        let mut w = SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes)?;
+        for (k, v) in &entries {
+            w.add(k, v)?;
+        }
+        let reader =
+            w.finish(self.factory.as_ref(), &self.queue, self.cfg.bits_per_key, &self.stats)?;
+        self.levels[0].push(Arc::new(reader));
+        self.stats.flushes.inc();
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    /// Flush and run compactions until every level is within its target —
+    /// the §6.2 "wait for all background compactions to finish" setup step.
+    pub fn flush_and_settle(&mut self) -> std::io::Result<()> {
+        self.flush()?;
+        // Also force L0 down to L1 for a clean initial state (§6.2 sets
+        // RocksDB "to compact all L0 SST files to L1 for sake of
+        // consistency").
+        if !self.levels[0].is_empty() {
+            self.compact_l0()?;
+        }
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_sst_id;
+        self.next_sst_id += 1;
+        id
+    }
+
+    fn level_bytes(&self, level: usize) -> u64 {
+        self.levels.get(level).map_or(0, |l| l.iter().map(|s| s.file_bytes).sum())
+    }
+
+    fn level_target(&self, level: usize) -> u64 {
+        self.cfg.level_base_bytes * self.cfg.level_size_ratio.pow(level.saturating_sub(1) as u32)
+    }
+
+    /// Run compactions until every trigger is satisfied (inline; the paper
+    /// uses background threads — see DESIGN.md substitutions).
+    fn maybe_compact(&mut self) -> std::io::Result<()> {
+        loop {
+            if self.levels[0].len() > self.cfg.l0_compaction_trigger {
+                self.compact_l0()?;
+                continue;
+            }
+            let mut did = false;
+            for level in 1..self.levels.len() {
+                if self.level_bytes(level) > self.level_target(level) {
+                    self.compact_level(level)?;
+                    did = true;
+                    break;
+                }
+            }
+            if !did {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Merge all L0 files plus overlapping L1 files into new L1 files.
+    fn compact_l0(&mut self) -> std::io::Result<()> {
+        if self.levels[0].is_empty() {
+            return Ok(());
+        }
+        let inputs_new: Vec<Arc<SstReader>> = self.levels[0].drain(..).rev().collect();
+        let lo = inputs_new.iter().map(|s| s.min_key.clone()).min().unwrap();
+        let hi = inputs_new.iter().map(|s| s.max_key.clone()).max().unwrap();
+        self.ensure_level(1);
+        let old: Vec<Arc<SstReader>> = extract_overlapping(&mut self.levels[1], &lo, &hi);
+        self.merge_into_level(inputs_new, old, 1)
+    }
+
+    /// Push one file from `level` into `level + 1`.
+    fn compact_level(&mut self, level: usize) -> std::io::Result<()> {
+        if self.levels[level].is_empty() {
+            return Ok(());
+        }
+        // Pick the file with the smallest min key (simple deterministic
+        // cursor; RocksDB round-robins similarly).
+        let file = self.levels[level].remove(0);
+        self.ensure_level(level + 1);
+        let old: Vec<Arc<SstReader>> =
+            extract_overlapping(&mut self.levels[level + 1], &file.min_key, &file.max_key);
+        self.merge_into_level(vec![file], old, level + 1)
+    }
+
+    fn ensure_level(&mut self, level: usize) {
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+    }
+
+    /// K-way merge of `newer` (rank order = recency) and `older` files,
+    /// writing size-split SSTs into `target_level` and building a fresh
+    /// filter per output (§6.1: compaction "triggers the construction of
+    /// new filters on the merged data").
+    fn merge_into_level(
+        &mut self,
+        newer: Vec<Arc<SstReader>>,
+        older: Vec<Arc<SstReader>>,
+        target_level: usize,
+    ) -> std::io::Result<()> {
+        let mut inputs = newer;
+        inputs.extend(older);
+        let mut scanners: Vec<SstScanner> = inputs
+            .iter()
+            .map(|s| SstScanner::new(Arc::clone(s), Arc::clone(&self.stats)))
+            .collect();
+        // Heap of (key, rank): smallest key first, then lowest rank (newest).
+        let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize, Vec<u8>)>> = BinaryHeap::new();
+        for (rank, sc) in scanners.iter_mut().enumerate() {
+            if let Some((k, v)) = sc.next() {
+                heap.push(Reverse((k, rank, v)));
+            }
+        }
+        let mut outputs: Vec<Arc<SstReader>> = Vec::new();
+        let mut writer: Option<SstWriter> = None;
+        let mut last_key: Option<Vec<u8>> = None;
+        while let Some(Reverse((k, rank, v))) = heap.pop() {
+            if let Some((nk, nv)) = scanners[rank].next() {
+                heap.push(Reverse((nk, rank, nv)));
+            }
+            if last_key.as_deref() == Some(k.as_slice()) {
+                continue; // older duplicate of an already-written key
+            }
+            last_key = Some(k.clone());
+            if writer.is_none() {
+                let id = self.alloc_id();
+                writer =
+                    Some(SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes)?);
+            }
+            let w = writer.as_mut().unwrap();
+            w.add(&k, &v)?;
+            if w.bytes_written() >= self.cfg.sst_target_bytes {
+                let w = writer.take().unwrap();
+                outputs.push(Arc::new(w.finish(
+                    self.factory.as_ref(),
+                    &self.queue,
+                    self.cfg.bits_per_key,
+                    &self.stats,
+                )?));
+            }
+        }
+        if let Some(w) = writer {
+            if w.n_entries() > 0 {
+                outputs.push(Arc::new(w.finish(
+                    self.factory.as_ref(),
+                    &self.queue,
+                    self.cfg.bits_per_key,
+                    &self.stats,
+                )?));
+            }
+        }
+        // Retire inputs.
+        for sst in &inputs {
+            self.cache.purge_sst(sst.id);
+            sst.delete_file();
+        }
+        // Install outputs, keeping the level sorted by min key.
+        let level = &mut self.levels[target_level];
+        level.extend(outputs);
+        level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+        self.stats.compactions.inc();
+        Ok(())
+    }
+
+    /// Number of SST files per level.
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Total SST files.
+    pub fn sst_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Total key-value entries across all SSTs (duplicates across levels
+    /// counted per file).
+    pub fn sst_entries(&self) -> u64 {
+        self.levels.iter().flatten().map(|s| s.n_entries).sum()
+    }
+
+    /// Total bytes of all SST files.
+    pub fn sst_bytes(&self) -> u64 {
+        self.levels.iter().flatten().map(|s| s.file_bytes).sum()
+    }
+
+    /// Total memory held by the per-SST filters, in bits.
+    pub fn filter_bits(&self) -> u64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|s| s.filter.as_ref().map_or(0, |f| f.size_bits()))
+            .sum()
+    }
+
+    /// Iterate filter names per file (diagnostics for the experiments).
+    pub fn filter_names(&self) -> Vec<String> {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|s| s.filter.as_ref().map_or("none".into(), |f| f.name()))
+            .collect()
+    }
+}
+
+/// Remove and return the files of a sorted, disjoint level overlapping
+/// `[lo, hi]`.
+fn extract_overlapping(
+    level: &mut Vec<Arc<SstReader>>,
+    lo: &[u8],
+    hi: &[u8],
+) -> Vec<Arc<SstReader>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < level.len() {
+        if level[i].overlaps(lo, hi) {
+            out.push(level.remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}

@@ -1,0 +1,85 @@
+//! The filter integration point (§6.1): every SST file gets a range filter
+//! built from its keys plus the current sample-query queue. Factories for
+//! Proteus, SuRF and Rosetta live with the benchmarks; this crate only
+//! defines the hook and trivial built-ins.
+
+use proteus_core::{KeySet, RangeFilter, SampleQueries};
+
+/// Builds a range filter for one SST file.
+pub trait FilterFactory: Send + Sync {
+    /// `keys` — the file's key set; `samples` — recent empty queries,
+    /// already certified empty w.r.t. `keys`; `m_bits` — the memory budget
+    /// for this filter.
+    fn build(&self, keys: &KeySet, samples: &SampleQueries, m_bits: u64) -> Box<dyn RangeFilter>;
+
+    /// Display name for experiment output.
+    fn name(&self) -> String;
+}
+
+/// A pass-through filter: every query may contain keys (the no-filter
+/// baseline; every Seek pays the I/O).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFilter;
+
+impl RangeFilter for NoFilter {
+    fn may_contain_range(&self, _lo: &[u8], _hi: &[u8]) -> bool {
+        true
+    }
+    fn size_bits(&self) -> u64 {
+        0
+    }
+    fn name(&self) -> String {
+        "NoFilter".to_string()
+    }
+}
+
+/// Factory for [`NoFilter`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFilterFactory;
+
+impl FilterFactory for NoFilterFactory {
+    fn build(&self, _keys: &KeySet, _samples: &SampleQueries, _m_bits: u64) -> Box<dyn RangeFilter> {
+        Box::new(NoFilter)
+    }
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+}
+
+/// Factory producing self-designing Proteus filters (the default
+/// integration the paper evaluates).
+#[derive(Debug, Clone, Default)]
+pub struct ProteusFactory {
+    pub options: proteus_core::ProteusOptions,
+}
+
+impl FilterFactory for ProteusFactory {
+    fn build(&self, keys: &KeySet, samples: &SampleQueries, m_bits: u64) -> Box<dyn RangeFilter> {
+        Box::new(proteus_core::Proteus::train(keys, samples, m_bits, &self.options))
+    }
+    fn name(&self) -> String {
+        "proteus".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_filter_always_positive() {
+        let f = NoFilter;
+        assert!(f.may_contain_range(&[0; 8], &[1; 8]));
+        assert_eq!(f.size_bits(), 0);
+    }
+
+    #[test]
+    fn proteus_factory_builds_working_filters() {
+        let keys = KeySet::from_u64(&[100, 200, 300]);
+        let mut samples = SampleQueries::from_u64(&[(400, 500)]);
+        samples.retain_empty(&keys);
+        let f = ProteusFactory::default().build(&keys, &samples, 1024);
+        assert!(f.may_contain(&proteus_core::key::u64_key(200)));
+        assert!(f.size_bits() > 0);
+    }
+}

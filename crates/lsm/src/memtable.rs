@@ -1,0 +1,109 @@
+//! The in-memory write buffer (RocksDB's MemTable, §6.1).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A sorted in-memory buffer of the most recent writes.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    bytes: usize,
+}
+
+impl MemTable {
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Insert or overwrite.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let vlen = value.len();
+        let klen = key.len();
+        match self.map.insert(key, value) {
+            Some(old) => {
+                // Key bytes were already counted; swap the value size.
+                self.bytes = self.bytes - old.len() + vlen;
+            }
+            None => self.bytes += klen + vlen,
+        }
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+
+    /// Does any buffered key fall within `[lo, hi]`?
+    pub fn range_contains(&self, lo: &[u8], hi: &[u8]) -> bool {
+        self.map
+            .range::<[u8], _>((Bound::Included(lo), Bound::Included(hi)))
+            .next()
+            .is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate buffered bytes (keys + values).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drain all entries in ascending key order.
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.bytes = 0;
+        std::mem::take(&mut self.map).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_range() {
+        let mut m = MemTable::new();
+        m.put(vec![0, 5], vec![1]);
+        m.put(vec![0, 9], vec![2]);
+        assert_eq!(m.get(&[0, 5]), Some(&[1u8][..]));
+        assert_eq!(m.get(&[0, 6]), None);
+        assert!(m.range_contains(&[0, 4], &[0, 5]));
+        assert!(m.range_contains(&[0, 6], &[0, 9]));
+        assert!(!m.range_contains(&[0, 6], &[0, 8]));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let mut m = MemTable::new();
+        m.put(vec![1], vec![1, 1]);
+        m.put(vec![1], vec![2, 2, 2]);
+        assert_eq!(m.get(&[1]), Some(&[2u8, 2, 2][..]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut m = MemTable::new();
+        m.put(vec![9], vec![]);
+        m.put(vec![1], vec![]);
+        m.put(vec![5], vec![]);
+        let drained = m.drain_sorted();
+        let keys: Vec<u8> = drained.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn byte_accounting_grows() {
+        let mut m = MemTable::new();
+        assert_eq!(m.bytes(), 0);
+        m.put(vec![1; 8], vec![0; 100]);
+        assert!(m.bytes() >= 108);
+    }
+}

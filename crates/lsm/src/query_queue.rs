@@ -1,0 +1,111 @@
+//! The sample query queue (§6.1): "we create a fixed size query queue and
+//! seed it with an initial query sample. Older queries are evicted with a
+//! FIFO policy. … we use a queue size of 20K queries and update the queue
+//! with every 100th executed empty query."
+
+use proteus_core::SampleQueries;
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO of recent empty range queries.
+#[derive(Debug, Clone)]
+pub struct QueryQueue {
+    queue: VecDeque<(Vec<u8>, Vec<u8>)>,
+    capacity: usize,
+    /// Record every `every`-th offered query.
+    every: u64,
+    offered: u64,
+}
+
+impl QueryQueue {
+    pub fn new(capacity: usize, every: u64) -> Self {
+        QueryQueue { queue: VecDeque::with_capacity(capacity), capacity, every: every.max(1), offered: 0 }
+    }
+
+    /// Seed with an initial sample (recorded unconditionally).
+    pub fn seed(&mut self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        for (lo, hi) in queries {
+            self.push(lo, hi);
+        }
+    }
+
+    /// Offer an executed empty query; records every `every`-th one.
+    pub fn offer(&mut self, lo: &[u8], hi: &[u8]) {
+        self.offered += 1;
+        if self.offered % self.every == 0 {
+            self.push(lo.to_vec(), hi.to_vec());
+        }
+    }
+
+    fn push(&mut self, lo: Vec<u8>, hi: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.queue.len() == self.capacity {
+            self.queue.pop_front();
+        }
+        self.queue.push_back((lo, hi));
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Copy the current contents into a [`SampleQueries`] for filter
+    /// construction. Bounds are assumed canonical at `width`.
+    pub fn snapshot(&self, width: usize) -> SampleQueries {
+        let mut s = SampleQueries::new(width);
+        for (lo, hi) in &self.queue {
+            if lo.len() == width && hi.len() == width && lo <= hi {
+                s.push(lo, hi);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_core::key::u64_key;
+
+    #[test]
+    fn fifo_eviction() {
+        let mut q = QueryQueue::new(3, 1);
+        for i in 0..5u64 {
+            q.offer(&u64_key(i * 10), &u64_key(i * 10 + 1));
+        }
+        assert_eq!(q.len(), 3);
+        let s = q.snapshot(8);
+        assert_eq!(proteus_core::key::key_u64(s.lo(0)), 20);
+        assert_eq!(proteus_core::key::key_u64(s.lo(2)), 40);
+    }
+
+    #[test]
+    fn subsampling_every_nth() {
+        let mut q = QueryQueue::new(100, 100);
+        for i in 0..1000u64 {
+            q.offer(&u64_key(i), &u64_key(i + 1));
+        }
+        assert_eq!(q.len(), 10, "every 100th of 1000 offers");
+    }
+
+    #[test]
+    fn seed_bypasses_subsampling() {
+        let mut q = QueryQueue::new(100, 100);
+        q.seed((0..20u64).map(|i| (u64_key(i).to_vec(), u64_key(i + 1).to_vec())));
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn snapshot_is_usable_sample() {
+        let mut q = QueryQueue::new(10, 1);
+        q.offer(&u64_key(5), &u64_key(10));
+        let s = q.snapshot(8);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.width(), 8);
+    }
+}

@@ -1,0 +1,240 @@
+//! Sorted String Table files: immutable on-disk runs of key-value pairs
+//! with an in-memory index and a pluggable per-file range filter (§6.1's
+//! integration point: "Static filters … are built on every SST file").
+
+use crate::block::{Block, BlockBuilder};
+use crate::filter_hook::FilterFactory;
+use crate::query_queue::QueryQueue;
+use crate::stats::Stats;
+use proteus_core::keyset::KeySet;
+use proteus_core::RangeFilter;
+use std::fs::File;
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Index entry for one block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    pub first_key: Vec<u8>,
+    pub last_key: Vec<u8>,
+    pub offset: u64,
+    pub len: u32,
+}
+
+/// An immutable SST file handle.
+pub struct SstReader {
+    pub id: u64,
+    path: PathBuf,
+    file: File,
+    width: usize,
+    index: Vec<BlockMeta>,
+    pub filter: Option<Box<dyn RangeFilter>>,
+    pub min_key: Vec<u8>,
+    pub max_key: Vec<u8>,
+    pub n_entries: u64,
+    pub file_bytes: u64,
+}
+
+impl std::fmt::Debug for SstReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SstReader")
+            .field("id", &self.id)
+            .field("entries", &self.n_entries)
+            .field("blocks", &self.index.len())
+            .finish()
+    }
+}
+
+impl SstReader {
+    pub fn n_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn block_meta(&self, i: usize) -> &BlockMeta {
+        &self.index[i]
+    }
+
+    /// Does this file's key range intersect `[lo, hi]`?
+    pub fn overlaps(&self, lo: &[u8], hi: &[u8]) -> bool {
+        !(self.max_key.as_slice() < lo || self.min_key.as_slice() > hi)
+    }
+
+    /// Index of the first block that could contain a key ≥ `lo`.
+    pub fn first_candidate_block(&self, lo: &[u8]) -> usize {
+        self.index.partition_point(|m| m.last_key.as_slice() < lo)
+    }
+
+    /// Read and decode block `i` from disk (no caching here; the DB layer
+    /// caches). Updates I/O statistics.
+    pub fn read_block(&self, i: usize, stats: &Stats) -> Block {
+        let meta = &self.index[i];
+        let mut buf = vec![0u8; meta.len as usize];
+        self.file.read_exact_at(&mut buf, meta.offset).expect("sst read");
+        stats.blocks_read.inc();
+        stats.bytes_read.add(meta.len as u64);
+        Block::decode(&buf, self.width)
+    }
+
+    /// Delete the backing file (called when the SST leaves the version set).
+    pub fn delete_file(&self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Streaming SST writer: feed sorted entries, get a reader back.
+pub struct SstWriter {
+    id: u64,
+    path: PathBuf,
+    file: File,
+    width: usize,
+    block_size: usize,
+    builder: BlockBuilder,
+    index: Vec<BlockMeta>,
+    offset: u64,
+    keys: Vec<u8>, // flat canonical keys for filter construction
+    n_entries: u64,
+}
+
+impl SstWriter {
+    pub fn create(dir: &Path, id: u64, width: usize, block_size: usize) -> std::io::Result<Self> {
+        let path = dir.join(format!("{id:08}.sst"));
+        let file = File::create(&path)?;
+        Ok(SstWriter {
+            id,
+            path,
+            file,
+            width,
+            block_size,
+            builder: BlockBuilder::new(width),
+            index: Vec::new(),
+            offset: 0,
+            keys: Vec::new(),
+            n_entries: 0,
+        })
+    }
+
+    /// Append an entry; keys must arrive in strictly ascending order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        debug_assert_eq!(key.len(), self.width);
+        debug_assert!(
+            self.keys.is_empty() || &self.keys[self.keys.len() - self.width..] < key,
+            "keys must be strictly ascending"
+        );
+        self.builder.add(key, value);
+        self.keys.extend_from_slice(key);
+        self.n_entries += 1;
+        if self.builder.raw_len() >= self.block_size {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> std::io::Result<()> {
+        if self.builder.is_empty() {
+            return Ok(());
+        }
+        let builder = std::mem::replace(&mut self.builder, BlockBuilder::new(self.width));
+        let (disk, first, last) = builder.finish();
+        self.file.write_all(&disk)?;
+        self.index.push(BlockMeta {
+            first_key: first,
+            last_key: last,
+            offset: self.offset,
+            len: disk.len() as u32,
+        });
+        self.offset += disk.len() as u64;
+        Ok(())
+    }
+
+    /// Current on-disk size (used by the compactor to split output files).
+    pub fn bytes_written(&self) -> u64 {
+        self.offset + self.builder.raw_len() as u64
+    }
+
+    pub fn n_entries(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Finalize: build the per-file range filter from this SST's keys and
+    /// the current sample-query queue (§6.1 "used in conjunction with the
+    /// keys in each SST file to determine the optimal filter design for
+    /// each SST file at construction time").
+    pub fn finish(
+        mut self,
+        factory: &dyn FilterFactory,
+        queue: &QueryQueue,
+        bits_per_key: f64,
+        stats: &Stats,
+    ) -> std::io::Result<SstReader> {
+        self.flush_block()?;
+        self.file.sync_all()?;
+        assert!(self.n_entries > 0, "empty SST");
+        let min_key = self.index.first().unwrap().first_key.clone();
+        let max_key = self.index.last().unwrap().last_key.clone();
+
+        let t0 = Instant::now();
+        let keyset = KeySet::from_sorted_canonical(self.keys, self.width);
+        let mut samples = queue.snapshot(self.width);
+        samples.retain_empty(&keyset);
+        let m_bits = (bits_per_key * keyset.len() as f64) as u64;
+        let filter = (m_bits > 0).then(|| factory.build(&keyset, &samples, m_bits));
+        stats.filter_build_ns.add(t0.elapsed().as_nanos() as u64);
+        stats.filters_built.inc();
+
+        let file = File::open(&self.path)?;
+        Ok(SstReader {
+            id: self.id,
+            path: self.path,
+            file,
+            width: self.width,
+            index: self.index,
+            filter,
+            min_key,
+            max_key,
+            n_entries: self.n_entries,
+            file_bytes: self.offset,
+        })
+    }
+}
+
+/// Convenience wrapper: iterate every entry of an SST in order (used by
+/// compaction).
+pub struct SstScanner {
+    sst: Arc<SstReader>,
+    stats: Arc<Stats>,
+    block_idx: usize,
+    entry_idx: usize,
+    block: Option<Block>,
+}
+
+impl SstScanner {
+    pub fn new(sst: Arc<SstReader>, stats: Arc<Stats>) -> Self {
+        SstScanner { sst, stats, block_idx: 0, entry_idx: 0, block: None }
+    }
+
+    /// Next `(key, value)` pair, or `None` at the end.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        loop {
+            if self.block.is_none() {
+                if self.block_idx >= self.sst.n_blocks() {
+                    return None;
+                }
+                self.block = Some(self.sst.read_block(self.block_idx, &self.stats));
+                self.entry_idx = 0;
+            }
+            let block = self.block.as_ref().unwrap();
+            if self.entry_idx < block.len() {
+                let k = block.key(self.entry_idx).to_vec();
+                let v = block.value(self.entry_idx).to_vec();
+                self.entry_idx += 1;
+                return Some((k, v));
+            }
+            self.block = None;
+            self.block_idx += 1;
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution statistics: the observables behind every §6 figure — I/O
+//! counts, filter outcomes, compaction work and filter-construction cost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Database-wide counters.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Range Seeks issued.
+    pub seeks: Counter,
+    /// Seeks answered without touching any SST (all filters negative or no
+    /// overlapping file).
+    pub seeks_filtered: Counter,
+    /// Seeks that found a key.
+    pub seeks_found: Counter,
+    /// Per-SST filter probes that returned negative.
+    pub filter_negatives: Counter,
+    /// Per-SST filter probes that returned positive but the SST had no key
+    /// in range (a false positive costing real I/O).
+    pub filter_false_positives: Counter,
+    /// Per-SST filter probes that returned positive and were right.
+    pub filter_true_positives: Counter,
+    /// Data blocks fetched from disk.
+    pub blocks_read: Counter,
+    /// Bytes fetched from disk.
+    pub bytes_read: Counter,
+    /// Block-cache hits.
+    pub cache_hits: Counter,
+    /// MemTable flushes.
+    pub flushes: Counter,
+    /// Compactions run.
+    pub compactions: Counter,
+    /// SST filters constructed (includes modeling).
+    pub filters_built: Counter,
+    /// Total nanoseconds spent building filters (modeling + construction).
+    pub filter_build_ns: Counter,
+    /// Keys currently queued as sample queries.
+    pub sampled_queries: Counter,
+}
+
+impl Stats {
+    /// Observed false positive rate of the per-SST filters so far.
+    pub fn filter_fpr(&self) -> f64 {
+        let fp = self.filter_false_positives.get();
+        let neg = self.filter_negatives.get();
+        let total = fp + neg;
+        if total == 0 {
+            0.0
+        } else {
+            fp as f64 / total as f64
+        }
+    }
+
+    /// Snapshot all counters (for diffing across experiment phases).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            seeks: self.seeks.get(),
+            seeks_filtered: self.seeks_filtered.get(),
+            seeks_found: self.seeks_found.get(),
+            filter_negatives: self.filter_negatives.get(),
+            filter_false_positives: self.filter_false_positives.get(),
+            filter_true_positives: self.filter_true_positives.get(),
+            blocks_read: self.blocks_read.get(),
+            bytes_read: self.bytes_read.get(),
+            cache_hits: self.cache_hits.get(),
+            flushes: self.flushes.get(),
+            compactions: self.compactions.get(),
+            filters_built: self.filters_built.get(),
+            filter_build_ns: self.filter_build_ns.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub seeks: u64,
+    pub seeks_filtered: u64,
+    pub seeks_found: u64,
+    pub filter_negatives: u64,
+    pub filter_false_positives: u64,
+    pub filter_true_positives: u64,
+    pub blocks_read: u64,
+    pub bytes_read: u64,
+    pub cache_hits: u64,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub filters_built: u64,
+    pub filter_build_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference (for per-phase reporting).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            seeks: self.seeks - earlier.seeks,
+            seeks_filtered: self.seeks_filtered - earlier.seeks_filtered,
+            seeks_found: self.seeks_found - earlier.seeks_found,
+            filter_negatives: self.filter_negatives - earlier.filter_negatives,
+            filter_false_positives: self.filter_false_positives - earlier.filter_false_positives,
+            filter_true_positives: self.filter_true_positives - earlier.filter_true_positives,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            flushes: self.flushes - earlier.flushes,
+            compactions: self.compactions - earlier.compactions,
+            filters_built: self.filters_built - earlier.filters_built,
+            filter_build_ns: self.filter_build_ns - earlier.filter_build_ns,
+        }
+    }
+
+    /// Observed filter FPR in this snapshot.
+    pub fn filter_fpr(&self) -> f64 {
+        let total = self.filter_false_positives + self.filter_negatives;
+        if total == 0 {
+            0.0
+        } else {
+            self.filter_false_positives as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::default();
+        s.seeks.inc();
+        s.seeks.add(4);
+        assert_eq!(s.seeks.get(), 5);
+    }
+
+    #[test]
+    fn fpr_computation() {
+        let s = Stats::default();
+        assert_eq!(s.filter_fpr(), 0.0);
+        s.filter_false_positives.add(1);
+        s.filter_negatives.add(9);
+        assert!((s.filter_fpr() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = Stats::default();
+        s.blocks_read.add(10);
+        let a = s.snapshot();
+        s.blocks_read.add(7);
+        s.seeks.add(3);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.blocks_read, 7);
+        assert_eq!(d.seeks, 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! A plain append-only bit vector, the building block for every LOUDS
+//! structure in this crate.
+
+/// An append-only bit vector backed by `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    pub fn new() -> Self {
+        BitVec { words: Vec::new(), len: 0 }
+    }
+
+    pub fn with_capacity(bits: usize) -> Self {
+        BitVec { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    /// A bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let w = self.len / 64;
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Append `n` copies of `bit`.
+    pub fn push_n(&mut self, bit: bool, n: usize) {
+        // Cheap path for zeros: just extend the length.
+        if !bit {
+            self.len += n;
+            self.words.resize(self.len.div_ceil(64), 0);
+            return;
+        }
+        for _ in 0..n {
+            self.push(true);
+        }
+    }
+
+    /// Read bit `i`. Panics if out of range in debug builds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1 (the vector must already cover `i`).
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Position of the first set bit at or after `from`, if any.
+    pub fn next_set_bit(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from / 64;
+        // Mask off bits below `from` in the first word.
+        let mut word = self.words[w] & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let pos = w * 64 + word.trailing_zeros() as usize;
+                return (pos < self.len).then_some(pos);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Position of the last set bit strictly before `before`, if any.
+    pub fn prev_set_bit(&self, before: usize) -> Option<usize> {
+        if before == 0 || self.len == 0 {
+            return None;
+        }
+        let before = before.min(self.len);
+        let mut w = (before - 1) / 64;
+        let used = (before - 1) % 64 + 1;
+        let mut word = self.words[w] & (u64::MAX >> (64 - used));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = self.words[w];
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words (trailing bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Memory of the raw bit data in bits (excluding the Vec header),
+    /// rounded up to whole words, as used for size accounting.
+    pub fn size_bits(&self) -> u64 {
+        (self.words.len() * 64) as u64
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bv = BitVec::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bv = BitVec::new();
+        let pattern: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            bv.push(b);
+        }
+        assert_eq!(bv.len(), 1000);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bv.get(i), b, "bit {i}");
+        }
+        assert_eq!(bv.count_ones(), pattern.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn push_n_zeros_then_set() {
+        let mut bv = BitVec::new();
+        bv.push_n(false, 130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        bv.set(129);
+        assert!(bv.get(129));
+        assert_eq!(bv.count_ones(), 1);
+    }
+
+    #[test]
+    fn push_n_ones() {
+        let mut bv = BitVec::new();
+        bv.push_n(true, 70);
+        assert_eq!(bv.count_ones(), 70);
+    }
+
+    #[test]
+    fn next_set_bit_walks_all_ones() {
+        let bits: Vec<bool> = (0..500).map(|i| i % 7 == 3).collect();
+        let bv: BitVec = bits.iter().copied().collect();
+        let mut found = Vec::new();
+        let mut pos = 0;
+        while let Some(p) = bv.next_set_bit(pos) {
+            found.push(p);
+            pos = p + 1;
+        }
+        let expected: Vec<usize> = (0..500).filter(|i| i % 7 == 3).collect();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn next_set_bit_edge_cases() {
+        let bv: BitVec = [false, false, true].iter().copied().collect();
+        assert_eq!(bv.next_set_bit(0), Some(2));
+        assert_eq!(bv.next_set_bit(2), Some(2));
+        assert_eq!(bv.next_set_bit(3), None);
+        let empty = BitVec::new();
+        assert_eq!(empty.next_set_bit(0), None);
+    }
+
+    #[test]
+    fn prev_set_bit_mirrors_next() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 11 == 0).collect();
+        let bv: BitVec = bits.iter().copied().collect();
+        assert_eq!(bv.prev_set_bit(0), None);
+        assert_eq!(bv.prev_set_bit(1), Some(0));
+        assert_eq!(bv.prev_set_bit(11), Some(0));
+        assert_eq!(bv.prev_set_bit(12), Some(11));
+        assert_eq!(bv.prev_set_bit(300), Some(297));
+        assert_eq!(bv.prev_set_bit(10_000), Some(297));
+    }
+
+    #[test]
+    fn zeros_constructor() {
+        let bv = BitVec::zeros(100);
+        assert_eq!(bv.len(), 100);
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.next_set_bit(0), None);
+    }
+}

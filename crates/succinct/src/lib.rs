@@ -1,0 +1,33 @@
+//! Succinct data structures underlying the deterministic half of Proteus.
+//!
+//! The paper's trie component (and the SuRF baseline) are built on the Fast
+//! Succinct Trie of Zhang et al. (SIGMOD 2018): a hybrid of two
+//! level-ordered unary-degree-sequence encodings, LOUDS-Dense (bitmap nodes,
+//! upper levels) and LOUDS-Sparse (byte-label edge lists, lower levels).
+//! Everything here is implemented from first principles:
+//!
+//! * [`BitVec`] — an append-only bit vector;
+//! * [`RankedBits`] — constant-time `rank1`/`rank0` over a [`BitVec`];
+//! * [`SelectIndex`] — sampled `select1` (position of the k-th set bit);
+//! * [`LoudsDense`] / [`LoudsSparse`] — the two trie encodings;
+//! * [`Fst`] — the combined LOUDS-DS trie with lower-bound iteration, the
+//!   interface both SuRF and the Proteus trie build on;
+//! * [`cost`] — the memory cost model the CPFPR optimizer uses to predict
+//!   trie sizes without building them (Alg. 1's `trieMem`).
+
+pub mod bitvec;
+pub mod cost;
+pub mod fst;
+pub mod louds_dense;
+pub mod louds_sparse;
+pub mod rank;
+pub mod select;
+pub mod values;
+
+pub use bitvec::BitVec;
+pub use fst::{Fst, FstBuilder, Visit};
+pub use louds_dense::LoudsDense;
+pub use louds_sparse::LoudsSparse;
+pub use rank::RankedBits;
+pub use select::SelectIndex;
+pub use values::ValueStore;

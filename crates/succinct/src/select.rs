@@ -1,0 +1,167 @@
+//! Select support: position of the k-th set bit.
+//!
+//! LOUDS-Sparse navigation needs `select1` on the LOUDS bit vector (to find
+//! the first edge of a node). We sample the block index of every 512th one
+//! and scan from the sample — O(1) amortized for the dense LOUDS vectors
+//! this crate builds (roughly every other bit set).
+
+use crate::rank::RankedBits;
+
+const SAMPLE_EVERY: usize = 512;
+
+/// Select directory over a [`RankedBits`].
+#[derive(Debug, Clone)]
+pub struct SelectIndex {
+    /// `samples[j]` = index of the rank block containing the
+    /// `(j * SAMPLE_EVERY)`-th one (0-indexed).
+    samples: Vec<u32>,
+}
+
+impl SelectIndex {
+    pub fn new(rb: &RankedBits) -> Self {
+        let ones = rb.count_ones();
+        let nsamples = ones.div_ceil(SAMPLE_EVERY);
+        let mut samples = Vec::with_capacity(nsamples);
+        let blocks = rb.blocks();
+        let mut block = 0usize;
+        for j in 0..nsamples {
+            let target = (j * SAMPLE_EVERY) as u64;
+            // First block whose cumulative count exceeds `target`.
+            while block + 1 < blocks.len() && blocks[block + 1] <= target {
+                block += 1;
+            }
+            samples.push(block as u32);
+        }
+        SelectIndex { samples }
+    }
+
+    /// Position of the k-th set bit (0-indexed). Panics if `k >= ones` in
+    /// debug builds; returns garbage in release like any out-of-contract
+    /// index.
+    pub fn select1(&self, rb: &RankedBits, k: usize) -> usize {
+        debug_assert!(k < rb.count_ones(), "select1({k}) of {} ones", rb.count_ones());
+        let blocks = rb.blocks();
+        let mut block = self.samples[k / SAMPLE_EVERY] as usize;
+        // Advance to the block containing the k-th one.
+        while block + 1 < blocks.len() && blocks[block + 1] <= k as u64 {
+            block += 1;
+        }
+        let mut remaining = k - blocks[block] as usize;
+        let words = rb.bits().words();
+        let first_word = block * (RankedBits::BLOCK_BITS / 64);
+        for w in first_word..words.len() {
+            let ones = words[w].count_ones() as usize;
+            if remaining < ones {
+                return w * 64 + select_in_word(words[w], remaining as u32) as usize;
+            }
+            remaining -= ones;
+        }
+        unreachable!("select out of range");
+    }
+
+    /// Bits of memory of the sample directory.
+    pub fn size_bits(&self) -> u64 {
+        (self.samples.len() * 32) as u64
+    }
+}
+
+/// Position of the r-th set bit (0-indexed) within a word that has more
+/// than `r` ones.
+#[inline]
+fn select_in_word(mut word: u64, mut r: u32) -> u32 {
+    // Byte-wise skip, then bit scan within the byte.
+    let mut base = 0u32;
+    loop {
+        let byte_ones = (word & 0xFF).count_ones();
+        if r < byte_ones {
+            let mut b = (word & 0xFF) as u8;
+            loop {
+                let tz = b.trailing_zeros();
+                if r == 0 {
+                    return base + tz;
+                }
+                b &= b - 1;
+                r -= 1;
+            }
+        }
+        r -= byte_ones;
+        word >>= 8;
+        base += 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    fn build(bits: &[bool]) -> (RankedBits, SelectIndex) {
+        let rb = RankedBits::new(bits.iter().copied().collect());
+        let si = SelectIndex::new(&rb);
+        (rb, si)
+    }
+
+    #[test]
+    fn select_in_word_reference() {
+        let w: u64 = 0b1011_0100_0000_0001;
+        assert_eq!(select_in_word(w, 0), 0);
+        assert_eq!(select_in_word(w, 1), 10);
+        assert_eq!(select_in_word(w, 2), 12);
+        assert_eq!(select_in_word(w, 3), 13);
+        assert_eq!(select_in_word(w, 4), 15);
+        assert_eq!(select_in_word(u64::MAX, 63), 63);
+        assert_eq!(select_in_word(1u64 << 63, 0), 63);
+    }
+
+    #[test]
+    fn select_matches_reference_on_patterns() {
+        for (name, gen) in [
+            ("every_third", Box::new(|i: usize| i % 3 == 1) as Box<dyn Fn(usize) -> bool>),
+            ("sparse", Box::new(|i: usize| i % 251 == 0)),
+            ("dense", Box::new(|i: usize| i % 5 != 2)),
+            ("all_ones", Box::new(|_| true)),
+        ] {
+            let bits: Vec<bool> = (0..5000).map(&gen).collect();
+            let expected: Vec<usize> =
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            let (rb, si) = build(&bits);
+            for (k, &pos) in expected.iter().enumerate() {
+                assert_eq!(si.select1(&rb, k), pos, "{name} select1({k})");
+            }
+        }
+    }
+
+    #[test]
+    fn select_rank_are_inverses() {
+        let bits: Vec<bool> = (0..10_000).map(|i| (i * i) % 17 < 5).collect();
+        let (rb, si) = build(&bits);
+        for k in 0..rb.count_ones() {
+            let pos = si.select1(&rb, k);
+            assert!(rb.get(pos));
+            assert_eq!(rb.rank1(pos), k);
+        }
+    }
+
+    #[test]
+    fn select_over_multiple_sample_blocks() {
+        // More than SAMPLE_EVERY ones to exercise the sample directory.
+        let bits: Vec<bool> = (0..100_000).map(|i| i % 3 == 0).collect();
+        let (rb, si) = build(&bits);
+        let ones = rb.count_ones();
+        assert!(ones > 2 * 512);
+        for k in [0, 1, 511, 512, 513, 1024, ones - 1] {
+            let pos = si.select1(&rb, k);
+            assert_eq!(rb.rank1(pos), k);
+            assert!(rb.get(pos));
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_vectors() {
+        let (_rb, si) = build(&[]);
+        assert_eq!(si.size_bits(), 0);
+        let rb = RankedBits::new(BitVec::zeros(1000));
+        let si = SelectIndex::new(&rb);
+        assert_eq!(si.size_bits(), 0);
+    }
+}

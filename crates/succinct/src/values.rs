@@ -1,0 +1,209 @@
+//! Per-leaf value storage for the FST.
+//!
+//! The Proteus trie stores, for every key branch that became unique before
+//! the uniform trie depth, the remaining key bytes ("explicitly stored key
+//! bits", §4.1). SuRF stores fixed-width hash or real suffix bits. Both are
+//! addressed by the *value slot* the FST assigns to each terminal (leaf edge
+//! or prefix-key) in level order.
+
+use crate::bitvec::BitVec;
+
+/// A bit-packed array of fixed-width unsigned integers.
+#[derive(Debug, Clone, Default)]
+pub struct PackedInts {
+    bits: BitVec,
+    width: u32,
+    len: usize,
+}
+
+impl PackedInts {
+    /// Pack `values`; `width` must be ≤ 64 and large enough for every value.
+    pub fn new(values: &[u64], width: u32) -> Self {
+        assert!(width <= 64);
+        let mut bits = BitVec::with_capacity(values.len() * width as usize);
+        for &v in values {
+            debug_assert!(width == 64 || v < (1u64 << width), "value {v} exceeds width {width}");
+            for i in 0..width {
+                bits.push((v >> i) & 1 == 1);
+            }
+        }
+        PackedInts { bits, width, len: values.len() }
+    }
+
+    /// Smallest width able to hold `max_value` (0 for a value of 0).
+    pub fn width_for(max_value: u64) -> u32 {
+        if max_value == 0 {
+            0
+        } else {
+            64 - max_value.leading_zeros()
+        }
+    }
+
+    pub fn get(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let mut v = 0u64;
+        let base = i * self.width as usize;
+        for b in 0..self.width as usize {
+            if self.bits.get(base + b) {
+                v |= 1u64 << b;
+            }
+        }
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn size_bits(&self) -> u64 {
+        self.bits.size_bits()
+    }
+}
+
+/// Storage for the values attached to FST terminals.
+#[derive(Debug, Clone)]
+pub enum ValueStore {
+    /// No per-terminal payload (SuRF-Base, or a Proteus trie whose every
+    /// branch reaches the uniform depth).
+    Empty,
+    /// Variable-length byte suffixes (Proteus explicit key bits). Indexed by
+    /// bit-packed offsets into a shared buffer.
+    Bytes { offsets: PackedInts, data: Vec<u8> },
+    /// Fixed-width bit suffixes (SuRF-Hash / SuRF-Real).
+    FixedBits { values: PackedInts },
+}
+
+impl ValueStore {
+    /// Build byte-suffix storage from per-slot suffixes.
+    pub fn from_byte_suffixes<S: AsRef<[u8]>>(suffixes: &[S]) -> Self {
+        let total: usize = suffixes.iter().map(|s| s.as_ref().len()).sum();
+        if total == 0 {
+            return ValueStore::Empty;
+        }
+        let mut data = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(suffixes.len() + 1);
+        for s in suffixes {
+            offsets.push(data.len() as u64);
+            data.extend_from_slice(s.as_ref());
+        }
+        offsets.push(data.len() as u64);
+        let width = PackedInts::width_for(data.len() as u64).max(1);
+        ValueStore::Bytes { offsets: PackedInts::new(&offsets, width), data }
+    }
+
+    /// Build fixed-width storage from per-slot values.
+    pub fn from_fixed_bits(values: &[u64], width: u32) -> Self {
+        if width == 0 || values.is_empty() {
+            return ValueStore::Empty;
+        }
+        ValueStore::FixedBits { values: PackedInts::new(values, width) }
+    }
+
+    /// The byte suffix for `slot` (empty for non-byte stores).
+    pub fn bytes(&self, slot: usize) -> &[u8] {
+        match self {
+            ValueStore::Bytes { offsets, data } => {
+                let lo = offsets.get(slot) as usize;
+                let hi = offsets.get(slot + 1) as usize;
+                &data[lo..hi]
+            }
+            _ => &[],
+        }
+    }
+
+    /// The fixed-width value for `slot` (0 for non-fixed stores).
+    pub fn fixed(&self, slot: usize) -> u64 {
+        match self {
+            ValueStore::FixedBits { values } => values.get(slot),
+            _ => 0,
+        }
+    }
+
+    /// Width of fixed-bit values (0 otherwise).
+    pub fn fixed_width(&self) -> u32 {
+        match self {
+            ValueStore::FixedBits { values } => values.width,
+            _ => 0,
+        }
+    }
+
+    pub fn size_bits(&self) -> u64 {
+        match self {
+            ValueStore::Empty => 0,
+            ValueStore::Bytes { offsets, data } => offsets.size_bits() + (data.len() as u64) * 8,
+            ValueStore::FixedBits { values } => values.size_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_ints_roundtrip() {
+        let vals: Vec<u64> = (0..200).map(|i| (i * 37) % 1000).collect();
+        let p = PackedInts::new(&vals, 10);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(p.get(i), v);
+        }
+        assert_eq!(p.len(), 200);
+    }
+
+    #[test]
+    fn packed_width_for() {
+        assert_eq!(PackedInts::width_for(0), 0);
+        assert_eq!(PackedInts::width_for(1), 1);
+        assert_eq!(PackedInts::width_for(255), 8);
+        assert_eq!(PackedInts::width_for(256), 9);
+        assert_eq!(PackedInts::width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn packed_full_width() {
+        let vals = [u64::MAX, 0, 12345];
+        let p = PackedInts::new(&vals, 64);
+        assert_eq!(p.get(0), u64::MAX);
+        assert_eq!(p.get(1), 0);
+        assert_eq!(p.get(2), 12345);
+    }
+
+    #[test]
+    fn byte_suffix_store() {
+        let sufs: Vec<&[u8]> = vec![b"abc", b"", b"x", b"longer-suffix"];
+        let vs = ValueStore::from_byte_suffixes(&sufs);
+        for (i, s) in sufs.iter().enumerate() {
+            assert_eq!(vs.bytes(i), *s);
+        }
+    }
+
+    #[test]
+    fn all_empty_suffixes_collapse_to_empty_store() {
+        let sufs: Vec<&[u8]> = vec![b"", b"", b""];
+        let vs = ValueStore::from_byte_suffixes(&sufs);
+        assert!(matches!(vs, ValueStore::Empty));
+        assert_eq!(vs.size_bits(), 0);
+        assert_eq!(vs.bytes(1), b"");
+    }
+
+    #[test]
+    fn fixed_bits_store() {
+        let vals = [5u64, 1023, 0, 77];
+        let vs = ValueStore::from_fixed_bits(&vals, 10);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(vs.fixed(i), v);
+        }
+        assert_eq!(vs.fixed_width(), 10);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let sufs: Vec<&[u8]> = vec![b"ab", b"cd"];
+        let vs = ValueStore::from_byte_suffixes(&sufs);
+        assert!(vs.size_bits() >= 32); // 4 data bytes plus offsets
+    }
+}

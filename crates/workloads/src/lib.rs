@@ -1,0 +1,22 @@
+//! # proteus-workloads
+//!
+//! Synthetic datasets and query workload generators reproducing the
+//! evaluation inputs of the Proteus paper:
+//!
+//! * [`datasets`] — the four integer key distributions of §5 (Uniform,
+//!   Normal, and SOSD-like Books / Facebook synthetics);
+//! * [`queries`] — YCSB-E-style range workloads (Uniform / Correlated /
+//!   Split / Real / Point) with emptiness certification;
+//! * [`strings`] — §7.2 string keys (fixed-length Uniform/Normal, synthetic
+//!   `.org` domains) and big-endian string range arithmetic;
+//! * [`values`] — §6.2 half-zero value payloads for the LSM experiments.
+
+pub mod datasets;
+pub mod queries;
+pub mod strings;
+pub mod values;
+
+pub use datasets::Dataset;
+pub use queries::{QueryGen, Workload, DEFAULT_CORR_DEGREE};
+pub use strings::{generate_domains, StringDataset, StringQueryGen};
+pub use values::value_for_key;

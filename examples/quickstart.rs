@@ -1,0 +1,59 @@
+//! Quickstart: build a self-designing Proteus range filter over integer
+//! keys and query it.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use proteus::core::{KeySet, Proteus, ProteusOptions, SampleQueries};
+
+fn main() {
+    // 1. The key set to protect: e.g. the keys of one SST file, a page, or
+    //    any set you want to pre-filter range queries against.
+    let keys: Vec<u64> = (0..100_000u64).map(|i| i * 1_000 + (i % 7) * 131).collect();
+    let keyset = KeySet::from_u64(&keys);
+
+    // 2. A sample of queries like the ones your workload will issue. Only
+    //    *empty* queries inform the design; `retain_empty` certifies them.
+    let mut samples = SampleQueries::from_u64(
+        &(0..5_000u64)
+            .map(|i| {
+                let lo = (i * 37) % 99_000 * 1_000 + 500; // between keys
+                (lo, lo + 250)
+            })
+            .collect::<Vec<_>>(),
+    );
+    let dropped = samples.retain_empty(&keyset);
+    println!("sample queries: {} (dropped {dropped} non-empty)", samples.len());
+
+    // 3. Self-design within a memory budget: here 10 bits per key.
+    let budget_bits = 10 * keyset.len() as u64;
+    let filter = Proteus::train(&keyset, &samples, budget_bits, &ProteusOptions::default());
+    let d = filter.design();
+    println!(
+        "chosen design: trie depth {} bits + Bloom prefix {} bits (expected FPR {:.4})",
+        d.trie_depth_bits, d.bloom_prefix_len, d.expected_fpr
+    );
+    println!(
+        "actual size: {:.1} bits/key",
+        filter.size_bits() as f64 / keyset.len() as f64
+    );
+
+    // 4. Query: `true` = the range may contain a key (needs a real lookup),
+    //    `false` = guaranteed empty (skip the I/O).
+    // i = 49_000 is divisible by 7, so key = 49_000 * 1_000 exactly.
+    assert!(filter.query_u64(49_000_000, 49_000_000)); // a real key
+    assert!(filter.query_u64(48_999_900, 49_000_100)); // covers a key
+
+    let mut false_positives = 0;
+    let trials = 10_000;
+    for i in 0..trials {
+        // Ranges strictly between adjacent keys: truly empty.
+        let lo = (i * 91) % 99_000 * 1_000 + 400;
+        if filter.query_u64(lo, lo + 100) {
+            false_positives += 1;
+        }
+    }
+    println!(
+        "observed FPR on {trials} empty ranges: {:.4}",
+        false_positives as f64 / trials as f64
+    );
+}

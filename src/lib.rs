@@ -1,0 +1,16 @@
+//! Facade crate re-exporting the full Proteus workspace.
+//!
+//! See the individual crates for details:
+//! - [`proteus_core`] (re-exported as `core`) — Proteus filter + CPFPR model
+//! - [`proteus_filters`] (`filters`) — SuRF, Rosetta and ARF baselines
+//! - [`proteus_amq`] (`amq`) — Bloom filter variants and hashing
+//! - [`proteus_succinct`] (`succinct`) — rank/select bit vectors, LOUDS-DS trie
+//! - [`proteus_lsm`] (`lsm`) — LSM-tree key-value store harness
+//! - [`proteus_workloads`] (`workloads`) — datasets and query generators
+
+pub use proteus_amq as amq;
+pub use proteus_core as core;
+pub use proteus_filters as filters;
+pub use proteus_lsm as lsm;
+pub use proteus_succinct as succinct;
+pub use proteus_workloads as workloads;

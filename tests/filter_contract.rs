@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: every range filter in the workspace
+//! (Proteus, 1PBF, 2PBF, SuRF variants, Rosetta) honors the same contract
+//! through the `RangeFilter` trait — no false negatives ever, and sane
+//! false positive behaviour.
+
+use proteus::core::key::u64_key;
+use proteus::core::{
+    KeySet, OnePbf, OnePbfOptions, Proteus, ProteusOptions, RangeFilter, SampleQueries, TwoPbf,
+    TwoPbfFilterOptions,
+};
+use proteus::filters::{Rosetta, RosettaOptions, Surf, SurfSuffix};
+use proteus::workloads::{Dataset, QueryGen, Workload};
+use proptest::prelude::*;
+
+fn all_filters(
+    keys: &KeySet,
+    samples: &SampleQueries,
+    m_bits: u64,
+) -> Vec<Box<dyn RangeFilter>> {
+    let two_opts = TwoPbfFilterOptions {
+        model: proteus::core::model::two_pbf::TwoPbfOptions {
+            max_l2_values: 16,
+            threads: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    vec![
+        Box::new(Proteus::train(keys, samples, m_bits, &ProteusOptions::default())),
+        Box::new(OnePbf::train(keys, samples, m_bits, &OnePbfOptions::default())),
+        Box::new(TwoPbf::train(keys, samples, m_bits, &two_opts)),
+        Box::new(Surf::build(keys, SurfSuffix::Base)),
+        Box::new(Surf::build(keys, SurfSuffix::Hash(8))),
+        Box::new(Surf::build(keys, SurfSuffix::Real(8))),
+        Box::new(Rosetta::train(keys, samples, m_bits, &RosettaOptions::default())),
+    ]
+}
+
+#[test]
+fn no_false_negatives_on_every_dataset() {
+    for dataset in [Dataset::Uniform, Dataset::Normal, Dataset::Books, Dataset::Facebook] {
+        let raw = dataset.generate(3_000, 17);
+        let keys = KeySet::from_u64(&raw);
+        let samples = SampleQueries::from_u64(
+            &QueryGen::new(Workload::Uniform { rmax: 1 << 10 }, &raw, &[], 5).empty_ranges(300),
+        );
+        for filter in all_filters(&keys, &samples, 3_000 * 12) {
+            for &k in raw.iter().step_by(61) {
+                assert!(
+                    filter.may_contain(&u64_key(k)),
+                    "{} false negative on {} point {k:#x}",
+                    filter.name(),
+                    dataset.name()
+                );
+                let lo = u64_key(k.saturating_sub(3));
+                let hi = u64_key(k.saturating_add(3));
+                assert!(
+                    filter.may_contain_range(&lo, &hi),
+                    "{} false negative on {} range around {k:#x}",
+                    filter.name(),
+                    dataset.name()
+                );
+            }
+            // Full-space range must always be positive on non-empty sets.
+            assert!(filter.may_contain_range(&u64_key(0), &u64_key(u64::MAX)));
+        }
+    }
+}
+
+#[test]
+fn trained_filters_filter_most_empty_queries() {
+    let raw = Dataset::Uniform.generate(5_000, 23);
+    let keys = KeySet::from_u64(&raw);
+    let workload = Workload::Correlated { rmax: 64, corr_degree: 1 << 10 };
+    let samples = SampleQueries::from_u64(
+        &QueryGen::new(workload.clone(), &raw, &[], 7).empty_ranges(2_000),
+    );
+    let eval = SampleQueries::from_u64(
+        &QueryGen::new(workload, &raw, &[], 1234).empty_ranges(2_000),
+    );
+    // The self-designing filters must achieve a reasonable FPR on a
+    // workload they were trained for (small correlated ranges, 14 BPK).
+    for filter in [
+        Box::new(Proteus::train(&keys, &samples, 5_000 * 14, &ProteusOptions::default()))
+            as Box<dyn RangeFilter>,
+        Box::new(OnePbf::train(&keys, &samples, 5_000 * 14, &OnePbfOptions::default())),
+    ] {
+        let fps = eval.iter().filter(|(lo, hi)| filter.may_contain_range(lo, hi)).count();
+        let fpr = fps as f64 / eval.len() as f64;
+        assert!(fpr < 0.25, "{}: fpr {fpr}", filter.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized contract check: arbitrary key sets, arbitrary budgets,
+    /// arbitrary query ranges — positives may be wrong, negatives never.
+    #[test]
+    fn randomized_no_false_negatives(
+        seed in 0u64..1000,
+        n_keys in 50usize..500,
+        bpk in 6u64..20,
+        spread in 1u64..(1 << 40),
+    ) {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let raw: Vec<u64> = (0..n_keys).map(|_| next() % spread.max(1)).collect();
+        let keys = KeySet::from_u64(&raw);
+        let mut samples = SampleQueries::from_u64(
+            &(0..50).map(|_| {
+                let lo = next() % spread.max(1);
+                (lo, lo.saturating_add(next() % 100))
+            }).collect::<Vec<_>>(),
+        );
+        samples.retain_empty(&keys);
+        for filter in all_filters(&keys, &samples, n_keys as u64 * bpk) {
+            // Every key, every tight range around a key.
+            for &k in raw.iter().step_by(7) {
+                prop_assert!(filter.may_contain(&u64_key(k)), "{}", filter.name());
+                let lo = u64_key(k.saturating_sub(next() % 50));
+                let hi = u64_key(k.saturating_add(next() % 50));
+                prop_assert!(filter.may_contain_range(&lo, &hi), "{}", filter.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the bit-level prefix arithmetic that the whole CPFPR
+//! model rests on, cross-checked against plain u64 reference computations
+//! and against wide-key equivalents.
+
+use proptest::prelude::*;
+use proteus::core::key::{
+    bit_slice, end_region_counts, increment_prefix, lcp_bits, mask_tail, pad_key, prefix_count,
+    set_tail_ones, u64_key,
+};
+
+proptest! {
+    #[test]
+    fn lcp_matches_xor_reference(a: u64, b: u64) {
+        let want = if a == b { 64 } else { (a ^ b).leading_zeros() as usize };
+        prop_assert_eq!(lcp_bits(&u64_key(a), &u64_key(b)), want);
+    }
+
+    #[test]
+    fn prefix_count_matches_shift_reference(x: u64, y: u64, l in 1usize..=64) {
+        let (lo, hi) = (x.min(y), x.max(y));
+        let shift = 64 - l;
+        let want = (hi >> shift) - (lo >> shift) + 1;
+        prop_assert_eq!(prefix_count(&u64_key(lo), &u64_key(hi), l, u64::MAX), want);
+    }
+
+    #[test]
+    fn prefix_count_saturates_consistently(x: u64, y: u64, l in 1usize..=64, cap in 1u64..10_000) {
+        let (lo, hi) = (x.min(y), x.max(y));
+        let exact = prefix_count(&u64_key(lo), &u64_key(hi), l, u64::MAX);
+        let capped = prefix_count(&u64_key(lo), &u64_key(hi), l, cap);
+        prop_assert_eq!(capped, exact.min(cap));
+    }
+
+    #[test]
+    fn wide_keys_agree_with_u64_on_low_bits(x: u64, y: u64, l in 1usize..=64) {
+        // Embed the u64s in the low 8 bytes of 24-byte keys with equal
+        // high parts: all the arithmetic must agree with the u64 case at
+        // shifted prefix lengths.
+        let (lo, hi) = (x.min(y), x.max(y));
+        let mut wlo = vec![0xABu8; 16];
+        wlo.extend_from_slice(&u64_key(lo));
+        let mut whi = vec![0xABu8; 16];
+        whi.extend_from_slice(&u64_key(hi));
+        prop_assert_eq!(
+            prefix_count(&wlo, &whi, 128 + l, u64::MAX),
+            prefix_count(&u64_key(lo), &u64_key(hi), l, u64::MAX)
+        );
+        prop_assert_eq!(lcp_bits(&wlo, &whi), 128 + lcp_bits(&u64_key(lo), &u64_key(hi)));
+    }
+
+    #[test]
+    fn end_regions_match_reference(x: u64, y: u64, l1 in 1usize..63, extra in 1usize..32) {
+        let (lo, hi) = (x.min(y), x.max(y));
+        let l2 = (l1 + extra).min(64);
+        prop_assume!(l2 > l1);
+        let (gl, gr) = end_region_counts(&u64_key(lo), &u64_key(hi), l1, l2, u64::MAX);
+        // Reference on u64: count l2-prefixes of [lo,hi] within the first
+        // and last l1-regions.
+        let s2 = 64 - l2;
+        let (lo2, hi2) = (lo >> s2, hi >> s2);
+        let s1 = 64 - l1;
+        let (lo1, hi1) = (lo >> s1, hi >> s1);
+        let q2 = hi2 - lo2 + 1;
+        let (wl, wr) = if lo1 == hi1 {
+            (q2, q2)
+        } else {
+            let region = 1u64 << (l2 - l1);
+            let first_end = ((lo1 + 1) << (l2 - l1)) - 1;
+            let last_start = hi1 << (l2 - l1);
+            let _ = region;
+            (first_end - lo2 + 1, hi2 - last_start + 1)
+        };
+        prop_assert_eq!((gl, gr), (wl, wr), "lo={:#x} hi={:#x} l1={} l2={}", lo, hi, l1, l2);
+    }
+
+    #[test]
+    fn increment_prefix_is_addition(x: u64, l in 1usize..=64) {
+        let mut k = u64_key(x);
+        mask_tail(&mut k, l);
+        let masked = u64::from_be_bytes(k);
+        let overflow = increment_prefix(&mut k, l);
+        let step = 1u64 << (64 - l);
+        let expect_overflow = masked.checked_add(step).is_none();
+        prop_assert_eq!(overflow, expect_overflow);
+        if !overflow {
+            prop_assert_eq!(u64::from_be_bytes(k), masked.wrapping_add(step));
+        }
+    }
+
+    #[test]
+    fn mask_and_ones_bracket_the_region(x: u64, l in 0usize..=64) {
+        let mut lo = u64_key(x);
+        mask_tail(&mut lo, l);
+        let mut hi = u64_key(x);
+        set_tail_ones(&mut hi, l);
+        let lo_v = u64::from_be_bytes(lo);
+        let hi_v = u64::from_be_bytes(hi);
+        prop_assert!(lo_v <= x && x <= hi_v);
+        if l > 0 && l < 64 {
+            prop_assert_eq!(hi_v - lo_v + 1, 1u64 << (64 - l));
+        } else if l == 0 {
+            prop_assert_eq!((lo_v, hi_v), (0, u64::MAX));
+        }
+        prop_assert_eq!(lcp_bits(&lo, &hi) >= l, true);
+    }
+
+    #[test]
+    fn bit_slice_matches_shift_mask(x: u64, from in 0usize..64, width in 1usize..=32) {
+        let to = (from + width).min(64);
+        let want = (x << from) >> (64 - (to - from)) ;
+        let want = if to == from { 0 } else { want };
+        prop_assert_eq!(bit_slice(&u64_key(x), from, to, u64::MAX), want);
+    }
+
+    #[test]
+    fn padding_preserves_lexicographic_order(a: Vec<u8>, b: Vec<u8>) {
+        let width = 40;
+        let (pa, pb) = (pad_key(&a, width), pad_key(&b, width));
+        let ta: &[u8] = &a[..a.len().min(width)];
+        let tb: &[u8] = &b[..b.len().min(width)];
+        // NUL padding preserves order except when one truncated key is a
+        // NUL-extension of the other (identical semantics to §7.1).
+        if ta.iter().rev().take_while(|&&c| c == 0).count() == 0
+            && tb.iter().rev().take_while(|&&c| c == 0).count() == 0
+        {
+            prop_assert_eq!(ta.cmp(tb), pa.cmp(&pb));
+        }
+    }
+}
