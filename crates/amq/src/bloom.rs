@@ -38,7 +38,12 @@ impl BloomFilter {
     /// allocation wants uniform hash counts).
     pub fn with_hash_count(m_bits: u64, k: u32) -> Self {
         let words = m_bits.div_ceil(64) as usize;
-        BloomFilter { bits: vec![0u64; words], m: m_bits, k: k.clamp(1, crate::MAX_HASH_FUNCTIONS), inserted: 0 }
+        BloomFilter {
+            bits: vec![0u64; words],
+            m: m_bits,
+            k: k.clamp(1, crate::MAX_HASH_FUNCTIONS),
+            inserted: 0,
+        }
     }
 
     /// Number of hash functions in use.

@@ -85,10 +85,7 @@ impl CountingBloomFilter {
         if self.slots == 0 {
             return COUNTER_MAX;
         }
-        (0..self.k)
-            .map(|i| self.counters[h.probe(i, self.slots) as usize])
-            .min()
-            .unwrap_or(0)
+        (0..self.k).map(|i| self.counters[h.probe(i, self.slots) as usize]).min().unwrap_or(0)
     }
 
     pub fn size_bits(&self) -> u64 {

@@ -166,11 +166,7 @@ mod tests {
         let a = [1, 2, 3, 4, 5, 6, 7, 8];
         let b = [1, 2, 3, 4, 0xFF, 0xFF, 0xFF, 0xFF];
         for bits in 1..=32 {
-            assert_eq!(
-                hasher.hash_prefix(&a, bits),
-                hasher.hash_prefix(&b, bits),
-                "bits={bits}"
-            );
+            assert_eq!(hasher.hash_prefix(&a, bits), hasher.hash_prefix(&b, bits), "bits={bits}");
         }
         for bits in 33..=64 {
             assert_ne!(hasher.hash_prefix(&a, bits), hasher.hash_prefix(&b, bits));

@@ -118,7 +118,8 @@ impl ClHasher {
                     if lane_pair * 2 % KEY_WORDS == 0 {
                         // Recycled key block: tweak so long inputs don't see
                         // a repeating structure.
-                        chunk_tweak = chunk_tweak.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                        chunk_tweak =
+                            chunk_tweak.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
                     }
                 }
             }
@@ -137,7 +138,8 @@ impl ClHasher {
         let k1 = self.keys[(lane_pair * 2 + 1) % KEY_WORDS];
         acc ^= clmul64(first ^ k0, tail_lane ^ k1);
 
-        let reduced = gf64_reduce(acc) ^ (data.len() as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ tweak;
+        let reduced =
+            gf64_reduce(acc) ^ (data.len() as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ tweak;
         fmix64(reduced)
     }
 }

@@ -119,10 +119,7 @@ mod tests {
         assert_eq!(hex(murmur3_x64_128(b"", 1)), "b55cff6ee5ab10468335f878aa2d6251");
         assert_eq!(hex(murmur3_x64_128(b"a", 0)), "897859f6655555855a890e51483ab5e6");
         // Numeric form: h1=f1512dd1d2d665df h2=2c326650a8f3c564.
-        assert_eq!(
-            hex(murmur3_x64_128(b"Hello, world!", 0)),
-            "df65d6d2d12d51f164c5f3a85066322c"
-        );
+        assert_eq!(hex(murmur3_x64_128(b"Hello, world!", 0)), "df65d6d2d12d51f164c5f3a85066322c");
         assert_eq!(
             hex(murmur3_x64_128(b"The quick brown fox jumps over the lazy dog", 0)),
             "6c1b07bc7bbc4be347939ac4a93c437a"

@@ -16,13 +16,8 @@ fn bench_construction(c: &mut Criterion) {
     let keys = KeySet::from_u64(&raw);
     let m = n as u64 * 10;
     let samples = SampleQueries::from_u64(
-        &QueryGen::new(
-            Workload::Correlated { rmax: 1 << 16, corr_degree: 1 << 14 },
-            &raw,
-            &[],
-            7,
-        )
-        .empty_ranges(5_000),
+        &QueryGen::new(Workload::Correlated { rmax: 1 << 16, corr_degree: 1 << 14 }, &raw, &[], 7)
+            .empty_ranges(5_000),
     );
 
     let mut group = c.benchmark_group("construction");

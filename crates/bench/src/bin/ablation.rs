@@ -49,12 +49,8 @@ fn main() {
         let opts = ProteusModelOptions { max_bloom_lengths: max_l2, threads: 1 };
         let timed = Timed::run(|| ProteusModel::build(&sc.keyset, &sc.samples, m_bits, &opts));
         let design = timed.value.best_design(&sc.keyset, m_bits);
-        let filter = Proteus::build_with_design(
-            &sc.keyset,
-            design,
-            m_bits,
-            &ProteusOptions::default(),
-        );
+        let filter =
+            Proteus::build_with_design(&sc.keyset, design, m_bits, &ProteusOptions::default());
         let observed = measure_fpr(&filter, &sc.eval);
         t.row(vec![
             if max_l2 == 0 { "all(64)".into() } else { max_l2.to_string() },
@@ -77,12 +73,8 @@ fn main() {
     {
         use proteus_amq::hash::PrefixHasher;
         use proteus_amq::{Amq, BlockedBloomFilter, BloomFilter};
-        let model = ProteusModel::build(
-            &sc.keyset,
-            &sc.samples,
-            m_bits,
-            &ProteusModelOptions::default(),
-        );
+        let model =
+            ProteusModel::build(&sc.keyset, &sc.samples, m_bits, &ProteusModelOptions::default());
         let design = model.best_design(&sc.keyset, m_bits);
         let l2 = design.bloom_prefix_len.max(1);
         let bf_bits = m_bits - design.trie_mem_bits;
@@ -97,9 +89,8 @@ fn main() {
             let hasher = PrefixHasher::new(proteus_amq::hash::HashFamily::Murmur3, 1);
             let mut prev: Option<Vec<u8>> = None;
             for key in keyset.iter() {
-                let fresh = prev
-                    .as_deref()
-                    .map_or(true, |p| proteus_core::key::lcp_bits(p, key) < l2);
+                let fresh =
+                    prev.as_deref().map_or(true, |p| proteus_core::key::lcp_bits(p, key) < l2);
                 if fresh {
                     amq.insert_hash(hasher.hash_prefix(key, l2 as u32).to_u128());
                 }

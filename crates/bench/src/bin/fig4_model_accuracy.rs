@@ -17,9 +17,7 @@ use proteus_bench::scenario;
 use proteus_core::model::one_pbf::{OnePbfDesign, OnePbfModel};
 use proteus_core::model::proteus::{ProteusDesign, ProteusModel, ProteusModelOptions};
 use proteus_core::model::two_pbf::{TwoPbfDesign, TwoPbfModel, TwoPbfOptions};
-use proteus_core::{
-    OnePbf, OnePbfOptions, Proteus, ProteusOptions, TwoPbf, TwoPbfFilterOptions,
-};
+use proteus_core::{OnePbf, OnePbfOptions, Proteus, ProteusOptions, TwoPbf, TwoPbfFilterOptions};
 use proteus_workloads::{Dataset, Workload};
 
 fn main() {
@@ -47,8 +45,14 @@ fn part_a(args: &Args) {
 
     let lens: Vec<usize> = (20..=64).step_by(args.get_usize("step", 2)).collect();
     let run = |t: &mut Table, experiment: &str, param: u32, workload: Workload, seed: u64| {
-        let sc =
-            scenario::setup(Dataset::Uniform, &workload, args.keys, args.samples, args.queries, seed);
+        let sc = scenario::setup(
+            Dataset::Uniform,
+            &workload,
+            args.keys,
+            args.samples,
+            args.queries,
+            seed,
+        );
         let model = OnePbfModel::build(&sc.keyset, &sc.samples);
         // Observed FPR per design, evaluated in parallel across lengths.
         let results: Vec<(usize, f64, f64)> = std::thread::scope(|s| {
@@ -190,7 +194,8 @@ fn part_c(args: &Args) {
                 expected_fpr: expected,
                 trie_mem_bits: model.trie_mem_for(l1).unwrap_or(0),
             };
-            let f = Proteus::build_with_design(&sc.keyset, design, m_bits, &ProteusOptions::default());
+            let f =
+                Proteus::build_with_design(&sc.keyset, design, m_bits, &ProteusOptions::default());
             let observed = measure_fpr(&f, &sc.eval);
             t.row(vec![
                 l1.to_string(),
@@ -228,6 +233,10 @@ fn summarize_accuracy(t: &Table, tag: &str) {
         n += 1;
     }
     if n > 0 {
-        println!("Fig {tag} accuracy: mean |exp-obs| = {:.4}, max = {:.4} over {n} designs", sum / n as f64, max);
+        println!(
+            "Fig {tag} accuracy: mean |exp-obs| = {:.4}, max = {:.4} over {n} designs",
+            sum / n as f64,
+            max
+        );
     }
 }

@@ -50,8 +50,7 @@ pub fn run_transition(args: &Args, tag: &str, dataset: Dataset, reverse: bool) {
 
     let uniform = Workload::Uniform { rmax: 1 << 15 };
     let correlated = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };
-    let (start_w, end_w) =
-        if reverse { (correlated, uniform) } else { (uniform, correlated) };
+    let (start_w, end_w) = if reverse { (correlated, uniform) } else { (uniform, correlated) };
 
     let mut t = Table::new(
         &format!("Figure 7 ({tag}): transition with {batches} batches of {per_batch} seeks"),

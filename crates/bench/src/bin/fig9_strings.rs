@@ -10,16 +10,16 @@
 //! Run: `cargo run -p proteus-bench --release --bin fig9_strings -- --part fpr`
 //!      `cargo run -p proteus-bench --release --bin fig9_strings -- --part lsm`
 
+use proteus_amq::hash::HashFamily;
 use proteus_bench::build::surf_best_under_budget;
 use proteus_bench::cli::Args;
+use proteus_bench::factories::SurfFactory;
+use proteus_bench::lsm_harness::{fresh_dir, lsm_config};
 use proteus_bench::measure::measure_fpr;
 use proteus_bench::report::Table;
 use proteus_core::key::pad_key;
 use proteus_core::model::proteus::ProteusModelOptions;
 use proteus_core::{KeySet, Proteus, ProteusOptions, RangeFilter, SampleQueries};
-use proteus_amq::hash::HashFamily;
-use proteus_bench::factories::SurfFactory;
-use proteus_bench::lsm_harness::{fresh_dir, lsm_config};
 use proteus_lsm::{Db, FilterFactory, ProteusFactory};
 use proteus_workloads::{generate_domains, StringDataset, StringQueryGen};
 use std::collections::BTreeSet;
@@ -163,10 +163,7 @@ fn part_lsm(args: &Args) {
         .collect();
 
     let factories: Vec<(&str, Arc<dyn FilterFactory>)> = vec![
-        (
-            "proteus",
-            Arc::new(ProteusFactory { options: string_proteus_options() }),
-        ),
+        ("proteus", Arc::new(ProteusFactory { options: string_proteus_options() })),
         ("surf", Arc::new(SurfFactory::default())),
     ];
 
@@ -184,7 +181,15 @@ fn part_lsm(args: &Args) {
             let seed_q: Vec<(Vec<u8>, Vec<u8>)> = queries
                 .iter()
                 .take(args.samples.min(queries.len()))
-                .filter(|(lo, hi)| mirror.range::<Vec<u8>, _>((std::ops::Bound::Included(lo.clone()), std::ops::Bound::Included(hi.clone()))).next().is_none())
+                .filter(|(lo, hi)| {
+                    mirror
+                        .range::<Vec<u8>, _>((
+                            std::ops::Bound::Included(lo.clone()),
+                            std::ops::Bound::Included(hi.clone()),
+                        ))
+                        .next()
+                        .is_none()
+                })
                 .cloned()
                 .collect();
             db.seed_queries(seed_q);

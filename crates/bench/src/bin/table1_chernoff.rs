@@ -23,10 +23,8 @@ fn main() {
     }
     t.finish(args.out.as_deref(), "table1_chernoff");
 
-    let mut t2 = Table::new(
-        "Sample-size examples (δ = 0.01, p ≤ 0.1)",
-        &["samples", "error_bound"],
-    );
+    let mut t2 =
+        Table::new("Sample-size examples (δ = 0.01, p ≤ 0.1)", &["samples", "error_bound"]);
     for n in [10_000usize, 20_000, 50_000] {
         t2.row(vec![n.to_string(), format!("{:.2e}", fpr_estimate_error_bound(n, 0.01, 0.1))]);
     }

@@ -42,13 +42,19 @@ fn main() {
     let samples = SampleQueries::from_u64(&sample_ranges);
 
     // Phase: calculate trie memory (all byte depths).
-    let trie_mem = Timed::run(|| {
-        (1..=8usize).map(|d| ks.trie_mem_bits(d)).collect::<Vec<_>>()
-    });
+    let trie_mem = Timed::run(|| (1..=8usize).map(|d| ks.trie_mem_bits(d)).collect::<Vec<_>>());
 
     let mut t = Table::new(
         "Table 2: construction cost breakdown (ms)",
-        &["filter", "count_key_prefixes", "calc_trie_mem", "count_query_prefixes", "calc_config_fprs", "build_filter", "total"],
+        &[
+            "filter",
+            "count_key_prefixes",
+            "calc_trie_mem",
+            "count_query_prefixes",
+            "calc_config_fprs",
+            "build_filter",
+            "total",
+        ],
     );
 
     // --- 1PBF ---

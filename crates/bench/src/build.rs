@@ -64,9 +64,8 @@ pub fn build_filter(
             };
             Some(Box::new(TwoPbf::train(keys, samples, m_bits, &opts)))
         }
-        FilterKind::SurfBest => {
-            surf_best_under_budget(keys, eval, m_bits).map(|(s, _)| Box::new(s) as Box<dyn RangeFilter>)
-        }
+        FilterKind::SurfBest => surf_best_under_budget(keys, eval, m_bits)
+            .map(|(s, _)| Box::new(s) as Box<dyn RangeFilter>),
         FilterKind::Rosetta => {
             Some(Box::new(Rosetta::train(keys, samples, m_bits, &RosettaOptions::default())))
         }

@@ -47,8 +47,25 @@ impl Args {
             }
             i += 1;
         }
-        let get_usize =
-            |m: &HashMap<String, String>, k: &str, d: usize| m.get(k).map_or(d, |v| v.parse().expect(k));
+        if map.contains_key("help") || argv.iter().any(|a| a == "-h") {
+            eprintln!(
+                "Proteus experiment binary. Common flags (all optional):\n\
+                 \n\
+                 --keys N       dataset size            (default laptop-scale per binary)\n\
+                 --queries N    evaluation queries\n\
+                 --samples N    sample queries fed to the models\n\
+                 --seed N       RNG seed                (default 42)\n\
+                 --bpk LIST     comma-separated bits-per-key budgets (default 8,10,12,14,16,18)\n\
+                 --out PATH     CSV output path         (default results/<binary>.csv)\n\
+                 --part X       sub-experiment selector (figure-specific, default 'all')\n\
+                 \n\
+                 The paper's full scale is --keys 10000000 --queries 1000000 --samples 20000."
+            );
+            std::process::exit(0);
+        }
+        let get_usize = |m: &HashMap<String, String>, k: &str, d: usize| {
+            m.get(k).map_or(d, |v| v.parse().expect(k))
+        };
         let keys = get_usize(&map, "keys", default_keys);
         let queries = get_usize(&map, "queries", default_queries);
         let samples = get_usize(&map, "samples", default_samples);

@@ -89,7 +89,9 @@ mod tests {
 
     #[test]
     fn adaptive_surf_grows_with_budget() {
-        let keys = KeySet::from_u64(&(0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect::<Vec<_>>());
+        let keys = KeySet::from_u64(
+            &(0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect::<Vec<_>>(),
+        );
         let samples = SampleQueries::new(8);
         let f = SurfFactory::default();
         let small = f.build(&keys, &samples, 2000 * 11);

@@ -10,9 +10,9 @@ pub mod build;
 pub mod cli;
 pub mod factories;
 pub mod lsm_harness;
-pub mod scenario;
 pub mod measure;
 pub mod report;
+pub mod scenario;
 
 pub use build::{surf_best_under_budget, FilterKind};
 pub use cli::Args;

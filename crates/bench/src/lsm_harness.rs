@@ -70,9 +70,7 @@ impl LsmRun {
         let dir = fresh_dir(tag);
         let mut db = Db::open(&dir, cfg, factory).expect("open db");
         db.seed_queries(
-            seed_queries
-                .iter()
-                .map(|&(lo, hi)| (u64_key(lo).to_vec(), u64_key(hi).to_vec())),
+            seed_queries.iter().map(|&(lo, hi)| (u64_key(lo).to_vec(), u64_key(hi).to_vec())),
         );
         let mut mirror = BTreeSet::new();
         for &k in keys {

@@ -10,10 +10,7 @@ pub fn measure_fpr<F: RangeFilter + ?Sized>(filter: &F, empty_queries: &SampleQu
     if empty_queries.is_empty() {
         return 0.0;
     }
-    let fps = empty_queries
-        .iter()
-        .filter(|(lo, hi)| filter.may_contain_range(lo, hi))
-        .count();
+    let fps = empty_queries.iter().filter(|(lo, hi)| filter.may_contain_range(lo, hi)).count();
     fps as f64 / empty_queries.len() as f64
 }
 

@@ -42,8 +42,11 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let padded: Vec<String> =
-                cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
             println!("  {}", padded.join("  "));
         };
         line(&self.header);
@@ -69,9 +72,8 @@ impl Table {
     /// Print and write to the default results path for `name`.
     pub fn finish(&self, out_override: Option<&str>, name: &str) {
         self.print();
-        let path = out_override
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| format!("results/{name}.csv"));
+        let path =
+            out_override.map(|s| s.to_string()).unwrap_or_else(|| format!("results/{name}.csv"));
         match self.write_csv(&path) {
             Ok(()) => println!("  -> {path}"),
             Err(e) => eprintln!("  (csv write failed: {e})"),

@@ -66,7 +66,11 @@ pub fn fig5_rows(rmax: u64) -> Vec<(Dataset, Workload, &'static str)> {
         (Dataset::Normal, Workload::Uniform { rmax }, "normal-uniform"),
         (
             Dataset::Normal,
-            Workload::Split { uniform_rmax: rmax, correlated_rmax: rmax.min(64), corr_degree: 1 << 10 },
+            Workload::Split {
+                uniform_rmax: rmax,
+                correlated_rmax: rmax.min(64),
+                corr_degree: 1 << 10,
+            },
             "normal-split",
         ),
         (Dataset::Books, Workload::Real { rmax }, "books-real"),

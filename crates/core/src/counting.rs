@@ -130,9 +130,7 @@ impl CountingProteus {
                         return sum;
                     }
                     *budget -= 1;
-                    sum += self
-                        .counts
-                        .count_estimate(self.hasher.hash_prefix(&cur, self.l2 as u32))
+                    sum += self.counts.count_estimate(self.hasher.hash_prefix(&cur, self.l2 as u32))
                         as u64;
                     if cur == end || increment_prefix(&mut cur, self.l2) {
                         return sum;

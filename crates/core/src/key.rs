@@ -174,7 +174,8 @@ pub fn prefix_count(lo: &[u8], hi: &[u8], l: usize, cap: u64) -> u64 {
     }
     if rem != 0 {
         let mask = 0xFFu8 << (8 - rem);
-        d = (d << rem) + (((hi[full] & mask) >> (8 - rem)) as i128 - ((lo[full] & mask) >> (8 - rem)) as i128);
+        d = (d << rem)
+            + (((hi[full] & mask) >> (8 - rem)) as i128 - ((lo[full] & mask) >> (8 - rem)) as i128);
         if d > cap {
             return cap as u64;
         }

@@ -275,11 +275,7 @@ mod tests {
     #[test]
     fn uniqueness_depths() {
         // 0x00AB, 0x00CD share byte 0; 0x7F00 is unique from byte 1.
-        let keys = vec![
-            vec![0x00, 0xAB],
-            vec![0x00, 0xCD],
-            vec![0x7F, 0x00],
-        ];
+        let keys = vec![vec![0x00, 0xAB], vec![0x00, 0xCD], vec![0x7F, 0x00]];
         let ks = KeySet::new(keys, 2);
         assert_eq!(ks.unique_by_depth(0), 0);
         assert_eq!(ks.unique_by_depth(1), 1); // 0x7F00

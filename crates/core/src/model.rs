@@ -80,11 +80,7 @@ pub fn extract_contexts(keys: &KeySet, samples: &SampleQueries) -> Vec<QueryCtx>
         .iter()
         .map(|(lo, hi)| {
             let (a, b) = keys.neighbor_lcps(lo, hi);
-            QueryCtx {
-                a: a as u16,
-                b: b as u16,
-                c: crate::key::lcp_bits(lo, hi) as u16,
-            }
+            QueryCtx { a: a as u16, b: b as u16, c: crate::key::lcp_bits(lo, hi) as u16 }
         })
         .collect()
 }
@@ -110,7 +106,12 @@ const BIN_COUNT: usize = 66;
 
 impl Default for ProbeBins {
     fn default() -> Self {
-        ProbeBins { counts: vec![0; BIN_COUNT], sums: vec![0; BIN_COUNT], guaranteed: 0, resolved: 0 }
+        ProbeBins {
+            counts: vec![0; BIN_COUNT],
+            sums: vec![0; BIN_COUNT],
+            guaranteed: 0,
+            resolved: 0,
+        }
     }
 }
 
@@ -305,7 +306,11 @@ mod tests {
                 for l in anchor + 1..=64 {
                     scan.step(get_bit(&lo, l - 1), get_bit(&hi, l - 1));
                     let want_q = prefix_count(&lo, &hi, l, COUNT_SATURATION);
-                    assert_eq!(scan.regions(), want_q, "q lo={lo_v:#x} hi={hi_v:#x} a={anchor} l={l}");
+                    assert_eq!(
+                        scan.regions(),
+                        want_q,
+                        "q lo={lo_v:#x} hi={hi_v:#x} a={anchor} l={l}"
+                    );
                     if anchor > 0 {
                         let (want_l, want_r) =
                             end_region_counts(&lo, &hi, anchor, l, COUNT_SATURATION);

@@ -352,7 +352,13 @@ mod tests {
         (0..n).map(|_| (0xABu64 << 56) | (splitmix(&mut s) >> 24)).collect()
     }
 
-    fn correlated_queries(keys: &[u64], ks: &KeySet, n: usize, corr: u64, seed: u64) -> SampleQueries {
+    fn correlated_queries(
+        keys: &[u64],
+        ks: &KeySet,
+        n: usize,
+        corr: u64,
+        seed: u64,
+    ) -> SampleQueries {
         let mut s = seed;
         let mut out = SampleQueries::new(8);
         while out.len() < n {
@@ -412,8 +418,7 @@ mod tests {
         let raw = normal_keys(2000, 3);
         let keys = KeySet::from_u64(&raw);
         let samples = correlated_queries(&raw, &keys, 300, 1 << 20, 99);
-        let model =
-            ProteusModel::build(&keys, &samples, 1 << 24, &ProteusModelOptions::default());
+        let model = ProteusModel::build(&keys, &samples, 1 << 24, &ProteusModelOptions::default());
         let mut last = 0u64;
         for (c, _) in model.l1_candidates.iter().enumerate() {
             assert!(model.resolved[c] >= last, "resolution monotone in depth");

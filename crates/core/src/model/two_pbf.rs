@@ -184,14 +184,7 @@ impl TwoPbfModel {
         for sums in per_l1 {
             fp_sums.extend(sums);
         }
-        TwoPbfModel {
-            fp_sums,
-            l1_values,
-            l2_values,
-            splits: opts.splits.clone(),
-            bits,
-            n_samples,
-        }
+        TwoPbfModel { fp_sums, l1_values, l2_values, splits: opts.splits.clone(), bits, n_samples }
     }
 
     /// Expected FPR of design `(l1, l2, split_index)`.
@@ -268,23 +261,11 @@ fn fp_probability(g: &Geometry, p1: f64, p2: f64, w: usize) -> f64 {
         // One l1-region; occupied iff the query survived the guaranteed
         // check while lcp(Q,K) >= l1.
         let clear2 = pow2(g.q2);
-        let no_fp = if g.first_occ || g.last_occ {
-            clear2
-        } else {
-            (1.0 - p1) + p1 * clear2
-        };
+        let no_fp = if g.first_occ || g.last_occ { clear2 } else { (1.0 - p1) + p1 * clear2 };
         return 1.0 - no_fp;
     }
-    let f_left = if g.first_occ {
-        pow2(g.left)
-    } else {
-        (1.0 - p1) + p1 * pow2(g.left)
-    };
-    let f_right = if g.last_occ {
-        pow2(g.right)
-    } else {
-        (1.0 - p1) + p1 * pow2(g.right)
-    };
+    let f_left = if g.first_occ { pow2(g.left) } else { (1.0 - p1) + p1 * pow2(g.left) };
+    let f_right = if g.last_occ { pow2(g.right) } else { (1.0 - p1) + p1 * pow2(g.right) };
     let region = if w >= 63 { COUNT_SATURATION } else { 1u64 << w };
     let g_mid = (1.0 - p1) + p1 * pow2(region);
     let n_mid = g.q1.saturating_sub(2);
@@ -413,12 +394,7 @@ mod tests {
         let m = 500u64 * 10;
         let opts = TwoPbfOptions { max_l2_values: 8, ..Default::default() };
         let a = TwoPbfModel::build(&keys, &samples, m, &opts);
-        let b = TwoPbfModel::build(
-            &keys,
-            &samples,
-            m,
-            &TwoPbfOptions { threads: 4, ..opts },
-        );
+        let b = TwoPbfModel::build(&keys, &samples, m, &TwoPbfOptions { threads: 4, ..opts });
         for l1 in [5usize, 20, 40] {
             for &l2 in b.l2_values.clone().iter() {
                 if l2 <= l1 {

@@ -40,7 +40,12 @@ pub struct OnePbf {
 
 impl OnePbf {
     /// Self-design: pick the prefix length minimizing modeled FPR.
-    pub fn train(keys: &KeySet, samples: &SampleQueries, m_bits: u64, opts: &OnePbfOptions) -> Self {
+    pub fn train(
+        keys: &KeySet,
+        samples: &SampleQueries,
+        m_bits: u64,
+        opts: &OnePbfOptions,
+    ) -> Self {
         let model = OnePbfModel::build(keys, samples);
         let design = model.best_design(keys, m_bits);
         Self::build_with_prefix_len(keys, design, m_bits, opts)
@@ -53,7 +58,8 @@ impl OnePbf {
         m_bits: u64,
         opts: &OnePbfOptions,
     ) -> Self {
-        let bloom = PrefixBloom::build(keys, design.prefix_len, m_bits, opts.hash_family, opts.seed);
+        let bloom =
+            PrefixBloom::build(keys, design.prefix_len, m_bits, opts.hash_family, opts.seed);
         OnePbf { bloom, design, width: keys.width(), probe_cap: opts.probe_cap }
     }
 

@@ -22,7 +22,13 @@ impl PrefixBloom {
     /// Build over the distinct `prefix_len`-bit prefixes of `keys`, using
     /// `m_bits` of memory. The expected insertion count (which fixes the
     /// hash count) is |K_prefix_len|, computed exactly from the sorted keys.
-    pub fn build(keys: &KeySet, prefix_len: usize, m_bits: u64, family: HashFamily, seed: u32) -> Self {
+    pub fn build(
+        keys: &KeySet,
+        prefix_len: usize,
+        m_bits: u64,
+        family: HashFamily,
+        seed: u32,
+    ) -> Self {
         assert!(prefix_len >= 1 && prefix_len <= keys.bits());
         let n = keys.unique_prefixes(prefix_len);
         let mut bloom = BloomFilter::new(m_bits, n);

@@ -60,7 +60,12 @@ impl Proteus {
     /// instantiate the best design within `m_bits` of memory (Algorithm 1
     /// followed by construction). Samples must be empty queries; use
     /// [`SampleQueries::retain_empty`] first if unsure.
-    pub fn train(keys: &KeySet, samples: &SampleQueries, m_bits: u64, opts: &ProteusOptions) -> Self {
+    pub fn train(
+        keys: &KeySet,
+        samples: &SampleQueries,
+        m_bits: u64,
+        opts: &ProteusOptions,
+    ) -> Self {
         let model = ProteusModel::build(keys, samples, m_bits, &opts.model);
         let design = model.best_design(keys, m_bits);
         Self::build_with_design(keys, design, m_bits, opts)
@@ -160,10 +165,7 @@ impl RangeFilter for Proteus {
         self.size_bits()
     }
     fn name(&self) -> String {
-        format!(
-            "Proteus(l1={}, l2={})",
-            self.design.trie_depth_bits, self.design.bloom_prefix_len
-        )
+        format!("Proteus(l1={}, l2={})", self.design.trie_depth_bits, self.design.bloom_prefix_len)
     }
 }
 
@@ -203,13 +205,7 @@ mod tests {
         let ks = KeySet::from_u64(&raw);
         let m = 2000 * 12;
         let opts = ProteusOptions::default();
-        let designs = [
-            (0usize, 64usize),
-            (0, 40),
-            (16, 48),
-            (16, 0),
-            (24, 64),
-        ];
+        let designs = [(0usize, 64usize), (0, 40), (16, 48), (16, 0), (24, 64)];
         for (l1, l2) in designs {
             if l1 > 0 && ks.trie_mem_bits(l1 / 8) > m {
                 continue;
@@ -241,8 +237,7 @@ mod tests {
 
         let eval = |filter: &Proteus| -> f64 {
             let queries = empty_queries(&ks, 2000, 1 << 14, 99);
-            let fps =
-                queries.iter().filter(|(lo, hi)| filter.may_contain_range(lo, hi)).count();
+            let fps = queries.iter().filter(|(lo, hi)| filter.may_contain_range(lo, hi)).count();
             fps as f64 / queries.len() as f64
         };
         let trained_fpr = eval(&f);
@@ -304,10 +299,12 @@ mod tests {
         let mut samples = SampleQueries::new(width);
         samples.push(&pad_key(b"zeta", width), &pad_key(b"zeta~~~", width));
         samples.push(&pad_key(b"aaaa", width), &pad_key(b"aaab", width));
-        let f = Proteus::train(&ks, &samples, 5 * 128, &ProteusOptions {
-            hash_family: HashFamily::ClHash,
-            ..Default::default()
-        });
+        let f = Proteus::train(
+            &ks,
+            &samples,
+            5 * 128,
+            &ProteusOptions { hash_family: HashFamily::ClHash, ..Default::default() },
+        );
         for n in names {
             assert!(f.query_str(n, n), "{}", String::from_utf8_lossy(n));
         }

@@ -146,13 +146,8 @@ mod tests {
         // printed row 1 (0.00425) computes to 0.0425 — the paper appears to
         // have dropped a factor of ten there (see EXPERIMENTS.md), so we
         // assert the formula's value.
-        let expected = [
-            (1.0, 0.0425),
-            (2.0, 0.00132),
-            (3.0, 0.00005),
-            (4.0, 0.000002),
-            (5.0, 0.0000001),
-        ];
+        let expected =
+            [(1.0, 0.0425), (2.0, 0.00132), (3.0, 0.00005), (4.0, 0.000002), (5.0, 0.0000001)];
         for (nd2, bound) in expected {
             let got = chernoff_tail(nd2, 0.1);
             // Table 1 rounds up; we must be at or below each printed bound
@@ -184,19 +179,17 @@ mod tests {
     fn retain_empty_filters_overlapping_samples() {
         let keys = KeySet::from_u64(&[100, 200, 300]);
         let mut s = SampleQueries::from_u64(&[
-            (10, 20),    // empty
-            (150, 180),  // empty
-            (190, 210),  // overlaps 200
-            (300, 400),  // overlaps 300
-            (301, 400),  // empty
+            (10, 20),   // empty
+            (150, 180), // empty
+            (190, 210), // overlaps 200
+            (300, 400), // overlaps 300
+            (301, 400), // empty
         ]);
         let removed = s.retain_empty(&keys);
         assert_eq!(removed, 2);
         assert_eq!(s.len(), 3);
-        let got: Vec<(u64, u64)> = s
-            .iter()
-            .map(|(l, h)| (crate::key::key_u64(l), crate::key::key_u64(h)))
-            .collect();
+        let got: Vec<(u64, u64)> =
+            s.iter().map(|(l, h)| (crate::key::key_u64(l), crate::key::key_u64(h))).collect();
         assert_eq!(got, vec![(10, 20), (150, 180), (301, 400)]);
     }
 

@@ -133,7 +133,10 @@ impl RangeFilter for TwoPbf {
         self.size_bits()
     }
     fn name(&self) -> String {
-        format!("2PBF(l1={}, l2={}, split={:.1})", self.design.l1, self.design.l2, self.design.split)
+        format!(
+            "2PBF(l1={}, l2={}, split={:.1})",
+            self.design.l1, self.design.l2, self.design.split
+        )
     }
 }
 

@@ -106,8 +106,7 @@ impl Arf {
                 self.escalate_node(keys, right, mid + 1, node_hi, q_lo, q_hi, depth + 1);
             }
             Node::Leaf { occupied, .. } => {
-                let region_occupied =
-                    keys.range_overlaps(&u64_key(node_lo), &u64_key(node_hi));
+                let region_occupied = keys.range_overlaps(&u64_key(node_lo), &u64_key(node_hi));
                 if !region_occupied {
                     // The whole leaf region is empty: flip the bit.
                     self.nodes[n as usize] = Node::Leaf { occupied: false, used: self.clock };
@@ -139,6 +138,7 @@ impl Arf {
     /// leaves. Returns `false` when nothing is mergeable.
     fn retract_one(&mut self) -> bool {
         let mut victim: Option<(u32, u32)> = None; // (node, recency)
+
         // Find mergeable inner nodes (both children leaves).
         for (i, node) in self.nodes.iter().enumerate() {
             if let Node::Inner { left, right } = *node {

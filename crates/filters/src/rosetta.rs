@@ -12,11 +12,11 @@
 //! Proteus uses (the paper gives both filters the sample queue).
 
 use proteus_amq::hash::HashFamily;
+use proteus_amq::standard_bloom_fpr;
 use proteus_core::key::{get_bit, set_tail_ones, u64_key};
 use proteus_core::model::{extract_contexts, BitScan};
 use proteus_core::prefix_bf::PrefixBloom;
 use proteus_core::{KeySet, RangeFilter, SampleQueries};
-use proteus_amq::standard_bloom_fpr;
 
 /// Construction options for [`Rosetta`].
 #[derive(Debug, Clone)]
@@ -56,7 +56,12 @@ pub struct Rosetta {
 
 impl Rosetta {
     /// Tune (levels, bottom fraction) on the sample queries and build.
-    pub fn train(keys: &KeySet, samples: &SampleQueries, m_bits: u64, opts: &RosettaOptions) -> Self {
+    pub fn train(
+        keys: &KeySet,
+        samples: &SampleQueries,
+        m_bits: u64,
+        opts: &RosettaOptions,
+    ) -> Self {
         let bits = keys.bits();
         // Candidate level counts from the sampled range sizes: enough levels
         // that the dyadic decomposition of typical queries is covered.
@@ -210,7 +215,14 @@ impl Rosetta {
 
     /// Recursive binary descent over prefix regions. `prefix` holds the
     /// current `level`-bit prefix (trailing bits zero).
-    fn descend(&self, prefix: &mut [u8], level: usize, lo: &[u8], hi: &[u8], budget: &mut u64) -> bool {
+    fn descend(
+        &self,
+        prefix: &mut [u8],
+        level: usize,
+        lo: &[u8],
+        hi: &[u8],
+        budget: &mut u64,
+    ) -> bool {
         // Region bounds at this level: [prefix·00.., prefix·11..].
         // Disjoint from the query -> resolved negative.
         {

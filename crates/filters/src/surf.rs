@@ -70,9 +70,7 @@ impl Surf {
                 .map(|&i| {
                     let key = keys.key(i as usize);
                     match suffix {
-                        SurfSuffix::Hash(_) => {
-                            hasher.hash_bytes(key).h1 & mask_low(sbits)
-                        }
+                        SurfSuffix::Hash(_) => hasher.hash_bytes(key).h1 & mask_low(sbits),
                         SurfSuffix::Real(_) => {
                             real_suffix(key, branch_lens[i as usize] as usize * 8, sbits)
                         }
@@ -114,7 +112,14 @@ impl Surf {
 
     /// Decide whether a candidate branch (possibly a proper prefix of a
     /// bound) survives suffix refinement.
-    fn candidate_matches(&self, branch: &[u8], slot: usize, lo: &[u8], hi: &[u8], point: bool) -> bool {
+    fn candidate_matches(
+        &self,
+        branch: &[u8],
+        slot: usize,
+        lo: &[u8],
+        hi: &[u8],
+        point: bool,
+    ) -> bool {
         let blen = branch.len();
         let prefix_of_lo = blen < self.width && branch == &lo[..blen.min(lo.len())];
         let prefix_of_hi = blen < self.width && branch == &hi[..blen.min(hi.len())];
@@ -262,7 +267,8 @@ mod tests {
     fn real_suffixes_cut_range_fprs_near_keys() {
         // Clustered keys so pruned prefixes are long and queries nearby.
         let mut s = 3u64;
-        let keys: Vec<u64> = (0..3000).map(|_| (0xAAu64 << 56) | (splitmix(&mut s) >> 20)).collect();
+        let keys: Vec<u64> =
+            (0..3000).map(|_| (0xAAu64 << 56) | (splitmix(&mut s) >> 20)).collect();
         let ks = KeySet::from_u64(&keys);
         let base = Surf::build(&ks, SurfSuffix::Base);
         let real = Surf::build(&ks, SurfSuffix::Real(8));

@@ -62,11 +62,8 @@ impl BlockCache {
         // Evict least-recently-used entries until within budget. Linear
         // scan per eviction is fine at the block counts we cache.
         while self.used_bytes > self.capacity_bytes && self.map.len() > 1 {
-            let (&victim, _) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .expect("non-empty cache");
+            let (&victim, _) =
+                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).expect("non-empty cache");
             if victim == id && self.map.len() == 1 {
                 break;
             }

@@ -9,8 +9,8 @@ use crate::query_queue::QueryQueue;
 use crate::sst::{SstReader, SstScanner, SstWriter};
 use crate::stats::Stats;
 use proteus_core::key::u64_key;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -361,8 +361,12 @@ impl Db {
             last_key = Some(k.clone());
             if writer.is_none() {
                 let id = self.alloc_id();
-                writer =
-                    Some(SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes)?);
+                writer = Some(SstWriter::create(
+                    &self.dir,
+                    id,
+                    self.cfg.key_width,
+                    self.cfg.block_bytes,
+                )?);
             }
             let w = writer.as_mut().unwrap();
             w.add(&k, &v)?;
@@ -422,11 +426,7 @@ impl Db {
 
     /// Total memory held by the per-SST filters, in bits.
     pub fn filter_bits(&self) -> u64 {
-        self.levels
-            .iter()
-            .flatten()
-            .map(|s| s.filter.as_ref().map_or(0, |f| f.size_bits()))
-            .sum()
+        self.levels.iter().flatten().map(|s| s.filter.as_ref().map_or(0, |f| f.size_bits())).sum()
     }
 
     /// Iterate filter names per file (diagnostics for the experiments).

@@ -38,7 +38,12 @@ impl RangeFilter for NoFilter {
 pub struct NoFilterFactory;
 
 impl FilterFactory for NoFilterFactory {
-    fn build(&self, _keys: &KeySet, _samples: &SampleQueries, _m_bits: u64) -> Box<dyn RangeFilter> {
+    fn build(
+        &self,
+        _keys: &KeySet,
+        _samples: &SampleQueries,
+        _m_bits: u64,
+    ) -> Box<dyn RangeFilter> {
         Box::new(NoFilter)
     }
     fn name(&self) -> String {

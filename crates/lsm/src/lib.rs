@@ -208,7 +208,12 @@ mod db_tests {
         assert_eq!(delta.filter_negatives, 0);
         // A handful of gap queries fall between file boundaries and touch
         // nothing; every other seek pays a block access.
-        assert!(delta.blocks_read + delta.cache_hits >= 450, "blocks {} + hits {}", delta.blocks_read, delta.cache_hits);
+        assert!(
+            delta.blocks_read + delta.cache_hits >= 450,
+            "blocks {} + hits {}",
+            delta.blocks_read,
+            delta.cache_hits
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -34,10 +34,7 @@ impl MemTable {
 
     /// Does any buffered key fall within `[lo, hi]`?
     pub fn range_contains(&self, lo: &[u8], hi: &[u8]) -> bool {
-        self.map
-            .range::<[u8], _>((Bound::Included(lo), Bound::Included(hi)))
-            .next()
-            .is_some()
+        self.map.range::<[u8], _>((Bound::Included(lo), Bound::Included(hi))).next().is_some()
     }
 
     pub fn len(&self) -> usize {

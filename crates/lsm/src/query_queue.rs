@@ -18,7 +18,12 @@ pub struct QueryQueue {
 
 impl QueryQueue {
     pub fn new(capacity: usize, every: u64) -> Self {
-        QueryQueue { queue: VecDeque::with_capacity(capacity), capacity, every: every.max(1), offered: 0 }
+        QueryQueue {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            every: every.max(1),
+            offered: 0,
+        }
     }
 
     /// Seed with an initial sample (recorded unconditionally).

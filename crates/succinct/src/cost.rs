@@ -57,11 +57,8 @@ pub fn optimal_cutoff(levels: &[(u64, u64)]) -> (usize, u64) {
     for cutoff in 0..=levels.len() {
         let mut total = 0u64;
         for (d, &(nodes, edges)) in levels.iter().enumerate() {
-            total += if d < cutoff {
-                dense_level_bits(nodes)
-            } else {
-                sparse_level_bits(edges, nodes)
-            };
+            total +=
+                if d < cutoff { dense_level_bits(nodes) } else { sparse_level_bits(edges, nodes) };
         }
         if total < best.1 {
             best = (cutoff, total);

@@ -104,9 +104,7 @@ impl Fst {
 
     fn node_prefix_key_slot(&self, node: NodeRef) -> Option<usize> {
         match node {
-            NodeRef::Dense(i) => {
-                self.dense.is_prefix_key(i).then(|| self.dense.prefix_key_slot(i))
-            }
+            NodeRef::Dense(i) => self.dense.is_prefix_key(i).then(|| self.dense.prefix_key_slot(i)),
             NodeRef::Sparse(s) => self
                 .sparse
                 .is_prefix_key(s)
@@ -243,7 +241,16 @@ impl Fst {
                     let cth = tight_hi && depth < hi.len() && label == hi[depth];
                     path.push(label);
                     let outcome = if self.dense.edge_has_child(i, label) {
-                        self.visit_node(self.dense_child(i, label), depth + 1, ctl, cth, lo, hi, path, f)
+                        self.visit_node(
+                            self.dense_child(i, label),
+                            depth + 1,
+                            ctl,
+                            cth,
+                            lo,
+                            hi,
+                            path,
+                            f,
+                        )
                     } else {
                         f(path, self.dense.leaf_slot(i, label))
                     };
@@ -268,7 +275,16 @@ impl Fst {
                     let cth = tight_hi && depth < hi.len() && label == hi[depth];
                     path.push(label);
                     let outcome = if self.sparse.edge_has_child(pos) {
-                        self.visit_node(self.sparse_child(pos), depth + 1, ctl, cth, lo, hi, path, f)
+                        self.visit_node(
+                            self.sparse_child(pos),
+                            depth + 1,
+                            ctl,
+                            cth,
+                            lo,
+                            hi,
+                            path,
+                            f,
+                        )
                     } else {
                         f(path, self.dense_value_count + self.sparse.leaf_slot(s, pos))
                     };
@@ -321,7 +337,8 @@ impl FstBuilder {
         let mut slot_to_key: Vec<u32> = Vec::with_capacity(branches.len());
 
         // BFS over (key range, depth) node descriptors.
-        let mut current: Vec<(usize, usize)> = if branches.is_empty() { vec![] } else { vec![(0, branches.len())] };
+        let mut current: Vec<(usize, usize)> =
+            if branches.is_empty() { vec![] } else { vec![(0, branches.len())] };
         let mut depth = 0usize;
         while !current.is_empty() {
             let mut level = TempLevel::default();
@@ -357,8 +374,12 @@ impl FstBuilder {
                     }
                     a = b;
                 }
-                debug_assert!(!first_edge || branches.len() == 1 && depth == 0 || level.prefix_key.last() == Some(&true),
-                    "internal node without edges");
+                debug_assert!(
+                    !first_edge
+                        || branches.len() == 1 && depth == 0
+                        || level.prefix_key.last() == Some(&true),
+                    "internal node without edges"
+                );
             }
             levels.push(level);
             current = next;
@@ -441,9 +462,10 @@ impl FstBuilder {
         };
 
         let dense_value_count = dense.value_count();
-        let height = levels.len().saturating_sub(1).max(
-            branches.iter().map(|b| b.as_ref().len()).max().unwrap_or(0),
-        );
+        let height = levels
+            .len()
+            .saturating_sub(1)
+            .max(branches.iter().map(|b| b.as_ref().len()).max().unwrap_or(0));
 
         let fst = Fst {
             dense,
@@ -486,19 +508,11 @@ mod tests {
     }
 
     fn sample_branches() -> Vec<Vec<u8>> {
-        let mut v: Vec<Vec<u8>> = [
-            &b"apple"[..],
-            b"app",
-            b"apricot",
-            b"banana",
-            b"band",
-            b"bandana",
-            b"can",
-            b"z",
-        ]
-        .iter()
-        .map(|s| s.to_vec())
-        .collect();
+        let mut v: Vec<Vec<u8>> =
+            [&b"apple"[..], b"app", b"apricot", b"banana", b"band", b"bandana", b"can", b"z"]
+                .iter()
+                .map(|s| s.to_vec())
+                .collect();
         v.sort();
         v
     }
@@ -507,13 +521,14 @@ mod tests {
     fn build_and_lookup_all_cutoffs() {
         let branches = sample_branches();
         for dense_levels in [None, Some(0), Some(1), Some(2), Some(10)] {
-            let builder =
-                dense_levels.map_or_else(FstBuilder::new, FstBuilder::with_dense_levels);
+            let builder = dense_levels.map_or_else(FstBuilder::new, FstBuilder::with_dense_levels);
             let (fst, slots) = builder.build(&branches);
             assert_eq!(fst.len(), branches.len());
             assert_eq!(slots.len(), branches.len());
             for (i, b) in branches.iter().enumerate() {
-                let slot = fst.lookup(b).unwrap_or_else(|| panic!("{b:?} missing (dense={dense_levels:?})"));
+                let slot = fst
+                    .lookup(b)
+                    .unwrap_or_else(|| panic!("{b:?} missing (dense={dense_levels:?})"));
                 assert_eq!(slots[slot] as usize, i, "slot map mismatch for {b:?}");
             }
             assert!(fst.lookup(b"ap").is_none());
@@ -527,8 +542,7 @@ mod tests {
     fn visit_all_yields_sorted_branches() {
         let branches = sample_branches();
         for dense_levels in [None, Some(0), Some(3)] {
-            let builder =
-                dense_levels.map_or_else(FstBuilder::new, FstBuilder::with_dense_levels);
+            let builder = dense_levels.map_or_else(FstBuilder::new, FstBuilder::with_dense_levels);
             let (fst, _) = builder.build(&branches);
             let mut seen = Vec::new();
             fst.visit_all(&mut |b, _| {

@@ -141,10 +141,7 @@ mod tests {
         let keys = Dataset::Normal.generate(50_000, 2);
         let mean = (1u64 << 63) as f64;
         let std = 0.01 * 2f64.powi(64);
-        let within_3sigma = keys
-            .iter()
-            .filter(|&&k| (k as f64 - mean).abs() < 3.0 * std)
-            .count();
+        let within_3sigma = keys.iter().filter(|&&k| (k as f64 - mean).abs() < 3.0 * std).count();
         assert!(within_3sigma as f64 > 0.99 * keys.len() as f64);
         // And genuinely clustered: the span is far below the full space.
         let span = keys.last().unwrap() - keys.first().unwrap();

@@ -138,10 +138,7 @@ impl<'a> QueryGen<'a> {
                 // Dense key sets can make some (workload, range-size)
                 // combinations almost never empty; callers handle a short
                 // return (the paper's FPR is over empty queries only).
-                eprintln!(
-                    "warning: only {} of {count} empty queries found; giving up",
-                    out.len()
-                );
+                eprintln!("warning: only {} of {count} empty queries found; giving up", out.len());
                 return out;
             }
         }
@@ -203,12 +200,8 @@ mod tests {
     #[test]
     fn empty_ranges_are_empty() {
         let keys = Dataset::Normal.generate(20_000, 5);
-        let mut g = QueryGen::new(
-            Workload::Correlated { rmax: 256, corr_degree: 1 << 10 },
-            &keys,
-            &[],
-            6,
-        );
+        let mut g =
+            QueryGen::new(Workload::Correlated { rmax: 256, corr_degree: 1 << 10 }, &keys, &[], 6);
         for (lo, hi) in g.empty_ranges(300) {
             assert!(!range_overlaps_sorted(&keys, lo, hi));
         }

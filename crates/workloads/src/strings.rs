@@ -60,16 +60,16 @@ impl StringDataset {
 /// random characters would make every range query trivially resolvable).
 pub fn generate_domains(n: usize, seed: u64) -> Vec<Vec<u8>> {
     const TOKENS: &[&str] = &[
-        "app", "best", "big", "bio", "blog", "blue", "book", "box", "buy", "care", "cloud",
-        "club", "code", "core", "data", "dev", "digi", "direct", "east", "eco", "edge", "expo",
-        "farm", "fast", "first", "fit", "forum", "free", "fresh", "fund", "geo", "go", "green",
-        "grid", "group", "health", "help", "home", "hub", "info", "lab", "land", "learn",
-        "life", "link", "list", "live", "local", "map", "max", "media", "meta", "micro", "mind",
-        "my", "net", "new", "next", "north", "now", "one", "open", "org", "park", "pay", "pix",
-        "plan", "play", "plus", "point", "pro", "quick", "real", "red", "safe", "shop", "site",
-        "smart", "social", "soft", "solar", "south", "star", "store", "studio", "sun", "team",
-        "tech", "the", "time", "top", "trade", "tree", "true", "trust", "uni", "up", "via",
-        "view", "vital", "web", "west", "wiki", "wise", "work", "world", "youth", "zen", "zone",
+        "app", "best", "big", "bio", "blog", "blue", "book", "box", "buy", "care", "cloud", "club",
+        "code", "core", "data", "dev", "digi", "direct", "east", "eco", "edge", "expo", "farm",
+        "fast", "first", "fit", "forum", "free", "fresh", "fund", "geo", "go", "green", "grid",
+        "group", "health", "help", "home", "hub", "info", "lab", "land", "learn", "life", "link",
+        "list", "live", "local", "map", "max", "media", "meta", "micro", "mind", "my", "net",
+        "new", "next", "north", "now", "one", "open", "org", "park", "pay", "pix", "plan", "play",
+        "plus", "point", "pro", "quick", "real", "red", "safe", "shop", "site", "smart", "social",
+        "soft", "solar", "south", "star", "store", "studio", "sun", "team", "tech", "the", "time",
+        "top", "trade", "tree", "true", "trust", "uni", "up", "via", "view", "vital", "web",
+        "west", "wiki", "wise", "work", "world", "youth", "zen", "zone",
     ];
     const SUFFIX: &[u8] = b".org";
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_3A15);

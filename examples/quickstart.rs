@@ -32,10 +32,7 @@ fn main() {
         "chosen design: trie depth {} bits + Bloom prefix {} bits (expected FPR {:.4})",
         d.trie_depth_bits, d.bloom_prefix_len, d.expected_fpr
     );
-    println!(
-        "actual size: {:.1} bits/key",
-        filter.size_bits() as f64 / keyset.len() as f64
-    );
+    println!("actual size: {:.1} bits/key", filter.size_bits() as f64 / keyset.len() as f64);
 
     // 4. Query: `true` = the range may contain a key (needs a real lookup),
     //    `false` = guaranteed empty (skip the I/O).

@@ -8,9 +8,7 @@
 //! Run: `cargo run --release --example range_counts`
 
 use proteus::core::model::proteus::{ProteusModel, ProteusModelOptions};
-use proteus::core::{
-    CountingProteus, CountingProteusOptions, KeySet, SampleQueries,
-};
+use proteus::core::{CountingProteus, CountingProteusOptions, KeySet, SampleQueries};
 use proteus::workloads::{Dataset, QueryGen, Workload};
 
 fn main() {
@@ -18,9 +16,8 @@ fn main() {
     let raw: Vec<u64> = Dataset::Facebook.generate(50_000, 3);
     let keys = KeySet::from_u64(&raw);
     let workload = Workload::Correlated { rmax: 1 << 14, corr_degree: 1 << 12 };
-    let samples = SampleQueries::from_u64(
-        &QueryGen::new(workload, &raw, &[], 9).empty_ranges(5_000),
-    );
+    let samples =
+        SampleQueries::from_u64(&QueryGen::new(workload, &raw, &[], 9).empty_ranges(5_000));
 
     // --- approximate range counts --------------------------------------
     // Counting filters pay 4 bits per counter: give 32 BPK.

@@ -3,6 +3,7 @@
 //! through the `RangeFilter` trait — no false negatives ever, and sane
 //! false positive behaviour.
 
+use proptest::prelude::*;
 use proteus::core::key::u64_key;
 use proteus::core::{
     KeySet, OnePbf, OnePbfOptions, Proteus, ProteusOptions, RangeFilter, SampleQueries, TwoPbf,
@@ -10,13 +11,8 @@ use proteus::core::{
 };
 use proteus::filters::{Rosetta, RosettaOptions, Surf, SurfSuffix};
 use proteus::workloads::{Dataset, QueryGen, Workload};
-use proptest::prelude::*;
 
-fn all_filters(
-    keys: &KeySet,
-    samples: &SampleQueries,
-    m_bits: u64,
-) -> Vec<Box<dyn RangeFilter>> {
+fn all_filters(keys: &KeySet, samples: &SampleQueries, m_bits: u64) -> Vec<Box<dyn RangeFilter>> {
     let two_opts = TwoPbfFilterOptions {
         model: proteus::core::model::two_pbf::TwoPbfOptions {
             max_l2_values: 16,
@@ -72,12 +68,10 @@ fn trained_filters_filter_most_empty_queries() {
     let raw = Dataset::Uniform.generate(5_000, 23);
     let keys = KeySet::from_u64(&raw);
     let workload = Workload::Correlated { rmax: 64, corr_degree: 1 << 10 };
-    let samples = SampleQueries::from_u64(
-        &QueryGen::new(workload.clone(), &raw, &[], 7).empty_ranges(2_000),
-    );
-    let eval = SampleQueries::from_u64(
-        &QueryGen::new(workload, &raw, &[], 1234).empty_ranges(2_000),
-    );
+    let samples =
+        SampleQueries::from_u64(&QueryGen::new(workload.clone(), &raw, &[], 7).empty_ranges(2_000));
+    let eval =
+        SampleQueries::from_u64(&QueryGen::new(workload, &raw, &[], 1234).empty_ranges(2_000));
     // The self-designing filters must achieve a reasonable FPR on a
     // workload they were trained for (small correlated ranges, 14 BPK).
     for filter in [

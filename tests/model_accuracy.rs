@@ -19,12 +19,9 @@ fn one_pbf_model_tracks_reality_across_designs() {
     let raw = Dataset::Uniform.generate(20_000, 3);
     let keys = KeySet::from_u64(&raw);
     let workload = Workload::Uniform { rmax: 1 << 10 };
-    let samples = SampleQueries::from_u64(
-        &QueryGen::new(workload.clone(), &raw, &[], 5).empty_ranges(5_000),
-    );
-    let eval = SampleQueries::from_u64(
-        &QueryGen::new(workload, &raw, &[], 77).empty_ranges(5_000),
-    );
+    let samples =
+        SampleQueries::from_u64(&QueryGen::new(workload.clone(), &raw, &[], 5).empty_ranges(5_000));
+    let eval = SampleQueries::from_u64(&QueryGen::new(workload, &raw, &[], 77).empty_ranges(5_000));
     let model = OnePbfModel::build(&keys, &samples);
     let m = 20_000 * 10;
     for l in (24..=64usize).step_by(8) {
@@ -49,12 +46,9 @@ fn proteus_model_tracks_reality_and_selects_well() {
     let keys = KeySet::from_u64(&raw);
     let workload =
         Workload::Split { uniform_rmax: 1 << 14, correlated_rmax: 32, corr_degree: 1 << 10 };
-    let samples = SampleQueries::from_u64(
-        &QueryGen::new(workload.clone(), &raw, &[], 5).empty_ranges(5_000),
-    );
-    let eval = SampleQueries::from_u64(
-        &QueryGen::new(workload, &raw, &[], 99).empty_ranges(5_000),
-    );
+    let samples =
+        SampleQueries::from_u64(&QueryGen::new(workload.clone(), &raw, &[], 5).empty_ranges(5_000));
+    let eval = SampleQueries::from_u64(&QueryGen::new(workload, &raw, &[], 99).empty_ranges(5_000));
     let m = 20_000 * 12;
     let model = ProteusModel::build(&keys, &samples, m, &ProteusModelOptions::default());
 
@@ -102,12 +96,9 @@ fn proteus_beats_brittle_designs_on_adversarial_split() {
     let keys = KeySet::from_u64(&raw);
     let workload =
         Workload::Split { uniform_rmax: 1 << 16, correlated_rmax: 16, corr_degree: 1 << 8 };
-    let samples = SampleQueries::from_u64(
-        &QueryGen::new(workload.clone(), &raw, &[], 5).empty_ranges(4_000),
-    );
-    let eval = SampleQueries::from_u64(
-        &QueryGen::new(workload, &raw, &[], 55).empty_ranges(4_000),
-    );
+    let samples =
+        SampleQueries::from_u64(&QueryGen::new(workload.clone(), &raw, &[], 5).empty_ranges(4_000));
+    let eval = SampleQueries::from_u64(&QueryGen::new(workload, &raw, &[], 55).empty_ranges(4_000));
     let m = 20_000 * 10;
     let trained = Proteus::train(&keys, &samples, m, &ProteusOptions::default());
     let trained_fpr = observed(&trained, &eval);

@@ -1,0 +1,322 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so this crate implements the
+//! subset of criterion 0.5's API the workspace benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with a deliberately simple measurement loop: a short warm-up, then timed
+//! batches until the configured measurement time (or iteration cap) is
+//! reached, reporting the mean time per iteration. There is no statistical
+//! analysis, HTML report, or baseline comparison; the numbers are honest
+//! wall-clock means, good enough to compare filters against each other on
+//! the same machine.
+//!
+//! Measurement only happens under `cargo bench`, which invokes the binary
+//! with a `--bench` argument (the same contract real criterion relies on).
+//! Run any other way — e.g. a `harness = false` bench target executed by
+//! `cargo test` — each closure runs exactly once as an instant smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle; collects configuration shared by all groups.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` when running bench targets via `cargo
+        // bench` and nothing bench-specific otherwise; measure only then.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into();
+        let cfg = (self.sample_size, self.measurement_time, self.warm_up_time, self.test_mode);
+        run_one(&name, cfg, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks, printed under a common prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.cfg(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.cfg(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn cfg(&self) -> (usize, Duration, Duration, bool) {
+        (
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.criterion.warm_up_time,
+            self.criterion.test_mode,
+        )
+    }
+}
+
+/// Identifier for one benchmark instance within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; its `iter` runs the measured routine.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+enum BenchMode {
+    /// Smoke-test: run the routine once (used under `cargo test`).
+    Test,
+    /// Measure for roughly this long after warm-up.
+    Measure { warm_up: Duration, measure: Duration, max_batches: usize },
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Test => {
+                std::hint::black_box(routine());
+                self.mean_ns = 0.0;
+                self.iters = 1;
+            }
+            BenchMode::Measure { warm_up, measure, max_batches } => {
+                // Warm-up: also estimates per-iteration cost to size batches.
+                let wu_start = Instant::now();
+                let mut wu_iters: u64 = 0;
+                while wu_start.elapsed() < warm_up {
+                    std::hint::black_box(routine());
+                    wu_iters += 1;
+                }
+                let per_iter = wu_start.elapsed().as_secs_f64() / wu_iters.max(1) as f64;
+                // Size batches so that max_batches of them fill the whole
+                // configured measurement time (upstream criterion's
+                // contract: both knobs are honored together).
+                let batch_secs = measure.as_secs_f64() / max_batches.max(1) as f64;
+                let batch = ((batch_secs / per_iter.max(1e-9)) as u64).clamp(1, 1 << 22);
+
+                let mut total_ns = 0.0;
+                let mut total_iters: u64 = 0;
+                let start = Instant::now();
+                let mut batches = 0;
+                while start.elapsed() < measure && batches < max_batches {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    total_ns += t.elapsed().as_nanos() as f64;
+                    total_iters += batch;
+                    batches += 1;
+                }
+                self.mean_ns = total_ns / total_iters.max(1) as f64;
+                self.iters = total_iters;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    (sample_size, measurement_time, warm_up_time, test_mode): (usize, Duration, Duration, bool),
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        mode: if test_mode {
+            BenchMode::Test
+        } else {
+            BenchMode::Measure {
+                warm_up: warm_up_time,
+                measure: measurement_time,
+                max_batches: sample_size,
+            }
+        },
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok (bench smoke)");
+    } else {
+        println!(
+            "{name:<50} {:>12} /iter  ({} iterations)",
+            format_ns(bencher.mean_ns),
+            bencher.iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(2),
+            test_mode: true,
+        };
+        let data = vec![1u64, 2, 3];
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        assert_eq!(BenchmarkId::new("f", 10).0, "f/10");
+    }
+}

@@ -1,0 +1,104 @@
+//! `any::<T>()` — the strategy behind the `name: Type` parameter form.
+//!
+//! Integers mix uniform draws with occasional boundary values (0, 1, MAX),
+//! since bit-arithmetic bugs live at the edges; upstream proptest gets the
+//! same effect through shrinking, which this stand-in does not implement.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a default sampling distribution.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 cases draw a boundary value.
+                if rng.below(8) == 0 {
+                    match rng.below(3) {
+                        0 => 0 as $t,
+                        1 => 1 as $t,
+                        _ => <$t>::MAX,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(65) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (A::arbitrary(rng), B::arbitrary(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_hit_boundaries_eventually() {
+        let mut rng = TestRng::from_seed(6);
+        let strat = any::<u64>();
+        let mut zero = false;
+        let mut max = false;
+        for _ in 0..2_000 {
+            match strat.sample(&mut rng) {
+                0 => zero = true,
+                u64::MAX => max = true,
+                _ => {}
+            }
+        }
+        assert!(zero && max);
+    }
+
+    #[test]
+    fn vec_lengths_vary() {
+        let mut rng = TestRng::from_seed(7);
+        let strat = any::<Vec<u8>>();
+        let lens: Vec<usize> = (0..50).map(|_| strat.sample(&mut rng).len()).collect();
+        assert!(lens.iter().any(|&l| l == 0) || lens.iter().any(|&l| l > 32));
+        assert!(lens.iter().all(|&l| l <= 64));
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so this crate implements the
+//! subset of proptest 1.x that the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with both parameter forms — `x: Type`
+//!   (arbitrary) and `x in strategy` — mixed freely in one signature, plus
+//!   the `#![proptest_config(..)]` header;
+//! * range strategies (`0u64..1000`, `1usize..=64`) and [`arbitrary::any`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from upstream, deliberate for an offline reproduction:
+//! no shrinking (a failing case reports its values but is not minimized),
+//! no failure-persistence files, and a fixed RNG seed per test function so
+//! runs are reproducible in CI. The default case count matches upstream
+//! (256).
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Entry point: expands each contained function into a `#[test]` that runs
+/// the body over many sampled inputs.
+///
+/// Matches upstream usage: attributes (including `#[test]` and doc comments)
+/// are passed through, an optional `#![proptest_config(expr)]` header sets
+/// the per-function configuration.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: munch the test functions one at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            $crate::__proptest_params!(runner, $body, [] $($params)*);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Internal: normalize the parameter list into `(pattern, strategy)` pairs,
+/// accepting both `name: Type` and `pat in strategy` forms, then emit the
+/// sampling loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // Terminal: all parameters normalized; run the cases.
+    ($runner:ident, $body:block, [$(($pat:pat, $strat:expr))*]) => {
+        $runner.run(|__proptest_rng: &mut $crate::test_runner::TestRng| {
+            $(let $pat = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)*
+            $body
+            ::core::result::Result::Ok(())
+        });
+    };
+    // `name: Type` — draw from the type's Arbitrary impl.
+    ($runner:ident, $body:block, [$($acc:tt)*] $name:ident : $ty:ty) => {
+        $crate::__proptest_params!($runner, $body,
+            [$($acc)* ($name, ($crate::arbitrary::any::<$ty>()))]);
+    };
+    ($runner:ident, $body:block, [$($acc:tt)*] $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!($runner, $body,
+            [$($acc)* ($name, ($crate::arbitrary::any::<$ty>()))] $($rest)*);
+    };
+    // `pat in strategy` — sample the given strategy.
+    ($runner:ident, $body:block, [$($acc:tt)*] $pat:pat in $strat:expr) => {
+        $crate::__proptest_params!($runner, $body, [$($acc)* ($pat, ($strat))]);
+    };
+    ($runner:ident, $body:block, [$($acc:tt)*] $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!($runner, $body, [$($acc)* ($pat, ($strat))] $($rest)*);
+    };
+}
+
+/// Assert within a proptest body; failure reports the condition (plus an
+/// optional formatted message) without aborting the whole process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Inequality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discard the current case (does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mixed_param_forms(a: u64, b in 1usize..=8, c: bool) {
+            prop_assert!(b >= 1 && b <= 8);
+            let _ = (a, c);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_u8_arbitrary_varies(v: Vec<u8>) {
+            prop_assert!(v.len() <= 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn config_header_is_honored(x: u64) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics_with_values() {
+        proptest_inner();
+        fn proptest_inner() {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                #[allow(unused)]
+                fn always_fails(x in 0u8..4) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Strategies: things a value can be sampled from. Upstream proptest builds
+//! an elaborate composable tree with shrinking; the offline stand-in only
+//! needs uniform sampling over ranges and `any::<T>()`.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of values for one proptest parameter.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Inclusive range covering the full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_range_bounds() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..1_000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = TestRng::from_seed(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..200 {
+            match (1usize..=4).sample(&mut rng) {
+                1 => lo_seen = true,
+                4 => hi_seen = true,
+                v => assert!((1..=4).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = TestRng::from_seed(4);
+        assert_eq!((7u32..=7).sample(&mut rng), 7);
+    }
+}

@@ -1,0 +1,162 @@
+//! The per-test driver: configuration, the deterministic RNG cases are
+//! drawn from, and the pass/reject/fail plumbing `prop_assert!` relies on.
+
+/// Per-test configuration. Only the knobs this workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required for a pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs out; draw a fresh case.
+    Reject,
+    /// `prop_assert!` (or friends) failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG handed to strategies — the workspace's vendored
+/// `rand::rngs::StdRng`, seeded from the test's name, so every test
+/// function gets a distinct but reproducible stream (upstream proptest
+/// uses OS entropy plus a persistence file; an offline reproduction wants
+/// CI runs to be bit-identical instead).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng { inner: rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Unbiased draw from `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        use rand::Rng;
+        debug_assert!(span > 0);
+        self.inner.gen_range(0..span)
+    }
+}
+
+/// Runs the sampled body `config.cases` times, retrying rejected cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: &ProptestConfig, name: &'static str) -> Self {
+        // Seed from the test name so distinct tests explore distinct inputs
+        // but each test is reproducible run-to-run.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config: config.clone(), rng: TestRng::from_seed(h), name }
+    }
+
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': too many prop_assume! rejections \
+                             ({rejected}) before reaching {} cases",
+                            self.name, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed ('{}', after {passed} passing cases): {msg}",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_only_passes() {
+        let mut runner = TestRunner::new(&ProptestConfig::with_cases(10), "t");
+        let mut calls = 0u32;
+        runner.run(|_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 19, "10 passes need at least 19 calls, saw {calls}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume!")]
+    fn runner_gives_up_on_endless_rejection() {
+        let cfg = ProptestConfig { cases: 1, max_global_rejects: 50 };
+        TestRunner::new(&cfg, "t").run(|_| Err(TestCaseError::Reject));
+    }
+
+    #[test]
+    fn rng_is_reproducible() {
+        let mut a = TestRng::from_seed(5);
+        let mut b = TestRng::from_seed(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::from_seed(1);
+        for span in [1u64, 2, 3, 7, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.below(span) < span);
+            }
+        }
+    }
+}

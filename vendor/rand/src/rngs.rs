@@ -1,0 +1,51 @@
+//! Concrete generators. Only [`StdRng`] is provided; it is a xoshiro256**
+//! (Blackman & Vigna) seeded via splitmix64, the combination xoshiro's
+//! authors recommend for seeding from a single word.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic pseudo-random generator with the same construction API as
+/// rand's `StdRng`. The output stream differs from upstream (upstream uses
+/// ChaCha12); every consumer in this workspace seeds explicitly and only
+/// relies on *self*-consistency, not on matching upstream streams.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
