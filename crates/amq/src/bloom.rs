@@ -4,6 +4,7 @@
 
 use crate::hash::KeyHash;
 use crate::{optimal_hash_count, standard_bloom_fpr, Amq};
+use proteus_succinct::codec::{ByteReader, CodecError, WireWrite};
 
 /// A standard Bloom filter over pre-hashed items.
 ///
@@ -93,6 +94,38 @@ impl BloomFilter {
     /// Bits of memory of the bit array.
     pub fn size_bits(&self) -> u64 {
         self.m
+    }
+
+    /// Serialize: size, hash count, insertion count, then the raw bit
+    /// array words.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.m);
+        out.put_u32(self.k);
+        out.put_u64(self.inserted);
+        for &w in &self.bits {
+            out.put_u64(w);
+        }
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<BloomFilter, CodecError> {
+        let m = r.u64()?;
+        let k = r.u32()?;
+        let inserted = r.u64()?;
+        if !(1..=crate::MAX_HASH_FUNCTIONS).contains(&k) {
+            return Err(CodecError::Invalid("bloom hash count out of range"));
+        }
+        let nwords = usize::try_from(m.div_ceil(64))
+            .map_err(|_| CodecError::Invalid("bloom size overflow"))?;
+        if r.remaining()
+            < nwords.checked_mul(8).ok_or(CodecError::Invalid("bloom size overflow"))?
+        {
+            return Err(CodecError::Truncated { needed: nwords * 8, have: r.remaining() });
+        }
+        let mut bits = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            bits.push(r.u64()?);
+        }
+        Ok(BloomFilter { bits, m, k, inserted })
     }
 
     /// Fraction of bits set; diagnostic for load-factor assertions in tests
@@ -189,6 +222,42 @@ mod tests {
         f.insert_hash(12345u128);
         assert!(f.contains_hash(12345u128));
         assert_eq!(<BloomFilter as Amq>::size_bits(&f), 1024);
+    }
+
+    #[test]
+    fn codec_roundtrip_answers_identically() {
+        let n = 2000u64;
+        let mut f = BloomFilter::new(n * 12, n);
+        for i in 0..n {
+            f.insert(h(i));
+        }
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let mut r = ByteReader::new(&buf);
+        let back = BloomFilter::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.size_bits(), f.size_bits());
+        assert_eq!(back.hash_count(), f.hash_count());
+        assert_eq!(back.len(), f.len());
+        for i in 0..3 * n {
+            assert_eq!(back.contains(h(i)), f.contains(h(i)), "item {i}");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_bad_hash_count_and_truncation() {
+        let f = BloomFilter::new(1024, 10);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(BloomFilter::decode_from(&mut ByteReader::new(&bad)).is_err());
+        for cut in 0..buf.len() {
+            assert!(
+                BloomFilter::decode_from(&mut ByteReader::new(&buf[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

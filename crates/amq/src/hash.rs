@@ -8,6 +8,8 @@
 pub mod clhash;
 pub mod murmur3;
 
+use proteus_succinct::codec::{ByteReader, CodecError, WireWrite};
+
 /// A 128-bit key hash split into the two 64-bit halves used for double
 /// hashing (Kirsch–Mitzenmacher): probe `i` uses `h1 + i * h2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +55,24 @@ pub enum HashFamily {
     ClHash,
 }
 
+impl HashFamily {
+    /// Stable wire tag for the persistent filter format.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            HashFamily::Murmur3 => 0,
+            HashFamily::ClHash => 1,
+        }
+    }
+
+    pub fn from_wire_tag(tag: u8) -> Result<HashFamily, CodecError> {
+        match tag {
+            0 => Ok(HashFamily::Murmur3),
+            1 => Ok(HashFamily::ClHash),
+            tag => Err(CodecError::UnknownTag { what: "hash family", tag }),
+        }
+    }
+}
+
 /// Hashes `(prefix bytes, bit length)` pairs into [`KeyHash`]es.
 ///
 /// Two different prefixes of the same key must hash differently even when
@@ -95,6 +115,19 @@ impl PrefixHasher {
             let h = self.dispatch(&[tail], seed ^ head.h1 as u32);
             KeyHash { h1: head.h1 ^ h.h1.rotate_left(31), h2: head.h2 ^ h.h2.rotate_left(17) }
         }
+    }
+
+    /// Serialize family + seed; the CLHash key schedule is regenerated
+    /// deterministically from the seed on decode.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u8(self.family.wire_tag());
+        out.put_u32(self.seed);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<PrefixHasher, CodecError> {
+        let family = HashFamily::from_wire_tag(r.u8()?)?;
+        let seed = r.u32()?;
+        Ok(PrefixHasher::new(family, seed))
     }
 
     /// Hash a complete byte string (all `8 * len` bits).
@@ -171,6 +204,24 @@ mod tests {
         for bits in 33..=64 {
             assert_ne!(hasher.hash_prefix(&a, bits), hasher.hash_prefix(&b, bits));
         }
+    }
+
+    #[test]
+    fn hasher_codec_roundtrip_hashes_identically() {
+        for family in [HashFamily::Murmur3, HashFamily::ClHash] {
+            let hasher = PrefixHasher::new(family, 0xC0FF_EE);
+            let mut buf = Vec::new();
+            hasher.encode_into(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            let back = PrefixHasher::decode_from(&mut r).unwrap();
+            r.finish().unwrap();
+            let key = [9u8, 8, 7, 6, 5, 4, 3, 2];
+            for bits in [1u32, 13, 64] {
+                assert_eq!(back.hash_prefix(&key, bits), hasher.hash_prefix(&key, bits));
+            }
+            assert_eq!(back.hash_bytes(&key), hasher.hash_bytes(&key));
+        }
+        assert!(HashFamily::from_wire_tag(7).is_err());
     }
 
     #[test]

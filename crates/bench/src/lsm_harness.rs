@@ -39,6 +39,8 @@ pub struct LsmRun {
     pub db: Db,
     pub mirror: BTreeSet<u64>,
     dir: PathBuf,
+    /// Keep the directory on drop (set while handing off to a reopen).
+    persist: bool,
 }
 
 impl LsmRun {
@@ -78,7 +80,38 @@ impl LsmRun {
             mirror.insert(k);
         }
         db.flush_and_settle().expect("settle");
-        LsmRun { db, mirror, dir }
+        LsmRun { db, mirror, dir, persist: false }
+    }
+
+    /// Drop the database and reopen it from disk (the crash/restart path):
+    /// filters are *loaded* from the per-SST filter blocks instead of
+    /// rebuilt. Returns the reopened run plus a report contrasting the
+    /// original filter construction cost with the decode cost.
+    pub fn reopen(mut self, factory: Arc<dyn FilterFactory>) -> (LsmRun, ReopenReport) {
+        let build_ns = self.db.stats().filter_build_ns.get();
+        let filters_built = self.db.stats().filters_built.get();
+        let cfg = self.db.config().clone();
+        let dir = self.dir.clone();
+        let mirror = std::mem::take(&mut self.mirror);
+        self.persist = true;
+        drop(self);
+        let t0 = Instant::now();
+        let db = Db::open(&dir, cfg, factory).expect("reopen db");
+        let open_ns = t0.elapsed().as_nanos() as u64;
+        let run = LsmRun { db, mirror, dir, persist: false };
+        // Force every lazy filter block to decode so load time is measured.
+        let _ = run.db.filter_bits();
+        let s = run.db.stats().snapshot();
+        let report = ReopenReport {
+            ssts_recovered: s.ssts_recovered,
+            open_ns,
+            filters_built,
+            filter_build_ns: build_ns,
+            filters_loaded: s.filters_loaded,
+            filter_load_ns: s.filter_load_ns,
+            filters_degraded: s.filters_degraded,
+        };
+        (run, report)
     }
 
     /// Insert a key mid-experiment (the Fig. 7 interleaved Puts).
@@ -120,7 +153,49 @@ impl LsmRun {
 
 impl Drop for LsmRun {
     fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.dir);
+        if !self.persist {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// Filter load-vs-rebuild cost of one reopen (the §6.1 persistence payoff:
+/// recovery decodes filter blocks instead of re-running the CPFPR model).
+#[derive(Debug, Clone, Copy)]
+pub struct ReopenReport {
+    /// SST files recovered from the directory.
+    pub ssts_recovered: u64,
+    /// Wall time of `Db::open` on the existing directory.
+    pub open_ns: u64,
+    /// Filters trained during the original load phase.
+    pub filters_built: u64,
+    /// Total nanoseconds those original builds took (model + construction).
+    pub filter_build_ns: u64,
+    /// Filters decoded from persisted filter blocks on reopen.
+    pub filters_loaded: u64,
+    /// Total nanoseconds spent decoding them.
+    pub filter_load_ns: u64,
+    /// Filter blocks that failed to decode (should be 0).
+    pub filters_degraded: u64,
+}
+
+impl ReopenReport {
+    /// Mean nanoseconds to train one filter during the load phase. Note
+    /// `filters_built` counts every build, including filters constructed
+    /// for SSTs that compaction later replaced — which is why the
+    /// comparison with loading is per-filter, not total-vs-total.
+    pub fn mean_build_ns(&self) -> f64 {
+        self.filter_build_ns as f64 / self.filters_built.max(1) as f64
+    }
+
+    /// Mean nanoseconds to decode one persisted filter on reopen.
+    pub fn mean_load_ns(&self) -> f64 {
+        self.filter_load_ns as f64 / self.filters_loaded.max(1) as f64
+    }
+
+    /// How many times cheaper loading one filter is than training one.
+    pub fn speedup(&self) -> f64 {
+        self.mean_build_ns() / self.mean_load_ns().max(1.0)
     }
 }
 

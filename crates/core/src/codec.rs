@@ -1,0 +1,204 @@
+//! The versioned filter envelope: the self-describing, checksummed wire
+//! format wrapping every serialized range filter.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PRFC"
+//! 4       2     format version (little-endian; currently 1)
+//! 6       1     filter-kind tag (see [`FilterKind`])
+//! 7       1     reserved (0)
+//! 8       8     payload length (little-endian u64)
+//! 16      n     kind-specific payload
+//! 16+n    4     CRC-32 over bytes [0, 16+n)
+//! ```
+//!
+//! [`seal`] builds the envelope; [`unseal`] verifies magic, version,
+//! length and checksum and hands back `(kind tag, payload)`. Decoding is
+//! total: corrupt, truncated or version-mismatched bytes produce a typed
+//! [`CodecError`], never a panic. Dispatch over the kind tag lives one
+//! crate up, in `proteus_filters::codec::FilterCodec`, which can see every
+//! filter type in the workspace; *unknown* kind tags inside a valid
+//! envelope are not an error there — they degrade to [`crate::NoFilter`]
+//! so newer files stay readable (queries just lose their filter).
+
+pub use proteus_succinct::codec::{crc32, ByteReader, CodecError, WireWrite};
+
+/// Leading magic of every serialized filter ("Proteus Range Filter Codec").
+pub const FILTER_MAGIC: [u8; 4] = *b"PRFC";
+
+/// Current envelope format version. Bump on any incompatible payload or
+/// envelope change; decoders reject versions they do not know.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Envelope bytes before the payload.
+pub const HEADER_LEN: usize = 16;
+
+/// Envelope bytes around an `n`-byte payload.
+pub const fn envelope_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len + 4
+}
+
+/// Stable wire tags for every serializable filter kind in the workspace.
+///
+/// Tags are part of the on-disk format: never renumber, only append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FilterKind {
+    /// The pass-through no-filter baseline (empty payload).
+    NoFilter = 0,
+    /// Proteus (trie + prefix Bloom + design).
+    Proteus = 1,
+    /// Single self-designing prefix Bloom filter.
+    OnePbf = 2,
+    /// Two stacked prefix Bloom filters.
+    TwoPbf = 3,
+    /// SuRF in any suffix mode (Base / Hash / Real).
+    Surf = 4,
+    /// Rosetta (per-level prefix Bloom filters).
+    Rosetta = 5,
+}
+
+impl FilterKind {
+    pub fn from_tag(tag: u8) -> Option<FilterKind> {
+        match tag {
+            0 => Some(FilterKind::NoFilter),
+            1 => Some(FilterKind::Proteus),
+            2 => Some(FilterKind::OnePbf),
+            3 => Some(FilterKind::TwoPbf),
+            4 => Some(FilterKind::Surf),
+            5 => Some(FilterKind::Rosetta),
+            _ => None,
+        }
+    }
+}
+
+/// Wrap `payload` in the v1 envelope for `kind`.
+pub fn seal(kind: FilterKind, payload: &[u8]) -> Vec<u8> {
+    seal_raw(kind as u8, payload)
+}
+
+/// [`seal`] with an arbitrary kind tag — used by forward-compatibility
+/// tests that fabricate envelopes from "future" filter kinds.
+pub fn seal_raw(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(envelope_len(payload.len()));
+    out.extend_from_slice(&FILTER_MAGIC);
+    out.put_u16(FORMAT_VERSION);
+    out.put_u8(tag);
+    out.put_u8(0);
+    out.put_u64(payload.len() as u64);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.put_u32(crc);
+    out
+}
+
+/// Verify an envelope and return `(kind tag, payload)`. The tag is returned
+/// raw (not as [`FilterKind`]) so callers can treat unknown tags as a
+/// graceful degradation rather than corruption.
+pub fn unseal(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != FILTER_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    let _reserved = r.u8()?;
+    let payload_len = r.len_for(1)?;
+    let payload = r.take(payload_len)?;
+    let stored_crc = r.u32()?;
+    r.finish()?;
+    let body_len = HEADER_LEN + payload_len;
+    if crc32(&bytes[..body_len]) != stored_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok((kind, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let payload = b"some filter payload";
+        let sealed = seal(FilterKind::Proteus, payload);
+        assert_eq!(sealed.len(), envelope_len(payload.len()));
+        let (kind, body) = unseal(&sealed).unwrap();
+        assert_eq!(kind, FilterKind::Proteus as u8);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let sealed = seal(FilterKind::NoFilter, &[]);
+        let (kind, body) = unseal(&sealed).unwrap();
+        assert_eq!(kind, 0);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_fails() {
+        let sealed = seal(FilterKind::Rosetta, &[1, 2, 3, 4, 5]);
+        for cut in 0..sealed.len() {
+            assert!(unseal(&sealed[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_fails() {
+        let sealed = seal(FilterKind::Surf, b"payload-bytes");
+        for i in 0..sealed.len() {
+            for bit in [1u8, 0x80] {
+                let mut bad = sealed.clone();
+                bad[i] ^= bit;
+                assert!(unseal(&bad).is_err(), "flip at byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_and_magic_are_enforced() {
+        let mut sealed = seal(FilterKind::NoFilter, &[]);
+        sealed[0] = b'X';
+        assert_eq!(unseal(&sealed), Err(CodecError::BadMagic));
+        let mut sealed = seal(FilterKind::NoFilter, &[]);
+        sealed[4] = 2;
+        // Version check fires before the checksum so the error names the
+        // real problem.
+        assert_eq!(unseal(&sealed), Err(CodecError::UnsupportedVersion(2)));
+    }
+
+    #[test]
+    fn unknown_kind_tag_survives_unseal() {
+        // A future filter kind: the envelope is valid, the tag unknown.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&FILTER_MAGIC);
+        raw.put_u16(FORMAT_VERSION);
+        raw.put_u8(250);
+        raw.put_u8(0);
+        raw.put_u64(0);
+        let crc = crc32(&raw);
+        raw.put_u32(crc);
+        let (kind, _) = unseal(&raw).unwrap();
+        assert_eq!(kind, 250);
+        assert!(FilterKind::from_tag(kind).is_none());
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        // Wire contract: these numbers are frozen.
+        assert_eq!(FilterKind::NoFilter as u8, 0);
+        assert_eq!(FilterKind::Proteus as u8, 1);
+        assert_eq!(FilterKind::OnePbf as u8, 2);
+        assert_eq!(FilterKind::TwoPbf as u8, 3);
+        assert_eq!(FilterKind::Surf as u8, 4);
+        assert_eq!(FilterKind::Rosetta as u8, 5);
+        for t in 0..=5u8 {
+            assert_eq!(FilterKind::from_tag(t).map(|k| k as u8), Some(t));
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! * [`proteus`], [`one_pbf`], [`two_pbf`] — the three Protean Range
 //!   Filters evaluated in the paper.
 
+pub mod codec;
 pub mod counting;
 pub mod key;
 pub mod keyset;
@@ -50,6 +51,7 @@ pub mod sample;
 pub mod trie;
 pub mod two_pbf;
 
+pub use codec::{CodecError, FilterKind};
 pub use counting::{CountingProteus, CountingProteusOptions};
 pub use keyset::KeySet;
 pub use one_pbf::{OnePbf, OnePbfOptions};
@@ -77,6 +79,38 @@ pub trait RangeFilter: Send + Sync {
 
     /// Human-readable name including the instantiated design.
     fn name(&self) -> String;
+
+    /// Serialize this filter for the persistent SST filter block: the
+    /// stable wire tag plus the kind-specific payload (no envelope — the
+    /// caller seals it with magic, version and checksum; see
+    /// [`codec::seal`]). `None` means the filter has no persistent form
+    /// (e.g. ARF): its SST gets no filter block, and after a reopen that
+    /// file serves unfiltered probes (recovery never retrains filters).
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        None
+    }
+}
+
+/// A pass-through filter: every query may contain keys — the no-filter
+/// baseline in which every Seek pays the I/O. Lives in `proteus-core` so
+/// the persistent filter codec can decode unknown future filter kinds into
+/// it as the safe degradation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFilter;
+
+impl RangeFilter for NoFilter {
+    fn may_contain_range(&self, _lo: &[u8], _hi: &[u8]) -> bool {
+        true
+    }
+    fn size_bits(&self) -> u64 {
+        0
+    }
+    fn name(&self) -> String {
+        "NoFilter".to_string()
+    }
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        Some((FilterKind::NoFilter, Vec::new()))
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! The simplest Protean Range Filter: one prefix Bloom filter whose prefix
 //! length is chosen by the CPFPR model.
 
+use crate::codec::{ByteReader, CodecError, FilterKind, WireWrite};
 use crate::key::u64_key;
 use crate::keyset::KeySet;
 use crate::model::one_pbf::{OnePbfDesign, OnePbfModel};
@@ -79,6 +80,25 @@ impl OnePbf {
     pub fn size_bits(&self) -> u64 {
         self.bloom.size_bits()
     }
+
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.width as u32);
+        out.put_u64(self.probe_cap);
+        out.put_u64(self.design.prefix_len as u64);
+        out.put_f64(self.design.expected_fpr);
+        self.bloom.encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<OnePbf, CodecError> {
+        let width = r.u32()? as usize;
+        if width == 0 {
+            return Err(CodecError::Invalid("1pbf width zero"));
+        }
+        let probe_cap = r.u64()?;
+        let design = OnePbfDesign { prefix_len: r.u64()? as usize, expected_fpr: r.f64()? };
+        let bloom = PrefixBloom::decode_from(r)?;
+        Ok(OnePbf { bloom, design, width, probe_cap })
+    }
 }
 
 impl RangeFilter for OnePbf {
@@ -91,6 +111,11 @@ impl RangeFilter for OnePbf {
     }
     fn name(&self) -> String {
         format!("1PBF(l={})", self.design.prefix_len)
+    }
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Some((FilterKind::OnePbf, out))
     }
 }
 

@@ -2,6 +2,7 @@
 //! key set, with range queries that probe every `l`-bit region overlapping
 //! the query window (§2.1, §3.1).
 
+use crate::codec::{ByteReader, CodecError, WireWrite};
 use crate::key::{increment_prefix, lcp_bits, mask_tail};
 use crate::keyset::KeySet;
 use proteus_amq::hash::{HashFamily, PrefixHasher};
@@ -56,6 +57,25 @@ impl PrefixBloom {
 
     pub fn size_bits(&self) -> u64 {
         self.bloom.size_bits()
+    }
+
+    /// Serialize: geometry, hasher (family + seed), then the Bloom filter.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.prefix_len as u32);
+        out.put_u32(self.width as u32);
+        self.hasher.encode_into(out);
+        self.bloom.encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<PrefixBloom, CodecError> {
+        let prefix_len = r.u32()? as usize;
+        let width = r.u32()? as usize;
+        if width == 0 || prefix_len == 0 || prefix_len > width * 8 {
+            return Err(CodecError::Invalid("prefix bloom geometry"));
+        }
+        let hasher = PrefixHasher::decode_from(r)?;
+        let bloom = BloomFilter::decode_from(r)?;
+        Ok(PrefixBloom { bloom, hasher, prefix_len, width })
     }
 
     /// Probe the single prefix of `key`.

@@ -6,6 +6,7 @@
 //! `(l1, l2)`; either component may be dropped entirely, so the filter can
 //! be purely deterministic or purely probabilistic as the workload demands.
 
+use crate::codec::{ByteReader, CodecError, FilterKind, WireWrite};
 use crate::key::{mask_tail, pad_key, set_tail_ones, u64_key};
 use crate::keyset::KeySet;
 use crate::model::proteus::{ProteusDesign, ProteusModel, ProteusModelOptions};
@@ -155,6 +156,50 @@ impl Proteus {
         self.trie.as_ref().map_or(0, |t| t.size_bits())
             + self.bloom.as_ref().map_or(0, |b| b.size_bits())
     }
+
+    /// Serialize the built filter (structure + chosen design; no training
+    /// state, so a decoded filter answers without re-running the model).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.width as u32);
+        out.put_u64(self.probe_cap);
+        out.put_u64(self.design.trie_depth_bits as u64);
+        out.put_u64(self.design.bloom_prefix_len as u64);
+        out.put_f64(self.design.expected_fpr);
+        out.put_u64(self.design.trie_mem_bits);
+        out.put_u8(u8::from(self.trie.is_some()) | (u8::from(self.bloom.is_some()) << 1));
+        if let Some(trie) = &self.trie {
+            trie.encode_into(out);
+        }
+        if let Some(bloom) = &self.bloom {
+            bloom.encode_into(out);
+        }
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Proteus, CodecError> {
+        let width = r.u32()? as usize;
+        if width == 0 {
+            return Err(CodecError::Invalid("proteus width zero"));
+        }
+        let probe_cap = r.u64()?;
+        let design = ProteusDesign {
+            trie_depth_bits: r.u64()? as usize,
+            bloom_prefix_len: r.u64()? as usize,
+            expected_fpr: r.f64()?,
+            trie_mem_bits: r.u64()?,
+        };
+        let flags = r.u8()?;
+        if flags & !0b11 != 0 {
+            return Err(CodecError::Invalid("proteus component flags"));
+        }
+        let trie = (flags & 1 != 0).then(|| ProteusTrie::decode_from(r)).transpose()?;
+        let bloom = (flags & 2 != 0).then(|| PrefixBloom::decode_from(r)).transpose()?;
+        if let Some(t) = &trie {
+            if t.depth_bytes() > width {
+                return Err(CodecError::Invalid("proteus trie deeper than key"));
+            }
+        }
+        Ok(Proteus { trie, bloom, design, width, probe_cap })
+    }
 }
 
 impl RangeFilter for Proteus {
@@ -166,6 +211,11 @@ impl RangeFilter for Proteus {
     }
     fn name(&self) -> String {
         format!("Proteus(l1={}, l2={})", self.design.trie_depth_bits, self.design.bloom_prefix_len)
+    }
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Some((FilterKind::Proteus, out))
     }
 }
 

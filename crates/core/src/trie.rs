@@ -6,6 +6,7 @@
 //! trie encoding", §4.1). The trie therefore represents exactly the set of
 //! depth-byte key prefixes, K_l1.
 
+use crate::codec::{ByteReader, CodecError, WireWrite};
 use crate::key::lcp_bytes;
 use crate::keyset::KeySet;
 use proteus_succinct::{Fst, FstBuilder, ValueStore, Visit};
@@ -67,6 +68,21 @@ impl ProteusTrie {
 
     pub fn size_bits(&self) -> u64 {
         self.fst.size_bits()
+    }
+
+    /// Serialize depth + the underlying FST.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.depth_bytes as u32);
+        self.fst.encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<ProteusTrie, CodecError> {
+        let depth_bytes = r.u32()? as usize;
+        if depth_bytes == 0 {
+            return Err(CodecError::Invalid("trie depth zero"));
+        }
+        let fst = Fst::decode_from(r)?;
+        Ok(ProteusTrie { fst, depth_bytes })
     }
 
     /// Visit every stored `depth_bytes`-byte key prefix within the closed

@@ -5,6 +5,7 @@
 //! that the first filter cannot rule out is expanded into its l2-prefixes
 //! and probed in the second filter.
 
+use crate::codec::{ByteReader, CodecError, FilterKind, WireWrite};
 use crate::key::{increment_prefix, mask_tail, set_tail_ones, u64_key};
 use crate::keyset::KeySet;
 use crate::model::two_pbf::{TwoPbfDesign, TwoPbfModel, TwoPbfOptions};
@@ -123,6 +124,37 @@ impl TwoPbf {
     pub fn size_bits(&self) -> u64 {
         self.bf1.size_bits() + self.bf2.size_bits()
     }
+
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.width as u32);
+        out.put_u64(self.probe_cap);
+        out.put_u64(self.design.l1 as u64);
+        out.put_u64(self.design.l2 as u64);
+        out.put_f64(self.design.split);
+        out.put_f64(self.design.expected_fpr);
+        self.bf1.encode_into(out);
+        self.bf2.encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<TwoPbf, CodecError> {
+        let width = r.u32()? as usize;
+        if width == 0 {
+            return Err(CodecError::Invalid("2pbf width zero"));
+        }
+        let probe_cap = r.u64()?;
+        let design = TwoPbfDesign {
+            l1: r.u64()? as usize,
+            l2: r.u64()? as usize,
+            split: r.f64()?,
+            expected_fpr: r.f64()?,
+        };
+        if design.l1 == 0 || design.l1 > design.l2 || design.l2 > width * 8 {
+            return Err(CodecError::Invalid("2pbf prefix lengths"));
+        }
+        let bf1 = PrefixBloom::decode_from(r)?;
+        let bf2 = PrefixBloom::decode_from(r)?;
+        Ok(TwoPbf { bf1, bf2, design, width, probe_cap })
+    }
 }
 
 impl RangeFilter for TwoPbf {
@@ -137,6 +169,11 @@ impl RangeFilter for TwoPbf {
             "2PBF(l1={}, l2={}, split={:.1})",
             self.design.l1, self.design.l2, self.design.split
         )
+    }
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Some((FilterKind::TwoPbf, out))
     }
 }
 

@@ -1,0 +1,186 @@
+//! `FilterCodec`: the one-stop encode/decode entry point for every range
+//! filter in the workspace.
+//!
+//! Encoding asks the filter for its `(kind, payload)` via
+//! [`RangeFilter::encode_payload`] and seals it in the versioned envelope
+//! (`proteus_core::codec`: magic, format version, kind tag, length,
+//! CRC-32). Decoding verifies the envelope and dispatches on the kind tag
+//! to the concrete decoder:
+//!
+//! * corrupt, truncated or version-mismatched bytes → `Err(CodecError)`,
+//!   never a panic;
+//! * a *valid* envelope carrying an unknown kind tag (a filter from a
+//!   newer build) → `Ok` with a [`NoFilter`] stand-in and
+//!   [`DecodedFilter::degraded`] set, so old binaries keep serving reads
+//!   (every Seek just pays the I/O for that SST).
+//!
+//! This module lives in `proteus-filters` because it is the lowest crate
+//! that can see every serializable filter type (Proteus/1PBF/2PBF from
+//! `proteus-core` plus SuRF and Rosetta defined here).
+
+use crate::rosetta::Rosetta;
+use crate::surf::Surf;
+use proteus_core::codec::{seal, unseal, ByteReader, CodecError, FilterKind};
+use proteus_core::{NoFilter, OnePbf, Proteus, RangeFilter, TwoPbf};
+
+/// Outcome of a successful decode.
+pub struct DecodedFilter {
+    /// The reconstructed filter, ready to serve queries.
+    pub filter: Box<dyn RangeFilter>,
+    /// True when the envelope was valid but the kind tag unknown and the
+    /// filter was replaced by [`NoFilter`] (callers surface this through a
+    /// stats counter).
+    pub degraded: bool,
+}
+
+/// Versioned binary serialization for every range filter in the workspace.
+pub struct FilterCodec;
+
+impl FilterCodec {
+    /// Encode `filter` into a self-describing envelope.
+    ///
+    /// Filters without a persistent form (e.g. ARF) yield
+    /// [`CodecError::Unsupported`]; the SST writer treats that as "no
+    /// filter block" rather than an I/O failure.
+    pub fn encode(filter: &dyn RangeFilter) -> Result<Vec<u8>, CodecError> {
+        let (kind, payload) =
+            filter.encode_payload().ok_or(CodecError::Unsupported("filter kind"))?;
+        Ok(seal(kind, &payload))
+    }
+
+    /// Decode an envelope produced by [`FilterCodec::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<DecodedFilter, CodecError> {
+        let (tag, payload) = unseal(bytes)?;
+        let Some(kind) = FilterKind::from_tag(tag) else {
+            // Forward-compatible degradation: the bytes are intact (the
+            // checksum proved it) but this build cannot reconstruct the
+            // filter. NoFilter preserves the no-false-negative contract.
+            return Ok(DecodedFilter { filter: Box::new(NoFilter), degraded: true });
+        };
+        let mut r = ByteReader::new(payload);
+        let filter: Box<dyn RangeFilter> = match kind {
+            FilterKind::NoFilter => Box::new(NoFilter),
+            FilterKind::Proteus => Box::new(Proteus::decode_from(&mut r)?),
+            FilterKind::OnePbf => Box::new(OnePbf::decode_from(&mut r)?),
+            FilterKind::TwoPbf => Box::new(TwoPbf::decode_from(&mut r)?),
+            FilterKind::Surf => Box::new(Surf::decode_from(&mut r)?),
+            FilterKind::Rosetta => Box::new(Rosetta::decode_from(&mut r)?),
+        };
+        r.finish()?;
+        Ok(DecodedFilter { filter, degraded: false })
+    }
+
+    /// Round-trip helper: decode strictly, rejecting degraded outcomes
+    /// (used by tests and tools that expect a known filter kind).
+    pub fn decode_strict(bytes: &[u8]) -> Result<Box<dyn RangeFilter>, CodecError> {
+        let d = Self::decode(bytes)?;
+        if d.degraded {
+            Err(CodecError::UnknownTag { what: "filter kind", tag: bytes[6] })
+        } else {
+            Ok(d.filter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surf::SurfSuffix;
+    use proteus_core::key::u64_key;
+    use proteus_core::{KeySet, OnePbfOptions, ProteusOptions, SampleQueries, TwoPbfFilterOptions};
+
+    fn fixture_keys() -> (Vec<u64>, KeySet, SampleQueries) {
+        let keys: Vec<u64> = (0..800u64).map(|i| i.wrapping_mul(0x9E37_79B9) << 16).collect();
+        let ks = KeySet::from_u64(&keys);
+        let mut samples = SampleQueries::from_u64(
+            &(0..200u64).map(|i| (i * 77 + 13, i * 77 + 50)).collect::<Vec<_>>(),
+        );
+        samples.retain_empty(&ks);
+        (keys, ks, samples)
+    }
+
+    fn workspace_filters() -> Vec<Box<dyn RangeFilter>> {
+        let (_, ks, samples) = fixture_keys();
+        let m = 800 * 12;
+        vec![
+            Box::new(NoFilter),
+            Box::new(Proteus::train(&ks, &samples, m, &ProteusOptions::default())),
+            Box::new(OnePbf::train(&ks, &samples, m, &OnePbfOptions::default())),
+            Box::new(TwoPbf::train(&ks, &samples, m, &TwoPbfFilterOptions::default())),
+            Box::new(Surf::build(&ks, SurfSuffix::Base)),
+            Box::new(Surf::build(&ks, SurfSuffix::Hash(8))),
+            Box::new(Surf::build(&ks, SurfSuffix::Real(8))),
+            Box::new(Rosetta::train(&ks, &samples, m, &crate::RosettaOptions::default())),
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips_with_identical_answers() {
+        let (keys, _, _) = fixture_keys();
+        for f in workspace_filters() {
+            let bytes = FilterCodec::encode(f.as_ref()).unwrap();
+            let back = FilterCodec::decode(&bytes).unwrap();
+            assert!(!back.degraded, "{}", f.name());
+            let g = back.filter;
+            assert_eq!(g.name(), f.name());
+            assert_eq!(g.size_bits(), f.size_bits(), "{}", f.name());
+            for &k in keys.iter().step_by(17) {
+                let key = u64_key(k);
+                assert_eq!(g.may_contain(&key), f.may_contain(&key), "{} point", f.name());
+                let lo = u64_key(k.saturating_sub(99));
+                let hi = u64_key(k.saturating_add(99));
+                assert_eq!(
+                    g.may_contain_range(&lo, &hi),
+                    f.may_contain_range(&lo, &hi),
+                    "{} range",
+                    f.name()
+                );
+            }
+            // Off-key probes must agree too (false positives included).
+            for q in (0..5000u64).step_by(37) {
+                let key = u64_key(q.wrapping_mul(0xDEAD_BEEF_CAFE));
+                assert_eq!(g.may_contain(&key), f.may_contain(&key), "{} fp probe", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_degrades_to_nofilter() {
+        let sealed = proteus_core::codec::seal_raw(200, b"future payload");
+        let d = FilterCodec::decode(&sealed).unwrap();
+        assert!(d.degraded);
+        assert_eq!(d.filter.name(), "NoFilter");
+        assert!(d.filter.may_contain_range(&u64_key(0), &u64_key(1)));
+        assert!(FilterCodec::decode_strict(&sealed).is_err());
+    }
+
+    #[test]
+    fn corruptions_and_truncations_error_never_panic() {
+        let f = Surf::build(&KeySet::from_u64(&[1, 500, 90_000]), SurfSuffix::Real(4));
+        let bytes = FilterCodec::encode(&f).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(FilterCodec::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            assert!(FilterCodec::decode(&bad).is_err(), "corrupt byte {i}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        let mut s = 0xFEED_FACEu64;
+        for len in [0usize, 1, 7, 16, 64, 1024] {
+            let blob: Vec<u8> = (0..len)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s as u8
+                })
+                .collect();
+            assert!(FilterCodec::decode(&blob).is_err(), "len {len}");
+        }
+    }
+}

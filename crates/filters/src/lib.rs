@@ -10,12 +10,19 @@
 //!
 //! Both implement [`proteus_core::RangeFilter`], so they can be swapped
 //! into the LSM harness and every benchmark interchangeably with Proteus.
+//!
+//! This crate also hosts [`FilterCodec`], the versioned binary
+//! serialization entry point for *every* filter in the workspace (it is
+//! the lowest crate that can see all of their types); the LSM harness uses
+//! it to embed filters in SST files and reload them on reopen.
 
 pub mod arf;
+pub mod codec;
 pub mod rosetta;
 pub mod surf;
 
 pub use arf::Arf;
+pub use codec::{DecodedFilter, FilterCodec};
 pub use rosetta::{Rosetta, RosettaOptions};
 pub use surf::{Surf, SurfSuffix};
 

@@ -13,6 +13,7 @@
 
 use proteus_amq::hash::HashFamily;
 use proteus_amq::standard_bloom_fpr;
+use proteus_core::codec::{ByteReader, CodecError, FilterKind, WireWrite};
 use proteus_core::key::{get_bit, set_tail_ones, u64_key};
 use proteus_core::model::{extract_contexts, BitScan};
 use proteus_core::prefix_bf::PrefixBloom;
@@ -201,6 +202,41 @@ impl Rosetta {
         self.filters.iter().map(|f| f.size_bits()).sum()
     }
 
+    /// Serialize: geometry + every per-level prefix Bloom filter.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.width as u32);
+        out.put_u32(self.bits as u32);
+        out.put_u32(self.top_len as u32);
+        out.put_u64(self.probe_cap);
+        out.put_u32(self.filters.len() as u32);
+        for f in &self.filters {
+            f.encode_into(out);
+        }
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Rosetta, CodecError> {
+        let width = r.u32()? as usize;
+        let bits = r.u32()? as usize;
+        let top_len = r.u32()? as usize;
+        let probe_cap = r.u64()?;
+        let n = r.u32()? as usize;
+        if width == 0 || bits != width * 8 {
+            return Err(CodecError::Invalid("rosetta width/bits"));
+        }
+        if n == 0 || top_len == 0 || top_len + n != bits + 1 {
+            return Err(CodecError::Invalid("rosetta level geometry"));
+        }
+        let mut filters = Vec::with_capacity(n.min(bits));
+        for i in 0..n {
+            let f = PrefixBloom::decode_from(r)?;
+            if f.prefix_len() != top_len + i {
+                return Err(CodecError::Invalid("rosetta level prefix length"));
+            }
+            filters.push(f);
+        }
+        Ok(Rosetta { filters, top_len, bits, width, probe_cap })
+    }
+
     /// Closed-range emptiness query: dyadic descent with doubting.
     pub fn query(&self, lo: &[u8], hi: &[u8]) -> bool {
         debug_assert!(lo <= hi);
@@ -269,6 +305,11 @@ impl RangeFilter for Rosetta {
     }
     fn name(&self) -> String {
         format!("Rosetta(levels={}, top={})", self.filters.len(), self.top_len)
+    }
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Some((FilterKind::Rosetta, out))
     }
 }
 

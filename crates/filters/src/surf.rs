@@ -16,6 +16,7 @@
 //! of SuRF's `$` terminator for keys that are prefixes of other keys.
 
 use proteus_amq::hash::{HashFamily, PrefixHasher};
+use proteus_core::codec::{ByteReader, CodecError, FilterKind, WireWrite};
 use proteus_core::key::{bit_slice, lcp_bytes};
 use proteus_core::{KeySet, RangeFilter};
 use proteus_succinct::{Fst, FstBuilder, ValueStore, Visit};
@@ -89,6 +90,42 @@ impl Surf {
 
     pub fn size_bits(&self) -> u64 {
         self.fst.size_bits()
+    }
+
+    /// Serialize: width, suffix mode, hasher, then the trie (covers all
+    /// three suffix modes — the ValueStore carries the suffix bits).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u32(self.width as u32);
+        let (tag, bits) = match self.suffix {
+            SurfSuffix::Base => (0u8, 0u32),
+            SurfSuffix::Hash(b) => (1, b),
+            SurfSuffix::Real(b) => (2, b),
+        };
+        out.put_u8(tag);
+        out.put_u32(bits);
+        self.hasher.encode_into(out);
+        self.fst.encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Surf, CodecError> {
+        let width = r.u32()? as usize;
+        if width == 0 {
+            return Err(CodecError::Invalid("surf width zero"));
+        }
+        let tag = r.u8()?;
+        let bits = r.u32()?;
+        let suffix = match tag {
+            0 => SurfSuffix::Base,
+            1 => SurfSuffix::Hash(bits),
+            2 => SurfSuffix::Real(bits),
+            tag => return Err(CodecError::UnknownTag { what: "surf suffix", tag }),
+        };
+        if suffix != SurfSuffix::Base && !(1..=64).contains(&bits) {
+            return Err(CodecError::Invalid("surf suffix bits"));
+        }
+        let hasher = PrefixHasher::decode_from(r)?;
+        let fst = Fst::decode_from(r)?;
+        Ok(Surf { fst, suffix, hasher, width })
     }
 
     /// Closed-range emptiness query over canonical bounds.
@@ -195,6 +232,11 @@ impl RangeFilter for Surf {
             SurfSuffix::Hash(b) => format!("SuRF-Hash({b})"),
             SurfSuffix::Real(b) => format!("SuRF-Real({b})"),
         }
+    }
+    fn encode_payload(&self) -> Option<(FilterKind, Vec<u8>)> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        Some((FilterKind::Surf, out))
     }
 }
 

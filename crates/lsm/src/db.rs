@@ -77,7 +77,14 @@ pub struct Db {
 }
 
 impl Db {
-    /// Open (create) a database in `dir`.
+    /// Open a database in `dir`, creating it if empty.
+    ///
+    /// A directory that already holds SST files is *recovered*: every
+    /// `NNNNNNNN.sst` is reopened through its footer, the level manifest is
+    /// rebuilt from the per-file level tags, and persisted filters are
+    /// reloaded (lazily, on first probe) instead of retrained. A corrupt
+    /// footer or index fails the open with `InvalidData`; a corrupt filter
+    /// block only degrades that file to unfiltered probes.
     pub fn open(
         dir: impl Into<PathBuf>,
         cfg: DbConfig,
@@ -87,17 +94,84 @@ impl Db {
         std::fs::create_dir_all(&dir)?;
         let queue = QueryQueue::new(cfg.queue_capacity, cfg.sample_every);
         let cache = BlockCache::new(cfg.block_cache_bytes);
-        Ok(Db {
-            cfg,
-            dir,
-            mem: MemTable::new(),
-            levels: vec![Vec::new()],
-            next_sst_id: 1,
-            factory,
-            queue,
-            cache,
-            stats: Arc::new(Stats::default()),
-        })
+        let stats = Arc::new(Stats::default());
+        let (levels, next_sst_id) = Self::recover_levels(&dir, cfg.key_width, &stats)?;
+        Ok(Db { cfg, dir, mem: MemTable::new(), levels, next_sst_id, factory, queue, cache, stats })
+    }
+
+    /// Scan `dir` for SST files and rebuild the level manifest from their
+    /// footers. Returns the levels plus the next free SST id.
+    fn recover_levels(
+        dir: &std::path::Path,
+        key_width: usize,
+        stats: &Stats,
+    ) -> std::io::Result<(Vec<Vec<Arc<SstReader>>>, u64)> {
+        let mut recovered: Vec<Arc<SstReader>> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if let Some(stem) = name.strip_suffix(".sst.tmp") {
+                // A crash mid-write left an unfinished SST (writers stream
+                // into `NNNNNNNN.sst.tmp` and rename on completion):
+                // discard it. Only our own naming pattern is touched.
+                if stem.parse::<u64>().is_ok() {
+                    let _ = std::fs::remove_file(&path);
+                }
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("sst") {
+                continue;
+            }
+            let Some(id) =
+                path.file_stem().and_then(|s| s.to_str()).and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue; // foreign file; not one of ours
+            };
+            recovered.push(Arc::new(SstReader::open(&path, id, key_width)?));
+        }
+        if recovered.is_empty() {
+            return Ok((vec![Vec::new()], 1));
+        }
+        let next_id = recovered.iter().map(|s| s.id).max().unwrap() + 1;
+        let max_level = recovered.iter().map(|s| s.level).max().unwrap() as usize;
+        let mut levels: Vec<Vec<Arc<SstReader>>> = vec![Vec::new(); max_level + 1];
+        stats.ssts_recovered.add(recovered.len() as u64);
+        for sst in recovered {
+            levels[sst.level as usize].push(sst);
+        }
+        // L0 recency = file id order (ids are allocated monotonically and
+        // flushes append newest last); deeper levels sort by key range.
+        for level in &mut levels[1..] {
+            level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
+        }
+        // Deeper levels must be disjoint for the binary-searched read path.
+        // A crash between compaction-output renames and input deletion can
+        // leave both generations on disk; demote every file involved in an
+        // overlap to L0, where overlapping files are legal and searched
+        // newest-first (Seek only answers existence, so the surviving
+        // duplicates are harmless until the next compaction folds them).
+        for li in 1..levels.len() {
+            let level = &levels[li];
+            let mut demote = vec![false; level.len()];
+            for i in 1..level.len() {
+                if level[i - 1].max_key >= level[i].min_key {
+                    demote[i - 1] = true;
+                    demote[i] = true;
+                }
+            }
+            if demote.iter().any(|&d| d) {
+                let drained: Vec<Arc<SstReader>> = levels[li].drain(..).collect();
+                for (i, sst) in drained.into_iter().enumerate() {
+                    if demote[i] {
+                        levels[0].push(sst);
+                    } else {
+                        levels[li].push(sst);
+                    }
+                }
+            }
+        }
+        levels[0].sort_by_key(|s| s.id);
+        Ok((levels, next_id))
     }
 
     pub fn config(&self) -> &DbConfig {
@@ -161,7 +235,7 @@ impl Db {
             // describes this file's keys.
             let flo = if lo < sst.min_key.as_slice() { sst.min_key.as_slice() } else { lo };
             let fhi = if hi > sst.max_key.as_slice() { sst.max_key.as_slice() } else { hi };
-            if let Some(filter) = &sst.filter {
+            if let Some(filter) = sst.filter(&self.stats) {
                 if !filter.may_contain_range(flo, fhi) {
                     self.stats.filter_negatives.inc();
                     continue;
@@ -230,7 +304,7 @@ impl Db {
         }
         let entries = self.mem.drain_sorted();
         let id = self.alloc_id();
-        let mut w = SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes)?;
+        let mut w = SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes, 0)?;
         for (k, v) in &entries {
             w.add(k, v)?;
         }
@@ -366,6 +440,7 @@ impl Db {
                     id,
                     self.cfg.key_width,
                     self.cfg.block_bytes,
+                    target_level as u32,
                 )?);
             }
             let w = writer.as_mut().unwrap();
@@ -424,9 +499,14 @@ impl Db {
         self.levels.iter().flatten().map(|s| s.file_bytes).sum()
     }
 
-    /// Total memory held by the per-SST filters, in bits.
+    /// Total memory held by the per-SST filters, in bits (forces lazy
+    /// filter blocks to decode).
     pub fn filter_bits(&self) -> u64 {
-        self.levels.iter().flatten().map(|s| s.filter.as_ref().map_or(0, |f| f.size_bits())).sum()
+        self.levels
+            .iter()
+            .flatten()
+            .map(|s| s.filter(&self.stats).map_or(0, |f| f.size_bits()))
+            .sum()
     }
 
     /// Iterate filter names per file (diagnostics for the experiments).
@@ -434,7 +514,7 @@ impl Db {
         self.levels
             .iter()
             .flatten()
-            .map(|s| s.filter.as_ref().map_or("none".into(), |f| f.name()))
+            .map(|s| s.filter(&self.stats).map_or("none".into(), |f| f.name()))
             .collect()
     }
 }

@@ -5,6 +5,11 @@
 
 use proteus_core::{KeySet, RangeFilter, SampleQueries};
 
+// The pass-through baseline now lives in `proteus-core` (so the filter
+// codec can decode unknown kinds into it); re-exported here for all the
+// existing `proteus_lsm::NoFilter` users.
+pub use proteus_core::NoFilter;
+
 /// Builds a range filter for one SST file.
 pub trait FilterFactory: Send + Sync {
     /// `keys` — the file's key set; `samples` — recent empty queries,
@@ -14,23 +19,6 @@ pub trait FilterFactory: Send + Sync {
 
     /// Display name for experiment output.
     fn name(&self) -> String;
-}
-
-/// A pass-through filter: every query may contain keys (the no-filter
-/// baseline; every Seek pays the I/O).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NoFilter;
-
-impl RangeFilter for NoFilter {
-    fn may_contain_range(&self, _lo: &[u8], _hi: &[u8]) -> bool {
-        true
-    }
-    fn size_bits(&self) -> u64 {
-        0
-    }
-    fn name(&self) -> String {
-        "NoFilter".to_string()
-    }
 }
 
 /// Factory for [`NoFilter`].

@@ -218,6 +218,96 @@ mod db_tests {
     }
 
     #[test]
+    fn reopen_discards_unfinished_tmp_files_from_a_crash() {
+        let dir = tmpdir("crash-tmp");
+        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        for i in 0..2_000u64 {
+            db.put_u64(i * 11, &value(i)).unwrap();
+        }
+        db.flush_and_settle().unwrap();
+        let ssts = db.sst_count();
+        drop(db);
+        // Simulate a crash mid-write: writers stream into `.sst.tmp` and
+        // rename only after the footer is durable, so a kill leaves this.
+        std::fs::write(dir.join("00000099.sst.tmp"), b"partial garbage, no footer").unwrap();
+        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        assert_eq!(db.sst_count(), ssts, "straggler must not poison recovery");
+        assert!(!dir.join("00000099.sst.tmp").exists(), "straggler cleaned up");
+        assert!(db.seek_u64(0, 0).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_demotes_overlapping_deep_level_files_to_l0() {
+        // Forge the crash window between compaction-output rename and
+        // input deletion: two generations of the same key range coexist
+        // with level-1 footers. Recovery must not install overlapping
+        // files in a binary-searched level — it demotes them to L0.
+        use crate::query_queue::QueryQueue;
+        use crate::sst::SstWriter;
+        let dir = tmpdir("overlap-demote");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = Stats::default();
+        let queue = QueryQueue::new(4, 1);
+        let mut write = |id: u64, keys: std::ops::Range<u64>| {
+            let mut w = SstWriter::create(&dir, id, 8, 4096, 1).unwrap();
+            for k in keys {
+                w.add(&u64_key(k * 2), b"v").unwrap();
+            }
+            w.finish(&NoFilterFactory, &queue, 8.0, &stats).unwrap();
+        };
+        write(1, 0..100); // old compaction input: keys [0, 198]
+        write(2, 50..150); // newer output: keys [100, 298] — overlaps
+        write(3, 1000..1100); // disjoint survivor: keys [2000, 2198]
+
+        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let counts = db.level_file_counts();
+        assert_eq!(counts[0], 2, "overlapping pair demoted to L0: {counts:?}");
+        assert_eq!(counts[1], 1, "disjoint file stays put: {counts:?}");
+        // Every key from every generation remains reachable.
+        for k in [0u64, 99, 100, 149, 1000, 1099] {
+            assert!(db.seek_u64(k * 2, k * 2).unwrap(), "key {k} unreachable");
+        }
+        assert!(!db.seek_u64(1, 1).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_levels_and_filters_without_retraining() {
+        let dir = tmpdir("reopen");
+        let mut cfg = small_cfg();
+        cfg.memtable_bytes = 16 << 10;
+        cfg.l0_compaction_trigger = 2;
+        cfg.sample_every = 1;
+        let keys: Vec<u64> = (0..8_000u64).map(|i| (i * 2_654_435_761) % (1 << 44)).collect();
+        let (counts, filter_bits, sst_count) = {
+            let mut db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
+            for &k in &keys {
+                db.put_u64(k, &value(k)).unwrap();
+            }
+            db.flush_and_settle().unwrap();
+            (db.level_file_counts(), db.filter_bits(), db.sst_count())
+        };
+
+        let mut db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+        assert_eq!(db.level_file_counts(), counts, "level manifest must survive reopen");
+        assert_eq!(db.stats().ssts_recovered.get(), sst_count as u64);
+        assert_eq!(db.stats().filters_built.get(), 0, "reopen must not retrain");
+        assert_eq!(db.filter_bits(), filter_bits, "filters must reload bit-identically");
+        assert_eq!(db.stats().filters_loaded.get(), sst_count as u64);
+        assert_eq!(db.stats().filters_degraded.get(), 0);
+        // Zero false negatives after recovery.
+        for &k in keys.iter().step_by(53) {
+            assert!(db.seek_u64(k, k).unwrap(), "key {k} lost across reopen");
+        }
+        // Writes keep working: ids continue past the recovered set.
+        db.put_u64(u64::MAX - 5, b"post-reopen").unwrap();
+        db.flush().unwrap();
+        assert!(db.seek_u64(u64::MAX - 5, u64::MAX - 5).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stats_track_seek_outcomes() {
         let dir = tmpdir("stats");
         let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();

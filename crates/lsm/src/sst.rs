@@ -1,19 +1,57 @@
 //! Sorted String Table files: immutable on-disk runs of key-value pairs
-//! with an in-memory index and a pluggable per-file range filter (§6.1's
-//! integration point: "Static filters … are built on every SST file").
+//! with a persisted index, a pluggable per-file range filter (§6.1's
+//! integration point: "Static filters … are built on every SST file") and
+//! a fixed-size footer enabling directory recovery.
+//!
+//! ## On-disk layout (format v1)
+//!
+//! ```text
+//! [data block]*                      (crate::block format)
+//! [index block]                      u32 n, then n × (first_key, last_key,
+//!                                    u64 offset, u32 len), then u32 CRC-32
+//! [filter block]                     FilterCodec envelope (may be absent)
+//! [footer: 64 bytes]
+//!    0  u64 index_off    32 u64 n_entries
+//!    8  u64 index_len    40 u32 level
+//!   16  u64 filter_off   44 u32 key width
+//!   24  u64 filter_len   48 u16 format version
+//!                        50 6×u8 zero padding
+//!                        56 8×u8 magic "PRSSTv1\0"
+//! ```
+//!
+//! The footer records which LSM level the file belongs to, so `Db::open`
+//! can rebuild the level manifest from nothing but the directory listing.
+//! The filter block is the [`FilterCodec`] envelope (self-describing,
+//! checksummed); it is decoded lazily on first probe, so opening a large
+//! database does not pay filter reconstruction for cold files.
 
 use crate::block::{Block, BlockBuilder};
 use crate::filter_hook::FilterFactory;
 use crate::query_queue::QueryQueue;
 use crate::stats::Stats;
+use proteus_core::codec::crc32;
 use proteus_core::keyset::KeySet;
 use proteus_core::RangeFilter;
+use proteus_filters::FilterCodec;
 use std::fs::File;
 use std::io::Write;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// SST format version written into the footer.
+pub const SST_FORMAT_VERSION: u16 = 1;
+
+/// Trailing magic of every SST file.
+pub const SST_MAGIC: [u8; 8] = *b"PRSSTv1\0";
+
+/// Fixed footer size in bytes.
+pub const SST_FOOTER_LEN: u64 = 64;
+
+fn bad(path: &Path, what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
+}
 
 /// Index entry for one block.
 #[derive(Debug, Clone)]
@@ -31,10 +69,22 @@ pub struct SstReader {
     file: File,
     width: usize,
     index: Vec<BlockMeta>,
-    pub filter: Option<Box<dyn RangeFilter>>,
+    /// Size of the persisted filter block (0 = none).
+    filter_block_len: usize,
+    /// Encoded filter block awaiting its lazy decode; drained on first
+    /// probe so the bytes are not held alongside the live filter. Empty
+    /// for freshly written files (their filter is already in memory).
+    pending_filter_bytes: Mutex<Vec<u8>>,
+    /// Lazily decoded filter. Pre-populated for freshly written files;
+    /// filled from `pending_filter_bytes` on first probe after recovery.
+    filter: OnceLock<Option<Box<dyn RangeFilter>>>,
+    /// LSM level this file was written for (from the footer on reopen).
+    pub level: u32,
     pub min_key: Vec<u8>,
     pub max_key: Vec<u8>,
     pub n_entries: u64,
+    /// Bytes of the data section (excludes index, filter block, footer);
+    /// the quantity level-size compaction triggers are measured in.
     pub file_bytes: u64,
 }
 
@@ -42,6 +92,7 @@ impl std::fmt::Debug for SstReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SstReader")
             .field("id", &self.id)
+            .field("level", &self.level)
             .field("entries", &self.n_entries)
             .field("blocks", &self.index.len())
             .finish()
@@ -49,12 +100,151 @@ impl std::fmt::Debug for SstReader {
 }
 
 impl SstReader {
+    /// Reopen a persisted SST: read the footer, validate magic/version/
+    /// geometry, and load the block index and the (still-encoded) filter
+    /// block. The filter itself is decoded lazily on first probe.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        id: u64,
+        expected_width: usize,
+    ) -> std::io::Result<SstReader> {
+        let path = path.into();
+        let file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < SST_FOOTER_LEN {
+            return Err(bad(&path, "file shorter than footer"));
+        }
+        let mut footer = [0u8; SST_FOOTER_LEN as usize];
+        file.read_exact_at(&mut footer, file_len - SST_FOOTER_LEN)?;
+        if footer[56..64] != SST_MAGIC {
+            return Err(bad(&path, "bad SST magic"));
+        }
+        let version = u16::from_le_bytes(footer[48..50].try_into().unwrap());
+        if version != SST_FORMAT_VERSION {
+            return Err(bad(&path, "unsupported SST format version"));
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(footer[o..o + 8].try_into().unwrap());
+        let index_off = u64_at(0);
+        let index_len = u64_at(8);
+        let filter_off = u64_at(16);
+        let filter_len = u64_at(24);
+        let n_entries = u64_at(32);
+        let level = u32::from_le_bytes(footer[40..44].try_into().unwrap());
+        let width = u32::from_le_bytes(footer[44..48].try_into().unwrap()) as usize;
+        if width != expected_width {
+            return Err(bad(&path, "key width mismatch"));
+        }
+        let meta_end = file_len - SST_FOOTER_LEN;
+        if index_off.checked_add(index_len).is_none_or(|e| e > meta_end)
+            || filter_off.checked_add(filter_len).is_none_or(|e| e > meta_end)
+            || filter_off != index_off + index_len
+        {
+            return Err(bad(&path, "meta section out of bounds"));
+        }
+        if n_entries == 0 {
+            return Err(bad(&path, "empty SST"));
+        }
+
+        // Index block: entries + trailing CRC-32.
+        let mut raw = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut raw, index_off)?;
+        if raw.len() < 8 {
+            return Err(bad(&path, "index block too short"));
+        }
+        let (body, crc_bytes) = raw.split_at(raw.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored_crc {
+            return Err(bad(&path, "index checksum mismatch"));
+        }
+        let n_blocks = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        let entry_len = 2 * width + 12;
+        if body.len() != 4 + n_blocks * entry_len || n_blocks == 0 {
+            return Err(bad(&path, "index block length mismatch"));
+        }
+        let mut index = Vec::with_capacity(n_blocks);
+        let mut pos = 4usize;
+        for _ in 0..n_blocks {
+            let first_key = body[pos..pos + width].to_vec();
+            let last_key = body[pos + width..pos + 2 * width].to_vec();
+            pos += 2 * width;
+            let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(body[pos + 8..pos + 12].try_into().unwrap());
+            pos += 12;
+            if first_key > last_key || offset.checked_add(len as u64).is_none_or(|e| e > index_off)
+            {
+                return Err(bad(&path, "index entry out of bounds"));
+            }
+            index.push(BlockMeta { first_key, last_key, offset, len });
+        }
+        let min_key = index.first().unwrap().first_key.clone();
+        let max_key = index.last().unwrap().last_key.clone();
+
+        let mut filter_bytes = vec![0u8; filter_len as usize];
+        file.read_exact_at(&mut filter_bytes, filter_off)?;
+
+        Ok(SstReader {
+            id,
+            path,
+            file,
+            width,
+            index,
+            filter_block_len: filter_bytes.len(),
+            pending_filter_bytes: Mutex::new(filter_bytes),
+            filter: OnceLock::new(),
+            level,
+            min_key,
+            max_key,
+            n_entries,
+            file_bytes: index_off,
+        })
+    }
+
     pub fn n_blocks(&self) -> usize {
         self.index.len()
     }
 
     pub fn block_meta(&self, i: usize) -> &BlockMeta {
         &self.index[i]
+    }
+
+    /// The per-file range filter, decoding the persisted filter block on
+    /// first use. Corrupt or unknown-kind filter bytes never fail a query:
+    /// they degrade to "no filter" (every probe positive) and bump
+    /// `stats.filters_degraded`.
+    pub fn filter(&self, stats: &Stats) -> Option<&dyn RangeFilter> {
+        self.filter
+            .get_or_init(|| {
+                let bytes = std::mem::take(&mut *self.pending_filter_bytes.lock().unwrap());
+                if bytes.is_empty() {
+                    return None;
+                }
+                let t0 = Instant::now();
+                match FilterCodec::decode(&bytes) {
+                    Ok(decoded) if !decoded.degraded => {
+                        stats.filter_load_ns.add(t0.elapsed().as_nanos() as u64);
+                        stats.filters_loaded.inc();
+                        Some(decoded.filter)
+                    }
+                    // Unknown kind tag (valid envelope from a newer build)
+                    // or corrupt bytes: either way this SST serves without
+                    // a real filter — count it degraded, not loaded.
+                    Ok(_) | Err(_) => {
+                        stats.filters_degraded.inc();
+                        None
+                    }
+                }
+            })
+            .as_deref()
+    }
+
+    /// Has the filter block been decoded (or was it built in-process)?
+    pub fn filter_ready(&self) -> bool {
+        self.filter.get().is_some()
+    }
+
+    /// Size of the persisted filter block in bytes (0 = none).
+    pub fn filter_block_len(&self) -> usize {
+        self.filter_block_len
     }
 
     /// Does this file's key range intersect `[lo, hi]`?
@@ -85,12 +275,22 @@ impl SstReader {
 }
 
 /// Streaming SST writer: feed sorted entries, get a reader back.
+///
+/// Writes stream into `NNNNNNNN.sst.tmp`; only after the footer is written
+/// and synced does [`SstWriter::finish`] rename the file to its final
+/// `.sst` name. A crash mid-write therefore leaves a `.tmp` straggler
+/// (cleaned up by the next `Db::open`) instead of a footerless `.sst` that
+/// would poison directory recovery.
 pub struct SstWriter {
     id: u64,
+    /// Final `.sst` path the file is renamed to on successful finish.
     path: PathBuf,
+    /// In-progress `.sst.tmp` path the bytes stream into.
+    tmp_path: PathBuf,
     file: File,
     width: usize,
     block_size: usize,
+    level: u32,
     builder: BlockBuilder,
     index: Vec<BlockMeta>,
     offset: u64,
@@ -99,15 +299,24 @@ pub struct SstWriter {
 }
 
 impl SstWriter {
-    pub fn create(dir: &Path, id: u64, width: usize, block_size: usize) -> std::io::Result<Self> {
+    pub fn create(
+        dir: &Path,
+        id: u64,
+        width: usize,
+        block_size: usize,
+        level: u32,
+    ) -> std::io::Result<Self> {
         let path = dir.join(format!("{id:08}.sst"));
-        let file = File::create(&path)?;
+        let tmp_path = dir.join(format!("{id:08}.sst.tmp"));
+        let file = File::create(&tmp_path)?;
         Ok(SstWriter {
             id,
             path,
+            tmp_path,
             file,
             width,
             block_size,
+            level,
             builder: BlockBuilder::new(width),
             index: Vec::new(),
             offset: 0,
@@ -149,7 +358,8 @@ impl SstWriter {
         Ok(())
     }
 
-    /// Current on-disk size (used by the compactor to split output files).
+    /// Current on-disk size of the data section (used by the compactor to
+    /// split output files).
     pub fn bytes_written(&self) -> u64 {
         self.offset + self.builder.raw_len() as u64
     }
@@ -158,10 +368,41 @@ impl SstWriter {
         self.n_entries
     }
 
+    /// Serialize the block index: count, entries, trailing CRC-32.
+    fn encode_index(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.index.len() * (2 * self.width + 12) + 4);
+        out.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for m in &self.index {
+            out.extend_from_slice(&m.first_key);
+            out.extend_from_slice(&m.last_key);
+            out.extend_from_slice(&m.offset.to_le_bytes());
+            out.extend_from_slice(&m.len.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn encode_footer(&self, index_len: u64, filter_len: u64) -> [u8; SST_FOOTER_LEN as usize] {
+        let mut f = [0u8; SST_FOOTER_LEN as usize];
+        f[0..8].copy_from_slice(&self.offset.to_le_bytes());
+        f[8..16].copy_from_slice(&index_len.to_le_bytes());
+        f[16..24].copy_from_slice(&(self.offset + index_len).to_le_bytes());
+        f[24..32].copy_from_slice(&filter_len.to_le_bytes());
+        f[32..40].copy_from_slice(&self.n_entries.to_le_bytes());
+        f[40..44].copy_from_slice(&self.level.to_le_bytes());
+        f[44..48].copy_from_slice(&(self.width as u32).to_le_bytes());
+        f[48..50].copy_from_slice(&SST_FORMAT_VERSION.to_le_bytes());
+        f[56..64].copy_from_slice(&SST_MAGIC);
+        f
+    }
+
     /// Finalize: build the per-file range filter from this SST's keys and
     /// the current sample-query queue (§6.1 "used in conjunction with the
     /// keys in each SST file to determine the optimal filter design for
-    /// each SST file at construction time").
+    /// each SST file at construction time"), embed its encoding in the
+    /// file's filter block, and write the index + footer so the file is
+    /// fully self-describing for recovery.
     pub fn finish(
         mut self,
         factory: &dyn FilterFactory,
@@ -170,13 +411,12 @@ impl SstWriter {
         stats: &Stats,
     ) -> std::io::Result<SstReader> {
         self.flush_block()?;
-        self.file.sync_all()?;
         assert!(self.n_entries > 0, "empty SST");
         let min_key = self.index.first().unwrap().first_key.clone();
         let max_key = self.index.last().unwrap().last_key.clone();
 
         let t0 = Instant::now();
-        let keyset = KeySet::from_sorted_canonical(self.keys, self.width);
+        let keyset = KeySet::from_sorted_canonical(std::mem::take(&mut self.keys), self.width);
         let mut samples = queue.snapshot(self.width);
         samples.retain_empty(&keyset);
         let m_bits = (bits_per_key * keyset.len() as f64) as u64;
@@ -184,14 +424,47 @@ impl SstWriter {
         stats.filter_build_ns.add(t0.elapsed().as_nanos() as u64);
         stats.filters_built.inc();
 
+        // Encode the filter block; a filter without a persistent form
+        // leaves the block empty; after a reopen that file simply has no
+        // filter (recovery never retrains).
+        let filter_bytes = match &filter {
+            Some(f) => match FilterCodec::encode(f.as_ref()) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    stats.filters_unpersisted.inc();
+                    Vec::new()
+                }
+            },
+            None => Vec::new(),
+        };
+
+        let index_bytes = self.encode_index();
+        self.file.write_all(&index_bytes)?;
+        self.file.write_all(&filter_bytes)?;
+        let footer = self.encode_footer(index_bytes.len() as u64, filter_bytes.len() as u64);
+        self.file.write_all(&footer)?;
+        self.file.sync_all()?;
+        // The file is complete and durable: atomically give it its real
+        // name, then sync the directory so the rename itself survives a
+        // power failure. Recovery only ever sees fully written `.sst`s.
+        std::fs::rename(&self.tmp_path, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            File::open(dir)?.sync_all()?;
+        }
+
         let file = File::open(&self.path)?;
+        let slot = OnceLock::new();
+        let _ = slot.set(filter);
         Ok(SstReader {
             id: self.id,
             path: self.path,
             file,
             width: self.width,
             index: self.index,
-            filter,
+            filter_block_len: filter_bytes.len(),
+            pending_filter_bytes: Mutex::new(Vec::new()),
+            filter: slot,
+            level: self.level,
             min_key,
             max_key,
             n_entries: self.n_entries,
@@ -236,5 +509,106 @@ impl SstScanner {
             self.block = None;
             self.block_idx += 1;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_hook::ProteusFactory;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("proteus-sst-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_sample(dir: &Path, id: u64, level: u32, n: u64) -> SstReader {
+        let mut w = SstWriter::create(dir, id, 8, 4096, level).unwrap();
+        for i in 0..n {
+            w.add(&(i * 7).to_be_bytes(), &[i as u8; 32]).unwrap();
+        }
+        let stats = Stats::default();
+        let queue = QueryQueue::new(16, 1);
+        w.finish(&ProteusFactory::default(), &queue, 10.0, &stats).unwrap()
+    }
+
+    #[test]
+    fn write_reopen_roundtrip_preserves_index_and_filter() {
+        let dir = tmpdir("roundtrip");
+        let written = write_sample(&dir, 3, 2, 5_000);
+        let stats = Stats::default();
+        let reopened = SstReader::open(dir.join("00000003.sst"), 3, 8).unwrap();
+        assert_eq!(reopened.level, 2);
+        assert_eq!(reopened.n_entries, written.n_entries);
+        assert_eq!(reopened.n_blocks(), written.n_blocks());
+        assert_eq!(reopened.min_key, written.min_key);
+        assert_eq!(reopened.max_key, written.max_key);
+        assert_eq!(reopened.file_bytes, written.file_bytes);
+        assert!(!reopened.filter_ready(), "filter decode must be lazy");
+        let f = reopened.filter(&stats).expect("persisted filter");
+        assert_eq!(stats.filters_loaded.get(), 1);
+        assert_eq!(stats.filters_degraded.get(), 0);
+        let g = written.filter(&stats).unwrap();
+        assert_eq!(f.size_bits(), g.size_bits());
+        assert_eq!(f.name(), g.name());
+        // Block payloads identical.
+        for b in 0..reopened.n_blocks() {
+            let x = reopened.read_block(b, &stats);
+            let y = written.read_block(b, &stats);
+            assert_eq!(x.len(), y.len());
+            for i in 0..x.len() {
+                assert_eq!(x.key(i), y.key(i));
+                assert_eq!(x.value(i), y.value(i));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_filter_block_degrades_without_panicking() {
+        let dir = tmpdir("corrupt-filter");
+        let written = write_sample(&dir, 1, 0, 2_000);
+        drop(written);
+        let path = dir.join("00000001.sst");
+        // Flip one byte inside the filter block.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flen = bytes.len();
+        let filter_off =
+            u64::from_le_bytes(bytes[flen - 48..flen - 40].try_into().unwrap()) as usize;
+        bytes[filter_off + 20] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let stats = Stats::default();
+        let reopened = SstReader::open(&path, 1, 8).unwrap();
+        assert!(reopened.filter(&stats).is_none(), "corrupt filter must degrade");
+        assert_eq!(stats.filters_degraded.get(), 1);
+        assert_eq!(stats.filters_loaded.get(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_index_or_footer_is_an_open_error() {
+        let dir = tmpdir("corrupt-index");
+        drop(write_sample(&dir, 1, 0, 1_000));
+        let path = dir.join("00000001.sst");
+        let orig = std::fs::read(&path).unwrap();
+
+        // Truncations anywhere in the meta section fail to open.
+        for cut in [orig.len() - 1, orig.len() - SST_FOOTER_LEN as usize - 3, 10] {
+            std::fs::write(&path, &orig[..cut]).unwrap();
+            assert!(SstReader::open(&path, 1, 8).is_err(), "cut {cut}");
+        }
+        // Index corruption is caught by the index CRC.
+        let flen = orig.len();
+        let index_off = u64::from_le_bytes(orig[flen - 64..flen - 56].try_into().unwrap()) as usize;
+        let mut bad = orig.clone();
+        bad[index_off + 6] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(SstReader::open(&path, 1, 8).is_err());
+        // Wrong declared width.
+        std::fs::write(&path, &orig).unwrap();
+        assert!(SstReader::open(&path, 1, 16).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

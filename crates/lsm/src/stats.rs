@@ -59,6 +59,19 @@ pub struct Stats {
     pub filter_build_ns: Counter,
     /// Keys currently queued as sample queries.
     pub sampled_queries: Counter,
+    /// SST files recovered from disk by `Db::open`.
+    pub ssts_recovered: Counter,
+    /// Filters decoded from persisted SST filter blocks (no retraining).
+    pub filters_loaded: Counter,
+    /// Total nanoseconds spent decoding persisted filters.
+    pub filter_load_ns: Counter,
+    /// Persisted filters that could not be reconstructed (unknown kind tag
+    /// or corrupt bytes) and degraded to no-filter for that SST.
+    pub filters_degraded: Counter,
+    /// Built filters with no persistent form (encode unsupported); their
+    /// SSTs carry no filter block, so after a reopen those files serve
+    /// unfiltered probes (recovery never retrains).
+    pub filters_unpersisted: Counter,
 }
 
 impl Stats {
@@ -90,6 +103,11 @@ impl Stats {
             compactions: self.compactions.get(),
             filters_built: self.filters_built.get(),
             filter_build_ns: self.filter_build_ns.get(),
+            ssts_recovered: self.ssts_recovered.get(),
+            filters_loaded: self.filters_loaded.get(),
+            filter_load_ns: self.filter_load_ns.get(),
+            filters_degraded: self.filters_degraded.get(),
+            filters_unpersisted: self.filters_unpersisted.get(),
         }
     }
 }
@@ -110,6 +128,11 @@ pub struct StatsSnapshot {
     pub compactions: u64,
     pub filters_built: u64,
     pub filter_build_ns: u64,
+    pub ssts_recovered: u64,
+    pub filters_loaded: u64,
+    pub filter_load_ns: u64,
+    pub filters_degraded: u64,
+    pub filters_unpersisted: u64,
 }
 
 impl StatsSnapshot {
@@ -129,6 +152,11 @@ impl StatsSnapshot {
             compactions: self.compactions - earlier.compactions,
             filters_built: self.filters_built - earlier.filters_built,
             filter_build_ns: self.filter_build_ns - earlier.filter_build_ns,
+            ssts_recovered: self.ssts_recovered - earlier.ssts_recovered,
+            filters_loaded: self.filters_loaded - earlier.filters_loaded,
+            filter_load_ns: self.filter_load_ns - earlier.filter_load_ns,
+            filters_degraded: self.filters_degraded - earlier.filters_degraded,
+            filters_unpersisted: self.filters_unpersisted - earlier.filters_unpersisted,
         }
     }
 

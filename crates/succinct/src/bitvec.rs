@@ -1,6 +1,8 @@
 //! A plain append-only bit vector, the building block for every LOUDS
 //! structure in this crate.
 
+use crate::codec::{ByteReader, CodecError, WireWrite};
+
 /// An append-only bit vector backed by `u64` words.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitVec {
@@ -128,6 +130,39 @@ impl BitVec {
     pub fn size_bits(&self) -> u64 {
         (self.words.len() * 64) as u64
     }
+
+    /// Serialize: bit length followed by the raw backing words.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.len as u64);
+        for &w in &self.words {
+            out.put_u64(w);
+        }
+    }
+
+    /// Decode the inverse of [`BitVec::encode_into`]. The word count is
+    /// derived from the bit length; bits past `len` in the last word must
+    /// be zero (several structures rely on `count_ones` honoring `len`).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<BitVec, CodecError> {
+        let len_raw = r.u64()?;
+        let len = usize::try_from(len_raw).map_err(|_| CodecError::Invalid("bitvec length"))?;
+        let nwords = len.div_ceil(64);
+        // Validate against the remaining buffer before allocating.
+        if r.remaining() < nwords.checked_mul(8).ok_or(CodecError::Invalid("bitvec length"))? {
+            return Err(CodecError::Truncated { needed: nwords * 8, have: r.remaining() });
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(r.u64()?);
+        }
+        if len % 64 != 0 {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(CodecError::Invalid("bitvec trailing bits set"));
+                }
+            }
+        }
+        Ok(BitVec { words, len })
+    }
 }
 
 impl FromIterator<bool> for BitVec {
@@ -210,6 +245,32 @@ mod tests {
         assert_eq!(bv.prev_set_bit(12), Some(11));
         assert_eq!(bv.prev_set_bit(300), Some(297));
         assert_eq!(bv.prev_set_bit(10_000), Some(297));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        use crate::codec::ByteReader;
+        for n in [0usize, 1, 63, 64, 65, 1000] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 1).collect();
+            let bv: BitVec = bits.iter().copied().collect();
+            let mut buf = Vec::new();
+            bv.encode_into(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            let back = BitVec::decode_from(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, bv, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_bits() {
+        let bv: BitVec = [true, false, true].iter().copied().collect();
+        let mut buf = Vec::new();
+        bv.encode_into(&mut buf);
+        // Set a bit past len=3 in the stored word.
+        buf[8] |= 1 << 5;
+        let mut r = crate::codec::ByteReader::new(&buf);
+        assert!(BitVec::decode_from(&mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Low-level wire primitives for the versioned filter codec.
+//!
+//! Every persistent structure in the workspace serializes through the
+//! helpers here: little-endian fixed-width integers, length-prefixed byte
+//! runs, and a CRC-32 integrity check. Decoding is *total*: corrupt or
+//! truncated input yields a typed [`CodecError`], never a panic, and every
+//! length field is validated against the remaining buffer before any
+//! allocation so fuzzed inputs cannot trigger huge reservations.
+
+use std::fmt;
+
+/// Why a decode failed. All decode paths in the workspace funnel into this
+/// type; none of them panic on malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the structure did.
+    Truncated {
+        /// Bytes the decoder needed at the failure point.
+        needed: usize,
+        /// Bytes that were actually left.
+        have: usize,
+    },
+    /// The leading magic bytes did not match.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The CRC-32 over the envelope did not match its trailer.
+    ChecksumMismatch,
+    /// A tag byte had no defined meaning.
+    UnknownTag { what: &'static str, tag: u8 },
+    /// A structural invariant failed (lengths disagree, bits out of range).
+    Invalid(&'static str),
+    /// The filter type does not support serialization (e.g. ARF).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated input: needed {needed} bytes, have {have}")
+            }
+            CodecError::BadMagic => write!(f, "bad magic bytes"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            CodecError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            CodecError::Unsupported(what) => write!(f, "serialization unsupported for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Little-endian append helpers; implemented for `Vec<u8>` so encoders can
+/// write straight into an output buffer.
+pub trait WireWrite {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_f64(&mut self, v: f64);
+    /// Length-prefixed (u64) byte run.
+    fn put_bytes(&mut self, v: &[u8]);
+}
+
+impl WireWrite for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.extend_from_slice(v);
+    }
+}
+
+/// A bounds-checked cursor over an input buffer.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` that must fit addressable memory *and* the remaining buffer
+    /// when it counts `unit`-sized items still to be read. This is the
+    /// guard that keeps fuzzed length fields from provoking huge
+    /// allocations.
+    pub fn len_for(&mut self, unit: usize) -> Result<usize, CodecError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw).map_err(|_| CodecError::Invalid("length overflow"))?;
+        let bytes = n.checked_mul(unit.max(1)).ok_or(CodecError::Invalid("length overflow"))?;
+        if unit > 0 && bytes > self.remaining() {
+            return Err(CodecError::Truncated { needed: bytes, have: self.remaining() });
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed (u64) byte run, the inverse of
+    /// [`WireWrite::put_bytes`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.len_for(1)?;
+        self.take(n)
+    }
+
+    /// Assert the buffer is fully consumed (trailing garbage is corruption).
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid("trailing bytes"))
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// sealing every filter envelope and SST meta block.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(u64::MAX - 7);
+        buf.put_f64(0.125);
+        buf.put_bytes(b"hello");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.f64().unwrap(), 0.125);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_point() {
+        let mut buf = Vec::new();
+        buf.put_u32(1);
+        buf.put_bytes(b"xyz");
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            let a = r.u32().and_then(|_| r.bytes().map(|b| b.to_vec()));
+            assert!(a.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.put_u64(u64::MAX); // claims ~18 EB of payload
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(r.bytes(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let buf = vec![1, 2, 3];
+        let mut r = ByteReader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::Invalid("trailing bytes")));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_byte_flips() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut m = data.clone();
+                m[i] ^= 1 << bit;
+                assert_ne!(crc32(&m), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

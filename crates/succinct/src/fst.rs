@@ -10,6 +10,7 @@
 //! (range + point queries) and Proteus (trie-leaf enumeration) build on.
 
 use crate::bitvec::BitVec;
+use crate::codec::{ByteReader, CodecError, WireWrite};
 use crate::cost;
 use crate::louds_dense::LoudsDense;
 use crate::louds_sparse::LoudsSparse;
@@ -77,6 +78,43 @@ impl Fst {
     /// Total memory of the structure in bits (including values).
     pub fn size_bits(&self) -> u64 {
         self.dense.size_bits() + self.sparse.size_bits() + self.values.size_bits()
+    }
+
+    /// Serialize the assembled trie (encodings + values). Rank/select
+    /// directories and derived counters are rebuilt on decode.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.dense.encode_into(out);
+        self.sparse.encode_into(out);
+        self.values.encode_into(out);
+        out.put_u64(self.n_branches as u64);
+        out.put_u64(self.height as u64);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Fst, CodecError> {
+        let dense = LoudsDense::decode_from(r)?;
+        let sparse = LoudsSparse::decode_from(r)?;
+        let values = ValueStore::decode_from(r)?;
+        let n_branches =
+            usize::try_from(r.u64()?).map_err(|_| CodecError::Invalid("fst branch count"))?;
+        let height = usize::try_from(r.u64()?).map_err(|_| CodecError::Invalid("fst height"))?;
+        // Derived layout counters: every dense node except the root is the
+        // child of a dense edge, so the remaining dense child edges are the
+        // sparse entry points.
+        let sparse_entry_nodes = if dense.is_empty() {
+            usize::from(!sparse.is_empty())
+        } else {
+            (dense.child_count() + 1)
+                .checked_sub(dense.n_nodes())
+                .ok_or(CodecError::Invalid("fst dense child deficit"))?
+        };
+        if sparse_entry_nodes > sparse.n_nodes() {
+            return Err(CodecError::Invalid("fst sparse entry overflow"));
+        }
+        let dense_value_count = dense.value_count();
+        if n_branches != dense_value_count + sparse.value_count() {
+            return Err(CodecError::Invalid("fst branch/terminal mismatch"));
+        }
+        Ok(Fst { dense, sparse, values, sparse_entry_nodes, dense_value_count, n_branches, height })
     }
 
     fn root(&self) -> Option<NodeRef> {
@@ -668,6 +706,54 @@ mod tests {
         let branches: Vec<Vec<u8>> = (0u32..1000).map(|i| i.to_be_bytes().to_vec()).collect();
         let big = Fst::from_branches(&branches).0;
         assert!(big.size_bits() > small.size_bits());
+    }
+
+    #[test]
+    fn fst_codec_roundtrip_preserves_structure_and_values() {
+        use crate::codec::ByteReader;
+        let branches = sample_branches();
+        for dense_levels in [None, Some(0), Some(2), Some(10)] {
+            let builder = dense_levels.map_or_else(FstBuilder::new, FstBuilder::with_dense_levels);
+            let (mut fst, slot_to_key) = builder.build(&branches);
+            let suffixes: Vec<Vec<u8>> = slot_to_key
+                .iter()
+                .map(|&k| branches[k as usize].iter().rev().copied().collect())
+                .collect();
+            fst.set_values(ValueStore::from_byte_suffixes(&suffixes));
+            let mut buf = Vec::new();
+            fst.encode_into(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            let back = Fst::decode_from(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.len(), fst.len());
+            assert_eq!(back.height(), fst.height());
+            assert_eq!(back.size_bits(), fst.size_bits(), "dense={dense_levels:?}");
+            let collect = |f: &Fst| {
+                let mut seen = Vec::new();
+                f.visit_all(&mut |b, slot| {
+                    seen.push((b.to_vec(), f.values().bytes(slot).to_vec()));
+                    Visit::Continue
+                });
+                seen
+            };
+            assert_eq!(collect(&back), collect(&fst), "dense={dense_levels:?}");
+            for (lo, hi) in [(&b"a"[..], &b"b"[..]), (b"app", b"app"), (b"zz", b"zzz")] {
+                assert_eq!(collect_overlapping(&back, lo, hi), collect_overlapping(&fst, lo, hi));
+            }
+        }
+    }
+
+    #[test]
+    fn fst_decode_rejects_inconsistent_branch_count() {
+        let (fst, _) = Fst::from_branches(&sample_branches());
+        let mut buf = Vec::new();
+        fst.encode_into(&mut buf);
+        // n_branches is the second-to-last u64: bump it.
+        let at = buf.len() - 16;
+        let n = u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+        buf[at..at + 8].copy_from_slice(&(n + 1).to_le_bytes());
+        let mut r = crate::codec::ByteReader::new(&buf);
+        assert!(Fst::decode_from(&mut r).is_err());
     }
 
     #[test]

@@ -13,9 +13,12 @@
 //! * [`Fst`] — the combined LOUDS-DS trie with lower-bound iteration, the
 //!   interface both SuRF and the Proteus trie build on;
 //! * [`cost`] — the memory cost model the CPFPR optimizer uses to predict
-//!   trie sizes without building them (Alg. 1's `trieMem`).
+//!   trie sizes without building them (Alg. 1's `trieMem`);
+//! * [`codec`] — wire primitives (bounds-checked reader, CRC-32, typed
+//!   [`codec::CodecError`]) for the versioned filter serialization format.
 
 pub mod bitvec;
+pub mod codec;
 pub mod cost;
 pub mod fst;
 pub mod louds_dense;
@@ -25,6 +28,7 @@ pub mod select;
 pub mod values;
 
 pub use bitvec::BitVec;
+pub use codec::{ByteReader, CodecError, WireWrite};
 pub use fst::{Fst, FstBuilder, Visit};
 pub use louds_dense::LoudsDense;
 pub use louds_sparse::LoudsSparse;

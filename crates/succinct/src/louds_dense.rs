@@ -8,6 +8,7 @@
 //! `rank1(has_child, p+1)` (Zhang et al., SIGMOD 2018).
 
 use crate::bitvec::BitVec;
+use crate::codec::{ByteReader, CodecError, WireWrite};
 use crate::rank::RankedBits;
 
 /// Builder-produced arrays for the dense part.
@@ -122,6 +123,28 @@ impl LoudsDense {
 
     pub fn size_bits(&self) -> u64 {
         self.labels.size_bits() + self.has_child.size_bits() + self.is_prefix_key.size_bits()
+    }
+
+    /// Serialize the raw bit vectors; rank directories are rebuilt on
+    /// decode (cheaper than shipping and checksumming redundant data).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u64(self.n_nodes as u64);
+        self.labels.bits().encode_into(out);
+        self.has_child.bits().encode_into(out);
+        self.is_prefix_key.bits().encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<LoudsDense, CodecError> {
+        let n_nodes =
+            usize::try_from(r.u64()?).map_err(|_| CodecError::Invalid("dense node count"))?;
+        let labels = BitVec::decode_from(r)?;
+        let has_child = BitVec::decode_from(r)?;
+        let is_prefix_key = BitVec::decode_from(r)?;
+        let want = n_nodes.checked_mul(256).ok_or(CodecError::Invalid("dense node count"))?;
+        if labels.len() != want || has_child.len() != want || is_prefix_key.len() != n_nodes {
+            return Err(CodecError::Invalid("dense bitmap lengths"));
+        }
+        Ok(LoudsDense::new(labels, has_child, is_prefix_key, n_nodes))
     }
 }
 

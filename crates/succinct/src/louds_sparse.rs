@@ -10,6 +10,7 @@
 //! avoids reserving a byte value).
 
 use crate::bitvec::BitVec;
+use crate::codec::{ByteReader, CodecError, WireWrite};
 use crate::rank::RankedBits;
 use crate::select::SelectIndex;
 
@@ -138,6 +139,32 @@ impl LoudsSparse {
             + self.louds.size_bits()
             + self.louds_select.size_bits()
             + self.is_prefix_key.size_bits()
+    }
+
+    /// Serialize labels + raw bit vectors; rank and select directories are
+    /// rebuilt on decode.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_bytes(&self.labels);
+        self.has_child.bits().encode_into(out);
+        self.louds.bits().encode_into(out);
+        self.is_prefix_key.bits().encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<LoudsSparse, CodecError> {
+        let labels = r.bytes()?.to_vec();
+        let has_child = BitVec::decode_from(r)?;
+        let louds = BitVec::decode_from(r)?;
+        let is_prefix_key = BitVec::decode_from(r)?;
+        if has_child.len() != labels.len() || louds.len() != labels.len() {
+            return Err(CodecError::Invalid("sparse edge array lengths"));
+        }
+        if is_prefix_key.len() != louds.count_ones() {
+            return Err(CodecError::Invalid("sparse prefix-key count"));
+        }
+        if !labels.is_empty() && !louds.get(0) {
+            return Err(CodecError::Invalid("sparse louds missing first-edge bit"));
+        }
+        Ok(LoudsSparse::new(labels, has_child, louds, is_prefix_key))
     }
 }
 

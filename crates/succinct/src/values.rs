@@ -7,6 +7,7 @@
 //! or prefix-key) in level order.
 
 use crate::bitvec::BitVec;
+use crate::codec::{ByteReader, CodecError, WireWrite};
 
 /// A bit-packed array of fixed-width unsigned integers.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +62,27 @@ impl PackedInts {
 
     pub fn size_bits(&self) -> u64 {
         self.bits.size_bits()
+    }
+
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.put_u8(self.width as u8);
+        out.put_u64(self.len as u64);
+        self.bits.encode_into(out);
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<PackedInts, CodecError> {
+        let width = r.u8()? as u32;
+        if width > 64 {
+            return Err(CodecError::Invalid("packed width > 64"));
+        }
+        let len = usize::try_from(r.u64()?).map_err(|_| CodecError::Invalid("packed length"))?;
+        let bits = BitVec::decode_from(r)?;
+        let want =
+            len.checked_mul(width as usize).ok_or(CodecError::Invalid("packed length overflow"))?;
+        if bits.len() != want {
+            return Err(CodecError::Invalid("packed bits/len mismatch"));
+        }
+        Ok(PackedInts { bits, width, len })
     }
 }
 
@@ -138,6 +160,47 @@ impl ValueStore {
             ValueStore::FixedBits { values } => values.size_bits(),
         }
     }
+
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ValueStore::Empty => out.put_u8(0),
+            ValueStore::Bytes { offsets, data } => {
+                out.put_u8(1);
+                offsets.encode_into(out);
+                out.put_bytes(data);
+            }
+            ValueStore::FixedBits { values } => {
+                out.put_u8(2);
+                values.encode_into(out);
+            }
+        }
+    }
+
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<ValueStore, CodecError> {
+        match r.u8()? {
+            0 => Ok(ValueStore::Empty),
+            1 => {
+                let offsets = PackedInts::decode_from(r)?;
+                let data = r.bytes()?.to_vec();
+                // Every offset must index into `data` and the sequence must
+                // be monotone so `bytes(slot)` can never slice out of range.
+                if offsets.is_empty() {
+                    return Err(CodecError::Invalid("byte store without offsets"));
+                }
+                let mut prev = 0u64;
+                for i in 0..offsets.len() {
+                    let o = offsets.get(i);
+                    if o < prev || o > data.len() as u64 {
+                        return Err(CodecError::Invalid("byte store offsets out of range"));
+                    }
+                    prev = o;
+                }
+                Ok(ValueStore::Bytes { offsets, data })
+            }
+            2 => Ok(ValueStore::FixedBits { values: PackedInts::decode_from(r)? }),
+            tag => Err(CodecError::UnknownTag { what: "value store", tag }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +261,42 @@ mod tests {
             assert_eq!(vs.fixed(i), v);
         }
         assert_eq!(vs.fixed_width(), 10);
+    }
+
+    #[test]
+    fn value_store_roundtrips() {
+        use crate::codec::ByteReader;
+        let stores = [
+            ValueStore::Empty,
+            ValueStore::from_byte_suffixes(&[&b"abc"[..], b"", b"xy"]),
+            ValueStore::from_fixed_bits(&[5, 1023, 0, 77], 10),
+        ];
+        for vs in &stores {
+            let mut buf = Vec::new();
+            vs.encode_into(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            let back = ValueStore::decode_from(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.size_bits(), vs.size_bits());
+            for slot in 0..3 {
+                assert_eq!(back.bytes(slot), vs.bytes(slot));
+                assert_eq!(back.fixed(slot), vs.fixed(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_store_with_bad_offsets_is_rejected() {
+        let vs = ValueStore::from_byte_suffixes(&[&b"abcdef"[..], b"gh"]);
+        let mut buf = Vec::new();
+        vs.encode_into(&mut buf);
+        // Shrink the data run: offsets now point past the end.
+        let ValueStore::Bytes { data, .. } = &vs else { unreachable!() };
+        let cut = buf.len() - data.len();
+        let mut bad = buf[..cut].to_vec();
+        bad[cut - 8..cut].copy_from_slice(&0u64.to_le_bytes());
+        let mut r = crate::codec::ByteReader::new(&bad);
+        assert!(ValueStore::decode_from(&mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! The persistent filter format, pinned and abused.
+//!
+//! * **Golden fixtures** — small encoded filters committed under
+//!   `tests/fixtures/` assert byte-exact encode output and successful
+//!   decode, freezing the v1 wire format against accidental drift. To
+//!   regenerate after an *intentional* format change (which must also bump
+//!   `FORMAT_VERSION`), run:
+//!   `PROTEUS_REGEN_FIXTURES=1 cargo test --test filter_codec`.
+//! * **Fuzz-style robustness** — decoding arbitrary bytes, truncations at
+//!   every prefix length, and single-byte corruptions of valid encodings
+//!   must return `Err(CodecError)`: never a panic, never a filter that
+//!   could produce a false negative.
+
+use proteus::core::model::one_pbf::OnePbfDesign;
+use proteus::core::model::proteus::ProteusDesign;
+use proteus::core::model::two_pbf::TwoPbfDesign;
+use proteus::core::{
+    NoFilter, OnePbf, OnePbfOptions, Proteus, ProteusOptions, RangeFilter, TwoPbf,
+    TwoPbfFilterOptions,
+};
+use proteus::filters::{FilterCodec, Rosetta, RosettaOptions, Surf, SurfSuffix};
+use std::path::PathBuf;
+
+fn splitmix(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The frozen fixture key set: 64 deterministic keys. Do not change — the
+/// committed fixtures encode filters built over exactly these keys.
+fn fixture_keys() -> proteus::core::KeySet {
+    let mut s = 0x0F1E_2D3C_4B5A_6978u64;
+    let mut keys: Vec<u64> = (0..64).map(|_| splitmix(&mut s)).collect();
+    keys.sort_unstable();
+    proteus::core::KeySet::from_u64(&keys)
+}
+
+/// Every fixture: (file name, deterministically constructed filter).
+///
+/// All constructions use *fixed* designs — never the trained model — so
+/// future model improvements cannot shift fixture bytes; only a wire-format
+/// change can, and that is exactly what this test is meant to catch.
+fn fixtures() -> Vec<(&'static str, Box<dyn RangeFilter>)> {
+    let ks = fixture_keys();
+    let m = 64 * 16;
+    vec![
+        ("nofilter.bin", Box::new(NoFilter) as Box<dyn RangeFilter>),
+        (
+            "proteus_l16_l40.bin",
+            Box::new(Proteus::build_with_design(
+                &ks,
+                ProteusDesign {
+                    trie_depth_bits: 16,
+                    bloom_prefix_len: 40,
+                    expected_fpr: 0.015625,
+                    trie_mem_bits: 512,
+                },
+                m,
+                &ProteusOptions::default(),
+            )),
+        ),
+        (
+            "one_pbf_l32.bin",
+            Box::new(OnePbf::build_with_prefix_len(
+                &ks,
+                OnePbfDesign { prefix_len: 32, expected_fpr: 0.03125 },
+                m,
+                &OnePbfOptions::default(),
+            )),
+        ),
+        (
+            "two_pbf_l24_l48.bin",
+            Box::new(TwoPbf::build_with_design(
+                &ks,
+                TwoPbfDesign { l1: 24, l2: 48, split: 0.5, expected_fpr: 0.0625 },
+                m,
+                &TwoPbfFilterOptions::default(),
+            )),
+        ),
+        ("surf_base.bin", Box::new(Surf::build(&ks, SurfSuffix::Base))),
+        ("surf_hash8.bin", Box::new(Surf::build(&ks, SurfSuffix::Hash(8)))),
+        ("surf_real8.bin", Box::new(Surf::build(&ks, SurfSuffix::Real(8)))),
+        (
+            "rosetta_4l.bin",
+            Box::new(Rosetta::build_with_levels(&ks, m, 4, 0.7, &RosettaOptions::default())),
+        ),
+    ]
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn golden_fixtures_pin_the_v1_wire_format() {
+    let dir = fixture_dir();
+    let regen = std::env::var_os("PROTEUS_REGEN_FIXTURES").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, filter) in fixtures() {
+        let encoded = FilterCodec::encode(filter.as_ref()).unwrap();
+        let path = dir.join(name);
+        if regen {
+            std::fs::write(&path, &encoded).unwrap();
+            continue;
+        }
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing fixture {name} ({e}); run with PROTEUS_REGEN_FIXTURES=1")
+        });
+        assert_eq!(
+            encoded, golden,
+            "{name}: encode output drifted from the committed v1 fixture — \
+             if the format change is intentional, bump FORMAT_VERSION and \
+             regenerate the fixtures"
+        );
+        // The committed bytes must also decode into a working filter.
+        let decoded = FilterCodec::decode(&golden).unwrap();
+        assert!(!decoded.degraded, "{name}");
+        assert_eq!(decoded.filter.name(), filter.name(), "{name}");
+        assert_eq!(decoded.filter.size_bits(), filter.size_bits(), "{name}");
+    }
+}
+
+#[test]
+fn truncation_at_every_prefix_length_errors() {
+    for (name, filter) in fixtures() {
+        let encoded = FilterCodec::encode(filter.as_ref()).unwrap();
+        for cut in 0..encoded.len() {
+            assert!(
+                FilterCodec::decode(&encoded[..cut]).is_err(),
+                "{name}: truncation to {cut}/{} bytes must fail decode",
+                encoded.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_anywhere_errors() {
+    for (name, filter) in fixtures() {
+        let encoded = FilterCodec::encode(filter.as_ref()).unwrap();
+        for i in 0..encoded.len() {
+            for flip in [0x01u8, 0xFF] {
+                let mut bad = encoded.clone();
+                bad[i] ^= flip;
+                assert!(
+                    FilterCodec::decode(&bad).is_err(),
+                    "{name}: corrupting byte {i} (xor {flip:#04x}) must fail decode"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arbitrary_bytes_error_without_panicking() {
+    let mut s = 0xACE0_FBA5_E000_0001u64;
+    for trial in 0..200 {
+        let len = (splitmix(&mut s) % 512) as usize;
+        let blob: Vec<u8> = (0..len).map(|_| splitmix(&mut s) as u8).collect();
+        assert!(FilterCodec::decode(&blob).is_err(), "trial {trial} len {len}");
+    }
+    // Blobs that start with the right magic but carry garbage after it.
+    for trial in 0..200 {
+        let len = 4 + (splitmix(&mut s) % 256) as usize;
+        let mut blob: Vec<u8> = (0..len).map(|_| splitmix(&mut s) as u8).collect();
+        blob[..4].copy_from_slice(b"PRFC");
+        assert!(FilterCodec::decode(&blob).is_err(), "magic trial {trial}");
+    }
+}
+
+#[test]
+fn future_filter_kind_degrades_to_nofilter_not_error() {
+    // Forward compatibility: a valid envelope from a newer build with an
+    // unknown kind tag keeps serving (degraded) instead of failing the DB.
+    let sealed = proteus::core::codec::seal_raw(42, &[1, 2, 3]);
+    let decoded = FilterCodec::decode(&sealed).unwrap();
+    assert!(decoded.degraded);
+    assert_eq!(decoded.filter.name(), "NoFilter");
+}

@@ -1,15 +1,15 @@
 //! Cross-crate integration tests: every range filter in the workspace
 //! (Proteus, 1PBF, 2PBF, SuRF variants, Rosetta) honors the same contract
-//! through the `RangeFilter` trait — no false negatives ever, and sane
-//! false positive behaviour.
+//! through the `RangeFilter` trait — no false negatives ever, sane false
+//! positive behaviour, and `decode(encode(f))` indistinguishable from `f`.
 
 use proptest::prelude::*;
 use proteus::core::key::u64_key;
 use proteus::core::{
-    KeySet, OnePbf, OnePbfOptions, Proteus, ProteusOptions, RangeFilter, SampleQueries, TwoPbf,
-    TwoPbfFilterOptions,
+    KeySet, NoFilter, OnePbf, OnePbfOptions, Proteus, ProteusOptions, RangeFilter, SampleQueries,
+    TwoPbf, TwoPbfFilterOptions,
 };
-use proteus::filters::{Rosetta, RosettaOptions, Surf, SurfSuffix};
+use proteus::filters::{FilterCodec, Rosetta, RosettaOptions, Surf, SurfSuffix};
 use proteus::workloads::{Dataset, QueryGen, Workload};
 
 fn all_filters(keys: &KeySet, samples: &SampleQueries, m_bits: u64) -> Vec<Box<dyn RangeFilter>> {
@@ -85,6 +85,61 @@ fn trained_filters_filter_most_empty_queries() {
     }
 }
 
+/// Round-trip a filter through the persistent codec and check it is
+/// observationally identical on the given probes.
+fn assert_roundtrip_identical(filter: &dyn RangeFilter, probes: &[(u64, u64)]) {
+    let bytes = FilterCodec::encode(filter).unwrap_or_else(|e| {
+        panic!("{} failed to encode: {e}", filter.name());
+    });
+    let decoded = FilterCodec::decode(&bytes).unwrap();
+    assert!(!decoded.degraded, "{} decoded degraded", filter.name());
+    let back = decoded.filter;
+    assert_eq!(back.name(), filter.name());
+    assert_eq!(back.size_bits(), filter.size_bits(), "{} size_bits drift", filter.name());
+    for &(lo, hi) in probes {
+        let (lo_k, hi_k) = (u64_key(lo), u64_key(hi));
+        assert_eq!(
+            back.may_contain_range(&lo_k, &hi_k),
+            filter.may_contain_range(&lo_k, &hi_k),
+            "{} range [{lo:#x},{hi:#x}]",
+            filter.name()
+        );
+        assert_eq!(
+            back.may_contain(&lo_k),
+            filter.may_contain(&lo_k),
+            "{} point {lo:#x}",
+            filter.name()
+        );
+    }
+}
+
+#[test]
+fn every_filter_kind_roundtrips_on_every_dataset() {
+    for dataset in [Dataset::Uniform, Dataset::Normal, Dataset::Books, Dataset::Facebook] {
+        let raw = dataset.generate(2_000, 29);
+        let keys = KeySet::from_u64(&raw);
+        let samples = SampleQueries::from_u64(
+            &QueryGen::new(Workload::Uniform { rmax: 1 << 12 }, &raw, &[], 5).empty_ranges(200),
+        );
+        // Probes: members, near-misses, and far-away ranges.
+        let probes: Vec<(u64, u64)> = raw
+            .iter()
+            .step_by(43)
+            .flat_map(|&k| {
+                [
+                    (k, k),
+                    (k.saturating_sub(17), k.saturating_add(17)),
+                    (k ^ (1 << 45), k ^ (1 << 45)),
+                ]
+            })
+            .collect();
+        for filter in all_filters(&keys, &samples, 2_000 * 12) {
+            assert_roundtrip_identical(filter.as_ref(), &probes);
+        }
+        assert_roundtrip_identical(&NoFilter, &probes);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -120,6 +175,56 @@ proptest! {
                 let lo = u64_key(k.saturating_sub(next() % 50));
                 let hi = u64_key(k.saturating_add(next() % 50));
                 prop_assert!(filter.may_contain_range(&lo, &hi), "{}", filter.name());
+            }
+        }
+    }
+
+    /// Randomized round-trip property: across datasets and memory budgets,
+    /// the decoded filter answers exactly like the original on arbitrary
+    /// probes (members, misses, and wide ranges alike).
+    #[test]
+    fn randomized_codec_roundtrip(
+        seed in 0u64..1000,
+        n_keys in 40usize..400,
+        bpk in 6u64..20,
+        dataset_pick in 0usize..4,
+    ) {
+        let dataset = [Dataset::Uniform, Dataset::Normal, Dataset::Books, Dataset::Facebook]
+            [dataset_pick];
+        let raw = dataset.generate(n_keys, seed.wrapping_add(7));
+        let keys = KeySet::from_u64(&raw);
+        let mut samples = SampleQueries::from_u64(
+            &QueryGen::new(Workload::Uniform { rmax: 1 << 16 }, &raw, &[], seed)
+                .empty_ranges(60),
+        );
+        samples.retain_empty(&keys);
+        let mut s = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut probes: Vec<(u64, u64)> = raw
+            .iter()
+            .step_by(11)
+            .map(|&k| (k.saturating_sub(next() % 64), k.saturating_add(next() % 64)))
+            .collect();
+        for _ in 0..40 {
+            let lo = next();
+            probes.push((lo, lo.saturating_add(next() % (1 << 20))));
+        }
+        for filter in all_filters(&keys, &samples, n_keys as u64 * bpk) {
+            let bytes = FilterCodec::encode(filter.as_ref()).unwrap();
+            let back = FilterCodec::decode(&bytes).unwrap().filter;
+            prop_assert_eq!(back.size_bits(), filter.size_bits(), "{}", filter.name());
+            for &(lo, hi) in &probes {
+                let (lo_k, hi_k) = (u64_key(lo), u64_key(hi));
+                prop_assert_eq!(
+                    back.may_contain_range(&lo_k, &hi_k),
+                    filter.may_contain_range(&lo_k, &hi_k),
+                    "{} [{:#x},{:#x}]", filter.name(), lo, hi
+                );
             }
         }
     }

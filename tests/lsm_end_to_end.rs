@@ -114,6 +114,65 @@ fn lsm_correct_without_filters() {
 }
 
 #[test]
+fn reopened_db_serves_from_persisted_filters_without_retraining() {
+    let dir = tmpdir("reopen-e2e");
+    let raw = Dataset::Uniform.generate(20_000, 41);
+    let mut mirror = BTreeSet::new();
+    let cfg = small_cfg(12.0);
+
+    // Phase 1: build a multi-level database with trained Proteus filters,
+    // then drop it (simulating process exit).
+    let (filter_bits, sst_count, level_counts) = {
+        let mut db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
+        let seed: Vec<(Vec<u8>, Vec<u8>)> = (0..2_000u64)
+            .map(|i| {
+                let lo = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (u64_key(lo).to_vec(), u64_key(lo.saturating_add(1 << 10)).to_vec())
+            })
+            .collect();
+        db.seed_queries(seed);
+        for (i, &k) in raw.iter().enumerate() {
+            let mut v = vec![0u8; 96];
+            v[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            db.put_u64(k, &v).unwrap();
+            mirror.insert(k);
+        }
+        db.flush_and_settle().unwrap();
+        assert!(db.sst_count() > 1, "want a multi-file database");
+        (db.filter_bits(), db.sst_count(), db.level_file_counts())
+    };
+
+    // Phase 2: reopen the directory cold and verify recovery.
+    let mut db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+    assert_eq!(db.level_file_counts(), level_counts, "level manifest");
+    assert_eq!(db.stats().ssts_recovered.get(), sst_count as u64);
+
+    // No false negatives: every key findable as point and range.
+    for &k in raw.iter().step_by(37) {
+        assert!(db.seek_u64(k, k).unwrap(), "lost key {k:#x} across reopen");
+        assert!(db.seek_u64(k.saturating_sub(9), k.saturating_add(9)).unwrap());
+    }
+    // Mixed workload answers still match ground truth.
+    let mut gen = QueryGen::new(Workload::Uniform { rmax: 1 << 28 }, &raw, &[], 77);
+    for _ in 0..1_000 {
+        let (lo, hi) = gen.next_range();
+        let truth = mirror.range(lo..=hi).next().is_some();
+        let got = db.seek_u64(lo, hi).unwrap();
+        assert!(got || !truth, "false negative [{lo:#x},{hi:#x}] after reopen");
+    }
+
+    // Filters were reloaded from their SST filter blocks, not retrained:
+    // the memory footprint is bit-identical and no build ever ran.
+    assert_eq!(db.filter_bits(), filter_bits, "filter_bits must survive reopen");
+    assert_eq!(db.stats().filters_built.get(), 0, "no filter retraining on reopen");
+    assert_eq!(db.stats().filters_loaded.get(), sst_count as u64);
+    assert_eq!(db.stats().filters_degraded.get(), 0);
+    assert!(db.stats().filter_load_ns.get() > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn proteus_filters_reduce_io_versus_no_filter() {
     // Clustered keys, correlated empty queries: a trained filter should
     // eliminate nearly all block reads that the no-filter baseline pays.
