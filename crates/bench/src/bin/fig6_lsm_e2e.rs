@@ -58,7 +58,7 @@ fn main() {
             QueryGen::new(workload.clone(), &keys, &[], args.seed ^ 0xB).empty_ranges(args.queries);
         for &bpk in &args.bpk {
             for (fname, factory) in factories() {
-                let mut run = LsmRun::load(
+                let run = LsmRun::load(
                     &format!("fig6-{case}-{bpk}-{fname}"),
                     bpk as f64,
                     &keys,
@@ -119,7 +119,7 @@ fn main() {
             &seed_q,
             Arc::clone(&factory),
         );
-        let (mut run, r) = run.reopen(factory);
+        let (run, r) = run.reopen(factory);
         // Sanity: the recovered store still answers correctly.
         let probe = keys[keys.len() / 2];
         let (got, truth) = run.seek(probe, probe);
@@ -148,4 +148,51 @@ fn main() {
         ]);
     }
     p.finish(args.out.as_deref(), "fig6b_filter_persistence");
+
+    // Concurrent-read scaling (`--threads N` sets the max thread count):
+    // the same Seek workload fanned across reader threads against one
+    // shared Db. Reads are lock-free against the manifest snapshot, so
+    // aggregate throughput should scale until the hardware runs out.
+    let max_threads = args
+        .get_usize("threads", std::thread::available_parallelism().map_or(4, |n| n.get()).min(8))
+        .max(1);
+    let mut c = Table::new(
+        &format!("Figure 6c: concurrent Seek throughput scaling (up to {max_threads} threads)"),
+        &["filter", "threads", "latency_s", "kops_s", "speedup", "fpr", "e2e_fps"],
+    );
+    let eval: Vec<(u64, u64)> =
+        QueryGen::new(cases[0].1.clone(), &keys, &[], args.seed ^ 0xC).empty_ranges(args.queries);
+    for (fname, factory) in factories() {
+        let run =
+            LsmRun::load(&format!("fig6-threads-{fname}"), bpk, &keys, value_len, &seed_q, factory);
+        // Warm the block cache and force every lazy filter decode before
+        // measuring (§6.2 warms caches), so the speedup column isolates
+        // thread scaling instead of mixing in first-pass cache misses.
+        let _ = run.run_batch(&eval);
+        let mut base_ops = 0.0f64;
+        let mut threads = 1;
+        while threads <= max_threads {
+            let r = run.run_batch_threads(&eval, threads);
+            if threads == 1 {
+                base_ops = r.ops_per_sec();
+            }
+            let speedup = r.ops_per_sec() / base_ops.max(1e-9);
+            println!(
+                "{fname:<8} threads={threads:<2} latency={:.3}s {:>8.1} kops/s speedup={speedup:.2}x",
+                r.elapsed_s,
+                r.ops_per_sec() / 1e3,
+            );
+            c.row(vec![
+                fname.to_string(),
+                threads.to_string(),
+                format!("{:.3}", r.elapsed_s),
+                format!("{:.1}", r.ops_per_sec() / 1e3),
+                format!("{speedup:.2}"),
+                format!("{:.5}", r.stats.filter_fpr()),
+                r.fps.to_string(),
+            ]);
+            threads *= 2;
+        }
+    }
+    c.finish(args.out.as_deref(), "fig6c_thread_scaling");
 }

@@ -175,7 +175,7 @@ fn part_lsm(args: &Args) {
     for &bpk in &args.bpk {
         for (fname, factory) in &factories {
             let dir = fresh_dir(&format!("fig9e-{bpk}-{fname}"));
-            let mut db =
+            let db =
                 Db::open(&dir, lsm_config(bpk as f64, width), Arc::clone(factory)).expect("open");
             // Seed the queue with empty queries drawn like the workload.
             let seed_q: Vec<(Vec<u8>, Vec<u8>)> = queries

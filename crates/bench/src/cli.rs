@@ -11,6 +11,7 @@
 //! --bpk LIST     comma-separated bits-per-key budgets (e.g. 8,10,12)
 //! --out PATH     CSV output path (default results/<binary>.csv)
 //! --part X       sub-experiment selector (figure-specific)
+//! --threads N    max reader threads for concurrent LSM scenarios
 //! ```
 
 use std::collections::HashMap;
@@ -58,6 +59,8 @@ impl Args {
                  --bpk LIST     comma-separated bits-per-key budgets (default 8,10,12,14,16,18)\n\
                  --out PATH     CSV output path         (default results/<binary>.csv)\n\
                  --part X       sub-experiment selector (figure-specific, default 'all')\n\
+                 --threads N    max reader threads for concurrent LSM scenarios\n\
+                 \x20              (default min(cores, 8); fig6 scales 1,2,4,… up to N)\n\
                  \n\
                  The paper's full scale is --keys 10000000 --queries 1000000 --samples 20000."
             );

@@ -1,8 +1,49 @@
 //! The LSM-tree key-value store: MemTable → L0 (overlapping) → leveled,
 //! range-partitioned L1+ with size-ratio-triggered compaction, per-SST
 //! range filters, a block cache and the §6.1 closed-`Seek` read path.
+//!
+//! ## Concurrency model
+//!
+//! [`Db`] is a shared-state concurrent store (`&self` everywhere, `Send +
+//! Sync`), mirroring the multi-threaded RocksDB setup the paper evaluates
+//! under concurrent reader threads (§6.2):
+//!
+//! * **Reads** never block on writers or background work. A `Seek` checks
+//!   the MemTables under a briefly-held read lock, then grabs an
+//!   `Arc`-snapshot of the immutable level manifest ([`Version`]) and runs
+//!   against it lock-free; block I/O goes through a sharded cache.
+//! * **Writes** go through the active MemTable under a write lock. When it
+//!   reaches `memtable_bytes` it *rotates*: the full table is frozen onto
+//!   an immutable-memtable FIFO and a fresh active table takes its place.
+//!   Writers stall only when `max_immutable_memtables` frozen tables are
+//!   already waiting (RocksDB's write-stall backpressure).
+//! * **Background workers**: a *flusher* thread turns frozen MemTables
+//!   into L0 SSTs (building each file's range filter from its keys + the
+//!   sample-query queue, §6.1), and a *compactor* thread folds levels when
+//!   size triggers fire. Both publish their results by swapping a new
+//!   `Arc<Version>` under a short-held write lock (copy-on-write level
+//!   vectors); readers holding older versions keep working — retired SST
+//!   files are unlinked but their open descriptors stay readable.
+//! * **Visibility**: an acked `put` is always findable. A reader checks
+//!   MemTables *before* the manifest, and the flusher installs an SST into
+//!   the manifest *before* retiring its source MemTable, so every key is
+//!   continuously visible in at least one of the two places.
+//! * **Barriers**: [`Db::flush`] waits until every MemTable rotated so far
+//!   is durably on disk; [`Db::flush_and_settle`] additionally drives
+//!   compaction until L0 is empty and every level is within its size
+//!   target (the §6.2 "wait for all background compactions" setup step),
+//!   making multi-step tests deterministic.
+//!
+//! Lock discipline: the manifest lock is never held together with any
+//! other lock, and the only permitted nesting is MemTable → coordination
+//! mutex (a rotation publishes its counter bump before releasing the
+//! MemTable lock, which is what makes the `flush` barrier race-free);
+//! nothing ever acquires the MemTable lock while holding the coordination
+//! mutex, so no lock-order deadlock is possible. Background I/O errors are
+//! sticky: they surface as `Err` from the next `flush`/`flush_and_settle`
+//! (and from `put` on the rotation path).
 
-use crate::cache::BlockCache;
+use crate::cache::ShardedBlockCache;
 use crate::filter_hook::FilterFactory;
 use crate::memtable::MemTable;
 use crate::query_queue::QueryQueue;
@@ -12,7 +53,10 @@ use proteus_core::key::u64_key;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs, defaulting to a laptop-scale version of the paper's §6.2
 /// RocksDB configuration (the paper uses 256 MB SSTs and a 1 GB cache on a
@@ -21,8 +65,11 @@ use std::sync::Arc;
 pub struct DbConfig {
     /// Canonical key width in bytes.
     pub key_width: usize,
-    /// MemTable flush threshold (write_buffer_size).
+    /// MemTable rotation threshold (write_buffer_size).
     pub memtable_bytes: usize,
+    /// Immutable MemTables allowed to queue before writers stall
+    /// (max_write_buffer_number - 1).
+    pub max_immutable_memtables: usize,
     /// Data block size (RocksDB default 4 KiB).
     pub block_bytes: usize,
     /// Target SST file size when splitting compaction output.
@@ -48,6 +95,7 @@ impl Default for DbConfig {
         DbConfig {
             key_width: 8,
             memtable_bytes: 4 << 20,
+            max_immutable_memtables: 2,
             block_bytes: 4096,
             sst_target_bytes: 4 << 20,
             l0_compaction_trigger: 4,
@@ -61,23 +109,105 @@ impl Default for DbConfig {
     }
 }
 
-/// A single-process LSM-tree database with pluggable per-SST range filters.
-pub struct Db {
+/// An immutable snapshot of the SST level manifest. `levels[0]` holds
+/// overlapping flush outputs (newest last); deeper levels are sorted and
+/// disjoint. Cloning is cheap (per-level `Vec<Arc<SstReader>>` copies).
+#[derive(Debug, Clone)]
+struct Version {
+    levels: Vec<Vec<Arc<SstReader>>>,
+}
+
+impl Version {
+    fn ensure_level(&mut self, level: usize) {
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+    }
+}
+
+/// MemTable state: the active write buffer plus frozen tables awaiting a
+/// background flush (oldest first).
+struct MemState {
+    active: MemTable,
+    imms: Vec<Arc<MemTable>>,
+}
+
+impl MemState {
+    /// Freeze a non-empty active MemTable onto the immutable FIFO.
+    /// Returns whether a rotation happened.
+    fn freeze(&mut self, stats: &Stats) -> bool {
+        if self.active.is_empty() {
+            return false;
+        }
+        self.imms.push(Arc::new(std::mem::take(&mut self.active)));
+        stats.memtable_rotations.inc();
+        true
+    }
+}
+
+/// Worker coordination state (all counters monotonic).
+#[derive(Debug, Default)]
+struct Coord {
+    shutdown: bool,
+    /// MemTables rotated onto the immutable queue.
+    rotated: u64,
+    /// MemTables the flusher has fully processed.
+    flushed: u64,
+    /// `flush_and_settle` barriers requested / completed.
+    settle_requests: u64,
+    settles_done: u64,
+    /// Bumped whenever the compactor should re-examine the tree.
+    compact_epoch: u64,
+    /// First background I/O error, surfaced by the next barrier.
+    error: Option<String>,
+}
+
+/// A compaction the compactor decided to run, with its inputs pinned from
+/// a manifest snapshot (only the compactor removes files from any level,
+/// so pinned inputs cannot disappear before the edit is applied).
+enum CompactionJob {
+    /// Merge all (snapshot) L0 files plus overlapping L1 files into L1.
+    L0 { inputs_new: Vec<Arc<SstReader>>, inputs_old: Vec<Arc<SstReader>> },
+    /// Push one file from `level` into `level + 1`.
+    Level { level: usize, input: Arc<SstReader>, inputs_old: Vec<Arc<SstReader>> },
+}
+
+/// Shared state behind the public handle; owned by the caller-facing
+/// [`Db`] and by both background worker threads.
+struct DbInner {
     cfg: DbConfig,
     dir: PathBuf,
-    mem: MemTable,
-    /// `levels[0]` holds overlapping flush outputs (newest last); deeper
-    /// levels are sorted and disjoint.
-    levels: Vec<Vec<Arc<SstReader>>>,
-    next_sst_id: u64,
+    mem: RwLock<MemState>,
+    manifest: RwLock<Arc<Version>>,
+    next_sst_id: AtomicU64,
     factory: Arc<dyn FilterFactory>,
     queue: QueryQueue,
-    cache: BlockCache,
+    cache: ShardedBlockCache,
     stats: Arc<Stats>,
+    gate: Mutex<Coord>,
+    /// Wakes the flusher (rotation, shutdown).
+    flush_cv: Condvar,
+    /// Wakes the compactor (L0 install, settle request, shutdown).
+    compact_cv: Condvar,
+    /// Wakes foreground barriers and stalled writers (progress, error).
+    idle_cv: Condvar,
+}
+
+/// A single-process, multi-threaded LSM-tree database with pluggable
+/// per-SST range filters. All operations take `&self`; share it across
+/// threads by reference (`std::thread::scope`) or inside an `Arc`.
+pub struct Db {
+    inner: Arc<DbInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn bg_error(msg: &str) -> std::io::Error {
+    std::io::Error::other(format!("background worker failed: {msg}"))
 }
 
 impl Db {
-    /// Open a database in `dir`, creating it if empty.
+    /// Open a database in `dir`, creating it if empty, and start the
+    /// background flush and compaction workers.
     ///
     /// A directory that already holds SST files is *recovered*: every
     /// `NNNNNNNN.sst` is reopened through its footer, the level manifest is
@@ -93,10 +223,39 @@ impl Db {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let queue = QueryQueue::new(cfg.queue_capacity, cfg.sample_every);
-        let cache = BlockCache::new(cfg.block_cache_bytes);
+        let cache = ShardedBlockCache::new(cfg.block_cache_bytes);
         let stats = Arc::new(Stats::default());
         let (levels, next_sst_id) = Self::recover_levels(&dir, cfg.key_width, &stats)?;
-        Ok(Db { cfg, dir, mem: MemTable::new(), levels, next_sst_id, factory, queue, cache, stats })
+        let inner = Arc::new(DbInner {
+            cfg,
+            dir,
+            mem: RwLock::new(MemState { active: MemTable::new(), imms: Vec::new() }),
+            manifest: RwLock::new(Arc::new(Version { levels })),
+            next_sst_id: AtomicU64::new(next_sst_id),
+            factory,
+            queue,
+            cache,
+            stats,
+            gate: Mutex::new(Coord::default()),
+            flush_cv: Condvar::new(),
+            compact_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let flusher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("proteus-lsm-flush".into())
+                .spawn(move || inner.flusher_loop())
+                .expect("spawn flusher")
+        };
+        let compactor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("proteus-lsm-compact".into())
+                .spawn(move || inner.compactor_loop())
+                .expect("spawn compactor")
+        };
+        Ok(Db { inner, workers: vec![flusher, compactor] })
     }
 
     /// Scan `dir` for SST files and rebuild the level manifest from their
@@ -175,57 +334,251 @@ impl Db {
     }
 
     pub fn config(&self) -> &DbConfig {
-        &self.cfg
+        &self.inner.cfg
     }
 
     pub fn stats(&self) -> &Stats {
-        &self.stats
+        &self.inner.stats
     }
 
     /// Seed the sample query queue (§6.2 seeds it with an initial sample).
-    pub fn seed_queries(&mut self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
-        self.queue.seed(queries);
+    pub fn seed_queries(&self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        self.inner.queue.seed(queries);
+        self.inner.stats.sampled_queries.set(self.inner.queue.len() as u64);
     }
 
-    /// Insert a key-value pair; may trigger a flush and compactions.
-    pub fn put(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
-        assert_eq!(key.len(), self.cfg.key_width, "key width mismatch");
-        self.mem.put(key.to_vec(), value.to_vec());
-        if self.mem.bytes() >= self.cfg.memtable_bytes {
-            self.flush()?;
-        }
-        Ok(())
+    /// Insert a key-value pair. May rotate the MemTable onto the
+    /// background flush queue; stalls only when `max_immutable_memtables`
+    /// rotations are already pending.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        self.inner.put(key, value)
     }
 
     /// Insert with a `u64` key.
-    pub fn put_u64(&mut self, key: u64, value: &[u8]) -> std::io::Result<()> {
+    pub fn put_u64(&self, key: u64, value: &[u8]) -> std::io::Result<()> {
         self.put(&u64_key(key), value)
     }
 
     /// Closed-range `Seek`: does any key exist in `[lo, hi]`? This is the
-    /// §6.1 read path: check the MemTable, then every overlapping SST's
-    /// filter; only filter-positive files pay index + block I/O.
-    pub fn seek(&mut self, lo: &[u8], hi: &[u8]) -> std::io::Result<bool> {
-        assert!(lo <= hi);
-        self.stats.seeks.inc();
-        if self.mem.range_contains(lo, hi) {
-            self.stats.seeks_found.inc();
-            return Ok(true);
+    /// §6.1 read path: check the MemTables, then every overlapping SST's
+    /// filter; only filter-positive files pay index + block I/O. Runs
+    /// lock-free against an `Arc`-snapshot of the level manifest.
+    pub fn seek(&self, lo: &[u8], hi: &[u8]) -> std::io::Result<bool> {
+        self.inner.seek(lo, hi)
+    }
+
+    /// `Seek` with `u64` bounds.
+    pub fn seek_u64(&self, lo: u64, hi: u64) -> std::io::Result<bool> {
+        self.seek(&u64_key(lo), &u64_key(hi))
+    }
+
+    /// Durability barrier: rotate the active MemTable (if non-empty) and
+    /// wait until every MemTable rotated so far is flushed to an L0 SST.
+    /// Compactions triggered by those flushes may still be running when
+    /// this returns; use [`Db::flush_and_settle`] for a full barrier.
+    pub fn flush(&self) -> std::io::Result<()> {
+        // rotate_active acquires the MemTable write lock, and every freeze
+        // publishes its `Coord::rotated` bump while still holding that
+        // lock — so once it returns, `g.rotated` counts every MemTable
+        // any other thread has already frozen, and the barrier below
+        // cannot miss a rotated-but-uncounted table.
+        self.inner.rotate_active();
+        let mut g = self.inner.gate.lock().unwrap();
+        let target = g.rotated;
+        while g.flushed < target && g.error.is_none() {
+            g = self.inner.idle_cv.wait(g).unwrap();
         }
-        // Gather overlapping files: L0 newest-first, then deeper levels.
-        let mut candidates: Vec<Arc<SstReader>> = Vec::new();
-        for sst in self.levels[0].iter().rev() {
-            if sst.overlaps(lo, hi) {
-                candidates.push(Arc::clone(sst));
+        match &g.error {
+            Some(e) => Err(bg_error(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Full barrier: flush everything, then drive compaction until L0 is
+    /// empty and every level is within its size target — the §6.2 "wait
+    /// for all background compactions to finish" setup step (§6.2 also
+    /// compacts "all L0 SST files to L1 for sake of consistency").
+    pub fn flush_and_settle(&self) -> std::io::Result<()> {
+        self.inner.rotate_active();
+        let mut g = self.inner.gate.lock().unwrap();
+        g.settle_requests += 1;
+        g.compact_epoch += 1;
+        let my_settle = g.settle_requests;
+        self.inner.flush_cv.notify_one();
+        self.inner.compact_cv.notify_all();
+        while g.settles_done < my_settle && g.error.is_none() {
+            g = self.inner.idle_cv.wait(g).unwrap();
+        }
+        match &g.error {
+            Some(e) => Err(bg_error(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of SST files per level.
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        self.inner.version().levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Total SST files.
+    pub fn sst_count(&self) -> usize {
+        self.inner.version().levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Total key-value entries across all SSTs (duplicates across levels
+    /// counted per file).
+    pub fn sst_entries(&self) -> u64 {
+        self.inner.version().levels.iter().flatten().map(|s| s.n_entries).sum()
+    }
+
+    /// Total bytes of all SST files.
+    pub fn sst_bytes(&self) -> u64 {
+        self.inner.version().levels.iter().flatten().map(|s| s.file_bytes).sum()
+    }
+
+    /// Total memory held by the per-SST filters, in bits (forces lazy
+    /// filter blocks to decode).
+    pub fn filter_bits(&self) -> u64 {
+        let v = self.inner.version();
+        v.levels
+            .iter()
+            .flatten()
+            .map(|s| s.filter(&self.inner.stats).map_or(0, |f| f.size_bits()))
+            .sum()
+    }
+
+    /// Iterate filter names per file (diagnostics for the experiments).
+    pub fn filter_names(&self) -> Vec<String> {
+        let v = self.inner.version();
+        v.levels
+            .iter()
+            .flatten()
+            .map(|s| s.filter(&self.inner.stats).map_or("none".into(), |f| f.name()))
+            .collect()
+    }
+}
+
+impl Drop for Db {
+    /// Shut the workers down. The flusher drains every already-rotated
+    /// MemTable first (writes acked through a rotation stay durable); the
+    /// active MemTable is *not* flushed — call [`Db::flush`] for that.
+    fn drop(&mut self) {
+        {
+            let mut g = self.inner.gate.lock().unwrap();
+            g.shutdown = true;
+        }
+        self.inner.flush_cv.notify_all();
+        self.inner.compact_cv.notify_all();
+        self.inner.idle_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl DbInner {
+    /// Current manifest snapshot (read lock held only for the Arc clone).
+    fn version(&self) -> Arc<Version> {
+        Arc::clone(&self.manifest.read().unwrap())
+    }
+
+    /// Swap in an edited manifest under a short-held write lock.
+    fn edit_manifest(&self, edit: impl FnOnce(&mut Version)) {
+        let mut m = self.manifest.write().unwrap();
+        let mut v = (**m).clone();
+        edit(&mut v);
+        *m = Arc::new(v);
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.next_sst_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Freeze the active MemTable onto the immutable queue if non-empty,
+    /// publishing the rotation to the flusher. The `Coord::rotated` bump
+    /// happens while the MemTable write lock is still held (mem → gate
+    /// nesting; nothing ever locks mem while holding gate), so any thread
+    /// that subsequently acquires the MemTable lock — in particular a
+    /// `flush()` barrier — is guaranteed to observe a `rotated` count
+    /// covering every frozen table. Without this a barrier could compute
+    /// its wait target between another thread's freeze and counter bump
+    /// and return before that data is durable.
+    fn publish_rotation(&self, mem: &mut MemState) -> bool {
+        if !mem.freeze(&self.stats) {
+            return false;
+        }
+        let mut g = self.gate.lock().unwrap();
+        g.rotated += 1;
+        self.flush_cv.notify_one();
+        true
+    }
+
+    /// Freeze the active MemTable onto the immutable queue if non-empty.
+    fn rotate_active(&self) -> bool {
+        let mut mem = self.mem.write().unwrap();
+        self.publish_rotation(&mut mem)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        assert_eq!(key.len(), self.cfg.key_width, "key width mismatch");
+        let rotated = {
+            let mut mem = self.mem.write().unwrap();
+            mem.active.put(key.to_vec(), value.to_vec());
+            mem.active.bytes() >= self.cfg.memtable_bytes && self.publish_rotation(&mut mem)
+        };
+        if rotated {
+            let mut g = self.gate.lock().unwrap();
+            // Backpressure: stall while too many frozen tables queue up.
+            let cap = self.cfg.max_immutable_memtables.max(1) as u64;
+            if g.rotated.saturating_sub(g.flushed) > cap {
+                let t0 = Instant::now();
+                while g.rotated.saturating_sub(g.flushed) > cap && g.error.is_none() && !g.shutdown
+                {
+                    g = self.idle_cv.wait(g).unwrap();
+                }
+                self.stats.write_stall_ns.add(t0.elapsed().as_nanos() as u64);
+            }
+            if let Some(e) = &g.error {
+                return Err(bg_error(e));
             }
         }
-        for level in &self.levels[1..] {
+        Ok(())
+    }
+
+    fn seek(&self, lo: &[u8], hi: &[u8]) -> std::io::Result<bool> {
+        assert!(lo <= hi);
+        self.stats.seeks.inc();
+        // 1. MemTables (active, then frozen) under a short read lock. This
+        //    must happen *before* the manifest snapshot: the flusher
+        //    installs an SST before retiring its MemTable, so a key that
+        //    left the MemTables is guaranteed present in any manifest
+        //    version read afterwards.
+        {
+            let mem = self.mem.read().unwrap();
+            if mem.active.range_contains(lo, hi)
+                || mem.imms.iter().any(|m| m.range_contains(lo, hi))
+            {
+                self.stats.seeks_memtable.inc();
+                self.stats.seeks_found.inc();
+                return Ok(true);
+            }
+        }
+        // 2. SSTs, lock-free against the snapshot: L0 newest-first, then
+        //    deeper levels.
+        let version = self.version();
+        let mut candidates: Vec<&Arc<SstReader>> = Vec::new();
+        for sst in version.levels[0].iter().rev() {
+            if sst.overlaps(lo, hi) {
+                candidates.push(sst);
+            }
+        }
+        for level in &version.levels[1..] {
             let start = level.partition_point(|s| s.max_key.as_slice() < lo);
             for sst in &level[start..] {
                 if sst.min_key.as_slice() > hi {
                     break;
                 }
-                candidates.push(Arc::clone(sst));
+                candidates.push(sst);
             }
         }
         let mut probed_any = false;
@@ -257,20 +610,21 @@ impl Db {
         if !probed_any {
             self.stats.seeks_filtered.inc();
         }
-        // Executed empty query: feed the sample queue (§6.1).
-        self.queue.offer(lo, hi);
-        self.stats.sampled_queries.set(self.queue.len() as u64);
+        // Truly-executed empty query: feed the sample queue (§6.1). Seeks
+        // answered by a MemTable never reach this point — only queries the
+        // store executed and found empty are offered. The gauge is only
+        // refreshed when the queue recorded the query, so the 1-in-
+        // `sample_every` common case stays mutex-free for readers.
+        self.stats.sample_offers.inc();
+        if self.queue.offer(lo, hi) {
+            self.stats.sampled_queries.set(self.queue.len() as u64);
+        }
         Ok(false)
     }
 
-    /// `Seek` with `u64` bounds.
-    pub fn seek_u64(&mut self, lo: u64, hi: u64) -> std::io::Result<bool> {
-        self.seek(&u64_key(lo), &u64_key(hi))
-    }
-
     /// Scan one SST for a key in `[lo, hi]` via index binary search plus
-    /// block reads through the cache.
-    fn search_sst(&mut self, sst: &Arc<SstReader>, lo: &[u8], hi: &[u8]) -> bool {
+    /// block reads through the sharded cache.
+    fn search_sst(&self, sst: &Arc<SstReader>, lo: &[u8], hi: &[u8]) -> bool {
         let mut b = sst.first_candidate_block(lo);
         while b < sst.n_blocks() {
             if sst.block_meta(b).first_key.as_slice() > hi {
@@ -284,7 +638,17 @@ impl Db {
                 }
                 None => {
                     let block = Arc::new(sst.read_block(b, &self.stats));
-                    self.cache.insert(id, Arc::clone(&block));
+                    // Don't cache blocks of a compaction-retired file (we
+                    // may be reading it through an older snapshot): dead
+                    // entries would squat on cache budget forever since
+                    // SST ids are never reused. The double-check undoes an
+                    // insert that raced with the retire+purge.
+                    if !sst.is_retired() {
+                        self.cache.insert(id, Arc::clone(&block));
+                        if sst.is_retired() {
+                            self.cache.remove(id);
+                        }
+                    }
                     block
                 }
             };
@@ -297,126 +661,207 @@ impl Db {
         false
     }
 
-    /// Flush the MemTable into a new L0 SST (§6.1 MemTable → L0).
-    pub fn flush(&mut self) -> std::io::Result<()> {
-        if self.mem.is_empty() {
-            return Ok(());
+    /// Record a background failure and wake every waiter so barriers and
+    /// stalled writers observe it.
+    fn record_error(&self, e: std::io::Error) {
+        let mut g = self.gate.lock().unwrap();
+        if g.error.is_none() {
+            g.error = Some(e.to_string());
         }
-        let entries = self.mem.drain_sorted();
+        self.idle_cv.notify_all();
+        self.compact_cv.notify_all();
+        self.flush_cv.notify_all();
+    }
+
+    // ---- flusher ---------------------------------------------------------
+
+    fn flusher_loop(&self) {
+        loop {
+            let imm = self.mem.read().unwrap().imms.first().cloned();
+            if let Some(imm) = imm {
+                match self.flush_imm(&imm) {
+                    Ok(reader) => {
+                        // Install the SST before retiring the MemTable so
+                        // the data is never invisible to a reader.
+                        self.edit_manifest(|v| v.levels[0].push(Arc::new(reader)));
+                        self.mem.write().unwrap().imms.remove(0);
+                        self.stats.flushes.inc();
+                    }
+                    Err(e) => {
+                        // Drop the MemTable anyway: barriers must not hang
+                        // on an unfixable disk error. The loss is reported
+                        // through the sticky error.
+                        self.mem.write().unwrap().imms.remove(0);
+                        self.record_error(e);
+                    }
+                }
+                let mut g = self.gate.lock().unwrap();
+                g.flushed += 1;
+                g.compact_epoch += 1;
+                self.idle_cv.notify_all();
+                self.compact_cv.notify_all();
+                continue;
+            }
+            let mut g = self.gate.lock().unwrap();
+            while g.rotated <= g.flushed && !g.shutdown {
+                g = self.flush_cv.wait(g).unwrap();
+            }
+            if g.shutdown && g.rotated <= g.flushed {
+                return; // every rotated MemTable is durable
+            }
+        }
+    }
+
+    /// Write one frozen MemTable to a new L0 SST, building its filter from
+    /// the file's keys and the current sample queue (§6.1).
+    fn flush_imm(&self, imm: &MemTable) -> std::io::Result<SstReader> {
         let id = self.alloc_id();
         let mut w = SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes, 0)?;
-        for (k, v) in &entries {
+        for (k, v) in imm.iter() {
             w.add(k, v)?;
         }
-        let reader =
-            w.finish(self.factory.as_ref(), &self.queue, self.cfg.bits_per_key, &self.stats)?;
-        self.levels[0].push(Arc::new(reader));
-        self.stats.flushes.inc();
-        self.maybe_compact()?;
-        Ok(())
+        w.finish(self.factory.as_ref(), &self.queue, self.cfg.bits_per_key, &self.stats)
     }
 
-    /// Flush and run compactions until every level is within its target —
-    /// the §6.2 "wait for all background compactions to finish" setup step.
-    pub fn flush_and_settle(&mut self) -> std::io::Result<()> {
-        self.flush()?;
-        // Also force L0 down to L1 for a clean initial state (§6.2 sets
-        // RocksDB "to compact all L0 SST files to L1 for sake of
-        // consistency").
-        if !self.levels[0].is_empty() {
-            self.compact_l0()?;
+    // ---- compactor -------------------------------------------------------
+
+    fn compactor_loop(&self) {
+        loop {
+            let (stop, settle_mode, epoch) = {
+                let g = self.gate.lock().unwrap();
+                // A sticky error also stops the compactor: retrying the
+                // same job against a failing disk would spin forever (and
+                // keep allocating ids and `.tmp` files). Barriers already
+                // observe the error and return it.
+                (
+                    g.shutdown || g.error.is_some(),
+                    g.settle_requests > g.settles_done,
+                    g.compact_epoch,
+                )
+            };
+            if stop {
+                return;
+            }
+            if let Some(job) = self.pick_compaction(settle_mode) {
+                if let Err(e) = self.run_compaction(job) {
+                    self.record_error(e);
+                }
+                self.idle_cv.notify_all();
+                continue;
+            }
+            if settle_mode {
+                // Nothing left to compact; the settle is complete once the
+                // flusher has drained too and the tree has not changed
+                // since we looked at it (epoch unchanged).
+                let imms_empty = self.mem.read().unwrap().imms.is_empty();
+                let mut g = self.gate.lock().unwrap();
+                if imms_empty && g.flushed >= g.rotated && g.compact_epoch == epoch {
+                    g.settles_done = g.settle_requests;
+                    self.idle_cv.notify_all();
+                    continue;
+                }
+                // The flusher is still working (or new work arrived): wait
+                // for its next poke, with a timeout as a lost-wakeup net.
+                if g.compact_epoch == epoch && !g.shutdown {
+                    let (_g, _) =
+                        self.compact_cv.wait_timeout(g, Duration::from_millis(5)).unwrap();
+                }
+                continue;
+            }
+            let mut g = self.gate.lock().unwrap();
+            while g.compact_epoch == epoch && !g.shutdown && g.settle_requests <= g.settles_done {
+                g = self.compact_cv.wait(g).unwrap();
+            }
         }
-        self.maybe_compact()?;
-        Ok(())
-    }
-
-    fn alloc_id(&mut self) -> u64 {
-        let id = self.next_sst_id;
-        self.next_sst_id += 1;
-        id
-    }
-
-    fn level_bytes(&self, level: usize) -> u64 {
-        self.levels.get(level).map_or(0, |l| l.iter().map(|s| s.file_bytes).sum())
     }
 
     fn level_target(&self, level: usize) -> u64 {
         self.cfg.level_base_bytes * self.cfg.level_size_ratio.pow(level.saturating_sub(1) as u32)
     }
 
-    /// Run compactions until every trigger is satisfied (inline; the paper
-    /// uses background threads — see DESIGN.md substitutions).
-    fn maybe_compact(&mut self) -> std::io::Result<()> {
-        loop {
-            if self.levels[0].len() > self.cfg.l0_compaction_trigger {
-                self.compact_l0()?;
-                continue;
-            }
-            let mut did = false;
-            for level in 1..self.levels.len() {
-                if self.level_bytes(level) > self.level_target(level) {
-                    self.compact_level(level)?;
-                    did = true;
-                    break;
-                }
-            }
-            if !did {
-                return Ok(());
+    /// Decide the next compaction from a manifest snapshot. In settle mode
+    /// any non-empty L0 compacts (the §6.2 clean initial state); otherwise
+    /// only the configured triggers fire.
+    fn pick_compaction(&self, settle: bool) -> Option<CompactionJob> {
+        let v = self.version();
+        let l0 = &v.levels[0];
+        if l0.len() > self.cfg.l0_compaction_trigger || (settle && !l0.is_empty()) {
+            // Newest-first rank order for the merge.
+            let inputs_new: Vec<Arc<SstReader>> = l0.iter().rev().cloned().collect();
+            let lo = inputs_new.iter().map(|s| s.min_key.clone()).min().unwrap();
+            let hi = inputs_new.iter().map(|s| s.max_key.clone()).max().unwrap();
+            let inputs_old = match v.levels.get(1) {
+                Some(l1) => collect_overlapping(l1, &lo, &hi),
+                None => Vec::new(),
+            };
+            return Some(CompactionJob::L0 { inputs_new, inputs_old });
+        }
+        for level in 1..v.levels.len() {
+            let bytes: u64 = v.levels[level].iter().map(|s| s.file_bytes).sum();
+            if bytes > self.level_target(level) && !v.levels[level].is_empty() {
+                // Pick the file with the smallest min key (simple
+                // deterministic cursor; RocksDB round-robins similarly).
+                let input = Arc::clone(&v.levels[level][0]);
+                let inputs_old = match v.levels.get(level + 1) {
+                    Some(next) => collect_overlapping(next, &input.min_key, &input.max_key),
+                    None => Vec::new(),
+                };
+                return Some(CompactionJob::Level { level, input, inputs_old });
             }
         }
+        None
     }
 
-    /// Merge all L0 files plus overlapping L1 files into new L1 files.
-    fn compact_l0(&mut self) -> std::io::Result<()> {
-        if self.levels[0].is_empty() {
-            return Ok(());
+    fn run_compaction(&self, job: CompactionJob) -> std::io::Result<()> {
+        let (newer, older, source_level, target_level) = match job {
+            CompactionJob::L0 { inputs_new, inputs_old } => (inputs_new, inputs_old, 0, 1),
+            CompactionJob::Level { level, input, inputs_old } => {
+                (vec![input], inputs_old, level, level + 1)
+            }
+        };
+        let outputs = self.merge_inputs(&newer, &older, target_level)?;
+        let removed_source: Vec<u64> = newer.iter().map(|s| s.id).collect();
+        let removed_target: Vec<u64> = older.iter().map(|s| s.id).collect();
+        // Publish: drop the inputs from the manifest (files flushed into
+        // L0 meanwhile are untouched) and install the outputs sorted.
+        self.edit_manifest(|v| {
+            v.ensure_level(target_level);
+            v.levels[source_level].retain(|s| !removed_source.contains(&s.id));
+            v.levels[target_level].retain(|s| !removed_target.contains(&s.id));
+            v.levels[target_level].extend(outputs.iter().cloned());
+            v.levels[target_level].sort_by(|a, b| a.min_key.cmp(&b.min_key));
+        });
+        // Retire inputs: readers still holding an older version keep their
+        // open descriptors; the unlink only drops the directory entry.
+        // Mark-before-purge: once the flag is visible no reader re-caches
+        // a dead block, so the purge is final.
+        for sst in newer.iter().chain(older.iter()) {
+            sst.mark_retired();
+            self.cache.purge_sst(sst.id);
+            sst.delete_file();
         }
-        let inputs_new: Vec<Arc<SstReader>> = self.levels[0].drain(..).rev().collect();
-        let lo = inputs_new.iter().map(|s| s.min_key.clone()).min().unwrap();
-        let hi = inputs_new.iter().map(|s| s.max_key.clone()).max().unwrap();
-        self.ensure_level(1);
-        let old: Vec<Arc<SstReader>> = extract_overlapping(&mut self.levels[1], &lo, &hi);
-        self.merge_into_level(inputs_new, old, 1)
-    }
-
-    /// Push one file from `level` into `level + 1`.
-    fn compact_level(&mut self, level: usize) -> std::io::Result<()> {
-        if self.levels[level].is_empty() {
-            return Ok(());
-        }
-        // Pick the file with the smallest min key (simple deterministic
-        // cursor; RocksDB round-robins similarly).
-        let file = self.levels[level].remove(0);
-        self.ensure_level(level + 1);
-        let old: Vec<Arc<SstReader>> =
-            extract_overlapping(&mut self.levels[level + 1], &file.min_key, &file.max_key);
-        self.merge_into_level(vec![file], old, level + 1)
-    }
-
-    fn ensure_level(&mut self, level: usize) {
-        while self.levels.len() <= level {
-            self.levels.push(Vec::new());
-        }
+        self.stats.compactions.inc();
+        Ok(())
     }
 
     /// K-way merge of `newer` (rank order = recency) and `older` files,
-    /// writing size-split SSTs into `target_level` and building a fresh
+    /// writing size-split SSTs for `target_level` and building a fresh
     /// filter per output (§6.1: compaction "triggers the construction of
     /// new filters on the merged data").
-    fn merge_into_level(
-        &mut self,
-        newer: Vec<Arc<SstReader>>,
-        older: Vec<Arc<SstReader>>,
+    fn merge_inputs(
+        &self,
+        newer: &[Arc<SstReader>],
+        older: &[Arc<SstReader>],
         target_level: usize,
-    ) -> std::io::Result<()> {
-        let mut inputs = newer;
-        inputs.extend(older);
-        let mut scanners: Vec<SstScanner> = inputs
+    ) -> std::io::Result<Vec<Arc<SstReader>>> {
+        let mut scanners: Vec<SstScanner> = newer
             .iter()
+            .chain(older.iter())
             .map(|s| SstScanner::new(Arc::clone(s), Arc::clone(&self.stats)))
             .collect();
         // Heap of (key, rank): smallest key first, then lowest rank (newest).
-        let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize, Vec<u8>)>> = BinaryHeap::new();
+        type MergeEntry = Reverse<(Vec<u8>, usize, Vec<u8>)>;
+        let mut heap: BinaryHeap<MergeEntry> = BinaryHeap::new();
         for (rank, sc) in scanners.iter_mut().enumerate() {
             if let Some((k, v)) = sc.next() {
                 heap.push(Reverse((k, rank, v)));
@@ -465,75 +910,13 @@ impl Db {
                 )?));
             }
         }
-        // Retire inputs.
-        for sst in &inputs {
-            self.cache.purge_sst(sst.id);
-            sst.delete_file();
-        }
-        // Install outputs, keeping the level sorted by min key.
-        let level = &mut self.levels[target_level];
-        level.extend(outputs);
-        level.sort_by(|a, b| a.min_key.cmp(&b.min_key));
-        self.stats.compactions.inc();
-        Ok(())
-    }
-
-    /// Number of SST files per level.
-    pub fn level_file_counts(&self) -> Vec<usize> {
-        self.levels.iter().map(|l| l.len()).collect()
-    }
-
-    /// Total SST files.
-    pub fn sst_count(&self) -> usize {
-        self.levels.iter().map(|l| l.len()).sum()
-    }
-
-    /// Total key-value entries across all SSTs (duplicates across levels
-    /// counted per file).
-    pub fn sst_entries(&self) -> u64 {
-        self.levels.iter().flatten().map(|s| s.n_entries).sum()
-    }
-
-    /// Total bytes of all SST files.
-    pub fn sst_bytes(&self) -> u64 {
-        self.levels.iter().flatten().map(|s| s.file_bytes).sum()
-    }
-
-    /// Total memory held by the per-SST filters, in bits (forces lazy
-    /// filter blocks to decode).
-    pub fn filter_bits(&self) -> u64 {
-        self.levels
-            .iter()
-            .flatten()
-            .map(|s| s.filter(&self.stats).map_or(0, |f| f.size_bits()))
-            .sum()
-    }
-
-    /// Iterate filter names per file (diagnostics for the experiments).
-    pub fn filter_names(&self) -> Vec<String> {
-        self.levels
-            .iter()
-            .flatten()
-            .map(|s| s.filter(&self.stats).map_or("none".into(), |f| f.name()))
-            .collect()
+        Ok(outputs)
     }
 }
 
-/// Remove and return the files of a sorted, disjoint level overlapping
-/// `[lo, hi]`.
-fn extract_overlapping(
-    level: &mut Vec<Arc<SstReader>>,
-    lo: &[u8],
-    hi: &[u8],
-) -> Vec<Arc<SstReader>> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < level.len() {
-        if level[i].overlaps(lo, hi) {
-            out.push(level.remove(i));
-        } else {
-            i += 1;
-        }
-    }
-    out
+/// Return clones of the files in a sorted, disjoint level overlapping
+/// `[lo, hi]` (the snapshot is not modified; the manifest edit removes
+/// them by id at publish time).
+fn collect_overlapping(level: &[Arc<SstReader>], lo: &[u8], hi: &[u8]) -> Vec<Arc<SstReader>> {
+    level.iter().filter(|s| s.overlaps(lo, hi)).cloned().collect()
 }

@@ -6,6 +6,10 @@
 //!
 //! * MemTable → overlapping L0 → leveled, range-partitioned L1+ with
 //!   size-ratio compaction;
+//! * shared-state concurrency: `&self` reads and writes, snapshot (MVCC)
+//!   reads against an `Arc`-swapped level manifest, MemTable rotation, and
+//!   background flush + compaction worker threads (see the [`db`] module
+//!   docs for the full model);
 //! * block-based SST files on disk with zero-RLE compression and an
 //!   in-memory index;
 //! * a per-SST range filter built at flush/compaction time from the file's
@@ -13,10 +17,11 @@
 //!   pluggable [`FilterFactory`] hook;
 //! * the modified closed-`Seek` read path: all overlapping filters are
 //!   probed first and only positive files pay index + block I/O;
-//! * an LRU block cache and full I/O statistics.
+//! * a sharded LRU block cache and full (atomic) I/O statistics.
 //!
-//! See DESIGN.md for the documented substitutions versus real RocksDB
-//! (inline compaction, zero-RLE instead of LZ4/ZSTD, scaled-down defaults).
+//! Documented substitutions versus real RocksDB: one flusher + one
+//! compactor thread instead of a pool, zero-RLE instead of LZ4/ZSTD, and
+//! scaled-down size defaults (ratios preserved).
 
 pub mod block;
 pub mod cache;
@@ -28,7 +33,7 @@ pub mod query_queue;
 pub mod sst;
 pub mod stats;
 
-pub use cache::BlockCache;
+pub use cache::{BlockCache, ShardedBlockCache};
 pub use db::{Db, DbConfig};
 pub use filter_hook::{FilterFactory, NoFilter, NoFilterFactory, ProteusFactory};
 pub use query_queue::QueryQueue;
@@ -66,7 +71,7 @@ mod db_tests {
     #[test]
     fn put_flush_seek_roundtrip() {
         let dir = tmpdir("roundtrip");
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         for i in 0..5000u64 {
             db.put_u64(i * 1000, &value(i)).unwrap();
         }
@@ -87,7 +92,7 @@ mod db_tests {
     #[test]
     fn memtable_answers_before_flush() {
         let dir = tmpdir("memtable");
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         db.put_u64(42, b"v").unwrap();
         assert!(db.seek_u64(40, 44).unwrap());
         assert!(!db.seek_u64(43, 100).unwrap());
@@ -102,7 +107,7 @@ mod db_tests {
         cfg.memtable_bytes = 16 << 10;
         cfg.l0_compaction_trigger = 2;
         cfg.level_base_bytes = 64 << 10;
-        let mut db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
         for i in 0..20_000u64 {
             db.put_u64((i * 2_654_435_761) % (1 << 40), &value(i)).unwrap();
         }
@@ -125,7 +130,7 @@ mod db_tests {
         let mut cfg = small_cfg();
         cfg.memtable_bytes = 8 << 10;
         cfg.l0_compaction_trigger = 1;
-        let mut db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
         for round in 0..4u64 {
             for i in 0..500u64 {
                 let mut v = value(i);
@@ -151,7 +156,7 @@ mod db_tests {
         let mut cfg = small_cfg();
         cfg.bits_per_key = 14.0;
         cfg.sample_every = 1;
-        let mut db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+        let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
         // Clustered keys so empty queries near the clusters are filterable.
         for i in 0..20_000u64 {
             db.put_u64(i << 20, &value(i)).unwrap();
@@ -193,7 +198,7 @@ mod db_tests {
     #[test]
     fn no_filter_baseline_pays_io_for_every_overlap() {
         let dir = tmpdir("nofilter-io");
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         for i in 0..5000u64 {
             db.put_u64(i << 24, &value(i)).unwrap();
         }
@@ -220,7 +225,7 @@ mod db_tests {
     #[test]
     fn reopen_discards_unfinished_tmp_files_from_a_crash() {
         let dir = tmpdir("crash-tmp");
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         for i in 0..2_000u64 {
             db.put_u64(i * 11, &value(i)).unwrap();
         }
@@ -230,7 +235,7 @@ mod db_tests {
         // Simulate a crash mid-write: writers stream into `.sst.tmp` and
         // rename only after the footer is durable, so a kill leaves this.
         std::fs::write(dir.join("00000099.sst.tmp"), b"partial garbage, no footer").unwrap();
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         assert_eq!(db.sst_count(), ssts, "straggler must not poison recovery");
         assert!(!dir.join("00000099.sst.tmp").exists(), "straggler cleaned up");
         assert!(db.seek_u64(0, 0).unwrap());
@@ -249,7 +254,7 @@ mod db_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let stats = Stats::default();
         let queue = QueryQueue::new(4, 1);
-        let mut write = |id: u64, keys: std::ops::Range<u64>| {
+        let write = |id: u64, keys: std::ops::Range<u64>| {
             let mut w = SstWriter::create(&dir, id, 8, 4096, 1).unwrap();
             for k in keys {
                 w.add(&u64_key(k * 2), b"v").unwrap();
@@ -260,7 +265,7 @@ mod db_tests {
         write(2, 50..150); // newer output: keys [100, 298] — overlaps
         write(3, 1000..1100); // disjoint survivor: keys [2000, 2198]
 
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         let counts = db.level_file_counts();
         assert_eq!(counts[0], 2, "overlapping pair demoted to L0: {counts:?}");
         assert_eq!(counts[1], 1, "disjoint file stays put: {counts:?}");
@@ -281,7 +286,7 @@ mod db_tests {
         cfg.sample_every = 1;
         let keys: Vec<u64> = (0..8_000u64).map(|i| (i * 2_654_435_761) % (1 << 44)).collect();
         let (counts, filter_bits, sst_count) = {
-            let mut db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
+            let db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
             for &k in &keys {
                 db.put_u64(k, &value(k)).unwrap();
             }
@@ -289,7 +294,7 @@ mod db_tests {
             (db.level_file_counts(), db.filter_bits(), db.sst_count())
         };
 
-        let mut db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+        let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
         assert_eq!(db.level_file_counts(), counts, "level manifest must survive reopen");
         assert_eq!(db.stats().ssts_recovered.get(), sst_count as u64);
         assert_eq!(db.stats().filters_built.get(), 0, "reopen must not retrain");
@@ -310,7 +315,7 @@ mod db_tests {
     #[test]
     fn stats_track_seek_outcomes() {
         let dir = tmpdir("stats");
-        let mut db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         for i in 0..100u64 {
             db.put_u64(i * 100, &value(i)).unwrap();
         }
@@ -322,6 +327,68 @@ mod db_tests {
         assert_eq!(s.seeks, 3);
         assert_eq!(s.seeks_found, 1);
         assert!(s.seeks_filtered >= 1, "out-of-range seek touches nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampling_skips_memtable_answered_queries() {
+        // §6.1 samples *executed empty* queries only. A Seek answered by a
+        // MemTable (active or frozen) must not feed the sample queue; a
+        // Seek the store executed and found empty must.
+        let dir = tmpdir("sampling");
+        let mut cfg = small_cfg();
+        cfg.sample_every = 1; // record every offered query
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        db.put_u64(500, b"v").unwrap();
+
+        // Answered by the active MemTable: not an empty query, no offer.
+        assert!(db.seek_u64(400, 600).unwrap());
+        let s = db.stats().snapshot();
+        assert_eq!(s.seeks_memtable, 1);
+        assert_eq!(s.sample_offers, 0, "memtable answer must not be sampled");
+        assert_eq!(db.stats().sampled_queries.get(), 0);
+
+        // Executed and empty (nothing on disk yet, memtable can't answer):
+        // exactly one offer, recorded.
+        assert!(!db.seek_u64(1000, 2000).unwrap());
+        let s = db.stats().snapshot();
+        assert_eq!(s.sample_offers, 1);
+        assert_eq!(db.stats().sampled_queries.get(), 1);
+
+        // Same split after the data moves to an SST: a found Seek executes
+        // but is non-empty (no offer); an empty Seek offers.
+        db.flush_and_settle().unwrap();
+        assert!(db.seek_u64(500, 500).unwrap());
+        let s = db.stats().snapshot();
+        assert_eq!(s.sample_offers, 1, "non-empty executed seek must not be sampled");
+        assert!(!db.seek_u64(700, 800).unwrap());
+        let s = db.stats().snapshot();
+        assert_eq!(s.sample_offers, 2);
+        assert_eq!(db.stats().sampled_queries.get(), 2);
+        assert_eq!(s.seeks_memtable, 1, "SST-era seeks are not memtable answers");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_flush_keeps_acked_writes_visible() {
+        // Writes that rotated the MemTable stay findable while the flusher
+        // works and after it installs the SST (install-before-retire).
+        let dir = tmpdir("bg-visibility");
+        let mut cfg = small_cfg();
+        cfg.memtable_bytes = 4 << 10; // rotate every ~30 entries
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        for i in 0..2_000u64 {
+            db.put_u64(i * 3, &value(i)).unwrap();
+            if i % 17 == 0 {
+                assert!(db.seek_u64(i * 3, i * 3).unwrap(), "acked key {i} invisible");
+            }
+        }
+        assert!(db.stats().memtable_rotations.get() > 0, "rotations must have happened");
+        db.flush_and_settle().unwrap();
+        assert_eq!(db.stats().flushes.get(), db.stats().memtable_rotations.get());
+        for i in (0..2_000u64).step_by(97) {
+            assert!(db.seek_u64(i * 3, i * 3).unwrap(), "key {i} lost after settle");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

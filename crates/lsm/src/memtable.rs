@@ -1,4 +1,10 @@
 //! The in-memory write buffer (RocksDB's MemTable, §6.1).
+//!
+//! The concurrent `Db` keeps one *active* MemTable (mutated under a write
+//! lock) plus a FIFO of *immutable* MemTables that have been rotated out
+//! and await a background flush. An immutable MemTable is shared as
+//! `Arc<MemTable>` and only read (`range_contains`, [`MemTable::iter`]),
+//! so no further synchronization is needed on it.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
@@ -55,6 +61,13 @@ impl MemTable {
         self.bytes = 0;
         std::mem::take(&mut self.map).into_iter().collect()
     }
+
+    /// Iterate all entries in ascending key order without consuming the
+    /// table (the background flusher writes an immutable `Arc<MemTable>`
+    /// to disk through this).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +107,16 @@ mod tests {
         assert_eq!(keys, vec![1, 5, 9]);
         assert!(m.is_empty());
         assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_non_consuming() {
+        let mut m = MemTable::new();
+        m.put(vec![9], vec![b'a']);
+        m.put(vec![1], vec![b'b']);
+        let keys: Vec<u8> = m.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![1, 9]);
+        assert_eq!(m.len(), 2, "iter must not drain");
     }
 
     #[test]

@@ -2,68 +2,88 @@
 //! seed it with an initial query sample. Older queries are evicted with a
 //! FIFO policy. … we use a queue size of 20K queries and update the queue
 //! with every 100th executed empty query."
+//!
+//! The queue is internally synchronized so the concurrent `Db` can offer
+//! queries from any reader thread and snapshot it from the background
+//! flush/compaction workers: the every-`n`-th subsampling counter is a
+//! lone atomic (the common case — an offer that is *not* recorded — takes
+//! no lock at all), and only the 1-in-`every` recorded offers, seeds and
+//! snapshots touch the inner mutex.
 
 use proteus_core::SampleQueries;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Fixed-capacity FIFO of recent empty range queries.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QueryQueue {
-    queue: VecDeque<(Vec<u8>, Vec<u8>)>,
+    inner: Mutex<VecDeque<(Vec<u8>, Vec<u8>)>>,
     capacity: usize,
     /// Record every `every`-th offered query.
     every: u64,
-    offered: u64,
+    offered: AtomicU64,
 }
 
 impl QueryQueue {
     pub fn new(capacity: usize, every: u64) -> Self {
         QueryQueue {
-            queue: VecDeque::with_capacity(capacity),
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
             capacity,
             every: every.max(1),
-            offered: 0,
+            offered: AtomicU64::new(0),
         }
     }
 
     /// Seed with an initial sample (recorded unconditionally).
-    pub fn seed(&mut self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+    pub fn seed(&self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        let mut q = self.inner.lock().unwrap();
         for (lo, hi) in queries {
-            self.push(lo, hi);
+            Self::push(&mut q, self.capacity, lo, hi);
         }
     }
 
     /// Offer an executed empty query; records every `every`-th one.
-    pub fn offer(&mut self, lo: &[u8], hi: &[u8]) {
-        self.offered += 1;
-        if self.offered % self.every == 0 {
-            self.push(lo.to_vec(), hi.to_vec());
+    /// Returns `true` if the query was recorded.
+    pub fn offer(&self, lo: &[u8], hi: &[u8]) -> bool {
+        let n = self.offered.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.every) {
+            return false;
         }
+        let mut q = self.inner.lock().unwrap();
+        Self::push(&mut q, self.capacity, lo.to_vec(), hi.to_vec());
+        true
     }
 
-    fn push(&mut self, lo: Vec<u8>, hi: Vec<u8>) {
-        if self.capacity == 0 {
+    /// Total queries ever offered (recorded or not).
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    fn push(q: &mut VecDeque<(Vec<u8>, Vec<u8>)>, capacity: usize, lo: Vec<u8>, hi: Vec<u8>) {
+        if capacity == 0 {
             return;
         }
-        if self.queue.len() == self.capacity {
-            self.queue.pop_front();
+        if q.len() == capacity {
+            q.pop_front();
         }
-        self.queue.push_back((lo, hi));
+        q.push_back((lo, hi));
     }
 
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.inner.lock().unwrap().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len() == 0
     }
 
     /// Copy the current contents into a [`SampleQueries`] for filter
     /// construction. Bounds are assumed canonical at `width`.
     pub fn snapshot(&self, width: usize) -> SampleQueries {
+        let q = self.inner.lock().unwrap();
         let mut s = SampleQueries::new(width);
-        for (lo, hi) in &self.queue {
+        for (lo, hi) in q.iter() {
             if lo.len() == width && hi.len() == width && lo <= hi {
                 s.push(lo, hi);
             }
@@ -79,7 +99,7 @@ mod tests {
 
     #[test]
     fn fifo_eviction() {
-        let mut q = QueryQueue::new(3, 1);
+        let q = QueryQueue::new(3, 1);
         for i in 0..5u64 {
             q.offer(&u64_key(i * 10), &u64_key(i * 10 + 1));
         }
@@ -91,26 +111,46 @@ mod tests {
 
     #[test]
     fn subsampling_every_nth() {
-        let mut q = QueryQueue::new(100, 100);
+        let q = QueryQueue::new(100, 100);
         for i in 0..1000u64 {
             q.offer(&u64_key(i), &u64_key(i + 1));
         }
         assert_eq!(q.len(), 10, "every 100th of 1000 offers");
+        assert_eq!(q.offered(), 1000);
     }
 
     #[test]
     fn seed_bypasses_subsampling() {
-        let mut q = QueryQueue::new(100, 100);
+        let q = QueryQueue::new(100, 100);
         q.seed((0..20u64).map(|i| (u64_key(i).to_vec(), u64_key(i + 1).to_vec())));
         assert_eq!(q.len(), 20);
     }
 
     #[test]
     fn snapshot_is_usable_sample() {
-        let mut q = QueryQueue::new(10, 1);
+        let q = QueryQueue::new(10, 1);
         q.offer(&u64_key(5), &u64_key(10));
         let s = q.snapshot(8);
         assert_eq!(s.len(), 1);
         assert_eq!(s.width(), 8);
+    }
+
+    #[test]
+    fn concurrent_offers_record_exact_subsample() {
+        // 8 threads × 1000 offers at every=100 must record exactly 80
+        // queries: the atomic counter never double-counts or skips.
+        let q = QueryQueue::new(1_000, 100);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        q.offer(&u64_key(t << 32 | i), &u64_key(t << 32 | (i + 1)));
+                    }
+                });
+            }
+        });
+        assert_eq!(q.offered(), 8_000);
+        assert_eq!(q.len(), 80);
     }
 }

@@ -37,6 +37,7 @@ use std::fs::File;
 use std::io::Write;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -78,6 +79,10 @@ pub struct SstReader {
     /// Lazily decoded filter. Pre-populated for freshly written files;
     /// filled from `pending_filter_bytes` on first probe after recovery.
     filter: OnceLock<Option<Box<dyn RangeFilter>>>,
+    /// Set when compaction retires this file from the manifest: readers
+    /// holding an older version snapshot may still probe it, but must not
+    /// (re-)populate the block cache for it (see `Db::search_sst`).
+    retired: AtomicBool,
     /// LSM level this file was written for (from the footer on reopen).
     pub level: u32,
     pub min_key: Vec<u8>,
@@ -191,6 +196,7 @@ impl SstReader {
             filter_block_len: filter_bytes.len(),
             pending_filter_bytes: Mutex::new(filter_bytes),
             filter: OnceLock::new(),
+            retired: AtomicBool::new(false),
             level,
             min_key,
             max_key,
@@ -266,6 +272,17 @@ impl SstReader {
         stats.blocks_read.inc();
         stats.bytes_read.add(meta.len as u64);
         Block::decode(&buf, self.width)
+    }
+
+    /// Mark this file as retired from the version set (compaction consumed
+    /// it). Readers on older snapshots keep working; the flag only stops
+    /// them from re-populating the block cache for a dead file.
+    pub fn mark_retired(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
     }
 
     /// Delete the backing file (called when the SST leaves the version set).
@@ -464,6 +481,7 @@ impl SstWriter {
             filter_block_len: filter_bytes.len(),
             pending_filter_bytes: Mutex::new(Vec::new()),
             filter: slot,
+            retired: AtomicBool::new(false),
             level: self.level,
             min_key,
             max_key,

@@ -36,6 +36,18 @@ pub struct Stats {
     pub seeks_filtered: Counter,
     /// Seeks that found a key.
     pub seeks_found: Counter,
+    /// Seeks answered by a MemTable (active or immutable) without reaching
+    /// the SST read path. These never feed the sample queue: §6.1 samples
+    /// *executed empty* queries only.
+    pub seeks_memtable: Counter,
+    /// Executed empty queries offered to the sample queue (each may or may
+    /// not be recorded, per the every-`n`-th subsampling policy).
+    pub sample_offers: Counter,
+    /// Active-MemTable rotations into the immutable flush queue.
+    pub memtable_rotations: Counter,
+    /// Nanoseconds writers spent stalled on flush backpressure (the
+    /// immutable-memtable queue was full).
+    pub write_stall_ns: Counter,
     /// Per-SST filter probes that returned negative.
     pub filter_negatives: Counter,
     /// Per-SST filter probes that returned positive but the SST had no key
@@ -93,6 +105,10 @@ impl Stats {
             seeks: self.seeks.get(),
             seeks_filtered: self.seeks_filtered.get(),
             seeks_found: self.seeks_found.get(),
+            seeks_memtable: self.seeks_memtable.get(),
+            sample_offers: self.sample_offers.get(),
+            memtable_rotations: self.memtable_rotations.get(),
+            write_stall_ns: self.write_stall_ns.get(),
             filter_negatives: self.filter_negatives.get(),
             filter_false_positives: self.filter_false_positives.get(),
             filter_true_positives: self.filter_true_positives.get(),
@@ -118,6 +134,10 @@ pub struct StatsSnapshot {
     pub seeks: u64,
     pub seeks_filtered: u64,
     pub seeks_found: u64,
+    pub seeks_memtable: u64,
+    pub sample_offers: u64,
+    pub memtable_rotations: u64,
+    pub write_stall_ns: u64,
     pub filter_negatives: u64,
     pub filter_false_positives: u64,
     pub filter_true_positives: u64,
@@ -142,6 +162,10 @@ impl StatsSnapshot {
             seeks: self.seeks - earlier.seeks,
             seeks_filtered: self.seeks_filtered - earlier.seeks_filtered,
             seeks_found: self.seeks_found - earlier.seeks_found,
+            seeks_memtable: self.seeks_memtable - earlier.seeks_memtable,
+            sample_offers: self.sample_offers - earlier.sample_offers,
+            memtable_rotations: self.memtable_rotations - earlier.memtable_rotations,
+            write_stall_ns: self.write_stall_ns - earlier.write_stall_ns,
             filter_negatives: self.filter_negatives - earlier.filter_negatives,
             filter_false_positives: self.filter_false_positives - earlier.filter_false_positives,
             filter_true_positives: self.filter_true_positives - earlier.filter_true_positives,

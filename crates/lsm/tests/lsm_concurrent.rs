@@ -1,0 +1,323 @@
+//! Multi-threaded stress tests for the concurrent LSM store: N writer +
+//! M reader threads over disjoint and overlapping key ranges, asserting
+//! zero false negatives for every acked write, no panics or deadlocks,
+//! and consistent `Stats` totals after the threads join.
+//!
+//! Scale knobs (all overridable for the CI release-mode run):
+//!
+//! * `PROTEUS_STRESS_WRITERS` / `PROTEUS_STRESS_READERS` — thread counts
+//!   (default 4 + 4);
+//! * `PROTEUS_STRESS_OPS` — per-thread operation count (default 8_000 in
+//!   debug builds, 15_000 in release, so the default release run is a
+//!   ≥100k-op stress).
+
+use proteus_core::key::u64_key;
+use proteus_lsm::db::{Db, DbConfig};
+use proteus_lsm::filter_hook::{FilterFactory, NoFilterFactory, ProteusFactory};
+use proteus_lsm::query_queue::QueryQueue;
+use proteus_lsm::sst::{SstReader, SstWriter};
+use proteus_lsm::stats::Stats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+mod common;
+use common::Rng;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("proteus-conc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Small tables and files so the stress run exercises rotation, flush and
+/// compaction constantly, not just the MemTable.
+fn stress_cfg() -> DbConfig {
+    DbConfig {
+        memtable_bytes: 32 << 10,
+        max_immutable_memtables: 2,
+        sst_target_bytes: 64 << 10,
+        l0_compaction_trigger: 3,
+        level_base_bytes: 256 << 10,
+        block_cache_bytes: 512 << 10,
+        bits_per_key: 10.0,
+        sample_every: 10,
+        ..Default::default()
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn writers() -> usize {
+    env_usize("PROTEUS_STRESS_WRITERS", 4)
+}
+
+fn readers() -> usize {
+    env_usize("PROTEUS_STRESS_READERS", 4)
+}
+
+fn ops_per_thread() -> usize {
+    env_usize("PROTEUS_STRESS_OPS", if cfg!(debug_assertions) { 8_000 } else { 15_000 })
+}
+
+fn value(k: u64) -> Vec<u8> {
+    let mut v = vec![0u8; 32];
+    v[..8].copy_from_slice(&k.to_le_bytes());
+    v
+}
+
+/// Disjoint stripes: writer `w` owns keyspace `w << 40`; readers verify
+/// that every key a writer has acked (per-writer atomic high-water mark)
+/// is findable, as points and as covering ranges.
+#[test]
+fn stress_disjoint_ranges_zero_false_negatives() {
+    let dir = tmpdir("disjoint");
+    let db = Db::open(&dir, stress_cfg(), Arc::new(ProteusFactory::default())).unwrap();
+    let n_writers = writers();
+    let n_readers = readers();
+    let ops = ops_per_thread();
+    const STEP: u64 = 1 << 16;
+    let key_of = |w: usize, i: u64| ((w as u64) << 40) | (i * STEP);
+
+    let acked: Vec<AtomicU64> = (0..n_writers).map(|_| AtomicU64::new(0)).collect();
+    let reader_seeks = AtomicU64::new(0);
+    let reader_found = AtomicU64::new(0);
+    let reader_empty = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for w in 0..n_writers {
+            let db = &db;
+            let acked = &acked;
+            s.spawn(move || {
+                for i in 0..ops as u64 {
+                    db.put_u64(key_of(w, i), &value(i)).unwrap();
+                    // Release-publish: readers trusting this high-water
+                    // mark must see the key.
+                    acked[w].store(i + 1, Ordering::Release);
+                }
+            });
+        }
+        for r in 0..n_readers {
+            let db = &db;
+            let acked = &acked;
+            let (seeks, found, empty) = (&reader_seeks, &reader_found, &reader_empty);
+            s.spawn(move || {
+                let mut rng = Rng(0xC0FFEE ^ ((r as u64) << 32));
+                for _ in 0..ops {
+                    let w = (rng.next() % n_writers as u64) as usize;
+                    let a = acked[w].load(Ordering::Acquire);
+                    let got = if a > 0 && !rng.next().is_multiple_of(4) {
+                        // An acked key must be findable — as a point or as
+                        // a range that covers it.
+                        let i = rng.next() % a;
+                        let k = key_of(w, i);
+                        let got = if rng.next().is_multiple_of(2) {
+                            db.seek_u64(k, k).unwrap()
+                        } else {
+                            db.seek_u64(k.saturating_sub(STEP / 2), k + STEP / 2).unwrap()
+                        };
+                        assert!(got, "false negative: writer {w} acked key index {i}");
+                        got
+                    } else {
+                        // A gap between stripe keys: truth unknown only if
+                        // writers raced past `a`; never a correctness
+                        // assertion, just concurrent read load.
+                        let i = rng.next() % (ops as u64);
+                        let k = key_of(w, i) + 1;
+                        db.seek_u64(k, k + STEP / 4).unwrap()
+                    };
+                    seeks.fetch_add(1, Ordering::Relaxed);
+                    if got {
+                        found.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        empty.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    // Consistent stats after join: every seek the readers issued is
+    // accounted, found/empty splits agree, and §6.1 sampling counted
+    // exactly the executed-empty seeks.
+    let s = db.stats().snapshot();
+    assert_eq!(s.seeks, reader_seeks.load(Ordering::Relaxed));
+    assert_eq!(s.seeks_found, reader_found.load(Ordering::Relaxed));
+    assert_eq!(s.sample_offers, reader_empty.load(Ordering::Relaxed));
+    assert!(s.memtable_rotations > 0, "stress must rotate MemTables");
+
+    // Settle and verify the full dataset (no acked write lost anywhere in
+    // the rotation → flush → compaction pipeline).
+    db.flush_and_settle().unwrap();
+    let s = db.stats().snapshot();
+    assert_eq!(s.flushes, s.memtable_rotations, "every rotation must flush");
+    for (w, mark) in acked.iter().enumerate() {
+        assert_eq!(mark.load(Ordering::Relaxed), ops as u64);
+        for i in (0..ops as u64).step_by(101) {
+            assert!(db.seek_u64(key_of(w, i), key_of(w, i)).unwrap(), "lost {w}/{i}");
+        }
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overlapping ranges: all writers interleave into the same keyspace
+/// (writer `w` owns residues `k ≡ w mod n_writers`), so SSTs, filters and
+/// compactions constantly mix data from every writer. Ground truth for a
+/// range query is computed from the acked high-water marks *before* the
+/// seek, which is a lower bound on the store's contents.
+#[test]
+fn stress_overlapping_ranges_zero_false_negatives() {
+    let dir = tmpdir("overlap");
+    let db = Db::open(&dir, stress_cfg(), Arc::new(NoFilterFactory)).unwrap();
+    let n_writers = writers();
+    let n_readers = readers();
+    let ops = ops_per_thread();
+    const SPREAD: u64 = 1 << 14;
+    let key_of = |w: usize, i: u64| i * SPREAD * n_writers as u64 + (w as u64) * SPREAD;
+
+    let acked: Vec<AtomicU64> = (0..n_writers).map(|_| AtomicU64::new(0)).collect();
+
+    std::thread::scope(|s| {
+        for w in 0..n_writers {
+            let db = &db;
+            let acked = &acked;
+            s.spawn(move || {
+                for i in 0..ops as u64 {
+                    db.put_u64(key_of(w, i), &value(i)).unwrap();
+                    acked[w].store(i + 1, Ordering::Release);
+                }
+            });
+        }
+        for r in 0..n_readers {
+            let db = &db;
+            let acked = &acked;
+            s.spawn(move || {
+                let mut rng = Rng(0xFEED ^ ((r as u64) << 32));
+                for _ in 0..ops {
+                    // Snapshot high-water marks BEFORE issuing the seek.
+                    let marks: Vec<u64> = acked.iter().map(|a| a.load(Ordering::Acquire)).collect();
+                    let lo = rng.next() % (ops as u64 * SPREAD * n_writers as u64);
+                    let hi = lo + rng.next() % (8 * SPREAD * n_writers as u64);
+                    // Does any acked key fall in [lo, hi]?
+                    let truth = (0..n_writers).any(|w| {
+                        let first = lo
+                            .saturating_sub((w as u64) * SPREAD)
+                            .div_ceil(SPREAD * n_writers as u64);
+                        let k = key_of(w, first);
+                        first < marks[w] && k >= lo && k <= hi
+                    });
+                    let got = db.seek_u64(lo, hi).unwrap();
+                    assert!(got || !truth, "false negative [{lo:#x},{hi:#x}] with marks {marks:?}");
+                }
+            });
+        }
+    });
+
+    db.flush_and_settle().unwrap();
+    for w in 0..n_writers {
+        for i in (0..ops as u64).step_by(173) {
+            assert!(db.seek_u64(key_of(w, i), key_of(w, i)).unwrap(), "lost {w}/{i}");
+        }
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent barriers: `flush` / `flush_and_settle` may race with writes
+/// and reads from other threads without deadlocking or losing data.
+#[test]
+fn stress_concurrent_barriers() {
+    let dir = tmpdir("barriers");
+    let db = Db::open(&dir, stress_cfg(), Arc::new(NoFilterFactory)).unwrap();
+    let ops = (ops_per_thread() / 4).max(500) as u64;
+    std::thread::scope(|s| {
+        for w in 0..2usize {
+            let db = &db;
+            s.spawn(move || {
+                for i in 0..ops {
+                    db.put_u64(((w as u64) << 48) | (i * 997), &value(i)).unwrap();
+                }
+            });
+        }
+        let db2 = &db;
+        s.spawn(move || {
+            for _ in 0..20 {
+                db2.flush().unwrap();
+            }
+        });
+        let db3 = &db;
+        s.spawn(move || {
+            for _ in 0..5 {
+                db3.flush_and_settle().unwrap();
+            }
+        });
+    });
+    db.flush_and_settle().unwrap();
+    for w in 0..2u64 {
+        for i in (0..ops).step_by(37) {
+            assert!(db.seek_u64((w << 48) | (i * 997), (w << 48) | (i * 997)).unwrap());
+        }
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hammer one `SstReader`'s lazy filter decode from many threads at once:
+/// the `OnceLock` must run the decode exactly once and every thread must
+/// observe the same loaded filter (never a torn or double-counted state).
+#[test]
+fn concurrent_lazy_filter_decode_is_once() {
+    let dir = tmpdir("lazy-decode");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stats = Stats::default();
+    let queue = QueryQueue::new(64, 1);
+    let mut w = SstWriter::create(&dir, 1, 8, 4096, 0).unwrap();
+    for i in 0..5_000u64 {
+        w.add(&u64_key(i * 11), &value(i)).unwrap();
+    }
+    w.finish(&ProteusFactory::default(), &queue, 12.0, &stats).unwrap();
+
+    let reopened = SstReader::open(dir.join("00000001.sst"), 1, 8).unwrap();
+    assert!(!reopened.filter_ready(), "decode must be lazy before first probe");
+    let probe_stats = Stats::default();
+    let n = 16;
+    let barrier = Barrier::new(n);
+    let sizes: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let (sst, ps, b) = (&reopened, &probe_stats, &barrier);
+                s.spawn(move || {
+                    b.wait(); // maximise decode contention
+                    let f = sst.filter(ps).expect("persisted filter");
+                    assert!(f.may_contain(&u64_key(110)));
+                    f.size_bits()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(sizes.windows(2).all(|p| p[0] == p[1]), "all threads see one filter");
+    assert_eq!(probe_stats.filters_loaded.get(), 1, "decode ran exactly once");
+    assert_eq!(probe_stats.filters_degraded.get(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compile-time `Send`/`Sync` contract for the store and its extension
+/// points (the filters-side contract lives in `tests/filter_contract.rs`
+/// at the workspace root). A type losing one of these bounds breaks this
+/// test at compile time, not at 2 a.m. under load.
+#[test]
+fn lsm_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Db>();
+    assert_send_sync::<proteus_lsm::Stats>();
+    assert_send_sync::<proteus_lsm::QueryQueue>();
+    assert_send_sync::<proteus_lsm::ShardedBlockCache>();
+    assert_send_sync::<SstReader>();
+    assert_send_sync::<NoFilterFactory>();
+    assert_send_sync::<ProteusFactory>();
+    assert_send_sync::<Arc<dyn FilterFactory>>();
+    assert_send_sync::<Box<dyn proteus_core::RangeFilter>>();
+}

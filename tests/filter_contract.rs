@@ -229,3 +229,29 @@ proptest! {
         }
     }
 }
+
+/// Compile-time `Send`/`Sync` contract (the concurrent LSM store shares
+/// filters across its reader threads and builds them on background
+/// workers): the `Db`, every `RangeFilter` implementation in the
+/// workspace, and every `FilterFactory` must be `Send + Sync`. Removing
+/// a bound anywhere breaks this test at compile time.
+#[test]
+fn filters_and_db_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    // The store itself and its factory extension point.
+    assert_send_sync::<proteus::lsm::Db>();
+    assert_send_sync::<proteus::lsm::NoFilterFactory>();
+    assert_send_sync::<proteus::lsm::ProteusFactory>();
+    assert_send_sync::<std::sync::Arc<dyn proteus::lsm::FilterFactory>>();
+    // Every RangeFilter implementation in the workspace.
+    assert_send_sync::<NoFilter>();
+    assert_send_sync::<Proteus>();
+    assert_send_sync::<OnePbf>();
+    assert_send_sync::<TwoPbf>();
+    assert_send_sync::<proteus::core::CountingProteus>();
+    assert_send_sync::<Surf>();
+    assert_send_sync::<Rosetta>();
+    assert_send_sync::<proteus::filters::Arf>();
+    // Trait objects as the Db actually holds them.
+    assert_send_sync::<Box<dyn RangeFilter>>();
+}
