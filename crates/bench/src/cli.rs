@@ -62,6 +62,17 @@ impl Args {
                  --threads N    max reader threads for concurrent LSM scenarios\n\
                  \x20              (default min(cores, 8); fig6 scales 1,2,4,… up to N)\n\
                  \n\
+                 Binary-specific flags:\n\
+                 --heatmap-bpk B   fig1: bits per key for the heatmap (default 12)\n\
+                 --fig4-bpk B      fig4: bits per key (default 10); --step N grid step\n\
+                 --value-len N     fig6/7/8/9: value size in bytes (default 128)\n\
+                 --lsm-bpk B       fig7/8: filter budget in the LSM store (default 12)\n\
+                 --batches N       fig7/8: batches per run (default 12)\n\
+                 --puts N          fig7/fig8_immediate_shift: interleaved inserts\n\
+                 --immediate       fig7: hard switch at the midpoint (fig8's mode)\n\
+                 --width W         fig9: canonical string width in bytes\n\
+                 --len-bits L      fig9: prefix length for the string workloads\n\
+                 \n\
                  The paper's full scale is --keys 10000000 --queries 1000000 --samples 20000."
             );
             std::process::exit(0);

@@ -25,6 +25,7 @@ pub fn lsm_config(bits_per_key: f64, key_width: usize) -> DbConfig {
         block_cache_bytes: 8 << 20,
         queue_capacity: 20_000,
         sample_every: 100,
+        ..DbConfig::default()
     }
 }
 

@@ -2,24 +2,36 @@
 //! format wrapping every serialized range filter.
 //!
 //! ```text
-//! offset  size  field
-//! 0       4     magic  b"PRFC"
-//! 4       2     format version (little-endian; currently 1)
-//! 6       1     filter-kind tag (see [`FilterKind`])
-//! 7       1     reserved (0)
-//! 8       8     payload length (little-endian u64)
-//! 16      n     kind-specific payload
-//! 16+n    4     CRC-32 over bytes [0, 16+n)
+//! offset    size  field
+//! 0         4     magic  b"PRFC"
+//! 4         2     format version (little-endian; currently 2)
+//! 6         1     filter-kind tag (see [`FilterKind`])
+//! 7         1     reserved (0)
+//! 8         8     payload length (little-endian u64)
+//! 16        n     kind-specific payload
+//! 16+n      4     v2 only: training-fingerprint length f (little-endian
+//!                 u32; 0 = no fingerprint)
+//! 20+n      f     v2 only: fingerprint bytes ([`crate::QuerySketch`] wire
+//!                 form — the prefix histogram of the sample queries the
+//!                 filter was trained on)
+//! (end−4)   4     CRC-32 over every preceding byte
 //! ```
 //!
-//! [`seal`] builds the envelope; [`unseal`] verifies magic, version,
-//! length and checksum and hands back `(kind tag, payload)`. Decoding is
-//! total: corrupt, truncated or version-mismatched bytes produce a typed
-//! [`CodecError`], never a panic. Dispatch over the kind tag lives one
-//! crate up, in `proteus_filters::codec::FilterCodec`, which can see every
-//! filter type in the workspace; *unknown* kind tags inside a valid
-//! envelope are not an error there — they degrade to [`crate::NoFilter`]
-//! so newer files stay readable (queries just lose their filter).
+//! Version 1 (the PR-2 format) is the same envelope without the
+//! fingerprint section; v1 bytes still decode, with a "no fingerprint"
+//! default — the adaptive lifecycle simply has no training distribution to
+//! compare against for such filters and falls back to observed-FPR
+//! triggers alone.
+//!
+//! [`seal`] / [`seal_with_fingerprint`] build the envelope; [`unseal`]
+//! verifies magic, version, length and checksum and hands back an
+//! [`Unsealed`] view. Decoding is total: corrupt, truncated or
+//! version-mismatched bytes produce a typed [`CodecError`], never a panic.
+//! Dispatch over the kind tag lives one crate up, in
+//! `proteus_filters::codec::FilterCodec`, which can see every filter type
+//! in the workspace; *unknown* kind tags inside a valid envelope are not an
+//! error there — they degrade to [`crate::NoFilter`] so newer files stay
+//! readable (queries just lose their filter).
 
 pub use proteus_succinct::codec::{crc32, ByteReader, CodecError, WireWrite};
 
@@ -27,15 +39,20 @@ pub use proteus_succinct::codec::{crc32, ByteReader, CodecError, WireWrite};
 pub const FILTER_MAGIC: [u8; 4] = *b"PRFC";
 
 /// Current envelope format version. Bump on any incompatible payload or
-/// envelope change; decoders reject versions they do not know.
-pub const FORMAT_VERSION: u16 = 1;
+/// envelope change; decoders reject versions they do not know but keep
+/// decoding every older version listed in [`MIN_FORMAT_VERSION`]..=current.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// Oldest envelope version this build still decodes.
+pub const MIN_FORMAT_VERSION: u16 = 1;
 
 /// Envelope bytes before the payload.
 pub const HEADER_LEN: usize = 16;
 
-/// Envelope bytes around an `n`-byte payload.
-pub const fn envelope_len(payload_len: usize) -> usize {
-    HEADER_LEN + payload_len + 4
+/// Envelope bytes around an `n`-byte payload with an `f`-byte fingerprint
+/// (current version).
+pub const fn envelope_len(payload_len: usize, fingerprint_len: usize) -> usize {
+    HEADER_LEN + payload_len + 4 + fingerprint_len + 4
 }
 
 /// Stable wire tags for every serializable filter kind in the workspace.
@@ -59,6 +76,8 @@ pub enum FilterKind {
 }
 
 impl FilterKind {
+    /// Map a raw wire tag back to its kind; `None` for tags this build
+    /// does not know (a filter written by a newer version).
     pub fn from_tag(tag: u8) -> Option<FilterKind> {
         match tag {
             0 => Some(FilterKind::NoFilter),
@@ -72,18 +91,63 @@ impl FilterKind {
     }
 }
 
-/// Wrap `payload` in the v1 envelope for `kind`.
+/// A verified envelope: the raw kind tag (not [`FilterKind`], so callers
+/// can treat unknown tags as graceful degradation rather than corruption),
+/// the kind-specific payload, and the optional v2 training fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsealed<'a> {
+    /// Envelope format version the bytes were written with (1 or 2).
+    pub version: u16,
+    /// Raw filter-kind tag.
+    pub tag: u8,
+    /// Kind-specific payload bytes.
+    pub payload: &'a [u8],
+    /// Training-fingerprint bytes, when present (v2 envelopes with a
+    /// non-empty fingerprint section). v1 envelopes always decode to
+    /// `None` — the "no fingerprint" default.
+    pub fingerprint: Option<&'a [u8]>,
+}
+
+/// Wrap `payload` in the current envelope for `kind`, with no fingerprint.
 pub fn seal(kind: FilterKind, payload: &[u8]) -> Vec<u8> {
     seal_raw(kind as u8, payload)
+}
+
+/// Wrap `payload` in the current envelope together with a training
+/// fingerprint (the serialized [`crate::QuerySketch`] of the sample the
+/// filter was trained on).
+pub fn seal_with_fingerprint(kind: FilterKind, payload: &[u8], fingerprint: &[u8]) -> Vec<u8> {
+    seal_parts(kind as u8, payload, fingerprint)
 }
 
 /// [`seal`] with an arbitrary kind tag — used by forward-compatibility
 /// tests that fabricate envelopes from "future" filter kinds.
 pub fn seal_raw(tag: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(envelope_len(payload.len()));
+    seal_parts(tag, payload, &[])
+}
+
+fn seal_parts(tag: u8, payload: &[u8], fingerprint: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(envelope_len(payload.len(), fingerprint.len()));
     out.extend_from_slice(&FILTER_MAGIC);
     out.put_u16(FORMAT_VERSION);
     out.put_u8(tag);
+    out.put_u8(0);
+    out.put_u64(payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.put_u32(fingerprint.len() as u32);
+    out.extend_from_slice(fingerprint);
+    let crc = crc32(&out);
+    out.put_u32(crc);
+    out
+}
+
+/// Build a version-1 envelope (no fingerprint section) — kept so the
+/// v1→v2 compatibility tests can fabricate genuine v1 bytes.
+pub fn seal_v1(kind: FilterKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&FILTER_MAGIC);
+    out.put_u16(1);
+    out.put_u8(kind as u8);
     out.put_u8(0);
     out.put_u64(payload.len() as u64);
     out.extend_from_slice(payload);
@@ -92,30 +156,34 @@ pub fn seal_raw(tag: u8, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Verify an envelope and return `(kind tag, payload)`. The tag is returned
-/// raw (not as [`FilterKind`]) so callers can treat unknown tags as a
-/// graceful degradation rather than corruption.
-pub fn unseal(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+/// Verify an envelope (any supported version) and return its parts.
+pub fn unseal(bytes: &[u8]) -> Result<Unsealed<'_>, CodecError> {
     let mut r = ByteReader::new(bytes);
     let magic = r.take(4)?;
     if magic != FILTER_MAGIC {
         return Err(CodecError::BadMagic);
     }
     let version = r.u16()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
-    let kind = r.u8()?;
+    let tag = r.u8()?;
     let _reserved = r.u8()?;
     let payload_len = r.len_for(1)?;
     let payload = r.take(payload_len)?;
+    let fingerprint = if version >= 2 {
+        let f_len = r.u32()? as usize;
+        let f = r.take(f_len)?;
+        (!f.is_empty()).then_some(f)
+    } else {
+        None
+    };
     let stored_crc = r.u32()?;
     r.finish()?;
-    let body_len = HEADER_LEN + payload_len;
-    if crc32(&bytes[..body_len]) != stored_crc {
+    if crc32(&bytes[..bytes.len() - 4]) != stored_crc {
         return Err(CodecError::ChecksumMismatch);
     }
-    Ok((kind, payload))
+    Ok(Unsealed { version, tag, payload, fingerprint })
 }
 
 #[cfg(test)]
@@ -126,18 +194,51 @@ mod tests {
     fn seal_unseal_roundtrip() {
         let payload = b"some filter payload";
         let sealed = seal(FilterKind::Proteus, payload);
-        assert_eq!(sealed.len(), envelope_len(payload.len()));
-        let (kind, body) = unseal(&sealed).unwrap();
-        assert_eq!(kind, FilterKind::Proteus as u8);
-        assert_eq!(body, payload);
+        assert_eq!(sealed.len(), envelope_len(payload.len(), 0));
+        let u = unseal(&sealed).unwrap();
+        assert_eq!(u.version, FORMAT_VERSION);
+        assert_eq!(u.tag, FilterKind::Proteus as u8);
+        assert_eq!(u.payload, payload);
+        assert_eq!(u.fingerprint, None);
+    }
+
+    #[test]
+    fn fingerprint_roundtrips() {
+        let payload = b"payload";
+        let fp = [7u8; 40];
+        let sealed = seal_with_fingerprint(FilterKind::OnePbf, payload, &fp);
+        assert_eq!(sealed.len(), envelope_len(payload.len(), fp.len()));
+        let u = unseal(&sealed).unwrap();
+        assert_eq!(u.payload, payload);
+        assert_eq!(u.fingerprint, Some(fp.as_slice()));
+    }
+
+    #[test]
+    fn v1_envelopes_still_decode_without_fingerprint() {
+        let payload = b"legacy v1 payload";
+        let sealed = seal_v1(FilterKind::TwoPbf, payload);
+        let u = unseal(&sealed).unwrap();
+        assert_eq!(u.version, 1);
+        assert_eq!(u.tag, FilterKind::TwoPbf as u8);
+        assert_eq!(u.payload, payload);
+        assert_eq!(u.fingerprint, None, "v1 must default to no fingerprint");
+        // v1 corruption and truncation still fail.
+        for cut in 0..sealed.len() {
+            assert!(unseal(&sealed[..cut]).is_err(), "cut {cut}");
+        }
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x10;
+            assert!(unseal(&bad).is_err(), "flip at byte {i}");
+        }
     }
 
     #[test]
     fn empty_payload_is_valid() {
         let sealed = seal(FilterKind::NoFilter, &[]);
-        let (kind, body) = unseal(&sealed).unwrap();
-        assert_eq!(kind, 0);
-        assert!(body.is_empty());
+        let u = unseal(&sealed).unwrap();
+        assert_eq!(u.tag, 0);
+        assert!(u.payload.is_empty());
     }
 
     #[test]
@@ -164,28 +265,26 @@ mod tests {
     fn version_and_magic_are_enforced() {
         let mut sealed = seal(FilterKind::NoFilter, &[]);
         sealed[0] = b'X';
-        assert_eq!(unseal(&sealed), Err(CodecError::BadMagic));
-        let mut sealed = seal(FilterKind::NoFilter, &[]);
-        sealed[4] = 2;
-        // Version check fires before the checksum so the error names the
-        // real problem.
-        assert_eq!(unseal(&sealed), Err(CodecError::UnsupportedVersion(2)));
+        assert_eq!(unseal(&sealed).unwrap_err(), CodecError::BadMagic);
+        // Versions outside [MIN_FORMAT_VERSION, FORMAT_VERSION] are
+        // rejected before the checksum so the error names the real problem.
+        for bad_version in [0u8, FORMAT_VERSION as u8 + 1] {
+            let mut sealed = seal(FilterKind::NoFilter, &[]);
+            sealed[4] = bad_version;
+            assert_eq!(
+                unseal(&sealed).unwrap_err(),
+                CodecError::UnsupportedVersion(bad_version as u16)
+            );
+        }
     }
 
     #[test]
     fn unknown_kind_tag_survives_unseal() {
         // A future filter kind: the envelope is valid, the tag unknown.
-        let mut raw = Vec::new();
-        raw.extend_from_slice(&FILTER_MAGIC);
-        raw.put_u16(FORMAT_VERSION);
-        raw.put_u8(250);
-        raw.put_u8(0);
-        raw.put_u64(0);
-        let crc = crc32(&raw);
-        raw.put_u32(crc);
-        let (kind, _) = unseal(&raw).unwrap();
-        assert_eq!(kind, 250);
-        assert!(FilterKind::from_tag(kind).is_none());
+        let raw = seal_raw(250, &[]);
+        let u = unseal(&raw).unwrap();
+        assert_eq!(u.tag, 250);
+        assert!(FilterKind::from_tag(u.tag).is_none());
     }
 
     #[test]

@@ -25,10 +25,13 @@ use proteus_succinct::Visit;
 /// Options for [`CountingProteus`].
 #[derive(Debug, Clone)]
 pub struct CountingProteusOptions {
+    /// Hash family for the counting Bloom filter.
     pub hash_family: HashFamily,
     /// Per-query probe budget (prefixes probed per count).
     pub probe_cap: u64,
+    /// Hash seed.
     pub seed: u32,
+    /// Options forwarded to the CPFPR design search.
     pub model: ProteusModelOptions,
 }
 
@@ -93,11 +96,12 @@ impl CountingProteus {
         }
     }
 
-    /// Chosen design (trie depth, counting-prefix length) in bits.
+    /// The instantiated `(l1, l2)` design in bits.
     pub fn design_bits(&self) -> (usize, usize) {
         (self.l1, self.l2)
     }
 
+    /// Memory footprint in bits (trie + counting filter).
     pub fn size_bits(&self) -> u64 {
         self.trie.as_ref().map_or(0, |t| t.size_bits()) + self.counts.size_bits()
     }

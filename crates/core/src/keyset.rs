@@ -112,10 +112,12 @@ impl KeySet {
         KeySet { data, width, n, k_l, u_d }
     }
 
+    /// Number of keys.
     pub fn len(&self) -> usize {
         self.n
     }
 
+    /// True for a key set with no keys.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }

@@ -39,6 +39,8 @@
 //! * [`proteus`], [`one_pbf`], [`two_pbf`] — the three Protean Range
 //!   Filters evaluated in the paper.
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod counting;
 pub mod key;
@@ -48,6 +50,7 @@ pub mod one_pbf;
 pub mod prefix_bf;
 pub mod proteus;
 pub mod sample;
+pub mod sketch;
 pub mod trie;
 pub mod two_pbf;
 
@@ -57,6 +60,7 @@ pub use keyset::KeySet;
 pub use one_pbf::{OnePbf, OnePbfOptions};
 pub use proteus::{Proteus, ProteusOptions, DEFAULT_PROBE_CAP};
 pub use sample::SampleQueries;
+pub use sketch::QuerySketch;
 pub use trie::ProteusTrie;
 pub use two_pbf::{TwoPbf, TwoPbfFilterOptions};
 

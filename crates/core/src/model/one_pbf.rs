@@ -74,6 +74,7 @@ impl OnePbfModel {
         best
     }
 
+    /// Sample queries the model was accumulated from.
     pub fn n_samples(&self) -> u64 {
         self.n_samples
     }

@@ -25,8 +25,11 @@ use proteus_amq::standard_bloom_fpr;
 /// (pure prefix Bloom filter).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProteusDesign {
+    /// Trie depth `l1` in bits (byte-aligned; 0 = no trie).
     pub trie_depth_bits: usize,
+    /// Bloom prefix length `l2` in bits (0 = no Bloom filter).
     pub bloom_prefix_len: usize,
+    /// FPR the CPFPR model predicts for this design.
     pub expected_fpr: f64,
     /// Estimated trie memory at this design (bits).
     pub trie_mem_bits: u64,
@@ -267,14 +270,17 @@ impl ProteusModel {
         self.bins[c][l2].mean_probes(self.n_samples)
     }
 
+    /// The trie depths (bits) the model evaluated.
     pub fn l1_candidates(&self) -> &[usize] {
         &self.l1_candidates
     }
 
+    /// The Bloom prefix lengths (bits) the model evaluated.
     pub fn l2_values(&self) -> &[usize] {
         &self.l2_values
     }
 
+    /// Estimated trie memory at depth `l1`, if it was a candidate.
     pub fn trie_mem_for(&self, l1: usize) -> Option<u64> {
         self.l1_candidates.iter().position(|&v| v == l1).map(|c| self.trie_mem[c])
     }

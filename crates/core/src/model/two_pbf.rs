@@ -24,10 +24,13 @@ use proteus_amq::standard_bloom_fpr;
 /// A 2PBF design: two prefix lengths and the memory split.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoPbfDesign {
+    /// Prefix length of the first (coarser) filter, in bits.
     pub l1: usize,
+    /// Prefix length of the second (finer) filter, in bits.
     pub l2: usize,
     /// Fraction of memory given to the first (shorter-prefix) filter.
     pub split: f64,
+    /// FPR the model predicts for this design.
     pub expected_fpr: f64,
 }
 
@@ -39,6 +42,7 @@ pub struct TwoPbfOptions {
     pub splits: Vec<f64>,
     /// Evaluate at most this many l2 values per l1 (0 = all).
     pub max_l2_values: usize,
+    /// Parallelize accumulation across l1 candidates.
     pub threads: usize,
 }
 
@@ -80,6 +84,8 @@ pub struct TwoPbfModel {
 }
 
 impl TwoPbfModel {
+    /// Run the 2PBF modeling pass (Eq. 4) over every feasible
+    /// `(l1, l2, split)` under the memory budget.
     pub fn build(
         keys: &KeySet,
         samples: &SampleQueries,
@@ -218,10 +224,12 @@ impl TwoPbfModel {
         best
     }
 
+    /// Key width in bits.
     pub fn bits(&self) -> usize {
         self.bits
     }
 
+    /// The memory splits the model evaluated.
     pub fn splits(&self) -> &[f64] {
         &self.splits
     }

@@ -15,8 +15,12 @@ use proteus_amq::hash::HashFamily;
 /// Construction options for [`OnePbf`].
 #[derive(Debug, Clone)]
 pub struct OnePbfOptions {
+    /// Hash family for the prefix Bloom filter.
     pub hash_family: HashFamily,
+    /// Per-query probe budget (prefixes probed before giving up as
+    /// positive).
     pub probe_cap: u64,
+    /// Hash seed.
     pub seed: u32,
 }
 
@@ -64,23 +68,28 @@ impl OnePbf {
         OnePbf { bloom, design, width: keys.width(), probe_cap: opts.probe_cap }
     }
 
+    /// The instantiated design.
     pub fn design(&self) -> OnePbfDesign {
         self.design
     }
 
+    /// Closed-range emptiness query on canonical keys.
     pub fn query(&self, lo: &[u8], hi: &[u8]) -> bool {
         let mut budget = self.probe_cap;
         self.bloom.query_window(lo, hi, &mut budget)
     }
 
+    /// [`OnePbf::query`] with `u64` bounds.
     pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
         self.query(&u64_key(lo), &u64_key(hi))
     }
 
+    /// Memory footprint in bits.
     pub fn size_bits(&self) -> u64 {
         self.bloom.size_bits()
     }
 
+    /// Serialize the filter payload (design + Bloom filter).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u32(self.width as u32);
         out.put_u64(self.probe_cap);
@@ -89,6 +98,7 @@ impl OnePbf {
         self.bloom.encode_into(out);
     }
 
+    /// Decode a payload written by [`OnePbf::encode_into`].
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<OnePbf, CodecError> {
         let width = r.u32()? as usize;
         if width == 0 {

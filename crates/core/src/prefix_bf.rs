@@ -50,11 +50,12 @@ impl PrefixBloom {
         PrefixBloom { bloom, hasher, prefix_len, width: keys.width() }
     }
 
-    /// Prefix length in bits.
+    /// The prefix length (bits) the filter hashes.
     pub fn prefix_len(&self) -> usize {
         self.prefix_len
     }
 
+    /// Memory footprint in bits.
     pub fn size_bits(&self) -> u64 {
         self.bloom.size_bits()
     }
@@ -67,6 +68,7 @@ impl PrefixBloom {
         self.bloom.encode_into(out);
     }
 
+    /// Decode a payload written by [`PrefixBloom::encode_into`].
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<PrefixBloom, CodecError> {
         let prefix_len = r.u32()? as usize;
         let width = r.u32()? as usize;

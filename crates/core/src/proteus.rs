@@ -175,6 +175,7 @@ impl Proteus {
         }
     }
 
+    /// Decode a payload written by [`Proteus::encode_into`].
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Proteus, CodecError> {
         let width = r.u32()? as usize;
         if width == 0 {

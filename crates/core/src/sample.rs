@@ -19,6 +19,7 @@ pub struct SampleQueries {
 }
 
 impl SampleQueries {
+    /// An empty sample for `width`-byte canonical keys.
     pub fn new(width: usize) -> Self {
         SampleQueries { lo: Vec::new(), hi: Vec::new(), width, n: 0 }
     }
@@ -41,6 +42,8 @@ impl SampleQueries {
         s
     }
 
+    /// Append one closed-range query (bounds must be canonical and
+    /// ordered).
     pub fn push(&mut self, lo: &[u8], hi: &[u8]) {
         assert_eq!(lo.len(), self.width);
         assert_eq!(hi.len(), self.width);
@@ -50,26 +53,32 @@ impl SampleQueries {
         self.n += 1;
     }
 
+    /// Number of sample queries.
     pub fn len(&self) -> usize {
         self.n
     }
 
+    /// True for an empty sample.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
 
+    /// Canonical key width in bytes.
     pub fn width(&self) -> usize {
         self.width
     }
 
+    /// Lower bound of the `i`-th query.
     pub fn lo(&self, i: usize) -> &[u8] {
         &self.lo[i * self.width..(i + 1) * self.width]
     }
 
+    /// Upper bound of the `i`-th query.
     pub fn hi(&self, i: usize) -> &[u8] {
         &self.hi[i * self.width..(i + 1) * self.width]
     }
 
+    /// Iterate the queries as `(lo, hi)` slices.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> + '_ {
         (0..self.n).map(|i| (self.lo(i), self.hi(i)))
     }

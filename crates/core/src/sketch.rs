@@ -1,0 +1,370 @@
+//! A fixed-size prefix histogram summarizing *where* a query sample lands
+//! in a key range — the "training fingerprint" the adaptive filter
+//! lifecycle persists next to each filter.
+//!
+//! The paper's self-design loop (§4, §6.1) trains each SST's filter on a
+//! snapshot of the sample query queue. If the live query distribution later
+//! drifts away from the one the filter was trained on, the model's FPR
+//! estimate — and the chosen `(l1, l2)` design — silently stop applying.
+//! [`QuerySketch`] makes that drift measurable: it buckets the lower bound
+//! of every sample query into [`SKETCH_BUCKETS`] equal-width slices of a
+//! fixed anchor range (an SST's `[min_key, max_key]`), so two sketches
+//! built over the same anchors can be compared with a total-variation
+//! distance in `[0, 1]` regardless of sample counts.
+//!
+//! The sketch is deliberately tiny (64 × `u32` + a total) so it can ride
+//! along inside the persistent filter envelope (codec v2) and survive a
+//! crash/reopen together with the filter it fingerprints.
+//!
+//! Each query contributes to two sub-histograms: *where* its lower bound
+//! falls ([`POSITION_BUCKETS`] equal slices of the anchor range) and *how
+//! long* it is ([`LENGTH_BUCKETS`] log₂ classes). The paper's workload
+//! shifts (§6.1, Figs. 7–8) change the range-*length* distribution
+//! (uniform 2¹⁵-long ranges vs correlated 32-long ranges) at least as
+//! often as the position distribution, and the CPFPR-chosen `(l1, l2)`
+//! design is highly sensitive to query length — so both axes must count
+//! as drift.
+
+use crate::codec::{ByteReader, CodecError, WireWrite};
+
+/// Buckets for the query-position sub-histogram.
+pub const POSITION_BUCKETS: usize = 48;
+
+/// Buckets for the log₂ range-length sub-histogram.
+pub const LENGTH_BUCKETS: usize = 16;
+
+/// Total histogram buckets. Fixed: the serialized form depends on it.
+pub const SKETCH_BUCKETS: usize = POSITION_BUCKETS + LENGTH_BUCKETS;
+
+/// Serialized size in bytes: `u64` total + [`SKETCH_BUCKETS`] × `u32`.
+pub const SKETCH_WIRE_LEN: usize = 8 + SKETCH_BUCKETS * 4;
+
+/// Read 8 bytes of a canonical key starting at byte `skip` as a
+/// big-endian `u64` (zero-padded on the right past the key's end).
+/// Order-preserving for keys that agree on their first `skip` bytes.
+///
+/// `skip` is the length of the common prefix of the *anchor* keys: for
+/// wide keys (e.g. §7 string workloads) a deep-level SST's `min_key` and
+/// `max_key` often share their leading bytes, and a window pinned to
+/// byte 0 would collapse every query into one bucket. Skipping the
+/// anchors' shared prefix puts the 8-byte window where the file's key
+/// range actually varies. Queries outside the anchor range are detected
+/// by a full lexicographic comparison *before* windowing (see
+/// [`SketchBuilder::observe`]), so the window value only ever positions
+/// in-range queries.
+fn key_head(key: &[u8], skip: usize) -> u64 {
+    let mut b = [0u8; 8];
+    if skip < key.len() {
+        let n = (key.len() - skip).min(8);
+        // Right-align short suffixes (equal-width keys ⇒ equal suffix
+        // lengths ⇒ order still preserved), so window differences measure
+        // real key-space distance instead of being inflated by 8−n bytes
+        // of trailing zero padding — the length classes depend on that.
+        b[8 - n..].copy_from_slice(&key[skip..skip + n]);
+    }
+    u64::from_be_bytes(b)
+}
+
+/// A 64-bucket histogram of query positions within an anchor key range.
+///
+/// Build one with [`QuerySketch::builder`] anchored at a key range, feed it
+/// query lower bounds, and compare it to another sketch *built over the
+/// same anchors* with [`QuerySketch::divergence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySketch {
+    counts: [u32; SKETCH_BUCKETS],
+    total: u64,
+}
+
+impl Default for QuerySketch {
+    fn default() -> Self {
+        QuerySketch { counts: [0; SKETCH_BUCKETS], total: 0 }
+    }
+}
+
+/// Accumulates queries into a [`QuerySketch`] relative to an anchor range.
+#[derive(Debug, Clone)]
+pub struct SketchBuilder {
+    /// Full anchor keys for the in/out-of-range decision.
+    min_key: Vec<u8>,
+    max_key: Vec<u8>,
+    /// Bytes the anchors agree on; the windows below start there.
+    skip: usize,
+    /// 8-byte windows of the anchors after `skip`.
+    lo: u64,
+    hi: u64,
+    sketch: QuerySketch,
+}
+
+impl SketchBuilder {
+    /// Record one query `[lo, hi]`: one count in a position bucket (where
+    /// `lo` falls within the anchors) and one in a length bucket
+    /// (`⌊log₂⌋`-class of the range length).
+    pub fn observe(&mut self, query_lo: &[u8], query_hi: &[u8]) {
+        // Out-of-range and degenerate cases resolve on the full keys, so
+        // the windowed arithmetic below only ever positions queries that
+        // genuinely fall inside the anchor range.
+        let pos = if self.hi <= self.lo || query_lo[..] <= self.min_key[..] {
+            0
+        } else if query_lo[..] >= self.max_key[..] {
+            POSITION_BUCKETS - 1
+        } else {
+            let k = key_head(query_lo, self.skip);
+            // Scale (k - lo) / (hi - lo) to a bucket without overflow.
+            (k.saturating_sub(self.lo) as u128 * POSITION_BUCKETS as u128
+                / (self.hi - self.lo) as u128)
+                .min(POSITION_BUCKETS as u128 - 1) as usize
+        };
+        let len = key_head(query_hi, self.skip).saturating_sub(key_head(query_lo, self.skip));
+        // Length class: 0 for point queries, else 1 + ⌊log₂ len⌋, clamped.
+        let class = (64 - len.leading_zeros() as usize).min(LENGTH_BUCKETS - 1);
+        self.sketch.counts[pos] = self.sketch.counts[pos].saturating_add(1);
+        let lb = POSITION_BUCKETS + class;
+        self.sketch.counts[lb] = self.sketch.counts[lb].saturating_add(1);
+        self.sketch.total += 1;
+    }
+
+    /// Finish and return the sketch.
+    pub fn finish(self) -> QuerySketch {
+        self.sketch
+    }
+}
+
+impl QuerySketch {
+    /// Start a builder anchored at `[min_key, max_key]` (canonical keys —
+    /// typically an SST file's key range). Both sketches of a comparison
+    /// must use the same anchors.
+    pub fn builder(min_key: &[u8], max_key: &[u8]) -> SketchBuilder {
+        // Pin the 8-byte windows past the anchors' common prefix so wide
+        // keys whose leading bytes agree across the whole file still get
+        // position/length resolution (see `key_head`).
+        let skip = min_key.iter().zip(max_key.iter()).take_while(|(a, b)| a == b).count();
+        SketchBuilder {
+            min_key: min_key.to_vec(),
+            max_key: max_key.to_vec(),
+            skip,
+            lo: key_head(min_key, skip),
+            hi: key_head(max_key, skip),
+            sketch: QuerySketch::default(),
+        }
+    }
+
+    /// Build directly from an iterator of query `(lo, hi)` bounds.
+    pub fn from_queries<'a>(
+        queries: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
+        min_key: &[u8],
+        max_key: &[u8],
+    ) -> QuerySketch {
+        let mut b = Self::builder(min_key, max_key);
+        for (lo, hi) in queries {
+            b.observe(lo, hi);
+        }
+        b.finish()
+    }
+
+    /// Queries observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no queries were observed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Drift between two sketches built over the same anchors: the *larger*
+    /// of the total-variation distances of the position and length
+    /// sub-histograms (`0.5 · Σ |p_i − q_i|` each), in `[0, 1]`. Taking the
+    /// max means a pure position shift and a pure range-length shift both
+    /// register at full strength. `0` means indistinguishable; `1` means
+    /// disjoint on some axis. Comparing with an empty sketch returns `0`
+    /// (no evidence of drift).
+    pub fn divergence(&self, other: &QuerySketch) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let (sn, on) = (self.total as f64, other.total as f64);
+        let tv = |range: std::ops::Range<usize>| {
+            let mut t = 0.0;
+            for i in range {
+                t += (self.counts[i] as f64 / sn - other.counts[i] as f64 / on).abs();
+            }
+            t / 2.0
+        };
+        tv(0..POSITION_BUCKETS).max(tv(POSITION_BUCKETS..SKETCH_BUCKETS))
+    }
+
+    /// Serialize to the fixed [`SKETCH_WIRE_LEN`]-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SKETCH_WIRE_LEN);
+        out.put_u64(self.total);
+        for &c in &self.counts {
+            out.put_u32(c);
+        }
+        out
+    }
+
+    /// Decode the wire form written by [`QuerySketch::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<QuerySketch, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let total = r.u64()?;
+        let mut counts = [0u32; SKETCH_BUCKETS];
+        for c in counts.iter_mut() {
+            *c = r.u32()?;
+        }
+        r.finish()?;
+        Ok(QuerySketch { counts, total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::u64_key;
+
+    /// Sketch of width-8 ranges `[p, p+8]` at the given points.
+    fn sketch_of(points: &[u64], lo: u64, hi: u64) -> QuerySketch {
+        let bounds: Vec<([u8; 8], [u8; 8])> =
+            points.iter().map(|&p| (u64_key(p), u64_key(p.saturating_add(8)))).collect();
+        QuerySketch::from_queries(
+            bounds.iter().map(|(l, h)| (l.as_slice(), h.as_slice())),
+            &u64_key(lo),
+            &u64_key(hi),
+        )
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let pts: Vec<u64> = (0..1000).map(|i| i * 97 % 10_000).collect();
+        let a = sketch_of(&pts, 0, 10_000);
+        let b = sketch_of(&pts, 0, 10_000);
+        assert_eq!(a.divergence(&b), 0.0);
+        assert_eq!(a.total(), 1000);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_full_divergence() {
+        let a = sketch_of(&(0..500).collect::<Vec<_>>(), 0, 100_000);
+        let b = sketch_of(&(90_000..90_500).collect::<Vec<_>>(), 0, 100_000);
+        assert!((a.divergence(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_distribution_resampled_is_close() {
+        // Two independent samples of one distribution must diverge far
+        // less than a genuine shift does.
+        let a: Vec<u64> = (0..2000u64).map(|i| (i.wrapping_mul(2_654_435_761)) % 50_000).collect();
+        let b: Vec<u64> =
+            (0..2000u64).map(|i| (i.wrapping_mul(0x9E37_79B9) + 7) % 50_000).collect();
+        let shifted: Vec<u64> =
+            (0..2000u64).map(|i| 50_000 + (i.wrapping_mul(2_654_435_761)) % 1_000).collect();
+        let sa = sketch_of(&a, 0, 100_000);
+        let sb = sketch_of(&b, 0, 100_000);
+        let ss = sketch_of(&shifted, 0, 100_000);
+        assert!(sa.divergence(&sb) < 0.15, "resample: {}", sa.divergence(&sb));
+        assert!(sa.divergence(&ss) > 0.8, "shift: {}", sa.divergence(&ss));
+    }
+
+    #[test]
+    fn out_of_range_queries_clamp_to_end_buckets() {
+        let a = sketch_of(&[0, 1, 2], 1000, 2000);
+        let b = sketch_of(&[5000, 6000], 1000, 2000);
+        assert!((a.divergence(&b) - 1.0).abs() < 1e-9, "ends are distinct buckets");
+    }
+
+    #[test]
+    fn degenerate_anchor_range_is_safe() {
+        let s = sketch_of(&[5, 10, 15], 42, 42);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.divergence(&s), 0.0);
+    }
+
+    #[test]
+    fn empty_sketch_never_signals_drift() {
+        let a = QuerySketch::default();
+        let b = sketch_of(&[1, 2, 3], 0, 100);
+        assert!(a.is_empty());
+        assert_eq!(a.divergence(&b), 0.0);
+        assert_eq!(b.divergence(&a), 0.0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = sketch_of(&(0..300).map(|i| i * 31).collect::<Vec<_>>(), 0, 10_000);
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), SKETCH_WIRE_LEN);
+        let back = QuerySketch::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // Truncations fail cleanly.
+        for cut in 0..bytes.len() {
+            assert!(QuerySketch::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(QuerySketch::decode(&long).is_err());
+    }
+
+    #[test]
+    fn range_length_shift_alone_registers_as_drift() {
+        // Same positions, very different lengths: the length axis must
+        // carry the signal even though the position histograms agree.
+        let pos: Vec<u64> = (0..1000).map(|i| i * 64 % 60_000).collect();
+        let short: Vec<([u8; 8], [u8; 8])> =
+            pos.iter().map(|&p| (u64_key(p), u64_key(p + 16))).collect();
+        let long: Vec<([u8; 8], [u8; 8])> =
+            pos.iter().map(|&p| (u64_key(p), u64_key(p + (1 << 15)))).collect();
+        let (a0, a1) = (u64_key(0), u64_key(100_000));
+        let s = QuerySketch::from_queries(short.iter().map(|(l, h)| (&l[..], &h[..])), &a0, &a1);
+        let l = QuerySketch::from_queries(long.iter().map(|(l, h)| (&l[..], &h[..])), &a0, &a1);
+        assert!((s.divergence(&l) - 1.0).abs() < 1e-9, "got {}", s.divergence(&l));
+    }
+
+    #[test]
+    fn wide_keys_with_shared_prefix_still_resolve_drift() {
+        // 16-byte keys that all agree on their first 8 bytes (a deep-level
+        // SST of string keys): the window must move past the shared prefix
+        // instead of collapsing every query into one bucket.
+        let wide = |tail: u64| {
+            let mut k = vec![0xABu8; 16];
+            k[8..16].copy_from_slice(&tail.to_be_bytes());
+            k
+        };
+        let (min, max) = (wide(0), wide(1 << 40));
+        let sketch = |base: u64| {
+            let bounds: Vec<(Vec<u8>, Vec<u8>)> = (0..200u64)
+                .map(|i| (wide(base + (i << 28)), wide(base + (i << 28) + 64)))
+                .collect();
+            QuerySketch::from_queries(
+                bounds.iter().map(|(l, h)| (l.as_slice(), h.as_slice())),
+                &min,
+                &max,
+            )
+        };
+        let a = sketch(0);
+        let b = sketch(0);
+        let shifted = sketch(1 << 39);
+        assert_eq!(a.divergence(&b), 0.0);
+        assert!(
+            a.divergence(&shifted) > 0.5,
+            "position shift inside the shared-prefix keyspace must register: {}",
+            a.divergence(&shifted)
+        );
+    }
+
+    #[test]
+    fn short_width_keys_bucket_consistently() {
+        // 4-byte keys: head is zero-padded, order preserved.
+        let lo = [0u8, 0, 0, 0];
+        let hi = [0xFFu8, 0, 0, 0];
+        let mut b = QuerySketch::builder(&lo, &hi);
+        b.observe(&[0x01, 0, 0, 0], &[0x02, 0, 0, 0]);
+        b.observe(&[0xF0, 0, 0, 0], &[0xF1, 0, 0, 0]);
+        let s = b.finish();
+        assert_eq!(s.total(), 2);
+        let mut b2 = QuerySketch::builder(&lo, &hi);
+        b2.observe(&[0x01, 0, 0, 0], &[0x02, 0, 0, 0]);
+        b2.observe(&[0xF0, 0, 0, 0], &[0xF1, 0, 0, 0]);
+        assert_eq!(s.divergence(&b2.finish()), 0.0);
+    }
+}

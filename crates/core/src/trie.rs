@@ -49,10 +49,12 @@ impl ProteusTrie {
         ProteusTrie { fst, depth_bytes }
     }
 
+    /// Trie depth in bytes.
     pub fn depth_bytes(&self) -> usize {
         self.depth_bytes
     }
 
+    /// Trie depth in bits (`l1`).
     pub fn depth_bits(&self) -> usize {
         self.depth_bytes * 8
     }
@@ -62,10 +64,12 @@ impl ProteusTrie {
         self.fst.len()
     }
 
+    /// True for a trie with no branches.
     pub fn is_empty(&self) -> bool {
         self.fst.is_empty()
     }
 
+    /// Memory footprint in bits.
     pub fn size_bits(&self) -> u64 {
         self.fst.size_bits()
     }
@@ -76,6 +80,7 @@ impl ProteusTrie {
         self.fst.encode_into(out);
     }
 
+    /// Decode a payload written by [`ProteusTrie::encode_into`].
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<ProteusTrie, CodecError> {
         let depth_bytes = r.u32()? as usize;
         if depth_bytes == 0 {

@@ -17,8 +17,11 @@ use proteus_amq::hash::HashFamily;
 /// Construction options for [`TwoPbf`].
 #[derive(Debug, Clone)]
 pub struct TwoPbfFilterOptions {
+    /// Hash family for both prefix Bloom filters.
     pub hash_family: HashFamily,
+    /// Per-query probe budget shared by the two filters.
     pub probe_cap: u64,
+    /// Hash seed (the second filter derives its own from it).
     pub seed: u32,
     /// Model search options (memory splits, coarse l2 grid, threads).
     pub model: TwoPbfOptions,
@@ -73,6 +76,7 @@ impl TwoPbf {
         TwoPbf { bf1, bf2, design, width: keys.width(), probe_cap: opts.probe_cap }
     }
 
+    /// The instantiated design.
     pub fn design(&self) -> TwoPbfDesign {
         self.design
     }
@@ -117,14 +121,17 @@ impl TwoPbf {
         }
     }
 
+    /// [`TwoPbf::query`] with `u64` bounds.
     pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
         self.query(&u64_key(lo), &u64_key(hi))
     }
 
+    /// Memory footprint in bits (both filters).
     pub fn size_bits(&self) -> u64 {
         self.bf1.size_bits() + self.bf2.size_bits()
     }
 
+    /// Serialize the filter payload (design + both Bloom filters).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u32(self.width as u32);
         out.put_u64(self.probe_cap);
@@ -136,6 +143,7 @@ impl TwoPbf {
         self.bf2.encode_into(out);
     }
 
+    /// Decode a payload written by [`TwoPbf::encode_into`].
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<TwoPbf, CodecError> {
         let width = r.u32()? as usize;
         if width == 0 {

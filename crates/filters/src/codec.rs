@@ -20,8 +20,10 @@
 
 use crate::rosetta::Rosetta;
 use crate::surf::Surf;
-use proteus_core::codec::{seal, unseal, ByteReader, CodecError, FilterKind};
-use proteus_core::{NoFilter, OnePbf, Proteus, RangeFilter, TwoPbf};
+use proteus_core::codec::{
+    seal, seal_with_fingerprint, unseal, ByteReader, CodecError, FilterKind,
+};
+use proteus_core::{NoFilter, OnePbf, Proteus, QuerySketch, RangeFilter, TwoPbf};
 
 /// Outcome of a successful decode.
 pub struct DecodedFilter {
@@ -31,13 +33,40 @@ pub struct DecodedFilter {
     /// filter was replaced by [`NoFilter`] (callers surface this through a
     /// stats counter).
     pub degraded: bool,
+    /// The training fingerprint persisted next to the filter (codec v2) —
+    /// the prefix histogram of the sample queries it was trained on. `None`
+    /// for v1 envelopes and for filters encoded without one; drift
+    /// detection then falls back to observed-FPR triggers alone.
+    pub fingerprint: Option<QuerySketch>,
 }
 
 /// Versioned binary serialization for every range filter in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use proteus_core::{KeySet, Proteus, ProteusOptions, RangeFilter, SampleQueries};
+/// use proteus_core::key::u64_key;
+/// use proteus_filters::FilterCodec;
+///
+/// let keys = KeySet::from_u64(&[1_000, 2_000, 3_000]);
+/// let mut samples = SampleQueries::from_u64(&[(1_200, 1_300)]);
+/// samples.retain_empty(&keys);
+/// let filter = Proteus::train(&keys, &samples, 10 * keys.len() as u64,
+///                             &ProteusOptions::default());
+///
+/// let bytes = FilterCodec::encode(&filter)?;
+/// let decoded = FilterCodec::decode(&bytes)?;
+/// assert!(!decoded.degraded);
+/// assert_eq!(decoded.filter.name(), filter.name());
+/// assert!(decoded.filter.may_contain(&u64_key(2_000))); // never a false negative
+/// # Ok::<(), proteus_core::CodecError>(())
+/// ```
 pub struct FilterCodec;
 
 impl FilterCodec {
-    /// Encode `filter` into a self-describing envelope.
+    /// Encode `filter` into a self-describing envelope (no training
+    /// fingerprint).
     ///
     /// Filters without a persistent form (e.g. ARF) yield
     /// [`CodecError::Unsupported`]; the SST writer treats that as "no
@@ -48,16 +77,36 @@ impl FilterCodec {
         Ok(seal(kind, &payload))
     }
 
-    /// Decode an envelope produced by [`FilterCodec::encode`].
+    /// [`FilterCodec::encode`] plus the training fingerprint of the sample
+    /// the filter was built from, so drift against that distribution stays
+    /// measurable across a crash/reopen.
+    pub fn encode_with_fingerprint(
+        filter: &dyn RangeFilter,
+        fingerprint: &QuerySketch,
+    ) -> Result<Vec<u8>, CodecError> {
+        let (kind, payload) =
+            filter.encode_payload().ok_or(CodecError::Unsupported("filter kind"))?;
+        if fingerprint.is_empty() {
+            return Ok(seal(kind, &payload));
+        }
+        Ok(seal_with_fingerprint(kind, &payload, &fingerprint.encode()))
+    }
+
+    /// Decode an envelope produced by [`FilterCodec::encode`] (either
+    /// supported envelope version).
     pub fn decode(bytes: &[u8]) -> Result<DecodedFilter, CodecError> {
-        let (tag, payload) = unseal(bytes)?;
-        let Some(kind) = FilterKind::from_tag(tag) else {
+        let u = unseal(bytes)?;
+        let fingerprint = match u.fingerprint {
+            Some(fp) => Some(QuerySketch::decode(fp)?),
+            None => None,
+        };
+        let Some(kind) = FilterKind::from_tag(u.tag) else {
             // Forward-compatible degradation: the bytes are intact (the
             // checksum proved it) but this build cannot reconstruct the
             // filter. NoFilter preserves the no-false-negative contract.
-            return Ok(DecodedFilter { filter: Box::new(NoFilter), degraded: true });
+            return Ok(DecodedFilter { filter: Box::new(NoFilter), degraded: true, fingerprint });
         };
-        let mut r = ByteReader::new(payload);
+        let mut r = ByteReader::new(u.payload);
         let filter: Box<dyn RangeFilter> = match kind {
             FilterKind::NoFilter => Box::new(NoFilter),
             FilterKind::Proteus => Box::new(Proteus::decode_from(&mut r)?),
@@ -67,7 +116,7 @@ impl FilterCodec {
             FilterKind::Rosetta => Box::new(Rosetta::decode_from(&mut r)?),
         };
         r.finish()?;
-        Ok(DecodedFilter { filter, degraded: false })
+        Ok(DecodedFilter { filter, degraded: false, fingerprint })
     }
 
     /// Round-trip helper: decode strictly, rejecting degraded outcomes
@@ -141,6 +190,34 @@ mod tests {
                 let key = u64_key(q.wrapping_mul(0xDEAD_BEEF_CAFE));
                 assert_eq!(g.may_contain(&key), f.may_contain(&key), "{} fp probe", f.name());
             }
+        }
+    }
+
+    #[test]
+    fn fingerprint_rides_along_and_roundtrips() {
+        let (_, ks, samples) = fixture_keys();
+        let f = Proteus::train(&ks, &samples, 800 * 12, &ProteusOptions::default());
+        let lo = u64_key(0);
+        let hi = u64_key(u64::MAX);
+        let sketch = QuerySketch::from_queries(samples.iter(), &lo, &hi);
+        assert!(!sketch.is_empty());
+        let bytes = FilterCodec::encode_with_fingerprint(&f, &sketch).unwrap();
+        let d = FilterCodec::decode(&bytes).unwrap();
+        assert!(!d.degraded);
+        let got = d.fingerprint.expect("fingerprint must survive the envelope");
+        assert_eq!(got, sketch);
+        assert_eq!(got.divergence(&sketch), 0.0);
+        // Without a fingerprint the same filter decodes to None.
+        let plain = FilterCodec::encode(&f).unwrap();
+        assert!(FilterCodec::decode(&plain).unwrap().fingerprint.is_none());
+        // An empty sketch is not persisted at all.
+        let empty = FilterCodec::encode_with_fingerprint(&f, &QuerySketch::default()).unwrap();
+        assert_eq!(empty, plain);
+        // Corrupting any byte of the fingerprinted envelope still errors.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            assert!(FilterCodec::decode(&bad).is_err(), "corrupt byte {i}");
         }
     }
 

@@ -1,0 +1,240 @@
+//! The adaptive filter lifecycle: closing the paper's self-design loop
+//! *online*.
+//!
+//! Proteus's §4–§6 claim is that the filter re-designs itself as the
+//! workload changes — but a filter is only trained when its SST is written
+//! (flush/compaction). A long-lived file whose query distribution shifts
+//! after construction silently decays toward worst-case FPR. This module
+//! supplies the two decisions that close the loop, and the mechanism:
+//!
+//! * **When to act** — [`flag_reason`] flags a file when either signal
+//!   crosses its configured threshold:
+//!   1. *Observed FPR*: every real filter probe records a per-file
+//!      false-positive / true-negative outcome ([`SstReader::record_probe`]);
+//!      once `adapt_min_probes` probes accumulate, an empirical FPR above
+//!      `adapt_fpr_threshold` flags the file.
+//!   2. *Distribution drift*: each filter block persists a
+//!      [`QuerySketch`] fingerprint of the sample it was trained on
+//!      (codec v2). The live sample queue, sketched over the same anchors
+//!      (the file's key range), is compared by total-variation distance;
+//!      divergence above `adapt_divergence_threshold` flags the file
+//!      *before* the FPR damage fully materializes.
+//! * **What to do** — [`retrain`] re-runs the factory (for Proteus, the
+//!   full CPFPR `ProteusModel::best_design` search) over the file's keys
+//!   and a fresh queue snapshot, then atomically rewrites only the filter
+//!   block + footer ([`SstReader::with_new_filter`]): data blocks are
+//!   untouched, readers are never blocked, and a crash leaves either the
+//!   old or the new filter — both of which reopen cleanly.
+//!
+//! The third background worker (`Db`'s *adapter*, next to the flusher and
+//! compactor) runs these every `adapt_interval`; `Db::adapt_now` runs one
+//! pass synchronously for deterministic tests and experiments.
+
+use crate::db::DbConfig;
+use crate::sst::{SstReader, SstScanner};
+use crate::stats::Stats;
+use crate::FilterFactory;
+use proteus_core::keyset::KeySet;
+use proteus_core::{QuerySketch, SampleQueries};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Live-sample floor below which drift comparison is considered noise.
+pub const MIN_DRIFT_SAMPLES: usize = 64;
+
+/// Why an SST was flagged for filter re-training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagReason {
+    /// The file's observed FPR crossed `adapt_fpr_threshold` after at
+    /// least `adapt_min_probes` filter probes.
+    HighFpr,
+    /// The live sample distribution diverged from the filter's training
+    /// fingerprint by more than `adapt_divergence_threshold`.
+    Drift,
+}
+
+/// Decide whether `sst`'s filter should be re-trained, given the current
+/// live sample snapshot. Returns `None` for files without a live filter
+/// (nothing to adapt), under-observed files, and files whose signals are
+/// within thresholds.
+pub fn flag_reason(sst: &SstReader, cfg: &DbConfig, live: &SampleQueries) -> Option<FlagReason> {
+    if !sst.has_live_filter() {
+        // Filter not yet decoded (no probes have happened either), absent,
+        // or degraded: nothing to compare and nothing worth rewriting.
+        return None;
+    }
+    // The FPR trigger backs off exponentially in the file's retrain
+    // count: if re-training could not push the observed FPR under the
+    // threshold (the budget simply doesn't allow it for this workload),
+    // retraining again every scan would burn CPU for nothing. Each retry
+    // needs twice the probe evidence. The drift trigger below is exempt —
+    // a *new* distribution shift always deserves a prompt re-train.
+    let required = cfg.adapt_min_probes.saturating_mul(1u64 << sst.retrain_count().min(20));
+    if sst.observed_probes() >= required && sst.observed_fpr() > cfg.adapt_fpr_threshold {
+        return Some(FlagReason::HighFpr);
+    }
+    if live.len() >= MIN_DRIFT_SAMPLES {
+        if let Some(trained) = sst.training_fingerprint() {
+            let live_sketch = QuerySketch::from_queries(live.iter(), &sst.min_key, &sst.max_key);
+            if trained.divergence(&live_sketch) > cfg.adapt_divergence_threshold {
+                return Some(FlagReason::Drift);
+            }
+        }
+    }
+    None
+}
+
+/// Re-train one SST's filter: scan its keys, re-run the factory's design
+/// search over a fresh sample snapshot, and atomically rewrite the filter
+/// block. Returns the replacement reader (same id, new filter, fresh
+/// observation window) for the caller to swap into the manifest.
+pub fn retrain(
+    sst: &Arc<SstReader>,
+    factory: &dyn FilterFactory,
+    live: &SampleQueries,
+    bits_per_key: f64,
+    stats: &Arc<Stats>,
+) -> std::io::Result<SstReader> {
+    let t0 = Instant::now();
+    let width = live.width();
+    let mut keys = Vec::with_capacity(sst.n_entries as usize * width);
+    let mut scan = SstScanner::new(Arc::clone(sst), Arc::clone(stats));
+    while let Some((k, _)) = scan.next() {
+        keys.extend_from_slice(&k);
+    }
+    let keyset = KeySet::from_sorted_canonical(keys, width);
+    let mut samples = live.clone();
+    samples.retain_empty(&keyset);
+    let m_bits = (bits_per_key * keyset.len() as f64) as u64;
+    let filter = factory.build(&keyset, &samples, m_bits.max(1));
+    let sketch = QuerySketch::from_queries(samples.iter(), &sst.min_key, &sst.max_key);
+    let new_reader = sst.with_new_filter(filter, sketch, stats)?;
+    stats.retrain_ns.add(t0.elapsed().as_nanos() as u64);
+    stats.filters_retrained.inc();
+    Ok(new_reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_hook::ProteusFactory;
+    use crate::query_queue::QueryQueue;
+    use crate::sst::SstWriter;
+    use proteus_core::key::u64_key;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("proteus-adapt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// One SST over clustered keys, filter trained on `train` queries.
+    fn build_sst(dir: &std::path::Path, train: &[(u64, u64)]) -> (Arc<SstReader>, Arc<Stats>) {
+        let stats = Arc::new(Stats::default());
+        let queue = QueryQueue::new(20_000, 1);
+        for &(lo, hi) in train {
+            queue.offer(&u64_key(lo), &u64_key(hi));
+        }
+        let mut w = SstWriter::create(dir, 1, 8, 4096, 0).unwrap();
+        for i in 0..4_000u64 {
+            w.add(&u64_key(i << 24), &[0u8; 32]).unwrap();
+        }
+        let r = w.finish(&ProteusFactory::default(), &queue, 12.0, &stats).unwrap();
+        (Arc::new(r), stats)
+    }
+
+    fn queries(base: u64, n: usize) -> Vec<(u64, u64)> {
+        (0..n as u64).map(|i| (base + (i << 24) + 0x1000, base + (i << 24) + 0x2000)).collect()
+    }
+
+    #[test]
+    fn unprobed_or_filterless_files_are_never_flagged() {
+        let dir = tmpdir("noflag");
+        let (sst, _stats) = build_sst(&dir, &queries(0, 200));
+        let cfg = DbConfig { adapt_min_probes: 4, ..Default::default() };
+        let live = SampleQueries::from_u64(&queries(0, 200));
+        assert_eq!(flag_reason(&sst, &cfg, &live), None, "healthy file must not be flagged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn high_observed_fpr_flags_the_file() {
+        let dir = tmpdir("fpr");
+        let (sst, _stats) = build_sst(&dir, &queries(0, 200));
+        let cfg = DbConfig { adapt_min_probes: 10, adapt_fpr_threshold: 0.3, ..Default::default() };
+        for _ in 0..8 {
+            sst.record_probe(true);
+        }
+        for _ in 0..2 {
+            sst.record_probe(false);
+        }
+        assert_eq!(sst.observed_probes(), 10);
+        assert!((sst.observed_fpr() - 0.8).abs() < 1e-12);
+        let live = SampleQueries::new(8);
+        assert_eq!(flag_reason(&sst, &cfg, &live), Some(FlagReason::HighFpr));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distribution_shift_flags_via_fingerprint_divergence() {
+        let dir = tmpdir("drift");
+        // Train on queries in the low half of the key space.
+        let (sst, _stats) = build_sst(&dir, &queries(0, 500));
+        let cfg = DbConfig { adapt_divergence_threshold: 0.5, ..Default::default() };
+        // Live sample matching training: no flag.
+        let same = SampleQueries::from_u64(&queries(0, 500));
+        assert_eq!(flag_reason(&sst, &cfg, &same), None);
+        // Live sample shifted to the high half: flagged as drift.
+        let shifted = SampleQueries::from_u64(&queries(2_000u64 << 24, 500));
+        assert_eq!(flag_reason(&sst, &cfg, &shifted), Some(FlagReason::Drift));
+        // Too few live samples: noise, no flag.
+        let tiny = SampleQueries::from_u64(&queries(2_000u64 << 24, MIN_DRIFT_SAMPLES - 1));
+        assert_eq!(flag_reason(&sst, &cfg, &tiny), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retrain_rewrites_filter_block_and_survives_reopen() {
+        let dir = tmpdir("retrain");
+        let (sst, stats) = build_sst(&dir, &queries(0, 300));
+        let old_bits = sst.filter(&stats).unwrap().size_bits();
+        let shifted = SampleQueries::from_u64(&queries(10_000u64 << 24, 300));
+        let new_reader = retrain(&sst, &ProteusFactory::default(), &shifted, 12.0, &stats).unwrap();
+        assert_eq!(stats.filters_retrained.get(), 1);
+        assert!(stats.retrain_ns.get() > 0);
+        assert_eq!(new_reader.id, sst.id);
+        assert_eq!(new_reader.n_entries, sst.n_entries);
+        assert_eq!(new_reader.observed_probes(), 0, "fresh observation window");
+        let f = new_reader.filter(&stats).expect("retrained filter present");
+        assert!(f.size_bits() > 0);
+        // No false negatives: every key still passes the new filter.
+        for i in (0..4_000u64).step_by(61) {
+            assert!(f.may_contain(&u64_key(i << 24)), "key {i}");
+        }
+        // The rewritten file reopens cold with the retrained filter and
+        // fingerprint (no retraining on the recovery path).
+        let reopened = SstReader::open(dir.join("00000001.sst"), 1, 8).unwrap();
+        let fresh = Stats::default();
+        let g = reopened.filter(&fresh).expect("persisted retrained filter");
+        assert_eq!(g.size_bits(), f.size_bits());
+        assert_eq!(fresh.filters_built.get(), 0);
+        assert_eq!(fresh.filters_loaded.get(), 1);
+        let fp = reopened.training_fingerprint().expect("fingerprint persisted");
+        assert_eq!(fp.divergence(&new_reader.training_fingerprint().unwrap()), 0.0);
+        // Data blocks byte-identical to the original.
+        for b in 0..sst.n_blocks() {
+            let x = sst.read_block(b, &stats);
+            let y = reopened.read_block(b, &fresh);
+            assert_eq!(x.len(), y.len(), "block {b}");
+            for i in 0..x.len() {
+                assert_eq!(x.key(i), y.key(i));
+                assert_eq!(x.value(i), y.value(i));
+            }
+        }
+        let _ = (old_bits,);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -22,10 +22,13 @@ pub struct BlockBuilder {
 }
 
 impl BlockBuilder {
+    /// Start an empty block for `width`-byte keys.
     pub fn new(width: usize) -> Self {
         BlockBuilder { width, buf: vec![0u8; 4], n: 0, first_key: None, last_key: None }
     }
 
+    /// Append an entry (keys must arrive in order; the builder does not
+    /// re-sort).
     pub fn add(&mut self, key: &[u8], value: &[u8]) {
         debug_assert_eq!(key.len(), self.width);
         if self.first_key.is_none() {
@@ -38,6 +41,7 @@ impl BlockBuilder {
         self.n += 1;
     }
 
+    /// True before the first entry is added.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -104,19 +108,23 @@ impl Block {
         9 + u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize
     }
 
+    /// Number of entries in the block.
     pub fn len(&self) -> usize {
         self.offsets.len()
     }
 
+    /// True for a block with no entries (never written by the builder).
     pub fn is_empty(&self) -> bool {
         self.offsets.is_empty()
     }
 
+    /// The `i`-th key (entries are sorted ascending).
     pub fn key(&self, i: usize) -> &[u8] {
         let off = self.offsets[i] as usize;
         &self.data[off..off + self.width]
     }
 
+    /// The `i`-th value.
     pub fn value(&self, i: usize) -> &[u8] {
         let off = self.offsets[i] as usize;
         let vlen = u32::from_le_bytes(

@@ -27,6 +27,7 @@ pub struct BlockCache {
 }
 
 impl BlockCache {
+    /// Create a cache bounded to `capacity_bytes` of block payload.
     pub fn new(capacity_bytes: usize) -> Self {
         BlockCache {
             capacity_bytes,
@@ -38,6 +39,7 @@ impl BlockCache {
         }
     }
 
+    /// Look up a block, refreshing its recency on a hit.
     pub fn get(&mut self, id: BlockId) -> Option<Arc<Block>> {
         self.clock += 1;
         let clock = self.clock;
@@ -54,6 +56,7 @@ impl BlockCache {
         }
     }
 
+    /// Insert a block, evicting least-recently-used entries to fit.
     pub fn insert(&mut self, id: BlockId, block: Arc<Block>) {
         if self.capacity_bytes == 0 {
             return;
@@ -96,22 +99,27 @@ impl BlockCache {
         }
     }
 
+    /// Lookups that found their block.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
+    /// Lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses
     }
 
+    /// Bytes of cached block payload currently held.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
     }
 
+    /// Number of cached blocks.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -130,6 +138,8 @@ pub struct ShardedBlockCache {
 }
 
 impl ShardedBlockCache {
+    /// Create a sharded cache; `capacity_bytes` is split evenly across the
+    /// shards.
     pub fn new(capacity_bytes: usize) -> Self {
         let per_shard = capacity_bytes / CACHE_SHARDS;
         ShardedBlockCache {
@@ -144,10 +154,12 @@ impl ShardedBlockCache {
         &self.shards[(h >> 60) as usize & (CACHE_SHARDS - 1)]
     }
 
+    /// Look up a block in its shard, refreshing recency on a hit.
     pub fn get(&self, id: BlockId) -> Option<Arc<Block>> {
         self.shard(id).lock().unwrap().get(id)
     }
 
+    /// Insert a block into its shard, evicting LRU entries to fit.
     pub fn insert(&self, id: BlockId, block: Arc<Block>) {
         self.shard(id).lock().unwrap().insert(id, block);
     }
@@ -166,22 +178,27 @@ impl ShardedBlockCache {
         }
     }
 
+    /// Hits across all shards.
     pub fn hits(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().unwrap().hits()).sum()
     }
 
+    /// Misses across all shards.
     pub fn misses(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().unwrap().misses()).sum()
     }
 
+    /// Bytes of cached payload across all shards.
     pub fn used_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().used_bytes()).sum()
     }
 
+    /// Cached blocks across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
 
+    /// True when nothing is cached in any shard.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -10,7 +10,7 @@
 //!
 //! * **Reads** never block on writers or background work. A `Seek` checks
 //!   the MemTables under a briefly-held read lock, then grabs an
-//!   `Arc`-snapshot of the immutable level manifest ([`Version`]) and runs
+//!   `Arc`-snapshot of the immutable level manifest (`Version`) and runs
 //!   against it lock-free; block I/O goes through a sharded cache.
 //! * **Writes** go through the active MemTable under a write lock. When it
 //!   reaches `memtable_bytes` it *rotates*: the full table is frozen onto
@@ -88,6 +88,22 @@ pub struct DbConfig {
     pub queue_capacity: usize,
     /// Record every n-th executed empty query (§6.1: 100).
     pub sample_every: u64,
+    /// Run the adaptive filter lifecycle: a third background worker that
+    /// monitors per-SST observed FPR and sample-distribution drift and
+    /// re-trains filters in place (see the [`crate::adapt`] module docs).
+    pub adapt_enabled: bool,
+    /// Observed per-file FPR above this flags the file for re-training
+    /// (only after `adapt_min_probes` probes).
+    pub adapt_fpr_threshold: f64,
+    /// Minimum filter probes against a file before its observed FPR is
+    /// trusted (Chernoff-style: too few probes is noise).
+    pub adapt_min_probes: u64,
+    /// How often the adapter wakes to scan for flagged files.
+    pub adapt_interval: Duration,
+    /// Total-variation distance between a filter's training fingerprint
+    /// and the live sample distribution above which the file is flagged
+    /// even before its observed FPR degrades.
+    pub adapt_divergence_threshold: f64,
 }
 
 impl Default for DbConfig {
@@ -105,6 +121,11 @@ impl Default for DbConfig {
             block_cache_bytes: 8 << 20,
             queue_capacity: 20_000,
             sample_every: 100,
+            adapt_enabled: false,
+            adapt_fpr_threshold: 0.05,
+            adapt_min_probes: 512,
+            adapt_interval: Duration::from_millis(100),
+            adapt_divergence_threshold: 0.5,
         }
     }
 }
@@ -191,11 +212,37 @@ struct DbInner {
     compact_cv: Condvar,
     /// Wakes foreground barriers and stalled writers (progress, error).
     idle_cv: Condvar,
+    /// Wakes the adapter early (shutdown; otherwise it polls on
+    /// `adapt_interval`).
+    adapt_cv: Condvar,
+    /// Serializes adaptive maintenance passes (the background adapter vs
+    /// an explicit `Db::adapt_now`), so two passes never race to rewrite
+    /// the same filter block.
+    adapt_lock: Mutex<()>,
 }
 
 /// A single-process, multi-threaded LSM-tree database with pluggable
 /// per-SST range filters. All operations take `&self`; share it across
 /// threads by reference (`std::thread::scope`) or inside an `Arc`.
+///
+/// # Example
+///
+/// ```
+/// use proteus_lsm::{Db, DbConfig, ProteusFactory};
+/// use std::sync::Arc;
+///
+/// let dir = std::env::temp_dir().join(format!("proteus-doc-db-{}", std::process::id()));
+/// let db = Db::open(&dir, DbConfig::default(), Arc::new(ProteusFactory::default()))?;
+///
+/// db.put_u64(42, b"value")?;
+/// assert!(db.seek_u64(40, 50)?); // somewhere in [40, 50] there is a key
+/// assert!(!db.seek_u64(43, 50)?); // this range is provably empty
+///
+/// db.flush()?; // durability barrier: everything rotated so far is on disk
+/// drop(db);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub struct Db {
     inner: Arc<DbInner>,
     workers: Vec<JoinHandle<()>>,
@@ -240,6 +287,8 @@ impl Db {
             flush_cv: Condvar::new(),
             compact_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            adapt_cv: Condvar::new(),
+            adapt_lock: Mutex::new(()),
         });
         let flusher = {
             let inner = Arc::clone(&inner);
@@ -255,7 +304,18 @@ impl Db {
                 .spawn(move || inner.compactor_loop())
                 .expect("spawn compactor")
         };
-        Ok(Db { inner, workers: vec![flusher, compactor] })
+        let mut workers = vec![flusher, compactor];
+        if inner.cfg.adapt_enabled {
+            let adapter = {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name("proteus-lsm-adapt".into())
+                    .spawn(move || inner.adapter_loop())
+                    .expect("spawn adapter")
+            };
+            workers.push(adapter);
+        }
+        Ok(Db { inner, workers })
     }
 
     /// Scan `dir` for SST files and rebuild the level manifest from their
@@ -333,10 +393,12 @@ impl Db {
         Ok((levels, next_id))
     }
 
+    /// The configuration this database was opened with.
     pub fn config(&self) -> &DbConfig {
         &self.inner.cfg
     }
 
+    /// Live execution counters (relaxed atomics; see [`Stats`]).
     pub fn stats(&self) -> &Stats {
         &self.inner.stats
     }
@@ -415,6 +477,20 @@ impl Db {
         }
     }
 
+    /// Run one adaptive-maintenance pass synchronously: scan every live
+    /// SST, flag the ones whose observed FPR or sample-distribution drift
+    /// crossed the configured thresholds (see [`crate::adapt`]), re-train
+    /// their filters on a fresh sample snapshot and atomically rewrite the
+    /// filter blocks. Returns the number of filters re-trained.
+    ///
+    /// The background adapter (when `adapt_enabled`) runs exactly this
+    /// every `adapt_interval`; calling it directly makes tests and
+    /// experiments deterministic and works even when the background worker
+    /// is disabled.
+    pub fn adapt_now(&self) -> std::io::Result<usize> {
+        self.inner.adapt_pass()
+    }
+
     /// Number of SST files per level.
     pub fn level_file_counts(&self) -> Vec<usize> {
         self.inner.version().levels.iter().map(|l| l.len()).collect()
@@ -470,6 +546,7 @@ impl Drop for Db {
         self.inner.flush_cv.notify_all();
         self.inner.compact_cv.notify_all();
         self.inner.idle_cv.notify_all();
+        self.inner.adapt_cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -588,9 +665,14 @@ impl DbInner {
             // describes this file's keys.
             let flo = if lo < sst.min_key.as_slice() { sst.min_key.as_slice() } else { lo };
             let fhi = if hi > sst.max_key.as_slice() { sst.max_key.as_slice() } else { hi };
+            let mut real_filter = false;
             if let Some(filter) = sst.filter(&self.stats) {
+                real_filter = true;
                 if !filter.may_contain_range(flo, fhi) {
                     self.stats.filter_negatives.inc();
+                    // Per-file observed-FPR accounting: a true negative.
+                    sst.record_probe(false);
+                    self.stats.observed_tn.inc();
                     continue;
                 }
             }
@@ -601,6 +683,13 @@ impl DbInner {
                 break;
             } else {
                 self.stats.filter_false_positives.inc();
+                if real_filter {
+                    // A real filter passed a range this file turned out
+                    // not to cover: per-file false-positive evidence for
+                    // the adaptive lifecycle.
+                    sst.record_probe(true);
+                    self.stats.observed_fp.inc();
+                }
             }
         }
         if found {
@@ -721,6 +810,103 @@ impl DbInner {
             w.add(k, v)?;
         }
         w.finish(self.factory.as_ref(), &self.queue, self.cfg.bits_per_key, &self.stats)
+    }
+
+    // ---- adapter ---------------------------------------------------------
+
+    /// The third background worker: every `adapt_interval`, scan for SSTs
+    /// whose filters stopped fitting the workload and re-train them. See
+    /// the [`crate::adapt`] module docs for the policy.
+    fn adapter_loop(&self) {
+        loop {
+            {
+                let g = self.gate.lock().unwrap();
+                if g.shutdown || g.error.is_some() {
+                    return;
+                }
+            }
+            if let Err(e) = self.adapt_pass() {
+                self.record_error(e);
+                return;
+            }
+            let g = self.gate.lock().unwrap();
+            if g.shutdown {
+                return;
+            }
+            let (g, _) = self.adapt_cv.wait_timeout(g, self.cfg.adapt_interval).unwrap();
+            if g.shutdown {
+                return;
+            }
+        }
+    }
+
+    /// One full adaptive pass: flag, re-train, publish. Serialized by
+    /// `adapt_lock` so a background pass and an explicit `adapt_now` never
+    /// rewrite the same file concurrently.
+    fn adapt_pass(&self) -> std::io::Result<usize> {
+        let _guard = self.adapt_lock.lock().unwrap();
+        let live = self.queue.snapshot(self.cfg.key_width);
+        let version = self.version();
+        let mut flagged: Vec<Arc<SstReader>> = Vec::new();
+        for level in &version.levels {
+            for sst in level {
+                if sst.is_retired() {
+                    continue;
+                }
+                if crate::adapt::flag_reason(sst, &self.cfg, &live).is_some() {
+                    self.stats.drift_flags.inc();
+                    flagged.push(Arc::clone(sst));
+                }
+            }
+        }
+        let mut retrained = 0usize;
+        for sst in flagged {
+            // Re-training every flagged file can take a while right after
+            // a shift (every live SST flags at once); re-check shutdown
+            // between files so dropping the Db joins within one retrain,
+            // like the compactor re-checks between jobs.
+            if self.gate.lock().unwrap().shutdown {
+                break;
+            }
+            if sst.is_retired() {
+                // Compaction consumed the file while this pass was
+                // running; its merged successor got a fresh filter anyway.
+                continue;
+            }
+            let new = Arc::new(crate::adapt::retrain(
+                &sst,
+                self.factory.as_ref(),
+                &live,
+                self.cfg.bits_per_key,
+                &self.stats,
+            )?);
+            // Publish: swap the replacement reader into whatever level the
+            // file now sits in. Readers holding older versions keep the old
+            // reader (same data; the old filter is merely stale, never
+            // wrong — filters have no false negatives for the file's keys).
+            let mut replaced = false;
+            self.edit_manifest(|v| {
+                for level in &mut v.levels {
+                    for slot in level.iter_mut() {
+                        if slot.id == new.id {
+                            *slot = Arc::clone(&new);
+                            replaced = true;
+                        }
+                    }
+                }
+            });
+            if replaced {
+                retrained += 1;
+            } else {
+                // A compaction retired the file between our retired-check
+                // and the manifest edit. The rewrite's rename may have
+                // resurrected the path after the compactor unlinked it;
+                // drop it again — the data lives on in the compaction
+                // outputs.
+                new.delete_file();
+            }
+        }
+        Ok(retrained)
     }
 
     // ---- compactor -------------------------------------------------------

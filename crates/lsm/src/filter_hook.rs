@@ -11,6 +11,38 @@ use proteus_core::{KeySet, RangeFilter, SampleQueries};
 pub use proteus_core::NoFilter;
 
 /// Builds a range filter for one SST file.
+///
+/// The store calls this at every flush, compaction, and adaptive re-train
+/// with the file's keys and the current sample of empty queries — which is
+/// exactly the input the paper's self-designing filters need.
+///
+/// # Example
+///
+/// A custom factory plugging a fixed-design filter into the store:
+///
+/// ```
+/// use proteus_core::{KeySet, OnePbf, OnePbfOptions, RangeFilter, SampleQueries};
+/// use proteus_lsm::FilterFactory;
+///
+/// struct OnePbfFactory;
+///
+/// impl FilterFactory for OnePbfFactory {
+///     fn build(&self, keys: &KeySet, samples: &SampleQueries, m_bits: u64)
+///         -> Box<dyn RangeFilter>
+///     {
+///         Box::new(OnePbf::train(keys, samples, m_bits, &OnePbfOptions::default()))
+///     }
+///     fn name(&self) -> String {
+///         "1pbf".into()
+///     }
+/// }
+///
+/// let keys = KeySet::from_u64(&[100, 200, 300]);
+/// let mut samples = SampleQueries::from_u64(&[(400, 450)]);
+/// samples.retain_empty(&keys);
+/// let filter = OnePbfFactory.build(&keys, &samples, 3 * 1024);
+/// assert!(filter.may_contain(&proteus_core::key::u64_key(200)));
+/// ```
 pub trait FilterFactory: Send + Sync {
     /// `keys` — the file's key set; `samples` — recent empty queries,
     /// already certified empty w.r.t. `keys`; `m_bits` — the memory budget
@@ -43,6 +75,7 @@ impl FilterFactory for NoFilterFactory {
 /// integration the paper evaluates).
 #[derive(Debug, Clone, Default)]
 pub struct ProteusFactory {
+    /// Options forwarded to every `Proteus::train` call.
     pub options: proteus_core::ProteusOptions,
 }
 

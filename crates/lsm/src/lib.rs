@@ -23,6 +23,9 @@
 //! compactor thread instead of a pool, zero-RLE instead of LZ4/ZSTD, and
 //! scaled-down size defaults (ratios preserved).
 
+#![warn(missing_docs)]
+
+pub mod adapt;
 pub mod block;
 pub mod cache;
 pub mod compress;

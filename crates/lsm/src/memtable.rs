@@ -17,6 +17,7 @@ pub struct MemTable {
 }
 
 impl MemTable {
+    /// An empty write buffer.
     pub fn new() -> Self {
         MemTable::default()
     }
@@ -34,6 +35,7 @@ impl MemTable {
         }
     }
 
+    /// Exact-key lookup.
     pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
         self.map.get(key).map(|v| v.as_slice())
     }
@@ -43,10 +45,12 @@ impl MemTable {
         self.map.range::<[u8], _>((Bound::Included(lo), Bound::Included(hi))).next().is_some()
     }
 
+    /// Number of buffered entries.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }

@@ -16,6 +16,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Fixed-capacity FIFO of recent empty range queries.
+///
+/// # Example
+///
+/// ```
+/// use proteus_lsm::QueryQueue;
+/// use proteus_core::key::u64_key;
+///
+/// // Keep 100 queries, recording every 2nd offer.
+/// let queue = QueryQueue::new(100, 2);
+/// queue.seed([(u64_key(10).to_vec(), u64_key(20).to_vec())]); // always recorded
+/// queue.offer(&u64_key(30), &u64_key(40)); // 1st offer: skipped
+/// queue.offer(&u64_key(50), &u64_key(60)); // 2nd offer: recorded
+/// assert_eq!(queue.len(), 2);
+/// assert_eq!(queue.offered(), 2);
+///
+/// // Snapshot into the sample type filter training consumes.
+/// let samples = queue.snapshot(8);
+/// assert_eq!(samples.len(), 2);
+/// ```
 #[derive(Debug)]
 pub struct QueryQueue {
     inner: Mutex<VecDeque<(Vec<u8>, Vec<u8>)>>,
@@ -26,6 +45,8 @@ pub struct QueryQueue {
 }
 
 impl QueryQueue {
+    /// A queue holding at most `capacity` queries, recording every
+    /// `every`-th offer (§6.1 uses 20 000 and 100).
     pub fn new(capacity: usize, every: u64) -> Self {
         QueryQueue {
             inner: Mutex::new(VecDeque::with_capacity(capacity)),
@@ -35,8 +56,13 @@ impl QueryQueue {
         }
     }
 
-    /// Seed with an initial sample (recorded unconditionally).
+    /// Seed with an initial sample (recorded unconditionally). A no-op on a
+    /// capacity-0 queue — like [`QueryQueue::offer`], so sampling-disabled
+    /// configurations can never accumulate samples through either path.
     pub fn seed(&self, queries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        if self.capacity == 0 {
+            return;
+        }
         let mut q = self.inner.lock().unwrap();
         for (lo, hi) in queries {
             Self::push(&mut q, self.capacity, lo, hi);
@@ -44,10 +70,12 @@ impl QueryQueue {
     }
 
     /// Offer an executed empty query; records every `every`-th one.
-    /// Returns `true` if the query was recorded.
+    /// Returns `true` if the query was recorded. A capacity-0 queue drops
+    /// everything (and never claims to have recorded): it still counts the
+    /// offer, but takes no lock and stores nothing.
     pub fn offer(&self, lo: &[u8], hi: &[u8]) -> bool {
         let n = self.offered.fetch_add(1, Ordering::Relaxed) + 1;
-        if !n.is_multiple_of(self.every) {
+        if self.capacity == 0 || !n.is_multiple_of(self.every) {
             return false;
         }
         let mut q = self.inner.lock().unwrap();
@@ -61,19 +89,19 @@ impl QueryQueue {
     }
 
     fn push(q: &mut VecDeque<(Vec<u8>, Vec<u8>)>, capacity: usize, lo: Vec<u8>, hi: Vec<u8>) {
-        if capacity == 0 {
-            return;
-        }
+        debug_assert!(capacity > 0, "capacity-0 queues are handled before push");
         if q.len() == capacity {
             q.pop_front();
         }
         q.push_back((lo, hi));
     }
 
+    /// Queries currently recorded.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().len()
     }
 
+    /// True when no query has been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -124,6 +152,23 @@ mod tests {
         let q = QueryQueue::new(100, 100);
         q.seed((0..20u64).map(|i| (u64_key(i).to_vec(), u64_key(i + 1).to_vec())));
         assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn capacity_zero_queue_is_a_consistent_no_op() {
+        // Both paths into a capacity-0 queue must drop: `seed` and `offer`
+        // previously disagreed, letting "sampling disabled" configurations
+        // accumulate seeded samples that `offer` would never add to.
+        let q = QueryQueue::new(0, 1);
+        q.seed((0..10u64).map(|i| (u64_key(i).to_vec(), u64_key(i + 1).to_vec())));
+        assert_eq!(q.len(), 0, "seed must not store into a capacity-0 queue");
+        for i in 0..10u64 {
+            assert!(!q.offer(&u64_key(i), &u64_key(i + 1)), "offer must not claim to record");
+        }
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.offered(), 10, "offers are still counted");
+        assert!(q.is_empty());
+        assert_eq!(q.snapshot(8).len(), 0);
     }
 
     #[test]

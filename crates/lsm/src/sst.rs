@@ -31,13 +31,13 @@ use crate::query_queue::QueryQueue;
 use crate::stats::Stats;
 use proteus_core::codec::crc32;
 use proteus_core::keyset::KeySet;
-use proteus_core::RangeFilter;
+use proteus_core::{QuerySketch, RangeFilter};
 use proteus_filters::FilterCodec;
 use std::fs::File;
 use std::io::Write;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -54,22 +54,53 @@ fn bad(path: &Path, what: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
 }
 
+/// Serialize the fixed 64-byte footer (shared by the writer and the
+/// adaptive filter-block rewrite).
+fn encode_footer(
+    index_off: u64,
+    index_len: u64,
+    filter_len: u64,
+    n_entries: u64,
+    level: u32,
+    width: usize,
+) -> [u8; SST_FOOTER_LEN as usize] {
+    let mut f = [0u8; SST_FOOTER_LEN as usize];
+    f[0..8].copy_from_slice(&index_off.to_le_bytes());
+    f[8..16].copy_from_slice(&index_len.to_le_bytes());
+    f[16..24].copy_from_slice(&(index_off + index_len).to_le_bytes());
+    f[24..32].copy_from_slice(&filter_len.to_le_bytes());
+    f[32..40].copy_from_slice(&n_entries.to_le_bytes());
+    f[40..44].copy_from_slice(&level.to_le_bytes());
+    f[44..48].copy_from_slice(&(width as u32).to_le_bytes());
+    f[48..50].copy_from_slice(&SST_FORMAT_VERSION.to_le_bytes());
+    f[56..64].copy_from_slice(&SST_MAGIC);
+    f
+}
+
 /// Index entry for one block.
 #[derive(Debug, Clone)]
 pub struct BlockMeta {
+    /// First (smallest) key stored in the block.
     pub first_key: Vec<u8>,
+    /// Last (largest) key stored in the block.
     pub last_key: Vec<u8>,
+    /// Byte offset of the block within the file's data section.
     pub offset: u64,
+    /// Encoded block length in bytes.
     pub len: u32,
 }
 
 /// An immutable SST file handle.
 pub struct SstReader {
+    /// File id (the `NNNNNNNN` of `NNNNNNNN.sst`; allocated monotonically).
     pub id: u64,
     path: PathBuf,
     file: File,
     width: usize,
     index: Vec<BlockMeta>,
+    /// Size of the persisted index block including its CRC (needed to
+    /// rewrite the filter block without re-encoding the index).
+    index_len: u64,
     /// Size of the persisted filter block (0 = none).
     filter_block_len: usize,
     /// Encoded filter block awaiting its lazy decode; drained on first
@@ -79,14 +110,33 @@ pub struct SstReader {
     /// Lazily decoded filter. Pre-populated for freshly written files;
     /// filled from `pending_filter_bytes` on first probe after recovery.
     filter: OnceLock<Option<Box<dyn RangeFilter>>>,
+    /// Fingerprint of the sample-query distribution the filter was trained
+    /// on (codec v2). Set at build time for fresh files, recovered from the
+    /// filter block on first decode; `None` for v1 blocks and filterless
+    /// files — drift detection then relies on observed FPR alone.
+    fingerprint: Mutex<Option<QuerySketch>>,
+    /// Filter probes against this file that answered positive for a range
+    /// holding none of its keys (per-file false-positive evidence).
+    probe_fp: AtomicU64,
+    /// Filter probes that answered negative (true negatives).
+    probe_tn: AtomicU64,
+    /// How many times this file's filter has been re-trained (carried
+    /// across [`SstReader::with_new_filter`] replacements). The FPR
+    /// trigger backs off exponentially in this count, so a filter that
+    /// cannot beat the threshold at its memory budget stops being
+    /// re-trained over and over; the drift trigger is unaffected.
+    retrain_count: u32,
     /// Set when compaction retires this file from the manifest: readers
     /// holding an older version snapshot may still probe it, but must not
     /// (re-)populate the block cache for it (see `Db::search_sst`).
     retired: AtomicBool,
     /// LSM level this file was written for (from the footer on reopen).
     pub level: u32,
+    /// Smallest key in the file.
     pub min_key: Vec<u8>,
+    /// Largest key in the file.
     pub max_key: Vec<u8>,
+    /// Number of key-value entries.
     pub n_entries: u64,
     /// Bytes of the data section (excludes index, filter block, footer);
     /// the quantity level-size compaction triggers are measured in.
@@ -193,9 +243,14 @@ impl SstReader {
             file,
             width,
             index,
+            index_len,
             filter_block_len: filter_bytes.len(),
             pending_filter_bytes: Mutex::new(filter_bytes),
             filter: OnceLock::new(),
+            fingerprint: Mutex::new(None),
+            probe_fp: AtomicU64::new(0),
+            probe_tn: AtomicU64::new(0),
+            retrain_count: 0,
             retired: AtomicBool::new(false),
             level,
             min_key,
@@ -205,10 +260,12 @@ impl SstReader {
         })
     }
 
+    /// Number of data blocks.
     pub fn n_blocks(&self) -> usize {
         self.index.len()
     }
 
+    /// Index metadata of block `i`.
     pub fn block_meta(&self, i: usize) -> &BlockMeta {
         &self.index[i]
     }
@@ -229,6 +286,7 @@ impl SstReader {
                     Ok(decoded) if !decoded.degraded => {
                         stats.filter_load_ns.add(t0.elapsed().as_nanos() as u64);
                         stats.filters_loaded.inc();
+                        *self.fingerprint.lock().unwrap() = decoded.fingerprint;
                         Some(decoded.filter)
                     }
                     // Unknown kind tag (valid envelope from a newer build)
@@ -243,9 +301,126 @@ impl SstReader {
             .as_deref()
     }
 
+    /// The training fingerprint of this file's filter, if one is known
+    /// (decoded from a codec-v2 filter block or set at build time).
+    pub fn training_fingerprint(&self) -> Option<QuerySketch> {
+        self.fingerprint.lock().unwrap().clone()
+    }
+
+    /// Record the outcome of one real filter probe against this file.
+    pub fn record_probe(&self, false_positive: bool) {
+        if false_positive {
+            self.probe_fp.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.probe_tn.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Filter probes recorded against this file since it was opened (or
+    /// since its filter was last re-trained — the replacement reader starts
+    /// a fresh observation window).
+    pub fn observed_probes(&self) -> u64 {
+        self.probe_fp.load(Ordering::Relaxed) + self.probe_tn.load(Ordering::Relaxed)
+    }
+
+    /// How many times this file's filter has been re-trained in place.
+    pub fn retrain_count(&self) -> u32 {
+        self.retrain_count
+    }
+
+    /// Empirical FPR of this file's filter over the current observation
+    /// window: `fp / (fp + tn)`, `0` before any probe.
+    pub fn observed_fpr(&self) -> f64 {
+        let fp = self.probe_fp.load(Ordering::Relaxed);
+        let total = fp + self.probe_tn.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            fp as f64 / total as f64
+        }
+    }
+
+    /// Atomically replace this file's filter block (and footer) with a
+    /// re-trained filter, leaving every data and index byte untouched.
+    ///
+    /// The rewrite goes through the same `.sst.tmp`-then-rename path as the
+    /// writer: data + index are copied from the live file, the new filter
+    /// block and footer are appended, the file is synced and renamed over
+    /// the original, and the directory is synced — so a crash at any point
+    /// leaves either the old or the new filter, never a torn file. Readers
+    /// holding this reader keep serving from the old inode; the returned
+    /// replacement reader (same id, fresh probe counters, the new filter
+    /// pre-installed) is what the caller swaps into the manifest.
+    pub fn with_new_filter(
+        &self,
+        filter: Box<dyn RangeFilter>,
+        sketch: QuerySketch,
+        stats: &Stats,
+    ) -> std::io::Result<SstReader> {
+        let filter_bytes = match FilterCodec::encode_with_fingerprint(filter.as_ref(), &sketch) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                stats.filters_unpersisted.inc();
+                Vec::new()
+            }
+        };
+        // Data section + index block, byte-identical from the live inode.
+        let mut head = vec![0u8; (self.file_bytes + self.index_len) as usize];
+        self.file.read_exact_at(&mut head, 0)?;
+        let footer = encode_footer(
+            self.file_bytes,
+            self.index_len,
+            filter_bytes.len() as u64,
+            self.n_entries,
+            self.level,
+            self.width,
+        );
+        let dir = self.path.parent().unwrap_or(Path::new("."));
+        let tmp_path = dir.join(format!("{:08}.sst.tmp", self.id));
+        let tmp = File::create(&tmp_path)?;
+        tmp.write_all_at(&head, 0)?;
+        tmp.write_all_at(&filter_bytes, head.len() as u64)?;
+        tmp.write_all_at(&footer, (head.len() + filter_bytes.len()) as u64)?;
+        tmp.sync_all()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        File::open(dir)?.sync_all()?;
+
+        let file = File::open(&self.path)?;
+        let slot = OnceLock::new();
+        let _ = slot.set(Some(filter));
+        Ok(SstReader {
+            id: self.id,
+            path: self.path.clone(),
+            file,
+            width: self.width,
+            index: self.index.clone(),
+            index_len: self.index_len,
+            filter_block_len: filter_bytes.len(),
+            pending_filter_bytes: Mutex::new(Vec::new()),
+            filter: slot,
+            fingerprint: Mutex::new((!sketch.is_empty()).then_some(sketch)),
+            probe_fp: AtomicU64::new(0),
+            probe_tn: AtomicU64::new(0),
+            retrain_count: self.retrain_count + 1,
+            retired: AtomicBool::new(false),
+            level: self.level,
+            min_key: self.min_key.clone(),
+            max_key: self.max_key.clone(),
+            n_entries: self.n_entries,
+            file_bytes: self.file_bytes,
+        })
+    }
+
     /// Has the filter block been decoded (or was it built in-process)?
     pub fn filter_ready(&self) -> bool {
         self.filter.get().is_some()
+    }
+
+    /// Is a real (non-degraded) filter currently live for this file?
+    /// `false` while the lazy decode is still pending — checking this
+    /// never forces a decode.
+    pub fn has_live_filter(&self) -> bool {
+        matches!(self.filter.get(), Some(Some(_)))
     }
 
     /// Size of the persisted filter block in bytes (0 = none).
@@ -281,6 +456,7 @@ impl SstReader {
         self.retired.store(true, Ordering::Release);
     }
 
+    /// Has compaction retired this file from the version set?
     pub fn is_retired(&self) -> bool {
         self.retired.load(Ordering::Acquire)
     }
@@ -316,6 +492,8 @@ pub struct SstWriter {
 }
 
 impl SstWriter {
+    /// Start a new SST `NNNNNNNN.sst.tmp` in `dir` (renamed to `.sst` by
+    /// [`SstWriter::finish`]).
     pub fn create(
         dir: &Path,
         id: u64,
@@ -381,6 +559,7 @@ impl SstWriter {
         self.offset + self.builder.raw_len() as u64
     }
 
+    /// Entries appended so far.
     pub fn n_entries(&self) -> u64 {
         self.n_entries
     }
@@ -398,20 +577,6 @@ impl SstWriter {
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
         out
-    }
-
-    fn encode_footer(&self, index_len: u64, filter_len: u64) -> [u8; SST_FOOTER_LEN as usize] {
-        let mut f = [0u8; SST_FOOTER_LEN as usize];
-        f[0..8].copy_from_slice(&self.offset.to_le_bytes());
-        f[8..16].copy_from_slice(&index_len.to_le_bytes());
-        f[16..24].copy_from_slice(&(self.offset + index_len).to_le_bytes());
-        f[24..32].copy_from_slice(&filter_len.to_le_bytes());
-        f[32..40].copy_from_slice(&self.n_entries.to_le_bytes());
-        f[40..44].copy_from_slice(&self.level.to_le_bytes());
-        f[44..48].copy_from_slice(&(self.width as u32).to_le_bytes());
-        f[48..50].copy_from_slice(&SST_FORMAT_VERSION.to_le_bytes());
-        f[56..64].copy_from_slice(&SST_MAGIC);
-        f
     }
 
     /// Finalize: build the per-file range filter from this SST's keys and
@@ -441,11 +606,17 @@ impl SstWriter {
         stats.filter_build_ns.add(t0.elapsed().as_nanos() as u64);
         stats.filters_built.inc();
 
+        // The training fingerprint: where (relative to this file's key
+        // range) the sample queries the filter was trained on landed. It
+        // rides along in the codec-v2 filter block so drift detection
+        // survives a crash/reopen.
+        let sketch = QuerySketch::from_queries(samples.iter(), &min_key, &max_key);
+
         // Encode the filter block; a filter without a persistent form
         // leaves the block empty; after a reopen that file simply has no
         // filter (recovery never retrains).
         let filter_bytes = match &filter {
-            Some(f) => match FilterCodec::encode(f.as_ref()) {
+            Some(f) => match FilterCodec::encode_with_fingerprint(f.as_ref(), &sketch) {
                 Ok(bytes) => bytes,
                 Err(_) => {
                     stats.filters_unpersisted.inc();
@@ -458,7 +629,14 @@ impl SstWriter {
         let index_bytes = self.encode_index();
         self.file.write_all(&index_bytes)?;
         self.file.write_all(&filter_bytes)?;
-        let footer = self.encode_footer(index_bytes.len() as u64, filter_bytes.len() as u64);
+        let footer = encode_footer(
+            self.offset,
+            index_bytes.len() as u64,
+            filter_bytes.len() as u64,
+            self.n_entries,
+            self.level,
+            self.width,
+        );
         self.file.write_all(&footer)?;
         self.file.sync_all()?;
         // The file is complete and durable: atomically give it its real
@@ -471,6 +649,7 @@ impl SstWriter {
 
         let file = File::open(&self.path)?;
         let slot = OnceLock::new();
+        let has_filter = filter.is_some();
         let _ = slot.set(filter);
         Ok(SstReader {
             id: self.id,
@@ -478,9 +657,14 @@ impl SstWriter {
             file,
             width: self.width,
             index: self.index,
+            index_len: index_bytes.len() as u64,
             filter_block_len: filter_bytes.len(),
             pending_filter_bytes: Mutex::new(Vec::new()),
             filter: slot,
+            fingerprint: Mutex::new((has_filter && !sketch.is_empty()).then_some(sketch)),
+            probe_fp: AtomicU64::new(0),
+            probe_tn: AtomicU64::new(0),
+            retrain_count: 0,
             retired: AtomicBool::new(false),
             level: self.level,
             min_key,
@@ -502,6 +686,7 @@ pub struct SstScanner {
 }
 
 impl SstScanner {
+    /// Start scanning `sst` from its first entry.
     pub fn new(sst: Arc<SstReader>, stats: Arc<Stats>) -> Self {
         SstScanner { sst, stats, block_idx: 0, entry_idx: 0, block: None }
     }

@@ -8,18 +8,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Counter(AtomicU64);
 
 impl Counter {
+    /// Add `v` to the counter.
     #[inline]
     pub fn add(&self, v: u64) {
         self.0.fetch_add(v, Ordering::Relaxed);
     }
+    /// Add one.
     #[inline]
     pub fn inc(&self) {
         self.add(1);
     }
+    /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+    /// Overwrite the value (used for gauges like `sampled_queries`).
     #[inline]
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
@@ -84,6 +88,22 @@ pub struct Stats {
     /// SSTs carry no filter block, so after a reopen those files serve
     /// unfiltered probes (recovery never retrains).
     pub filters_unpersisted: Counter,
+    /// Filter probes (real filters only) that answered positive for an SST
+    /// with no key in range — the adaptive lifecycle's per-probe false
+    /// positive evidence (also accumulated per SST).
+    pub observed_fp: Counter,
+    /// Filter probes (real filters only) that answered negative — true
+    /// negatives, the denominator partner of [`Stats::observed_fp`].
+    pub observed_tn: Counter,
+    /// SSTs flagged for re-training (observed FPR over threshold, or
+    /// sample-distribution divergence from the training fingerprint).
+    pub drift_flags: Counter,
+    /// Filters re-trained in the background by the adaptive lifecycle
+    /// (filter block rewritten in place; data blocks untouched).
+    pub filters_retrained: Counter,
+    /// Total nanoseconds spent re-training (key scan + modeling +
+    /// construction + filter-block rewrite).
+    pub retrain_ns: Counter,
 }
 
 impl Stats {
@@ -124,12 +144,32 @@ impl Stats {
             filter_load_ns: self.filter_load_ns.get(),
             filters_degraded: self.filters_degraded.get(),
             filters_unpersisted: self.filters_unpersisted.get(),
+            observed_fp: self.observed_fp.get(),
+            observed_tn: self.observed_tn.get(),
+            drift_flags: self.drift_flags.get(),
+            filters_retrained: self.filters_retrained.get(),
+            retrain_ns: self.retrain_ns.get(),
+        }
+    }
+
+    /// Observed empirical FPR of real filter probes (the adaptive
+    /// lifecycle's database-wide signal): `observed_fp / (observed_fp +
+    /// observed_tn)`, `0` before any probe.
+    pub fn observed_fpr(&self) -> f64 {
+        let fp = self.observed_fp.get();
+        let total = fp + self.observed_tn.get();
+        if total == 0 {
+            0.0
+        } else {
+            fp as f64 / total as f64
         }
     }
 }
 
-/// A point-in-time copy of [`Stats`].
+/// A point-in-time copy of [`Stats`]. Each field mirrors the counter of
+/// the same name; see the [`Stats`] field docs for the semantics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field semantics documented once, on `Stats`
 pub struct StatsSnapshot {
     pub seeks: u64,
     pub seeks_filtered: u64,
@@ -153,6 +193,11 @@ pub struct StatsSnapshot {
     pub filter_load_ns: u64,
     pub filters_degraded: u64,
     pub filters_unpersisted: u64,
+    pub observed_fp: u64,
+    pub observed_tn: u64,
+    pub drift_flags: u64,
+    pub filters_retrained: u64,
+    pub retrain_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -181,6 +226,21 @@ impl StatsSnapshot {
             filter_load_ns: self.filter_load_ns - earlier.filter_load_ns,
             filters_degraded: self.filters_degraded - earlier.filters_degraded,
             filters_unpersisted: self.filters_unpersisted - earlier.filters_unpersisted,
+            observed_fp: self.observed_fp - earlier.observed_fp,
+            observed_tn: self.observed_tn - earlier.observed_tn,
+            drift_flags: self.drift_flags - earlier.drift_flags,
+            filters_retrained: self.filters_retrained - earlier.filters_retrained,
+            retrain_ns: self.retrain_ns - earlier.retrain_ns,
+        }
+    }
+
+    /// Observed empirical FPR of real filter probes in this snapshot.
+    pub fn observed_fpr(&self) -> f64 {
+        let total = self.observed_fp + self.observed_tn;
+        if total == 0 {
+            0.0
+        } else {
+            self.observed_fp as f64 / total as f64
         }
     }
 

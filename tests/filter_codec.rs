@@ -1,11 +1,15 @@
 //! The persistent filter format, pinned and abused.
 //!
 //! * **Golden fixtures** — small encoded filters committed under
-//!   `tests/fixtures/` assert byte-exact encode output and successful
-//!   decode, freezing the v1 wire format against accidental drift. To
-//!   regenerate after an *intentional* format change (which must also bump
-//!   `FORMAT_VERSION`), run:
+//!   `tests/fixtures/v2/` assert byte-exact encode output and successful
+//!   decode, freezing the current (v2) wire format against accidental
+//!   drift. To regenerate after an *intentional* format change (which must
+//!   also bump `FORMAT_VERSION`), run:
 //!   `PROTEUS_REGEN_FIXTURES=1 cargo test --test filter_codec`.
+//! * **v1 compatibility** — the PR-2 era fixtures under
+//!   `tests/fixtures/v1/` are frozen forever (never regenerated): every
+//!   one must keep decoding into a working filter, with the codec-v2
+//!   training fingerprint defaulting to "none".
 //! * **Fuzz-style robustness** — decoding arbitrary bytes, truncations at
 //!   every prefix length, and single-byte corruptions of valid encodings
 //!   must return `Err(CodecError)`: never a panic, never a filter that
@@ -90,20 +94,48 @@ fn fixtures() -> Vec<(&'static str, Box<dyn RangeFilter>)> {
     ]
 }
 
-fn fixture_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+fn fixture_dir(version: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(version)
+}
+
+/// The deterministic training fingerprint persisted in the fingerprinted
+/// golden fixture: queries at fixed positions/lengths over the fixture
+/// key range.
+fn fixture_sketch() -> proteus::core::QuerySketch {
+    let ks = fixture_keys();
+    let bounds: Vec<(Vec<u8>, Vec<u8>)> = (0..256u64)
+        .map(|i| {
+            let lo = i.wrapping_mul(0x0123_4567_89AB_CDEF);
+            (lo.to_be_bytes().to_vec(), lo.saturating_add(1 + i * 512).to_be_bytes().to_vec())
+        })
+        .collect();
+    proteus::core::QuerySketch::from_queries(
+        bounds.iter().map(|(l, h)| (l.as_slice(), h.as_slice())),
+        ks.key(0),
+        ks.key(ks.len() - 1),
+    )
 }
 
 #[test]
-fn golden_fixtures_pin_the_v1_wire_format() {
-    let dir = fixture_dir();
+fn golden_fixtures_pin_the_v2_wire_format() {
+    let dir = fixture_dir("v2");
     let regen = std::env::var_os("PROTEUS_REGEN_FIXTURES").is_some();
     if regen {
         std::fs::create_dir_all(&dir).unwrap();
     }
-    for (name, filter) in fixtures() {
-        let encoded = FilterCodec::encode(filter.as_ref()).unwrap();
-        let path = dir.join(name);
+    // Every kind without a fingerprint, plus one fingerprinted envelope
+    // (the sketch section is part of the wire format too).
+    let mut encodings: Vec<(String, Vec<u8>)> = fixtures()
+        .into_iter()
+        .map(|(name, f)| (name.to_string(), FilterCodec::encode(f.as_ref()).unwrap()))
+        .collect();
+    let fingerprinted = fixtures().remove(1).1; // the Proteus fixture
+    encodings.push((
+        "proteus_l16_l40_fp.bin".to_string(),
+        FilterCodec::encode_with_fingerprint(fingerprinted.as_ref(), &fixture_sketch()).unwrap(),
+    ));
+    for (name, encoded) in encodings {
+        let path = dir.join(&name);
         if regen {
             std::fs::write(&path, &encoded).unwrap();
             continue;
@@ -113,15 +145,52 @@ fn golden_fixtures_pin_the_v1_wire_format() {
         });
         assert_eq!(
             encoded, golden,
-            "{name}: encode output drifted from the committed v1 fixture — \
+            "{name}: encode output drifted from the committed v2 fixture — \
              if the format change is intentional, bump FORMAT_VERSION and \
              regenerate the fixtures"
         );
         // The committed bytes must also decode into a working filter.
         let decoded = FilterCodec::decode(&golden).unwrap();
         assert!(!decoded.degraded, "{name}");
+    }
+}
+
+#[test]
+fn v2_fingerprint_fixture_roundtrips_sketch() {
+    let golden = std::fs::read(fixture_dir("v2").join("proteus_l16_l40_fp.bin"));
+    let Ok(golden) = golden else {
+        return; // regen run hasn't produced it yet; the golden test covers it
+    };
+    let decoded = FilterCodec::decode(&golden).unwrap();
+    let sketch = decoded.fingerprint.expect("fingerprinted fixture must carry its sketch");
+    assert_eq!(sketch, fixture_sketch());
+    assert_eq!(sketch.divergence(&fixture_sketch()), 0.0);
+}
+
+#[test]
+fn golden_v1_fixtures_still_decode_with_no_fingerprint() {
+    // The v1 fixtures are frozen history: bytes written by the PR-2 codec.
+    // They are never regenerated — a build that cannot decode them has
+    // broken compatibility with every database on disk.
+    let dir = fixture_dir("v1");
+    for (name, filter) in fixtures() {
+        let golden = std::fs::read(dir.join(name))
+            .unwrap_or_else(|e| panic!("missing frozen v1 fixture {name} ({e})"));
+        let decoded = FilterCodec::decode(&golden)
+            .unwrap_or_else(|e| panic!("v1 fixture {name} no longer decodes: {e:?}"));
+        assert!(!decoded.degraded, "{name}");
+        assert!(decoded.fingerprint.is_none(), "{name}: v1 must default to no fingerprint");
         assert_eq!(decoded.filter.name(), filter.name(), "{name}");
         assert_eq!(decoded.filter.size_bits(), filter.size_bits(), "{name}");
+        // And the v1 bytes remain corruption-proof under the v2 decoder.
+        for cut in 0..golden.len() {
+            assert!(FilterCodec::decode(&golden[..cut]).is_err(), "{name} cut {cut}");
+        }
+        for i in 0..golden.len() {
+            let mut bad = golden.clone();
+            bad[i] ^= 0x01;
+            assert!(FilterCodec::decode(&bad).is_err(), "{name} corrupt byte {i}");
+        }
     }
 }
 

@@ -266,3 +266,136 @@ fn concurrent_readers_match_ground_truth_during_load() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn adaptive_lifecycle_recovers_fpr_after_workload_shift() {
+    // The self-design loop, closed online: filters trained for a uniform
+    // long-range workload face a hard shift to correlated short ranges
+    // (the paper's Fig. 7/8 transition). The adaptive pass must flag the
+    // decayed files, re-train their filters on the live sample queue, cut
+    // the observed FPR back down, and persist the re-trained filters so a
+    // reopen serves them without any retraining.
+    let dir = tmpdir("adaptive-e2e");
+    let raw = Dataset::Uniform.generate(20_000, 7);
+    let mirror: BTreeSet<u64> = raw.iter().copied().collect();
+    let mut cfg = small_cfg(12.0);
+    cfg.adapt_enabled = false; // drive passes via adapt_now() for determinism
+    cfg.adapt_min_probes = 100;
+    cfg.adapt_fpr_threshold = 0.02;
+    cfg.adapt_divergence_threshold = 0.4;
+    cfg.queue_capacity = 2_000; // small queue => the live sample tracks the shift
+
+    let train_w = Workload::Uniform { rmax: 1 << 15 };
+    let shift_w = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };
+
+    let db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
+    let seeds = QueryGen::new(train_w.clone(), &raw, &[], 0xA).empty_ranges(2_000);
+    db.seed_queries(seeds.iter().map(|&(lo, hi)| (u64_key(lo).to_vec(), u64_key(hi).to_vec())));
+    for &k in &raw {
+        db.put_u64(k, &[9u8; 64]).unwrap();
+    }
+    db.flush_and_settle().unwrap();
+
+    // Run a batch of certified-empty queries; returns the observed filter
+    // FPR of the batch. Every answer is checked against ground truth.
+    let run = |db: &Db, w: &Workload, n: usize, seed: u64| -> f64 {
+        let before = db.stats().snapshot();
+        for (lo, hi) in QueryGen::new(w.clone(), &raw, &[], seed).empty_ranges(n) {
+            let got = db.seek_u64(lo, hi).unwrap();
+            assert!(!mirror.range(lo..=hi).next().is_some() || got, "[{lo:#x},{hi:#x}]");
+        }
+        db.stats().snapshot().delta(&before).observed_fpr()
+    };
+
+    let fpr_matched = run(&db, &train_w, 3_000, 1);
+    let fpr_shifted = run(&db, &shift_w, 3_000, 2);
+    assert!(
+        fpr_shifted > fpr_matched,
+        "the shift must hurt: matched {fpr_matched:.4} vs shifted {fpr_shifted:.4}"
+    );
+
+    // The queue now holds only post-shift samples; one adaptive pass must
+    // flag and re-train the decayed filters.
+    let retrained = db.adapt_now().unwrap();
+    assert!(retrained > 0, "no filters re-trained after a hard workload shift");
+    assert_eq!(db.stats().filters_retrained.get(), retrained as u64);
+    assert!(db.stats().drift_flags.get() >= retrained as u64);
+    assert!(db.stats().retrain_ns.get() > 0);
+
+    let fpr_adapted = run(&db, &shift_w, 3_000, 3);
+    assert!(
+        fpr_adapted < fpr_shifted,
+        "re-training must recover FPR: shifted {fpr_shifted:.4} vs adapted {fpr_adapted:.4}"
+    );
+
+    // Zero false negatives throughout: every key still findable.
+    for &k in raw.iter().step_by(53) {
+        assert!(db.seek_u64(k, k).unwrap(), "key {k:#x} lost after re-training");
+    }
+
+    // Re-trained filter blocks are durable: a cold reopen loads them
+    // without any retraining and keeps the adapted FPR.
+    let filter_bits = db.filter_bits();
+    let sst_count = db.sst_count();
+    drop(db);
+    let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+    let fpr_reopened = run(&db, &shift_w, 3_000, 4);
+    assert_eq!(db.stats().filters_built.get(), 0, "reopen must not retrain");
+    assert_eq!(db.stats().filters_loaded.get(), sst_count as u64);
+    assert_eq!(db.filter_bits(), filter_bits, "re-trained filters must reload bit-identically");
+    assert!(
+        fpr_reopened < fpr_shifted,
+        "adapted FPR must survive reopen: {fpr_reopened:.4} vs shifted {fpr_shifted:.4}"
+    );
+    for &k in raw.iter().step_by(101) {
+        assert!(db.seek_u64(k, k).unwrap(), "key {k:#x} lost across reopen");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_adapter_thread_retrains_on_its_own() {
+    // Same shift as above, but the third background worker (enabled via
+    // `adapt_enabled`) must notice and re-train without any explicit
+    // adapt_now() call.
+    let dir = tmpdir("adaptive-bg");
+    let raw = Dataset::Uniform.generate(10_000, 23);
+    let mut cfg = small_cfg(12.0);
+    cfg.adapt_enabled = true;
+    cfg.adapt_interval = std::time::Duration::from_millis(20);
+    cfg.adapt_min_probes = 100;
+    cfg.adapt_fpr_threshold = 0.02;
+    cfg.adapt_divergence_threshold = 0.4;
+    cfg.queue_capacity = 1_000;
+
+    let train_w = Workload::Uniform { rmax: 1 << 15 };
+    let shift_w = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };
+    let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+    let seeds = QueryGen::new(train_w, &raw, &[], 0xB).empty_ranges(1_000);
+    db.seed_queries(seeds.iter().map(|&(lo, hi)| (u64_key(lo).to_vec(), u64_key(hi).to_vec())));
+    for &k in &raw {
+        db.put_u64(k, &[4u8; 64]).unwrap();
+    }
+    db.flush_and_settle().unwrap();
+
+    // Shifted traffic; keep seeking until the background worker reacts
+    // (bounded: ~15s of 20ms scan intervals is three orders of magnitude
+    // more than it needs).
+    let mut reacted = false;
+    for round in 0..300u64 {
+        for (lo, hi) in QueryGen::new(shift_w.clone(), &raw, &[], 0xC0 + round).empty_ranges(200) {
+            let _ = db.seek_u64(lo, hi).unwrap();
+        }
+        if db.stats().filters_retrained.get() > 0 {
+            reacted = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(reacted, "background adapter never re-trained a filter");
+    // Store still correct under and after the concurrent rewrite.
+    for &k in raw.iter().step_by(41) {
+        assert!(db.seek_u64(k, k).unwrap(), "key {k:#x} lost during background re-training");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
