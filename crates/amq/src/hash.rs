@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn hasher_codec_roundtrip_hashes_identically() {
         for family in [HashFamily::Murmur3, HashFamily::ClHash] {
-            let hasher = PrefixHasher::new(family, 0xC0FF_EE);
+            let hasher = PrefixHasher::new(family, 0x00C0_FFEE);
             let mut buf = Vec::new();
             hasher.encode_into(&mut buf);
             let mut r = ByteReader::new(&buf);

@@ -115,7 +115,7 @@ impl ClHasher {
                     let k1 = self.keys[(lane_pair * 2 + 1) % KEY_WORDS];
                     acc ^= clmul64(first ^ k0, lane ^ k1);
                     lane_pair += 1;
-                    if lane_pair * 2 % KEY_WORDS == 0 {
+                    if (lane_pair * 2).is_multiple_of(KEY_WORDS) {
                         // Recycled key block: tweak so long inputs don't see
                         // a repeating structure.
                         chunk_tweak =

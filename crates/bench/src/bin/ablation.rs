@@ -90,7 +90,7 @@ fn main() {
             let mut prev: Option<Vec<u8>> = None;
             for key in keyset.iter() {
                 let fresh =
-                    prev.as_deref().map_or(true, |p| proteus_core::key::lcp_bits(p, key) < l2);
+                    prev.as_deref().is_none_or(|p| proteus_core::key::lcp_bits(p, key) < l2);
                 if fresh {
                     amq.insert_hash(hasher.hash_prefix(key, l2 as u32).to_u128());
                 }

@@ -147,7 +147,7 @@ fn part_b(args: &Args) {
                 &TwoPbfFilterOptions::default(),
             );
             let observed = measure_fpr(&f, &sc.eval);
-            if best.map_or(true, |b| expected < b.expected_fpr) {
+            if best.is_none_or(|b| expected < b.expected_fpr) {
                 best = Some(design);
             }
             t.row(vec![

@@ -27,7 +27,7 @@ fn workload_for(base: &Workload, qtype: &str, rmax: u64) -> Workload {
         }
         Workload::Split { corr_degree, .. } => Workload::Split {
             uniform_rmax: r,
-            correlated_rmax: r.min(64).max(2),
+            correlated_rmax: r.clamp(2, 64),
             corr_degree: *corr_degree,
         },
         // Real workloads draw bounds from the dataset itself; on dense

@@ -195,4 +195,82 @@ fn main() {
         }
     }
     c.finish(args.out.as_deref(), "fig6c_thread_scaling");
+
+    // Mixed get/scan/seek workload under deletes (`--deletes FRAC`): the
+    // API-v2 surface measured on a store where a fraction of the keys
+    // carry tombstones. Every answer is verified against the ground-truth
+    // mirror — a hit must return its exact value, a deleted key must stay
+    // dead — so these throughputs double as a correctness pass. This
+    // gives future perf PRs a point-read / range-scan baseline alongside
+    // the paper's Seek numbers.
+    let deletes = args.get_f64("deletes", 0.2);
+    let mut d = Table::new(
+        &format!(
+            "Figure 6d: mixed get/scan/seek workload ({:.0}% of keys deleted)",
+            deletes * 100.0
+        ),
+        &[
+            "filter",
+            "deleted",
+            "tombstones_dropped",
+            "seek_kops",
+            "get_kops",
+            "get_hit_rate",
+            "scan_kops",
+            "scan_entries",
+        ],
+    );
+    let mut rng_state = args.seed ^ 0xD;
+    let mut next = move || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state
+    };
+    // Gets: half loaded keys (live or deleted), half misses near them.
+    let get_keys: Vec<u64> = (0..args.queries)
+        .map(|_| {
+            let k = keys[(next() % keys.len() as u64) as usize];
+            // Branch on a mixed high bit (the LCG's low bit alternates).
+            if next() & (1 << 33) == 0 {
+                k
+            } else {
+                k ^ 1 // neighbor: almost always a certified miss
+            }
+        })
+        .collect();
+    // Scans: short ranges anchored on loaded keys (the §6.3 short-range shape).
+    let scan_ranges: Vec<(u64, u64)> = (0..args.queries / 4)
+        .map(|_| {
+            let k = keys[(next() % keys.len() as u64) as usize];
+            (k.saturating_sub(next() % 64), k.saturating_add(next() % (1 << 12)))
+        })
+        .collect();
+    for (fname, factory) in factories() {
+        let mut run =
+            LsmRun::load(&format!("fig6-mixed-{fname}"), bpk, &keys, value_len, &seed_q, factory);
+        let deleted = run.delete_frac(deletes, args.seed ^ 0x6D);
+        run.db.flush_and_settle().expect("settle deletes");
+        let sr = run.run_batch(&eval);
+        let gr = run.run_get_batch(&get_keys, value_len);
+        let cr = run.run_scan_batch(&scan_ranges);
+        let seek_kops = eval.len() as f64 / sr.elapsed_s.max(1e-9) / 1e3;
+        println!(
+            "{fname:<8} deleted={} seeks={:.1}kops gets={:.1}kops (hit {:.2}) scans={:.1}kops",
+            deleted.len(),
+            seek_kops,
+            gr.ops_per_sec() / 1e3,
+            gr.hits as f64 / gr.ops.max(1) as f64,
+            cr.ops_per_sec() / 1e3,
+        );
+        d.row(vec![
+            fname.to_string(),
+            deleted.len().to_string(),
+            run.db.stats().tombstones_dropped.get().to_string(),
+            format!("{seek_kops:.1}"),
+            format!("{:.1}", gr.ops_per_sec() / 1e3),
+            format!("{:.3}", gr.hits as f64 / gr.ops.max(1) as f64),
+            format!("{:.1}", cr.ops_per_sec() / 1e3),
+            cr.entries.to_string(),
+        ]);
+    }
+    d.finish(args.out.as_deref(), "fig6d_mixed_workload");
 }

@@ -63,11 +63,14 @@ pub fn run_transition(args: &Args, tag: &str, dataset: Dataset, reverse: bool) {
         // Scaled-down write path: the paper's 40M Puts over 60M Seeks force
         // ~15-20 compactions per batch; shrinking the MemTable and SSTs
         // reproduces that filter-rebuild cadence at laptop scale.
-        let mut cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8);
-        cfg.memtable_bytes = 256 << 10;
-        cfg.sst_target_bytes = 256 << 10;
-        cfg.level_base_bytes = 1 << 20;
-        cfg.sample_every = 5;
+        let cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8)
+            .to_builder()
+            .memtable_bytes(256 << 10)
+            .sst_target_bytes(256 << 10)
+            .level_base_bytes(1 << 20)
+            .sample_every(5)
+            .build()
+            .expect("fig7 config");
         let mut run = LsmRun::load_cfg(
             &format!("fig7-{tag}-{fname}"),
             cfg,

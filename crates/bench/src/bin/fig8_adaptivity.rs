@@ -67,14 +67,17 @@ fn run_mode(args: &Args, adaptive: bool, t: &mut Table) -> f64 {
     let start_w = Workload::Uniform { rmax: 1 << 15 };
     let end_w = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };
 
-    let mut cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8);
-    cfg.sample_every = 2;
-    cfg.queue_capacity = 2_000; // small queue => the live sample tracks the shift
-    cfg.adapt_enabled = adaptive;
-    cfg.adapt_interval = std::time::Duration::from_millis(50);
-    cfg.adapt_min_probes = 200;
-    cfg.adapt_fpr_threshold = 0.01;
-    cfg.adapt_divergence_threshold = 0.4;
+    let cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8)
+        .to_builder()
+        .sample_every(2)
+        .queue_capacity(2_000) // small queue => the live sample tracks the shift
+        .adapt_enabled(adaptive)
+        .adapt_interval(std::time::Duration::from_millis(50))
+        .adapt_min_probes(200)
+        .adapt_fpr_threshold(0.01)
+        .adapt_divergence_threshold(0.4)
+        .build()
+        .expect("fig8 config");
 
     let seed_q = QueryGen::new(start_w.clone(), &keys, &[], args.seed ^ 0xA)
         .empty_ranges(args.samples.min(20_000));

@@ -39,11 +39,14 @@ fn run_immediate(args: &Args, tag: &str, dataset: Dataset, reverse: bool) {
 
     let seed_q = QueryGen::new(start_w.clone(), &initial_keys, &[], args.seed ^ 0xA)
         .empty_ranges(args.samples.min(20_000));
-    let mut cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8);
-    cfg.memtable_bytes = 256 << 10;
-    cfg.sst_target_bytes = 256 << 10;
-    cfg.level_base_bytes = 1 << 20;
-    cfg.sample_every = 5;
+    let cfg = proteus_bench::lsm_harness::lsm_config(args.get_u64("lsm-bpk", 12) as f64, 8)
+        .to_builder()
+        .memtable_bytes(256 << 10)
+        .sst_target_bytes(256 << 10)
+        .level_base_bytes(1 << 20)
+        .sample_every(5)
+        .build()
+        .expect("fig8 config");
     let mut run = LsmRun::load_cfg(
         &format!("fig8-{tag}"),
         cfg,

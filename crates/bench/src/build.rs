@@ -92,7 +92,7 @@ pub fn surf_best_under_budget(
             continue;
         }
         let fpr = crate::measure::measure_fpr(&surf, eval);
-        if best.as_ref().map_or(true, |(_, b)| fpr < *b) {
+        if best.as_ref().is_none_or(|(_, b)| fpr < *b) {
             best = Some((surf, fpr));
         }
     }

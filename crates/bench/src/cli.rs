@@ -12,6 +12,8 @@
 //! --out PATH     CSV output path (default results/<binary>.csv)
 //! --part X       sub-experiment selector (figure-specific)
 //! --threads N    max reader threads for concurrent LSM scenarios
+//! --deletes FRAC fig6: fraction of loaded keys deleted before the mixed
+//!                get/scan/seek measurement (tombstone workload)
 //! ```
 
 use std::collections::HashMap;
@@ -66,6 +68,8 @@ impl Args {
                  --heatmap-bpk B   fig1: bits per key for the heatmap (default 12)\n\
                  --fig4-bpk B      fig4: bits per key (default 10); --step N grid step\n\
                  --value-len N     fig6/7/8/9: value size in bytes (default 128)\n\
+                 --deletes FRAC    fig6: fraction of keys deleted before the mixed\n\
+                 \x20              get/scan/seek measurement (default 0.2)\n\
                  --lsm-bpk B       fig7/8: filter budget in the LSM store (default 12)\n\
                  --batches N       fig7/8: batches per run (default 12)\n\
                  --puts N          fig7/fig8_immediate_shift: interleaved inserts\n\
@@ -105,6 +109,11 @@ impl Args {
 
     /// A `u64` flag with default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.map.get(key).map_or(default, |v| v.parse().expect(key))
+    }
+
+    /// An `f64` flag with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.map.get(key).map_or(default, |v| v.parse().expect(key))
     }
 }

@@ -12,21 +12,21 @@ use std::time::Instant;
 
 /// Scaled-down defaults for the §6.2 RocksDB tuning (ratios preserved).
 pub fn lsm_config(bits_per_key: f64, key_width: usize) -> DbConfig {
-    DbConfig {
-        key_width,
-        memtable_bytes: 1 << 20,
-        max_immutable_memtables: 2,
-        block_bytes: 4096,
-        sst_target_bytes: 1 << 20,
-        l0_compaction_trigger: 4,
-        level_base_bytes: 4 << 20,
-        level_size_ratio: 10,
-        bits_per_key,
-        block_cache_bytes: 8 << 20,
-        queue_capacity: 20_000,
-        sample_every: 100,
-        ..DbConfig::default()
-    }
+    DbConfig::builder()
+        .key_width(key_width)
+        .memtable_bytes(1 << 20)
+        .max_immutable_memtables(2)
+        .block_bytes(4096)
+        .sst_target_bytes(1 << 20)
+        .l0_compaction_trigger(4)
+        .level_base_bytes(4 << 20)
+        .level_size_ratio(10)
+        .bits_per_key(bits_per_key)
+        .block_cache_bytes(8 << 20)
+        .queue_capacity(20_000)
+        .sample_every(100)
+        .build()
+        .expect("bench config is valid")
 }
 
 /// Fresh experiment directory (removed if it already exists).
@@ -122,6 +122,80 @@ impl LsmRun {
         self.mirror.insert(key);
     }
 
+    /// The `--deletes FRAC` mixed-workload knob: delete a deterministic
+    /// `frac` of the currently loaded keys (tombstones flow through the
+    /// store; the ground-truth mirror forgets them), returning the keys
+    /// deleted so the caller can probe them as certified misses.
+    pub fn delete_frac(&mut self, frac: f64, seed: u64) -> Vec<u64> {
+        let frac = frac.clamp(0.0, 1.0);
+        let threshold = (frac * u64::MAX as f64) as u64;
+        let doomed: Vec<u64> =
+            self.mirror.iter().copied().filter(|&k| splitmix(k ^ seed) <= threshold).collect();
+        for &k in &doomed {
+            self.db.delete_u64(k).expect("delete");
+            self.mirror.remove(&k);
+        }
+        doomed
+    }
+
+    /// Execute a batch of exact-key `get`s, verifying every answer against
+    /// the mirror: a live key must return its exact §6.2 value, a deleted
+    /// or never-written key must return `None` (no resurrection).
+    pub fn run_get_batch(&self, keys: &[u64], value_len: usize) -> GetBatchResult {
+        let before = self.db.stats().snapshot();
+        let t0 = Instant::now();
+        let mut hits = 0u64;
+        for &k in keys {
+            let got = self.db.get_u64(k).expect("get");
+            if self.mirror.contains(&k) {
+                assert_eq!(
+                    got.as_deref(),
+                    Some(value_for_key(k, value_len).as_slice()),
+                    "get({k:#x}) returned a wrong or stale value"
+                );
+                hits += 1;
+            } else {
+                assert_eq!(got, None, "get({k:#x}) resurrected a dead key");
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let after = self.db.stats().snapshot();
+        GetBatchResult {
+            ops: keys.len() as u64,
+            hits,
+            elapsed_s: elapsed,
+            stats: after.delta(&before),
+        }
+    }
+
+    /// Execute a batch of ordered range scans, verifying each result set
+    /// (keys and entry counts) against the mirror.
+    pub fn run_scan_batch(&self, ranges: &[(u64, u64)]) -> ScanBatchResult {
+        let before = self.db.stats().snapshot();
+        let t0 = Instant::now();
+        let mut entries = 0u64;
+        for &(lo, hi) in ranges {
+            let got: Vec<u64> = self
+                .db
+                .range_u64(lo..=hi)
+                .expect("range")
+                .map(|e| e.map(|(k, _)| proteus_core::key::key_u64(&k)))
+                .collect::<proteus_lsm::Result<_>>()
+                .expect("range entry");
+            let want: Vec<u64> = self.mirror.range(lo..=hi).copied().collect();
+            assert_eq!(got, want, "scan [{lo:#x},{hi:#x}] diverged from mirror");
+            entries += got.len() as u64;
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let after = self.db.stats().snapshot();
+        ScanBatchResult {
+            ops: ranges.len() as u64,
+            entries,
+            elapsed_s: elapsed,
+            stats: after.delta(&before),
+        }
+    }
+
     /// Execute a Seek, verifying against ground truth. Returns
     /// `(reported, truly_non_empty)`; a `(true, false)` outcome is an
     /// end-to-end false positive. Takes `&self`: any number of reader
@@ -199,6 +273,50 @@ impl LsmRun {
             empties: per_thread.iter().map(|r| r.1).sum(),
             stats: after.delta(&before),
         }
+    }
+}
+
+/// SplitMix64: deterministic per-key coin for `delete_frac`.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Metrics for one batch of verified exact-key `get`s.
+#[derive(Debug, Clone)]
+pub struct GetBatchResult {
+    /// Gets executed.
+    pub ops: u64,
+    /// Gets that found a live key (the rest were certified misses).
+    pub hits: u64,
+    pub elapsed_s: f64,
+    pub stats: StatsSnapshot,
+}
+
+impl GetBatchResult {
+    /// Gets per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s.max(1e-9)
+    }
+}
+
+/// Metrics for one batch of verified ordered range scans.
+#[derive(Debug, Clone)]
+pub struct ScanBatchResult {
+    /// Scans executed.
+    pub ops: u64,
+    /// Live entries yielded across all scans.
+    pub entries: u64,
+    pub elapsed_s: f64,
+    pub stats: StatsSnapshot,
+}
+
+impl ScanBatchResult {
+    /// Scans per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s.max(1e-9)
     }
 }
 

@@ -50,7 +50,7 @@ impl Table {
             println!("  {}", padded.join("  "));
         };
         line(&self.header);
-        line(&vec!["-".repeat(3); self.header.len()].iter().map(|s| s.clone()).collect::<Vec<_>>());
+        line(&vec!["-".repeat(3); self.header.len()]);
         for row in &self.rows {
             line(row);
         }

@@ -129,7 +129,7 @@ pub fn bit_slice(buf: &[u8], from: usize, to: usize, cap: u64) -> u64 {
     let mut i = from;
     // Byte-aligned fast path once aligned.
     while i < to {
-        if i % 8 == 0 && i + 8 <= to {
+        if i.is_multiple_of(8) && i + 8 <= to {
             if acc > (cap >> 8) {
                 return cap;
             }
@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn u64_canonical_preserves_order() {
-        let mut vals = vec![0u64, 1, 255, 256, 1 << 32, u64::MAX - 1, u64::MAX];
+        let mut vals = [0u64, 1, 255, 256, 1 << 32, u64::MAX - 1, u64::MAX];
         vals.sort_unstable();
         let keys: Vec<[u8; 8]> = vals.iter().map(|&v| u64_key(v)).collect();
         for w in keys.windows(2) {

@@ -62,7 +62,7 @@ impl KeySet {
     /// Build from a flat buffer of canonical keys that is already sorted
     /// and deduplicated (zero-copy path for SST construction).
     pub fn from_sorted_canonical(data: Vec<u8>, width: usize) -> Self {
-        debug_assert!(width > 0 && data.len() % width == 0);
+        debug_assert!(width > 0 && data.len().is_multiple_of(width));
         debug_assert!(
             data.chunks_exact(width).zip(data.chunks_exact(width).skip(1)).all(|(a, b)| a < b),
             "keys must be strictly ascending"
@@ -71,7 +71,7 @@ impl KeySet {
     }
 
     fn from_sorted_flat(data: Vec<u8>, width: usize) -> Self {
-        let n = if width == 0 { 0 } else { data.len() / width };
+        let n = data.len().checked_div(width).unwrap_or(0);
         let bits = width * 8;
 
         // Histogram of consecutive-pair LCPs -> |K_l| for all l.

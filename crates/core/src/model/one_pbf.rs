@@ -42,12 +42,12 @@ impl OnePbfModel {
             let ctx = ctxs[i];
             let lcp_total = ctx.lcp_total();
             let mut scan = BitScan::seed(lo, hi, 0);
-            for l in 1..=bits {
+            for (l, bin) in bins.iter_mut().enumerate().skip(1) {
                 scan.step(get_bit(lo, l - 1), get_bit(hi, l - 1));
                 if l <= lcp_total {
-                    bins[l].guaranteed += 1;
+                    bin.guaranteed += 1;
                 } else {
-                    bins[l].add(scan.regions());
+                    bin.add(scan.regions());
                 }
             }
         }

@@ -309,14 +309,14 @@ fn accumulate_query(
     if vi >= l2_values.len() {
         return;
     }
-    for l2 in l1 + 1..=bits {
+    for (l2, bin) in bins.iter_mut().enumerate().take(bits + 1).skip(l1 + 1) {
         scan.step(get_bit(lo, l2 - 1), get_bit(hi, l2 - 1));
         if l2_values[vi] != l2 {
             continue;
         }
         vi += 1;
         if l2 <= lcp_total {
-            bins[l2].guaranteed += 1;
+            bin.guaranteed += 1;
         } else {
             let probes = if single {
                 // Both query ends share the (occupied) l1-region.
@@ -331,7 +331,7 @@ fn accumulate_query(
                 }
                 n
             };
-            bins[l2].add(probes);
+            bin.add(probes);
         }
         if vi >= l2_values.len() {
             break;

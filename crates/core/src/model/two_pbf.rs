@@ -145,6 +145,7 @@ impl TwoPbfModel {
                 if vi >= n_l2 {
                     continue;
                 }
+                #[allow(clippy::needless_range_loop)] // l2 indexes two parallel tables
                 for l2 in l1 + 1..=bits {
                     scan.step(get_bit(lo, l2 - 1), get_bit(hi, l2 - 1));
                     if l2_values[vi] != l2 {

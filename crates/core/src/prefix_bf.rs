@@ -204,6 +204,6 @@ mod tests {
                 pos += 1;
             }
         }
-        assert!(pos >= 8 && pos < 20, "{pos} positive top bytes");
+        assert!((8..20).contains(&pos), "{pos} positive top bytes");
     }
 }

@@ -82,7 +82,7 @@ impl Proteus {
     ) -> Self {
         let l1 = design.trie_depth_bits;
         let l2 = design.bloom_prefix_len;
-        debug_assert!(l1 % 8 == 0, "trie depths are byte-granular");
+        debug_assert!(l1.is_multiple_of(8), "trie depths are byte-granular");
         let trie = (l1 > 0 && !keys.is_empty()).then(|| ProteusTrie::build(keys, l1 / 8));
         let trie_bits = trie.as_ref().map_or(0, |t| t.size_bits());
         let bloom = (l2 > 0 && !keys.is_empty()).then(|| {

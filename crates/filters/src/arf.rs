@@ -146,7 +146,7 @@ impl Arf {
                     (&self.nodes[left as usize], &self.nodes[right as usize])
                 {
                     let recency = (*ul).max(*ur);
-                    if victim.map_or(true, |(_, r)| recency < r) {
+                    if victim.is_none_or(|(_, r)| recency < r) {
                         victim = Some((i as u32, recency));
                     }
                 }

@@ -90,7 +90,7 @@ impl Rosetta {
                 }
                 let alloc = Self::allocate(m_bits, levels, frac);
                 let fpr = Self::estimate_fpr(keys, samples, &ctxs, &alloc, bits);
-                if best.map_or(true, |(b, _, _)| fpr < b) {
+                if best.is_none_or(|(b, _, _)| fpr < b) {
                     best = Some((fpr, levels, frac));
                 }
             }
@@ -453,8 +453,7 @@ mod tests {
         let keys: Vec<u64> = (0..500).map(|_| splitmix(&mut s)).collect();
         let ks = KeySet::from_u64(&keys);
         let samples = sample_ranges(&ks, 100, 16, 13);
-        let mut opts = RosettaOptions::default();
-        opts.probe_cap = 1 << 12;
+        let opts = RosettaOptions { probe_cap: 1 << 12, ..Default::default() };
         let f = Rosetta::train(&ks, &samples, 500 * 12, &opts);
         assert!(f.query_u64(0, u64::MAX));
     }

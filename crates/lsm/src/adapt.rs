@@ -31,6 +31,7 @@
 //! pass synchronously for deterministic tests and experiments.
 
 use crate::db::DbConfig;
+use crate::error::Result;
 use crate::sst::{SstReader, SstScanner};
 use crate::stats::Stats;
 use crate::FilterFactory;
@@ -69,14 +70,14 @@ pub fn flag_reason(sst: &SstReader, cfg: &DbConfig, live: &SampleQueries) -> Opt
     // retraining again every scan would burn CPU for nothing. Each retry
     // needs twice the probe evidence. The drift trigger below is exempt —
     // a *new* distribution shift always deserves a prompt re-train.
-    let required = cfg.adapt_min_probes.saturating_mul(1u64 << sst.retrain_count().min(20));
-    if sst.observed_probes() >= required && sst.observed_fpr() > cfg.adapt_fpr_threshold {
+    let required = cfg.adapt_min_probes().saturating_mul(1u64 << sst.retrain_count().min(20));
+    if sst.observed_probes() >= required && sst.observed_fpr() > cfg.adapt_fpr_threshold() {
         return Some(FlagReason::HighFpr);
     }
     if live.len() >= MIN_DRIFT_SAMPLES {
         if let Some(trained) = sst.training_fingerprint() {
             let live_sketch = QuerySketch::from_queries(live.iter(), &sst.min_key, &sst.max_key);
-            if trained.divergence(&live_sketch) > cfg.adapt_divergence_threshold {
+            if trained.divergence(&live_sketch) > cfg.adapt_divergence_threshold() {
                 return Some(FlagReason::Drift);
             }
         }
@@ -94,12 +95,16 @@ pub fn retrain(
     live: &SampleQueries,
     bits_per_key: f64,
     stats: &Arc<Stats>,
-) -> std::io::Result<SstReader> {
+) -> Result<SstReader> {
     let t0 = Instant::now();
     let width = live.width();
     let mut keys = Vec::with_capacity(sst.n_entries as usize * width);
     let mut scan = SstScanner::new(Arc::clone(sst), Arc::clone(stats));
-    while let Some((k, _)) = scan.next() {
+    // Every entry key feeds the new filter, tombstones included: a
+    // filter that answered "empty" for a range holding only a tombstone
+    // would make the read path skip this file, miss the delete, and
+    // resurrect an older version of the key from a deeper level.
+    while let Some((k, _)) = scan.try_next()? {
         keys.extend_from_slice(&k);
     }
     let keyset = KeySet::from_sorted_canonical(keys, width);
@@ -154,7 +159,7 @@ mod tests {
     fn unprobed_or_filterless_files_are_never_flagged() {
         let dir = tmpdir("noflag");
         let (sst, _stats) = build_sst(&dir, &queries(0, 200));
-        let cfg = DbConfig { adapt_min_probes: 4, ..Default::default() };
+        let cfg = DbConfig::builder().adapt_min_probes(4).build().unwrap();
         let live = SampleQueries::from_u64(&queries(0, 200));
         assert_eq!(flag_reason(&sst, &cfg, &live), None, "healthy file must not be flagged");
         let _ = std::fs::remove_dir_all(&dir);
@@ -164,7 +169,8 @@ mod tests {
     fn high_observed_fpr_flags_the_file() {
         let dir = tmpdir("fpr");
         let (sst, _stats) = build_sst(&dir, &queries(0, 200));
-        let cfg = DbConfig { adapt_min_probes: 10, adapt_fpr_threshold: 0.3, ..Default::default() };
+        let cfg =
+            DbConfig::builder().adapt_min_probes(10).adapt_fpr_threshold(0.3).build().unwrap();
         for _ in 0..8 {
             sst.record_probe(true);
         }
@@ -183,7 +189,7 @@ mod tests {
         let dir = tmpdir("drift");
         // Train on queries in the low half of the key space.
         let (sst, _stats) = build_sst(&dir, &queries(0, 500));
-        let cfg = DbConfig { adapt_divergence_threshold: 0.5, ..Default::default() };
+        let cfg = DbConfig::builder().adapt_divergence_threshold(0.5).build().unwrap();
         // Live sample matching training: no flag.
         let same = SampleQueries::from_u64(&queries(0, 500));
         assert_eq!(flag_reason(&sst, &cfg, &same), None);
@@ -226,8 +232,8 @@ mod tests {
         assert_eq!(fp.divergence(&new_reader.training_fingerprint().unwrap()), 0.0);
         // Data blocks byte-identical to the original.
         for b in 0..sst.n_blocks() {
-            let x = sst.read_block(b, &stats);
-            let y = reopened.read_block(b, &fresh);
+            let x = sst.read_block(b, &stats).unwrap();
+            let y = reopened.read_block(b, &fresh).unwrap();
             assert_eq!(x.len(), y.len(), "block {b}");
             for i in 0..x.len() {
                 assert_eq!(x.key(i), y.key(i));

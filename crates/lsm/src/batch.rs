@@ -1,0 +1,116 @@
+//! Atomic multi-operation writes.
+//!
+//! A [`WriteBatch`] accumulates puts and deletes and applies them through
+//! [`crate::Db::write`] under a single MemTable lock acquisition: a
+//! concurrent reader sees either none of the batch or all of it, and no
+//! MemTable rotation can split it across two tables. Operations within a
+//! batch apply in insertion order, so a later op on the same key wins —
+//! exactly as if the calls had been made individually.
+
+use proteus_core::key::u64_key;
+
+/// One buffered write operation: `Some` = put, `None` = delete.
+type BatchOp = (Vec<u8>, Option<Vec<u8>>);
+
+/// A buffer of put/delete operations applied atomically by
+/// [`crate::Db::write`].
+///
+/// # Example
+///
+/// ```
+/// use proteus_lsm::WriteBatch;
+///
+/// let mut batch = WriteBatch::new();
+/// batch.put_u64(1, b"one");
+/// batch.put_u64(2, b"two");
+/// batch.delete_u64(3);
+/// assert_eq!(batch.len(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// An empty batch with room for `n` operations.
+    pub fn with_capacity(n: usize) -> WriteBatch {
+        WriteBatch { ops: Vec::with_capacity(n) }
+    }
+
+    /// Buffer an insert/overwrite of `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> &mut Self {
+        self.ops.push((key.to_vec(), Some(value.to_vec())));
+        self
+    }
+
+    /// Buffer a delete of `key`.
+    pub fn delete(&mut self, key: &[u8]) -> &mut Self {
+        self.ops.push((key.to_vec(), None));
+        self
+    }
+
+    /// [`WriteBatch::put`] with a `u64` key.
+    pub fn put_u64(&mut self, key: u64, value: &[u8]) -> &mut Self {
+        self.put(&u64_key(key), value)
+    }
+
+    /// [`WriteBatch::delete`] with a `u64` key.
+    pub fn delete_u64(&mut self, key: u64) -> &mut Self {
+        self.delete(&u64_key(key))
+    }
+
+    /// Buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operation is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drop every buffered operation, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Iterate the buffered operations (`None` value = delete), in the
+    /// order [`crate::Db::write`] will apply them.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.ops.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Consume the batch into its operations (for `Db::write`).
+    pub(crate) fn into_ops(self) -> Vec<BatchOp> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_preserves_order_and_kinds() {
+        let mut b = WriteBatch::new();
+        b.put(b"aaaaaaaa", b"1").delete(b"bbbbbbbb").put(b"aaaaaaaa", b"2");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let ops: Vec<(&[u8], Option<&[u8]>)> = b.iter().collect();
+        assert_eq!(
+            ops,
+            vec![
+                (&b"aaaaaaaa"[..], Some(&b"1"[..])),
+                (&b"bbbbbbbb"[..], None),
+                (&b"aaaaaaaa"[..], Some(&b"2"[..])),
+            ]
+        );
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -1,17 +1,32 @@
 //! Data block format.
 //!
-//! A block holds a run of `(key, value)` entries with fixed-width keys:
+//! A block holds a run of entries with fixed-width keys. Two entry
+//! layouts exist, selected by the containing SST file's format version
+//! (the block itself carries no version byte):
 //!
 //! ```text
-//! [u32 n_entries] ([key: width bytes][u32 value_len][value bytes])*
+//! v1 (PRSSTv1, read-only): [u32 n] ([key][u32 value_len][value])*
+//! v2 (PRSSTv2):            [u32 n] ([key][u8 flags][u32 value_len][value])*
 //! ```
 //!
+//! The v2 `flags` byte currently defines bit 0: `1` marks the entry as a
+//! *tombstone* (a persisted delete; it must carry a zero-length value).
+//! All other bits are reserved and must be zero — a nonzero reserved bit
+//! or a tombstone with a value is reported as corruption, never decoded
+//! loosely.
+//!
 //! On disk a block is prefixed by `[u8 codec][u32 raw_len][u32 stored_len]`
-//! where codec 0 = raw, 1 = zero-RLE ([`crate::compress`]).
+//! where codec 0 = raw, 1 = zero-RLE ([`crate::compress`]). Decoding
+//! arbitrary bytes returns [`crate::Error::Corruption`]; it never panics.
 
 use crate::compress;
+use crate::error::{Error, Result};
 
-/// Builder for one data block.
+/// v2 entry flag bit marking a tombstone.
+pub const FLAG_TOMBSTONE: u8 = 1;
+
+/// Builder for one data block (always the v2 entry layout; v1 is only
+/// ever read, never written).
 #[derive(Debug)]
 pub struct BlockBuilder {
     width: usize,
@@ -28,16 +43,25 @@ impl BlockBuilder {
     }
 
     /// Append an entry (keys must arrive in order; the builder does not
-    /// re-sort).
-    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+    /// re-sort). `Some` is a live value, `None` a tombstone.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
         debug_assert_eq!(key.len(), self.width);
         if self.first_key.is_none() {
             self.first_key = Some(key.to_vec());
         }
         self.last_key = Some(key.to_vec());
         self.buf.extend_from_slice(key);
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(value);
+        match value {
+            Some(v) => {
+                self.buf.push(0);
+                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(v);
+            }
+            None => {
+                self.buf.push(FLAG_TOMBSTONE);
+                self.buf.extend_from_slice(&0u32.to_le_bytes());
+            }
+        }
         self.n += 1;
     }
 
@@ -73,34 +97,81 @@ impl BlockBuilder {
 #[derive(Debug, Clone)]
 pub struct Block {
     width: usize,
+    /// `true` for the v2 entry layout (per-entry flag byte).
+    has_flags: bool,
     /// Decoded payload.
     data: Vec<u8>,
     /// Byte offset of each entry.
     offsets: Vec<u32>,
 }
 
+fn corrupt(what: &str) -> Error {
+    Error::corruption(format!("data block: {what}"))
+}
+
 impl Block {
-    /// Decode from disk bytes (including the codec header).
-    pub fn decode(disk: &[u8], width: usize) -> Block {
+    /// Decode from disk bytes (including the codec header). `has_flags`
+    /// selects the entry layout: `true` for SST format v2, `false` for
+    /// the flag-less v1 layout. Malformed bytes — truncation, an unknown
+    /// codec, a reserved flag bit, a tombstone carrying a value, or any
+    /// length that escapes the buffer — yield [`Error::Corruption`].
+    pub fn decode(disk: &[u8], width: usize, has_flags: bool) -> Result<Block> {
+        if disk.len() < 9 {
+            return Err(corrupt("shorter than its header"));
+        }
         let codec = disk[0];
         let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
         let stored_len = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
+        if disk.len() < 9 + stored_len {
+            return Err(corrupt("stored length overruns the block"));
+        }
         let payload = &disk[9..9 + stored_len];
         let data = match codec {
-            0 => payload.to_vec(),
-            1 => compress::decompress(payload, raw_len),
-            _ => panic!("unknown block codec {codec}"),
+            0 => {
+                if stored_len != raw_len {
+                    return Err(corrupt("raw block with stored_len != raw_len"));
+                }
+                payload.to_vec()
+            }
+            1 => compress::decompress(payload, raw_len)
+                .ok_or_else(|| corrupt("corrupt compressed payload"))?,
+            c => return Err(corrupt(&format!("unknown codec {c}"))),
         };
+        if data.len() < 4 {
+            return Err(corrupt("missing entry count"));
+        }
         let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let head = if has_flags { width + 5 } else { width + 4 };
         let mut offsets = Vec::with_capacity(n);
         let mut pos = 4usize;
         for _ in 0..n {
+            if pos + head > data.len() {
+                return Err(corrupt("entry overruns the block"));
+            }
             offsets.push(pos as u32);
+            let vlen_off = if has_flags {
+                let flags = data[pos + width];
+                if flags & !FLAG_TOMBSTONE != 0 {
+                    return Err(corrupt(&format!("reserved entry flag bits set ({flags:#04x})")));
+                }
+                pos + width + 1
+            } else {
+                pos + width
+            };
             let vlen =
-                u32::from_le_bytes(data[pos + width..pos + width + 4].try_into().unwrap()) as usize;
-            pos += width + 4 + vlen;
+                u32::from_le_bytes(data[vlen_off..vlen_off + 4].try_into().unwrap()) as usize;
+            if has_flags && data[pos + width] & FLAG_TOMBSTONE != 0 && vlen != 0 {
+                return Err(corrupt("tombstone entry carries a value"));
+            }
+            pos = vlen_off + 4 + vlen;
+            if pos > data.len() {
+                return Err(corrupt("value overruns the block"));
+            }
         }
-        Block { width, data, offsets }
+        if pos != data.len() {
+            return Err(corrupt("trailing bytes after the last entry"));
+        }
+        Ok(Block { width, has_flags, data, offsets })
     }
 
     /// On-disk size of the block starting at `disk` (header + payload).
@@ -124,13 +195,30 @@ impl Block {
         &self.data[off..off + self.width]
     }
 
-    /// The `i`-th value.
+    /// Is the `i`-th entry a tombstone? Always `false` for v1 blocks.
+    pub fn is_tombstone(&self, i: usize) -> bool {
+        if !self.has_flags {
+            return false;
+        }
+        let off = self.offsets[i] as usize;
+        self.data[off + self.width] & FLAG_TOMBSTONE != 0
+    }
+
+    /// The `i`-th value (empty for a tombstone; use [`Block::entry`] to
+    /// tell an empty value from a delete).
     pub fn value(&self, i: usize) -> &[u8] {
         let off = self.offsets[i] as usize;
-        let vlen = u32::from_le_bytes(
-            self.data[off + self.width..off + self.width + 4].try_into().unwrap(),
-        ) as usize;
-        &self.data[off + self.width + 4..off + self.width + 4 + vlen]
+        let vlen_off = if self.has_flags { off + self.width + 1 } else { off + self.width };
+        let vlen =
+            u32::from_le_bytes(self.data[vlen_off..vlen_off + 4].try_into().unwrap()) as usize;
+        &self.data[vlen_off + 4..vlen_off + 4 + vlen]
+    }
+
+    /// The `i`-th entry as `(key, Some(value) | None)` where `None` marks
+    /// a tombstone.
+    pub fn entry(&self, i: usize) -> (&[u8], Option<&[u8]>) {
+        let v = if self.is_tombstone(i) { None } else { Some(self.value(i)) };
+        (self.key(i), v)
     }
 
     /// Index of the first entry with key ≥ `probe`.
@@ -169,7 +257,7 @@ mod tests {
             })
             .collect();
         for (k, v) in keys.iter().zip(&vals) {
-            b.add(k, v);
+            b.add(k, Some(v));
         }
         let (disk, first, last) = b.finish();
         assert_eq!(first, keys[0]);
@@ -177,15 +265,63 @@ mod tests {
         (disk, keys, vals)
     }
 
+    /// Encode a v1-layout block (no flag byte) for the compat tests.
+    fn v1_block(entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+        let mut raw = (entries.len() as u32).to_le_bytes().to_vec();
+        for (k, v) in entries {
+            raw.extend_from_slice(k);
+            raw.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            raw.extend_from_slice(v);
+        }
+        let mut disk = vec![0u8];
+        disk.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        disk.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+        disk.extend_from_slice(&raw);
+        disk
+    }
+
     #[test]
     fn roundtrip() {
         let (disk, keys, vals) = sample_block();
-        let block = Block::decode(&disk, 8);
+        let block = Block::decode(&disk, 8, true).unwrap();
         assert_eq!(block.len(), 50);
         for i in 0..50 {
             assert_eq!(block.key(i), &keys[i][..]);
             assert_eq!(block.value(i), &vals[i][..]);
+            assert!(!block.is_tombstone(i));
+            assert_eq!(block.entry(i), (&keys[i][..], Some(&vals[i][..])));
         }
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let mut b = BlockBuilder::new(4);
+        b.add(&[0, 0, 0, 1], Some(b"alive"));
+        b.add(&[0, 0, 0, 2], None);
+        b.add(&[0, 0, 0, 3], Some(b""));
+        let (disk, _, _) = b.finish();
+        let block = Block::decode(&disk, 4, true).unwrap();
+        assert_eq!(block.entry(0), (&[0, 0, 0, 1][..], Some(&b"alive"[..])));
+        assert_eq!(block.entry(1), (&[0, 0, 0, 2][..], None));
+        assert!(block.is_tombstone(1));
+        // An empty value is alive: distinguishable from a tombstone.
+        assert_eq!(block.entry(2), (&[0, 0, 0, 3][..], Some(&b""[..])));
+        assert!(!block.is_tombstone(2));
+    }
+
+    #[test]
+    fn v1_layout_decodes_without_flags() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..10u32).map(|i| (i.to_be_bytes().to_vec(), vec![i as u8; 3])).collect();
+        let disk = v1_block(&entries);
+        let block = Block::decode(&disk, 4, false).unwrap();
+        assert_eq!(block.len(), 10);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            assert_eq!(block.entry(i), (&k[..], Some(&v[..])));
+            assert!(!block.is_tombstone(i));
+        }
+        // The same bytes under the v2 layout are rejected, not misread.
+        assert!(Block::decode(&disk, 4, true).is_err());
     }
 
     #[test]
@@ -201,7 +337,7 @@ mod tests {
     #[test]
     fn lower_bound_search() {
         let (disk, _, _) = sample_block();
-        let block = Block::decode(&disk, 8);
+        let block = Block::decode(&disk, 8, true).unwrap();
         assert_eq!(block.lower_bound(&0u64.to_be_bytes()), 0);
         assert_eq!(block.lower_bound(&7u64.to_be_bytes()), 1);
         assert_eq!(block.lower_bound(&8u64.to_be_bytes()), 2);
@@ -212,11 +348,47 @@ mod tests {
     #[test]
     fn empty_values_supported() {
         let mut b = BlockBuilder::new(4);
-        b.add(&[0, 0, 0, 1], b"");
-        b.add(&[0, 0, 0, 2], b"x");
+        b.add(&[0, 0, 0, 1], Some(b""));
+        b.add(&[0, 0, 0, 2], Some(b"x"));
         let (disk, _, _) = b.finish();
-        let block = Block::decode(&disk, 4);
+        let block = Block::decode(&disk, 4, true).unwrap();
         assert_eq!(block.value(0), b"");
         assert_eq!(block.value(1), b"x");
+    }
+
+    #[test]
+    fn corrupt_flag_bytes_and_truncations_are_errors_not_panics() {
+        // Raw (incompressible) values so entry offsets are predictable.
+        let mut b = BlockBuilder::new(4);
+        let vals: Vec<Vec<u8>> =
+            (0..4u32).map(|i| (0..16).map(|j| (i * 31 + j * 7 + 1) as u8).collect()).collect();
+        for (i, v) in vals.iter().enumerate() {
+            b.add(&(i as u32).to_be_bytes(), Some(v));
+        }
+        let (disk, _, _) = b.finish();
+        assert_eq!(disk[0], 0, "this block must be stored raw");
+
+        // Reserved flag bits set → corruption.
+        let flag_off = 9 + 4 + 4; // header + n + first key
+        let mut bad = disk.clone();
+        bad[flag_off] = 0x82;
+        assert!(matches!(Block::decode(&bad, 4, true), Err(Error::Corruption(_))));
+        // Tombstone with a value → corruption.
+        let mut bad = disk.clone();
+        bad[flag_off] = FLAG_TOMBSTONE;
+        assert!(matches!(Block::decode(&bad, 4, true), Err(Error::Corruption(_))));
+        // Truncations anywhere must error, never panic.
+        for cut in 0..disk.len() {
+            assert!(Block::decode(&disk[..cut], 4, true).is_err(), "cut {cut}");
+        }
+        // Unknown codec byte.
+        let mut bad = disk.clone();
+        bad[0] = 9;
+        assert!(Block::decode(&bad, 4, true).is_err());
+        // Oversized value length.
+        let mut bad = disk;
+        let vlen_off = flag_off + 1;
+        bad[vlen_off..vlen_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Block::decode(&bad, 4, true).is_err());
     }
 }

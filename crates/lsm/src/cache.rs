@@ -212,10 +212,10 @@ mod tests {
     fn make_block(tag: u64, entries: usize) -> Arc<Block> {
         let mut b = BlockBuilder::new(8);
         for i in 0..entries {
-            b.add(&((tag << 32) + i as u64).to_be_bytes(), &[1u8; 64]);
+            b.add(&((tag << 32) + i as u64).to_be_bytes(), Some(&[1u8; 64]));
         }
         let (disk, _, _) = b.finish();
-        Arc::new(Block::decode(&disk, 8))
+        Arc::new(Block::decode(&disk, 8, true).unwrap())
     }
 
     #[test]

@@ -48,21 +48,28 @@ pub fn compress(data: &[u8]) -> Option<Vec<u8>> {
     (out.len() < data.len()).then_some(out)
 }
 
-/// Decompress into a buffer of exactly `raw_len` bytes.
-pub fn decompress(data: &[u8], raw_len: usize) -> Vec<u8> {
+/// Decompress into a buffer of exactly `raw_len` bytes. Returns `None`
+/// when the token stream is malformed or does not decode to `raw_len`
+/// bytes (corrupt block): decoding arbitrary bytes must never panic.
+pub fn decompress(data: &[u8], raw_len: usize) -> Option<Vec<u8>> {
     let mut out = Vec::with_capacity(raw_len);
     let mut i = 0usize;
     while i + 2 <= data.len() {
         let lit_len = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
         i += 2;
+        if i + lit_len + 2 > data.len() {
+            return None;
+        }
         out.extend_from_slice(&data[i..i + lit_len]);
         i += lit_len;
         let zlen = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
         i += 2;
         out.resize(out.len() + zlen, 0);
+        if out.len() > raw_len {
+            return None;
+        }
     }
-    debug_assert_eq!(out.len(), raw_len, "corrupt compressed block");
-    out
+    (i == data.len() && out.len() == raw_len).then_some(out)
 }
 
 #[cfg(test)]
@@ -78,7 +85,7 @@ mod tests {
         }
         let c = compress(&data).expect("half-zero data must compress");
         assert!(c.len() < 300, "ratio ~0.5 expected, got {} bytes", c.len());
-        assert_eq!(decompress(&c, 512), data);
+        assert_eq!(decompress(&c, 512).unwrap(), data);
     }
 
     #[test]
@@ -95,9 +102,9 @@ mod tests {
             vec![7u8; 10],
             [vec![1, 2, 3], vec![0; 100], vec![4, 5], vec![0; 7], vec![9]].concat(),
         ] {
-            match compress(&data) {
-                Some(c) => assert_eq!(decompress(&c, data.len()), data),
-                None => {} // stored raw, nothing to verify
+            // None = stored raw, nothing to verify.
+            if let Some(c) = compress(&data) {
+                assert_eq!(decompress(&c, data.len()).unwrap(), data);
             }
         }
     }
@@ -107,7 +114,7 @@ mod tests {
         let data = vec![0u8; 200_000];
         let c = compress(&data).unwrap();
         assert!(c.len() < 100);
-        assert_eq!(decompress(&c, 200_000), data);
+        assert_eq!(decompress(&c, 200_000).unwrap(), data);
     }
 
     #[test]
@@ -118,6 +125,21 @@ mod tests {
             data.extend_from_slice(&[0u8; 5]);
         }
         let c = compress(&data).unwrap();
-        assert_eq!(decompress(&c, data.len()), data);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_streams_decode_to_none_not_a_panic() {
+        // Truncations and bit flips of a valid stream must be rejected.
+        let mut data = vec![0u8; 64];
+        data[0] = 3;
+        let c = compress(&data).unwrap();
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut], 64); // must not panic
+        }
+        let mut bad = c.clone();
+        bad[0] ^= 0xFF; // literal length now overshoots the buffer
+        assert!(decompress(&bad, 64).is_none());
+        assert!(decompress(&c, 63).is_none(), "wrong raw_len must be rejected");
     }
 }

@@ -1,0 +1,423 @@
+//! Database configuration: [`DbConfig`] and its validating builder.
+//!
+//! v2 of the API constructs configurations through [`DbConfig::builder`],
+//! which validates every knob before a [`crate::Db`] ever sees it; the
+//! same validation runs again inside [`crate::Db::open`], so a hand-rolled
+//! struct literal cannot smuggle a nonsensical value past the boundary.
+//! Direct field access is deprecated and kept only so pre-v2 callers keep
+//! compiling.
+
+use crate::error::{Error, Result};
+use std::time::Duration;
+
+/// Tuning knobs, defaulting to a laptop-scale version of the paper's §6.2
+/// RocksDB configuration (the paper uses 256 MB SSTs and a 1 GB cache on a
+/// 50M-key database; ratios are preserved).
+///
+/// Build one with [`DbConfig::builder`]:
+///
+/// ```
+/// use proteus_lsm::DbConfig;
+///
+/// let cfg = DbConfig::builder()
+///     .memtable_bytes(1 << 20)
+///     .bits_per_key(12.0)
+///     .build()?;
+/// # Ok::<(), proteus_lsm::Error>(())
+/// ```
+///
+/// The public fields are deprecated: they predate the builder and stay
+/// only for source compatibility. [`crate::Db::open`] validates the
+/// configuration either way, so an invalid hand-built struct fails the
+/// open with [`Error::Config`] instead of misbehaving later.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Canonical key width in bytes.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub key_width: usize,
+    /// MemTable rotation threshold (write_buffer_size).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub memtable_bytes: usize,
+    /// Immutable MemTables allowed to queue before writers stall
+    /// (max_write_buffer_number - 1).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub max_immutable_memtables: usize,
+    /// Data block size (RocksDB default 4 KiB).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub block_bytes: usize,
+    /// Target SST file size when splitting compaction output.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub sst_target_bytes: u64,
+    /// L0 file count triggering compaction into L1.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub l0_compaction_trigger: usize,
+    /// Total size target of L1 (max_bytes_for_level_base).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub level_base_bytes: u64,
+    /// Per-level size multiplier.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub level_size_ratio: u64,
+    /// Filter memory budget per key.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub bits_per_key: f64,
+    /// Block cache capacity.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub block_cache_bytes: usize,
+    /// Sample query queue capacity (§6.1: 20K).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub queue_capacity: usize,
+    /// Record every n-th executed empty query (§6.1: 100).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub sample_every: u64,
+    /// Run the adaptive filter lifecycle: a third background worker that
+    /// monitors per-SST observed FPR and sample-distribution drift and
+    /// re-trains filters in place (see the [`crate::adapt`] module docs).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub adapt_enabled: bool,
+    /// Observed per-file FPR above this flags the file for re-training
+    /// (only after `adapt_min_probes` probes).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub adapt_fpr_threshold: f64,
+    /// Minimum filter probes against a file before its observed FPR is
+    /// trusted (Chernoff-style: too few probes is noise).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub adapt_min_probes: u64,
+    /// How often the adapter wakes to scan for flagged files.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub adapt_interval: Duration,
+    /// Total-variation distance between a filter's training fingerprint
+    /// and the live sample distribution above which the file is flagged
+    /// even before its observed FPR degrades.
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub adapt_divergence_threshold: f64,
+}
+
+#[allow(deprecated)] // the defaults initialize the deprecated fields
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            key_width: 8,
+            memtable_bytes: 4 << 20,
+            max_immutable_memtables: 2,
+            block_bytes: 4096,
+            sst_target_bytes: 4 << 20,
+            l0_compaction_trigger: 4,
+            level_base_bytes: 16 << 20,
+            level_size_ratio: 10,
+            bits_per_key: 10.0,
+            block_cache_bytes: 8 << 20,
+            queue_capacity: 20_000,
+            sample_every: 100,
+            adapt_enabled: false,
+            adapt_fpr_threshold: 0.05,
+            adapt_min_probes: 512,
+            adapt_interval: Duration::from_millis(100),
+            adapt_divergence_threshold: 0.5,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Start a builder from the default configuration.
+    pub fn builder() -> DbConfigBuilder {
+        DbConfigBuilder { cfg: DbConfig::default() }
+    }
+
+    /// Re-open this configuration as a builder (to derive a variant).
+    pub fn to_builder(&self) -> DbConfigBuilder {
+        DbConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Check every knob; [`crate::Db::open`] runs this on whatever it is
+    /// handed, built or hand-rolled.
+    #[allow(deprecated)]
+    pub fn validate(&self) -> Result<()> {
+        fn bad(what: &str) -> Result<()> {
+            Err(Error::config(what.to_string()))
+        }
+        if self.key_width == 0 || self.key_width > 64 {
+            return bad("key_width must be in 1..=64 bytes");
+        }
+        if self.memtable_bytes == 0 {
+            return bad("memtable_bytes must be > 0");
+        }
+        if self.max_immutable_memtables == 0 {
+            return bad("max_immutable_memtables must be >= 1");
+        }
+        if self.block_bytes == 0 {
+            return bad("block_bytes must be > 0");
+        }
+        if self.sst_target_bytes == 0 {
+            return bad("sst_target_bytes must be > 0");
+        }
+        if self.l0_compaction_trigger == 0 {
+            return bad("l0_compaction_trigger must be >= 1");
+        }
+        if self.level_base_bytes == 0 {
+            return bad("level_base_bytes must be > 0");
+        }
+        if self.level_size_ratio < 2 {
+            return bad("level_size_ratio must be >= 2");
+        }
+        if !self.bits_per_key.is_finite() || self.bits_per_key < 0.0 {
+            return bad("bits_per_key must be finite and >= 0");
+        }
+        if self.sample_every == 0 {
+            return bad("sample_every must be >= 1");
+        }
+        if !self.adapt_fpr_threshold.is_finite()
+            || self.adapt_fpr_threshold <= 0.0
+            || self.adapt_fpr_threshold > 1.0
+        {
+            return bad("adapt_fpr_threshold must be in (0, 1]");
+        }
+        if self.adapt_min_probes == 0 {
+            return bad("adapt_min_probes must be >= 1");
+        }
+        if self.adapt_interval.is_zero() {
+            return bad("adapt_interval must be > 0");
+        }
+        if !self.adapt_divergence_threshold.is_finite() || self.adapt_divergence_threshold <= 0.0 {
+            return bad("adapt_divergence_threshold must be > 0");
+        }
+        Ok(())
+    }
+}
+
+macro_rules! getter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        #[allow(deprecated)]
+        pub fn $name(&self) -> $ty {
+            self.$name
+        }
+    };
+}
+
+/// Non-deprecated read access (the deprecated public fields predate these).
+impl DbConfig {
+    getter!(
+        /// Canonical key width in bytes.
+        key_width: usize
+    );
+    getter!(
+        /// MemTable rotation threshold (write_buffer_size).
+        memtable_bytes: usize
+    );
+    getter!(
+        /// Immutable MemTables allowed to queue before writers stall.
+        max_immutable_memtables: usize
+    );
+    getter!(
+        /// Data block size in bytes.
+        block_bytes: usize
+    );
+    getter!(
+        /// Target SST file size when splitting compaction output.
+        sst_target_bytes: u64
+    );
+    getter!(
+        /// L0 file count triggering compaction into L1.
+        l0_compaction_trigger: usize
+    );
+    getter!(
+        /// Total size target of L1 (max_bytes_for_level_base).
+        level_base_bytes: u64
+    );
+    getter!(
+        /// Per-level size multiplier.
+        level_size_ratio: u64
+    );
+    getter!(
+        /// Filter memory budget per key.
+        bits_per_key: f64
+    );
+    getter!(
+        /// Block cache capacity in bytes.
+        block_cache_bytes: usize
+    );
+    getter!(
+        /// Sample query queue capacity.
+        queue_capacity: usize
+    );
+    getter!(
+        /// Record every n-th executed empty query.
+        sample_every: u64
+    );
+    getter!(
+        /// Whether the adaptive filter lifecycle worker runs.
+        adapt_enabled: bool
+    );
+    getter!(
+        /// Observed per-file FPR that flags a file for re-training.
+        adapt_fpr_threshold: f64
+    );
+    getter!(
+        /// Minimum probes before a file's observed FPR is trusted.
+        adapt_min_probes: u64
+    );
+    getter!(
+        /// How often the adapter wakes to scan for flagged files.
+        adapt_interval: Duration
+    );
+    getter!(
+        /// Fingerprint divergence that flags a file for re-training.
+        adapt_divergence_threshold: f64
+    );
+}
+
+/// Validating builder for [`DbConfig`]; see [`DbConfig::builder`].
+///
+/// Every setter mirrors the field of the same name;
+/// [`DbConfigBuilder::build`] runs [`DbConfig::validate`] and returns
+/// [`Error::Config`] on the first bad knob.
+#[derive(Debug, Clone)]
+pub struct DbConfigBuilder {
+    cfg: DbConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        #[allow(deprecated)]
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    };
+}
+
+impl DbConfigBuilder {
+    setter!(
+        /// Canonical key width in bytes (1..=64).
+        key_width: usize
+    );
+    setter!(
+        /// MemTable rotation threshold (write_buffer_size).
+        memtable_bytes: usize
+    );
+    setter!(
+        /// Immutable MemTables allowed to queue before writers stall.
+        max_immutable_memtables: usize
+    );
+    setter!(
+        /// Data block size in bytes.
+        block_bytes: usize
+    );
+    setter!(
+        /// Target SST file size when splitting compaction output.
+        sst_target_bytes: u64
+    );
+    setter!(
+        /// L0 file count triggering compaction into L1.
+        l0_compaction_trigger: usize
+    );
+    setter!(
+        /// Total size target of L1 (max_bytes_for_level_base).
+        level_base_bytes: u64
+    );
+    setter!(
+        /// Per-level size multiplier (>= 2).
+        level_size_ratio: u64
+    );
+    setter!(
+        /// Filter memory budget per key.
+        bits_per_key: f64
+    );
+    setter!(
+        /// Block cache capacity in bytes.
+        block_cache_bytes: usize
+    );
+    setter!(
+        /// Sample query queue capacity (§6.1: 20K).
+        queue_capacity: usize
+    );
+    setter!(
+        /// Record every n-th executed empty query (§6.1: 100).
+        sample_every: u64
+    );
+    setter!(
+        /// Enable the adaptive filter lifecycle worker.
+        adapt_enabled: bool
+    );
+    setter!(
+        /// Observed per-file FPR that flags a file for re-training.
+        adapt_fpr_threshold: f64
+    );
+    setter!(
+        /// Minimum probes before a file's observed FPR is trusted.
+        adapt_min_probes: u64
+    );
+    setter!(
+        /// How often the adapter wakes to scan for flagged files.
+        adapt_interval: Duration
+    );
+    setter!(
+        /// Fingerprint divergence that flags a file for re-training.
+        adapt_divergence_threshold: f64
+    );
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> Result<DbConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrips_and_validates() {
+        let cfg = DbConfig::builder()
+            .key_width(16)
+            .memtable_bytes(64 << 10)
+            .bits_per_key(14.0)
+            .sample_every(7)
+            .build()
+            .unwrap();
+        #[allow(deprecated)]
+        {
+            assert_eq!(cfg.key_width, 16);
+            assert_eq!(cfg.memtable_bytes, 64 << 10);
+            assert_eq!(cfg.bits_per_key, 14.0);
+            assert_eq!(cfg.sample_every, 7);
+        }
+        // Deriving a variant keeps the base values.
+        let derived = cfg.to_builder().bits_per_key(8.0).build().unwrap();
+        #[allow(deprecated)]
+        {
+            assert_eq!(derived.key_width, 16);
+            assert_eq!(derived.bits_per_key, 8.0);
+        }
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected_with_config_errors() {
+        for (tag, res) in [
+            ("width0", DbConfig::builder().key_width(0).build()),
+            ("width65", DbConfig::builder().key_width(65).build()),
+            ("memtable", DbConfig::builder().memtable_bytes(0).build()),
+            ("imms", DbConfig::builder().max_immutable_memtables(0).build()),
+            ("block", DbConfig::builder().block_bytes(0).build()),
+            ("sst", DbConfig::builder().sst_target_bytes(0).build()),
+            ("l0", DbConfig::builder().l0_compaction_trigger(0).build()),
+            ("base", DbConfig::builder().level_base_bytes(0).build()),
+            ("ratio", DbConfig::builder().level_size_ratio(1).build()),
+            ("bpk", DbConfig::builder().bits_per_key(f64::NAN).build()),
+            ("every", DbConfig::builder().sample_every(0).build()),
+            ("fpr", DbConfig::builder().adapt_fpr_threshold(0.0).build()),
+            ("probes", DbConfig::builder().adapt_min_probes(0).build()),
+            ("interval", DbConfig::builder().adapt_interval(Duration::ZERO).build()),
+            ("div", DbConfig::builder().adapt_divergence_threshold(-1.0).build()),
+        ] {
+            assert!(matches!(res, Err(Error::Config(_))), "{tag} must be rejected");
+        }
+    }
+
+    #[test]
+    fn default_configuration_is_valid() {
+        assert!(DbConfig::default().validate().is_ok());
+    }
+}

@@ -1,6 +1,19 @@
 //! The LSM-tree key-value store: MemTable → L0 (overlapping) → leveled,
 //! range-partitioned L1+ with size-ratio-triggered compaction, per-SST
-//! range filters, a block cache and the §6.1 closed-`Seek` read path.
+//! range filters, a block cache, and the v2 read surface — `get`,
+//! ordered `range` scans, and the §6.1 closed-`Seek` emptiness probe.
+//!
+//! ## API v2
+//!
+//! Every public operation returns the typed [`crate::Result`] (never a
+//! bare `std::io::Result`). The write surface is [`Db::put`],
+//! [`Db::delete`] and atomic [`Db::write`] batches; the read surface is
+//! [`Db::get`], [`Db::range`] (an ordered, deduplicated, tombstone-aware
+//! merge iterator) and [`Db::seek`], which is a thin emptiness wrapper
+//! around the same merge. Deletes are first-class: a tombstone entry
+//! shadows every older version of its key through MemTables, SSTs,
+//! compaction and recovery, and is only dropped once a compaction output
+//! lands at the bottom of the tree, where nothing older can remain.
 //!
 //! ## Concurrency model
 //!
@@ -8,11 +21,14 @@
 //! Sync`), mirroring the multi-threaded RocksDB setup the paper evaluates
 //! under concurrent reader threads (§6.2):
 //!
-//! * **Reads** never block on writers or background work. A `Seek` checks
-//!   the MemTables under a briefly-held read lock, then grabs an
-//!   `Arc`-snapshot of the immutable level manifest (`Version`) and runs
-//!   against it lock-free; block I/O goes through a sharded cache.
-//! * **Writes** go through the active MemTable under a write lock. When it
+//! * **Reads** never block on writers or background work. `get`, `range`
+//!   and `seek` snapshot the MemTables under a briefly-held read lock,
+//!   then grab an `Arc`-snapshot of the immutable level manifest
+//!   (`Version`) and run against it lock-free; block I/O goes through a
+//!   sharded cache.
+//! * **Writes** go through the active MemTable under a write lock (a
+//!   [`crate::WriteBatch`] applies all of its operations under a single
+//!   acquisition — atomic with respect to every reader). When the table
 //!   reaches `memtable_bytes` it *rotates*: the full table is frozen onto
 //!   an immutable-memtable FIFO and a fresh active table takes its place.
 //!   Writers stall only when `max_immutable_memtables` frozen tables are
@@ -24,10 +40,11 @@
 //!   `Arc<Version>` under a short-held write lock (copy-on-write level
 //!   vectors); readers holding older versions keep working — retired SST
 //!   files are unlinked but their open descriptors stay readable.
-//! * **Visibility**: an acked `put` is always findable. A reader checks
-//!   MemTables *before* the manifest, and the flusher installs an SST into
-//!   the manifest *before* retiring its source MemTable, so every key is
-//!   continuously visible in at least one of the two places.
+//! * **Visibility**: an acked `put` (or `delete`) is always observed. A
+//!   reader checks MemTables *before* the manifest, and the flusher
+//!   installs an SST into the manifest *before* retiring its source
+//!   MemTable, so every entry is continuously visible in at least one of
+//!   the two places.
 //! * **Barriers**: [`Db::flush`] waits until every MemTable rotated so far
 //!   is durably on disk; [`Db::flush_and_settle`] additionally drives
 //!   compaction until L0 is empty and every level is within its size
@@ -41,10 +58,16 @@
 //! nothing ever acquires the MemTable lock while holding the coordination
 //! mutex, so no lock-order deadlock is possible. Background I/O errors are
 //! sticky: they surface as `Err` from the next `flush`/`flush_and_settle`
-//! (and from `put` on the rotation path).
+//! (and from writes on the rotation path). A poisoned foreground lock
+//! (another thread panicked) surfaces as [`Error::Poisoned`]; a poisoned
+//! manifest lock is unrecoverable and panics.
 
+use crate::batch::WriteBatch;
+use crate::block::Block;
 use crate::cache::ShardedBlockCache;
+use crate::error::{Error, Result};
 use crate::filter_hook::FilterFactory;
+use crate::iter::RangeIter;
 use crate::memtable::MemTable;
 use crate::query_queue::QueryQueue;
 use crate::sst::{SstReader, SstScanner, SstWriter};
@@ -52,90 +75,21 @@ use crate::stats::Stats;
 use proteus_core::key::u64_key;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::ops::{Bound, RangeBounds};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Tuning knobs, defaulting to a laptop-scale version of the paper's §6.2
-/// RocksDB configuration (the paper uses 256 MB SSTs and a 1 GB cache on a
-/// 50M-key database; ratios are preserved).
-#[derive(Debug, Clone)]
-pub struct DbConfig {
-    /// Canonical key width in bytes.
-    pub key_width: usize,
-    /// MemTable rotation threshold (write_buffer_size).
-    pub memtable_bytes: usize,
-    /// Immutable MemTables allowed to queue before writers stall
-    /// (max_write_buffer_number - 1).
-    pub max_immutable_memtables: usize,
-    /// Data block size (RocksDB default 4 KiB).
-    pub block_bytes: usize,
-    /// Target SST file size when splitting compaction output.
-    pub sst_target_bytes: u64,
-    /// L0 file count triggering compaction into L1.
-    pub l0_compaction_trigger: usize,
-    /// Total size target of L1 (max_bytes_for_level_base).
-    pub level_base_bytes: u64,
-    /// Per-level size multiplier.
-    pub level_size_ratio: u64,
-    /// Filter memory budget per key.
-    pub bits_per_key: f64,
-    /// Block cache capacity.
-    pub block_cache_bytes: usize,
-    /// Sample query queue capacity (§6.1: 20K).
-    pub queue_capacity: usize,
-    /// Record every n-th executed empty query (§6.1: 100).
-    pub sample_every: u64,
-    /// Run the adaptive filter lifecycle: a third background worker that
-    /// monitors per-SST observed FPR and sample-distribution drift and
-    /// re-trains filters in place (see the [`crate::adapt`] module docs).
-    pub adapt_enabled: bool,
-    /// Observed per-file FPR above this flags the file for re-training
-    /// (only after `adapt_min_probes` probes).
-    pub adapt_fpr_threshold: f64,
-    /// Minimum filter probes against a file before its observed FPR is
-    /// trusted (Chernoff-style: too few probes is noise).
-    pub adapt_min_probes: u64,
-    /// How often the adapter wakes to scan for flagged files.
-    pub adapt_interval: Duration,
-    /// Total-variation distance between a filter's training fingerprint
-    /// and the live sample distribution above which the file is flagged
-    /// even before its observed FPR degrades.
-    pub adapt_divergence_threshold: f64,
-}
-
-impl Default for DbConfig {
-    fn default() -> Self {
-        DbConfig {
-            key_width: 8,
-            memtable_bytes: 4 << 20,
-            max_immutable_memtables: 2,
-            block_bytes: 4096,
-            sst_target_bytes: 4 << 20,
-            l0_compaction_trigger: 4,
-            level_base_bytes: 16 << 20,
-            level_size_ratio: 10,
-            bits_per_key: 10.0,
-            block_cache_bytes: 8 << 20,
-            queue_capacity: 20_000,
-            sample_every: 100,
-            adapt_enabled: false,
-            adapt_fpr_threshold: 0.05,
-            adapt_min_probes: 512,
-            adapt_interval: Duration::from_millis(100),
-            adapt_divergence_threshold: 0.5,
-        }
-    }
-}
+pub use crate::config::{DbConfig, DbConfigBuilder};
 
 /// An immutable snapshot of the SST level manifest. `levels[0]` holds
 /// overlapping flush outputs (newest last); deeper levels are sorted and
 /// disjoint. Cloning is cheap (per-level `Vec<Arc<SstReader>>` copies).
 #[derive(Debug, Clone)]
-struct Version {
-    levels: Vec<Vec<Arc<SstReader>>>,
+pub(crate) struct Version {
+    pub(crate) levels: Vec<Vec<Arc<SstReader>>>,
 }
 
 impl Version {
@@ -148,9 +102,9 @@ impl Version {
 
 /// MemTable state: the active write buffer plus frozen tables awaiting a
 /// background flush (oldest first).
-struct MemState {
-    active: MemTable,
-    imms: Vec<Arc<MemTable>>,
+pub(crate) struct MemState {
+    pub(crate) active: MemTable,
+    pub(crate) imms: Vec<Arc<MemTable>>,
 }
 
 impl MemState {
@@ -195,7 +149,7 @@ enum CompactionJob {
 
 /// Shared state behind the public handle; owned by the caller-facing
 /// [`Db`] and by both background worker threads.
-struct DbInner {
+pub(crate) struct DbInner {
     cfg: DbConfig,
     dir: PathBuf,
     mem: RwLock<MemState>,
@@ -204,7 +158,7 @@ struct DbInner {
     factory: Arc<dyn FilterFactory>,
     queue: QueryQueue,
     cache: ShardedBlockCache,
-    stats: Arc<Stats>,
+    pub(crate) stats: Arc<Stats>,
     gate: Mutex<Coord>,
     /// Wakes the flusher (rotation, shutdown).
     flush_cv: Condvar,
@@ -228,51 +182,96 @@ struct DbInner {
 /// # Example
 ///
 /// ```
-/// use proteus_lsm::{Db, DbConfig, ProteusFactory};
+/// use proteus_lsm::{Db, DbConfig, ProteusFactory, WriteBatch};
 /// use std::sync::Arc;
 ///
 /// let dir = std::env::temp_dir().join(format!("proteus-doc-db-{}", std::process::id()));
 /// let db = Db::open(&dir, DbConfig::default(), Arc::new(ProteusFactory::default()))?;
 ///
 /// db.put_u64(42, b"value")?;
+/// assert_eq!(db.get_u64(42)?.as_deref(), Some(&b"value"[..]));
 /// assert!(db.seek_u64(40, 50)?); // somewhere in [40, 50] there is a key
-/// assert!(!db.seek_u64(43, 50)?); // this range is provably empty
+///
+/// db.delete_u64(42)?; // tombstone: shadows the put everywhere
+/// assert_eq!(db.get_u64(42)?, None);
+/// assert!(!db.seek_u64(40, 50)?);
+///
+/// let mut batch = WriteBatch::new(); // atomic multi-op write
+/// batch.put_u64(1, b"a").put_u64(2, b"b").delete_u64(1);
+/// db.write(batch)?;
+///
+/// let live: Vec<(Vec<u8>, Vec<u8>)> =
+///     db.range_u64(0..=100)?.collect::<proteus_lsm::Result<_>>()?;
+/// assert_eq!(live.len(), 1); // only key 2 survives, in sorted order
 ///
 /// db.flush()?; // durability barrier: everything rotated so far is on disk
 /// drop(db);
 /// # std::fs::remove_dir_all(&dir)?;
-/// # Ok::<(), std::io::Error>(())
+/// # Ok::<(), proteus_lsm::Error>(())
 /// ```
 pub struct Db {
     inner: Arc<DbInner>,
     workers: Vec<JoinHandle<()>>,
 }
 
-fn bg_error(msg: &str) -> std::io::Error {
-    std::io::Error::other(format!("background worker failed: {msg}"))
+fn bg_error(msg: &str) -> Error {
+    Error::Io(std::io::Error::other(format!("background worker failed: {msg}")))
+}
+
+/// Smallest canonical key strictly greater than `key`, if one exists at
+/// this width (used to normalize `Bound::Excluded` lower bounds).
+fn key_successor(key: &[u8]) -> Option<Vec<u8>> {
+    let mut k = key.to_vec();
+    for b in k.iter_mut().rev() {
+        if *b < 0xFF {
+            *b += 1;
+            return Some(k);
+        }
+        *b = 0;
+    }
+    None
+}
+
+/// Largest canonical key strictly smaller than `key`, if one exists
+/// (normalizes `Bound::Excluded` upper bounds).
+fn key_predecessor(key: &[u8]) -> Option<Vec<u8>> {
+    let mut k = key.to_vec();
+    for b in k.iter_mut().rev() {
+        if *b > 0 {
+            *b -= 1;
+            return Some(k);
+        }
+        *b = 0xFF;
+    }
+    None
 }
 
 impl Db {
     /// Open a database in `dir`, creating it if empty, and start the
-    /// background flush and compaction workers.
+    /// background flush and compaction workers. The configuration is
+    /// validated first ([`Error::Config`] on a bad knob).
     ///
     /// A directory that already holds SST files is *recovered*: every
-    /// `NNNNNNNN.sst` is reopened through its footer, the level manifest is
-    /// rebuilt from the per-file level tags, and persisted filters are
-    /// reloaded (lazily, on first probe) instead of retrained. A corrupt
-    /// footer or index fails the open with `InvalidData`; a corrupt filter
-    /// block only degrades that file to unfiltered probes.
+    /// `NNNNNNNN.sst` is reopened through its footer (both `PRSSTv2` and
+    /// legacy read-only `PRSSTv1` files), the level manifest is rebuilt
+    /// from the per-file level tags, and persisted filters are reloaded
+    /// (lazily, on first probe) instead of retrained. Tombstones persist
+    /// like any other entry, so a delete never un-deletes across a
+    /// reopen. A corrupt footer or index fails the open with
+    /// [`Error::Corruption`]; a corrupt filter block only degrades that
+    /// file to unfiltered probes.
     pub fn open(
         dir: impl Into<PathBuf>,
         cfg: DbConfig,
         factory: Arc<dyn FilterFactory>,
-    ) -> std::io::Result<Db> {
+    ) -> Result<Db> {
+        cfg.validate()?;
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let queue = QueryQueue::new(cfg.queue_capacity, cfg.sample_every);
-        let cache = ShardedBlockCache::new(cfg.block_cache_bytes);
+        let queue = QueryQueue::new(cfg.queue_capacity(), cfg.sample_every());
+        let cache = ShardedBlockCache::new(cfg.block_cache_bytes());
         let stats = Arc::new(Stats::default());
-        let (levels, next_sst_id) = Self::recover_levels(&dir, cfg.key_width, &stats)?;
+        let (levels, next_sst_id) = Self::recover_levels(&dir, cfg.key_width(), &stats)?;
         let inner = Arc::new(DbInner {
             cfg,
             dir,
@@ -305,7 +304,7 @@ impl Db {
                 .expect("spawn compactor")
         };
         let mut workers = vec![flusher, compactor];
-        if inner.cfg.adapt_enabled {
+        if inner.cfg.adapt_enabled() {
             let adapter = {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -324,7 +323,7 @@ impl Db {
         dir: &std::path::Path,
         key_width: usize,
         stats: &Stats,
-    ) -> std::io::Result<(Vec<Vec<Arc<SstReader>>>, u64)> {
+    ) -> Result<(Vec<Vec<Arc<SstReader>>>, u64)> {
         let mut recovered: Vec<Arc<SstReader>> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
@@ -366,9 +365,12 @@ impl Db {
         // Deeper levels must be disjoint for the binary-searched read path.
         // A crash between compaction-output renames and input deletion can
         // leave both generations on disk; demote every file involved in an
-        // overlap to L0, where overlapping files are legal and searched
-        // newest-first (Seek only answers existence, so the surviving
-        // duplicates are harmless until the next compaction folds them).
+        // overlap to L0, where overlapping files are legal and merged
+        // newest-first. Ids are allocated monotonically, so the id order
+        // the demoted files keep in L0 is exactly their recency order —
+        // `get`/`range` still resolve every key to its newest version
+        // (and tombstones still shadow) until the next compaction folds
+        // the duplicates away.
         for li in 1..levels.len() {
             let level = &levels[li];
             let mut demote = vec![false; level.len()];
@@ -411,26 +413,132 @@ impl Db {
 
     /// Insert a key-value pair. May rotate the MemTable onto the
     /// background flush queue; stalls only when `max_immutable_memtables`
-    /// rotations are already pending.
-    pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
-        self.inner.put(key, value)
+    /// rotations are already pending. The key must be exactly
+    /// `key_width` bytes ([`Error::Config`] otherwise).
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.inner.check_key(key)?;
+        self.inner.apply_writes(vec![(key.to_vec(), Some(value.to_vec()))])
     }
 
     /// Insert with a `u64` key.
-    pub fn put_u64(&self, key: u64, value: &[u8]) -> std::io::Result<()> {
+    pub fn put_u64(&self, key: u64, value: &[u8]) -> Result<()> {
         self.put(&u64_key(key), value)
     }
 
-    /// Closed-range `Seek`: does any key exist in `[lo, hi]`? This is the
-    /// §6.1 read path: check the MemTables, then every overlapping SST's
-    /// filter; only filter-positive files pay index + block I/O. Runs
-    /// lock-free against an `Arc`-snapshot of the level manifest.
-    pub fn seek(&self, lo: &[u8], hi: &[u8]) -> std::io::Result<bool> {
+    /// Exact-key lookup: the newest live value for `key`, or `None` if
+    /// the key was never written or its newest record is a tombstone.
+    /// Checks the MemTables (newest first), then every SST that can hold
+    /// the key, admitting each through its range filter first.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    /// [`Db::get`] with a `u64` key.
+    pub fn get_u64(&self, key: u64) -> Result<Option<Vec<u8>>> {
+        self.get(&u64_key(key))
+    }
+
+    /// Delete `key`: records a tombstone that shadows every older version
+    /// of the key — in the MemTables, in every SST level, across
+    /// compactions and across a reopen — until compaction drops it at the
+    /// bottom of the tree. Deleting a key that was never written is a
+    /// valid no-op (the tombstone is still recorded).
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        self.inner.check_key(key)?;
+        self.inner.stats.deletes.inc();
+        self.inner.apply_writes(vec![(key.to_vec(), None)])
+    }
+
+    /// [`Db::delete`] with a `u64` key.
+    pub fn delete_u64(&self, key: u64) -> Result<()> {
+        self.delete(&u64_key(key))
+    }
+
+    /// Apply a [`WriteBatch`] atomically: all of its puts and deletes
+    /// become visible together (a single MemTable lock acquisition), and
+    /// no rotation can split them across flush files' worth of
+    /// visibility. Every key is validated before anything is applied, so
+    /// a bad key rejects the whole batch. An empty batch is a no-op.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        let ops = batch.into_ops();
+        for (k, _) in &ops {
+            self.inner.check_key(k)?;
+        }
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let deletes = ops.iter().filter(|(_, v)| v.is_none()).count() as u64;
+        self.inner.stats.deletes.add(deletes);
+        self.inner.apply_writes(ops)
+    }
+
+    /// Ordered scan: an iterator over the live `(key, value)` entries in
+    /// `range`, ascending and deduplicated, with deleted keys suppressed.
+    /// The merge spans the active and immutable MemTables plus the
+    /// manifest snapshot; every overlapping SST is admitted through its
+    /// range filter, so a scan over a provably-empty region costs no I/O.
+    ///
+    /// Bounds follow `std::ops` conventions (`lo..=hi`, `lo..hi`, `..`,
+    /// …); named bound keys must be `key_width` bytes ([`Error::Config`]).
+    /// An inverted range (`lo > hi` after normalization) yields an empty
+    /// iterator, not an error.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use proteus_lsm::{Db, DbConfig, NoFilterFactory};
+    /// # use std::sync::Arc;
+    /// # let dir = std::env::temp_dir().join(format!("proteus-doc-range-{}", std::process::id()));
+    /// # let db = Db::open(&dir, DbConfig::default(), Arc::new(NoFilterFactory))?;
+    /// for i in 0..10u64 {
+    ///     db.put_u64(i, &i.to_le_bytes())?;
+    /// }
+    /// db.delete_u64(4)?;
+    /// let keys: Vec<Vec<u8>> = db
+    ///     .range_u64(2..=6)?
+    ///     .map(|e| e.map(|(k, _)| k))
+    ///     .collect::<proteus_lsm::Result<_>>()?;
+    /// assert_eq!(keys.len(), 4); // 2, 3, 5, 6 — the delete is invisible
+    /// # drop(db);
+    /// # std::fs::remove_dir_all(&dir)?;
+    /// # Ok::<(), proteus_lsm::Error>(())
+    /// ```
+    pub fn range<K, R>(&self, range: R) -> Result<RangeIter<'_>>
+    where
+        K: AsRef<[u8]>,
+        R: RangeBounds<K>,
+    {
+        self.inner.stats.range_scans.inc();
+        match self.inner.resolve_bounds(range)? {
+            Some((lo, hi)) => RangeIter::new(&self.inner, lo, hi),
+            None => Ok(RangeIter::empty()),
+        }
+    }
+
+    /// [`Db::range`] with `u64` bounds.
+    pub fn range_u64(&self, range: impl RangeBounds<u64>) -> Result<RangeIter<'_>> {
+        fn conv(b: Bound<&u64>) -> Bound<Vec<u8>> {
+            match b {
+                Bound::Unbounded => Bound::Unbounded,
+                Bound::Included(&k) => Bound::Included(u64_key(k).to_vec()),
+                Bound::Excluded(&k) => Bound::Excluded(u64_key(k).to_vec()),
+            }
+        }
+        self.range((conv(range.start_bound()), conv(range.end_bound())))
+    }
+
+    /// Closed-range `Seek`: does any *live* key exist in `[lo, hi]`? This
+    /// is the §6.1 read path — a thin emptiness wrapper over the same
+    /// filter-accelerated merge as [`Db::range`]: every overlapping SST's
+    /// filter is probed and only filter-positive files pay index + block
+    /// I/O. A range whose only in-range entries are tombstones is
+    /// (correctly) empty. `lo > hi` is an empty range, not an error.
+    pub fn seek(&self, lo: &[u8], hi: &[u8]) -> Result<bool> {
         self.inner.seek(lo, hi)
     }
 
     /// `Seek` with `u64` bounds.
-    pub fn seek_u64(&self, lo: u64, hi: u64) -> std::io::Result<bool> {
+    pub fn seek_u64(&self, lo: u64, hi: u64) -> Result<bool> {
         self.seek(&u64_key(lo), &u64_key(hi))
     }
 
@@ -438,17 +546,17 @@ impl Db {
     /// wait until every MemTable rotated so far is flushed to an L0 SST.
     /// Compactions triggered by those flushes may still be running when
     /// this returns; use [`Db::flush_and_settle`] for a full barrier.
-    pub fn flush(&self) -> std::io::Result<()> {
+    pub fn flush(&self) -> Result<()> {
         // rotate_active acquires the MemTable write lock, and every freeze
         // publishes its `Coord::rotated` bump while still holding that
         // lock — so once it returns, `g.rotated` counts every MemTable
         // any other thread has already frozen, and the barrier below
         // cannot miss a rotated-but-uncounted table.
-        self.inner.rotate_active();
-        let mut g = self.inner.gate.lock().unwrap();
+        self.inner.rotate_active()?;
+        let mut g = self.inner.gate_lock()?;
         let target = g.rotated;
         while g.flushed < target && g.error.is_none() {
-            g = self.inner.idle_cv.wait(g).unwrap();
+            g = self.inner.wait_idle(g)?;
         }
         match &g.error {
             Some(e) => Err(bg_error(e)),
@@ -460,16 +568,16 @@ impl Db {
     /// empty and every level is within its size target — the §6.2 "wait
     /// for all background compactions to finish" setup step (§6.2 also
     /// compacts "all L0 SST files to L1 for sake of consistency").
-    pub fn flush_and_settle(&self) -> std::io::Result<()> {
-        self.inner.rotate_active();
-        let mut g = self.inner.gate.lock().unwrap();
+    pub fn flush_and_settle(&self) -> Result<()> {
+        self.inner.rotate_active()?;
+        let mut g = self.inner.gate_lock()?;
         g.settle_requests += 1;
         g.compact_epoch += 1;
         let my_settle = g.settle_requests;
         self.inner.flush_cv.notify_one();
         self.inner.compact_cv.notify_all();
         while g.settles_done < my_settle && g.error.is_none() {
-            g = self.inner.idle_cv.wait(g).unwrap();
+            g = self.inner.wait_idle(g)?;
         }
         match &g.error {
             Some(e) => Err(bg_error(e)),
@@ -487,7 +595,7 @@ impl Db {
     /// every `adapt_interval`; calling it directly makes tests and
     /// experiments deterministic and works even when the background worker
     /// is disabled.
-    pub fn adapt_now(&self) -> std::io::Result<usize> {
+    pub fn adapt_now(&self) -> Result<usize> {
         self.inner.adapt_pass()
     }
 
@@ -501,10 +609,16 @@ impl Db {
         self.inner.version().levels.iter().map(|l| l.len()).sum()
     }
 
-    /// Total key-value entries across all SSTs (duplicates across levels
-    /// counted per file).
+    /// Total key-value entries across all SSTs, tombstones included
+    /// (duplicates across levels counted per file).
     pub fn sst_entries(&self) -> u64 {
         self.inner.version().levels.iter().flatten().map(|s| s.n_entries).sum()
+    }
+
+    /// Total tombstone entries across all SSTs (duplicates counted per
+    /// file, like [`Db::sst_entries`]).
+    pub fn sst_tombstones(&self) -> u64 {
+        self.inner.version().levels.iter().flatten().map(|s| s.n_tombstones).sum()
     }
 
     /// Total bytes of all SST files.
@@ -555,20 +669,93 @@ impl Drop for Db {
 
 impl DbInner {
     /// Current manifest snapshot (read lock held only for the Arc clone).
-    fn version(&self) -> Arc<Version> {
-        Arc::clone(&self.manifest.read().unwrap())
+    /// A poisoned manifest lock is unrecoverable: panic.
+    pub(crate) fn version(&self) -> Arc<Version> {
+        Arc::clone(&self.manifest.read().expect("manifest lock poisoned"))
     }
 
     /// Swap in an edited manifest under a short-held write lock.
     fn edit_manifest(&self, edit: impl FnOnce(&mut Version)) {
-        let mut m = self.manifest.write().unwrap();
+        let mut m = self.manifest.write().expect("manifest lock poisoned");
         let mut v = (**m).clone();
         edit(&mut v);
         *m = Arc::new(v);
     }
 
+    /// MemTable read lock, surfacing poisoning as a typed error.
+    pub(crate) fn mem_read(&self) -> Result<RwLockReadGuard<'_, MemState>> {
+        self.mem.read().map_err(|_| Error::Poisoned("memtable lock"))
+    }
+
+    fn mem_write(&self) -> Result<RwLockWriteGuard<'_, MemState>> {
+        self.mem.write().map_err(|_| Error::Poisoned("memtable lock"))
+    }
+
+    fn gate_lock(&self) -> Result<MutexGuard<'_, Coord>> {
+        self.gate.lock().map_err(|_| Error::Poisoned("coordination lock"))
+    }
+
+    fn wait_idle<'g>(&self, g: MutexGuard<'g, Coord>) -> Result<MutexGuard<'g, Coord>> {
+        self.idle_cv.wait(g).map_err(|_| Error::Poisoned("coordination lock"))
+    }
+
     fn alloc_id(&self) -> u64 {
         self.next_sst_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reject keys the configured width cannot represent: zero-length
+    /// keys and any key whose length differs from `key_width`.
+    fn check_key(&self, key: &[u8]) -> Result<()> {
+        if key.is_empty() {
+            return Err(Error::config("zero-length keys are not valid"));
+        }
+        if key.len() != self.cfg.key_width() {
+            return Err(Error::config(format!(
+                "key length {} does not match configured key_width {}",
+                key.len(),
+                self.cfg.key_width()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Normalize arbitrary `RangeBounds` into inclusive canonical keys.
+    /// `Ok(None)` means the range is provably empty (inverted, or an
+    /// excluded bound fell off the key space).
+    fn resolve_bounds<K: AsRef<[u8]>>(
+        &self,
+        range: impl RangeBounds<K>,
+    ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        let w = self.cfg.key_width();
+        let lo = match range.start_bound() {
+            Bound::Unbounded => vec![0u8; w],
+            Bound::Included(k) => {
+                self.check_key(k.as_ref())?;
+                k.as_ref().to_vec()
+            }
+            Bound::Excluded(k) => {
+                self.check_key(k.as_ref())?;
+                match key_successor(k.as_ref()) {
+                    Some(s) => s,
+                    None => return Ok(None),
+                }
+            }
+        };
+        let hi = match range.end_bound() {
+            Bound::Unbounded => vec![0xFFu8; w],
+            Bound::Included(k) => {
+                self.check_key(k.as_ref())?;
+                k.as_ref().to_vec()
+            }
+            Bound::Excluded(k) => {
+                self.check_key(k.as_ref())?;
+                match key_predecessor(k.as_ref()) {
+                    Some(p) => p,
+                    None => return Ok(None),
+                }
+            }
+        };
+        Ok((lo <= hi).then_some((lo, hi)))
     }
 
     /// Freeze the active MemTable onto the immutable queue if non-empty,
@@ -580,38 +767,46 @@ impl DbInner {
     /// covering every frozen table. Without this a barrier could compute
     /// its wait target between another thread's freeze and counter bump
     /// and return before that data is durable.
-    fn publish_rotation(&self, mem: &mut MemState) -> bool {
+    fn publish_rotation(&self, mem: &mut MemState) -> Result<bool> {
         if !mem.freeze(&self.stats) {
-            return false;
+            return Ok(false);
         }
-        let mut g = self.gate.lock().unwrap();
+        let mut g = self.gate_lock()?;
         g.rotated += 1;
         self.flush_cv.notify_one();
-        true
+        Ok(true)
     }
 
     /// Freeze the active MemTable onto the immutable queue if non-empty.
-    fn rotate_active(&self) -> bool {
-        let mut mem = self.mem.write().unwrap();
+    fn rotate_active(&self) -> Result<bool> {
+        let mut mem = self.mem_write()?;
         self.publish_rotation(&mut mem)
     }
 
-    fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
-        assert_eq!(key.len(), self.cfg.key_width, "key width mismatch");
+    /// Apply pre-validated write operations (`None` value = tombstone)
+    /// under one MemTable lock acquisition, then handle rotation
+    /// backpressure outside the lock.
+    fn apply_writes(&self, ops: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Result<()> {
         let rotated = {
-            let mut mem = self.mem.write().unwrap();
-            mem.active.put(key.to_vec(), value.to_vec());
-            mem.active.bytes() >= self.cfg.memtable_bytes && self.publish_rotation(&mut mem)
+            let mut mem = self.mem_write()?;
+            for (k, v) in ops {
+                mem.active.apply(k, v);
+            }
+            if mem.active.bytes() >= self.cfg.memtable_bytes() {
+                self.publish_rotation(&mut mem)?
+            } else {
+                false
+            }
         };
         if rotated {
-            let mut g = self.gate.lock().unwrap();
+            let mut g = self.gate_lock()?;
             // Backpressure: stall while too many frozen tables queue up.
-            let cap = self.cfg.max_immutable_memtables.max(1) as u64;
+            let cap = self.cfg.max_immutable_memtables().max(1) as u64;
             if g.rotated.saturating_sub(g.flushed) > cap {
                 let t0 = Instant::now();
                 while g.rotated.saturating_sub(g.flushed) > cap && g.error.is_none() && !g.shutdown
                 {
-                    g = self.idle_cv.wait(g).unwrap();
+                    g = self.wait_idle(g)?;
                 }
                 self.stats.write_stall_ns.add(t0.elapsed().as_nanos() as u64);
             }
@@ -622,137 +817,190 @@ impl DbInner {
         Ok(())
     }
 
-    fn seek(&self, lo: &[u8], hi: &[u8]) -> std::io::Result<bool> {
-        assert!(lo <= hi);
-        self.stats.seeks.inc();
-        // 1. MemTables (active, then frozen) under a short read lock. This
-        //    must happen *before* the manifest snapshot: the flusher
-        //    installs an SST before retiring its MemTable, so a key that
-        //    left the MemTables is guaranteed present in any manifest
-        //    version read afterwards.
-        {
-            let mem = self.mem.read().unwrap();
-            if mem.active.range_contains(lo, hi)
-                || mem.imms.iter().any(|m| m.range_contains(lo, hi))
-            {
-                self.stats.seeks_memtable.inc();
-                self.stats.seeks_found.inc();
-                return Ok(true);
+    /// Probe `sst`'s filter for `[lo, hi]` (clamped to the file's key
+    /// range — the filter only describes this file's keys). `None` means
+    /// the filter proved the range empty for this file (true negative
+    /// recorded; skip it). `Some(real)` admits the file; `real` says
+    /// whether an actual filter passed (false for filterless/degraded
+    /// files), which decides false-positive accounting.
+    pub(crate) fn filter_admits(&self, sst: &SstReader, lo: &[u8], hi: &[u8]) -> Option<bool> {
+        let flo = if lo < sst.min_key.as_slice() { sst.min_key.as_slice() } else { lo };
+        let fhi = if hi > sst.max_key.as_slice() { sst.max_key.as_slice() } else { hi };
+        match sst.filter(&self.stats) {
+            Some(filter) => {
+                if filter.may_contain_range(flo, fhi) {
+                    Some(true)
+                } else {
+                    self.stats.filter_negatives.inc();
+                    sst.record_probe(false);
+                    self.stats.observed_tn.inc();
+                    None
+                }
+            }
+            None => Some(false),
+        }
+    }
+
+    /// Read block `b` of `sst` through the sharded cache.
+    pub(crate) fn cached_block(&self, sst: &Arc<SstReader>, b: usize) -> Result<Arc<Block>> {
+        let id = (sst.id, b as u32);
+        if let Some(block) = self.cache.get(id) {
+            self.stats.cache_hits.inc();
+            return Ok(block);
+        }
+        let block = Arc::new(sst.read_block(b, &self.stats)?);
+        // Don't cache blocks of a compaction-retired file (we may be
+        // reading it through an older snapshot): dead entries would squat
+        // on cache budget forever since SST ids are never reused. The
+        // double-check undoes an insert that raced with the retire+purge.
+        if !sst.is_retired() {
+            self.cache.insert(id, Arc::clone(&block));
+            if sst.is_retired() {
+                self.cache.remove(id);
             }
         }
-        // 2. SSTs, lock-free against the snapshot: L0 newest-first, then
-        //    deeper levels.
+        Ok(block)
+    }
+
+    /// The §6.1 closed `Seek`, as an emptiness wrapper over the merge
+    /// iterator: build the filter-admitted merge over `[lo, hi]` and ask
+    /// for its first live entry. A fast path answers from the MemTables
+    /// alone when they hold a live, unshadowed key in range — the hot
+    /// path for recently written data, with no snapshot clone, no filter
+    /// probes and no block I/O.
+    fn seek(&self, lo: &[u8], hi: &[u8]) -> Result<bool> {
+        self.check_key(lo)?;
+        self.check_key(hi)?;
+        self.stats.seeks.inc();
+        if lo > hi {
+            // An inverted range is empty by definition: no I/O, no error,
+            // and no sample offer (it is not a meaningful empty query).
+            self.stats.seeks_filtered.inc();
+            return Ok(false);
+        }
+        // MemTable fast path: walk the layers newest-first; a live record
+        // whose key no newer layer tombstoned settles the answer as true
+        // (MemTables are newer than every SST, so nothing can shadow it).
+        // Only tombstone keys need tracking — a newer *live* record would
+        // have answered already.
+        {
+            let mem = self.mem_read()?;
+            let mut dead: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
+            let layers =
+                std::iter::once(&mem.active).chain(mem.imms.iter().rev().map(|m| m.as_ref()));
+            for layer in layers {
+                for (k, v) in layer.range_iter(lo, hi) {
+                    if v.is_some() {
+                        if !dead.contains(k) {
+                            self.stats.seeks_found.inc();
+                            self.stats.seeks_memtable.inc();
+                            return Ok(true);
+                        }
+                    } else {
+                        dead.insert(k.to_vec());
+                    }
+                }
+            }
+        }
+        let mut it = RangeIter::new(self, lo.to_vec(), hi.to_vec())?;
+        match it.next() {
+            Some(Ok(_)) => {
+                self.stats.seeks_found.inc();
+                if it.first_from_memtable {
+                    self.stats.seeks_memtable.inc();
+                }
+                Ok(true)
+            }
+            Some(Err(e)) => Err(e),
+            None => {
+                if !it.io_paid {
+                    self.stats.seeks_filtered.inc();
+                }
+                // Truly-executed empty query: feed the sample queue
+                // (§6.1). Seeks answered from a MemTable never reach this
+                // point — only queries the store executed and found empty
+                // are offered. The gauge is only refreshed when the queue
+                // recorded the query, so the 1-in-`sample_every` common
+                // case stays mutex-free for readers.
+                self.stats.sample_offers.inc();
+                if self.queue.offer(lo, hi) {
+                    self.stats.sampled_queries.set(self.queue.len() as u64);
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Exact-key read; see [`Db::get`].
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_key(key)?;
+        self.stats.gets.inc();
+        // 1. MemTables, newest first. Any record — live or tombstone —
+        //    settles the answer: it shadows everything older.
+        {
+            let mem = self.mem_read()?;
+            if let Some(v) = mem.active.get(key) {
+                return Ok(v.map(<[u8]>::to_vec));
+            }
+            for imm in mem.imms.iter().rev() {
+                if let Some(v) = imm.get(key) {
+                    return Ok(v.map(<[u8]>::to_vec));
+                }
+            }
+        }
+        // 2. SSTs: L0 newest first (overlapping), then at most one file
+        //    per deeper (disjoint) level.
         let version = self.version();
-        let mut candidates: Vec<&Arc<SstReader>> = Vec::new();
         for sst in version.levels[0].iter().rev() {
-            if sst.overlaps(lo, hi) {
-                candidates.push(sst);
+            if let Some(v) = self.get_in_sst(sst, key)? {
+                return Ok(v);
             }
         }
         for level in &version.levels[1..] {
-            let start = level.partition_point(|s| s.max_key.as_slice() < lo);
-            for sst in &level[start..] {
-                if sst.min_key.as_slice() > hi {
-                    break;
-                }
-                candidates.push(sst);
-            }
-        }
-        let mut probed_any = false;
-        let mut found = false;
-        for sst in &candidates {
-            // Clamp the probe to the file's key range: the filter only
-            // describes this file's keys.
-            let flo = if lo < sst.min_key.as_slice() { sst.min_key.as_slice() } else { lo };
-            let fhi = if hi > sst.max_key.as_slice() { sst.max_key.as_slice() } else { hi };
-            let mut real_filter = false;
-            if let Some(filter) = sst.filter(&self.stats) {
-                real_filter = true;
-                if !filter.may_contain_range(flo, fhi) {
-                    self.stats.filter_negatives.inc();
-                    // Per-file observed-FPR accounting: a true negative.
-                    sst.record_probe(false);
-                    self.stats.observed_tn.inc();
-                    continue;
-                }
-            }
-            probed_any = true;
-            if self.search_sst(sst, lo, hi) {
-                self.stats.filter_true_positives.inc();
-                found = true;
-                break;
-            } else {
-                self.stats.filter_false_positives.inc();
-                if real_filter {
-                    // A real filter passed a range this file turned out
-                    // not to cover: per-file false-positive evidence for
-                    // the adaptive lifecycle.
-                    sst.record_probe(true);
-                    self.stats.observed_fp.inc();
+            let i = level.partition_point(|s| s.max_key.as_slice() < key);
+            if let Some(sst) = level.get(i) {
+                if sst.min_key.as_slice() <= key {
+                    if let Some(v) = self.get_in_sst(sst, key)? {
+                        return Ok(v);
+                    }
                 }
             }
         }
-        if found {
-            self.stats.seeks_found.inc();
-            return Ok(true);
-        }
-        if !probed_any {
-            self.stats.seeks_filtered.inc();
-        }
-        // Truly-executed empty query: feed the sample queue (§6.1). Seeks
-        // answered by a MemTable never reach this point — only queries the
-        // store executed and found empty are offered. The gauge is only
-        // refreshed when the queue recorded the query, so the 1-in-
-        // `sample_every` common case stays mutex-free for readers.
-        self.stats.sample_offers.inc();
-        if self.queue.offer(lo, hi) {
-            self.stats.sampled_queries.set(self.queue.len() as u64);
-        }
-        Ok(false)
+        Ok(None)
     }
 
-    /// Scan one SST for a key in `[lo, hi]` via index binary search plus
-    /// block reads through the sharded cache.
-    fn search_sst(&self, sst: &Arc<SstReader>, lo: &[u8], hi: &[u8]) -> bool {
-        let mut b = sst.first_candidate_block(lo);
-        while b < sst.n_blocks() {
-            if sst.block_meta(b).first_key.as_slice() > hi {
-                return false;
-            }
-            let id = (sst.id, b as u32);
-            let block = match self.cache.get(id) {
-                Some(block) => {
-                    self.stats.cache_hits.inc();
-                    block
-                }
-                None => {
-                    let block = Arc::new(sst.read_block(b, &self.stats));
-                    // Don't cache blocks of a compaction-retired file (we
-                    // may be reading it through an older snapshot): dead
-                    // entries would squat on cache budget forever since
-                    // SST ids are never reused. The double-check undoes an
-                    // insert that raced with the retire+purge.
-                    if !sst.is_retired() {
-                        self.cache.insert(id, Arc::clone(&block));
-                        if sst.is_retired() {
-                            self.cache.remove(id);
-                        }
-                    }
-                    block
-                }
-            };
-            let idx = block.lower_bound(lo);
-            if idx < block.len() {
-                return block.key(idx) <= hi;
-            }
-            b += 1;
+    /// Point-probe one SST. Outer `None` = the file has no record of the
+    /// key (keep looking in older layers); `Some(None)` = tombstone
+    /// (definitive: the key is deleted); `Some(Some(v))` = live value.
+    fn get_in_sst(&self, sst: &Arc<SstReader>, key: &[u8]) -> Result<Option<Option<Vec<u8>>>> {
+        if !sst.overlaps(key, key) {
+            return Ok(None);
         }
-        false
+        let Some(real_filter) = self.filter_admits(sst, key, key) else {
+            return Ok(None); // filter-proven absent; true negative recorded
+        };
+        let b = sst.first_candidate_block(key);
+        if b < sst.n_blocks() && sst.block_meta(b).first_key.as_slice() <= key {
+            let block = self.cached_block(sst, b)?;
+            let i = block.lower_bound(key);
+            if i < block.len() && block.key(i) == key {
+                self.stats.filter_true_positives.inc();
+                let (_, v) = block.entry(i);
+                return Ok(Some(v.map(<[u8]>::to_vec)));
+            }
+        }
+        // The filter admitted a key the file does not hold.
+        self.stats.filter_false_positives.inc();
+        if real_filter {
+            sst.record_probe(true);
+            self.stats.observed_fp.inc();
+        }
+        Ok(None)
     }
 
     /// Record a background failure and wake every waiter so barriers and
     /// stalled writers observe it.
-    fn record_error(&self, e: std::io::Error) {
+    fn record_error(&self, e: Error) {
         let mut g = self.gate.lock().unwrap();
         if g.error.is_none() {
             g.error = Some(e.to_string());
@@ -801,15 +1049,20 @@ impl DbInner {
         }
     }
 
-    /// Write one frozen MemTable to a new L0 SST, building its filter from
-    /// the file's keys and the current sample queue (§6.1).
-    fn flush_imm(&self, imm: &MemTable) -> std::io::Result<SstReader> {
+    /// Write one frozen MemTable to a new L0 SST — tombstones persist as
+    /// flagged entries — building its filter from the file's keys and the
+    /// current sample queue (§6.1).
+    fn flush_imm(&self, imm: &MemTable) -> Result<SstReader> {
         let id = self.alloc_id();
-        let mut w = SstWriter::create(&self.dir, id, self.cfg.key_width, self.cfg.block_bytes, 0)?;
+        let mut w =
+            SstWriter::create(&self.dir, id, self.cfg.key_width(), self.cfg.block_bytes(), 0)?;
         for (k, v) in imm.iter() {
-            w.add(k, v)?;
+            match v {
+                Some(v) => w.add(k, v)?,
+                None => w.delete(k)?,
+            }
         }
-        w.finish(self.factory.as_ref(), &self.queue, self.cfg.bits_per_key, &self.stats)
+        w.finish(self.factory.as_ref(), &self.queue, self.cfg.bits_per_key(), &self.stats)
     }
 
     // ---- adapter ---------------------------------------------------------
@@ -833,7 +1086,7 @@ impl DbInner {
             if g.shutdown {
                 return;
             }
-            let (g, _) = self.adapt_cv.wait_timeout(g, self.cfg.adapt_interval).unwrap();
+            let (g, _) = self.adapt_cv.wait_timeout(g, self.cfg.adapt_interval()).unwrap();
             if g.shutdown {
                 return;
             }
@@ -843,9 +1096,9 @@ impl DbInner {
     /// One full adaptive pass: flag, re-train, publish. Serialized by
     /// `adapt_lock` so a background pass and an explicit `adapt_now` never
     /// rewrite the same file concurrently.
-    fn adapt_pass(&self) -> std::io::Result<usize> {
-        let _guard = self.adapt_lock.lock().unwrap();
-        let live = self.queue.snapshot(self.cfg.key_width);
+    fn adapt_pass(&self) -> Result<usize> {
+        let _guard = self.adapt_lock.lock().map_err(|_| Error::Poisoned("adapt lock"))?;
+        let live = self.queue.snapshot(self.cfg.key_width());
         let version = self.version();
         let mut flagged: Vec<Arc<SstReader>> = Vec::new();
         for level in &version.levels {
@@ -865,7 +1118,7 @@ impl DbInner {
             // a shift (every live SST flags at once); re-check shutdown
             // between files so dropping the Db joins within one retrain,
             // like the compactor re-checks between jobs.
-            if self.gate.lock().unwrap().shutdown {
+            if self.gate_lock()?.shutdown {
                 break;
             }
             if sst.is_retired() {
@@ -877,7 +1130,7 @@ impl DbInner {
                 &sst,
                 self.factory.as_ref(),
                 &live,
-                self.cfg.bits_per_key,
+                self.cfg.bits_per_key(),
                 &self.stats,
             )?);
             // Publish: swap the replacement reader into whatever level the
@@ -962,7 +1215,8 @@ impl DbInner {
     }
 
     fn level_target(&self, level: usize) -> u64 {
-        self.cfg.level_base_bytes * self.cfg.level_size_ratio.pow(level.saturating_sub(1) as u32)
+        self.cfg.level_base_bytes()
+            * self.cfg.level_size_ratio().pow(level.saturating_sub(1) as u32)
     }
 
     /// Decide the next compaction from a manifest snapshot. In settle mode
@@ -971,7 +1225,7 @@ impl DbInner {
     fn pick_compaction(&self, settle: bool) -> Option<CompactionJob> {
         let v = self.version();
         let l0 = &v.levels[0];
-        if l0.len() > self.cfg.l0_compaction_trigger || (settle && !l0.is_empty()) {
+        if l0.len() > self.cfg.l0_compaction_trigger() || (settle && !l0.is_empty()) {
             // Newest-first rank order for the merge.
             let inputs_new: Vec<Arc<SstReader>> = l0.iter().rev().cloned().collect();
             let lo = inputs_new.iter().map(|s| s.min_key.clone()).min().unwrap();
@@ -998,7 +1252,7 @@ impl DbInner {
         None
     }
 
-    fn run_compaction(&self, job: CompactionJob) -> std::io::Result<()> {
+    fn run_compaction(&self, job: CompactionJob) -> Result<()> {
         let (newer, older, source_level, target_level) = match job {
             CompactionJob::L0 { inputs_new, inputs_old } => (inputs_new, inputs_old, 0, 1),
             CompactionJob::Level { level, input, inputs_old } => {
@@ -1034,22 +1288,37 @@ impl DbInner {
     /// writing size-split SSTs for `target_level` and building a fresh
     /// filter per output (§6.1: compaction "triggers the construction of
     /// new filters on the merged data").
+    ///
+    /// Shadowing: for duplicate keys only the newest record survives. A
+    /// surviving tombstone is carried into the output — it may still
+    /// shadow versions of its key in deeper levels — *unless* the output
+    /// lands at the bottom of the tree (no non-empty level below the
+    /// target), where nothing older can exist and the tombstone is
+    /// dropped for good. Deeper levels are only ever mutated by this
+    /// (single) compactor thread, so one snapshot decides the whole
+    /// merge; concurrent flushes only add *newer* data in L0, which a
+    /// dropped tombstone could never have shadowed.
     fn merge_inputs(
         &self,
         newer: &[Arc<SstReader>],
         older: &[Arc<SstReader>],
         target_level: usize,
-    ) -> std::io::Result<Vec<Arc<SstReader>>> {
+    ) -> Result<Vec<Arc<SstReader>>> {
+        let drop_tombstones = {
+            let v = self.version();
+            v.levels.get(target_level + 1..).is_none_or(|d| d.iter().all(Vec::is_empty))
+        };
         let mut scanners: Vec<SstScanner> = newer
             .iter()
             .chain(older.iter())
             .map(|s| SstScanner::new(Arc::clone(s), Arc::clone(&self.stats)))
             .collect();
-        // Heap of (key, rank): smallest key first, then lowest rank (newest).
-        type MergeEntry = Reverse<(Vec<u8>, usize, Vec<u8>)>;
+        // Heap of (key, rank): smallest key first, then lowest rank
+        // (newest). `None` values are tombstones.
+        type MergeEntry = Reverse<(Vec<u8>, usize, Option<Vec<u8>>)>;
         let mut heap: BinaryHeap<MergeEntry> = BinaryHeap::new();
         for (rank, sc) in scanners.iter_mut().enumerate() {
-            if let Some((k, v)) = sc.next() {
+            if let Some((k, v)) = sc.try_next()? {
                 heap.push(Reverse((k, rank, v)));
             }
         }
@@ -1057,31 +1326,38 @@ impl DbInner {
         let mut writer: Option<SstWriter> = None;
         let mut last_key: Option<Vec<u8>> = None;
         while let Some(Reverse((k, rank, v))) = heap.pop() {
-            if let Some((nk, nv)) = scanners[rank].next() {
+            if let Some((nk, nv)) = scanners[rank].try_next()? {
                 heap.push(Reverse((nk, rank, nv)));
             }
             if last_key.as_deref() == Some(k.as_slice()) {
-                continue; // older duplicate of an already-written key
+                continue; // older duplicate of an already-merged key
             }
             last_key = Some(k.clone());
+            if v.is_none() && drop_tombstones {
+                self.stats.tombstones_dropped.inc();
+                continue;
+            }
             if writer.is_none() {
                 let id = self.alloc_id();
                 writer = Some(SstWriter::create(
                     &self.dir,
                     id,
-                    self.cfg.key_width,
-                    self.cfg.block_bytes,
+                    self.cfg.key_width(),
+                    self.cfg.block_bytes(),
                     target_level as u32,
                 )?);
             }
             let w = writer.as_mut().unwrap();
-            w.add(&k, &v)?;
-            if w.bytes_written() >= self.cfg.sst_target_bytes {
+            match &v {
+                Some(v) => w.add(&k, v)?,
+                None => w.delete(&k)?,
+            }
+            if w.bytes_written() >= self.cfg.sst_target_bytes() {
                 let w = writer.take().unwrap();
                 outputs.push(Arc::new(w.finish(
                     self.factory.as_ref(),
                     &self.queue,
-                    self.cfg.bits_per_key,
+                    self.cfg.bits_per_key(),
                     &self.stats,
                 )?));
             }
@@ -1091,7 +1367,7 @@ impl DbInner {
                 outputs.push(Arc::new(w.finish(
                     self.factory.as_ref(),
                     &self.queue,
-                    self.cfg.bits_per_key,
+                    self.cfg.bits_per_key(),
                     &self.stats,
                 )?));
             }

@@ -1,0 +1,320 @@
+//! The ordered range iterator behind [`crate::Db::range`] (and, through
+//! a thin emptiness wrapper, [`crate::Db::seek`]).
+//!
+//! A [`RangeIter`] is a k-way merge over every layer that can hold a
+//! version of a key, in recency order:
+//!
+//! 1. the active MemTable,
+//! 2. the immutable (rotated) MemTables, newest first,
+//! 3. L0 SSTs, newest first,
+//! 4. the deeper, disjoint levels, shallowest first.
+//!
+//! MemTable entries in range are snapshotted (cloned) at construction
+//! under a short read lock; SST levels come from the `Arc`-swapped
+//! `Version` snapshot, so iteration itself holds no lock at all. Each
+//! overlapping SST is admitted through its range filter first — a filter
+//! negative skips the file without I/O (the same probe accounting as
+//! `seek`), which is what makes short scans over a cold store cheap.
+//!
+//! Admitted SSTs are read *lazily*: each starts as a pending heap entry
+//! keyed by the smallest key it could contribute (`max(lo, min_key)`)
+//! and only pays its first block read when the merge actually reaches
+//! that position. A `seek` that is satisfied early therefore never
+//! touches the files behind its first hit — and those files accumulate
+//! no false-positive evidence for a probe whose I/O was never paid.
+//!
+//! Shadowing: for equal keys the source with the lower rank (newer layer)
+//! wins; older duplicates are skipped. A winning tombstone suppresses the
+//! key entirely — the iterator yields *live* entries only, sorted and
+//! deduplicated.
+//!
+//! Errors: an I/O or corruption failure is reported once and ends the
+//! iteration. A failure while *refilling* a source never discards an
+//! entry the merge had already determined — the entry is yielded first
+//! and the error surfaces on the following `next()` call.
+
+use crate::block::Block;
+use crate::db::DbInner;
+use crate::error::{Error, Result};
+use crate::sst::{Entry, SstReader};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// The payload of one heap entry. `Pending` marks an SST source whose
+/// first block has not been read yet (its heap key is a lower bound on
+/// whatever it will contribute); the other two are materialized entries.
+/// The derived order is irrelevant: two heap entries never share a
+/// `(key, rank)` pair.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum HeapValue {
+    Pending,
+    Live(Vec<u8>),
+    Tombstone,
+}
+
+impl From<Option<Vec<u8>>> for HeapValue {
+    fn from(v: Option<Vec<u8>>) -> HeapValue {
+        match v {
+            Some(v) => HeapValue::Live(v),
+            None => HeapValue::Tombstone,
+        }
+    }
+}
+
+/// One merged entry in flight: `(key, source rank, payload)`. Min-heap
+/// via `Reverse`; for equal keys the lowest rank (newest layer) pops
+/// first.
+type HeapEntry = Reverse<(Vec<u8>, usize, HeapValue)>;
+
+/// An ordered iterator over the live entries in a closed key range; see
+/// the [module docs](self) and [`crate::Db::range`].
+///
+/// Yields `Result<(key, value)>`: an I/O or corruption error ends the
+/// iteration after being reported once.
+pub struct RangeIter<'a> {
+    heap: BinaryHeap<HeapEntry>,
+    sources: Vec<Source<'a>>,
+    /// Ranks below this are MemTable sources.
+    n_mem: usize,
+    last_key: Option<Vec<u8>>,
+    /// Did any SST get past its filter (i.e. could block I/O be paid)?
+    pub(crate) io_paid: bool,
+    /// Was the first *live* entry supplied by a MemTable?
+    pub(crate) first_from_memtable: bool,
+    yielded_any: bool,
+    /// A refill failure held back so the already-determined entry could
+    /// be yielded first; surfaced by the next `next()` call.
+    deferred_error: Option<Error>,
+    failed: bool,
+}
+
+enum Source<'a> {
+    Mem(std::vec::IntoIter<Entry>),
+    Sst(BoundedScan<'a>),
+}
+
+impl Source<'_> {
+    fn next_entry(&mut self) -> Result<Option<Entry>> {
+        match self {
+            Source::Mem(it) => Ok(it.next()),
+            Source::Sst(scan) => scan.next_entry(),
+        }
+    }
+}
+
+/// A forward scan over one SST clamped to `[lo, hi]`, reading blocks
+/// through the shared cache.
+struct BoundedScan<'a> {
+    db: &'a DbInner,
+    sst: Arc<SstReader>,
+    /// Did a real filter admit this file? Decides false-positive
+    /// accounting when the materialized scan turns out empty.
+    real_filter: bool,
+    hi: Vec<u8>,
+    /// Lower bound still to be applied to the first block read.
+    pending_lo: Option<Vec<u8>>,
+    block_idx: usize,
+    entry_idx: usize,
+    block: Option<Arc<Block>>,
+}
+
+impl BoundedScan<'_> {
+    fn next_entry(&mut self) -> Result<Option<Entry>> {
+        loop {
+            if self.block.is_none() {
+                if self.block_idx >= self.sst.n_blocks()
+                    || self.sst.block_meta(self.block_idx).first_key > self.hi
+                {
+                    return Ok(None);
+                }
+                let block = self.db.cached_block(&self.sst, self.block_idx)?;
+                self.entry_idx = match self.pending_lo.take() {
+                    Some(lo) => block.lower_bound(&lo),
+                    None => 0,
+                };
+                self.block = Some(block);
+            }
+            let block = self.block.as_ref().unwrap();
+            if self.entry_idx < block.len() {
+                let (k, v) = block.entry(self.entry_idx);
+                if k > self.hi.as_slice() {
+                    return Ok(None);
+                }
+                let out = (k.to_vec(), v.map(<[u8]>::to_vec));
+                self.entry_idx += 1;
+                return Ok(Some(out));
+            }
+            self.block = None;
+            self.block_idx += 1;
+        }
+    }
+}
+
+impl<'a> RangeIter<'a> {
+    /// An iterator that yields nothing (inverted or empty-by-bounds
+    /// ranges).
+    pub(crate) fn empty() -> RangeIter<'a> {
+        RangeIter {
+            heap: BinaryHeap::new(),
+            sources: Vec::new(),
+            n_mem: 0,
+            last_key: None,
+            io_paid: false,
+            first_from_memtable: false,
+            yielded_any: false,
+            deferred_error: None,
+            failed: false,
+        }
+    }
+
+    /// Build the merge over `[lo, hi]` (both inclusive, canonical-width
+    /// keys, `lo <= hi`). Probes every overlapping SST's filter here
+    /// (in-memory, recording true negatives) but defers all block I/O:
+    /// admitted files enter the heap as pending entries and are read only
+    /// when the merge reaches them.
+    pub(crate) fn new(db: &'a DbInner, lo: Vec<u8>, hi: Vec<u8>) -> Result<RangeIter<'a>> {
+        debug_assert!(lo <= hi);
+        let mut it = RangeIter::empty();
+
+        // 1. MemTables, newest first, snapshotted under a short read lock.
+        {
+            let mem = db.mem_read()?;
+            let mut mem_sources = vec![mem.active.range_entries(&lo, &hi)];
+            for imm in mem.imms.iter().rev() {
+                mem_sources.push(imm.range_entries(&lo, &hi));
+            }
+            for entries in mem_sources {
+                let rank = it.sources.len();
+                let mut src = entries.into_iter();
+                if let Some((k, v)) = src.next() {
+                    it.heap.push(Reverse((k, rank, v.into())));
+                    it.sources.push(Source::Mem(src));
+                }
+            }
+        }
+        it.n_mem = it.sources.len();
+
+        // 2. SSTs from the manifest snapshot: L0 newest first, then the
+        //    disjoint deeper levels.
+        let version = db.version();
+        let mut candidates: Vec<Arc<SstReader>> = Vec::new();
+        for sst in version.levels[0].iter().rev() {
+            if sst.overlaps(&lo, &hi) {
+                candidates.push(Arc::clone(sst));
+            }
+        }
+        for level in &version.levels[1..] {
+            let start = level.partition_point(|s| s.max_key < lo);
+            for sst in &level[start..] {
+                if sst.min_key > hi {
+                    break;
+                }
+                candidates.push(Arc::clone(sst));
+            }
+        }
+        for sst in candidates {
+            let Some(real_filter) = db.filter_admits(&sst, &lo, &hi) else {
+                continue; // proven empty; true negative recorded
+            };
+            it.io_paid = true;
+            // The smallest key this file could contribute: its entries in
+            // range all sit at or above max(lo, min_key), so a pending
+            // heap entry at that key materializes exactly when the merge
+            // could need the file — and never sooner.
+            let est = if sst.min_key.as_slice() > lo.as_slice() {
+                sst.min_key.clone()
+            } else {
+                lo.clone()
+            };
+            let rank = it.sources.len();
+            it.heap.push(Reverse((est, rank, HeapValue::Pending)));
+            it.sources.push(Source::Sst(BoundedScan {
+                db,
+                sst: Arc::clone(&sst),
+                real_filter,
+                hi: hi.clone(),
+                pending_lo: Some(lo.clone()),
+                block_idx: sst.first_candidate_block(&lo),
+                entry_idx: 0,
+                block: None,
+            }));
+        }
+        Ok(it)
+    }
+
+    /// Materialize a pending SST source's head and record the filter
+    /// probe's outcome: contributing anything in range is a true
+    /// positive; an admitted file with nothing in range cost real I/O —
+    /// a false positive (per-file evidence only for real filters).
+    fn materialize(&mut self, rank: usize) -> Result<()> {
+        let head = self.sources[rank].next_entry()?;
+        let Source::Sst(scan) = &self.sources[rank] else { unreachable!("pending mem source") };
+        let (db, real_filter) = (scan.db, scan.real_filter);
+        match head {
+            Some((k, v)) => {
+                db.stats.filter_true_positives.inc();
+                self.heap.push(Reverse((k, rank, v.into())));
+            }
+            None => {
+                db.stats.filter_false_positives.inc();
+                if real_filter {
+                    scan.sst.record_probe(true);
+                    db.stats.observed_fp.inc();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for RangeIter<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(e) = self.deferred_error.take() {
+                self.failed = true;
+                return Some(Err(e));
+            }
+            let Reverse((key, rank, hv)) = self.heap.pop()?;
+            let value = match hv {
+                HeapValue::Pending => {
+                    // First touch of this SST: read its head. No entry has
+                    // been determined yet, so an error surfaces directly.
+                    if let Err(e) = self.materialize(rank) {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                    continue;
+                }
+                HeapValue::Live(v) => Some(v),
+                HeapValue::Tombstone => None,
+            };
+            // Refill the heap from the source that just advanced. A
+            // failure here must not discard the entry we already hold:
+            // defer it and let this iteration finish first.
+            match self.sources[rank].next_entry() {
+                Ok(Some((k, v))) => self.heap.push(Reverse((k, rank, v.into()))),
+                Ok(None) => {}
+                Err(e) => self.deferred_error = Some(e),
+            }
+            // Shadowing: a key equal to the last one handled is an older
+            // version (the newest popped first by rank).
+            if self.last_key.as_deref() == Some(key.as_slice()) {
+                continue;
+            }
+            self.last_key = Some(key.clone());
+            // The newest record for this key is a tombstone: suppressed.
+            let Some(value) = value else { continue };
+            if !self.yielded_any {
+                self.yielded_any = true;
+                self.first_from_memtable = rank < self.n_mem;
+            }
+            return Some(Ok((key, value)));
+        }
+    }
+}

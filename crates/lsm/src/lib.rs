@@ -15,8 +15,13 @@
 //! * a per-SST range filter built at flush/compaction time from the file's
 //!   keys and a FIFO queue of sampled empty queries (§6.1), through the
 //!   pluggable [`FilterFactory`] hook;
+//! * the v2 API surface: typed [`Error`]/[`Result`] on every public
+//!   method, exact-key [`Db::get`], first-class deletes (tombstones flow
+//!   through MemTable → SST entry flags → compaction → recovery), atomic
+//!   [`WriteBatch`] writes and ordered [`Db::range`] scans;
 //! * the modified closed-`Seek` read path: all overlapping filters are
-//!   probed first and only positive files pay index + block I/O;
+//!   probed first and only positive files pay index + block I/O — `seek`
+//!   itself is a thin emptiness wrapper over the range merge;
 //! * a sharded LRU block cache and full (atomic) I/O statistics.
 //!
 //! Documented substitutions versus real RocksDB: one flusher + one
@@ -26,19 +31,27 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod batch;
 pub mod block;
 pub mod cache;
 pub mod compress;
+pub mod config;
 pub mod db;
+pub mod error;
 pub mod filter_hook;
+pub mod iter;
 pub mod memtable;
 pub mod query_queue;
 pub mod sst;
 pub mod stats;
 
+pub use batch::WriteBatch;
 pub use cache::{BlockCache, ShardedBlockCache};
-pub use db::{Db, DbConfig};
+pub use config::{DbConfig, DbConfigBuilder};
+pub use db::Db;
+pub use error::{Error, Result};
 pub use filter_hook::{FilterFactory, NoFilter, NoFilterFactory, ProteusFactory};
+pub use iter::RangeIter;
 pub use query_queue::QueryQueue;
 pub use stats::{Stats, StatsSnapshot};
 
@@ -55,14 +68,14 @@ mod db_tests {
     }
 
     fn small_cfg() -> DbConfig {
-        DbConfig {
-            memtable_bytes: 64 << 10,
-            sst_target_bytes: 64 << 10,
-            level_base_bytes: 256 << 10,
-            block_cache_bytes: 256 << 10,
-            bits_per_key: 12.0,
-            ..Default::default()
-        }
+        DbConfig::builder()
+            .memtable_bytes(64 << 10)
+            .sst_target_bytes(64 << 10)
+            .level_base_bytes(256 << 10)
+            .block_cache_bytes(256 << 10)
+            .bits_per_key(12.0)
+            .build()
+            .unwrap()
     }
 
     fn value(i: u64) -> Vec<u8> {
@@ -106,10 +119,13 @@ mod db_tests {
     #[test]
     fn compaction_moves_data_down_and_preserves_it() {
         let dir = tmpdir("compaction");
-        let mut cfg = small_cfg();
-        cfg.memtable_bytes = 16 << 10;
-        cfg.l0_compaction_trigger = 2;
-        cfg.level_base_bytes = 64 << 10;
+        let cfg = small_cfg()
+            .to_builder()
+            .memtable_bytes(16 << 10)
+            .l0_compaction_trigger(2)
+            .level_base_bytes(64 << 10)
+            .build()
+            .unwrap();
         let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
         for i in 0..20_000u64 {
             db.put_u64((i * 2_654_435_761) % (1 << 40), &value(i)).unwrap();
@@ -130,9 +146,12 @@ mod db_tests {
     #[test]
     fn overwrites_keep_newest_value_through_compaction() {
         let dir = tmpdir("overwrite");
-        let mut cfg = small_cfg();
-        cfg.memtable_bytes = 8 << 10;
-        cfg.l0_compaction_trigger = 1;
+        let cfg = small_cfg()
+            .to_builder()
+            .memtable_bytes(8 << 10)
+            .l0_compaction_trigger(1)
+            .build()
+            .unwrap();
         let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
         for round in 0..4u64 {
             for i in 0..500u64 {
@@ -156,9 +175,7 @@ mod db_tests {
     #[test]
     fn proteus_filters_cut_io_on_empty_seeks() {
         let dir = tmpdir("proteus-filter");
-        let mut cfg = small_cfg();
-        cfg.bits_per_key = 14.0;
-        cfg.sample_every = 1;
+        let cfg = small_cfg().to_builder().bits_per_key(14.0).sample_every(1).build().unwrap();
         let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
         // Clustered keys so empty queries near the clusters are filterable.
         for i in 0..20_000u64 {
@@ -283,10 +300,13 @@ mod db_tests {
     #[test]
     fn reopen_recovers_levels_and_filters_without_retraining() {
         let dir = tmpdir("reopen");
-        let mut cfg = small_cfg();
-        cfg.memtable_bytes = 16 << 10;
-        cfg.l0_compaction_trigger = 2;
-        cfg.sample_every = 1;
+        let cfg = small_cfg()
+            .to_builder()
+            .memtable_bytes(16 << 10)
+            .l0_compaction_trigger(2)
+            .sample_every(1)
+            .build()
+            .unwrap();
         let keys: Vec<u64> = (0..8_000u64).map(|i| (i * 2_654_435_761) % (1 << 44)).collect();
         let (counts, filter_bits, sst_count) = {
             let db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
@@ -339,8 +359,7 @@ mod db_tests {
         // MemTable (active or frozen) must not feed the sample queue; a
         // Seek the store executed and found empty must.
         let dir = tmpdir("sampling");
-        let mut cfg = small_cfg();
-        cfg.sample_every = 1; // record every offered query
+        let cfg = small_cfg().to_builder().sample_every(1).build().unwrap();
         let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
         db.put_u64(500, b"v").unwrap();
 
@@ -373,12 +392,166 @@ mod db_tests {
     }
 
     #[test]
+    fn get_delete_batch_range_roundtrip() {
+        let dir = tmpdir("v2-roundtrip");
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        for i in 0..2_000u64 {
+            db.put_u64(i * 3, &value(i)).unwrap();
+        }
+        // Reads before any flush.
+        assert_eq!(db.get_u64(30).unwrap().unwrap(), value(10));
+        assert_eq!(db.get_u64(31).unwrap(), None);
+        // Delete a stripe, some before and some after the flush boundary.
+        for i in (0..2_000u64).step_by(5) {
+            db.delete_u64(i * 3).unwrap();
+        }
+        db.flush_and_settle().unwrap();
+        for i in (0..2_000u64).step_by(7) {
+            let want = if i % 5 == 0 { None } else { Some(value(i)) };
+            assert_eq!(db.get_u64(i * 3).unwrap(), want, "get({i})");
+        }
+        // Atomic batch: the overwrite inside the batch wins in order.
+        let mut batch = WriteBatch::new();
+        batch.put_u64(6, b"first").delete_u64(6).put_u64(6, b"final").delete_u64(9);
+        db.write(batch).unwrap();
+        assert_eq!(db.get_u64(6).unwrap().as_deref(), Some(&b"final"[..]));
+        assert_eq!(db.get_u64(9).unwrap(), None);
+        // Ordered scan: sorted, deduplicated, tombstones suppressed.
+        let got: Vec<u64> = db
+            .range_u64(0..=60)
+            .unwrap()
+            .map(|e| e.map(|(k, _)| proteus_core::key::key_u64(&k)))
+            .collect::<crate::Result<_>>()
+            .unwrap();
+        // Keys 0..=60 step 3, minus deleted multiples of 15, plus 6 (re-put)
+        // and minus 9 (batch-deleted).
+        let want: Vec<u64> =
+            (0..=20u64).map(|i| i * 3).filter(|k| !(k % 15 == 0 && *k != 6) && *k != 9).collect();
+        assert_eq!(got, want);
+        assert!(db.stats().deletes.get() >= 400);
+        assert_eq!(db.stats().range_scans.get(), 1);
+        assert!(db.stats().gets.get() > 0);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inverted_ranges_are_empty_not_errors() {
+        let dir = tmpdir("inverted");
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        db.put_u64(100, b"v").unwrap();
+        // seek with lo > hi: defined as empty, not an assert or an error.
+        assert!(!db.seek_u64(200, 100).unwrap());
+        assert!(db.seek_u64(100, 100).unwrap());
+        // range with inverted or degenerate bounds: empty iterators.
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert_eq!(db.range_u64(200..=100).unwrap().count(), 0);
+            assert_eq!(db.range_u64(7..3).unwrap().count(), 0);
+        }
+        assert_eq!(db.range_u64(100..100).unwrap().count(), 0);
+        // Excluded bounds that fall off the key space: empty, not a panic.
+        assert_eq!(
+            db.range_u64((std::ops::Bound::Excluded(u64::MAX), std::ops::Bound::Unbounded))
+                .unwrap()
+                .count(),
+            0
+        );
+        // Inverted seeks pay no I/O and are not offered as sample queries.
+        let s = db.stats().snapshot();
+        assert_eq!(s.sample_offers, 0);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_length_and_wrong_width_keys_are_config_errors() {
+        let dir = tmpdir("badkeys");
+        let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
+        let is_config = |r: crate::Result<()>| matches!(r, Err(crate::Error::Config(_)));
+        assert!(is_config(db.put(b"", b"v")), "empty key put");
+        assert!(is_config(db.put(b"short", b"v")), "wrong-width put");
+        assert!(is_config(db.delete(b"")), "empty key delete");
+        assert!(is_config(db.get(b"").map(drop)), "empty key get");
+        assert!(is_config(db.seek(b"", b"").map(drop)), "empty key seek");
+        let empty: &[u8] = b"";
+        assert!(is_config(db.range(empty..=empty).map(drop)), "empty key range bound");
+        // A bad key anywhere in a batch rejects the whole batch.
+        let mut batch = WriteBatch::new();
+        batch.put_u64(1, b"ok");
+        batch.put(b"", b"bad");
+        assert!(is_config(db.write(batch)));
+        assert_eq!(db.get_u64(1).unwrap(), None, "rejected batch must not apply partially");
+        // An invalid configuration is rejected at open, same error type.
+        let bad = DbConfig::builder().key_width(0).build();
+        assert!(matches!(bad, Err(crate::Error::Config(_))));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_struct_literal_config_still_opens() {
+        // Pre-v2 callers construct DbConfig by struct literal; the fields
+        // are deprecated but must keep working (validated at open).
+        let dir = tmpdir("legacy-cfg");
+        let cfg = DbConfig { bits_per_key: 9.0, ..Default::default() };
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        db.put_u64(5, b"v").unwrap();
+        assert!(db.seek_u64(0, 10).unwrap());
+        drop(db);
+        // ... while a nonsense literal is now caught at open.
+        let broken = DbConfig { level_size_ratio: 0, ..Default::default() };
+        assert!(matches!(
+            Db::open(tmpdir("legacy-bad"), broken, Arc::new(NoFilterFactory)),
+            Err(crate::Error::Config(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_shadow_until_bottom_then_drop() {
+        let dir = tmpdir("tombstone-drop");
+        let cfg = small_cfg()
+            .to_builder()
+            .memtable_bytes(8 << 10)
+            .l0_compaction_trigger(1)
+            .build()
+            .unwrap();
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        for i in 0..2_000u64 {
+            db.put_u64(i * 2, &value(i)).unwrap();
+        }
+        db.flush_and_settle().unwrap();
+        // Delete half the keys; the tombstones start in the MemTable and
+        // must shadow the flushed values immediately...
+        for i in (0..2_000u64).step_by(2) {
+            db.delete_u64(i * 2).unwrap();
+        }
+        for i in (0..2_000u64).step_by(2) {
+            assert_eq!(db.get_u64(i * 2).unwrap(), None, "memtable tombstone {i}");
+            assert!(!db.seek_u64(i * 2, i * 2).unwrap());
+        }
+        // ...and keep shadowing after they reach SSTs and compact.
+        db.flush_and_settle().unwrap();
+        for i in 0..2_000u64 {
+            let want = if i % 2 == 0 { None } else { Some(value(i)) };
+            assert_eq!(db.get_u64(i * 2).unwrap(), want, "settled {i}");
+        }
+        // Bottom-level compaction dropped (at least some) tombstones for
+        // good instead of carrying them forever.
+        assert!(db.stats().tombstones_dropped.get() > 0, "no tombstone ever dropped");
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn background_flush_keeps_acked_writes_visible() {
         // Writes that rotated the MemTable stay findable while the flusher
         // works and after it installs the SST (install-before-retire).
         let dir = tmpdir("bg-visibility");
-        let mut cfg = small_cfg();
-        cfg.memtable_bytes = 4 << 10; // rotate every ~30 entries
+        // rotate every ~30 entries
+        let cfg = small_cfg().to_builder().memtable_bytes(4 << 10).build().unwrap();
         let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
         for i in 0..2_000u64 {
             db.put_u64(i * 3, &value(i)).unwrap();

@@ -3,17 +3,33 @@
 //! The concurrent `Db` keeps one *active* MemTable (mutated under a write
 //! lock) plus a FIFO of *immutable* MemTables that have been rotated out
 //! and await a background flush. An immutable MemTable is shared as
-//! `Arc<MemTable>` and only read (`range_contains`, [`MemTable::iter`]),
-//! so no further synchronization is needed on it.
+//! `Arc<MemTable>` and only read ([`MemTable::get`], [`MemTable::iter`],
+//! [`MemTable::range_entries`]), so no further synchronization is needed
+//! on it.
+//!
+//! Since API v2 an entry's value is `Option<Vec<u8>>`: `Some` is a live
+//! put, `None` is a *tombstone* recording a [`crate::Db::delete`]. A
+//! tombstone must be a real entry (not a removal from the map) because it
+//! has to shadow older versions of the key living in deeper layers —
+//! immutable MemTables and SST files — until compaction drops it at the
+//! bottom of the tree.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-/// A sorted in-memory buffer of the most recent writes.
+/// A sorted in-memory buffer of the most recent writes and deletes.
 #[derive(Debug, Default)]
 pub struct MemTable {
-    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
     bytes: usize,
+}
+
+/// Approximate bookkeeping bytes charged per tombstone (a deleted entry
+/// stores no value but still occupies the map).
+const TOMBSTONE_BYTES: usize = 8;
+
+fn entry_bytes(value: &Option<Vec<u8>>) -> usize {
+    value.as_ref().map_or(TOMBSTONE_BYTES, Vec::len)
 }
 
 impl MemTable {
@@ -22,30 +38,38 @@ impl MemTable {
         MemTable::default()
     }
 
-    /// Insert or overwrite.
+    /// Insert or overwrite a live value.
     pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
-        let vlen = value.len();
+        self.apply(key, Some(value));
+    }
+
+    /// Record a tombstone for `key`, shadowing any older version of it.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.apply(key, None);
+    }
+
+    /// Insert one entry: `Some` = put, `None` = tombstone.
+    pub fn apply(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let vlen = entry_bytes(&value);
         let klen = key.len();
         match self.map.insert(key, value) {
             Some(old) => {
                 // Key bytes were already counted; swap the value size.
-                self.bytes = self.bytes - old.len() + vlen;
+                self.bytes = self.bytes - entry_bytes(&old) + vlen;
             }
             None => self.bytes += klen + vlen,
         }
     }
 
-    /// Exact-key lookup.
-    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
-        self.map.get(key).map(|v| v.as_slice())
+    /// Exact-key lookup. The outer `Option` is "does this table know the
+    /// key at all"; the inner one distinguishes a live value (`Some`)
+    /// from a tombstone (`None`). A `None` outer result means the caller
+    /// must keep searching older layers.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.map.get(key).map(|v| v.as_deref())
     }
 
-    /// Does any buffered key fall within `[lo, hi]`?
-    pub fn range_contains(&self, lo: &[u8], hi: &[u8]) -> bool {
-        self.map.range::<[u8], _>((Bound::Included(lo), Bound::Included(hi))).next().is_some()
-    }
-
-    /// Number of buffered entries.
+    /// Number of buffered entries (tombstones included).
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -55,22 +79,34 @@ impl MemTable {
         self.map.is_empty()
     }
 
-    /// Approximate buffered bytes (keys + values).
+    /// Approximate buffered bytes (keys + values + tombstone overhead).
     pub fn bytes(&self) -> usize {
         self.bytes
     }
 
-    /// Drain all entries in ascending key order.
-    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.bytes = 0;
-        std::mem::take(&mut self.map).into_iter().collect()
-    }
-
     /// Iterate all entries in ascending key order without consuming the
     /// table (the background flusher writes an immutable `Arc<MemTable>`
-    /// to disk through this).
-    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
-        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    /// to disk through this). Tombstones are yielded as `None` values.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Clone every entry with a key in the closed range `[lo, hi]`
+    /// (tombstones included), in ascending key order. The range iterator
+    /// snapshots MemTable state through this so it can merge without
+    /// holding the MemTable lock.
+    pub fn range_entries(&self, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.range_iter(lo, hi).map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec))).collect()
+    }
+
+    /// Borrowing iterator over the entries with keys in `[lo, hi]`
+    /// (tombstones included), ascending. Used by `seek`'s MemTable fast
+    /// path, which must not pay the clone that [`MemTable::range_entries`]
+    /// does.
+    pub fn range_iter(&self, lo: &[u8], hi: &[u8]) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.map
+            .range::<[u8], _>((Bound::Included(lo), Bound::Included(hi)))
+            .map(|(k, v)| (k.as_slice(), v.as_deref()))
     }
 }
 
@@ -83,11 +119,11 @@ mod tests {
         let mut m = MemTable::new();
         m.put(vec![0, 5], vec![1]);
         m.put(vec![0, 9], vec![2]);
-        assert_eq!(m.get(&[0, 5]), Some(&[1u8][..]));
+        assert_eq!(m.get(&[0, 5]), Some(Some(&[1u8][..])));
         assert_eq!(m.get(&[0, 6]), None);
-        assert!(m.range_contains(&[0, 4], &[0, 5]));
-        assert!(m.range_contains(&[0, 6], &[0, 9]));
-        assert!(!m.range_contains(&[0, 6], &[0, 8]));
+        let in_range = m.range_entries(&[0, 4], &[0, 5]);
+        assert_eq!(in_range, vec![(vec![0, 5], Some(vec![1]))]);
+        assert!(m.range_entries(&[0, 6], &[0, 8]).is_empty());
         assert_eq!(m.len(), 2);
     }
 
@@ -96,38 +132,47 @@ mod tests {
         let mut m = MemTable::new();
         m.put(vec![1], vec![1, 1]);
         m.put(vec![1], vec![2, 2, 2]);
-        assert_eq!(m.get(&[1]), Some(&[2u8, 2, 2][..]));
+        assert_eq!(m.get(&[1]), Some(Some(&[2u8, 2, 2][..])));
         assert_eq!(m.len(), 1);
     }
 
     #[test]
-    fn drain_is_sorted_and_resets() {
+    fn delete_records_a_tombstone_entry() {
         let mut m = MemTable::new();
-        m.put(vec![9], vec![]);
-        m.put(vec![1], vec![]);
-        m.put(vec![5], vec![]);
-        let drained = m.drain_sorted();
-        let keys: Vec<u8> = drained.iter().map(|(k, _)| k[0]).collect();
-        assert_eq!(keys, vec![1, 5, 9]);
-        assert!(m.is_empty());
-        assert_eq!(m.bytes(), 0);
+        m.put(vec![1], vec![9, 9]);
+        m.delete(vec![1]);
+        assert_eq!(m.get(&[1]), Some(None), "tombstone must shadow the put");
+        assert_eq!(m.len(), 1, "a tombstone is a real entry");
+        // Deleting an unknown key still records a tombstone: it may
+        // shadow a version of the key living in an older layer.
+        m.delete(vec![7]);
+        assert_eq!(m.get(&[7]), Some(None));
+        assert_eq!(m.range_entries(&[0], &[9]), vec![(vec![1], None), (vec![7], None)]);
+        // Re-putting resurrects the key.
+        m.put(vec![1], vec![3]);
+        assert_eq!(m.get(&[1]), Some(Some(&[3u8][..])));
     }
 
     #[test]
-    fn iter_is_sorted_and_non_consuming() {
+    fn iter_is_sorted_non_consuming_and_keeps_tombstones() {
         let mut m = MemTable::new();
         m.put(vec![9], vec![b'a']);
         m.put(vec![1], vec![b'b']);
-        let keys: Vec<u8> = m.iter().map(|(k, _)| k[0]).collect();
-        assert_eq!(keys, vec![1, 9]);
-        assert_eq!(m.len(), 2, "iter must not drain");
+        m.delete(vec![5]);
+        let entries: Vec<(u8, bool)> = m.iter().map(|(k, v)| (k[0], v.is_some())).collect();
+        assert_eq!(entries, vec![(1, true), (5, false), (9, true)]);
+        assert_eq!(m.len(), 3, "iter must not drain");
     }
 
     #[test]
-    fn byte_accounting_grows() {
+    fn byte_accounting_grows_and_tracks_overwrites() {
         let mut m = MemTable::new();
         assert_eq!(m.bytes(), 0);
         m.put(vec![1; 8], vec![0; 100]);
         assert!(m.bytes() >= 108);
+        let before = m.bytes();
+        m.delete(vec![1; 8]); // value swapped for tombstone overhead
+        assert!(m.bytes() < before);
+        assert!(m.bytes() >= 8);
     }
 }

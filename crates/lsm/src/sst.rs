@@ -3,10 +3,10 @@
 //! integration point: "Static filters … are built on every SST file") and
 //! a fixed-size footer enabling directory recovery.
 //!
-//! ## On-disk layout (format v1)
+//! ## On-disk layout (format v2, magic `PRSSTv2`)
 //!
 //! ```text
-//! [data block]*                      (crate::block format)
+//! [data block]*                      (crate::block format, v2 entry flags)
 //! [index block]                      u32 n, then n × (first_key, last_key,
 //!                                    u64 offset, u32 len), then u32 CRC-32
 //! [filter block]                     FilterCodec envelope (may be absent)
@@ -15,17 +15,33 @@
 //!    8  u64 index_len    40 u32 level
 //!   16  u64 filter_off   44 u32 key width
 //!   24  u64 filter_len   48 u16 format version
-//!                        50 6×u8 zero padding
-//!                        56 8×u8 magic "PRSSTv1\0"
+//!                        50 u32 n_tombstones   (v2; zero in v1 files)
+//!                        54 2×u8 zero padding
+//!                        56 8×u8 magic "PRSSTv2\0"
 //! ```
+//!
+//! Format v1 (`PRSSTv1`) predates tombstones: its data blocks have no
+//! per-entry flag byte and its footer leaves bytes 50..56 zero. v1 files
+//! still *open* (the reader decodes their blocks with the v1 entry
+//! layout, every entry live) but are never written; the first compaction
+//! that touches one replaces it with a v2 output. The writer always emits
+//! v2.
 //!
 //! The footer records which LSM level the file belongs to, so `Db::open`
 //! can rebuild the level manifest from nothing but the directory listing.
 //! The filter block is the [`FilterCodec`] envelope (self-describing,
 //! checksummed); it is decoded lazily on first probe, so opening a large
 //! database does not pay filter reconstruction for cold files.
+//!
+//! Tombstone entries are keys like any other as far as the filter is
+//! concerned: a file's filter is built over *all* of its keys, deletes
+//! included. This is load-bearing — if a filter could answer "empty" for
+//! a range holding only a tombstone, the read path would skip the file,
+//! miss the delete, and resurrect an older version of the key from a
+//! deeper level.
 
 use crate::block::{Block, BlockBuilder};
+use crate::error::{Error, Result};
 use crate::filter_hook::FilterFactory;
 use crate::query_queue::QueryQueue;
 use crate::stats::Stats;
@@ -41,28 +57,39 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// SST format version written into the footer.
-pub const SST_FORMAT_VERSION: u16 = 1;
+/// SST format version the writer emits.
+pub const SST_FORMAT_VERSION: u16 = 2;
 
-/// Trailing magic of every SST file.
-pub const SST_MAGIC: [u8; 8] = *b"PRSSTv1\0";
+/// Trailing magic of every v2 SST file.
+pub const SST_MAGIC: [u8; 8] = *b"PRSSTv2\0";
+
+/// Trailing magic of legacy v1 files (read-only compatibility).
+pub const SST_MAGIC_V1: [u8; 8] = *b"PRSSTv1\0";
 
 /// Fixed footer size in bytes.
 pub const SST_FOOTER_LEN: u64 = 64;
 
-fn bad(path: &Path, what: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
+/// One decoded SST entry: canonical key plus `Some(value)` for a live put
+/// or `None` for a tombstone.
+pub type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+fn bad(path: &Path, what: &str) -> Error {
+    Error::corruption(format!("{}: {what}", path.display()))
 }
 
 /// Serialize the fixed 64-byte footer (shared by the writer and the
-/// adaptive filter-block rewrite).
+/// adaptive filter-block rewrite). `version` selects the magic, so a
+/// rewritten v1 file keeps its v1 footer and block layout.
+#[allow(clippy::too_many_arguments)] // mirrors the fixed binary layout 1:1
 fn encode_footer(
     index_off: u64,
     index_len: u64,
     filter_len: u64,
     n_entries: u64,
+    n_tombstones: u64,
     level: u32,
     width: usize,
+    version: u16,
 ) -> [u8; SST_FOOTER_LEN as usize] {
     let mut f = [0u8; SST_FOOTER_LEN as usize];
     f[0..8].copy_from_slice(&index_off.to_le_bytes());
@@ -72,8 +99,17 @@ fn encode_footer(
     f[32..40].copy_from_slice(&n_entries.to_le_bytes());
     f[40..44].copy_from_slice(&level.to_le_bytes());
     f[44..48].copy_from_slice(&(width as u32).to_le_bytes());
-    f[48..50].copy_from_slice(&SST_FORMAT_VERSION.to_le_bytes());
-    f[56..64].copy_from_slice(&SST_MAGIC);
+    f[48..50].copy_from_slice(&version.to_le_bytes());
+    if version >= 2 {
+        // The footer field is u32; a file with 2^32 tombstones is far
+        // beyond any real SST, but a silent wrap would corrupt the count,
+        // so the impossible case fails loudly instead.
+        let n = u32::try_from(n_tombstones).expect("more than u32::MAX tombstones in one SST");
+        f[50..54].copy_from_slice(&n.to_le_bytes());
+        f[56..64].copy_from_slice(&SST_MAGIC);
+    } else {
+        f[56..64].copy_from_slice(&SST_MAGIC_V1);
+    }
     f
 }
 
@@ -128,16 +164,21 @@ pub struct SstReader {
     retrain_count: u32,
     /// Set when compaction retires this file from the manifest: readers
     /// holding an older version snapshot may still probe it, but must not
-    /// (re-)populate the block cache for it (see `Db::search_sst`).
+    /// (re-)populate the block cache for it (see `Db`'s read path).
     retired: AtomicBool,
+    /// On-disk format version (1 or 2); selects the block entry layout.
+    pub format_version: u16,
     /// LSM level this file was written for (from the footer on reopen).
     pub level: u32,
     /// Smallest key in the file.
     pub min_key: Vec<u8>,
     /// Largest key in the file.
     pub max_key: Vec<u8>,
-    /// Number of key-value entries.
+    /// Number of key-value entries, tombstones included.
     pub n_entries: u64,
+    /// Number of tombstone entries among `n_entries` (0 for v1 files,
+    /// whose format predates deletes).
+    pub n_tombstones: u64,
     /// Bytes of the data section (excludes index, filter block, footer);
     /// the quantity level-size compaction triggers are measured in.
     pub file_bytes: u64,
@@ -147,8 +188,10 @@ impl std::fmt::Debug for SstReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SstReader")
             .field("id", &self.id)
+            .field("v", &self.format_version)
             .field("level", &self.level)
             .field("entries", &self.n_entries)
+            .field("tombstones", &self.n_tombstones)
             .field("blocks", &self.index.len())
             .finish()
     }
@@ -157,12 +200,9 @@ impl std::fmt::Debug for SstReader {
 impl SstReader {
     /// Reopen a persisted SST: read the footer, validate magic/version/
     /// geometry, and load the block index and the (still-encoded) filter
-    /// block. The filter itself is decoded lazily on first probe.
-    pub fn open(
-        path: impl Into<PathBuf>,
-        id: u64,
-        expected_width: usize,
-    ) -> std::io::Result<SstReader> {
+    /// block. The filter itself is decoded lazily on first probe. Both
+    /// format versions open; v1 files simply decode every entry as live.
+    pub fn open(path: impl Into<PathBuf>, id: u64, expected_width: usize) -> Result<SstReader> {
         let path = path.into();
         let file = File::open(&path)?;
         let file_len = file.metadata()?.len();
@@ -171,12 +211,17 @@ impl SstReader {
         }
         let mut footer = [0u8; SST_FOOTER_LEN as usize];
         file.read_exact_at(&mut footer, file_len - SST_FOOTER_LEN)?;
-        if footer[56..64] != SST_MAGIC {
-            return Err(bad(&path, "bad SST magic"));
-        }
         let version = u16::from_le_bytes(footer[48..50].try_into().unwrap());
-        if version != SST_FORMAT_VERSION {
-            return Err(bad(&path, "unsupported SST format version"));
+        if footer[56..64] == SST_MAGIC {
+            if version != 2 {
+                return Err(bad(&path, "v2 magic with a non-2 format version"));
+            }
+        } else if footer[56..64] == SST_MAGIC_V1 {
+            if version != 1 {
+                return Err(bad(&path, "v1 magic with a non-1 format version"));
+            }
+        } else {
+            return Err(bad(&path, "bad SST magic"));
         }
         let u64_at = |o: usize| u64::from_le_bytes(footer[o..o + 8].try_into().unwrap());
         let index_off = u64_at(0);
@@ -186,6 +231,11 @@ impl SstReader {
         let n_entries = u64_at(32);
         let level = u32::from_le_bytes(footer[40..44].try_into().unwrap());
         let width = u32::from_le_bytes(footer[44..48].try_into().unwrap()) as usize;
+        let n_tombstones = if version >= 2 {
+            u32::from_le_bytes(footer[50..54].try_into().unwrap()) as u64
+        } else {
+            0
+        };
         if width != expected_width {
             return Err(bad(&path, "key width mismatch"));
         }
@@ -198,6 +248,9 @@ impl SstReader {
         }
         if n_entries == 0 {
             return Err(bad(&path, "empty SST"));
+        }
+        if n_tombstones > n_entries {
+            return Err(bad(&path, "more tombstones than entries"));
         }
 
         // Index block: entries + trailing CRC-32.
@@ -252,10 +305,12 @@ impl SstReader {
             probe_tn: AtomicU64::new(0),
             retrain_count: 0,
             retired: AtomicBool::new(false),
+            format_version: version,
             level,
             min_key,
             max_key,
             n_entries,
+            n_tombstones,
             file_bytes: index_off,
         })
     }
@@ -347,16 +402,19 @@ impl SstReader {
     /// writer: data + index are copied from the live file, the new filter
     /// block and footer are appended, the file is synced and renamed over
     /// the original, and the directory is synced — so a crash at any point
-    /// leaves either the old or the new filter, never a torn file. Readers
-    /// holding this reader keep serving from the old inode; the returned
-    /// replacement reader (same id, fresh probe counters, the new filter
-    /// pre-installed) is what the caller swaps into the manifest.
+    /// leaves either the old or the new filter, never a torn file. The
+    /// footer keeps the file's original format version (a v1 file stays
+    /// v1: its data blocks are untouched and must keep decoding with the
+    /// v1 entry layout). Readers holding this reader keep serving from the
+    /// old inode; the returned replacement reader (same id, fresh probe
+    /// counters, the new filter pre-installed) is what the caller swaps
+    /// into the manifest.
     pub fn with_new_filter(
         &self,
         filter: Box<dyn RangeFilter>,
         sketch: QuerySketch,
         stats: &Stats,
-    ) -> std::io::Result<SstReader> {
+    ) -> Result<SstReader> {
         let filter_bytes = match FilterCodec::encode_with_fingerprint(filter.as_ref(), &sketch) {
             Ok(bytes) => bytes,
             Err(_) => {
@@ -372,8 +430,10 @@ impl SstReader {
             self.index_len,
             filter_bytes.len() as u64,
             self.n_entries,
+            self.n_tombstones,
             self.level,
             self.width,
+            self.format_version,
         );
         let dir = self.path.parent().unwrap_or(Path::new("."));
         let tmp_path = dir.join(format!("{:08}.sst.tmp", self.id));
@@ -403,10 +463,12 @@ impl SstReader {
             probe_tn: AtomicU64::new(0),
             retrain_count: self.retrain_count + 1,
             retired: AtomicBool::new(false),
+            format_version: self.format_version,
             level: self.level,
             min_key: self.min_key.clone(),
             max_key: self.max_key.clone(),
             n_entries: self.n_entries,
+            n_tombstones: self.n_tombstones,
             file_bytes: self.file_bytes,
         })
     }
@@ -439,14 +501,21 @@ impl SstReader {
     }
 
     /// Read and decode block `i` from disk (no caching here; the DB layer
-    /// caches). Updates I/O statistics.
-    pub fn read_block(&self, i: usize, stats: &Stats) -> Block {
+    /// caches). Updates I/O statistics. A block that fails validation —
+    /// bad codec, reserved flag bits, lengths escaping the buffer —
+    /// surfaces as [`Error::Corruption`] with the file path attached.
+    pub fn read_block(&self, i: usize, stats: &Stats) -> Result<Block> {
         let meta = &self.index[i];
         let mut buf = vec![0u8; meta.len as usize];
-        self.file.read_exact_at(&mut buf, meta.offset).expect("sst read");
+        self.file.read_exact_at(&mut buf, meta.offset)?;
         stats.blocks_read.inc();
         stats.bytes_read.add(meta.len as u64);
-        Block::decode(&buf, self.width)
+        Block::decode(&buf, self.width, self.format_version >= 2).map_err(|e| match e {
+            Error::Corruption(d) => {
+                Error::corruption(format!("{}: block {i}: {d}", self.path.display()))
+            }
+            other => other,
+        })
     }
 
     /// Mark this file as retired from the version set (compaction consumed
@@ -467,7 +536,8 @@ impl SstReader {
     }
 }
 
-/// Streaming SST writer: feed sorted entries, get a reader back.
+/// Streaming SST writer: feed sorted entries, get a reader back. Always
+/// emits format v2 (entry flags, tombstone support).
 ///
 /// Writes stream into `NNNNNNNN.sst.tmp`; only after the footer is written
 /// and synced does [`SstWriter::finish`] rename the file to its final
@@ -487,8 +557,9 @@ pub struct SstWriter {
     builder: BlockBuilder,
     index: Vec<BlockMeta>,
     offset: u64,
-    keys: Vec<u8>, // flat canonical keys for filter construction
+    keys: Vec<u8>, // flat canonical keys (tombstones included) for the filter
     n_entries: u64,
+    n_tombstones: u64,
 }
 
 impl SstWriter {
@@ -500,7 +571,7 @@ impl SstWriter {
         width: usize,
         block_size: usize,
         level: u32,
-    ) -> std::io::Result<Self> {
+    ) -> Result<Self> {
         let path = dir.join(format!("{id:08}.sst"));
         let tmp_path = dir.join(format!("{id:08}.sst.tmp"));
         let file = File::create(&tmp_path)?;
@@ -517,11 +588,24 @@ impl SstWriter {
             offset: 0,
             keys: Vec::new(),
             n_entries: 0,
+            n_tombstones: 0,
         })
     }
 
-    /// Append an entry; keys must arrive in strictly ascending order.
-    pub fn add(&mut self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+    /// Append a live entry; keys must arrive in strictly ascending order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.push(key, Some(value))
+    }
+
+    /// Append a tombstone entry for `key` (same ordering rules as
+    /// [`SstWriter::add`]). The key still feeds the file's range filter:
+    /// a probe for it must pass so the delete is seen before any older
+    /// version of the key in a deeper level.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.push(key, None)
+    }
+
+    fn push(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
         debug_assert_eq!(key.len(), self.width);
         debug_assert!(
             self.keys.is_empty() || &self.keys[self.keys.len() - self.width..] < key,
@@ -530,13 +614,16 @@ impl SstWriter {
         self.builder.add(key, value);
         self.keys.extend_from_slice(key);
         self.n_entries += 1;
+        if value.is_none() {
+            self.n_tombstones += 1;
+        }
         if self.builder.raw_len() >= self.block_size {
             self.flush_block()?;
         }
         Ok(())
     }
 
-    fn flush_block(&mut self) -> std::io::Result<()> {
+    fn flush_block(&mut self) -> Result<()> {
         if self.builder.is_empty() {
             return Ok(());
         }
@@ -559,7 +646,7 @@ impl SstWriter {
         self.offset + self.builder.raw_len() as u64
     }
 
-    /// Entries appended so far.
+    /// Entries appended so far (tombstones included).
     pub fn n_entries(&self) -> u64 {
         self.n_entries
     }
@@ -584,14 +671,15 @@ impl SstWriter {
     /// keys in each SST file to determine the optimal filter design for
     /// each SST file at construction time"), embed its encoding in the
     /// file's filter block, and write the index + footer so the file is
-    /// fully self-describing for recovery.
+    /// fully self-describing for recovery. Tombstone keys are part of the
+    /// filter's key set (see the module docs for why).
     pub fn finish(
         mut self,
         factory: &dyn FilterFactory,
         queue: &QueryQueue,
         bits_per_key: f64,
         stats: &Stats,
-    ) -> std::io::Result<SstReader> {
+    ) -> Result<SstReader> {
         self.flush_block()?;
         assert!(self.n_entries > 0, "empty SST");
         let min_key = self.index.first().unwrap().first_key.clone();
@@ -634,8 +722,10 @@ impl SstWriter {
             index_bytes.len() as u64,
             filter_bytes.len() as u64,
             self.n_entries,
+            self.n_tombstones,
             self.level,
             self.width,
+            SST_FORMAT_VERSION,
         );
         self.file.write_all(&footer)?;
         self.file.sync_all()?;
@@ -666,17 +756,20 @@ impl SstWriter {
             probe_tn: AtomicU64::new(0),
             retrain_count: 0,
             retired: AtomicBool::new(false),
+            format_version: SST_FORMAT_VERSION,
             level: self.level,
             min_key,
             max_key,
             n_entries: self.n_entries,
+            n_tombstones: self.n_tombstones,
             file_bytes: self.offset,
         })
     }
 }
 
 /// Convenience wrapper: iterate every entry of an SST in order (used by
-/// compaction).
+/// compaction and the adaptive re-train key scan). Yields tombstones as
+/// `None` values.
 pub struct SstScanner {
     sst: Arc<SstReader>,
     stats: Arc<Stats>,
@@ -691,23 +784,22 @@ impl SstScanner {
         SstScanner { sst, stats, block_idx: 0, entry_idx: 0, block: None }
     }
 
-    /// Next `(key, value)` pair, or `None` at the end.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+    /// Next `(key, Some(value) | None)` entry, `Ok(None)` at the end.
+    pub fn try_next(&mut self) -> Result<Option<Entry>> {
         loop {
             if self.block.is_none() {
                 if self.block_idx >= self.sst.n_blocks() {
-                    return None;
+                    return Ok(None);
                 }
-                self.block = Some(self.sst.read_block(self.block_idx, &self.stats));
+                self.block = Some(self.sst.read_block(self.block_idx, &self.stats)?);
                 self.entry_idx = 0;
             }
             let block = self.block.as_ref().unwrap();
             if self.entry_idx < block.len() {
-                let k = block.key(self.entry_idx).to_vec();
-                let v = block.value(self.entry_idx).to_vec();
+                let (k, v) = block.entry(self.entry_idx);
+                let out = (k.to_vec(), v.map(<[u8]>::to_vec));
                 self.entry_idx += 1;
-                return Some((k, v));
+                return Ok(Some(out));
             }
             self.block = None;
             self.block_idx += 1;
@@ -743,8 +835,10 @@ mod tests {
         let written = write_sample(&dir, 3, 2, 5_000);
         let stats = Stats::default();
         let reopened = SstReader::open(dir.join("00000003.sst"), 3, 8).unwrap();
+        assert_eq!(reopened.format_version, SST_FORMAT_VERSION);
         assert_eq!(reopened.level, 2);
         assert_eq!(reopened.n_entries, written.n_entries);
+        assert_eq!(reopened.n_tombstones, 0);
         assert_eq!(reopened.n_blocks(), written.n_blocks());
         assert_eq!(reopened.min_key, written.min_key);
         assert_eq!(reopened.max_key, written.max_key);
@@ -758,14 +852,53 @@ mod tests {
         assert_eq!(f.name(), g.name());
         // Block payloads identical.
         for b in 0..reopened.n_blocks() {
-            let x = reopened.read_block(b, &stats);
-            let y = written.read_block(b, &stats);
+            let x = reopened.read_block(b, &stats).unwrap();
+            let y = written.read_block(b, &stats).unwrap();
             assert_eq!(x.len(), y.len());
             for i in 0..x.len() {
                 assert_eq!(x.key(i), y.key(i));
                 assert_eq!(x.value(i), y.value(i));
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstones_roundtrip_and_feed_the_filter() {
+        let dir = tmpdir("tombstones");
+        let stats = Stats::default();
+        let queue = QueryQueue::new(16, 1);
+        let mut w = SstWriter::create(&dir, 5, 8, 512, 0).unwrap();
+        for i in 0..1_000u64 {
+            let k = (i * 9).to_be_bytes();
+            if i % 3 == 0 {
+                w.delete(&k).unwrap();
+            } else {
+                w.add(&k, &[i as u8; 24]).unwrap();
+            }
+        }
+        let written = w.finish(&ProteusFactory::default(), &queue, 12.0, &stats).unwrap();
+        assert_eq!(written.n_entries, 1_000);
+        assert_eq!(written.n_tombstones, 334);
+
+        let reopened = SstReader::open(dir.join("00000005.sst"), 5, 8).unwrap();
+        assert_eq!(reopened.n_tombstones, 334);
+        // Tombstone keys must pass the filter: skipping a file that holds
+        // a delete would resurrect the key from a deeper level.
+        let f = reopened.filter(&stats).expect("filter");
+        for i in (0..1_000u64).step_by(3) {
+            assert!(f.may_contain(&(i * 9).to_be_bytes()), "tombstone key {i} filtered out");
+        }
+        // The scanner yields tombstones as None, in order.
+        let fresh = Arc::new(Stats::default());
+        let mut scan = SstScanner::new(Arc::new(reopened), fresh);
+        let mut i = 0u64;
+        while let Some((k, v)) = scan.try_next().unwrap() {
+            assert_eq!(k, (i * 9).to_be_bytes());
+            assert_eq!(v.is_none(), i.is_multiple_of(3), "entry {i}");
+            i += 1;
+        }
+        assert_eq!(i, 1_000);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -807,6 +940,11 @@ mod tests {
         let index_off = u64::from_le_bytes(orig[flen - 64..flen - 56].try_into().unwrap()) as usize;
         let mut bad = orig.clone();
         bad[index_off + 6] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(SstReader::open(&path, 1, 8), Err(Error::Corruption(_))));
+        // A magic/version mismatch (v2 magic, version byte clobbered).
+        let mut bad = orig.clone();
+        bad[flen - 16] = 7; // footer offset 48: format version low byte
         std::fs::write(&path, &bad).unwrap();
         assert!(SstReader::open(&path, 1, 8).is_err());
         // Wrong declared width.

@@ -35,13 +35,23 @@ impl Counter {
 pub struct Stats {
     /// Range Seeks issued.
     pub seeks: Counter,
+    /// Exact-key `get` lookups issued.
+    pub gets: Counter,
+    /// `delete` operations issued (tombstones written), including deletes
+    /// inside `WriteBatch`es.
+    pub deletes: Counter,
+    /// Ordered `range` scans started.
+    pub range_scans: Counter,
+    /// Tombstones dropped by compactions that reached the bottom of the
+    /// tree (nothing older left to shadow).
+    pub tombstones_dropped: Counter,
     /// Seeks answered without touching any SST (all filters negative or no
     /// overlapping file).
     pub seeks_filtered: Counter,
     /// Seeks that found a key.
     pub seeks_found: Counter,
-    /// Seeks answered by a MemTable (active or immutable) without reaching
-    /// the SST read path. These never feed the sample queue: §6.1 samples
+    /// Seeks whose first live answer came from a MemTable (active or
+    /// immutable). These never feed the sample queue: §6.1 samples
     /// *executed empty* queries only.
     pub seeks_memtable: Counter,
     /// Executed empty queries offered to the sample queue (each may or may
@@ -123,6 +133,10 @@ impl Stats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             seeks: self.seeks.get(),
+            gets: self.gets.get(),
+            deletes: self.deletes.get(),
+            range_scans: self.range_scans.get(),
+            tombstones_dropped: self.tombstones_dropped.get(),
             seeks_filtered: self.seeks_filtered.get(),
             seeks_found: self.seeks_found.get(),
             seeks_memtable: self.seeks_memtable.get(),
@@ -172,6 +186,10 @@ impl Stats {
 #[allow(missing_docs)] // field semantics documented once, on `Stats`
 pub struct StatsSnapshot {
     pub seeks: u64,
+    pub gets: u64,
+    pub deletes: u64,
+    pub range_scans: u64,
+    pub tombstones_dropped: u64,
     pub seeks_filtered: u64,
     pub seeks_found: u64,
     pub seeks_memtable: u64,
@@ -205,6 +223,10 @@ impl StatsSnapshot {
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             seeks: self.seeks - earlier.seeks,
+            gets: self.gets - earlier.gets,
+            deletes: self.deletes - earlier.deletes,
+            range_scans: self.range_scans - earlier.range_scans,
+            tombstones_dropped: self.tombstones_dropped - earlier.tombstones_dropped,
             seeks_filtered: self.seeks_filtered - earlier.seeks_filtered,
             seeks_found: self.seeks_found - earlier.seeks_found,
             seeks_memtable: self.seeks_memtable - earlier.seeks_memtable,

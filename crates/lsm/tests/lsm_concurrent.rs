@@ -17,6 +17,7 @@ use proteus_lsm::filter_hook::{FilterFactory, NoFilterFactory, ProteusFactory};
 use proteus_lsm::query_queue::QueryQueue;
 use proteus_lsm::sst::{SstReader, SstWriter};
 use proteus_lsm::stats::Stats;
+use proteus_lsm::WriteBatch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -32,17 +33,17 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 /// Small tables and files so the stress run exercises rotation, flush and
 /// compaction constantly, not just the MemTable.
 fn stress_cfg() -> DbConfig {
-    DbConfig {
-        memtable_bytes: 32 << 10,
-        max_immutable_memtables: 2,
-        sst_target_bytes: 64 << 10,
-        l0_compaction_trigger: 3,
-        level_base_bytes: 256 << 10,
-        block_cache_bytes: 512 << 10,
-        bits_per_key: 10.0,
-        sample_every: 10,
-        ..Default::default()
-    }
+    DbConfig::builder()
+        .memtable_bytes(32 << 10)
+        .max_immutable_memtables(2)
+        .sst_target_bytes(64 << 10)
+        .l0_compaction_trigger(3)
+        .level_base_bytes(256 << 10)
+        .block_cache_bytes(512 << 10)
+        .bits_per_key(10.0)
+        .sample_every(10)
+        .build()
+        .unwrap()
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -260,6 +261,78 @@ fn stress_concurrent_barriers() {
             assert!(db.seek_u64((w << 48) | (i * 997), (w << 48) | (i * 997)).unwrap());
         }
     }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Atomic `WriteBatch` visibility: one writer repeatedly rewrites a fixed
+/// 8-key set, each round as a single batch carrying one generation
+/// number; reader threads scan the covering range and must always observe
+/// all 8 keys at exactly one generation — a batch is never visible half
+/// applied, no matter how rotations, flushes and compactions interleave —
+/// and generations must be monotone per reader (no time travel).
+#[test]
+fn write_batches_are_atomic_under_concurrent_scans() {
+    let dir = tmpdir("batch-atomic");
+    let db = Db::open(&dir, stress_cfg(), Arc::new(NoFilterFactory)).unwrap();
+    let keys: Vec<u64> = (0..8u64).map(|i| (i + 1) << 20).collect();
+    let (lo, hi) = (keys[0], *keys.last().unwrap());
+    let rounds = (ops_per_thread() / 8).max(250) as u64;
+
+    // Generation 0 so readers always find a complete set. Values are
+    // padded so a few hundred batches cross the rotation threshold.
+    let write_gen = |gen: u64| {
+        let mut b = WriteBatch::with_capacity(keys.len());
+        for &k in &keys {
+            let mut v = vec![0u8; 64];
+            v[..8].copy_from_slice(&gen.to_le_bytes());
+            b.put_u64(k, &v);
+        }
+        db.write(b).unwrap();
+    };
+    write_gen(0);
+
+    std::thread::scope(|s| {
+        let (db, keys) = (&db, &keys);
+        let write_gen = &write_gen;
+        s.spawn(move || {
+            for gen in 1..=rounds {
+                write_gen(gen);
+            }
+        });
+        for r in 0..readers().max(2) {
+            s.spawn(move || {
+                let mut last_gen = 0u64;
+                for _ in 0..rounds {
+                    let got: Vec<(u64, u64)> = db
+                        .range_u64(lo..=hi)
+                        .unwrap()
+                        .map(|e| {
+                            let (k, v) = e.unwrap();
+                            (
+                                u64::from_be_bytes(k.try_into().unwrap()),
+                                u64::from_le_bytes(v[..8].try_into().unwrap()),
+                            )
+                        })
+                        .collect();
+                    let scanned: Vec<u64> = got.iter().map(|&(k, _)| k).collect();
+                    assert_eq!(&scanned, keys, "reader {r}: key set torn");
+                    let gens: Vec<u64> = got.iter().map(|&(_, g)| g).collect();
+                    assert!(
+                        gens.windows(2).all(|w| w[0] == w[1]),
+                        "reader {r}: batch visible half-applied: {gens:?}"
+                    );
+                    assert!(gens[0] >= last_gen, "reader {r}: generation went backwards");
+                    last_gen = gens[0];
+                }
+            });
+        }
+    });
+    db.flush_and_settle().unwrap();
+    let final_gen =
+        u64::from_le_bytes(db.get_u64(keys[0]).unwrap().unwrap()[..8].try_into().unwrap());
+    assert_eq!(final_gen, rounds, "last batch must win");
+    assert!(db.stats().memtable_rotations.get() > 0, "batches must cross rotations");
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
 }

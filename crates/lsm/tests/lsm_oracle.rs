@@ -1,18 +1,23 @@
-//! Property test: random interleavings of `put` / `seek` / `flush` /
-//! `flush_and_settle` (MemTable rotation + full compaction barrier)
-//! against a single-threaded `BTreeMap` oracle. This pins the
-//! memtable-rotation and snapshot-visibility semantics of the concurrent
-//! store: at every step, a closed-range `Seek` must answer *exactly* what
-//! the oracle answers — the store's filters may only skip I/O, never flip
-//! an answer, and no rotation/flush/compaction interleaving may hide or
-//! resurrect a key.
+//! Property test: random interleavings of the full v2 API — `put`, `get`,
+//! `delete`, `seek`, ordered `range` scans, atomic `WriteBatch`es,
+//! `flush` (MemTable rotation) and `flush_and_settle` (full compaction
+//! barrier) — against a single-threaded `BTreeMap` oracle. This pins the
+//! tombstone and snapshot-visibility semantics of the concurrent store:
+//! at every step the store must answer *exactly* what the oracle answers
+//! — `get` returns the newest value (generation-tagged, so a stale
+//! overwrite or a resurrected delete is caught byte-for-byte), `range`
+//! yields the oracle's live entries sorted and deduplicated, `seek`
+//! matches the oracle's emptiness, and no rotation/flush/compaction
+//! interleaving may hide, corrupt or resurrect a key. A final reopen
+//! re-checks everything against the recovered store.
 
 use proptest::prelude::*;
-use proteus_lsm::{Db, DbConfig, NoFilterFactory, ProteusFactory};
+use proteus_lsm::{Db, DbConfig, NoFilterFactory, ProteusFactory, WriteBatch};
 
 mod common;
 use common::Rng;
-use std::collections::BTreeMap;
+use proteus_core::key::key_u64;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 fn tmpdir(tag: u64) -> std::path::PathBuf {
@@ -24,39 +29,64 @@ fn tmpdir(tag: u64) -> std::path::PathBuf {
 /// Tiny thresholds so a ~200-op script crosses every boundary: rotation,
 /// L0 trigger, level overflow.
 fn oracle_cfg() -> DbConfig {
-    DbConfig {
-        memtable_bytes: 1 << 10,
-        max_immutable_memtables: 1,
-        sst_target_bytes: 2 << 10,
-        l0_compaction_trigger: 2,
-        level_base_bytes: 4 << 10,
-        block_cache_bytes: 16 << 10,
-        bits_per_key: 12.0,
-        sample_every: 3,
-        ..Default::default()
-    }
+    DbConfig::builder()
+        .memtable_bytes(1 << 10)
+        .max_immutable_memtables(1)
+        .sst_target_bytes(2 << 10)
+        .l0_compaction_trigger(2)
+        .level_base_bytes(4 << 10)
+        .block_cache_bytes(16 << 10)
+        .bits_per_key(12.0)
+        .sample_every(3)
+        .build()
+        .unwrap()
 }
 
 #[derive(Debug)]
 enum Op {
     Put(u64),
+    Get(u64),
+    Delete(u64),
     Seek(u64, u64),
+    Range(u64, u64),
+    /// Atomic batch of (key, is_delete) ops.
+    Batch(Vec<(u64, bool)>),
     Flush,
     Settle,
 }
 
-/// Keys cluster in a narrow space so seeks hit real data, duplicates and
-/// gaps; ranges vary from points to wide spans.
+/// Generation-tagged value: identifies both the key and the write step,
+/// so returning *any* stale version is detectable.
+fn value_of(k: u64, step: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&k.to_le_bytes());
+    v.extend_from_slice(&(step as u64).to_le_bytes());
+    v
+}
+
+/// Keys cluster in a narrow space so operations hit real data, duplicates,
+/// deletes and gaps; ranges vary from points to wide spans.
 fn script(seed: u64, n_ops: usize) -> Vec<Op> {
     let mut rng = Rng(seed);
     let key = |r: &mut Rng| (r.next() % 512) * 7;
     (0..n_ops)
         .map(|_| match rng.next() % 16 {
-            0..=7 => Op::Put(key(&mut rng)),
-            8..=13 => {
+            0..=4 => Op::Put(key(&mut rng)),
+            5..=6 => Op::Delete(key(&mut rng)),
+            7..=8 => Op::Get(key(&mut rng)),
+            9..=11 => {
                 let lo = key(&mut rng).saturating_sub(rng.next() % 8);
                 let hi = lo + rng.next() % 40;
                 Op::Seek(lo, hi)
+            }
+            12 => {
+                let lo = key(&mut rng).saturating_sub(rng.next() % 16);
+                let hi = lo + rng.next() % 200;
+                Op::Range(lo, hi)
+            }
+            13 => {
+                let n = 1 + rng.next() as usize % 8;
+                Op::Batch((0..n).map(|_| (key(&mut rng), rng.next().is_multiple_of(3))).collect())
             }
             14 => Op::Flush,
             _ => Op::Settle,
@@ -64,63 +94,131 @@ fn script(seed: u64, n_ops: usize) -> Vec<Op> {
         .collect()
 }
 
-fn run_script(seed: u64, n_ops: usize, proteus: bool) {
-    let dir = tmpdir(seed ^ (proteus as u64) << 63 ^ n_ops as u64);
-    let factory: Arc<dyn proteus_lsm::FilterFactory> =
-        if proteus { Arc::new(ProteusFactory::default()) } else { Arc::new(NoFilterFactory) };
-    let db = Db::open(&dir, oracle_cfg(), factory).unwrap();
-    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
-    for (step, op) in script(seed, n_ops).iter().enumerate() {
-        match *op {
-            Op::Put(k) => {
-                db.put_u64(k, &k.to_le_bytes()).unwrap();
-                oracle.insert(k, k);
-            }
-            Op::Seek(lo, hi) => {
-                let got = db.seek_u64(lo, hi).unwrap();
-                let truth = oracle.range(lo..=hi).next().is_some();
-                assert_eq!(
-                    got, truth,
-                    "step {step}: seek [{lo},{hi}] diverged from oracle (seed {seed:#x})"
-                );
-            }
-            Op::Flush => db.flush().unwrap(),
-            Op::Settle => db.flush_and_settle().unwrap(),
-        }
-    }
-    // Final settle, then re-check every key and the gaps between them.
-    db.flush_and_settle().unwrap();
-    for &k in oracle.keys() {
-        assert!(db.seek_u64(k, k).unwrap(), "key {k} lost at end (seed {seed:#x})");
+/// Collect the store's live entries in `[lo, hi]` as (key, value) pairs.
+fn db_range(db: &Db, lo: u64, hi: u64) -> Vec<(u64, Vec<u8>)> {
+    db.range_u64(lo..=hi)
+        .unwrap()
+        .map(|e| e.map(|(k, v)| (key_u64(&k), v)))
+        .collect::<proteus_lsm::Result<Vec<_>>>()
+        .unwrap()
+}
+
+/// Exhaustive oracle equivalence: every touched key (live value match,
+/// deleted keys stay dead), the gaps between live keys, and one full
+/// ordered scan.
+fn check_everything(db: &Db, oracle: &BTreeMap<u64, Vec<u8>>, touched: &BTreeSet<u64>, tag: &str) {
+    for &k in touched {
+        let got = db.get_u64(k).unwrap();
+        assert_eq!(got.as_deref(), oracle.get(&k).map(Vec::as_slice), "{tag}: get({k})");
+        assert_eq!(db.seek_u64(k, k).unwrap(), oracle.contains_key(&k), "{tag}: seek({k})");
     }
     let keys: Vec<u64> = oracle.keys().copied().collect();
     for w in keys.windows(2) {
         if w[1] > w[0] + 1 {
             assert!(
                 !db.seek_u64(w[0] + 1, w[1] - 1).unwrap(),
-                "phantom key in ({}, {}) (seed {seed:#x})",
+                "{tag}: phantom key in ({}, {})",
                 w[0],
                 w[1]
             );
         }
     }
+    let full: Vec<(u64, Vec<u8>)> = db_range(db, 0, u64::MAX);
+    let want: Vec<(u64, Vec<u8>)> = oracle.iter().map(|(&k, v)| (k, v.clone())).collect();
+    assert_eq!(full, want, "{tag}: full ordered scan diverged from oracle");
+}
+
+fn run_script(seed: u64, n_ops: usize, proteus: bool) {
+    let dir = tmpdir(seed ^ (proteus as u64) << 63 ^ n_ops as u64);
+    let factory: Arc<dyn proteus_lsm::FilterFactory> =
+        if proteus { Arc::new(ProteusFactory::default()) } else { Arc::new(NoFilterFactory) };
+    let db = Db::open(&dir, oracle_cfg(), Arc::clone(&factory)).unwrap();
+    let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    // Every key ever written or deleted (deleted keys must stay dead).
+    let mut touched: BTreeSet<u64> = BTreeSet::new();
+    for (step, op) in script(seed, n_ops).iter().enumerate() {
+        match op {
+            Op::Put(k) => {
+                let v = value_of(*k, step);
+                db.put_u64(*k, &v).unwrap();
+                oracle.insert(*k, v);
+                touched.insert(*k);
+            }
+            Op::Delete(k) => {
+                db.delete_u64(*k).unwrap();
+                oracle.remove(k);
+                touched.insert(*k);
+            }
+            Op::Get(k) => {
+                let got = db.get_u64(*k).unwrap();
+                assert_eq!(
+                    got.as_deref(),
+                    oracle.get(k).map(Vec::as_slice),
+                    "step {step}: get({k}) diverged (seed {seed:#x})"
+                );
+            }
+            Op::Seek(lo, hi) => {
+                let got = db.seek_u64(*lo, *hi).unwrap();
+                let truth = oracle.range(lo..=hi).next().is_some();
+                assert_eq!(
+                    got, truth,
+                    "step {step}: seek [{lo},{hi}] diverged from oracle (seed {seed:#x})"
+                );
+            }
+            Op::Range(lo, hi) => {
+                let got = db_range(&db, *lo, *hi);
+                let want: Vec<(u64, Vec<u8>)> =
+                    oracle.range(lo..=hi).map(|(&k, v)| (k, v.clone())).collect();
+                assert_eq!(got, want, "step {step}: range [{lo},{hi}] diverged (seed {seed:#x})");
+            }
+            Op::Batch(ops) => {
+                let mut batch = WriteBatch::with_capacity(ops.len());
+                for (i, &(k, is_delete)) in ops.iter().enumerate() {
+                    touched.insert(k);
+                    if is_delete {
+                        batch.delete_u64(k);
+                        oracle.remove(&k);
+                    } else {
+                        let v = value_of(k, step * 16 + i);
+                        batch.put_u64(k, &v);
+                        oracle.insert(k, v);
+                    }
+                }
+                db.write(batch).unwrap();
+            }
+            Op::Flush => db.flush().unwrap(),
+            Op::Settle => db.flush_and_settle().unwrap(),
+        }
+    }
+    // Final settle, then the exhaustive checks — live keys, dead keys,
+    // gaps, full ordered scan.
+    db.flush_and_settle().unwrap();
+    check_everything(&db, &oracle, &touched, "settled");
+
+    // Persist everything and reopen cold: recovery must not resurrect a
+    // deleted key or lose/corrupt a live one.
+    db.flush().unwrap();
+    drop(db);
+    let db = Db::open(&dir, oracle_cfg(), factory).unwrap();
+    check_everything(&db, &oracle, &touched, "reopened");
+
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 36, ..ProptestConfig::default() })]
 
     /// No-filter store: every interleaving matches the oracle exactly.
     #[test]
-    fn interleavings_match_oracle_nofilter(seed in 0u64..u64::MAX / 2, extra in 0usize..120) {
-        run_script(seed, 120 + extra, false);
+    fn interleavings_match_oracle_nofilter(seed in 0u64..u64::MAX / 2, extra in 0usize..100) {
+        run_script(seed, 110 + extra, false);
     }
 
     /// Proteus-filtered store: filters must only skip I/O, never change
     /// an answer, across the same interleavings.
     #[test]
-    fn interleavings_match_oracle_proteus(seed in 0u64..u64::MAX / 2, extra in 0usize..120) {
-        run_script(seed, 120 + extra, true);
+    fn interleavings_match_oracle_proteus(seed in 0u64..u64::MAX / 2, extra in 0usize..100) {
+        run_script(seed, 110 + extra, true);
     }
 }

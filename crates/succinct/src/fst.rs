@@ -760,7 +760,7 @@ mod tests {
     fn randomized_against_reference() {
         // Deterministic pseudo-random key sets over a small alphabet to
         // force shared prefixes, chains and prefix-keys.
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         let mut rng = move || {
             state ^= state << 13;
             state ^= state >> 7;

@@ -47,8 +47,8 @@ impl RankedBits {
         let words = self.bits.words();
         let first_word = block * WORDS_PER_BLOCK;
         let last_word = i / 64;
-        for w in first_word..last_word {
-            r += words[w].count_ones() as usize;
+        for word in &words[first_word..last_word] {
+            r += word.count_ones() as usize;
         }
         let rem = i % 64;
         if rem != 0 && last_word < words.len() {
@@ -118,9 +118,9 @@ mod tests {
     #[test]
     fn rank_matches_reference_on_patterns() {
         for (name, gen) in [
-            ("alternating", Box::new(|i: usize| i % 2 == 0) as Box<dyn Fn(usize) -> bool>),
+            ("alternating", Box::new(|i: usize| i.is_multiple_of(2)) as Box<dyn Fn(usize) -> bool>),
             ("sparse", Box::new(|i: usize| i % 97 == 13)),
-            ("dense", Box::new(|i: usize| i % 7 != 0)),
+            ("dense", Box::new(|i: usize| !i.is_multiple_of(7))),
             ("all_ones", Box::new(|_| true)),
             ("all_zeros", Box::new(|_| false)),
         ] {

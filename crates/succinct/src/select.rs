@@ -49,10 +49,10 @@ impl SelectIndex {
         let mut remaining = k - blocks[block] as usize;
         let words = rb.bits().words();
         let first_word = block * (RankedBits::BLOCK_BITS / 64);
-        for w in first_word..words.len() {
-            let ones = words[w].count_ones() as usize;
+        for (w, &word) in words.iter().enumerate().skip(first_word) {
+            let ones = word.count_ones() as usize;
             if remaining < ones {
-                return w * 64 + select_in_word(words[w], remaining as u32) as usize;
+                return w * 64 + select_in_word(word, remaining as u32) as usize;
             }
             remaining -= ones;
         }
@@ -117,7 +117,7 @@ mod tests {
     fn select_matches_reference_on_patterns() {
         for (name, gen) in [
             ("every_third", Box::new(|i: usize| i % 3 == 1) as Box<dyn Fn(usize) -> bool>),
-            ("sparse", Box::new(|i: usize| i % 251 == 0)),
+            ("sparse", Box::new(|i: usize| i.is_multiple_of(251))),
             ("dense", Box::new(|i: usize| i % 5 != 2)),
             ("all_ones", Box::new(|_| true)),
         ] {

@@ -35,7 +35,7 @@ impl Dataset {
 
     /// Generate `n` distinct keys, sorted ascending.
     pub fn generate(self, n: usize, seed: u64) -> Vec<u64> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xD474_5E7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0D47_45E7);
         let mut keys: Vec<u64> = Vec::with_capacity(n + n / 4);
         match self {
             Dataset::Uniform => {

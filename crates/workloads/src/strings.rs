@@ -27,7 +27,7 @@ impl StringDataset {
     /// Generate `n` distinct keys of exactly `len` bytes, sorted.
     pub fn generate(self, n: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
         assert!(len >= 8, "string keys must be at least 8 bytes");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x57C1_65);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0057_C165);
         let mut keys: Vec<Vec<u8>> = Vec::with_capacity(n);
         while keys.len() < n {
             let missing = n - keys.len();

@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 /// pseudo-random (seeded by the key so re-generation matches).
 pub fn value_for_key(key: u64, len: usize) -> Vec<u8> {
     let mut v = vec![0u8; len];
-    let mut rng = StdRng::seed_from_u64(key ^ 0x5EED_0F5A_17_u64);
+    let mut rng = StdRng::seed_from_u64(key ^ 0x005E_ED0F_5A17_u64);
     rng.fill(&mut v[len / 2..]);
     v
 }

@@ -1,22 +1,23 @@
 //! Proteus inside an LSM-tree key-value store (§6): every SST file gets a
 //! self-designed filter built from its keys and a queue of sampled queries;
-//! empty Seeks skip their I/O.
+//! empty Seeks skip their I/O. The API v2 surface — `get`, `delete`,
+//! atomic `WriteBatch`es and ordered `range` scans — rides on the same
+//! filter-accelerated read path.
 //!
 //! Run: `cargo run --release --example lsm_integration`
 
-use proteus::lsm::{Db, DbConfig, ProteusFactory};
+use proteus::lsm::{Db, DbConfig, ProteusFactory, WriteBatch};
 use std::sync::Arc;
 
-fn main() -> std::io::Result<()> {
+fn main() -> proteus::lsm::Result<()> {
     let dir = std::env::temp_dir().join(format!("proteus-example-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let cfg = DbConfig {
-        memtable_bytes: 512 << 10,
-        sst_target_bytes: 512 << 10,
-        bits_per_key: 12.0,
-        ..Default::default()
-    };
+    let cfg = DbConfig::builder()
+        .memtable_bytes(512 << 10)
+        .sst_target_bytes(512 << 10)
+        .bits_per_key(12.0)
+        .build()?;
     let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default()))?;
 
     // Load clustered keys (every 2^20) with 128-byte values.
@@ -40,6 +41,21 @@ fn main() -> std::io::Result<()> {
         db.level_file_counts(),
         db.filter_bits() as f64 / db.sst_entries().max(1) as f64
     );
+
+    // API v2: read values back, delete, write atomically, scan in order.
+    let v = db.get_u64(41 << 20)?.expect("key 41 is loaded");
+    assert_eq!(&v[64..72], &41u64.to_le_bytes());
+    db.delete_u64(42 << 20)?; // tombstone: shadows the put everywhere
+    assert_eq!(db.get_u64(42 << 20)?, None);
+    let mut batch = WriteBatch::new(); // all-or-nothing multi-op write
+    batch.put_u64(43 << 20, b"replaced-atomically").delete_u64(44 << 20);
+    db.write(batch)?;
+    let live: Vec<u64> = db
+        .range_u64((40u64 << 20)..=(45u64 << 20))?
+        .map(|e| e.map(|(k, _)| proteus::core::key::key_u64(&k) >> 20))
+        .collect::<proteus::lsm::Result<_>>()?;
+    assert_eq!(live, vec![40, 41, 43, 45], "deletes invisible, order preserved");
+    println!("get/delete/batch/range OK: live keys 40..=45 = {live:?}");
 
     // Range Seeks: hits must be found, gap queries should be filtered.
     assert!(db.seek_u64(41 << 20, (41 << 20) + 10)?);

@@ -14,3 +14,7 @@ pub use proteus_filters as filters;
 pub use proteus_lsm as lsm;
 pub use proteus_succinct as succinct;
 pub use proteus_workloads as workloads;
+
+// The embeddable-store surface (API v2), re-exported at the facade root
+// so `proteus::Db` + `proteus::WriteBatch` is all an application needs.
+pub use proteus_lsm::{Db, DbConfig, DbConfigBuilder, RangeIter, WriteBatch};

@@ -3,7 +3,7 @@
 //! range Seeks (the §6 claim at test scale).
 
 use proteus::core::key::u64_key;
-use proteus::lsm::{Db, DbConfig, FilterFactory, NoFilterFactory, ProteusFactory};
+use proteus::lsm::{Db, DbConfig, FilterFactory, NoFilterFactory, ProteusFactory, WriteBatch};
 use proteus::workloads::{Dataset, QueryGen, Workload};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -15,14 +15,14 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 }
 
 fn small_cfg(bpk: f64) -> DbConfig {
-    DbConfig {
-        memtable_bytes: 128 << 10,
-        sst_target_bytes: 128 << 10,
-        level_base_bytes: 512 << 10,
-        bits_per_key: bpk,
-        sample_every: 1,
-        ..Default::default()
-    }
+    DbConfig::builder()
+        .memtable_bytes(128 << 10)
+        .sst_target_bytes(128 << 10)
+        .level_base_bytes(512 << 10)
+        .bits_per_key(bpk)
+        .sample_every(1)
+        .build()
+        .unwrap()
 }
 
 struct SurfFactoryLocal;
@@ -173,6 +173,86 @@ fn reopened_db_serves_from_persisted_filters_without_retraining() {
 }
 
 #[test]
+fn deletes_survive_compaction_and_reopen_without_resurrection() {
+    // The v2 tombstone lifecycle end to end: delete a third of a settled
+    // multi-level store (singles + atomic batches), verify exact `get`
+    // answers and ordered `range` scans against a mirror, then reopen
+    // cold and verify nothing resurrected and nothing live was lost.
+    let dir = tmpdir("delete-e2e");
+    let raw = Dataset::Uniform.generate(20_000, 73);
+    let cfg = small_cfg(12.0);
+    let mut mirror: BTreeSet<u64> = BTreeSet::new();
+
+    let db = Db::open(&dir, cfg.clone(), Arc::new(ProteusFactory::default())).unwrap();
+    for &k in &raw {
+        db.put_u64(k, &k.to_le_bytes()).unwrap();
+        mirror.insert(k);
+    }
+    db.flush_and_settle().unwrap();
+
+    // Delete every third key: half through single deletes, half through
+    // WriteBatches (each batch also re-puts one key, exercising in-batch
+    // ordering).
+    let mut batch = WriteBatch::new();
+    for (n, &k) in raw.iter().step_by(3).enumerate() {
+        if n % 2 == 0 {
+            db.delete_u64(k).unwrap();
+        } else {
+            batch.delete_u64(k);
+            if batch.len() == 64 {
+                db.write(std::mem::take(&mut batch)).unwrap();
+            }
+        }
+        mirror.remove(&k);
+    }
+    db.write(batch).unwrap();
+    db.flush_and_settle().unwrap();
+    assert!(db.stats().deletes.get() > 0);
+    assert!(
+        db.stats().tombstones_dropped.get() > 0,
+        "bottom-level compaction should drop tombstones"
+    );
+
+    let verify = |db: &Db, tag: &str| {
+        for (n, &k) in raw.iter().enumerate() {
+            if n % 50 != 0 {
+                continue;
+            }
+            let want = mirror.contains(&k).then(|| k.to_le_bytes().to_vec());
+            assert_eq!(db.get_u64(k).unwrap(), want, "{tag}: get({k:#x})");
+        }
+        // Ordered scans across a few windows match the mirror exactly.
+        let mut sorted: Vec<u64> = mirror.iter().copied().collect();
+        sorted.sort_unstable();
+        for w in sorted.chunks(997).take(5) {
+            let (lo, hi) = (w[0], *w.last().unwrap());
+            let got: Vec<u64> = db
+                .range_u64(lo..=hi)
+                .unwrap()
+                .map(|e| e.map(|(k, _)| proteus::core::key::key_u64(&k)))
+                .collect::<proteus::lsm::Result<_>>()
+                .unwrap();
+            assert_eq!(got, w.to_vec(), "{tag}: scan [{lo:#x},{hi:#x}]");
+        }
+    };
+    verify(&db, "settled");
+
+    // A cold reopen recovers tombstones like any other entry: no
+    // resurrection, no loss, filters loaded not retrained.
+    drop(db);
+    let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).unwrap();
+    assert_eq!(db.stats().filters_built.get(), 0, "reopen must not retrain");
+    verify(&db, "reopened");
+    // Deleted keys stay dead even as seeks (point emptiness).
+    for &k in raw.iter().step_by(3).step_by(17) {
+        assert!(!db.seek_u64(k, k).unwrap(), "deleted {k:#x} resurrected as seek");
+        assert_eq!(db.get_u64(k).unwrap(), None, "deleted {k:#x} resurrected as get");
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn proteus_filters_reduce_io_versus_no_filter() {
     // Clustered keys, correlated empty queries: a trained filter should
     // eliminate nearly all block reads that the no-filter baseline pays.
@@ -278,12 +358,15 @@ fn adaptive_lifecycle_recovers_fpr_after_workload_shift() {
     let dir = tmpdir("adaptive-e2e");
     let raw = Dataset::Uniform.generate(20_000, 7);
     let mirror: BTreeSet<u64> = raw.iter().copied().collect();
-    let mut cfg = small_cfg(12.0);
-    cfg.adapt_enabled = false; // drive passes via adapt_now() for determinism
-    cfg.adapt_min_probes = 100;
-    cfg.adapt_fpr_threshold = 0.02;
-    cfg.adapt_divergence_threshold = 0.4;
-    cfg.queue_capacity = 2_000; // small queue => the live sample tracks the shift
+    let cfg = small_cfg(12.0)
+        .to_builder()
+        .adapt_enabled(false) // drive passes via adapt_now() for determinism
+        .adapt_min_probes(100)
+        .adapt_fpr_threshold(0.02)
+        .adapt_divergence_threshold(0.4)
+        .queue_capacity(2_000) // small queue => the live sample tracks the shift
+        .build()
+        .unwrap();
 
     let train_w = Workload::Uniform { rmax: 1 << 15 };
     let shift_w = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };
@@ -302,7 +385,7 @@ fn adaptive_lifecycle_recovers_fpr_after_workload_shift() {
         let before = db.stats().snapshot();
         for (lo, hi) in QueryGen::new(w.clone(), &raw, &[], seed).empty_ranges(n) {
             let got = db.seek_u64(lo, hi).unwrap();
-            assert!(!mirror.range(lo..=hi).next().is_some() || got, "[{lo:#x},{hi:#x}]");
+            assert!(mirror.range(lo..=hi).next().is_none() || got, "[{lo:#x},{hi:#x}]");
         }
         db.stats().snapshot().delta(&before).observed_fpr()
     };
@@ -360,13 +443,16 @@ fn background_adapter_thread_retrains_on_its_own() {
     // adapt_now() call.
     let dir = tmpdir("adaptive-bg");
     let raw = Dataset::Uniform.generate(10_000, 23);
-    let mut cfg = small_cfg(12.0);
-    cfg.adapt_enabled = true;
-    cfg.adapt_interval = std::time::Duration::from_millis(20);
-    cfg.adapt_min_probes = 100;
-    cfg.adapt_fpr_threshold = 0.02;
-    cfg.adapt_divergence_threshold = 0.4;
-    cfg.queue_capacity = 1_000;
+    let cfg = small_cfg(12.0)
+        .to_builder()
+        .adapt_enabled(true)
+        .adapt_interval(std::time::Duration::from_millis(20))
+        .adapt_min_probes(100)
+        .adapt_fpr_threshold(0.02)
+        .adapt_divergence_threshold(0.4)
+        .queue_capacity(1_000)
+        .build()
+        .unwrap();
 
     let train_w = Workload::Uniform { rmax: 1 << 15 };
     let shift_w = Workload::Correlated { rmax: 32, corr_degree: 1 << 10 };

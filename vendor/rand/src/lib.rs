@@ -13,6 +13,9 @@
 //! The statistical quality of xoshiro256** is more than sufficient for the
 //! synthetic datasets and query workloads generated here.
 
+// Vendored offline stand-in: kept byte-faithful to the subset of the real
+// crate's API the workspace uses; exempt from the workspace lint bar.
+#![allow(clippy::all)]
 use std::ops::{Range, RangeInclusive};
 
 pub mod rngs;
