@@ -7,11 +7,12 @@
 
 use proteus_bench::cli::Args;
 use proteus_bench::factories::{RosettaFactory, SurfFactory};
-use proteus_bench::lsm_harness::LsmRun;
+use proteus_bench::lsm_harness::{fresh_dir, LsmRun};
 use proteus_bench::report::Table;
-use proteus_lsm::{FilterFactory, ProteusFactory};
+use proteus_lsm::{Db, DbConfig, FilterFactory, NoFilterFactory, ProteusFactory, SyncMode};
 use proteus_workloads::{Dataset, QueryGen, Workload};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn factories() -> Vec<(&'static str, Arc<dyn FilterFactory>)> {
     vec![
@@ -24,6 +25,14 @@ fn factories() -> Vec<(&'static str, Arc<dyn FilterFactory>)> {
 fn main() {
     let args = Args::parse(200_000, 50_000, 2_000);
     let value_len = args.get_usize("value-len", 128);
+
+    // `--part wal` runs only the write-path/group-commit measurement
+    // (fast; no filter training), `--part all` appends it after the read
+    // figures.
+    if args.part == "wal" {
+        run_wal_section(&args);
+        return;
+    }
 
     // The four §6.3 use cases: distinct points in the design space.
     let cases: Vec<(Dataset, Workload, &str)> = vec![
@@ -273,4 +282,97 @@ fn main() {
         ]);
     }
     d.finish(args.out.as_deref(), "fig6d_mixed_workload");
+
+    if args.part == "all" {
+        run_wal_section(&args);
+    }
+}
+
+/// Figure 6e: write throughput under the WAL across sync modes and writer
+/// counts. With one writer, `SyncMode::Always` pays a full fsync per put;
+/// with several, the leader/follower group commit amortizes each fsync
+/// over every commit appended while the previous sync was in flight —
+/// `mean_group` is that amortization factor (commits per fsync). Also
+/// emits `BENCH_wal.json` for tracking across commits.
+fn run_wal_section(args: &Args) {
+    let total_puts = args.get_usize("wal-puts", 30_000);
+    let value_len = args.get_usize("value-len", 128);
+    let value = vec![0xABu8; value_len];
+    let modes: [(&str, SyncMode); 3] = [
+        ("always", SyncMode::Always),
+        ("interval_2ms", SyncMode::Interval(Duration::from_millis(2))),
+        ("off", SyncMode::Off),
+    ];
+    let mut t = Table::new(
+        &format!(
+            "Figure 6e: WAL group-commit put throughput ({total_puts} puts, {value_len}B values)"
+        ),
+        &[
+            "sync_mode",
+            "threads",
+            "elapsed_s",
+            "kops_s",
+            "wal_appends",
+            "wal_syncs",
+            "mean_group",
+            "wal_mb",
+        ],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for (mname, mode) in modes {
+        for threads in [1usize, 4] {
+            let dir = fresh_dir(&format!("fig6e-wal-{mname}-{threads}"));
+            let cfg = DbConfig::builder().sync_mode(mode).build().unwrap();
+            let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).expect("open db");
+            let per = total_puts / threads;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for th in 0..threads as u64 {
+                    let (db, value) = (&db, &value);
+                    s.spawn(move || {
+                        for i in 0..per as u64 {
+                            db.put_u64(th << 32 | i, value).expect("put");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let snap = db.stats().snapshot();
+            let kops = (per * threads) as f64 / elapsed.max(1e-9) / 1e3;
+            let wal_mb = snap.wal_bytes as f64 / (1 << 20) as f64;
+            println!(
+                "wal {mname:<12} threads={threads} {kops:>8.1} kops/s syncs={:<6} \
+                 mean_group={:.1} wal={wal_mb:.1}MB",
+                snap.wal_syncs,
+                snap.mean_group_commit(),
+            );
+            t.row(vec![
+                mname.to_string(),
+                threads.to_string(),
+                format!("{elapsed:.3}"),
+                format!("{kops:.1}"),
+                snap.wal_appends.to_string(),
+                snap.wal_syncs.to_string(),
+                format!("{:.2}", snap.mean_group_commit()),
+                format!("{wal_mb:.2}"),
+            ]);
+            json_rows.push(format!(
+                "    {{\"sync_mode\": \"{mname}\", \"threads\": {threads}, \"kops_s\": {kops:.1}, \
+                 \"wal_appends\": {}, \"wal_syncs\": {}, \"mean_group_commit\": {:.2}}}",
+                snap.wal_appends,
+                snap.wal_syncs,
+                snap.mean_group_commit(),
+            ));
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    t.finish(args.out.as_deref(), "fig6e_wal_group_commit");
+    let json = format!(
+        "{{\n  \"bench\": \"fig6e_wal_group_commit\",\n  \"puts\": {total_puts},\n  \
+         \"value_len\": {value_len},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_wal.json", &json).expect("write BENCH_wal.json");
+    println!("wrote BENCH_wal.json");
 }

@@ -70,6 +70,8 @@ impl Args {
                  --value-len N     fig6/7/8/9: value size in bytes (default 128)\n\
                  --deletes FRAC    fig6: fraction of keys deleted before the mixed\n\
                  \x20              get/scan/seek measurement (default 0.2)\n\
+                 --wal-puts N      fig6: puts for the WAL group-commit section\n\
+                 \x20              (default 30000; `--part wal` runs only that section)\n\
                  --lsm-bpk B       fig7/8: filter budget in the LSM store (default 12)\n\
                  --batches N       fig7/8: batches per run (default 12)\n\
                  --puts N          fig7/fig8_immediate_shift: interleaved inserts\n\

@@ -6,6 +6,11 @@
 //! MemTable rotation can split it across two tables. Operations within a
 //! batch apply in insertion order, so a later op on the same key wins —
 //! exactly as if the calls had been made individually.
+//!
+//! A batch is also atomic *across a crash*: the whole batch is logged as
+//! one CRC-checksummed WAL commit record (see [`crate::wal`]), so replay
+//! either applies every operation or — if the crash tore the record
+//! mid-write — none of them. No crash point can surface half a batch.
 
 use proteus_core::key::u64_key;
 

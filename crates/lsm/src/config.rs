@@ -10,6 +10,30 @@
 use crate::error::{Error, Result};
 use std::time::Duration;
 
+/// When the write-ahead log calls `fdatasync` — the durability/latency
+/// trade-off of the write path (see the [`crate::wal`] module docs).
+///
+/// In every mode, WAL records reach the OS before a write returns, sealed
+/// segments are synced at MemTable rotation, and SSTs are synced before
+/// install — the modes only differ in what a *power loss* (or OS crash)
+/// can take from the active segment. A plain process crash loses nothing
+/// in any mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Group-commit sync before every ack: an acked write is durable
+    /// against power loss. Concurrent writers share one `fdatasync` per
+    /// group, so throughput scales with the writer count.
+    Always,
+    /// Sync at most once per interval (plus at rotation/shutdown): bounds
+    /// the power-loss window to roughly the interval, at near-`Off` cost.
+    Interval(Duration),
+    /// Never sync the active segment on the write path (RocksDB's
+    /// `sync=false` default). Power loss may drop writes still in the
+    /// page cache; process crashes still lose nothing.
+    #[default]
+    Off,
+}
+
 /// Tuning knobs, defaulting to a laptop-scale version of the paper's §6.2
 /// RocksDB configuration (the paper uses 256 MB SSTs and a 1 GB cache on a
 /// 50M-key database; ratios are preserved).
@@ -90,6 +114,10 @@ pub struct DbConfig {
     /// even before its observed FPR degrades.
     #[deprecated(note = "construct configurations via DbConfig::builder()")]
     pub adapt_divergence_threshold: f64,
+    /// When the write-ahead log syncs (durability vs latency; see
+    /// [`SyncMode`]).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub sync_mode: SyncMode,
 }
 
 #[allow(deprecated)] // the defaults initialize the deprecated fields
@@ -113,6 +141,7 @@ impl Default for DbConfig {
             adapt_min_probes: 512,
             adapt_interval: Duration::from_millis(100),
             adapt_divergence_threshold: 0.5,
+            sync_mode: SyncMode::Off,
         }
     }
 }
@@ -179,6 +208,11 @@ impl DbConfig {
         }
         if !self.adapt_divergence_threshold.is_finite() || self.adapt_divergence_threshold <= 0.0 {
             return bad("adapt_divergence_threshold must be > 0");
+        }
+        if let SyncMode::Interval(period) = self.sync_mode {
+            if period.is_zero() {
+                return bad("sync_mode interval must be > 0 (use SyncMode::Always)");
+            }
         }
         Ok(())
     }
@@ -263,6 +297,10 @@ impl DbConfig {
     getter!(
         /// Fingerprint divergence that flags a file for re-training.
         adapt_divergence_threshold: f64
+    );
+    getter!(
+        /// When the write-ahead log syncs.
+        sync_mode: SyncMode
     );
 }
 
@@ -356,6 +394,10 @@ impl DbConfigBuilder {
         /// Fingerprint divergence that flags a file for re-training.
         adapt_divergence_threshold: f64
     );
+    setter!(
+        /// When the write-ahead log syncs (durability vs latency).
+        sync_mode: SyncMode
+    );
 
     /// Validate and return the configuration.
     pub fn build(self) -> Result<DbConfig> {
@@ -411,6 +453,7 @@ mod tests {
             ("probes", DbConfig::builder().adapt_min_probes(0).build()),
             ("interval", DbConfig::builder().adapt_interval(Duration::ZERO).build()),
             ("div", DbConfig::builder().adapt_divergence_threshold(-1.0).build()),
+            ("sync", DbConfig::builder().sync_mode(SyncMode::Interval(Duration::ZERO)).build()),
         ] {
             assert!(matches!(res, Err(Error::Config(_))), "{tag} must be rejected");
         }

@@ -28,18 +28,26 @@
 //!   sharded cache.
 //! * **Writes** go through the active MemTable under a write lock (a
 //!   [`crate::WriteBatch`] applies all of its operations under a single
-//!   acquisition — atomic with respect to every reader). When the table
-//!   reaches `memtable_bytes` it *rotates*: the full table is frozen onto
-//!   an immutable-memtable FIFO and a fresh active table takes its place.
-//!   Writers stall only when `max_immutable_memtables` frozen tables are
-//!   already waiting (RocksDB's write-stall backpressure).
+//!   acquisition — atomic with respect to every reader). Each write is
+//!   first appended to the write-ahead log as one commit record (see
+//!   [`crate::wal`]) while the MemTable lock is held, so log order equals
+//!   apply order; the `fdatasync` policy ([`crate::SyncMode`]) runs
+//!   *after* the lock is released, which is what lets concurrent writers
+//!   share one group-commit sync. When the table reaches `memtable_bytes`
+//!   it *rotates*: the active WAL segment is sealed (synced), the full
+//!   table is frozen onto an immutable-memtable FIFO and a fresh active
+//!   table + segment take its place. Writers stall only when
+//!   `max_immutable_memtables` frozen tables are already waiting
+//!   (RocksDB's write-stall backpressure).
 //! * **Background workers**: a *flusher* thread turns frozen MemTables
 //!   into L0 SSTs (building each file's range filter from its keys + the
-//!   sample-query queue, §6.1), and a *compactor* thread folds levels when
-//!   size triggers fire. Both publish their results by swapping a new
-//!   `Arc<Version>` under a short-held write lock (copy-on-write level
-//!   vectors); readers holding older versions keep working — retired SST
-//!   files are unlinked but their open descriptors stay readable.
+//!   sample-query queue, §6.1) and deletes each table's sealed WAL
+//!   segment once its SST is installed, and a *compactor* thread folds
+//!   levels when size triggers fire. Both publish their results by
+//!   swapping a new `Arc<Version>` under a short-held write lock
+//!   (copy-on-write level vectors); readers holding older versions keep
+//!   working — retired SST files are unlinked but their open descriptors
+//!   stay readable.
 //! * **Visibility**: an acked `put` (or `delete`) is always observed. A
 //!   reader checks MemTables *before* the manifest, and the flusher
 //!   installs an SST into the manifest *before* retiring its source
@@ -52,11 +60,12 @@
 //!   making multi-step tests deterministic.
 //!
 //! Lock discipline: the manifest lock is never held together with any
-//! other lock, and the only permitted nesting is MemTable → coordination
-//! mutex (a rotation publishes its counter bump before releasing the
-//! MemTable lock, which is what makes the `flush` barrier race-free);
-//! nothing ever acquires the MemTable lock while holding the coordination
-//! mutex, so no lock-order deadlock is possible. Background I/O errors are
+//! other lock, and the only permitted nestings are MemTable → WAL mutex
+//! (appends and seals happen under the MemTable write lock) and MemTable
+//! → coordination mutex (a rotation publishes its counter bump before
+//! releasing the MemTable lock, which is what makes the `flush` barrier
+//! race-free); nothing ever acquires the MemTable lock while holding
+//! either mutex, so no lock-order deadlock is possible. Background I/O errors are
 //! sticky: they surface as `Err` from the next `flush`/`flush_and_settle`
 //! (and from writes on the rotation path). A poisoned foreground lock
 //! (another thread panicked) surfaces as [`Error::Poisoned`]; a poisoned
@@ -72,6 +81,7 @@ use crate::memtable::MemTable;
 use crate::query_queue::QueryQueue;
 use crate::sst::{SstReader, SstScanner, SstWriter};
 use crate::stats::Stats;
+use crate::wal::{self, Wal};
 use proteus_core::key::u64_key;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -100,30 +110,28 @@ impl Version {
     }
 }
 
+/// A frozen MemTable awaiting flush, paired with the sealed WAL segment
+/// holding exactly its writes (deleted by the flusher once the table's
+/// SST is installed).
+pub(crate) struct Imm {
+    pub(crate) mem: Arc<MemTable>,
+    wal_id: u64,
+}
+
 /// MemTable state: the active write buffer plus frozen tables awaiting a
 /// background flush (oldest first).
 pub(crate) struct MemState {
     pub(crate) active: MemTable,
-    pub(crate) imms: Vec<Arc<MemTable>>,
-}
-
-impl MemState {
-    /// Freeze a non-empty active MemTable onto the immutable FIFO.
-    /// Returns whether a rotation happened.
-    fn freeze(&mut self, stats: &Stats) -> bool {
-        if self.active.is_empty() {
-            return false;
-        }
-        self.imms.push(Arc::new(std::mem::take(&mut self.active)));
-        stats.memtable_rotations.inc();
-        true
-    }
+    pub(crate) imms: Vec<Imm>,
 }
 
 /// Worker coordination state (all counters monotonic).
 #[derive(Debug, Default)]
 struct Coord {
     shutdown: bool,
+    /// Crash injection (test support): workers exit immediately instead
+    /// of draining, and the graceful shutdown sync is skipped.
+    crash: bool,
     /// MemTables rotated onto the immutable queue.
     rotated: u64,
     /// MemTables the flusher has fully processed.
@@ -153,6 +161,7 @@ pub(crate) struct DbInner {
     cfg: DbConfig,
     dir: PathBuf,
     mem: RwLock<MemState>,
+    wal: Wal,
     manifest: RwLock<Arc<Version>>,
     next_sst_id: AtomicU64,
     factory: Arc<dyn FilterFactory>,
@@ -260,6 +269,16 @@ impl Db {
     /// reopen. A corrupt footer or index fails the open with
     /// [`Error::Corruption`]; a corrupt filter block only degrades that
     /// file to unfiltered probes.
+    ///
+    /// Surviving WAL segments are replayed (oldest generation first) into
+    /// the recovered MemTable, so every write acked before a crash is
+    /// served again — no flush required first. A torn segment tail (the
+    /// crash cut a record mid-write) is truncated silently; damage
+    /// *before* the last record is real corruption and fails the open
+    /// with [`Error::Corruption`]. After replay the merged survivors are
+    /// re-logged into one fresh synced segment and the replayed files are
+    /// deleted, so recovery is idempotent — a crash during recovery just
+    /// replays again.
     pub fn open(
         dir: impl Into<PathBuf>,
         cfg: DbConfig,
@@ -272,12 +291,49 @@ impl Db {
         let cache = ShardedBlockCache::new(cfg.block_cache_bytes());
         let stats = Arc::new(Stats::default());
         let (levels, next_sst_id) = Self::recover_levels(&dir, cfg.key_width(), &stats)?;
+        // WAL recovery: merge every surviving segment, oldest generation
+        // first, into the starting MemTable. Segment ids share the SST id
+        // allocator, so id order is generation order; replaying a stale
+        // segment whose SST also survived is idempotent (identical data,
+        // and the MemTable layer shadows the SST layer with equal bytes).
+        let mut next_id = next_sst_id;
+        let mut active = MemTable::new();
+        let mut old_segments: Vec<PathBuf> = Vec::new();
+        for (id, path) in wal::list_segments(&dir)? {
+            next_id = next_id.max(id + 1);
+            let replay = wal::replay_segment(&path, cfg.key_width())?;
+            stats.wal_replayed_records.add(replay.commits.len() as u64);
+            for commit in replay.commits {
+                for (k, v) in commit {
+                    active.apply(k, v);
+                }
+            }
+            old_segments.push(path);
+        }
+        let wal = Wal::create(&dir, next_id, cfg.key_width(), cfg.sync_mode())?;
+        next_id += 1;
+        if !active.is_empty() {
+            // Re-log the merged survivors as one commit and sync it, so
+            // the old segments can be deleted without opening a crash
+            // window where the recovered data exists nowhere durable.
+            let ops: Vec<wal::WalOp> =
+                active.iter().map(|(k, v)| (k.to_vec(), v.map(<[u8]>::to_vec))).collect();
+            wal.append_commit(&ops, &stats)?;
+            wal.sync(&stats)?;
+        }
+        if !old_segments.is_empty() {
+            for path in &old_segments {
+                std::fs::remove_file(path)?;
+            }
+            std::fs::File::open(&dir)?.sync_all()?;
+        }
         let inner = Arc::new(DbInner {
             cfg,
             dir,
-            mem: RwLock::new(MemState { active: MemTable::new(), imms: Vec::new() }),
+            mem: RwLock::new(MemState { active, imms: Vec::new() }),
+            wal,
             manifest: RwLock::new(Arc::new(Version { levels })),
-            next_sst_id: AtomicU64::new(next_sst_id),
+            next_sst_id: AtomicU64::new(next_id),
             factory,
             queue,
             cache,
@@ -646,16 +702,37 @@ impl Db {
             .map(|s| s.filter(&self.inner.stats).map_or("none".into(), |f| f.name()))
             .collect()
     }
-}
 
-impl Drop for Db {
-    /// Shut the workers down. The flusher drains every already-rotated
-    /// MemTable first (writes acked through a rotation stay durable); the
-    /// active MemTable is *not* flushed — call [`Db::flush`] for that.
-    fn drop(&mut self) {
+    /// Crash injection (test support): simulate an abrupt process kill.
+    ///
+    /// Background workers exit without draining the flush queue and the
+    /// graceful shutdown sync is skipped — nothing is flushed, nothing is
+    /// fsynced on the way out. Everything the OS already accepted (every
+    /// WAL append — records reach the OS before a write returns) still
+    /// survives a reopen in *any* [`crate::SyncMode`], exactly like a
+    /// real `kill -9`: a process crash does not empty the page cache.
+    /// Use [`Db::crash_power_loss`] to also lose un-synced data.
+    pub fn crash(self) {
+        self.crash_impl(false);
+    }
+
+    /// Crash injection (test support): simulate a power failure — a
+    /// process kill ([`Db::crash`]) *plus* the loss of the active WAL
+    /// segment's un-synced bytes (the file is truncated to its last
+    /// synced offset, discarding what only the page cache held).
+    ///
+    /// Under [`crate::SyncMode::Always`] this loses no acked write;
+    /// under `Off` it can lose everything since the last rotation
+    /// (sealed segments are synced at seal time and keep their data).
+    pub fn crash_power_loss(self) {
+        self.crash_impl(true);
+    }
+
+    fn crash_impl(mut self, power_loss: bool) {
         {
             let mut g = self.inner.gate.lock().unwrap();
             g.shutdown = true;
+            g.crash = true;
         }
         self.inner.flush_cv.notify_all();
         self.inner.compact_cv.notify_all();
@@ -663,6 +740,39 @@ impl Drop for Db {
         self.inner.adapt_cv.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if power_loss {
+            let _ = self.inner.wal.truncate_unsynced();
+        }
+        // `Drop` runs next; the crash flag makes it skip the final sync.
+    }
+}
+
+impl Drop for Db {
+    /// Shut the workers down. The flusher drains every already-rotated
+    /// MemTable first; the active MemTable is *not* flushed to an SST,
+    /// but its writes survive anyway — they are in the active WAL
+    /// segment, which the next [`Db::open`] replays, and the drop ends
+    /// with a final segment sync so even a power loss right after it
+    /// loses nothing.
+    fn drop(&mut self) {
+        let crashed = {
+            let mut g = self.inner.gate.lock().unwrap();
+            g.shutdown = true;
+            g.crash
+        };
+        self.inner.flush_cv.notify_all();
+        self.inner.compact_cv.notify_all();
+        self.inner.idle_cv.notify_all();
+        self.inner.adapt_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if !crashed {
+            // Graceful shutdown: seal the durability of the active
+            // segment. Skipped on crash injection — a killed process
+            // gets no parting fsync.
+            let _ = self.inner.wal.sync(&self.inner.stats);
         }
     }
 }
@@ -768,9 +878,17 @@ impl DbInner {
     /// its wait target between another thread's freeze and counter bump
     /// and return before that data is durable.
     fn publish_rotation(&self, mem: &mut MemState) -> Result<bool> {
-        if !mem.freeze(&self.stats) {
+        if mem.active.is_empty() {
             return Ok(false);
         }
+        // Seal the active WAL segment first (one fdatasync — so sealed
+        // segments are fully durable in every sync mode) and open its
+        // successor. On failure the rotation is abandoned with the store
+        // intact: the active table keeps accepting writes into the old
+        // segment.
+        let wal_id = self.wal.rotate(self.alloc_id(), &self.stats)?;
+        mem.imms.push(Imm { mem: Arc::new(std::mem::take(&mut mem.active)), wal_id });
+        self.stats.memtable_rotations.inc();
         let mut g = self.gate_lock()?;
         g.rotated += 1;
         self.flush_cv.notify_one();
@@ -787,17 +905,26 @@ impl DbInner {
     /// under one MemTable lock acquisition, then handle rotation
     /// backpressure outside the lock.
     fn apply_writes(&self, ops: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Result<()> {
-        let rotated = {
+        let (seq, rotated) = {
             let mut mem = self.mem_write()?;
+            // WAL first, under the MemTable write lock: log order equals
+            // apply order, and a failed append leaves the table untouched
+            // (nothing unlogged is ever visible).
+            let seq = self.wal.append_commit(&ops, &self.stats)?;
             for (k, v) in ops {
                 mem.active.apply(k, v);
             }
-            if mem.active.bytes() >= self.cfg.memtable_bytes() {
+            let rotated = if mem.active.bytes() >= self.cfg.memtable_bytes() {
                 self.publish_rotation(&mut mem)?
             } else {
                 false
-            }
+            };
+            (seq, rotated)
         };
+        // Durability outside the MemTable lock: waiting for the group
+        // fsync here is what lets concurrent committers share one sync
+        // without stalling readers or other appenders.
+        self.wal.commit(seq, &self.stats)?;
         if rotated {
             let mut g = self.gate_lock()?;
             // Backpressure: stall while too many frozen tables queue up.
@@ -887,7 +1014,7 @@ impl DbInner {
             let mem = self.mem_read()?;
             let mut dead: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
             let layers =
-                std::iter::once(&mem.active).chain(mem.imms.iter().rev().map(|m| m.as_ref()));
+                std::iter::once(&mem.active).chain(mem.imms.iter().rev().map(|i| i.mem.as_ref()));
             for layer in layers {
                 for (k, v) in layer.range_iter(lo, hi) {
                     if v.is_some() {
@@ -943,7 +1070,7 @@ impl DbInner {
                 return Ok(v.map(<[u8]>::to_vec));
             }
             for imm in mem.imms.iter().rev() {
-                if let Some(v) = imm.get(key) {
+                if let Some(v) = imm.mem.get(key) {
                     return Ok(v.map(<[u8]>::to_vec));
                 }
             }
@@ -1014,8 +1141,17 @@ impl DbInner {
 
     fn flusher_loop(&self) {
         loop {
-            let imm = self.mem.read().unwrap().imms.first().cloned();
-            if let Some(imm) = imm {
+            {
+                let g = self.gate.lock().unwrap();
+                if g.crash || g.error.is_some() {
+                    return;
+                }
+            }
+            let imm = {
+                let mem = self.mem.read().unwrap();
+                mem.imms.first().map(|i| (Arc::clone(&i.mem), i.wal_id))
+            };
+            if let Some((imm, wal_id)) = imm {
                 match self.flush_imm(&imm) {
                     Ok(reader) => {
                         // Install the SST before retiring the MemTable so
@@ -1023,21 +1159,38 @@ impl DbInner {
                         self.edit_manifest(|v| v.levels[0].push(Arc::new(reader)));
                         self.mem.write().unwrap().imms.remove(0);
                         self.stats.flushes.inc();
+                        // The table's data is durable in the installed
+                        // (synced, renamed) SST, so its sealed WAL segment
+                        // is redundant — delete it. The delete must not be
+                        // skipped on failure: if an *older* segment
+                        // outlived a newer generation's flush+delete, the
+                        // next replay would resurrect its stale values
+                        // over the SSTs, so a failed unlink is a sticky
+                        // error that stops this worker.
+                        if let Err(e) = wal::delete_segment(&self.dir, wal_id) {
+                            self.record_error(e.into());
+                            return;
+                        }
+                        let mut g = self.gate.lock().unwrap();
+                        g.flushed += 1;
+                        g.compact_epoch += 1;
+                        self.idle_cv.notify_all();
+                        self.compact_cv.notify_all();
+                        continue;
                     }
                     Err(e) => {
-                        // Drop the MemTable anyway: barriers must not hang
-                        // on an unfixable disk error. The loss is reported
-                        // through the sticky error.
-                        self.mem.write().unwrap().imms.remove(0);
+                        // Keep the MemTable *and* its sealed WAL segment:
+                        // the data is fully recoverable from the segment
+                        // at the next open. The sticky error stops this
+                        // worker, so no newer generation can flush past
+                        // the stranded one (out-of-order flushes would
+                        // break replay's id-order-equals-recency
+                        // invariant). Barriers observe the error and
+                        // return it instead of hanging.
                         self.record_error(e);
+                        return;
                     }
                 }
-                let mut g = self.gate.lock().unwrap();
-                g.flushed += 1;
-                g.compact_epoch += 1;
-                self.idle_cv.notify_all();
-                self.compact_cv.notify_all();
-                continue;
             }
             let mut g = self.gate.lock().unwrap();
             while g.rotated <= g.flushed && !g.shutdown {

@@ -182,7 +182,7 @@ impl<'a> RangeIter<'a> {
             let mem = db.mem_read()?;
             let mut mem_sources = vec![mem.active.range_entries(&lo, &hi)];
             for imm in mem.imms.iter().rev() {
-                mem_sources.push(imm.range_entries(&lo, &hi));
+                mem_sources.push(imm.mem.range_entries(&lo, &hi));
             }
             for entries in mem_sources {
                 let rank = it.sources.len();

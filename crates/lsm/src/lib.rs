@@ -19,6 +19,10 @@
 //!   method, exact-key [`Db::get`], first-class deletes (tombstones flow
 //!   through MemTable → SST entry flags → compaction → recovery), atomic
 //!   [`WriteBatch`] writes and ordered [`Db::range`] scans;
+//! * crash-safe writes: a CRC-checksummed write-ahead log with
+//!   leader/follower group commit and a configurable [`SyncMode`]
+//!   (Always / Interval / Off), replayed by [`Db::open`] so every acked
+//!   write survives a crash — see the [`wal`] module docs;
 //! * the modified closed-`Seek` read path: all overlapping filters are
 //!   probed first and only positive files pay index + block I/O — `seek`
 //!   itself is a thin emptiness wrapper over the range merge;
@@ -44,10 +48,11 @@ pub mod memtable;
 pub mod query_queue;
 pub mod sst;
 pub mod stats;
+pub mod wal;
 
 pub use batch::WriteBatch;
 pub use cache::{BlockCache, ShardedBlockCache};
-pub use config::{DbConfig, DbConfigBuilder};
+pub use config::{DbConfig, DbConfigBuilder, SyncMode};
 pub use db::Db;
 pub use error::{Error, Result};
 pub use filter_hook::{FilterFactory, NoFilter, NoFilterFactory, ProteusFactory};

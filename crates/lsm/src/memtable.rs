@@ -13,6 +13,12 @@
 //! has to shadow older versions of the key living in deeper layers —
 //! immutable MemTables and SST files — until compaction drops it at the
 //! bottom of the tree.
+//!
+//! Durability is not this type's job: every entry that reaches a MemTable
+//! was first appended to the write-ahead log (see [`crate::wal`]), and
+//! [`crate::Db::open`] rebuilds the active table by replaying surviving
+//! WAL segments through [`MemTable::apply`] — which is why `apply` takes
+//! the same `(key, Option<value>)` shape as a WAL commit op.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;

@@ -114,6 +114,20 @@ pub struct Stats {
     /// Total nanoseconds spent re-training (key scan + modeling +
     /// construction + filter-block rewrite).
     pub retrain_ns: Counter,
+    /// WAL commit records appended (a `WriteBatch` is one record).
+    pub wal_appends: Counter,
+    /// `fdatasync` calls issued against WAL segments (group-commit leader
+    /// syncs, interval syncs, and rotation seals).
+    pub wal_syncs: Counter,
+    /// Bytes of WAL records appended (headers excluded).
+    pub wal_bytes: Counter,
+    /// Total commits covered across all WAL syncs; the mean group-commit
+    /// size is `group_commit_sizes / wal_syncs` (see
+    /// [`Stats::mean_group_commit`]).
+    pub group_commit_sizes: Counter,
+    /// Commit records replayed from surviving WAL segments by
+    /// [`crate::Db::open`] (zero on a clean reopen).
+    pub wal_replayed_records: Counter,
 }
 
 impl Stats {
@@ -163,6 +177,23 @@ impl Stats {
             drift_flags: self.drift_flags.get(),
             filters_retrained: self.filters_retrained.get(),
             retrain_ns: self.retrain_ns.get(),
+            wal_appends: self.wal_appends.get(),
+            wal_syncs: self.wal_syncs.get(),
+            wal_bytes: self.wal_bytes.get(),
+            group_commit_sizes: self.group_commit_sizes.get(),
+            wal_replayed_records: self.wal_replayed_records.get(),
+        }
+    }
+
+    /// Mean commits per WAL sync — the group-commit amortization factor
+    /// (`1.0` means every commit paid its own `fdatasync`; `0` before any
+    /// sync).
+    pub fn mean_group_commit(&self) -> f64 {
+        let syncs = self.wal_syncs.get();
+        if syncs == 0 {
+            0.0
+        } else {
+            self.group_commit_sizes.get() as f64 / syncs as f64
         }
     }
 
@@ -216,6 +247,11 @@ pub struct StatsSnapshot {
     pub drift_flags: u64,
     pub filters_retrained: u64,
     pub retrain_ns: u64,
+    pub wal_appends: u64,
+    pub wal_syncs: u64,
+    pub wal_bytes: u64,
+    pub group_commit_sizes: u64,
+    pub wal_replayed_records: u64,
 }
 
 impl StatsSnapshot {
@@ -253,6 +289,21 @@ impl StatsSnapshot {
             drift_flags: self.drift_flags - earlier.drift_flags,
             filters_retrained: self.filters_retrained - earlier.filters_retrained,
             retrain_ns: self.retrain_ns - earlier.retrain_ns,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            group_commit_sizes: self.group_commit_sizes - earlier.group_commit_sizes,
+            wal_replayed_records: self.wal_replayed_records - earlier.wal_replayed_records,
+        }
+    }
+
+    /// Mean commits per WAL sync in this snapshot (see
+    /// [`Stats::mean_group_commit`]).
+    pub fn mean_group_commit(&self) -> f64 {
+        if self.wal_syncs == 0 {
+            0.0
+        } else {
+            self.group_commit_sizes as f64 / self.wal_syncs as f64
         }
     }
 
@@ -296,6 +347,16 @@ mod tests {
         s.filter_false_positives.add(1);
         s.filter_negatives.add(9);
         assert!((s.filter_fpr() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_group_commit_amortization() {
+        let s = Stats::default();
+        assert_eq!(s.mean_group_commit(), 0.0);
+        s.wal_syncs.add(2);
+        s.group_commit_sizes.add(10);
+        assert!((s.mean_group_commit() - 5.0).abs() < 1e-12);
+        assert!((s.snapshot().mean_group_commit() - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,654 @@
+//! Write-ahead log: the durability layer under the MemTable.
+//!
+//! Every write the store acks is first appended to a WAL *segment* as one
+//! length-prefixed, CRC-32-checksummed **commit record** (a `put` or
+//! `delete` is a one-op commit; a [`crate::WriteBatch`] is a single
+//! multi-op record, which is what makes a batch all-or-nothing across a
+//! crash). Segments pair 1:1 with MemTable generations:
+//!
+//! * the *active* segment `NNNNNNNN.wal` receives records for the active
+//!   MemTable;
+//! * MemTable rotation *seals* the segment — one final `fdatasync`, then a
+//!   fresh segment is created for the new active table (sealed segments
+//!   are therefore always fully durable, in every sync mode);
+//! * when the background flusher finishes turning the frozen MemTable into
+//!   a (synced) L0 SST, the sealed segment is deleted — its data now lives
+//!   in the tree;
+//! * [`crate::Db::open`] replays every surviving segment in id order into
+//!   the recovered MemTable, re-logs the merged result into a fresh synced
+//!   segment, and only then deletes the replayed files, so a crash at any
+//!   point leaves every acked write in at least one durable place.
+//!
+//! ## Group commit
+//!
+//! Appends only buffer into the OS; durability comes from `fdatasync`,
+//! scheduled by the configured [`SyncMode`]. Under `Always`, concurrent
+//! committers use a leader/follower protocol: the first waiter becomes the
+//! *leader*, snapshots the append frontier, releases the lock and issues a
+//! single `fdatasync` that covers every record appended so far; followers
+//! park on a condvar and are released in one wakeup. Thousands of writers
+//! amortize one sync — the classic group commit.
+//!
+//! ## On-disk format (magic `PRWALv1\0`)
+//!
+//! ```text
+//! [segment header: 16 bytes]
+//!    0  8×u8 magic "PRWALv1\0"
+//!    8  u32  key width in bytes
+//!   12  u32  CRC-32 of bytes 0..12
+//! [commit record]*
+//!    u32 payload_len
+//!    u32 CRC-32(payload)
+//!    payload:
+//!      u32 n_ops
+//!      n_ops × ( u8 tag: 0 = put, 1 = delete;
+//!                length-prefixed key;
+//!                length-prefixed value   — puts only )
+//! ```
+//!
+//! Integers are little-endian; keys and values use the same
+//! length-prefixed runs as the `proteus-succinct` codec
+//! ([`WireWrite::put_bytes`] / [`ByteReader::bytes`]).
+//!
+//! ## Replay semantics
+//!
+//! Replay ([`replay_segment`]) is *total*: it never panics on malformed
+//! bytes. A **torn tail** — the file ends mid-record, or the final
+//! record's checksum fails — is expected after a crash and recovers the
+//! longest valid prefix of commits. Damage strictly *before* the last
+//! record (a checksum mismatch with further bytes following, a bad tag or
+//! trailing garbage inside a CRC-valid payload, a damaged header) is
+//! mid-log corruption and fails the open with
+//! [`Error::Corruption`]: the prefix can no
+//! longer be trusted. A corrupted length field cannot be distinguished
+//! from a torn write when it points past end-of-file; that case truncates,
+//! like every append-only log.
+
+use crate::config::SyncMode;
+use crate::error::{Error, Result};
+use proteus_core::codec::{crc32, ByteReader, WireWrite};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Leading magic of every WAL segment.
+pub const WAL_MAGIC: [u8; 8] = *b"PRWALv1\0";
+
+/// Fixed segment header size in bytes (magic + key width + CRC-32).
+pub const WAL_HEADER_LEN: u64 = 16;
+
+/// Commit-record op tag: a live put (key + value follow).
+pub const WAL_TAG_PUT: u8 = 0;
+
+/// Commit-record op tag: a tombstone (key follows).
+pub const WAL_TAG_DELETE: u8 = 1;
+
+/// One logged operation: `Some(value)` = put, `None` = delete, exactly the
+/// shape the MemTable applies.
+pub type WalOp = (Vec<u8>, Option<Vec<u8>>);
+
+/// Path of segment `id` inside `dir` (`NNNNNNNN.wal`; ids share the SST
+/// id space, so a segment and an SST never collide on a stem).
+pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:08}.wal"))
+}
+
+/// Durably remove segment `id` from `dir` (unlink + directory sync).
+pub fn delete_segment(dir: &Path, id: u64) -> std::io::Result<()> {
+    std::fs::remove_file(segment_path(dir, id))?;
+    sync_dir(dir)
+}
+
+/// List the WAL segments in `dir`, sorted ascending by id (= MemTable
+/// generation order: the active segment is always the largest id).
+/// Non-numeric or differently-suffixed files are foreign and skipped.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wal") {
+            continue;
+        }
+        if let Some(id) = path.file_stem().and_then(|s| s.to_str()).and_then(|s| s.parse().ok()) {
+            segments.push((id, path));
+        }
+    }
+    segments.sort_by_key(|(id, _)| *id);
+    Ok(segments)
+}
+
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn bad(path: &Path, what: impl std::fmt::Display) -> Error {
+    Error::corruption(format!("{}: {what}", path.display()))
+}
+
+/// Encode one commit record (length prefix + CRC-32 + payload) for `ops`.
+fn encode_record(ops: &[WalOp]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 * ops.len());
+    payload.put_u32(ops.len() as u32);
+    for (key, value) in ops {
+        match value {
+            Some(v) => {
+                payload.put_u8(WAL_TAG_PUT);
+                payload.put_bytes(key);
+                payload.put_bytes(v);
+            }
+            None => {
+                payload.put_u8(WAL_TAG_DELETE);
+                payload.put_bytes(key);
+            }
+        }
+    }
+    let mut record = Vec::with_capacity(payload.len() + 8);
+    record.put_u32(payload.len() as u32);
+    record.put_u32(crc32(&payload));
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// The result of replaying one segment.
+#[derive(Debug)]
+pub struct SegmentReplay {
+    /// The recovered commits, in append order. Each inner `Vec` is one
+    /// atomic commit (a `WriteBatch` replays as a unit or not at all).
+    pub commits: Vec<Vec<WalOp>>,
+    /// Whether the segment ended in a torn (incomplete or
+    /// checksum-failed) final record that was discarded. Expected after a
+    /// crash; the commits before it are intact.
+    pub torn_tail: bool,
+}
+
+/// Replay a segment file. Torn tails truncate (see the module docs);
+/// mid-log damage is [`Error::Corruption`].
+/// `expected_width` must match the width recorded in the segment header
+/// and every logged key.
+pub fn replay_segment(path: &Path, expected_width: usize) -> Result<SegmentReplay> {
+    let bytes = std::fs::read(path)?;
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        // A crash during segment creation: the header never fully hit the
+        // disk, so no record can have been acked against this file.
+        return Ok(SegmentReplay { commits: Vec::new(), torn_tail: true });
+    }
+    if bytes[0..8] != WAL_MAGIC {
+        return Err(bad(path, "bad WAL magic"));
+    }
+    if crc32(&bytes[0..12]) != u32::from_le_bytes(bytes[12..16].try_into().unwrap()) {
+        return Err(bad(path, "WAL header checksum mismatch"));
+    }
+    let width = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    if width != expected_width {
+        return Err(bad(path, format!("key width {width} != configured {expected_width}")));
+    }
+    let mut commits = Vec::new();
+    let mut pos = WAL_HEADER_LEN as usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            return Ok(SegmentReplay { commits, torn_tail: true }); // torn length prefix
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let end = pos + 8 + len;
+        if end > bytes.len() {
+            // The record claims bytes past EOF: a write cut mid-record (or
+            // an unrecognizably corrupted length — indistinguishable).
+            return Ok(SegmentReplay { commits, torn_tail: true });
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            if end == bytes.len() {
+                // Checksum failure in the final record = partially written
+                // payload: the classic torn tail. Drop it.
+                return Ok(SegmentReplay { commits, torn_tail: true });
+            }
+            return Err(bad(path, format!("mid-log checksum mismatch at byte {pos}")));
+        }
+        commits.push(
+            decode_payload(payload, expected_width)
+                .map_err(|e| bad(path, format!("commit {} at byte {pos}: {e}", commits.len())))?,
+        );
+        pos = end;
+    }
+    Ok(SegmentReplay { commits, torn_tail: false })
+}
+
+/// Decode a CRC-valid commit payload. Any failure here is corruption: the
+/// checksum proved the bytes are exactly what was written, so a structural
+/// error cannot be a torn write.
+fn decode_payload(payload: &[u8], width: usize) -> std::result::Result<Vec<WalOp>, String> {
+    let mut r = ByteReader::new(payload);
+    let err = |e: proteus_core::CodecError| e.to_string();
+    let n = r.u32().map_err(err)? as usize;
+    let mut ops = Vec::with_capacity(n.min(payload.len()));
+    for i in 0..n {
+        let tag = r.u8().map_err(err)?;
+        let key = r.bytes().map_err(err)?.to_vec();
+        if key.len() != width {
+            return Err(format!("op {i}: key length {} != width {width}", key.len()));
+        }
+        match tag {
+            WAL_TAG_PUT => {
+                let value = r.bytes().map_err(err)?.to_vec();
+                ops.push((key, Some(value)));
+            }
+            WAL_TAG_DELETE => ops.push((key, None)),
+            t => return Err(format!("op {i}: unknown tag {t:#04x}")),
+        }
+    }
+    if n == 0 {
+        return Err("empty commit record".into());
+    }
+    r.finish().map_err(err)?;
+    Ok(ops)
+}
+
+/// Mutable segment state behind the [`Wal`] lock.
+struct WalInner {
+    /// Active segment file, shared so a group-commit leader can sync it
+    /// with the lock released.
+    file: Arc<File>,
+    /// Active segment id.
+    id: u64,
+    /// Bumped on every rotation; guards byte-offset bookkeeping against a
+    /// leader whose sync raced a segment swap.
+    generation: u64,
+    /// Commits appended, across all segments (the commit sequence).
+    appended_seq: u64,
+    /// Commits covered by a completed sync (or by a seal, which syncs).
+    synced_seq: u64,
+    /// Bytes appended to the *active* segment, header included.
+    appended_bytes: u64,
+    /// Bytes of the active segment known durable (the power-loss horizon;
+    /// see [`Wal::truncate_unsynced`]).
+    synced_bytes: u64,
+    /// A group-commit leader is mid-`fdatasync` with the lock released.
+    syncing: bool,
+    /// When the last sync completed (drives [`SyncMode::Interval`]).
+    last_sync: Instant,
+}
+
+/// The write-ahead log of one open [`crate::Db`]: an active segment plus
+/// the group-commit machinery. All methods take `&self`; internal state is
+/// behind a mutex. Appends must be externally ordered with MemTable
+/// application (the `Db` holds its MemTable write lock across
+/// [`Wal::append_commit`]), while [`Wal::commit`] runs lock-free of the
+/// MemTable so syncs batch across writers.
+pub struct Wal {
+    dir: PathBuf,
+    key_width: usize,
+    mode: SyncMode,
+    inner: Mutex<WalInner>,
+    /// Parks group-commit followers until the leader's sync covers them.
+    sync_cv: Condvar,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("dir", &self.dir).field("mode", &self.mode).finish()
+    }
+}
+
+/// Create a segment file with a synced header, making the file itself
+/// durable (header write + file sync + directory sync).
+fn create_segment(dir: &Path, id: u64, width: usize) -> Result<File> {
+    let path = segment_path(dir, id);
+    let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+    header.extend_from_slice(&WAL_MAGIC);
+    header.put_u32(width as u32);
+    let crc = crc32(&header);
+    header.put_u32(crc);
+    let mut file = File::options().write(true).create_new(true).open(&path)?;
+    file.write_all(&header)?;
+    file.sync_all()?;
+    sync_dir(dir)?;
+    Ok(file)
+}
+
+impl Wal {
+    /// Open a fresh active segment `id` in `dir`. Replaying any surviving
+    /// segments is the caller's job ([`crate::Db::open`] does it *before*
+    /// creating the new active segment).
+    pub fn create(dir: &Path, id: u64, key_width: usize, mode: SyncMode) -> Result<Wal> {
+        let file = create_segment(dir, id, key_width)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            key_width,
+            mode,
+            inner: Mutex::new(WalInner {
+                file: Arc::new(file),
+                id,
+                generation: 0,
+                appended_seq: 0,
+                synced_seq: 0,
+                appended_bytes: WAL_HEADER_LEN,
+                synced_bytes: WAL_HEADER_LEN,
+                syncing: false,
+                last_sync: Instant::now(),
+            }),
+            sync_cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> Result<MutexGuard<'_, WalInner>> {
+        self.inner.lock().map_err(|_| Error::Poisoned("wal lock"))
+    }
+
+    /// Id of the active segment.
+    pub fn active_id(&self) -> Result<u64> {
+        Ok(self.lock()?.id)
+    }
+
+    /// Append one commit record for `ops` and return its sequence number
+    /// (to pass to [`Wal::commit`]). The bytes reach the OS before this
+    /// returns; durability is [`Wal::commit`]'s job. The caller must hold
+    /// its MemTable write lock so WAL order equals apply order. An empty
+    /// `ops` appends nothing.
+    pub fn append_commit(&self, ops: &[WalOp], stats: &crate::Stats) -> Result<u64> {
+        let mut g = self.lock()?;
+        if ops.is_empty() {
+            return Ok(g.appended_seq);
+        }
+        let record = encode_record(ops);
+        (&*g.file).write_all(&record)?;
+        g.appended_seq += 1;
+        g.appended_bytes += record.len() as u64;
+        stats.wal_appends.inc();
+        stats.wal_bytes.add(record.len() as u64);
+        Ok(g.appended_seq)
+    }
+
+    /// Make commit `seq` durable according to the configured [`SyncMode`]:
+    /// `Always` group-syncs until `seq` is covered, `Interval` syncs only
+    /// when the deadline has passed, `Off` returns immediately.
+    pub fn commit(&self, seq: u64, stats: &crate::Stats) -> Result<()> {
+        match self.mode {
+            SyncMode::Always => self.sync_to(seq, stats),
+            SyncMode::Interval(period) => {
+                let due = {
+                    let g = self.lock()?;
+                    !g.syncing && g.synced_seq < g.appended_seq && g.last_sync.elapsed() >= period
+                };
+                if due {
+                    self.sync(stats)?;
+                }
+                Ok(())
+            }
+            SyncMode::Off => Ok(()),
+        }
+    }
+
+    /// Full durability barrier: sync every record appended so far,
+    /// regardless of mode.
+    pub fn sync(&self, stats: &crate::Stats) -> Result<()> {
+        let target = self.lock()?.appended_seq;
+        self.sync_to(target, stats)
+    }
+
+    /// Group commit: block until `min_seq` is durable. The first waiter
+    /// becomes the leader and issues one `fdatasync` covering the whole
+    /// append frontier; followers wait on the condvar. Appends continue
+    /// concurrently (the lock is released during the sync) — the leader
+    /// only claims the frontier it snapshotted.
+    fn sync_to(&self, min_seq: u64, stats: &crate::Stats) -> Result<()> {
+        let mut g = self.lock()?;
+        loop {
+            if g.synced_seq >= min_seq {
+                return Ok(());
+            }
+            if g.syncing {
+                g = self.sync_cv.wait(g).map_err(|_| Error::Poisoned("wal lock"))?;
+                continue;
+            }
+            g.syncing = true;
+            let target_seq = g.appended_seq;
+            let target_bytes = g.appended_bytes;
+            let generation = g.generation;
+            let file = Arc::clone(&g.file);
+            drop(g);
+            let res = file.sync_data();
+            g = self.lock()?;
+            g.syncing = false;
+            self.sync_cv.notify_all();
+            res?;
+            if g.synced_seq < target_seq {
+                stats.wal_syncs.inc();
+                stats.group_commit_sizes.add(target_seq - g.synced_seq);
+                g.synced_seq = target_seq;
+            }
+            if g.generation == generation {
+                g.synced_bytes = g.synced_bytes.max(target_bytes);
+                g.last_sync = Instant::now();
+            }
+        }
+    }
+
+    /// Seal the active segment and start a new one for the next MemTable
+    /// generation; returns the sealed segment's id. The seal syncs the old
+    /// file in *every* mode, so sealed segments are always fully durable.
+    /// The caller must hold its MemTable write lock (no concurrent
+    /// appenders; a leader mid-sync on the old file is harmless).
+    pub fn rotate(&self, new_id: u64, stats: &crate::Stats) -> Result<u64> {
+        let mut g = self.lock()?;
+        g.file.sync_data()?;
+        let sealed_commits = g.appended_seq - g.synced_seq;
+        if sealed_commits > 0 {
+            stats.group_commit_sizes.add(sealed_commits);
+        }
+        stats.wal_syncs.inc();
+        g.synced_seq = g.appended_seq;
+        let file = create_segment(&self.dir, new_id, self.key_width)?;
+        let old_id = g.id;
+        g.file = Arc::new(file);
+        g.id = new_id;
+        g.generation += 1;
+        g.appended_bytes = WAL_HEADER_LEN;
+        g.synced_bytes = WAL_HEADER_LEN;
+        g.last_sync = Instant::now();
+        // Followers parked in sync_to: the seal covered their commits.
+        self.sync_cv.notify_all();
+        Ok(old_id)
+    }
+
+    /// Crash-test support: discard every byte of the *active* segment that
+    /// was never covered by a sync, simulating the page cache lost to a
+    /// power failure. (Sealed segments are synced at seal time and are
+    /// unaffected.) Used by `Db::crash_power_loss`.
+    pub fn truncate_unsynced(&self) -> Result<()> {
+        let g = self.lock()?;
+        g.file.set_len(g.synced_bytes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stats;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("proteus-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn k(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn roundtrip_commits_across_modes() {
+        for mode in [
+            SyncMode::Always,
+            SyncMode::Interval(std::time::Duration::from_millis(5)),
+            SyncMode::Off,
+        ] {
+            let dir = tmpdir(&format!("rt-{mode:?}").replace(['(', ')', ' ', '.'], "-"));
+            let stats = Stats::default();
+            let wal = Wal::create(&dir, 7, 8, mode).unwrap();
+            let seq1 = wal.append_commit(&[(k(1), Some(b"one".to_vec()))], &stats).unwrap();
+            wal.commit(seq1, &stats).unwrap();
+            let batch: Vec<WalOp> =
+                vec![(k(2), Some(b"two".to_vec())), (k(1), None), (k(3), Some(vec![0; 100]))];
+            let seq2 = wal.append_commit(&batch, &stats).unwrap();
+            wal.commit(seq2, &stats).unwrap();
+            wal.sync(&stats).unwrap();
+            drop(wal);
+
+            let rep = replay_segment(&segment_path(&dir, 7), 8).unwrap();
+            assert!(!rep.torn_tail);
+            assert_eq!(rep.commits.len(), 2);
+            assert_eq!(rep.commits[0], vec![(k(1), Some(b"one".to_vec()))]);
+            assert_eq!(rep.commits[1], batch);
+            assert_eq!(stats.wal_appends.get(), 2);
+            assert!(stats.wal_bytes.get() > 0);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_prefix_at_every_cut() {
+        let dir = tmpdir("torn");
+        let stats = Stats::default();
+        let wal = Wal::create(&dir, 1, 8, SyncMode::Off).unwrap();
+        for i in 0..5u64 {
+            wal.append_commit(&[(k(i), Some(vec![i as u8; 9]))], &stats).unwrap();
+        }
+        wal.sync(&stats).unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 1);
+        let full = std::fs::read(&path).unwrap();
+        let complete = replay_segment(&path, 8).unwrap().commits;
+        assert_eq!(complete.len(), 5);
+        let cut_path = dir.join("cut.wal.probe");
+        let mut last_n = 5;
+        for cut in (0..full.len()).rev() {
+            std::fs::write(&cut_path, &full[..cut]).unwrap();
+            let rep = replay_segment(&cut_path, 8).unwrap();
+            assert!(rep.commits.len() <= last_n, "prefix must shrink monotonically");
+            last_n = rep.commits.len();
+            assert_eq!(rep.commits, complete[..rep.commits.len()], "cut {cut}: not a prefix");
+        }
+        assert_eq!(last_n, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_flip_is_corruption_last_record_flip_is_torn() {
+        let dir = tmpdir("flip");
+        let stats = Stats::default();
+        let wal = Wal::create(&dir, 2, 8, SyncMode::Off).unwrap();
+        for i in 0..3u64 {
+            wal.append_commit(&[(k(i), Some(vec![0x55; 16]))], &stats).unwrap();
+        }
+        wal.sync(&stats).unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 2);
+        let orig = std::fs::read(&path).unwrap();
+        let rec_len = (orig.len() - WAL_HEADER_LEN as usize) / 3;
+
+        // Flip a payload byte of the first record (two intact records
+        // follow): the prefix is untrustworthy — typed corruption.
+        let mut bytes = orig.clone();
+        bytes[WAL_HEADER_LEN as usize + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(replay_segment(&path, 8), Err(Error::Corruption(_))));
+
+        // The same flip in the *final* record is indistinguishable from a
+        // torn write: drop it, keep the prefix.
+        let mut bytes = orig.clone();
+        bytes[orig.len() - rec_len + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let rep = replay_segment(&path, 8).unwrap();
+        assert!(rep.torn_tail);
+        assert_eq!(rep.commits.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_damage_is_typed_and_width_is_enforced() {
+        let dir = tmpdir("header");
+        let stats = Stats::default();
+        let wal = Wal::create(&dir, 3, 8, SyncMode::Off).unwrap();
+        wal.append_commit(&[(k(9), None)], &stats).unwrap();
+        wal.sync(&stats).unwrap();
+        drop(wal);
+        let path = segment_path(&dir, 3);
+        let orig = std::fs::read(&path).unwrap();
+        // Wrong magic.
+        let mut bytes = orig.clone();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(replay_segment(&path, 8), Err(Error::Corruption(_))));
+        // Header checksum mismatch (width field flipped).
+        let mut bytes = orig.clone();
+        bytes[8] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(replay_segment(&path, 8), Err(Error::Corruption(_))));
+        // Width mismatch against the opener's configuration.
+        std::fs::write(&path, &orig).unwrap();
+        assert!(matches!(replay_segment(&path, 16), Err(Error::Corruption(_))));
+        // Sub-header file: a crash during create — empty, torn, no error.
+        std::fs::write(&path, &orig[..7]).unwrap();
+        let rep = replay_segment(&path, 8).unwrap();
+        assert!(rep.torn_tail && rep.commits.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_seals_durably_and_ids_advance() {
+        let dir = tmpdir("rotate");
+        let stats = Stats::default();
+        let wal = Wal::create(&dir, 10, 8, SyncMode::Off).unwrap();
+        wal.append_commit(&[(k(1), Some(vec![1]))], &stats).unwrap();
+        let sealed = wal.rotate(11, &stats).unwrap();
+        assert_eq!(sealed, 10);
+        assert_eq!(wal.active_id().unwrap(), 11);
+        wal.append_commit(&[(k(2), Some(vec![2]))], &stats).unwrap();
+        // Power loss now: the sealed segment keeps its record (seal
+        // syncs), the unsynced active record vanishes.
+        wal.truncate_unsynced().unwrap();
+        drop(wal);
+        let rep = replay_segment(&segment_path(&dir, 10), 8).unwrap();
+        assert_eq!(rep.commits.len(), 1, "sealed segment must survive power loss");
+        let rep = replay_segment(&segment_path(&dir, 11), 8).unwrap();
+        assert_eq!(rep.commits.len(), 0, "unsynced active record must be gone");
+        assert!(stats.wal_syncs.get() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_covers_concurrent_writers_with_few_syncs() {
+        let dir = tmpdir("group");
+        let stats = Stats::default();
+        let wal = Arc::new(Wal::create(&dir, 4, 8, SyncMode::Always).unwrap());
+        let n_threads = 8u64;
+        let per = 40u64;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let wal = Arc::clone(&wal);
+                let stats = &stats;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let key = k(t * 1000 + i);
+                        let seq = wal.append_commit(&[(key, Some(vec![t as u8]))], stats).unwrap();
+                        wal.commit(seq, stats).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.wal_appends.get(), n_threads * per);
+        // Every commit was covered by some sync, and the group accounting
+        // balances exactly.
+        assert_eq!(stats.group_commit_sizes.get(), n_threads * per);
+        assert!(stats.wal_syncs.get() >= 1);
+        assert!(stats.wal_syncs.get() <= n_threads * per);
+        let rep = replay_segment(&segment_path(&dir, 4), 8).unwrap();
+        assert_eq!(rep.commits.len(), (n_threads * per) as usize);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
