@@ -1,0 +1,329 @@
+//! Server load generator: closed- and open-loop mixed traffic against the
+//! sharded TCP front-end (`proteus-server`), sweeping the shard count.
+//!
+//! Models "thousands of simulated clients hammering a hot key set": item
+//! popularity is scrambled-zipfian (`proteus_workloads::Zipfian`, YCSB's
+//! request distribution, theta 0.99 by default) so the hot head spreads
+//! across every range shard while the popularity histogram stays heavily
+//! skewed. The op mix is read-heavy (70% get / 20% put / 5% delete /
+//! 5% short scan) over a preloaded key space.
+//!
+//! Two load models per shard count:
+//!
+//! * **closed** — each connection issues its next request the moment the
+//!   previous response lands (at most one outstanding per connection);
+//!   latency is pure request→response time and throughput is the
+//!   saturation QPS for that connection count;
+//! * **open** — requests are *scheduled* at a fixed aggregate arrival
+//!   rate (default: 60% of the closed-loop QPS just measured) and latency
+//!   is measured **from the scheduled arrival time**, so queueing delay
+//!   behind a slow server counts against it (the coordinated-omission
+//!   correction).
+//!
+//! Reports p50/p99/p999 latency and aggregate QPS per shard count, prints
+//! per-shard routing balance from the `STATS` verb, and writes
+//! `BENCH_server.json`. On a single-core container the shard sweep
+//! documents the 1-core ceiling rather than near-linear scaling: every
+//! shard's workers and every connection thread multiplex one CPU, so
+//! added shards mostly add scheduling overhead.
+//!
+//! `--smoke` shrinks everything for the CI gate: it must finish in
+//! seconds, report nonzero QPS for every shard count, and exit cleanly.
+
+use proteus_bench::cli::Args;
+use proteus_bench::report::Table;
+use proteus_lsm::{DbConfig, ProteusFactory, SyncMode};
+use proteus_server::{Client, Server};
+use proteus_workloads::zipf::{Zipfian, DEFAULT_THETA};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse(50_000, 100_000, 0);
+    let smoke = args.get("smoke").is_some();
+    let (keys, ops, conns, clients) = if smoke {
+        (2_000u64, 5_000usize, 4usize, 64usize)
+    } else {
+        (
+            args.keys as u64,
+            args.queries,
+            args.get_usize("conns", 16),
+            args.get_usize("clients", 2_000),
+        )
+    };
+    let shard_counts: Vec<usize> = args
+        .get("shards")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|s| s.trim().parse().expect("shards"))
+        .collect();
+    let theta = args.get_f64("theta", DEFAULT_THETA);
+    let value_len = args.get_usize("value-len", 64);
+    let open_rate = args.get_f64("rate", 0.0); // 0 = 60% of closed QPS
+    let sync_mode = match args.get("sync").unwrap_or("interval") {
+        "always" => SyncMode::Always,
+        "interval" => SyncMode::Interval(Duration::from_millis(2)),
+        "off" => SyncMode::Off,
+        other => panic!("--sync must be always|interval|off, got {other}"),
+    };
+
+    let mut t = Table::new(
+        &format!(
+            "Server load: {ops} ops, {clients} simulated clients over {conns} connections, \
+             {keys} keys, zipf theta={theta}, {value_len}B values"
+        ),
+        &["shards", "mode", "qps", "p50_us", "p99_us", "p999_us", "errors"],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for &n_shards in &shard_counts {
+        let dir = std::env::temp_dir()
+            .join(format!("proteus-fig-server-{}-{n_shards}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DbConfig::builder().sync_mode(sync_mode).build().unwrap();
+        let server = Server::start(
+            &dir,
+            ("127.0.0.1", 0),
+            n_shards,
+            cfg,
+            Arc::new(ProteusFactory::default()),
+        )
+        .expect("start server");
+        let addr = server.local_addr();
+
+        preload(addr, keys, value_len, conns);
+
+        // Closed loop first: its measured QPS sets the open-loop arrival
+        // rate unless --rate was given.
+        let load = LoadSpec { ops, conns, clients, keys, theta, value_len };
+        let closed = run_load(addr, Mode::Closed, &load, args.seed);
+        report(&mut t, &mut json_rows, n_shards, "closed", &closed);
+
+        let rate = if open_rate > 0.0 { open_rate } else { closed.qps() * 0.6 };
+        let open = run_load(addr, Mode::Open { rate }, &load, args.seed + 1);
+        report(&mut t, &mut json_rows, n_shards, "open", &open);
+
+        // Routing balance: every shard must have taken real traffic.
+        let mut c = Client::connect(addr).expect("stats connection");
+        let stats = c.stats().expect("stats");
+        let per_shard: Vec<u64> = stats.iter().map(|s| s.gets + s.commits).collect();
+        println!("  shard op counts (gets+commits): {per_shard:?}");
+        assert!(per_shard.iter().all(|&n| n > 0), "a shard received no traffic: {per_shard:?}");
+        if smoke {
+            assert!(closed.qps() > 0.0 && open.qps() > 0.0, "smoke: QPS must be nonzero");
+        }
+
+        drop(c);
+        drop(server); // graceful: drain, join, final WAL sync per shard
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    t.finish(args.out.as_deref(), "fig_server_load");
+    if !smoke {
+        let json = format!(
+            "{{\n  \"bench\": \"fig_server_load\",\n  \"ops\": {ops},\n  \"conns\": {conns},\n  \
+             \"keys\": {keys},\n  \"theta\": {theta},\n  \"value_len\": {value_len},\n  \
+             \"nproc\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+        println!("wrote BENCH_server.json");
+    } else {
+        println!("SMOKE OK");
+    }
+}
+
+/// Map a zipfian item id to a store key spread over the whole u64 space
+/// (so every range shard owns an equal slice of the item set).
+fn item_key(item: u64, keys: u64) -> [u8; 8] {
+    (item * (u64::MAX / keys)).to_be_bytes()
+}
+
+/// Load every item once so reads mostly hit. Parallel over `conns`
+/// connections, through the protocol (the preload is itself a light
+/// write-only load test).
+fn preload(addr: SocketAddr, keys: u64, value_len: usize, conns: usize) {
+    let value = vec![0x5Au8; value_len];
+    std::thread::scope(|s| {
+        for c in 0..conns as u64 {
+            let value = &value;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("preload connect");
+                let mut item = c;
+                while item < keys {
+                    client.put(&item_key(item, keys), value).expect("preload put");
+                    item += conns as u64;
+                }
+            });
+        }
+    });
+}
+
+enum Mode {
+    Closed,
+    /// Aggregate scheduled arrival rate in ops/s across all connections.
+    Open {
+        rate: f64,
+    },
+}
+
+/// The shared shape of one load run.
+struct LoadSpec {
+    ops: usize,
+    conns: usize,
+    clients: usize,
+    keys: u64,
+    theta: f64,
+    value_len: usize,
+}
+
+struct RunResult {
+    latencies_ns: Vec<u64>,
+    elapsed: Duration,
+    ops: usize,
+    errors: usize,
+}
+
+impl RunResult {
+    fn qps(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.latencies_ns.len() as f64 * p) as usize).min(self.latencies_ns.len() - 1);
+        self.latencies_ns[idx] as f64 / 1e3
+    }
+}
+
+/// Drive `spec.ops` mixed operations over `spec.conns` connections and
+/// collect per-op latency.
+///
+/// Each connection multiplexes `clients / conns` *simulated clients*
+/// round-robin — every logical client keeps its own RNG stream (its own
+/// zipfian draw sequence and op mix) and has at most one outstanding
+/// request. Closed loop: the next scheduled client fires the moment the
+/// previous response lands. Open loop: the connection follows a
+/// fixed-interval arrival schedule at `rate / conns` ops/s and latency
+/// runs from the *scheduled* arrival, not the send — queueing behind a
+/// saturated server counts (coordinated-omission correction).
+fn run_load(addr: SocketAddr, mode: Mode, spec: &LoadSpec, seed: u64) -> RunResult {
+    let zipf = Zipfian::scrambled(spec.keys, spec.theta);
+    let value = vec![0xA5u8; spec.value_len];
+    let conns = spec.conns;
+    let keys = spec.keys;
+    let per_conn = spec.ops / conns;
+    let clients_per_conn = (spec.clients / conns).max(1);
+    let interarrival = match mode {
+        Mode::Closed => None,
+        Mode::Open { rate } => Some(Duration::from_secs_f64(conns as f64 / rate.max(1.0))),
+    };
+    let started = Instant::now();
+    let mut results: Vec<(Vec<u64>, usize)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns as u64)
+            .map(|c| {
+                let (zipf, value) = (&zipf, &value);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("load connect");
+                    // One RNG per simulated client on this connection.
+                    let mut rngs: Vec<StdRng> = (0..clients_per_conn as u64)
+                        .map(|j| {
+                            StdRng::seed_from_u64(
+                                seed ^ c.wrapping_mul(0x9E37_79B9) ^ j.wrapping_mul(0xB529_7A4D),
+                            )
+                        })
+                        .collect();
+                    let mut lats = Vec::with_capacity(per_conn);
+                    let mut errors = 0usize;
+                    // Offset connection start times so open-loop arrivals
+                    // interleave instead of bursting.
+                    let base = Instant::now()
+                        + interarrival.map_or(Duration::ZERO, |ia| ia / conns as u32 * c as u32);
+                    for i in 0..per_conn {
+                        let sched = interarrival.map(|ia| base + ia * i as u32);
+                        if let Some(sched) = sched {
+                            let now = Instant::now();
+                            if now < sched {
+                                std::thread::sleep(sched - now);
+                            }
+                        }
+                        let t0 = sched.unwrap_or_else(Instant::now);
+                        let rng = &mut rngs[i % clients_per_conn];
+                        if do_op(&mut client, zipf, rng, keys, value).is_err() {
+                            errors += 1;
+                            continue;
+                        }
+                        lats.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    (lats, errors)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("load thread"));
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut latencies_ns: Vec<u64> = results.iter().flat_map(|(l, _)| l.iter().copied()).collect();
+    latencies_ns.sort_unstable();
+    let errors = results.iter().map(|(_, e)| e).sum();
+    RunResult { ops: latencies_ns.len(), latencies_ns, elapsed, errors }
+}
+
+/// One operation from the 70/20/5/5 get/put/delete/scan mix.
+fn do_op(
+    client: &mut Client,
+    zipf: &Zipfian,
+    rng: &mut StdRng,
+    keys: u64,
+    value: &[u8],
+) -> Result<(), proteus_server::ClientError> {
+    let item = zipf.next(rng);
+    let key = item_key(item, keys);
+    let draw: f64 = rng.gen();
+    if draw < 0.70 {
+        client.get(&key).map(|_| ())
+    } else if draw < 0.90 {
+        client.put(&key, value)
+    } else if draw < 0.95 {
+        client.delete(&key)
+    } else {
+        // A short scan spanning ~16 adjacent items (may cross a shard
+        // boundary, exercising the cross-shard concatenation path).
+        let span = (u64::MAX / keys).saturating_mul(16);
+        let hi = (u64::from_be_bytes(key)).saturating_add(span).to_be_bytes();
+        client.scan(&key, &hi, 16).map(|_| ())
+    }
+}
+
+fn report(t: &mut Table, json_rows: &mut Vec<String>, shards: usize, mode: &str, r: &RunResult) {
+    let (qps, p50, p99, p999) =
+        (r.qps(), r.percentile_us(0.50), r.percentile_us(0.99), r.percentile_us(0.999));
+    println!(
+        "shards={shards} {mode:<6} {qps:>9.0} qps  p50={p50:>7.1}us p99={p99:>8.1}us \
+         p999={p999:>8.1}us errors={}",
+        r.errors
+    );
+    t.row(vec![
+        shards.to_string(),
+        mode.to_string(),
+        format!("{qps:.0}"),
+        format!("{p50:.1}"),
+        format!("{p99:.1}"),
+        format!("{p999:.1}"),
+        r.errors.to_string(),
+    ]);
+    json_rows.push(format!(
+        "    {{\"shards\": {shards}, \"mode\": \"{mode}\", \"qps\": {qps:.0}, \
+         \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"p999_us\": {p999:.1}, \
+         \"errors\": {}}}",
+        r.errors
+    ));
+}

@@ -14,6 +14,8 @@
 //! --threads N    max reader threads for concurrent LSM scenarios
 //! --deletes FRAC fig6: fraction of loaded keys deleted before the mixed
 //!                get/scan/seek measurement (tombstone workload)
+//! --shards LIST  fig_server: shard counts to sweep (default 1,2,4)
+//! --conns N      fig_server: TCP connections driving load (default 16)
 //! ```
 
 use std::collections::HashMap;
@@ -78,6 +80,17 @@ impl Args {
                  --immediate       fig7: hard switch at the midpoint (fig8's mode)\n\
                  --width W         fig9: canonical string width in bytes\n\
                  --len-bits L      fig9: prefix length for the string workloads\n\
+                 --shards LIST     fig_server: shard counts to sweep (default 1,2,4)\n\
+                 --conns N         fig_server: real TCP connections (default 16)\n\
+                 --clients N       fig_server: simulated clients multiplexed over the\n\
+                 \x20              connections (default 2000); --keys is the item count,\n\
+                 \x20              --queries the total ops per shard count\n\
+                 --theta F         fig_server: zipfian skew in (0,1) (default 0.99)\n\
+                 --rate R          fig_server: open-loop arrival rate in ops/s\n\
+                 \x20              (default 60% of the measured closed-loop QPS)\n\
+                 --sync MODE       fig_server: WAL sync mode always|interval|off\n\
+                 \x20              (default interval = 2ms group commit)\n\
+                 --smoke           fig_server: tiny CI run; asserts nonzero QPS\n\
                  \n\
                  The paper's full scale is --keys 10000000 --queries 1000000 --samples 20000."
             );

@@ -68,8 +68,14 @@
 //! either mutex, so no lock-order deadlock is possible. Background I/O errors are
 //! sticky: they surface as `Err` from the next `flush`/`flush_and_settle`
 //! (and from writes on the rotation path). A poisoned foreground lock
-//! (another thread panicked) surfaces as [`Error::Poisoned`]; a poisoned
-//! manifest lock is unrecoverable and panics.
+//! (another thread panicked) surfaces as [`Error::Poisoned`]; background
+//! workers treat a poisoned lock the same way — they record the sticky
+//! error and exit rather than panicking (a worker panic would poison the
+//! coordination gate in turn). Shutdown ([`Db::drop`], crash injection)
+//! and error recording *recover* a poisoned gate guard instead of
+//! propagating it, so dropping a `Db` whose worker crashed always
+//! completes instead of double-panicking into a process abort. Only a
+//! poisoned manifest lock is unrecoverable and panics.
 
 use crate::batch::WriteBatch;
 use crate::block::Block;
@@ -730,7 +736,7 @@ impl Db {
 
     fn crash_impl(mut self, power_loss: bool) {
         {
-            let mut g = self.inner.gate.lock().unwrap();
+            let mut g = self.inner.gate_lock_recover();
             g.shutdown = true;
             g.crash = true;
         }
@@ -755,9 +761,16 @@ impl Drop for Db {
     /// segment, which the next [`Db::open`] replays, and the drop ends
     /// with a final segment sync so even a power loss right after it
     /// loses nothing.
+    ///
+    /// A poisoned coordination lock (a background worker panicked while
+    /// holding it) is *recovered* here, never propagated: panicking out of
+    /// `drop` while the caller is already unwinding would be a double
+    /// panic and abort the process, turning one crashed worker into a lost
+    /// WAL sync for every shard still shutting down. `Coord` is plain
+    /// bookkeeping data, so the recovered guard is safe to use.
     fn drop(&mut self) {
         let crashed = {
-            let mut g = self.inner.gate.lock().unwrap();
+            let mut g = self.inner.gate_lock_recover();
             g.shutdown = true;
             g.crash
         };
@@ -803,6 +816,16 @@ impl DbInner {
 
     fn gate_lock(&self) -> Result<MutexGuard<'_, Coord>> {
         self.gate.lock().map_err(|_| Error::Poisoned("coordination lock"))
+    }
+
+    /// Coordination lock for paths that must *always* complete — shutdown,
+    /// crash injection and sticky-error recording. A poisoned guard is
+    /// recovered ([`std::sync::PoisonError::into_inner`]): `Coord` is plain
+    /// counters and flags whose invariants hold after any partial update,
+    /// and refusing to shut down (or worse, double-panicking in `Drop`)
+    /// because a worker died would abort the whole process.
+    fn gate_lock_recover(&self) -> MutexGuard<'_, Coord> {
+        self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn wait_idle<'g>(&self, g: MutexGuard<'g, Coord>) -> Result<MutexGuard<'g, Coord>> {
@@ -1126,9 +1149,11 @@ impl DbInner {
     }
 
     /// Record a background failure and wake every waiter so barriers and
-    /// stalled writers observe it.
+    /// stalled writers observe it. Recovers a poisoned gate: this is the
+    /// one path that must succeed precisely *because* another thread
+    /// panicked, so it can never be allowed to panic itself.
     fn record_error(&self, e: Error) {
-        let mut g = self.gate.lock().unwrap();
+        let mut g = self.gate_lock_recover();
         if g.error.is_none() {
             g.error = Some(e.to_string());
         }
@@ -1139,16 +1164,31 @@ impl DbInner {
 
     // ---- flusher ---------------------------------------------------------
 
+    /// Run a worker loop body, downgrading a panicking lock acquisition to
+    /// the sticky background-error path: the worker records
+    /// [`Error::Poisoned`] (which wakes every barrier) and exits instead
+    /// of panicking — a panic here would poison the *gate* too and
+    /// historically turned `Db::drop` into a process abort.
+    fn worker_guard<T>(&self, r: Result<T>) -> Option<T> {
+        match r {
+            Ok(v) => Some(v),
+            Err(e) => {
+                self.record_error(e);
+                None
+            }
+        }
+    }
+
     fn flusher_loop(&self) {
         loop {
             {
-                let g = self.gate.lock().unwrap();
+                let Some(g) = self.worker_guard(self.gate_lock()) else { return };
                 if g.crash || g.error.is_some() {
                     return;
                 }
             }
             let imm = {
-                let mem = self.mem.read().unwrap();
+                let Some(mem) = self.worker_guard(self.mem_read()) else { return };
                 mem.imms.first().map(|i| (Arc::clone(&i.mem), i.wal_id))
             };
             if let Some((imm, wal_id)) = imm {
@@ -1157,7 +1197,9 @@ impl DbInner {
                         // Install the SST before retiring the MemTable so
                         // the data is never invisible to a reader.
                         self.edit_manifest(|v| v.levels[0].push(Arc::new(reader)));
-                        self.mem.write().unwrap().imms.remove(0);
+                        let Some(mut mem) = self.worker_guard(self.mem_write()) else { return };
+                        mem.imms.remove(0);
+                        drop(mem);
                         self.stats.flushes.inc();
                         // The table's data is durable in the installed
                         // (synced, renamed) SST, so its sealed WAL segment
@@ -1171,7 +1213,7 @@ impl DbInner {
                             self.record_error(e.into());
                             return;
                         }
-                        let mut g = self.gate.lock().unwrap();
+                        let Some(mut g) = self.worker_guard(self.gate_lock()) else { return };
                         g.flushed += 1;
                         g.compact_epoch += 1;
                         self.idle_cv.notify_all();
@@ -1192,9 +1234,13 @@ impl DbInner {
                     }
                 }
             }
-            let mut g = self.gate.lock().unwrap();
+            let Some(mut g) = self.worker_guard(self.gate_lock()) else { return };
             while g.rotated <= g.flushed && !g.shutdown {
-                g = self.flush_cv.wait(g).unwrap();
+                let wait = self.flush_cv.wait(g).map_err(|_| Error::Poisoned("coordination lock"));
+                match self.worker_guard(wait) {
+                    Some(guard) => g = guard,
+                    None => return,
+                }
             }
             if g.shutdown && g.rotated <= g.flushed {
                 return; // every rotated MemTable is durable
@@ -1226,7 +1272,7 @@ impl DbInner {
     fn adapter_loop(&self) {
         loop {
             {
-                let g = self.gate.lock().unwrap();
+                let Some(g) = self.worker_guard(self.gate_lock()) else { return };
                 if g.shutdown || g.error.is_some() {
                     return;
                 }
@@ -1235,11 +1281,20 @@ impl DbInner {
                 self.record_error(e);
                 return;
             }
-            let g = self.gate.lock().unwrap();
+            let Some(g) = self.worker_guard(self.gate_lock()) else { return };
             if g.shutdown {
                 return;
             }
-            let (g, _) = self.adapt_cv.wait_timeout(g, self.cfg.adapt_interval()).unwrap();
+            // A poisoned coordination mutex (some thread panicked while
+            // holding it) surfaces as a sticky `Error::Poisoned` at the
+            // next barrier, exactly like the flusher/compactor paths —
+            // panicking here instead used to kill the adapter silently
+            // *and* leave the gate poisoned for `Drop`.
+            let wait = self
+                .adapt_cv
+                .wait_timeout(g, self.cfg.adapt_interval())
+                .map_err(|_| Error::Poisoned("coordination lock"));
+            let Some((g, _)) = self.worker_guard(wait) else { return };
             if g.shutdown {
                 return;
             }
@@ -1320,7 +1375,7 @@ impl DbInner {
     fn compactor_loop(&self) {
         loop {
             let (stop, settle_mode, epoch) = {
-                let g = self.gate.lock().unwrap();
+                let Some(g) = self.worker_guard(self.gate_lock()) else { return };
                 // A sticky error also stops the compactor: retrying the
                 // same job against a failing disk would spin forever (and
                 // keep allocating ids and `.tmp` files). Barriers already
@@ -1345,8 +1400,10 @@ impl DbInner {
                 // Nothing left to compact; the settle is complete once the
                 // flusher has drained too and the tree has not changed
                 // since we looked at it (epoch unchanged).
-                let imms_empty = self.mem.read().unwrap().imms.is_empty();
-                let mut g = self.gate.lock().unwrap();
+                let Some(mem) = self.worker_guard(self.mem_read()) else { return };
+                let imms_empty = mem.imms.is_empty();
+                drop(mem);
+                let Some(mut g) = self.worker_guard(self.gate_lock()) else { return };
                 if imms_empty && g.flushed >= g.rotated && g.compact_epoch == epoch {
                     g.settles_done = g.settle_requests;
                     self.idle_cv.notify_all();
@@ -1355,14 +1412,24 @@ impl DbInner {
                 // The flusher is still working (or new work arrived): wait
                 // for its next poke, with a timeout as a lost-wakeup net.
                 if g.compact_epoch == epoch && !g.shutdown {
-                    let (_g, _) =
-                        self.compact_cv.wait_timeout(g, Duration::from_millis(5)).unwrap();
+                    let wait = self
+                        .compact_cv
+                        .wait_timeout(g, Duration::from_millis(5))
+                        .map_err(|_| Error::Poisoned("coordination lock"));
+                    if self.worker_guard(wait).is_none() {
+                        return;
+                    }
                 }
                 continue;
             }
-            let mut g = self.gate.lock().unwrap();
+            let Some(mut g) = self.worker_guard(self.gate_lock()) else { return };
             while g.compact_epoch == epoch && !g.shutdown && g.settle_requests <= g.settles_done {
-                g = self.compact_cv.wait(g).unwrap();
+                let wait =
+                    self.compact_cv.wait(g).map_err(|_| Error::Poisoned("coordination lock"));
+                match self.worker_guard(wait) {
+                    Some(guard) => g = guard,
+                    None => return,
+                }
             }
         }
     }
@@ -1534,4 +1601,121 @@ impl DbInner {
 /// them by id at publish time).
 fn collect_overlapping(level: &[Arc<SstReader>], lo: &[u8], hi: &[u8]) -> Vec<Arc<SstReader>> {
     level.iter().filter(|s| s.overlaps(lo, hi)).cloned().collect()
+}
+
+#[cfg(test)]
+mod poison_tests {
+    //! Regression tests for the panic-safety sweep: a poisoned
+    //! coordination gate must surface as [`Error::Poisoned`] on the
+    //! foreground, stop the background workers via the sticky-error path
+    //! (no worker panics), and never turn `Db::drop` into a panic (which,
+    //! during an unwind, would be a double panic and abort the process).
+
+    use super::*;
+    use crate::NoFilterFactory;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("proteus-poison-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Panics recorded from this crate's named worker threads. The chained
+    /// hook filters on the `proteus-lsm-` thread-name prefix, so deliberate
+    /// test panics (poisoning threads, `catch_unwind` probes) in this or
+    /// any concurrently running test never count.
+    fn worker_panics() -> &'static AtomicU64 {
+        static COUNTER: OnceLock<&'static AtomicU64> = OnceLock::new();
+        COUNTER.get_or_init(|| {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let in_worker =
+                    std::thread::current().name().is_some_and(|n| n.starts_with("proteus-lsm-"));
+                if in_worker {
+                    N.fetch_add(1, Ordering::SeqCst);
+                }
+                prev(info);
+            }));
+            &N
+        })
+    }
+
+    /// Poison the coordination gate the way a crashed worker would: panic
+    /// on a helper thread while holding the lock.
+    fn poison_gate(db: &Db) {
+        let inner = Arc::clone(&db.inner);
+        let _ = std::thread::Builder::new()
+            .name("gate-poisoner".into())
+            .spawn(move || {
+                let _g = inner.gate.lock().unwrap();
+                panic!("deliberate gate poisoning (test)");
+            })
+            .unwrap()
+            .join();
+        assert!(db.inner.gate.lock().is_err(), "gate must now be poisoned");
+    }
+
+    #[test]
+    fn drop_with_poisoned_gate_never_panics() {
+        worker_panics();
+        let dir = tmpdir("drop");
+        let db = Db::open(&dir, DbConfig::default(), Arc::new(NoFilterFactory)).unwrap();
+        db.put_u64(7, b"survives").unwrap();
+        poison_gate(&db);
+        // Before the fix `Drop` did `gate.lock().unwrap()` and panicked
+        // here — which, had the caller already been unwinding, would have
+        // aborted the process.
+        let dropped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(db)));
+        assert!(dropped.is_ok(), "Db::drop must complete with a poisoned gate");
+        // The final WAL sync still ran: the acked write survives a reopen.
+        let db = Db::open(&dir, DbConfig::default(), Arc::new(NoFilterFactory)).unwrap();
+        assert_eq!(db.get_u64(7).unwrap().as_deref(), Some(&b"survives"[..]));
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_gate_surfaces_typed_error_on_barriers() {
+        worker_panics();
+        let dir = tmpdir("typed");
+        let db = Db::open(&dir, DbConfig::default(), Arc::new(NoFilterFactory)).unwrap();
+        db.put_u64(1, b"v").unwrap();
+        poison_gate(&db);
+        assert!(matches!(db.flush(), Err(Error::Poisoned(_))));
+        assert!(matches!(db.flush_and_settle(), Err(Error::Poisoned(_))));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(db)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workers_exit_sticky_not_panicking_on_poisoned_gate() {
+        let panics = worker_panics();
+        let before = panics.load(Ordering::SeqCst);
+        let dir = tmpdir("workers");
+        // Adapter enabled with a short poll so its `wait_timeout` path —
+        // the original bug — runs within the test's lifetime.
+        let cfg = DbConfig::builder()
+            .adapt_enabled(true)
+            .adapt_interval(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
+        db.put_u64(2, b"v").unwrap();
+        poison_gate(&db);
+        // Give all three workers time to wake up, observe the poisoned
+        // lock, record the sticky error and exit.
+        std::thread::sleep(Duration::from_millis(100));
+        let after = panics.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "background workers must take the sticky-error path, not panic"
+        );
+        let dropped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(db)));
+        assert!(dropped.is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -116,9 +116,16 @@ pub struct Stats {
     pub retrain_ns: Counter,
     /// WAL commit records appended (a `WriteBatch` is one record).
     pub wal_appends: Counter,
-    /// `fdatasync` calls issued against WAL segments (group-commit leader
-    /// syncs, interval syncs, and rotation seals).
+    /// `fdatasync` calls issued against WAL segments that covered at least
+    /// one unsynced commit (group-commit leader syncs, interval syncs, and
+    /// non-empty rotation seals). The denominator of
+    /// [`Stats::mean_group_commit`]; syncs that covered nothing are
+    /// counted in [`Stats::wal_empty_seals`] instead so the mean is not
+    /// deflated by empty rotations.
     pub wal_syncs: Counter,
+    /// Rotation seals whose `fdatasync` covered zero unsynced commits
+    /// (every record was already durable when the MemTable rotated).
+    pub wal_empty_seals: Counter,
     /// Bytes of WAL records appended (headers excluded).
     pub wal_bytes: Counter,
     /// Total commits covered across all WAL syncs; the mean group-commit
@@ -179,6 +186,7 @@ impl Stats {
             retrain_ns: self.retrain_ns.get(),
             wal_appends: self.wal_appends.get(),
             wal_syncs: self.wal_syncs.get(),
+            wal_empty_seals: self.wal_empty_seals.get(),
             wal_bytes: self.wal_bytes.get(),
             group_commit_sizes: self.group_commit_sizes.get(),
             wal_replayed_records: self.wal_replayed_records.get(),
@@ -249,6 +257,7 @@ pub struct StatsSnapshot {
     pub retrain_ns: u64,
     pub wal_appends: u64,
     pub wal_syncs: u64,
+    pub wal_empty_seals: u64,
     pub wal_bytes: u64,
     pub group_commit_sizes: u64,
     pub wal_replayed_records: u64,
@@ -291,6 +300,7 @@ impl StatsSnapshot {
             retrain_ns: self.retrain_ns - earlier.retrain_ns,
             wal_appends: self.wal_appends - earlier.wal_appends,
             wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            wal_empty_seals: self.wal_empty_seals - earlier.wal_empty_seals,
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
             group_commit_sizes: self.group_commit_sizes - earlier.group_commit_sizes,
             wal_replayed_records: self.wal_replayed_records - earlier.wal_replayed_records,

@@ -435,10 +435,19 @@ impl Wal {
         let mut g = self.lock()?;
         g.file.sync_data()?;
         let sealed_commits = g.appended_seq - g.synced_seq;
+        // Count the seal as a WAL sync only when it actually covered
+        // commits: an empty seal (every record already group-synced)
+        // contributes nothing to `group_commit_sizes`, so counting it in
+        // `wal_syncs` would deflate `mean_group_commit()` — the
+        // denominator would grow while the numerator stood still. Empty
+        // seals are tracked separately so rotation frequency stays
+        // observable.
         if sealed_commits > 0 {
             stats.group_commit_sizes.add(sealed_commits);
+            stats.wal_syncs.inc();
+        } else {
+            stats.wal_empty_seals.inc();
         }
-        stats.wal_syncs.inc();
         g.synced_seq = g.appended_seq;
         let file = create_segment(&self.dir, new_id, self.key_width)?;
         let old_id = g.id;
@@ -618,6 +627,37 @@ mod tests {
         let rep = replay_segment(&segment_path(&dir, 11), 8).unwrap();
         assert_eq!(rep.commits.len(), 0, "unsynced active record must be gone");
         assert!(stats.wal_syncs.get() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_seals_do_not_deflate_mean_group_commit() {
+        let dir = tmpdir("empty-seal");
+        let stats = Stats::default();
+        let wal = Wal::create(&dir, 20, 8, SyncMode::Always).unwrap();
+        // Four commits, each paying its own sync: mean group commit 1.0.
+        for i in 0..4u64 {
+            let seq = wal.append_commit(&[(k(i), Some(vec![i as u8]))], &stats).unwrap();
+            wal.commit(seq, &stats).unwrap();
+        }
+        assert_eq!(stats.wal_syncs.get(), 4);
+        assert_eq!(stats.group_commit_sizes.get(), 4);
+        assert!((stats.mean_group_commit() - 1.0).abs() < 1e-12);
+        // Two rotations with nothing unsynced (everything was group-synced
+        // at commit time). Before the fix each bumped `wal_syncs` without
+        // touching `group_commit_sizes`, deflating the mean to 4/6 ≈ 0.67.
+        wal.rotate(21, &stats).unwrap();
+        wal.rotate(22, &stats).unwrap();
+        assert_eq!(stats.wal_syncs.get(), 4, "empty seals are not commit-covering syncs");
+        assert_eq!(stats.wal_empty_seals.get(), 2);
+        assert!((stats.mean_group_commit() - 1.0).abs() < 1e-12);
+        // A rotation that *does* seal unsynced commits still counts.
+        wal.append_commit(&[(k(9), None)], &stats).unwrap();
+        wal.rotate(23, &stats).unwrap();
+        assert_eq!(stats.wal_syncs.get(), 5);
+        assert_eq!(stats.group_commit_sizes.get(), 5);
+        assert_eq!(stats.wal_empty_seals.get(), 2);
+        assert!((stats.mean_group_commit() - 1.0).abs() < 1e-12);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,133 @@
+//! Range-sharded key routing.
+//!
+//! The server partitions the key space across `n` shards by the key's
+//! 8-byte big-endian prefix: shard `i` owns the contiguous slice of the
+//! `u64` prefix space `[i * 2^64 / n, (i+1) * 2^64 / n)`. Because the
+//! store's keys are fixed-width big-endian ([`proteus_core::key::u64_key`]
+//! layout), this mapping is **monotone in key order**: every key in shard
+//! `i` sorts before every key in shard `i + 1`. Range operations
+//! (`SCAN` / `SEEK`) therefore touch only the contiguous shard run
+//! [`Router::shards_for_range`] and can concatenate per-shard results in
+//! shard order to get a globally sorted answer — no merge needed.
+//!
+//! Keys narrower than 8 bytes are right-padded with zeros for routing
+//! (padding preserves big-endian order); bytes past the eighth never
+//! influence the shard, which is fine — they refine order *within* a
+//! prefix, and a prefix never straddles shards.
+
+/// Maps fixed-width big-endian keys to one of `n` contiguous range shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router {
+    n_shards: usize,
+}
+
+impl Router {
+    /// A router over `n_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or exceeds `u32::MAX` (the protocol
+    /// carries shard indices as `u32`).
+    pub fn new(n_shards: usize) -> Router {
+        assert!(n_shards > 0, "a server needs at least one shard");
+        assert!(n_shards <= u32::MAX as usize, "shard count must fit in u32");
+        Router { n_shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning `key`. Always in `0..n_shards`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let mut prefix = [0u8; 8];
+        let take = key.len().min(8);
+        prefix[..take].copy_from_slice(&key[..take]);
+        let p = u64::from_be_bytes(prefix);
+        // Multiply-shift split: shard i owns an equal 1/n slice of the
+        // prefix space, and the map is monotone (key order => shard order).
+        ((p as u128 * self.n_shards as u128) >> 64) as usize
+    }
+
+    /// The inclusive run of shards a closed key range `[lo, hi]` can
+    /// touch, in ascending shard order. Empty when `lo > hi`.
+    pub fn shards_for_range(&self, lo: &[u8], hi: &[u8]) -> std::ops::RangeInclusive<usize> {
+        if lo > hi {
+            // An empty iteration; `1..=0` is the canonical empty inclusive
+            // range over usize.
+            #[allow(clippy::reversed_empty_ranges)]
+            return 1..=0;
+        }
+        self.shard_of(lo)..=self.shard_of(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u64) -> [u8; 8] {
+        i.to_be_bytes()
+    }
+
+    #[test]
+    fn every_key_lands_in_bounds_and_routing_is_monotone() {
+        for n in [1usize, 2, 3, 4, 7, 16] {
+            let r = Router::new(n);
+            for step in 0..4096u64 {
+                let key = k(step.wrapping_mul(0x0004_0000_0000_0421));
+                let s = r.shard_of(&key);
+                assert!(s < n, "shard {s} out of bounds for n={n}");
+            }
+            // Monotone: walk keys in increasing order, shards never go
+            // backwards.
+            let mut prev = r.shard_of(&k(0));
+            for i in 1..=1000u64 {
+                let s = r.shard_of(&k(i * (u64::MAX / 1000)));
+                assert!(s >= prev, "shard order regressed at i={i} for n={n}");
+                prev = s;
+            }
+            assert_eq!(r.shard_of(&k(0)), 0, "smallest key must hit shard 0");
+            assert_eq!(r.shard_of(&k(u64::MAX)), n - 1, "largest key must hit the last shard");
+        }
+    }
+
+    #[test]
+    fn shards_split_the_space_roughly_evenly() {
+        let n = 8;
+        let r = Router::new(n);
+        let mut counts = vec![0u64; n];
+        let samples = 64 * 1024u64;
+        for i in 0..samples {
+            counts[r.shard_of(&k(i * (u64::MAX / samples)))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let ideal = samples / n as u64;
+            assert!(c > ideal * 9 / 10 && c < ideal * 11 / 10, "shard {i} unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn short_keys_route_like_their_zero_padded_prefix() {
+        let r = Router::new(4);
+        assert_eq!(r.shard_of(&[0x80, 0x00]), r.shard_of(&[0x80, 0x00, 0, 0, 0, 0, 0, 0]));
+        // Bytes past the eighth never change the shard.
+        let long = [0xC0, 1, 2, 3, 4, 5, 6, 7, 0xFF, 0xFF];
+        assert_eq!(r.shard_of(&long), r.shard_of(&long[..8]));
+    }
+
+    #[test]
+    fn range_runs_are_contiguous_and_ordered() {
+        let r = Router::new(4);
+        let lo = k(0);
+        let hi = k(u64::MAX);
+        assert_eq!(r.shards_for_range(&lo, &hi), 0..=3);
+        // A range inside one shard touches only it.
+        let lo = k(1);
+        let hi = k(2);
+        assert_eq!(r.shards_for_range(&lo, &hi), 0..=0);
+        // Inverted bounds are an empty run.
+        assert_eq!(r.shards_for_range(&hi, &lo).count(), 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! The sharded TCP server: accept loop, per-connection request dispatch,
+//! and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread plus one thread per connection — the classic
+//! blocking-I/O shape. The store's [`Db`] takes `&self` on every
+//! operation and is `Sync`, so connection threads share the shard vector
+//! through one `Arc` with no server-side locking; all cross-thread
+//! coordination the server adds is a single shutdown [`AtomicBool`] and
+//! the join-handle registry.
+//!
+//! ## Shutdown order
+//!
+//! Graceful shutdown ([`Server::shutdown`], also triggered by the
+//! `SHUTDOWN` verb and by [`Server::drop`]) must sequence three layers:
+//!
+//! 1. **Stop accepting**: set the shutdown flag, then self-connect to the
+//!    listener so the blocking `accept` observes it and exits.
+//! 2. **Drain connections**: connection threads poll the flag between
+//!    requests (reads use a short timeout so an idle connection notices
+//!    within [`POLL_INTERVAL`]); a request already being served always
+//!    runs to completion and its response is flushed — acked writes are
+//!    never abandoned mid-frame. All connection threads are joined.
+//! 3. **Drop the shards**: only after every thread that can touch a `Db`
+//!    has exited are the shards dropped. [`Db::drop`] then runs its own
+//!    shutdown (stop workers, final WAL sync), so every acked write is
+//!    durable by the time [`Server::shutdown`] returns. Dropping a `Db`
+//!    while a connection thread still held a reference would not be
+//!    unsafe — `Arc` prevents the use-after-free — but it would defer the
+//!    final WAL sync past the point the server claims to have stopped,
+//!    which is why the join comes first.
+
+use crate::protocol::{
+    write_frame, ErrorCode, Request, Response, ShardStats, DEFAULT_SCAN_LIMIT, MAX_FRAME_LEN,
+};
+use crate::router::Router;
+use proteus_lsm::{Db, DbConfig, Error as DbError, FilterFactory};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How long an idle connection blocks in `read` before re-checking the
+/// shutdown flag. Bounds shutdown latency without a wakeup channel per
+/// connection.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A running sharded server. Dropping it performs a full graceful
+/// shutdown (see the module docs for the ordering contract).
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+struct Shared {
+    shards: Vec<Db>,
+    router: Router,
+    key_width: usize,
+    /// The listener's bound address — the self-connect target that wakes
+    /// the blocking accept loop during shutdown.
+    listen_addr: SocketAddr,
+    shutting_down: AtomicBool,
+    /// Join handles for live connection threads. Finished threads are
+    /// reaped lazily each accept; shutdown joins whatever remains.
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Open `n_shards` stores under `dir` (`dir/shard-0000`,
+    /// `dir/shard-0001`, ...) and start serving on `addr`.
+    ///
+    /// Binding to port 0 picks a free port; read it back with
+    /// [`Server::local_addr`]. Each shard gets its own directory, WAL and
+    /// background workers, all sharing one `cfg` and filter `factory`.
+    /// Re-opening an existing `dir` with the same shard count recovers
+    /// every shard through its WAL/manifest (a different shard count would
+    /// scatter keys to the wrong stores and is the operator's
+    /// responsibility to avoid — shard count is not yet persisted).
+    pub fn start(
+        dir: impl AsRef<Path>,
+        addr: impl ToSocketAddrs,
+        n_shards: usize,
+        cfg: DbConfig,
+        factory: Arc<dyn FilterFactory>,
+    ) -> std::io::Result<Server> {
+        let router = Router::new(n_shards);
+        let key_width = cfg.key_width();
+        let mut shards = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let shard_dir: PathBuf = dir.as_ref().join(format!("shard-{i:04}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            let db = Db::open(shard_dir, cfg.clone(), Arc::clone(&factory))
+                .map_err(|e| std::io::Error::other(format!("opening shard {i}: {e}")))?;
+            shards.push(db);
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shards,
+            router,
+            key_width,
+            listen_addr: local_addr,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("proteus-server-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(Server { shared, acceptor: Some(acceptor), local_addr })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of shards this server routes across.
+    pub fn n_shards(&self) -> usize {
+        self.shared.router.n_shards()
+    }
+
+    /// Whether shutdown has been requested (by [`Server::shutdown`], the
+    /// `SHUTDOWN` verb, or drop).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested — by [`Server::shutdown`] from
+    /// another thread or by a client's `SHUTDOWN` verb. The standalone
+    /// server binary parks here; drop the `Server` afterwards to complete
+    /// the drain.
+    pub fn wait(&self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// Gracefully stop: drain in-flight requests, join every connection
+    /// thread, then drop nothing — the shards live until the `Server`
+    /// itself drops, so `STATS`-style inspection of `self.shared` stays
+    /// valid. Idempotent; concurrent callers all block until the drain
+    /// completes.
+    pub fn shutdown(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the acceptor: a throwaway self-connection makes the
+        // blocking accept() return so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Join the connection threads. Idle ones notice the flag within
+        // POLL_INTERVAL; busy ones finish (and flush) their current
+        // request first.
+        let handles = {
+            let mut g = self.shared.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *g)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Graceful shutdown, then the shards drop (each [`Db::drop`] stops
+    /// its workers and runs the final WAL sync). The join-before-drop
+    /// ordering is the contract documented at module level.
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conn_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The self-connect wakeup (or a client racing shutdown):
+            // drop the socket unserved and exit.
+            return;
+        }
+        conn_id += 1;
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("proteus-server-conn-{conn_id}"))
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+            });
+        let Ok(handle) = handle else { continue };
+        let mut g = shared.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Reap finished threads so a long-lived server with churning
+        // connections doesn't accumulate handles.
+        g.retain(|h| !h.is_finished());
+        g.push(handle);
+    }
+}
+
+/// Serve one connection until the peer closes, the transport fails, a
+/// frame is oversized, or shutdown drains us. Never panics on malformed
+/// input: every decode failure becomes a typed error response.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame_polled(&mut reader, shared) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // peer closed cleanly, or drained
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Oversized frame: answer TooLarge, then close — the
+                // stream cannot be resynchronized past an unread body.
+                let resp = Response::Error { code: ErrorCode::TooLarge, message: e.to_string() };
+                write_frame(&mut writer, &resp.encode())?;
+                return writer.flush();
+            }
+            Err(e) => return Err(e), // torn frame / transport failure
+        };
+        let (response, shutdown_after) = dispatch(&payload, shared);
+        write_frame(&mut writer, &response.encode())?;
+        writer.flush()?;
+        if shutdown_after {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            // Wake the acceptor exactly like Server::shutdown does; the
+            // Server's own shutdown/join still runs at drop.
+            let _ = TcpStream::connect(shared.listen_addr);
+            return Ok(());
+        }
+    }
+}
+
+/// Read one frame on a socket whose read timeout is [`POLL_INTERVAL`].
+///
+/// The timeout exists so an *idle* connection re-checks the shutdown flag;
+/// it must not tear a frame whose bytes straddle a tick. So: while waiting
+/// for a frame's first byte, every timeout is an idle tick (return
+/// `Ok(None)` if shutdown was requested — nothing is in flight). Once the
+/// first byte has arrived the frame is in flight and timeouts merely
+/// retry, preserving progress; if shutdown is requested mid-frame the peer
+/// gets one grace interval to finish sending before the read gives up
+/// (the request never fully arrived, so abandoning it loses no acked
+/// work).
+fn read_frame_polled(r: &mut impl Read, shared: &Shared) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return Ok(None); // idle at a frame boundary: drained
+        }
+        match r.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None), // clean close between frames
+            Ok(_) => break,
+            Err(e) if is_poll_tick(&e) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    read_full(r, &mut len_buf[1..], shared)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, shared)?;
+    Ok(Some(payload))
+}
+
+/// `read_exact` that survives timeout ticks without losing progress. Once
+/// shutdown is requested, allows one further grace tick before giving up
+/// on a peer stalled mid-frame.
+fn read_full(r: &mut impl Read, mut buf: &mut [u8], shared: &Shared) -> std::io::Result<()> {
+    let mut graced = false;
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &mut std::mem::take(&mut buf)[n..],
+            Err(e) if is_poll_tick(&e) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    if graced {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "shutdown drain abandoned a frame stalled mid-transfer",
+                        ));
+                    }
+                    graced = true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// A read-timeout tick (platform-dependent kind) rather than a real error.
+fn is_poll_tick(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Decode and execute one request. Returns the response plus whether the
+/// connection should trigger server shutdown after flushing it.
+fn dispatch(payload: &[u8], shared: &Shared) -> (Response, bool) {
+    let req = match Request::decode(payload) {
+        Ok(r) => r,
+        Err((code, message)) => return (Response::Error { code, message }, false),
+    };
+    let resp = match req {
+        Request::Ping => Response::Ok,
+        Request::Get { key } => match shared.shard_for(&key) {
+            Ok(db) => match db.get(&key) {
+                Ok(v) => Response::Value(v),
+                Err(e) => store_error(e),
+            },
+            Err(r) => r,
+        },
+        Request::Put { key, value } => match shared.shard_for(&key) {
+            Ok(db) => match db.put(&key, &value) {
+                Ok(()) => Response::Ok,
+                Err(e) => store_error(e),
+            },
+            Err(r) => r,
+        },
+        Request::Delete { key } => match shared.shard_for(&key) {
+            Ok(db) => match db.delete(&key) {
+                Ok(()) => Response::Ok,
+                Err(e) => store_error(e),
+            },
+            Err(r) => r,
+        },
+        Request::Scan { lo, hi, limit } => shared.scan(&lo, &hi, limit),
+        Request::Seek { lo, hi } => shared.seek(&lo, &hi),
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::Shutdown => return (Response::Ok, true),
+    };
+    (resp, false)
+}
+
+/// Map a store failure to the wire: key-validation failures are the
+/// client's fault ([`ErrorCode::BadKey`]); everything else is a server-side
+/// store error carrying the typed rendering.
+fn store_error(e: DbError) -> Response {
+    let code = match e {
+        DbError::Config(_) => ErrorCode::BadKey,
+        _ => ErrorCode::Store,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+impl Shared {
+    /// Validate the key width up front (uniform across shards), then route.
+    fn shard_for(&self, key: &[u8]) -> Result<&Db, Response> {
+        if key.len() != self.key_width {
+            return Err(Response::Error {
+                code: ErrorCode::BadKey,
+                message: format!(
+                    "key is {} bytes; this server stores {}-byte keys",
+                    key.len(),
+                    self.key_width
+                ),
+            });
+        }
+        Ok(&self.shards[self.router.shard_of(key)])
+    }
+
+    /// Ordered scan of `[lo, hi]` across the shard run. Shards partition
+    /// the key space contiguously and in order, so concatenating per-shard
+    /// results in shard order yields a globally sorted answer.
+    fn scan(&self, lo: &[u8], hi: &[u8], limit: u32) -> Response {
+        if let Err(r) = self.check_bounds(lo, hi) {
+            return r;
+        }
+        let limit = if limit == 0 { DEFAULT_SCAN_LIMIT } else { limit } as usize;
+        let mut entries = Vec::new();
+        let mut more = false;
+        'shards: for s in self.router.shards_for_range(lo, hi) {
+            let iter = match self.shards[s]
+                .range((Bound::Included(lo.to_vec()), Bound::Included(hi.to_vec())))
+            {
+                Ok(it) => it,
+                Err(e) => return store_error(e),
+            };
+            for item in iter {
+                let (k, v) = match item {
+                    Ok(kv) => kv,
+                    Err(e) => return store_error(e),
+                };
+                if entries.len() == limit {
+                    more = true;
+                    break 'shards;
+                }
+                entries.push((k, v));
+            }
+        }
+        Response::Entries { entries, more }
+    }
+
+    /// Emptiness probe across the shard run, short-circuiting on the first
+    /// shard that finds a live key.
+    fn seek(&self, lo: &[u8], hi: &[u8]) -> Response {
+        if let Err(r) = self.check_bounds(lo, hi) {
+            return r;
+        }
+        for s in self.router.shards_for_range(lo, hi) {
+            match self.shards[s].seek(lo, hi) {
+                Ok(true) => return Response::Found(true),
+                Ok(false) => {}
+                Err(e) => return store_error(e),
+            }
+        }
+        Response::Found(false)
+    }
+
+    fn check_bounds(&self, lo: &[u8], hi: &[u8]) -> Result<(), Response> {
+        for (name, b) in [("lo", lo), ("hi", hi)] {
+            if b.len() != self.key_width {
+                return Err(Response::Error {
+                    code: ErrorCode::BadKey,
+                    message: format!(
+                        "{name} bound is {} bytes; this server stores {}-byte keys",
+                        b.len(),
+                        self.key_width
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                let s = db.stats();
+                ShardStats {
+                    shard: i as u32,
+                    gets: s.gets.get(),
+                    deletes: s.deletes.get(),
+                    range_scans: s.range_scans.get(),
+                    seeks: s.seeks.get(),
+                    commits: s.wal_appends.get(),
+                    wal_replayed: s.wal_replayed_records.get(),
+                    flushes: s.flushes.get(),
+                    compactions: s.compactions.get(),
+                    sst_files: db.sst_count() as u64,
+                }
+            })
+            .collect()
+    }
+}

@@ -9,14 +9,18 @@
 //!   Split / Real / Point) with emptiness certification;
 //! * [`strings`] — §7.2 string keys (fixed-length Uniform/Normal, synthetic
 //!   `.org` domains) and big-endian string range arithmetic;
-//! * [`values`] — §6.2 half-zero value payloads for the LSM experiments.
+//! * [`values`] — §6.2 half-zero value payloads for the LSM experiments;
+//! * [`zipf`] — YCSB-style zipfian popularity sampling for the skewed
+//!   server load generator (`fig_server`).
 
 pub mod datasets;
 pub mod queries;
 pub mod strings;
 pub mod values;
+pub mod zipf;
 
 pub use datasets::Dataset;
 pub use queries::{QueryGen, Workload, DEFAULT_CORR_DEGREE};
 pub use strings::{generate_domains, StringDataset, StringQueryGen};
 pub use values::value_for_key;
+pub use zipf::Zipfian;
