@@ -92,6 +92,15 @@ impl Args {
                  \x20              (default interval = 2ms group commit)\n\
                  --smoke           fig_server: tiny CI run; asserts nonzero QPS\n\
                  \n\
+                 Criterion micro-benches (separate from these binaries; run via\n\
+                 `cargo bench -p proteus-bench --bench <name>`):\n\
+                 construction       filter/model/FST build costs\n\
+                 filter_queries     per-query filter probe costs\n\
+                 lsm_hot_path       memtable_put, memtable_rotate, block_scan,\n\
+                 \x20                rank_select — each vs an embedded baseline; emits\n\
+                 \x20                BENCH_lsm.json (pass --quick after `--` for the\n\
+                 \x20                short CI smoke run)\n\
+                 \n\
                  The paper's full scale is --keys 10000000 --queries 1000000 --samples 20000."
             );
             std::process::exit(0);

@@ -175,8 +175,15 @@ impl Block {
     }
 
     /// On-disk size of the block starting at `disk` (header + payload).
-    pub fn disk_len(disk: &[u8]) -> usize {
-        9 + u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize
+    /// A slice shorter than the 9-byte header — e.g. an index entry
+    /// pointing into a truncated tail — is [`Error::Corruption`], never a
+    /// panic (the repo-wide malformed-bytes invariant).
+    pub fn disk_len(disk: &[u8]) -> Result<usize> {
+        let stored: [u8; 4] = disk
+            .get(5..9)
+            .map(|s| s.try_into().unwrap())
+            .ok_or_else(|| corrupt("shorter than its header"))?;
+        Ok(9 + u32::from_le_bytes(stored) as usize)
     }
 
     /// Number of entries in the block.
@@ -331,7 +338,7 @@ mod tests {
         let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
         let stored = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
         assert!(stored < raw_len);
-        assert_eq!(Block::disk_len(&disk), disk.len());
+        assert_eq!(Block::disk_len(&disk).unwrap(), disk.len());
     }
 
     #[test]
@@ -380,6 +387,17 @@ mod tests {
         // Truncations anywhere must error, never panic.
         for cut in 0..disk.len() {
             assert!(Block::decode(&disk[..cut], 4, true).is_err(), "cut {cut}");
+        }
+        // disk_len on a truncated header is corruption, not a panic; with
+        // the header intact it still reports the full on-disk size.
+        for cut in 0..9 {
+            assert!(
+                matches!(Block::disk_len(&disk[..cut]), Err(Error::Corruption(_))),
+                "cut {cut}"
+            );
+        }
+        for cut in 9..=disk.len() {
+            assert_eq!(Block::disk_len(&disk[..cut]).unwrap(), disk.len(), "cut {cut}");
         }
         // Unknown codec byte.
         let mut bad = disk.clone();

@@ -24,6 +24,7 @@ pub struct BlockCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    bypasses: u64,
 }
 
 impl BlockCache {
@@ -36,6 +37,7 @@ impl BlockCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            bypasses: 0,
         }
     }
 
@@ -57,24 +59,30 @@ impl BlockCache {
     }
 
     /// Insert a block, evicting least-recently-used entries to fit.
+    ///
+    /// A block larger than the whole capacity is *bypassed* (served
+    /// uncached), never inserted: caching it would evict everything else
+    /// and still sit over budget forever, turning every later insert
+    /// into an eviction storm against an unevictable resident.
     pub fn insert(&mut self, id: BlockId, block: Arc<Block>) {
-        if self.capacity_bytes == 0 {
+        let bytes = block.mem_bytes();
+        if bytes > self.capacity_bytes {
+            self.bypasses += 1;
             return;
         }
-        let bytes = block.mem_bytes();
         self.clock += 1;
         if let Some((old, _)) = self.map.insert(id, (block, self.clock)) {
             self.used_bytes -= old.mem_bytes();
         }
         self.used_bytes += bytes;
-        // Evict least-recently-used entries until within budget. Linear
-        // scan per eviction is fine at the block counts we cache.
-        while self.used_bytes > self.capacity_bytes && self.map.len() > 1 {
+        // Evict least-recently-used entries until within budget. The loop
+        // terminates because the new block fits the budget on its own and
+        // carries the freshest stamp (so it is never the LRU victim while
+        // anything else remains). Linear scan per eviction is fine at the
+        // block counts we cache.
+        while self.used_bytes > self.capacity_bytes {
             let (&victim, _) =
                 self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).expect("non-empty cache");
-            if victim == id && self.map.len() == 1 {
-                break;
-            }
             let (old, _) = self.map.remove(&victim).unwrap();
             self.used_bytes -= old.mem_bytes();
         }
@@ -109,6 +117,12 @@ impl BlockCache {
         self.misses
     }
 
+    /// Inserts refused because the block exceeded the whole capacity
+    /// (served uncached instead of pinning the budget).
+    pub fn bypasses(&self) -> u64 {
+        self.bypasses
+    }
+
     /// Bytes of cached block payload currently held.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
@@ -138,12 +152,17 @@ pub struct ShardedBlockCache {
 }
 
 impl ShardedBlockCache {
-    /// Create a sharded cache; `capacity_bytes` is split evenly across the
-    /// shards.
+    /// Create a sharded cache; `capacity_bytes` is split across the
+    /// shards with the division remainder distributed one byte at a time
+    /// (plain `capacity / 16` would silently zero every shard for tiny
+    /// capacities and always drop up to 15 bytes of budget).
     pub fn new(capacity_bytes: usize) -> Self {
         let per_shard = capacity_bytes / CACHE_SHARDS;
+        let remainder = capacity_bytes % CACHE_SHARDS;
         ShardedBlockCache {
-            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(BlockCache::new(per_shard))).collect(),
+            shards: (0..CACHE_SHARDS)
+                .map(|i| Mutex::new(BlockCache::new(per_shard + usize::from(i < remainder))))
+                .collect(),
         }
     }
 
@@ -186,6 +205,11 @@ impl ShardedBlockCache {
     /// Misses across all shards.
     pub fn misses(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().unwrap().misses()).sum()
+    }
+
+    /// Oversized-insert bypasses across all shards.
+    pub fn bypasses(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap().bypasses()).sum()
     }
 
     /// Bytes of cached payload across all shards.
@@ -277,6 +301,79 @@ mod tests {
     }
 
     #[test]
+    fn oversized_block_is_bypassed_not_pinned() {
+        let one = make_block(0, 10).mem_bytes();
+        let capacity = one * 4;
+        let mut c = BlockCache::new(capacity);
+        // A block bigger than the whole budget must be refused outright —
+        // before the fix it was cached, could never be evicted, and kept
+        // `used_bytes` over budget forever.
+        let huge = make_block(99, 1000);
+        assert!(huge.mem_bytes() > capacity);
+        c.insert((9, 0), huge);
+        assert_eq!(c.len(), 0, "oversized block must not be cached");
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.bypasses(), 1);
+        assert!(c.get((9, 0)).is_none());
+        // Many small blocks behave normally around a repeated bypass:
+        // nothing thrashes and the budget holds.
+        for i in 0..4u32 {
+            c.insert((1, i), make_block(1, 10));
+        }
+        c.insert((9, 1), make_block(99, 1000));
+        assert_eq!(c.bypasses(), 2);
+        for i in 0..4u32 {
+            assert!(c.get((1, i)).is_some(), "small block {i} lost to a bypassed insert");
+        }
+        assert!(c.used_bytes() <= capacity, "{} > {capacity}", c.used_bytes());
+    }
+
+    proptest::proptest! {
+        /// The LRU budget invariant: `used_bytes <= capacity` after
+        /// *every* operation of any insert/get/remove/purge interleaving,
+        /// oversized inserts included (block sizes span well past any
+        /// sampled capacity). The script is derived from the sampled seed
+        /// with a local xorshift, the same idiom as the oracle tests.
+        #[test]
+        fn lru_budget_invariant_under_arbitrary_interleavings(
+            seed in 1u64..5000,
+            cap_units in 0usize..6,
+        ) {
+            let one = make_block(0, 10).mem_bytes();
+            // Deliberately misaligned capacity (never a block multiple).
+            let capacity = cap_units * one + cap_units * 7;
+            let mut c = BlockCache::new(capacity);
+            let mut x = seed;
+            let mut rng = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for step in 0..120 {
+                let id = (rng() % 4, (rng() % 8) as u32);
+                match rng() % 5 {
+                    // Entry counts 1..40: mem_bytes from far below to far
+                    // above every sampled capacity.
+                    0 | 1 => c.insert(id, make_block(id.0, 1 + rng() as usize % 40)),
+                    2 => {
+                        c.get(id);
+                    }
+                    3 => c.remove(id),
+                    _ => c.purge_sst(id.0),
+                }
+                proptest::prop_assert!(
+                    c.used_bytes() <= capacity,
+                    "budget violated at step {}: {} > {}",
+                    step,
+                    c.used_bytes(),
+                    capacity,
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sharded_cache_basic_ops() {
         let c = ShardedBlockCache::new(4 << 20);
         for i in 0..64u32 {
@@ -306,7 +403,7 @@ mod tests {
                         if c.get(id).is_none() {
                             c.insert(id, make_block(id.0, 5));
                         }
-                        if i % 97 == 0 {
+                        if i.is_multiple_of(97) {
                             c.purge_sst(t % 4);
                         }
                     }
@@ -315,5 +412,65 @@ mod tests {
         });
         // Budget respected after the storm.
         assert!(c.used_bytes() <= (1 << 20) + (1 << 16));
+    }
+
+    #[test]
+    fn sharded_capacity_distributes_the_division_remainder() {
+        let one = make_block(0, 3).mem_bytes();
+        // One shard's worth of budget plus a remainder smaller than the
+        // shard count: before the fix `capacity / 16` discarded the
+        // remainder, and anything under 16 bytes zeroed every shard.
+        let c = ShardedBlockCache::new(CACHE_SHARDS * one + 5);
+        let totals: usize = c.shards.iter().map(|s| s.lock().unwrap().capacity_bytes).sum();
+        assert_eq!(totals, CACHE_SHARDS * one + 5, "no capacity may be dropped");
+        // Every shard can hold the one-block working set it is offered.
+        for i in 0..64u32 {
+            c.insert((7, i), make_block(7, 3));
+        }
+        assert!(!c.is_empty(), "tiny remainders must not disable caching");
+    }
+
+    /// The undo path [`ShardedBlockCache::remove`] exists for: a reader's
+    /// insert racing a compaction retire+purge (see `DbInner::
+    /// cached_block`). The reader re-checks the retired flag after its
+    /// insert and removes; whichever side loses the race, no block of the
+    /// retired file may survive.
+    #[test]
+    fn insert_vs_purge_race_undoes_the_losing_insert() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let c = std::sync::Arc::new(ShardedBlockCache::new(1 << 20));
+        let retired = std::sync::Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                let retired = std::sync::Arc::clone(&retired);
+                s.spawn(move || {
+                    for i in 0..4000u32 {
+                        let id = (1u64, i % 32);
+                        // The cached_block protocol: insert only while
+                        // not retired, then double-check and undo.
+                        if !retired.load(Ordering::SeqCst) {
+                            c.insert(id, make_block(1, 5));
+                            if retired.load(Ordering::SeqCst) {
+                                c.remove(id);
+                            }
+                        }
+                        // Unrelated files keep churning throughout.
+                        c.insert((2, i % 16), make_block(2, 5));
+                    }
+                });
+            }
+            let c = std::sync::Arc::clone(&c);
+            let retired = std::sync::Arc::clone(&retired);
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                retired.store(true, Ordering::SeqCst);
+                c.purge_sst(1);
+            });
+        });
+        for i in 0..32u32 {
+            assert!(c.get((1, i)).is_none(), "zombie block {i} survived retire + purge");
+        }
+        assert!(c.get((2, 0)).is_some(), "unrelated file must keep its cache entries");
     }
 }

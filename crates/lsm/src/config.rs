@@ -176,6 +176,11 @@ impl DbConfig {
         if self.block_bytes == 0 {
             return bad("block_bytes must be > 0");
         }
+        if self.block_cache_bytes > 0 && self.block_cache_bytes < self.block_bytes {
+            // A cache that cannot hold even one data block degrades into
+            // silent all-bypass; demand an explicit 0 to turn caching off.
+            return bad("block_cache_bytes must be 0 (caching off) or >= block_bytes");
+        }
         if self.sst_target_bytes == 0 {
             return bad("sst_target_bytes must be > 0");
         }
@@ -443,6 +448,11 @@ mod tests {
             ("memtable", DbConfig::builder().memtable_bytes(0).build()),
             ("imms", DbConfig::builder().max_immutable_memtables(0).build()),
             ("block", DbConfig::builder().block_bytes(0).build()),
+            ("cache_lt_block", DbConfig::builder().block_cache_bytes(15).build()),
+            (
+                "cache_lt_block2",
+                DbConfig::builder().block_bytes(4096).block_cache_bytes(4095).build(),
+            ),
             ("sst", DbConfig::builder().sst_target_bytes(0).build()),
             ("l0", DbConfig::builder().l0_compaction_trigger(0).build()),
             ("base", DbConfig::builder().level_base_bytes(0).build()),
@@ -462,5 +472,13 @@ mod tests {
     #[test]
     fn default_configuration_is_valid() {
         assert!(DbConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_cache_capacity_stays_legal() {
+        // 0 is the explicit "caching off" spelling and must keep working.
+        assert!(DbConfig::builder().block_cache_bytes(0).build().is_ok());
+        // Exactly one block's worth is the smallest useful cache.
+        assert!(DbConfig::builder().block_bytes(4096).block_cache_bytes(4096).build().is_ok());
     }
 }

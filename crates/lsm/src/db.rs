@@ -934,8 +934,11 @@ impl DbInner {
             // apply order, and a failed append leaves the table untouched
             // (nothing unlogged is ever visible).
             let seq = self.wal.append_commit(&ops, &self.stats)?;
-            for (k, v) in ops {
-                mem.active.apply(k, v);
+            // Borrowed apply: the op buffers were only needed owned for
+            // the WAL encode; the arena MemTable copies from slices and
+            // allocates nothing per entry.
+            for (k, v) in &ops {
+                mem.active.apply_ref(k, v.as_deref());
             }
             let rotated = if mem.active.bytes() >= self.cfg.memtable_bytes() {
                 self.publish_rotation(&mut mem)?

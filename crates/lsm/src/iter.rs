@@ -23,6 +23,14 @@
 //! touches the files behind its first hit — and those files accumulate
 //! no false-positive evidence for a probe whose I/O was never paid.
 //!
+//! SST positions flow through the merge *zero-copy*: a heap item holds
+//! an `(Arc<Block>, index)` cursor and compares by the key slice
+//! borrowed from the decoded block. Bytes are materialized only for the
+//! entry actually yielded — shadowed duplicates and suppressed
+//! tombstones cost no allocation at all. When a single source survives
+//! admission the merge drops to a direct fast path: no heap reordering
+//! and no shadow-key bookkeeping (one source never yields duplicates).
+//!
 //! Shadowing: for equal keys the source with the lower rank (newer layer)
 //! wins; older duplicates are skipped. A winning tombstone suppresses the
 //! key entirely — the iterator yields *live* entries only, sorted and
@@ -37,35 +45,61 @@ use crate::block::Block;
 use crate::db::DbInner;
 use crate::error::{Error, Result};
 use crate::sst::{Entry, SstReader};
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// The payload of one heap entry. `Pending` marks an SST source whose
-/// first block has not been read yet (its heap key is a lower bound on
-/// whatever it will contribute); the other two are materialized entries.
-/// The derived order is irrelevant: two heap entries never share a
-/// `(key, rank)` pair.
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum HeapValue {
-    Pending,
-    Live(Vec<u8>),
-    Tombstone,
+/// One merge position: the source's rank (recency; lower = newer) plus
+/// where its current entry lives.
+struct HeapItem {
+    rank: usize,
+    pos: Pos,
 }
 
-impl From<Option<Vec<u8>>> for HeapValue {
-    fn from(v: Option<Vec<u8>>) -> HeapValue {
-        match v {
-            Some(v) => HeapValue::Live(v),
-            None => HeapValue::Tombstone,
+/// Where a heap item's entry lives. Only `Mem` owns its bytes (the
+/// MemTable snapshot already materialized them); an SST entry stays a
+/// borrowed position inside its decoded block until it is yielded.
+enum Pos {
+    /// A snapshotted MemTable entry.
+    Mem(Vec<u8>, Option<Vec<u8>>),
+    /// An SST source whose first block has not been read yet; the key is
+    /// a lower bound on whatever the file will contribute.
+    Pending(Vec<u8>),
+    /// A cursor into a decoded block held alive by its `Arc`.
+    Block(Arc<Block>, u32),
+}
+
+impl HeapItem {
+    fn key(&self) -> &[u8] {
+        match &self.pos {
+            Pos::Mem(k, _) => k,
+            Pos::Pending(k) => k,
+            Pos::Block(b, i) => b.key(*i as usize),
         }
     }
 }
 
-/// One merged entry in flight: `(key, source rank, payload)`. Min-heap
-/// via `Reverse`; for equal keys the lowest rank (newest layer) pops
-/// first.
-type HeapEntry = Reverse<(Vec<u8>, usize, HeapValue)>;
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    /// Inverted so `BinaryHeap` (a max-heap) pops the smallest
+    /// `(key, rank)` first: ascending keys, newest layer on ties.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(self.key()).then_with(|| other.rank.cmp(&self.rank))
+    }
+}
 
 /// An ordered iterator over the live entries in a closed key range; see
 /// the [module docs](self) and [`crate::Db::range`].
@@ -73,7 +107,7 @@ type HeapEntry = Reverse<(Vec<u8>, usize, HeapValue)>;
 /// Yields `Result<(key, value)>`: an I/O or corruption error ends the
 /// iteration after being reported once.
 pub struct RangeIter<'a> {
-    heap: BinaryHeap<HeapEntry>,
+    heap: BinaryHeap<HeapItem>,
     sources: Vec<Source<'a>>,
     /// Ranks below this are MemTable sources.
     n_mem: usize,
@@ -95,10 +129,11 @@ enum Source<'a> {
 }
 
 impl Source<'_> {
-    fn next_entry(&mut self) -> Result<Option<Entry>> {
+    /// The source's next entry as an un-materialized heap position.
+    fn next_pos(&mut self) -> Result<Option<Pos>> {
         match self {
-            Source::Mem(it) => Ok(it.next()),
-            Source::Sst(scan) => scan.next_entry(),
+            Source::Mem(it) => Ok(it.next().map(|(k, v)| Pos::Mem(k, v))),
+            Source::Sst(scan) => Ok(scan.next_pos()?.map(|(b, i)| Pos::Block(b, i))),
         }
     }
 }
@@ -120,7 +155,10 @@ struct BoundedScan<'a> {
 }
 
 impl BoundedScan<'_> {
-    fn next_entry(&mut self) -> Result<Option<Entry>> {
+    /// Advance to the next in-range entry and return its position
+    /// without copying any bytes. The returned `Arc` keeps the block
+    /// alive independently of the scan moving on to later blocks.
+    fn next_pos(&mut self) -> Result<Option<(Arc<Block>, u32)>> {
         loop {
             if self.block.is_none() {
                 if self.block_idx >= self.sst.n_blocks()
@@ -137,13 +175,12 @@ impl BoundedScan<'_> {
             }
             let block = self.block.as_ref().unwrap();
             if self.entry_idx < block.len() {
-                let (k, v) = block.entry(self.entry_idx);
-                if k > self.hi.as_slice() {
+                let i = self.entry_idx;
+                if block.key(i) > self.hi.as_slice() {
                     return Ok(None);
                 }
-                let out = (k.to_vec(), v.map(<[u8]>::to_vec));
                 self.entry_idx += 1;
-                return Ok(Some(out));
+                return Ok(Some((Arc::clone(block), i as u32)));
             }
             self.block = None;
             self.block_idx += 1;
@@ -188,7 +225,7 @@ impl<'a> RangeIter<'a> {
                 let rank = it.sources.len();
                 let mut src = entries.into_iter();
                 if let Some((k, v)) = src.next() {
-                    it.heap.push(Reverse((k, rank, v.into())));
+                    it.heap.push(HeapItem { rank, pos: Pos::Mem(k, v) });
                     it.sources.push(Source::Mem(src));
                 }
             }
@@ -228,7 +265,7 @@ impl<'a> RangeIter<'a> {
                 lo.clone()
             };
             let rank = it.sources.len();
-            it.heap.push(Reverse((est, rank, HeapValue::Pending)));
+            it.heap.push(HeapItem { rank, pos: Pos::Pending(est) });
             it.sources.push(Source::Sst(BoundedScan {
                 db,
                 sst: Arc::clone(&sst),
@@ -248,13 +285,13 @@ impl<'a> RangeIter<'a> {
     /// positive; an admitted file with nothing in range cost real I/O —
     /// a false positive (per-file evidence only for real filters).
     fn materialize(&mut self, rank: usize) -> Result<()> {
-        let head = self.sources[rank].next_entry()?;
+        let head = self.sources[rank].next_pos()?;
         let Source::Sst(scan) = &self.sources[rank] else { unreachable!("pending mem source") };
         let (db, real_filter) = (scan.db, scan.real_filter);
         match head {
-            Some((k, v)) => {
+            Some(pos) => {
                 db.stats.filter_true_positives.inc();
-                self.heap.push(Reverse((k, rank, v.into())));
+                self.heap.push(HeapItem { rank, pos });
             }
             None => {
                 db.stats.filter_false_positives.inc();
@@ -275,41 +312,68 @@ impl Iterator for RangeIter<'_> {
         if self.failed {
             return None;
         }
+        // With a single surviving source no key can ever repeat, so the
+        // shadow-key bookkeeping (and its per-key clone) is skipped
+        // entirely — the borrowing fast path for one-layer stores.
+        let single_source = self.sources.len() == 1;
         loop {
             if let Some(e) = self.deferred_error.take() {
                 self.failed = true;
                 return Some(Err(e));
             }
-            let Reverse((key, rank, hv)) = self.heap.pop()?;
-            let value = match hv {
-                HeapValue::Pending => {
-                    // First touch of this SST: read its head. No entry has
-                    // been determined yet, so an error surfaces directly.
-                    if let Err(e) = self.materialize(rank) {
-                        self.failed = true;
-                        return Some(Err(e));
-                    }
-                    continue;
+            let HeapItem { rank, pos } = self.heap.pop()?;
+            if let Pos::Pending(_) = pos {
+                // First touch of this SST: read its head. No entry has
+                // been determined yet, so an error surfaces directly.
+                if let Err(e) = self.materialize(rank) {
+                    self.failed = true;
+                    return Some(Err(e));
                 }
-                HeapValue::Live(v) => Some(v),
-                HeapValue::Tombstone => None,
-            };
+                continue;
+            }
             // Refill the heap from the source that just advanced. A
             // failure here must not discard the entry we already hold:
             // defer it and let this iteration finish first.
-            match self.sources[rank].next_entry() {
-                Ok(Some((k, v))) => self.heap.push(Reverse((k, rank, v.into()))),
+            match self.sources[rank].next_pos() {
+                Ok(Some(pos)) => self.heap.push(HeapItem { rank, pos }),
                 Ok(None) => {}
                 Err(e) => self.deferred_error = Some(e),
             }
             // Shadowing: a key equal to the last one handled is an older
-            // version (the newest popped first by rank).
-            if self.last_key.as_deref() == Some(key.as_slice()) {
-                continue;
+            // version (the newest popped first by rank). Nothing is
+            // copied for a shadowed or tombstone position.
+            if !single_source {
+                let key = match &pos {
+                    Pos::Mem(k, _) => k.as_slice(),
+                    Pos::Block(b, i) => b.key(*i as usize),
+                    Pos::Pending(_) => unreachable!("handled above"),
+                };
+                if self.last_key.as_deref() == Some(key) {
+                    continue;
+                }
+                match &mut self.last_key {
+                    // Reuse the allocation when the buffer fits.
+                    Some(buf) => {
+                        buf.clear();
+                        buf.extend_from_slice(key);
+                    }
+                    none => *none = Some(key.to_vec()),
+                }
             }
-            self.last_key = Some(key.clone());
-            // The newest record for this key is a tombstone: suppressed.
-            let Some(value) = value else { continue };
+            // Materialize only what is actually yielded: a suppressed
+            // tombstone costs nothing.
+            let (key, value) = match pos {
+                Pos::Mem(k, Some(v)) => (k, v),
+                Pos::Mem(_, None) => continue,
+                Pos::Block(b, i) => {
+                    let i = i as usize;
+                    if b.is_tombstone(i) {
+                        continue;
+                    }
+                    (b.key(i).to_vec(), b.value(i).to_vec())
+                }
+                Pos::Pending(_) => unreachable!("handled above"),
+            };
             if !self.yielded_any {
                 self.yielded_any = true;
                 self.first_from_memtable = rank < self.n_mem;

@@ -46,7 +46,7 @@ impl BitVec {
         self.len += 1;
     }
 
-    /// Append `n` copies of `bit`.
+    /// Append `n` copies of `bit`, whole words at a time.
     pub fn push_n(&mut self, bit: bool, n: usize) {
         // Cheap path for zeros: just extend the length.
         if !bit {
@@ -54,9 +54,24 @@ impl BitVec {
             self.words.resize(self.len.div_ceil(64), 0);
             return;
         }
-        for _ in 0..n {
-            self.push(true);
+        // Ones: fill the partial head word with one mask, then whole
+        // words, then the partial tail — no per-bit loop.
+        let end = self.len + n;
+        self.words.resize(end.div_ceil(64), 0);
+        let mut start = self.len;
+        if !start.is_multiple_of(64) {
+            let take = (64 - start % 64).min(end - start); // 1..=63
+            self.words[start / 64] |= ((1u64 << take) - 1) << (start % 64);
+            start += take;
         }
+        while start + 64 <= end {
+            self.words[start / 64] = u64::MAX;
+            start += 64;
+        }
+        if start < end {
+            self.words[start / 64] |= (1u64 << (end - start)) - 1;
+        }
+        self.len = end;
     }
 
     /// Read bit `i`. Panics if out of range in debug builds.
@@ -209,6 +224,33 @@ mod tests {
         let mut bv = BitVec::new();
         bv.push_n(true, 70);
         assert_eq!(bv.count_ones(), 70);
+    }
+
+    #[test]
+    fn push_n_matches_per_bit_pushes_at_any_alignment() {
+        // The word-at-a-time fill must agree with bit-by-bit pushes for
+        // every head offset and assorted run lengths.
+        for lead in 0..67 {
+            for run in [0usize, 1, 5, 63, 64, 65, 128, 200] {
+                let mut fast = BitVec::new();
+                let mut slow = BitVec::new();
+                for i in 0..lead {
+                    fast.push(i % 3 == 0);
+                    slow.push(i % 3 == 0);
+                }
+                fast.push_n(true, run);
+                for _ in 0..run {
+                    slow.push(true);
+                }
+                fast.push(false);
+                slow.push(false);
+                fast.push_n(true, 3);
+                for _ in 0..3 {
+                    slow.push(true);
+                }
+                assert_eq!(fast, slow, "lead={lead} run={run}");
+            }
+        }
     }
 
     #[test]

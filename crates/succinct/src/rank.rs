@@ -47,10 +47,20 @@ impl RankedBits {
         let words = self.bits.words();
         let first_word = block * WORDS_PER_BLOCK;
         let last_word = i / 64;
+        let rem = i % 64;
+        // One-word fast path: `i` lands in the block's first word, so the
+        // answer is the directory entry plus a single masked popcount —
+        // no word loop. This is the common case for the dense LOUDS
+        // vectors (rank targets cluster near the directory boundaries).
+        if last_word == first_word {
+            if rem != 0 && last_word < words.len() {
+                r += (words[last_word] & ((1u64 << rem) - 1)).count_ones() as usize;
+            }
+            return r;
+        }
         for word in &words[first_word..last_word] {
             r += word.count_ones() as usize;
         }
-        let rem = i % 64;
         if rem != 0 && last_word < words.len() {
             r += (words[last_word] & ((1u64 << rem) - 1)).count_ones() as usize;
         }

@@ -38,11 +38,15 @@ impl SelectIndex {
     /// Position of the k-th set bit (0-indexed). Panics if `k >= ones` in
     /// debug builds; returns garbage in release like any out-of-contract
     /// index.
+    #[inline]
     pub fn select1(&self, rb: &RankedBits, k: usize) -> usize {
         debug_assert!(k < rb.count_ones(), "select1({k}) of {} ones", rb.count_ones());
         let blocks = rb.blocks();
+        // Walk the cumulative directory from the sampled block: the k-th
+        // one lives in the last block whose count is <= k. For the dense
+        // vectors this crate builds the walk is a step or two — a linear
+        // scan with predictable branches beats a binary search here.
         let mut block = self.samples[k / SAMPLE_EVERY] as usize;
-        // Advance to the block containing the k-th one.
         while block + 1 < blocks.len() && blocks[block + 1] <= k as u64 {
             block += 1;
         }
@@ -67,27 +71,38 @@ impl SelectIndex {
 
 /// Position of the r-th set bit (0-indexed) within a word that has more
 /// than `r` ones.
+///
+/// Broadword (SWAR) implementation after Vigna, "Broadword
+/// implementation of rank/select queries": one multiply turns per-byte
+/// popcounts into inclusive prefix sums, a masked compare-subtract finds
+/// the target byte without a loop, and only the final in-byte scan
+/// iterates (at most seven `b &= b - 1` steps).
 #[inline]
-fn select_in_word(mut word: u64, mut r: u32) -> u32 {
-    // Byte-wise skip, then bit scan within the byte.
-    let mut base = 0u32;
-    loop {
-        let byte_ones = (word & 0xFF).count_ones();
-        if r < byte_ones {
-            let mut b = (word & 0xFF) as u8;
-            loop {
-                let tz = b.trailing_zeros();
-                if r == 0 {
-                    return base + tz;
-                }
-                b &= b - 1;
-                r -= 1;
-            }
-        }
-        r -= byte_ones;
-        word >>= 8;
-        base += 8;
+fn select_in_word(word: u64, r: u32) -> u32 {
+    const L8: u64 = 0x0101_0101_0101_0101;
+    const H8: u64 = 0x8080_8080_8080_8080;
+    // Per-byte popcounts (classic SWAR reduction) ...
+    let mut s = word - ((word >> 1) & 0x5555_5555_5555_5555);
+    s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+    s = (s + (s >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    // ... promoted to inclusive prefix sums: lane j = ones in bytes 0..=j.
+    let prefix = s.wrapping_mul(L8);
+    // Lane j's high bit is set iff prefix[j] <= r. All lane values are
+    // <= 64 and r <= 63, so `(r|0x80) - prefix` never borrows across
+    // lanes. The count of such lanes is the index of the first byte whose
+    // inclusive prefix exceeds r — the byte holding the answer.
+    let r64 = r as u64;
+    let le = ((r64.wrapping_mul(L8) | H8) - prefix) & H8;
+    let byte = ((le >> 7).wrapping_mul(L8) >> 56) as u32;
+    // Ones in the bytes *before* the target byte (exclusive prefix).
+    let before = ((prefix << 8) >> (byte * 8)) as u32 & 0xFF;
+    let mut b = (word >> (byte * 8)) as u8;
+    let mut rem = r - before;
+    while rem > 0 {
+        b &= b - 1;
+        rem -= 1;
     }
+    byte * 8 + b.trailing_zeros()
 }
 
 #[cfg(test)]

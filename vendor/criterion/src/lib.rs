@@ -15,11 +15,40 @@
 //! with a `--bench` argument (the same contract real criterion relies on).
 //! Run any other way — e.g. a `harness = false` bench target executed by
 //! `cargo test` — each closure runs exactly once as an instant smoke test.
+//!
+//! One extension over the upstream API: every completed benchmark is
+//! recorded in a process-wide registry and can be drained with
+//! [`take_results`]. `harness = false` bench targets use this to write
+//! machine-readable `BENCH_*.json` trajectories next to the human
+//! console output (upstream criterion would offer `--save-baseline`;
+//! offline we persist the numbers ourselves).
 
 // Vendored offline stand-in: kept byte-faithful to the subset of the real
 // crate's API the workspace uses; exempt from the workspace lint bar.
 #![allow(clippy::all)]
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark, as recorded by the process-wide registry.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration (0.0 in smoke mode).
+    pub mean_ns: f64,
+    /// Iterations measured (1 in smoke mode).
+    pub iters: u64,
+    /// False when the closure ran once as a smoke test (no `--bench`).
+    pub measured: bool,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drain every benchmark result recorded so far (offline extension; see
+/// the module docs).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
 
 /// Top-level harness handle; collects configuration shared by all groups.
 pub struct Criterion {
@@ -224,6 +253,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
         iters: 0,
     };
     f(&mut bencher);
+    RESULTS.lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        mean_ns: bencher.mean_ns,
+        iters: bencher.iters,
+        measured: !test_mode,
+    });
     if test_mode {
         println!("test {name} ... ok (bench smoke)");
     } else {
