@@ -1,0 +1,233 @@
+//! YCSB-style scenario suite over the embedded LSM store.
+//!
+//! Runs the six YCSB core mixes A–F (`proteus_workloads::ycsb`) against a
+//! fresh [`proteus_lsm::Db`] per cell, crossing each mix's canonical
+//! request distribution with both key spaces:
+//!
+//! * **u64** — dense 8-byte big-endian record ids (YCSB's `user<seq>`);
+//! * **url** — distinct variable-length synthetic URLs, the end-to-end
+//!   exercise of the store's variable-length key path (memtable → WAL →
+//!   SST prefix compression → filters).
+//!
+//! On top of the per-mix cells, mix C (100% read) is re-run under the
+//! `latest` and `hotspot` distributions so all three request
+//! distributions appear in the output for a fixed op mix.
+//!
+//! Every cell doubles as a correctness gate: reads and read-modify-writes
+//! only target records the generator has loaded or inserted, so a single
+//! missing read is a store bug (a false negative through the filter /
+//! merge path) and the run asserts none occur. Scans start at a live key
+//! and must return at least that key.
+//!
+//! Reports load and run throughput per cell and writes `BENCH_ycsb.json`.
+//! `--smoke` shrinks the record and op counts for the CI gate: it must
+//! finish in seconds, see zero missing reads, and print `SMOKE OK`.
+
+use proteus_bench::cli::Args;
+use proteus_bench::report::Table;
+use proteus_lsm::{Db, DbConfig, ProteusFactory, SyncMode};
+use proteus_workloads::ycsb::{Distribution, KeySpace, Mix, Ycsb, YcsbOp};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Outcome counters for one scenario cell.
+#[derive(Default)]
+struct CellStats {
+    reads: usize,
+    updates: usize,
+    inserts: usize,
+    scans: usize,
+    rmws: usize,
+    scanned_rows: usize,
+    missing_reads: usize,
+    empty_scans: usize,
+}
+
+fn main() {
+    let args = Args::parse(20_000, 60_000, 0);
+    let smoke = args.get("smoke").is_some();
+    let (records, ops) =
+        if smoke { (1_500u64, 4_000usize) } else { (args.keys as u64, args.queries) };
+    let value_len = args.get_usize("value-len", 64);
+
+    let mut t = Table::new(
+        &format!("YCSB suite: {records} records, {ops} ops per cell, {value_len}B values"),
+        &[
+            "space",
+            "mix",
+            "dist",
+            "load_kops_s",
+            "run_kops_s",
+            "reads",
+            "updates",
+            "inserts",
+            "scans",
+            "rmws",
+            "scan_rows",
+            "missing",
+        ],
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    // The six core mixes under their canonical distributions, then the
+    // read-only mix under the remaining distributions so every
+    // distribution appears for a fixed op mix.
+    let mut cells: Vec<(Mix, Distribution)> =
+        Mix::ALL.iter().map(|&m| (m, m.default_distribution())).collect();
+    cells.push((Mix::C, Distribution::Latest));
+    cells.push((Mix::C, Distribution::Hotspot));
+
+    let base = std::env::temp_dir().join(format!("proteus-ycsb-{}", std::process::id()));
+    for space in [KeySpace::U64, KeySpace::Url] {
+        for &(mix, dist) in &cells {
+            let dir = base.join(format!("{}-{}-{}", space.name(), mix.name(), dist.name()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = DbConfig::builder()
+                .sync_mode(SyncMode::Off) // throughput cell, not a durability test
+                .build()
+                .expect("config");
+            let db = Db::open(&dir, cfg, Arc::new(ProteusFactory::default())).expect("open db");
+            let mut g = Ycsb::new(mix, dist, space, records, value_len, args.seed);
+
+            let t0 = Instant::now();
+            for (k, v) in g.load() {
+                db.put(&k, &v).expect("load put");
+            }
+            db.flush_and_settle().expect("settle after load");
+            let load_secs = t0.elapsed().as_secs_f64();
+
+            let t1 = Instant::now();
+            let stats = run_cell(&db, &mut g, ops);
+            let run_secs = t1.elapsed().as_secs_f64();
+
+            assert_eq!(
+                stats.missing_reads,
+                0,
+                "{}/{}/{}: {} reads of live records returned nothing — \
+                 false negative in the store",
+                space.name(),
+                mix.name(),
+                dist.name(),
+                stats.missing_reads
+            );
+            assert_eq!(
+                stats.empty_scans,
+                0,
+                "{}/{}/{}: {} scans starting at a live key returned no rows",
+                space.name(),
+                mix.name(),
+                dist.name(),
+                stats.empty_scans
+            );
+
+            let load_kops = records as f64 / load_secs / 1e3;
+            let run_kops = ops as f64 / run_secs / 1e3;
+            println!(
+                "{:<4} mix {} {:<8} load {:>8.1} kops/s  run {:>8.1} kops/s  \
+                 r/u/i/s/rmw {}/{}/{}/{}/{}",
+                space.name(),
+                mix.name(),
+                dist.name(),
+                load_kops,
+                run_kops,
+                stats.reads,
+                stats.updates,
+                stats.inserts,
+                stats.scans,
+                stats.rmws
+            );
+            t.row(vec![
+                space.name().to_string(),
+                mix.name().to_string(),
+                dist.name().to_string(),
+                format!("{load_kops:.1}"),
+                format!("{run_kops:.1}"),
+                stats.reads.to_string(),
+                stats.updates.to_string(),
+                stats.inserts.to_string(),
+                stats.scans.to_string(),
+                stats.rmws.to_string(),
+                stats.scanned_rows.to_string(),
+                stats.missing_reads.to_string(),
+            ]);
+            json_rows.push(format!(
+                "    {{\"space\": \"{}\", \"mix\": \"{}\", \"dist\": \"{}\", \
+                 \"load_kops_s\": {load_kops:.1}, \"run_kops_s\": {run_kops:.1}, \
+                 \"reads\": {}, \"updates\": {}, \"inserts\": {}, \"scans\": {}, \
+                 \"rmws\": {}, \"scan_rows\": {}, \"missing\": {}}}",
+                space.name(),
+                mix.name(),
+                dist.name(),
+                stats.reads,
+                stats.updates,
+                stats.inserts,
+                stats.scans,
+                stats.rmws,
+                stats.scanned_rows,
+                stats.missing_reads
+            ));
+
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    t.finish(args.out.as_deref(), "fig_ycsb");
+    if !smoke {
+        let json = format!(
+            "{{\n  \"bench\": \"fig_ycsb\",\n  \"records\": {records},\n  \"ops\": {ops},\n  \
+             \"value_len\": {value_len},\n  \"nproc\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            json_rows.join(",\n")
+        );
+        std::fs::write("BENCH_ycsb.json", &json).expect("write BENCH_ycsb.json");
+        println!("wrote BENCH_ycsb.json");
+    } else {
+        println!("SMOKE OK");
+    }
+}
+
+/// Execute `ops` generated operations against the store, counting
+/// outcomes. Reads target only live records, so a miss is a bug.
+fn run_cell(db: &Db, g: &mut Ycsb, ops: usize) -> CellStats {
+    let mut s = CellStats::default();
+    for _ in 0..ops {
+        match g.next_op() {
+            YcsbOp::Read(k) => {
+                s.reads += 1;
+                if db.get(&k).expect("get").is_none() {
+                    s.missing_reads += 1;
+                }
+            }
+            YcsbOp::Update(k, v) => {
+                s.updates += 1;
+                db.put(&k, &v).expect("update put");
+            }
+            YcsbOp::Insert(k, v) => {
+                s.inserts += 1;
+                db.put(&k, &v).expect("insert put");
+            }
+            YcsbOp::Scan(lo, limit) => {
+                s.scans += 1;
+                let mut n = 0usize;
+                for e in db.range::<&[u8], _>(lo.as_slice()..).expect("range").take(limit) {
+                    e.expect("range entry");
+                    n += 1;
+                }
+                s.scanned_rows += n;
+                if n == 0 {
+                    s.empty_scans += 1;
+                }
+            }
+            YcsbOp::ReadModifyWrite(k, v) => {
+                s.rmws += 1;
+                if db.get(&k).expect("rmw get").is_none() {
+                    s.missing_reads += 1;
+                }
+                db.put(&k, &v).expect("rmw put");
+            }
+        }
+    }
+    s
+}

@@ -90,7 +90,13 @@ impl Args {
                  \x20              (default 60% of the measured closed-loop QPS)\n\
                  --sync MODE       fig_server: WAL sync mode always|interval|off\n\
                  \x20              (default interval = 2ms group commit)\n\
-                 --smoke           fig_server: tiny CI run; asserts nonzero QPS\n\
+                 --smoke           fig_server/fig_ycsb: tiny CI run with built-in\n\
+                 \x20              correctness asserts\n\
+                 \n\
+                 fig_ycsb runs the YCSB core mixes A-F over zipfian/latest/hotspot\n\
+                 request distributions and u64/url key spaces against the embedded\n\
+                 store (--keys records, --queries ops per cell, --value-len bytes);\n\
+                 emits BENCH_ycsb.json.\n\
                  \n\
                  Criterion micro-benches (separate from these binaries; run via\n\
                  `cargo bench -p proteus-bench --bench <name>`):\n\

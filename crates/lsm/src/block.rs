@@ -1,19 +1,31 @@
 //! Data block format.
 //!
-//! A block holds a run of entries with fixed-width keys. Two entry
-//! layouts exist, selected by the containing SST file's format version
-//! (the block itself carries no version byte):
+//! A block holds a run of sorted entries. Three entry layouts exist,
+//! selected by the containing SST file's format version (the block
+//! itself carries no version byte):
 //!
 //! ```text
-//! v1 (PRSSTv1, read-only): [u32 n] ([key][u32 value_len][value])*
-//! v2 (PRSSTv2):            [u32 n] ([key][u8 flags][u32 value_len][value])*
+//! v1 (PRSSTv1, read-only): [u32 n] ([key(w)][u32 value_len][value])*
+//! v2 (PRSSTv2, read-only): [u32 n] ([key(w)][u8 flags][u32 value_len][value])*
+//! v3 (PRSSTv3):            [u32 n] ([u16 shared][u16 non_shared][u8 flags]
+//!                                   [u32 value_len][key_suffix][value])*
 //! ```
 //!
-//! The v2 `flags` byte currently defines bit 0: `1` marks the entry as a
-//! *tombstone* (a persisted delete; it must carry a zero-length value).
-//! All other bits are reserved and must be zero — a nonzero reserved bit
-//! or a tombstone with a value is reported as corruption, never decoded
-//! loosely.
+//! v1/v2 keys are fixed-width (`w` comes from the SST footer). v3 keys
+//! are variable-length with restart-point prefix compression: an entry
+//! records how many leading bytes it shares with the previous key
+//! (`shared`) and stores only the remaining `non_shared` suffix. Every
+//! [`RESTART_INTERVAL`]-th entry is a *restart point* and must encode
+//! `shared = 0` (a full key), bounding how far a corrupt prefix chain
+//! can propagate. The decoder materializes every full key eagerly, so
+//! lookups binary-search exactly as they do for fixed-width layouts.
+//!
+//! The `flags` byte (v2 and v3) currently defines bit 0: `1` marks the
+//! entry as a *tombstone* (a persisted delete; it must carry a
+//! zero-length value). All other bits are reserved and must be zero — a
+//! nonzero reserved bit, a tombstone with a value, a zero-length v3 key,
+//! a `shared` run longer than the previous key, or out-of-order keys are
+//! reported as corruption, never decoded loosely.
 //!
 //! On disk a block is prefixed by `[u8 codec][u32 raw_len][u32 stored_len]`
 //! where codec 0 = raw, 1 = zero-RLE ([`crate::compress`]). Decoding
@@ -22,11 +34,16 @@
 use crate::compress;
 use crate::error::{Error, Result};
 
-/// v2 entry flag bit marking a tombstone.
+/// Entry flag bit marking a tombstone (v2 and v3 layouts).
 pub const FLAG_TOMBSTONE: u8 = 1;
 
-/// Builder for one data block (always the v2 entry layout; v1 is only
-/// ever read, never written).
+/// Every this-many v3 entries, the builder emits a full key
+/// (`shared = 0`) and the decoder enforces it.
+pub const RESTART_INTERVAL: usize = 16;
+
+/// Builder for one fixed-width data block (the v2 entry layout; v1 is
+/// only ever read, never written). Kept for the v2 golden fixtures and
+/// tests — production writes go through [`VarBlockBuilder`].
 #[derive(Debug)]
 pub struct BlockBuilder {
     width: usize,
@@ -79,64 +96,170 @@ impl BlockBuilder {
     pub fn finish(mut self) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
         assert!(self.n > 0, "empty block");
         self.buf[..4].copy_from_slice(&self.n.to_le_bytes());
-        let raw_len = self.buf.len() as u32;
-        let (codec, payload) = match compress::compress(&self.buf) {
-            Some(c) => (1u8, c),
-            None => (0u8, self.buf),
-        };
-        let mut disk = Vec::with_capacity(payload.len() + 9);
-        disk.push(codec);
-        disk.extend_from_slice(&raw_len.to_le_bytes());
-        disk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        disk.extend_from_slice(&payload);
-        (disk, self.first_key.unwrap(), self.last_key.unwrap())
+        (to_disk(self.buf), self.first_key.unwrap(), self.last_key.unwrap())
     }
+}
+
+/// Builder for one v3 data block: variable-length keys with
+/// restart-point prefix compression.
+#[derive(Debug)]
+pub struct VarBlockBuilder {
+    buf: Vec<u8>,
+    n: u32,
+    first_key: Option<Vec<u8>>,
+    last_key: Vec<u8>,
+}
+
+impl Default for VarBlockBuilder {
+    fn default() -> Self {
+        VarBlockBuilder::new()
+    }
+}
+
+impl VarBlockBuilder {
+    /// Start an empty v3 block.
+    pub fn new() -> Self {
+        VarBlockBuilder { buf: vec![0u8; 4], n: 0, first_key: None, last_key: Vec::new() }
+    }
+
+    /// Append an entry. Keys must be non-empty and strictly ascending;
+    /// the builder does not re-sort. `Some` is a live value, `None` a
+    /// tombstone.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        debug_assert!(!key.is_empty(), "v3 keys are non-empty");
+        debug_assert!(
+            self.first_key.is_none() || self.last_key.as_slice() < key,
+            "keys must be strictly ascending"
+        );
+        let shared = if (self.n as usize).is_multiple_of(RESTART_INTERVAL) {
+            0
+        } else {
+            self.last_key.iter().zip(key).take_while(|(a, b)| a == b).count()
+        };
+        let non_shared = key.len() - shared;
+        self.buf.extend_from_slice(&(shared as u16).to_le_bytes());
+        self.buf.extend_from_slice(&(non_shared as u16).to_le_bytes());
+        match value {
+            Some(v) => {
+                self.buf.push(0);
+                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(&key[shared..]);
+                self.buf.extend_from_slice(v);
+            }
+            None => {
+                self.buf.push(FLAG_TOMBSTONE);
+                self.buf.extend_from_slice(&0u32.to_le_bytes());
+                self.buf.extend_from_slice(&key[shared..]);
+            }
+        }
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.n += 1;
+    }
+
+    /// True before the first entry is added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current uncompressed payload size.
+    pub fn raw_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finish the block: returns `(disk bytes, first_key, last_key)`.
+    pub fn finish(mut self) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        assert!(self.n > 0, "empty block");
+        self.buf[..4].copy_from_slice(&self.n.to_le_bytes());
+        (to_disk(self.buf), self.first_key.unwrap(), self.last_key)
+    }
+}
+
+/// Wrap a finished raw payload in the on-disk codec header, compressing
+/// when it pays.
+fn to_disk(raw: Vec<u8>) -> Vec<u8> {
+    let raw_len = raw.len() as u32;
+    let (codec, payload) = match compress::compress(&raw) {
+        Some(c) => (1u8, c),
+        None => (0u8, raw),
+    };
+    let mut disk = Vec::with_capacity(payload.len() + 9);
+    disk.push(codec);
+    disk.extend_from_slice(&raw_len.to_le_bytes());
+    disk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    disk.extend_from_slice(&payload);
+    disk
+}
+
+/// One materialized v3 entry: spans into `Block::keybuf` / `Block::data`.
+#[derive(Debug, Clone, Copy)]
+struct VarEntry {
+    key_off: u32,
+    key_len: u32,
+    val_off: u32,
+    val_len: u32,
+    tombstone: bool,
+}
+
+/// Which entry layout a decoded block uses, plus its lookup structures.
+#[derive(Debug, Clone)]
+enum Layout {
+    /// v1/v2: fixed-width keys at computed offsets into `data`.
+    Fixed { width: usize, has_flags: bool, offsets: Vec<u32> },
+    /// v3: variable-length keys, materialized into `keybuf`.
+    Var { keybuf: Vec<u8>, entries: Vec<VarEntry> },
 }
 
 /// A decoded, searchable block.
 #[derive(Debug, Clone)]
 pub struct Block {
-    width: usize,
-    /// `true` for the v2 entry layout (per-entry flag byte).
-    has_flags: bool,
     /// Decoded payload.
     data: Vec<u8>,
-    /// Byte offset of each entry.
-    offsets: Vec<u32>,
+    layout: Layout,
 }
 
 fn corrupt(what: &str) -> Error {
     Error::corruption(format!("data block: {what}"))
 }
 
-impl Block {
-    /// Decode from disk bytes (including the codec header). `has_flags`
-    /// selects the entry layout: `true` for SST format v2, `false` for
-    /// the flag-less v1 layout. Malformed bytes — truncation, an unknown
-    /// codec, a reserved flag bit, a tombstone carrying a value, or any
-    /// length that escapes the buffer — yield [`Error::Corruption`].
-    pub fn decode(disk: &[u8], width: usize, has_flags: bool) -> Result<Block> {
-        if disk.len() < 9 {
-            return Err(corrupt("shorter than its header"));
-        }
-        let codec = disk[0];
-        let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
-        let stored_len = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
-        if disk.len() < 9 + stored_len {
-            return Err(corrupt("stored length overruns the block"));
-        }
-        let payload = &disk[9..9 + stored_len];
-        let data = match codec {
-            0 => {
-                if stored_len != raw_len {
-                    return Err(corrupt("raw block with stored_len != raw_len"));
-                }
-                payload.to_vec()
+/// Strip and validate the codec header, returning the decompressed
+/// payload.
+fn decode_disk(disk: &[u8]) -> Result<Vec<u8>> {
+    if disk.len() < 9 {
+        return Err(corrupt("shorter than its header"));
+    }
+    let codec = disk[0];
+    let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
+    let stored_len = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
+    if disk.len() < 9 + stored_len {
+        return Err(corrupt("stored length overruns the block"));
+    }
+    let payload = &disk[9..9 + stored_len];
+    match codec {
+        0 => {
+            if stored_len != raw_len {
+                return Err(corrupt("raw block with stored_len != raw_len"));
             }
-            1 => compress::decompress(payload, raw_len)
-                .ok_or_else(|| corrupt("corrupt compressed payload"))?,
-            c => return Err(corrupt(&format!("unknown codec {c}"))),
-        };
+            Ok(payload.to_vec())
+        }
+        1 => compress::decompress(payload, raw_len)
+            .ok_or_else(|| corrupt("corrupt compressed payload")),
+        c => Err(corrupt(&format!("unknown codec {c}"))),
+    }
+}
+
+impl Block {
+    /// Decode a fixed-width (v1/v2) block from disk bytes (including the
+    /// codec header). `has_flags` selects the entry layout: `true` for
+    /// SST format v2, `false` for the flag-less v1 layout. Malformed
+    /// bytes — truncation, an unknown codec, a reserved flag bit, a
+    /// tombstone carrying a value, or any length that escapes the buffer
+    /// — yield [`Error::Corruption`].
+    pub fn decode(disk: &[u8], width: usize, has_flags: bool) -> Result<Block> {
+        let data = decode_disk(disk)?;
         if data.len() < 4 {
             return Err(corrupt("missing entry count"));
         }
@@ -171,7 +294,80 @@ impl Block {
         if pos != data.len() {
             return Err(corrupt("trailing bytes after the last entry"));
         }
-        Ok(Block { width, has_flags, data, offsets })
+        Ok(Block { data, layout: Layout::Fixed { width, has_flags, offsets } })
+    }
+
+    /// Decode a v3 (variable-length key) block from disk bytes. Every
+    /// full key is materialized eagerly by resolving the prefix chain;
+    /// a `shared` run longer than the previous key, a non-restart chain
+    /// crossing a restart point, a zero-length key, out-of-order keys,
+    /// reserved flag bits, a tombstone with a value, or any overrun
+    /// yield [`Error::Corruption`] — never a panic.
+    pub fn decode_v3(disk: &[u8]) -> Result<Block> {
+        let data = decode_disk(disk)?;
+        if data.len() < 4 {
+            return Err(corrupt("missing entry count"));
+        }
+        let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let mut keybuf: Vec<u8> = Vec::new();
+        let mut entries = Vec::with_capacity(n.min(data.len()));
+        let mut pos = 4usize;
+        let mut prev_off = 0usize;
+        let mut prev_len = 0usize;
+        for i in 0..n {
+            if pos + 9 > data.len() {
+                return Err(corrupt("entry header overruns the block"));
+            }
+            let shared = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
+            let non_shared =
+                u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+            let flags = data[pos + 4];
+            if flags & !FLAG_TOMBSTONE != 0 {
+                return Err(corrupt(&format!("reserved entry flag bits set ({flags:#04x})")));
+            }
+            let tombstone = flags & FLAG_TOMBSTONE != 0;
+            let vlen = u32::from_le_bytes(data[pos + 5..pos + 9].try_into().unwrap()) as usize;
+            if tombstone && vlen != 0 {
+                return Err(corrupt("tombstone entry carries a value"));
+            }
+            if i.is_multiple_of(RESTART_INTERVAL) && shared != 0 {
+                return Err(corrupt("restart point shares a prefix"));
+            }
+            if shared > prev_len {
+                return Err(corrupt("shared prefix longer than the previous key"));
+            }
+            if shared + non_shared == 0 {
+                return Err(corrupt("zero-length key"));
+            }
+            pos += 9;
+            if pos + non_shared + vlen > data.len() {
+                return Err(corrupt("entry overruns the block"));
+            }
+            let key_off = keybuf.len();
+            keybuf.extend_from_within(prev_off..prev_off + shared);
+            keybuf.extend_from_slice(&data[pos..pos + non_shared]);
+            if i > 0 {
+                let (older, this) = keybuf.split_at(key_off);
+                if &older[prev_off..prev_off + prev_len] >= this {
+                    return Err(corrupt("keys out of order"));
+                }
+            }
+            let val_off = pos + non_shared;
+            entries.push(VarEntry {
+                key_off: key_off as u32,
+                key_len: (shared + non_shared) as u32,
+                val_off: val_off as u32,
+                val_len: vlen as u32,
+                tombstone,
+            });
+            pos = val_off + vlen;
+            prev_off = key_off;
+            prev_len = shared + non_shared;
+        }
+        if pos != data.len() {
+            return Err(corrupt("trailing bytes after the last entry"));
+        }
+        Ok(Block { data, layout: Layout::Var { keybuf, entries } })
     }
 
     /// On-disk size of the block starting at `disk` (header + payload).
@@ -188,37 +384,61 @@ impl Block {
 
     /// Number of entries in the block.
     pub fn len(&self) -> usize {
-        self.offsets.len()
+        match &self.layout {
+            Layout::Fixed { offsets, .. } => offsets.len(),
+            Layout::Var { entries, .. } => entries.len(),
+        }
     }
 
-    /// True for a block with no entries (never written by the builder).
+    /// True for a block with no entries (never written by the builders).
     pub fn is_empty(&self) -> bool {
-        self.offsets.is_empty()
+        self.len() == 0
     }
 
     /// The `i`-th key (entries are sorted ascending).
     pub fn key(&self, i: usize) -> &[u8] {
-        let off = self.offsets[i] as usize;
-        &self.data[off..off + self.width]
+        match &self.layout {
+            Layout::Fixed { width, offsets, .. } => {
+                let off = offsets[i] as usize;
+                &self.data[off..off + width]
+            }
+            Layout::Var { keybuf, entries } => {
+                let e = entries[i];
+                &keybuf[e.key_off as usize..(e.key_off + e.key_len) as usize]
+            }
+        }
     }
 
     /// Is the `i`-th entry a tombstone? Always `false` for v1 blocks.
     pub fn is_tombstone(&self, i: usize) -> bool {
-        if !self.has_flags {
-            return false;
+        match &self.layout {
+            Layout::Fixed { width, has_flags, offsets } => {
+                if !has_flags {
+                    return false;
+                }
+                let off = offsets[i] as usize;
+                self.data[off + width] & FLAG_TOMBSTONE != 0
+            }
+            Layout::Var { entries, .. } => entries[i].tombstone,
         }
-        let off = self.offsets[i] as usize;
-        self.data[off + self.width] & FLAG_TOMBSTONE != 0
     }
 
     /// The `i`-th value (empty for a tombstone; use [`Block::entry`] to
     /// tell an empty value from a delete).
     pub fn value(&self, i: usize) -> &[u8] {
-        let off = self.offsets[i] as usize;
-        let vlen_off = if self.has_flags { off + self.width + 1 } else { off + self.width };
-        let vlen =
-            u32::from_le_bytes(self.data[vlen_off..vlen_off + 4].try_into().unwrap()) as usize;
-        &self.data[vlen_off + 4..vlen_off + 4 + vlen]
+        match &self.layout {
+            Layout::Fixed { width, has_flags, offsets } => {
+                let off = offsets[i] as usize;
+                let vlen_off = if *has_flags { off + width + 1 } else { off + width };
+                let vlen = u32::from_le_bytes(self.data[vlen_off..vlen_off + 4].try_into().unwrap())
+                    as usize;
+                &self.data[vlen_off + 4..vlen_off + 4 + vlen]
+            }
+            Layout::Var { entries, .. } => {
+                let e = entries[i];
+                &self.data[e.val_off as usize..(e.val_off + e.val_len) as usize]
+            }
+        }
     }
 
     /// The `i`-th entry as `(key, Some(value) | None)` where `None` marks
@@ -245,7 +465,12 @@ impl Block {
 
     /// Approximate decoded memory footprint (for the block cache budget).
     pub fn mem_bytes(&self) -> usize {
-        self.data.len() + self.offsets.len() * 4
+        match &self.layout {
+            Layout::Fixed { offsets, .. } => self.data.len() + offsets.len() * 4,
+            Layout::Var { keybuf, entries } => {
+                self.data.len() + keybuf.len() + entries.len() * std::mem::size_of::<VarEntry>()
+            }
+        }
     }
 }
 
@@ -408,5 +633,157 @@ mod tests {
         let vlen_off = flag_off + 1;
         bad[vlen_off..vlen_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(Block::decode(&bad, 4, true).is_err());
+    }
+
+    /// Shared-prefix string keys of wildly different lengths, exercising
+    /// the prefix chain and the restart points.
+    fn var_entries() -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        let mut out: Vec<(Vec<u8>, Option<Vec<u8>>)> = Vec::new();
+        for i in 0..60u32 {
+            let key =
+                format!("http://site-{:03}.example.com/path/{}", i / 4, "x".repeat(i as usize % 7));
+            let val = if i % 5 == 3 { None } else { Some(vec![i as u8; (i as usize * 3) % 40]) };
+            out.push((key.into_bytes(), val));
+        }
+        out.push((vec![0x01], Some(b"tiny".to_vec())));
+        out.push((vec![0xFF; 300], Some(Vec::new())));
+        out.sort();
+        out.dedup_by(|a, b| a.0 == b.0);
+        out
+    }
+
+    fn build_var(entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Vec<u8> {
+        let mut b = VarBlockBuilder::new();
+        for (k, v) in entries {
+            b.add(k, v.as_deref());
+        }
+        let (disk, first, last) = b.finish();
+        assert_eq!(first, entries[0].0);
+        assert_eq!(last, entries.last().unwrap().0);
+        disk
+    }
+
+    #[test]
+    fn v3_var_keys_roundtrip_with_prefix_compression() {
+        let entries = var_entries();
+        let disk = build_var(&entries);
+        let block = Block::decode_v3(&disk).unwrap();
+        assert_eq!(block.len(), entries.len());
+        for (i, (k, v)) in entries.iter().enumerate() {
+            assert_eq!(block.key(i), &k[..], "key {i}");
+            assert_eq!(block.entry(i), (&k[..], v.as_deref()), "entry {i}");
+            assert_eq!(block.is_tombstone(i), v.is_none(), "tombstone {i}");
+        }
+        // lower_bound agrees with a linear scan for assorted probes.
+        for probe in [
+            &b"http://site-000"[..],
+            &b"http://site-007.example.com/path/"[..],
+            &b"zzz"[..],
+            &[0x00][..],
+            &[0xFF][..],
+        ] {
+            let want = entries.iter().position(|(k, _)| k.as_slice() >= probe);
+            let got = block.lower_bound(probe);
+            assert_eq!(got, want.unwrap_or(entries.len()), "probe {probe:?}");
+        }
+        // Prefix compression must actually shrink the payload vs full keys.
+        let full: usize = entries.iter().map(|(k, _)| k.len()).sum();
+        let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
+        assert!(raw_len < full + entries.len() * 9 + 4, "prefix compression saved nothing");
+    }
+
+    #[test]
+    fn v3_single_entry_and_long_key_blocks_roundtrip() {
+        let mut b = VarBlockBuilder::new();
+        let key = vec![0xAB; 1024];
+        b.add(&key, Some(b"v"));
+        let (disk, first, last) = b.finish();
+        assert_eq!(first, key);
+        assert_eq!(last, key);
+        let block = Block::decode_v3(&disk).unwrap();
+        assert_eq!(block.len(), 1);
+        assert_eq!(block.entry(0), (&key[..], Some(&b"v"[..])));
+    }
+
+    #[test]
+    fn v3_corruptions_and_truncations_are_errors_not_panics() {
+        // Incompressible values so the payload is stored raw and offsets
+        // are predictable.
+        let mut b = VarBlockBuilder::new();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..20u8)
+            .map(|i| {
+                let k = format!("key/{:02}/{}", i, "s".repeat(i as usize % 5)).into_bytes();
+                let v: Vec<u8> =
+                    (0..13).map(|j| i.wrapping_mul(37).wrapping_add(j * 11) | 1).collect();
+                (k, v)
+            })
+            .collect();
+        for (k, v) in &entries {
+            b.add(k, Some(v));
+        }
+        let (disk, _, _) = b.finish();
+        assert_eq!(disk[0], 0, "this block must be stored raw");
+
+        // Truncations anywhere must error, never panic.
+        for cut in 0..disk.len() {
+            assert!(Block::decode_v3(&disk[..cut]).is_err(), "cut {cut}");
+        }
+        // First entry header starts at payload offset 4 → disk offset 13.
+        let e0 = 9 + 4;
+        // Reserved flag bits.
+        let mut bad = disk.clone();
+        bad[e0 + 4] = 0x40;
+        assert!(matches!(Block::decode_v3(&bad), Err(Error::Corruption(_))));
+        // Tombstone carrying a value.
+        let mut bad = disk.clone();
+        bad[e0 + 4] = FLAG_TOMBSTONE;
+        assert!(matches!(Block::decode_v3(&bad), Err(Error::Corruption(_))));
+        // Restart point (entry 0) claiming a shared prefix.
+        let mut bad = disk.clone();
+        bad[e0..e0 + 2].copy_from_slice(&3u16.to_le_bytes());
+        assert!(matches!(Block::decode_v3(&bad), Err(Error::Corruption(_))));
+        // Zero-length key: entry 0 with shared=0, non_shared=0.
+        let mut bad = disk.clone();
+        bad[e0 + 2..e0 + 4].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(Block::decode_v3(&bad), Err(Error::Corruption(_))));
+        // Shared prefix longer than the previous key (second entry; the
+        // first key is "key/00/" → 7 bytes).
+        let first_len = entries[0].0.len();
+        let e1 = e0 + 9 + first_len + entries[0].1.len();
+        let mut bad = disk.clone();
+        bad[e1..e1 + 2].copy_from_slice(&((first_len + 50) as u16).to_le_bytes());
+        assert!(matches!(Block::decode_v3(&bad), Err(Error::Corruption(_))));
+        // Out-of-order keys: rewrite entry 1's suffix to sort before
+        // entry 0 (shared=0 plus a suffix byte smaller than 'k').
+        let mut bad = disk.clone();
+        bad[e1..e1 + 2].copy_from_slice(&0u16.to_le_bytes());
+        bad[e1 + 9] = b'a';
+        assert!(matches!(Block::decode_v3(&bad), Err(Error::Corruption(_))));
+        // Oversized value length escapes the buffer.
+        let mut bad = disk.clone();
+        bad[e0 + 5..e0 + 9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Block::decode_v3(&bad).is_err());
+        // Oversized non_shared escapes the buffer.
+        let mut bad = disk;
+        bad[e0 + 2..e0 + 4].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(Block::decode_v3(&bad).is_err());
+    }
+
+    #[test]
+    fn v3_restart_points_bound_the_prefix_chain() {
+        // 40 keys sharing a long common prefix: without restarts every
+        // entry after the first would store shared > 0; the builder must
+        // emit full keys at entries 0, 16, 32.
+        let mut b = VarBlockBuilder::new();
+        let keys: Vec<Vec<u8>> =
+            (0..40u8).map(|i| format!("shared/prefix/run/{i:02}").into_bytes()).collect();
+        for k in &keys {
+            b.add(k, Some(b"v"));
+        }
+        let (disk, _, _) = b.finish();
+        let block = Block::decode_v3(&disk).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(block.key(i), &k[..]);
+        }
     }
 }

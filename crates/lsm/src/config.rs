@@ -56,9 +56,16 @@ pub enum SyncMode {
 /// open with [`Error::Config`] instead of misbehaving later.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
-    /// Canonical key width in bytes.
+    /// Canonical filter-training width in bytes: keys are NUL-padded (or
+    /// truncated) to this width before feeding a range filter (§7.1's
+    /// string canonicalization). Keys themselves are variable-length; see
+    /// `max_key_bytes` for the accepted key lengths.
     #[deprecated(note = "construct configurations via DbConfig::builder()")]
     pub key_width: usize,
+    /// Largest accepted key length in bytes (keys are arbitrary non-empty
+    /// byte strings up to this limit).
+    #[deprecated(note = "construct configurations via DbConfig::builder()")]
+    pub max_key_bytes: usize,
     /// MemTable rotation threshold (write_buffer_size).
     #[deprecated(note = "construct configurations via DbConfig::builder()")]
     pub memtable_bytes: usize,
@@ -125,6 +132,7 @@ impl Default for DbConfig {
     fn default() -> Self {
         DbConfig {
             key_width: 8,
+            max_key_bytes: 1024,
             memtable_bytes: 4 << 20,
             max_immutable_memtables: 2,
             block_bytes: 4096,
@@ -166,6 +174,9 @@ impl DbConfig {
         }
         if self.key_width == 0 || self.key_width > 64 {
             return bad("key_width must be in 1..=64 bytes");
+        }
+        if self.max_key_bytes == 0 || self.max_key_bytes > 4096 {
+            return bad("max_key_bytes must be in 1..=4096 bytes");
         }
         if self.memtable_bytes == 0 {
             return bad("memtable_bytes must be > 0");
@@ -236,8 +247,13 @@ macro_rules! getter {
 /// Non-deprecated read access (the deprecated public fields predate these).
 impl DbConfig {
     getter!(
-        /// Canonical key width in bytes.
+        /// Canonical filter-training width in bytes (not a key length
+        /// constraint; see [`DbConfig::max_key_bytes`]).
         key_width: usize
+    );
+    getter!(
+        /// Largest accepted key length in bytes.
+        max_key_bytes: usize
     );
     getter!(
         /// MemTable rotation threshold (write_buffer_size).
@@ -332,8 +348,14 @@ macro_rules! setter {
 
 impl DbConfigBuilder {
     setter!(
-        /// Canonical key width in bytes (1..=64).
+        /// Canonical filter-training width in bytes (1..=64). Keys are
+        /// NUL-padded/truncated to this width before feeding a filter;
+        /// it does not constrain key lengths.
         key_width: usize
+    );
+    setter!(
+        /// Largest accepted key length in bytes (1..=4096).
+        max_key_bytes: usize
     );
     setter!(
         /// MemTable rotation threshold (write_buffer_size).
@@ -445,6 +467,8 @@ mod tests {
         for (tag, res) in [
             ("width0", DbConfig::builder().key_width(0).build()),
             ("width65", DbConfig::builder().key_width(65).build()),
+            ("maxkey0", DbConfig::builder().max_key_bytes(0).build()),
+            ("maxkey4097", DbConfig::builder().max_key_bytes(4097).build()),
             ("memtable", DbConfig::builder().memtable_bytes(0).build()),
             ("imms", DbConfig::builder().max_immutable_memtables(0).build()),
             ("block", DbConfig::builder().block_bytes(0).build()),
@@ -472,6 +496,15 @@ mod tests {
     #[test]
     fn default_configuration_is_valid() {
         assert!(DbConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn max_key_bytes_roundtrips_and_bounds_are_inclusive() {
+        let cfg = DbConfig::builder().max_key_bytes(1).build().unwrap();
+        assert_eq!(cfg.max_key_bytes(), 1);
+        let cfg = DbConfig::builder().max_key_bytes(4096).build().unwrap();
+        assert_eq!(cfg.max_key_bytes(), 4096);
+        assert_eq!(DbConfig::default().max_key_bytes(), 1024);
     }
 
     #[test]

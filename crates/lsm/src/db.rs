@@ -88,7 +88,7 @@ use crate::query_queue::QueryQueue;
 use crate::sst::{SstReader, SstScanner, SstWriter};
 use crate::stats::Stats;
 use crate::wal::{self, Wal};
-use proteus_core::key::u64_key;
+use proteus_core::key::{pad_key, u64_key};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::ops::{Bound, RangeBounds};
@@ -233,10 +233,18 @@ fn bg_error(msg: &str) -> Error {
     Error::Io(std::io::Error::other(format!("background worker failed: {msg}")))
 }
 
-/// Smallest canonical key strictly greater than `key`, if one exists at
-/// this width (used to normalize `Bound::Excluded` lower bounds).
-fn key_successor(key: &[u8]) -> Option<Vec<u8>> {
+/// Smallest valid key strictly greater than `key` in the
+/// variable-length byte-string order, if one exists within
+/// `max_key_bytes` (used to normalize `Bound::Excluded` lower bounds).
+/// Below the length cap the successor is simply `key ++ 0x00`; at the
+/// cap it is the big-endian increment, and an all-`0xFF` key at the cap
+/// has no successor.
+fn key_successor(key: &[u8], max_key_bytes: usize) -> Option<Vec<u8>> {
     let mut k = key.to_vec();
+    if k.len() < max_key_bytes {
+        k.push(0x00);
+        return Some(k);
+    }
     for b in k.iter_mut().rev() {
         if *b < 0xFF {
             *b += 1;
@@ -247,18 +255,26 @@ fn key_successor(key: &[u8]) -> Option<Vec<u8>> {
     None
 }
 
-/// Largest canonical key strictly smaller than `key`, if one exists
-/// (normalizes `Bound::Excluded` upper bounds).
-fn key_predecessor(key: &[u8]) -> Option<Vec<u8>> {
+/// Largest valid key strictly smaller than `key` in the
+/// variable-length byte-string order, if one exists (normalizes
+/// `Bound::Excluded` upper bounds). A key ending in `0x00` shrinks to
+/// its prefix; otherwise the last byte decrements and the key extends
+/// with `0xFF` to the length cap. The single-byte key `[0x00]` has no
+/// valid (non-empty) predecessor.
+fn key_predecessor(key: &[u8], max_key_bytes: usize) -> Option<Vec<u8>> {
     let mut k = key.to_vec();
-    for b in k.iter_mut().rev() {
-        if *b > 0 {
-            *b -= 1;
-            return Some(k);
+    if k.last() == Some(&0x00) {
+        k.pop();
+        if k.is_empty() {
+            return None;
         }
-        *b = 0xFF;
+        return Some(k);
     }
-    None
+    if let Some(b) = k.last_mut() {
+        *b -= 1;
+    }
+    k.resize(max_key_bytes, 0xFF);
+    Some(k)
 }
 
 impl Db {
@@ -267,8 +283,9 @@ impl Db {
     /// validated first ([`Error::Config`] on a bad knob).
     ///
     /// A directory that already holds SST files is *recovered*: every
-    /// `NNNNNNNN.sst` is reopened through its footer (both `PRSSTv2` and
-    /// legacy read-only `PRSSTv1` files), the level manifest is rebuilt
+    /// `NNNNNNNN.sst` is reopened through its footer (`PRSSTv3`, plus
+    /// read-only legacy `PRSSTv2`/`PRSSTv1` files), the level manifest is
+    /// rebuilt
     /// from the per-file level tags, and persisted filters are reloaded
     /// (lazily, on first probe) instead of retrained. Tombstones persist
     /// like any other entry, so a delete never un-deletes across a
@@ -307,7 +324,7 @@ impl Db {
         let mut old_segments: Vec<PathBuf> = Vec::new();
         for (id, path) in wal::list_segments(&dir)? {
             next_id = next_id.max(id + 1);
-            let replay = wal::replay_segment(&path, cfg.key_width())?;
+            let replay = wal::replay_segment(&path, cfg.max_key_bytes())?;
             stats.wal_replayed_records.add(replay.commits.len() as u64);
             for commit in replay.commits {
                 for (k, v) in commit {
@@ -316,7 +333,7 @@ impl Db {
             }
             old_segments.push(path);
         }
-        let wal = Wal::create(&dir, next_id, cfg.key_width(), cfg.sync_mode())?;
+        let wal = Wal::create(&dir, next_id, cfg.max_key_bytes(), cfg.sync_mode())?;
         next_id += 1;
         if !active.is_empty() {
             // Re-log the merged survivors as one commit and sync it, so
@@ -475,8 +492,9 @@ impl Db {
 
     /// Insert a key-value pair. May rotate the MemTable onto the
     /// background flush queue; stalls only when `max_immutable_memtables`
-    /// rotations are already pending. The key must be exactly
-    /// `key_width` bytes ([`Error::Config`] otherwise).
+    /// rotations are already pending. Keys are arbitrary non-empty byte
+    /// strings of at most `max_key_bytes` bytes ([`Error::Config`]
+    /// otherwise).
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         self.inner.check_key(key)?;
         self.inner.apply_writes(vec![(key.to_vec(), Some(value.to_vec()))])
@@ -541,9 +559,10 @@ impl Db {
     /// range filter, so a scan over a provably-empty region costs no I/O.
     ///
     /// Bounds follow `std::ops` conventions (`lo..=hi`, `lo..hi`, `..`,
-    /// …); named bound keys must be `key_width` bytes ([`Error::Config`]).
-    /// An inverted range (`lo > hi` after normalization) yields an empty
-    /// iterator, not an error.
+    /// …); named bound keys must be non-empty and at most
+    /// `max_key_bytes` bytes ([`Error::Config`]). An inverted range
+    /// (`lo > hi` after normalization) yields an empty iterator, not an
+    /// error.
     ///
     /// # Example
     ///
@@ -836,17 +855,17 @@ impl DbInner {
         self.next_sst_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Reject keys the configured width cannot represent: zero-length
-    /// keys and any key whose length differs from `key_width`.
+    /// Reject keys the store cannot represent: zero-length keys and any
+    /// key longer than the configured `max_key_bytes` limit.
     fn check_key(&self, key: &[u8]) -> Result<()> {
         if key.is_empty() {
             return Err(Error::config("zero-length keys are not valid"));
         }
-        if key.len() != self.cfg.key_width() {
+        if key.len() > self.cfg.max_key_bytes() {
             return Err(Error::config(format!(
-                "key length {} does not match configured key_width {}",
+                "key length {} exceeds configured max_key_bytes {}",
                 key.len(),
-                self.cfg.key_width()
+                self.cfg.max_key_bytes()
             )));
         }
         Ok(())
@@ -859,30 +878,30 @@ impl DbInner {
         &self,
         range: impl RangeBounds<K>,
     ) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
-        let w = self.cfg.key_width();
+        let max = self.cfg.max_key_bytes();
         let lo = match range.start_bound() {
-            Bound::Unbounded => vec![0u8; w],
+            Bound::Unbounded => vec![0x00],
             Bound::Included(k) => {
                 self.check_key(k.as_ref())?;
                 k.as_ref().to_vec()
             }
             Bound::Excluded(k) => {
                 self.check_key(k.as_ref())?;
-                match key_successor(k.as_ref()) {
+                match key_successor(k.as_ref(), max) {
                     Some(s) => s,
                     None => return Ok(None),
                 }
             }
         };
         let hi = match range.end_bound() {
-            Bound::Unbounded => vec![0xFFu8; w],
+            Bound::Unbounded => vec![0xFFu8; max],
             Bound::Included(k) => {
                 self.check_key(k.as_ref())?;
                 k.as_ref().to_vec()
             }
             Bound::Excluded(k) => {
                 self.check_key(k.as_ref())?;
-                match key_predecessor(k.as_ref()) {
+                match key_predecessor(k.as_ref(), max) {
                     Some(p) => p,
                     None => return Ok(None),
                 }
@@ -981,7 +1000,14 @@ impl DbInner {
         let fhi = if hi > sst.max_key.as_slice() { sst.max_key.as_slice() } else { hi };
         match sst.filter(&self.stats) {
             Some(filter) => {
-                if filter.may_contain_range(flo, fhi) {
+                // The filter was trained on keys canonicalized to the
+                // file's fixed training width (NUL-pad + truncate, which
+                // is order-preserving), so probes must be canonicalized
+                // the same way — padding both bounds keeps the no-false-
+                // negative guarantee for the raw range.
+                let flo = pad_key(flo, sst.filter_width());
+                let fhi = pad_key(fhi, sst.filter_width());
+                if filter.may_contain_range(&flo, &fhi) {
                     Some(true)
                 } else {
                     self.stats.filter_negatives.inc();

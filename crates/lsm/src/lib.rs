@@ -470,25 +470,41 @@ mod db_tests {
     }
 
     #[test]
-    fn zero_length_and_wrong_width_keys_are_config_errors() {
+    fn zero_length_and_oversized_keys_are_config_errors() {
         let dir = tmpdir("badkeys");
         let db = Db::open(&dir, small_cfg(), Arc::new(NoFilterFactory)).unwrap();
         let is_config = |r: crate::Result<()>| matches!(r, Err(crate::Error::Config(_)));
+        let oversized = vec![7u8; 2000]; // default max_key_bytes is 1024
         assert!(is_config(db.put(b"", b"v")), "empty key put");
-        assert!(is_config(db.put(b"short", b"v")), "wrong-width put");
+        assert!(is_config(db.put(&oversized, b"v")), "oversized put");
         assert!(is_config(db.delete(b"")), "empty key delete");
+        assert!(is_config(db.delete(&oversized)), "oversized delete");
         assert!(is_config(db.get(b"").map(drop)), "empty key get");
+        assert!(is_config(db.get(&oversized).map(drop)), "oversized get");
         assert!(is_config(db.seek(b"", b"").map(drop)), "empty key seek");
         let empty: &[u8] = b"";
         assert!(is_config(db.range(empty..=empty).map(drop)), "empty key range bound");
+        let big: &[u8] = &oversized;
+        assert!(is_config(db.range(big..=big).map(drop)), "oversized range bound");
+        // Short keys are legal now — any non-empty byte string within the
+        // limit round-trips.
+        db.put(b"short", b"v").unwrap();
+        assert_eq!(db.get(b"short").unwrap().as_deref(), Some(&b"v"[..]));
         // A bad key anywhere in a batch rejects the whole batch.
         let mut batch = WriteBatch::new();
         batch.put_u64(1, b"ok");
         batch.put(b"", b"bad");
         assert!(is_config(db.write(batch)));
         assert_eq!(db.get_u64(1).unwrap(), None, "rejected batch must not apply partially");
+        let mut batch = WriteBatch::new();
+        batch.put_u64(2, b"ok");
+        batch.put(&oversized, b"bad");
+        assert!(is_config(db.write(batch)));
+        assert_eq!(db.get_u64(2).unwrap(), None, "oversized batch must not apply partially");
         // An invalid configuration is rejected at open, same error type.
         let bad = DbConfig::builder().key_width(0).build();
+        assert!(matches!(bad, Err(crate::Error::Config(_))));
+        let bad = DbConfig::builder().max_key_bytes(0).build();
         assert!(matches!(bad, Err(crate::Error::Config(_))));
         drop(db);
         let _ = std::fs::remove_dir_all(&dir);

@@ -10,6 +10,7 @@
 //! no lock at all), and only the 1-in-`every` recorded offers, seeds and
 //! snapshots touch the inner mutex.
 
+use proteus_core::key::pad_key;
 use proteus_core::SampleQueries;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -107,13 +108,17 @@ impl QueryQueue {
     }
 
     /// Copy the current contents into a [`SampleQueries`] for filter
-    /// construction. Bounds are assumed canonical at `width`.
+    /// construction. Recorded bounds are arbitrary-length byte strings;
+    /// each is canonicalized to `width` the same way filter keys are
+    /// (NUL-pad + truncate — order-preserving, so a canonicalized sample
+    /// still brackets the canonicalized keys it originally bracketed).
     pub fn snapshot(&self, width: usize) -> SampleQueries {
         let q = self.inner.lock().unwrap();
         let mut s = SampleQueries::new(width);
         for (lo, hi) in q.iter() {
-            if lo.len() == width && hi.len() == width && lo <= hi {
-                s.push(lo, hi);
+            let (clo, chi) = (pad_key(lo, width), pad_key(hi, width));
+            if !lo.is_empty() && !hi.is_empty() && clo <= chi {
+                s.push(&clo, &chi);
             }
         }
         s

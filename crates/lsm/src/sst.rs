@@ -3,29 +3,41 @@
 //! integration point: "Static filters … are built on every SST file") and
 //! a fixed-size footer enabling directory recovery.
 //!
-//! ## On-disk layout (format v2, magic `PRSSTv2`)
+//! ## On-disk layout (format v3, magic `PRSSTv3`)
 //!
 //! ```text
-//! [data block]*                      (crate::block format, v2 entry flags)
-//! [index block]                      u32 n, then n × (first_key, last_key,
-//!                                    u64 offset, u32 len), then u32 CRC-32
+//! [data block]*                      (crate::block v3 layout: var-len keys,
+//!                                    restart-point prefix compression)
+//! [index block]                      u32 n, then n × (u16 first_len, first,
+//!                                    u16 last_len, last, u64 offset,
+//!                                    u32 len), then u32 CRC-32
 //! [filter block]                     FilterCodec envelope (may be absent)
 //! [footer: 64 bytes]
 //!    0  u64 index_off    32 u64 n_entries
 //!    8  u64 index_len    40 u32 level
-//!   16  u64 filter_off   44 u32 key width
+//!   16  u64 filter_off   44 u32 filter key width (v1/v2: fixed key width)
 //!   24  u64 filter_len   48 u16 format version
-//!                        50 u32 n_tombstones   (v2; zero in v1 files)
+//!                        50 u32 n_tombstones   (v2+; zero in v1 files)
 //!                        54 2×u8 zero padding
-//!                        56 8×u8 magic "PRSSTv2\0"
+//!                        56 8×u8 magic "PRSSTv3\0"
 //! ```
 //!
-//! Format v1 (`PRSSTv1`) predates tombstones: its data blocks have no
-//! per-entry flag byte and its footer leaves bytes 50..56 zero. v1 files
-//! still *open* (the reader decodes their blocks with the v1 entry
-//! layout, every entry live) but are never written; the first compaction
-//! that touches one replaces it with a v2 output. The writer always emits
-//! v2.
+//! v3 keys are arbitrary non-empty byte strings up to the store's
+//! `max_key_bytes`. The footer's width field no longer constrains them:
+//! it records the *canonical filter-training width* — every key is
+//! NUL-padded (or truncated) to this width before feeding the filter,
+//! which keeps probes monotone and false-negative-free (§7.1's string
+//! canonicalization). v3 files are therefore self-describing: the reader
+//! ignores the caller's expected width for them. The index block
+//! length-prefixes its boundary keys.
+//!
+//! Legacy formats still *open* read-only. Format v2 (`PRSSTv2`) used
+//! fixed-width keys (the footer width is the exact key length, enforced
+//! at open), a flat index (`first_key`/`last_key` at exactly `width`
+//! bytes each) and per-entry flag bytes. Format v1 (`PRSSTv1`) predates
+//! tombstones on top of that: no flag byte, bytes 50..56 of the footer
+//! zero. The first compaction that touches a v1/v2 file replaces it with
+//! a v3 output. The writer always emits v3.
 //!
 //! The footer records which LSM level the file belongs to, so `Db::open`
 //! can rebuild the level manifest from nothing but the directory listing.
@@ -40,12 +52,13 @@
 //! miss the delete, and resurrect an older version of the key from a
 //! deeper level.
 
-use crate::block::{Block, BlockBuilder};
+use crate::block::{Block, VarBlockBuilder};
 use crate::error::{Error, Result};
 use crate::filter_hook::FilterFactory;
 use crate::query_queue::QueryQueue;
 use crate::stats::Stats;
 use proteus_core::codec::crc32;
+use proteus_core::key::pad_key;
 use proteus_core::keyset::KeySet;
 use proteus_core::{QuerySketch, RangeFilter};
 use proteus_filters::FilterCodec;
@@ -58,9 +71,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// SST format version the writer emits.
-pub const SST_FORMAT_VERSION: u16 = 2;
+pub const SST_FORMAT_VERSION: u16 = 3;
 
-/// Trailing magic of every v2 SST file.
+/// Trailing magic of every v3 SST file.
+pub const SST_MAGIC_V3: [u8; 8] = *b"PRSSTv3\0";
+
+/// Trailing magic of legacy v2 files (read-only compatibility).
 pub const SST_MAGIC: [u8; 8] = *b"PRSSTv2\0";
 
 /// Trailing magic of legacy v1 files (read-only compatibility).
@@ -106,7 +122,7 @@ fn encode_footer(
         // so the impossible case fails loudly instead.
         let n = u32::try_from(n_tombstones).expect("more than u32::MAX tombstones in one SST");
         f[50..54].copy_from_slice(&n.to_le_bytes());
-        f[56..64].copy_from_slice(&SST_MAGIC);
+        f[56..64].copy_from_slice(if version >= 3 { &SST_MAGIC_V3 } else { &SST_MAGIC });
     } else {
         f[56..64].copy_from_slice(&SST_MAGIC_V1);
     }
@@ -212,7 +228,11 @@ impl SstReader {
         let mut footer = [0u8; SST_FOOTER_LEN as usize];
         file.read_exact_at(&mut footer, file_len - SST_FOOTER_LEN)?;
         let version = u16::from_le_bytes(footer[48..50].try_into().unwrap());
-        if footer[56..64] == SST_MAGIC {
+        if footer[56..64] == SST_MAGIC_V3 {
+            if version != 3 {
+                return Err(bad(&path, "v3 magic with a non-3 format version"));
+            }
+        } else if footer[56..64] == SST_MAGIC {
             if version != 2 {
                 return Err(bad(&path, "v2 magic with a non-2 format version"));
             }
@@ -236,8 +256,16 @@ impl SstReader {
         } else {
             0
         };
-        if width != expected_width {
+        // v1/v2 keys are fixed-width: the footer width must match the
+        // store's configured width exactly. v3 files are self-describing
+        // (the footer width is only the filter-training width), so the
+        // caller's expectation does not constrain them — a store can open
+        // files trained at any canonical width.
+        if version < 3 && width != expected_width {
             return Err(bad(&path, "key width mismatch"));
+        }
+        if width == 0 || width > 64 {
+            return Err(bad(&path, "implausible filter key width"));
         }
         let meta_end = file_len - SST_FOOTER_LEN;
         if index_off.checked_add(index_len).is_none_or(|e| e > meta_end)
@@ -265,24 +293,64 @@ impl SstReader {
             return Err(bad(&path, "index checksum mismatch"));
         }
         let n_blocks = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
-        let entry_len = 2 * width + 12;
-        if body.len() != 4 + n_blocks * entry_len || n_blocks == 0 {
+        if n_blocks == 0 {
             return Err(bad(&path, "index block length mismatch"));
         }
-        let mut index = Vec::with_capacity(n_blocks);
+        let mut index = Vec::with_capacity(n_blocks.min(body.len()));
         let mut pos = 4usize;
-        for _ in 0..n_blocks {
-            let first_key = body[pos..pos + width].to_vec();
-            let last_key = body[pos + width..pos + 2 * width].to_vec();
-            pos += 2 * width;
-            let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
-            let len = u32::from_le_bytes(body[pos + 8..pos + 12].try_into().unwrap());
-            pos += 12;
-            if first_key > last_key || offset.checked_add(len as u64).is_none_or(|e| e > index_off)
-            {
-                return Err(bad(&path, "index entry out of bounds"));
+        if version >= 3 {
+            // v3 index: length-prefixed boundary keys per block.
+            let read_key = |pos: &mut usize| -> Result<Vec<u8>> {
+                let lo = *pos;
+                if lo + 2 > body.len() {
+                    return Err(bad(&path, "index entry overruns the block"));
+                }
+                let len = u16::from_le_bytes(body[lo..lo + 2].try_into().unwrap()) as usize;
+                if len == 0 || lo + 2 + len > body.len() {
+                    return Err(bad(&path, "index key length out of bounds"));
+                }
+                *pos = lo + 2 + len;
+                Ok(body[lo + 2..lo + 2 + len].to_vec())
+            };
+            for _ in 0..n_blocks {
+                let first_key = read_key(&mut pos)?;
+                let last_key = read_key(&mut pos)?;
+                if pos + 12 > body.len() {
+                    return Err(bad(&path, "index entry overruns the block"));
+                }
+                let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+                let len = u32::from_le_bytes(body[pos + 8..pos + 12].try_into().unwrap());
+                pos += 12;
+                if first_key > last_key
+                    || offset.checked_add(len as u64).is_none_or(|e| e > index_off)
+                {
+                    return Err(bad(&path, "index entry out of bounds"));
+                }
+                index.push(BlockMeta { first_key, last_key, offset, len });
             }
-            index.push(BlockMeta { first_key, last_key, offset, len });
+            if pos != body.len() {
+                return Err(bad(&path, "index block length mismatch"));
+            }
+        } else {
+            // v1/v2 index: fixed-width boundary keys per block.
+            let entry_len = 2 * width + 12;
+            if body.len() != 4 + n_blocks * entry_len {
+                return Err(bad(&path, "index block length mismatch"));
+            }
+            for _ in 0..n_blocks {
+                let first_key = body[pos..pos + width].to_vec();
+                let last_key = body[pos + width..pos + 2 * width].to_vec();
+                pos += 2 * width;
+                let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
+                let len = u32::from_le_bytes(body[pos + 8..pos + 12].try_into().unwrap());
+                pos += 12;
+                if first_key > last_key
+                    || offset.checked_add(len as u64).is_none_or(|e| e > index_off)
+                {
+                    return Err(bad(&path, "index entry out of bounds"));
+                }
+                index.push(BlockMeta { first_key, last_key, offset, len });
+            }
         }
         let min_key = index.first().unwrap().first_key.clone();
         let max_key = index.last().unwrap().last_key.clone();
@@ -318,6 +386,13 @@ impl SstReader {
     /// Number of data blocks.
     pub fn n_blocks(&self) -> usize {
         self.index.len()
+    }
+
+    /// The canonical filter-training width: probes against this file's
+    /// filter must be NUL-padded/truncated to this many bytes (for v1/v2
+    /// files it is also the exact key width).
+    pub fn filter_width(&self) -> usize {
+        self.width
     }
 
     /// Index metadata of block `i`.
@@ -510,7 +585,12 @@ impl SstReader {
         self.file.read_exact_at(&mut buf, meta.offset)?;
         stats.blocks_read.inc();
         stats.bytes_read.add(meta.len as u64);
-        Block::decode(&buf, self.width, self.format_version >= 2).map_err(|e| match e {
+        let decoded = if self.format_version >= 3 {
+            Block::decode_v3(&buf)
+        } else {
+            Block::decode(&buf, self.width, self.format_version >= 2)
+        };
+        decoded.map_err(|e| match e {
             Error::Corruption(d) => {
                 Error::corruption(format!("{}: block {i}: {d}", self.path.display()))
             }
@@ -537,7 +617,10 @@ impl SstReader {
 }
 
 /// Streaming SST writer: feed sorted entries, get a reader back. Always
-/// emits format v2 (entry flags, tombstone support).
+/// emits format v3 (variable-length keys, entry flags, tombstone
+/// support). `width` is the canonical filter-training width, not a key
+/// length constraint: keys of any non-zero length are accepted, and each
+/// is NUL-padded/truncated to `width` bytes before feeding the filter.
 ///
 /// Writes stream into `NNNNNNNN.sst.tmp`; only after the footer is written
 /// and synced does [`SstWriter::finish`] rename the file to its final
@@ -554,10 +637,16 @@ pub struct SstWriter {
     width: usize,
     block_size: usize,
     level: u32,
-    builder: BlockBuilder,
+    builder: VarBlockBuilder,
     index: Vec<BlockMeta>,
     offset: u64,
-    keys: Vec<u8>, // flat canonical keys (tombstones included) for the filter
+    /// Flat canonical (width-padded) keys, tombstones included, for the
+    /// filter. Adjacent duplicates (distinct keys that collide after
+    /// truncation to `width`) are dropped so the set stays strictly
+    /// ascending.
+    keys: Vec<u8>,
+    /// The raw (unpadded) previous key, for the ordering assertion.
+    last_raw_key: Vec<u8>,
     n_entries: u64,
     n_tombstones: u64,
 }
@@ -583,10 +672,11 @@ impl SstWriter {
             width,
             block_size,
             level,
-            builder: BlockBuilder::new(width),
+            builder: VarBlockBuilder::new(),
             index: Vec::new(),
             offset: 0,
             keys: Vec::new(),
+            last_raw_key: Vec::new(),
             n_entries: 0,
             n_tombstones: 0,
         })
@@ -606,13 +696,23 @@ impl SstWriter {
     }
 
     fn push(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<()> {
-        debug_assert_eq!(key.len(), self.width);
+        debug_assert!(!key.is_empty(), "keys are non-empty");
         debug_assert!(
-            self.keys.is_empty() || &self.keys[self.keys.len() - self.width..] < key,
+            self.n_entries == 0 || self.last_raw_key.as_slice() < key,
             "keys must be strictly ascending"
         );
         self.builder.add(key, value);
-        self.keys.extend_from_slice(key);
+        // Canonicalize for the filter: pad/truncate to the training
+        // width. Padding is monotone non-strict, so adjacent canonical
+        // duplicates can appear — drop them to keep the set strictly
+        // ascending (the filter only needs set membership).
+        let canonical = pad_key(key, self.width);
+        let n = self.keys.len();
+        if n < self.width || self.keys[n - self.width..] != canonical[..] {
+            self.keys.extend_from_slice(&canonical);
+        }
+        self.last_raw_key.clear();
+        self.last_raw_key.extend_from_slice(key);
         self.n_entries += 1;
         if value.is_none() {
             self.n_tombstones += 1;
@@ -627,7 +727,7 @@ impl SstWriter {
         if self.builder.is_empty() {
             return Ok(());
         }
-        let builder = std::mem::replace(&mut self.builder, BlockBuilder::new(self.width));
+        let builder = std::mem::take(&mut self.builder);
         let (disk, first, last) = builder.finish();
         self.file.write_all(&disk)?;
         self.index.push(BlockMeta {
@@ -651,12 +751,15 @@ impl SstWriter {
         self.n_entries
     }
 
-    /// Serialize the block index: count, entries, trailing CRC-32.
+    /// Serialize the v3 block index: count, entries with length-prefixed
+    /// boundary keys, trailing CRC-32.
     fn encode_index(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.index.len() * (2 * self.width + 12) + 4);
+        let mut out = Vec::with_capacity(4 + self.index.len() * 48 + 4);
         out.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
         for m in &self.index {
+            out.extend_from_slice(&(m.first_key.len() as u16).to_le_bytes());
             out.extend_from_slice(&m.first_key);
+            out.extend_from_slice(&(m.last_key.len() as u16).to_le_bytes());
             out.extend_from_slice(&m.last_key);
             out.extend_from_slice(&m.offset.to_le_bytes());
             out.extend_from_slice(&m.len.to_le_bytes());
@@ -697,8 +800,13 @@ impl SstWriter {
         // The training fingerprint: where (relative to this file's key
         // range) the sample queries the filter was trained on landed. It
         // rides along in the codec-v2 filter block so drift detection
-        // survives a crash/reopen.
-        let sketch = QuerySketch::from_queries(samples.iter(), &min_key, &max_key);
+        // survives a crash/reopen. The samples are canonical-width keys,
+        // so the file's boundary keys are canonicalized the same way.
+        let sketch = QuerySketch::from_queries(
+            samples.iter(),
+            &pad_key(&min_key, self.width),
+            &pad_key(&max_key, self.width),
+        );
 
         // Encode the filter block; a filter without a persistent form
         // leaves the block empty; after a reopen that file simply has no
@@ -947,9 +1055,67 @@ mod tests {
         bad[flen - 16] = 7; // footer offset 48: format version low byte
         std::fs::write(&path, &bad).unwrap();
         assert!(SstReader::open(&path, 1, 8).is_err());
-        // Wrong declared width.
+        // v3 files are self-describing: the caller's expected width is
+        // only a constraint for fixed-width v1/v2 files, so a fresh file
+        // opens under any expected width (its filter width rides in the
+        // footer).
         std::fs::write(&path, &orig).unwrap();
-        assert!(SstReader::open(&path, 1, 16).is_err());
+        let reopened = SstReader::open(&path, 1, 16).unwrap();
+        assert_eq!(reopened.filter_width(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn var_len_string_keys_roundtrip_with_filter_and_scan() {
+        let dir = tmpdir("var-len");
+        let stats = Stats::default();
+        let queue = QueryQueue::new(16, 1);
+        // URL-ish keys of wildly different lengths, incl. shared prefixes
+        // that collide after truncation to the 8-byte filter width.
+        let mut keys: Vec<Vec<u8>> = (0..800u32)
+            .map(|i| {
+                format!("http://host-{:03}.example.com/{}", i / 3, "p".repeat(i as usize % 9))
+                    .into_bytes()
+            })
+            .collect();
+        keys.push(vec![b'z'; 1024]);
+        keys.push(vec![0x01]);
+        keys.sort();
+        keys.dedup();
+        let mut w = SstWriter::create(&dir, 9, 8, 1024, 1).unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            if i % 7 == 2 {
+                w.delete(k).unwrap();
+            } else {
+                w.add(k, &[i as u8; 5]).unwrap();
+            }
+        }
+        let written = w.finish(&ProteusFactory::default(), &queue, 10.0, &stats).unwrap();
+        assert_eq!(written.format_version, 3);
+        assert_eq!(written.min_key, keys[0]);
+        assert_eq!(written.max_key, *keys.last().unwrap());
+
+        let reopened = SstReader::open(dir.join("00000009.sst"), 9, 8).unwrap();
+        assert_eq!(reopened.filter_width(), 8);
+        assert_eq!(reopened.n_entries, keys.len() as u64);
+        assert_eq!(reopened.min_key, written.min_key);
+        assert_eq!(reopened.max_key, written.max_key);
+        // Zero false negatives: every key (tombstones included) must pass
+        // the filter when probed at the canonical width.
+        let f = reopened.filter(&stats).expect("filter");
+        for k in &keys {
+            assert!(f.may_contain(&pad_key(k, 8)), "false negative for {k:?}");
+        }
+        // The scanner returns every raw key byte-exactly, in order.
+        let fresh = Arc::new(Stats::default());
+        let mut scan = SstScanner::new(Arc::new(reopened), fresh);
+        let mut i = 0usize;
+        while let Some((k, v)) = scan.try_next().unwrap() {
+            assert_eq!(k, keys[i], "entry {i}");
+            assert_eq!(v.is_none(), i % 7 == 2, "entry {i}");
+            i += 1;
+        }
+        assert_eq!(i, keys.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,7 +34,7 @@
 //! ```text
 //! [segment header: 16 bytes]
 //!    0  8×u8 magic "PRWALv1\0"
-//!    8  u32  key width in bytes
+//!    8  u32  max key bytes (the opener's key-length limit)
 //!   12  u32  CRC-32 of bytes 0..12
 //! [commit record]*
 //!    u32 payload_len
@@ -76,7 +76,7 @@ use std::time::Instant;
 /// Leading magic of every WAL segment.
 pub const WAL_MAGIC: [u8; 8] = *b"PRWALv1\0";
 
-/// Fixed segment header size in bytes (magic + key width + CRC-32).
+/// Fixed segment header size in bytes (magic + max key bytes + CRC-32).
 pub const WAL_HEADER_LEN: u64 = 16;
 
 /// Commit-record op tag: a live put (key + value follow).
@@ -165,9 +165,9 @@ pub struct SegmentReplay {
 
 /// Replay a segment file. Torn tails truncate (see the module docs);
 /// mid-log damage is [`Error::Corruption`].
-/// `expected_width` must match the width recorded in the segment header
-/// and every logged key.
-pub fn replay_segment(path: &Path, expected_width: usize) -> Result<SegmentReplay> {
+/// `expected_max` must match the key-length limit recorded in the segment
+/// header; every logged key must be non-empty and within the limit.
+pub fn replay_segment(path: &Path, expected_max: usize) -> Result<SegmentReplay> {
     let bytes = std::fs::read(path)?;
     if (bytes.len() as u64) < WAL_HEADER_LEN {
         // A crash during segment creation: the header never fully hit the
@@ -180,9 +180,9 @@ pub fn replay_segment(path: &Path, expected_width: usize) -> Result<SegmentRepla
     if crc32(&bytes[0..12]) != u32::from_le_bytes(bytes[12..16].try_into().unwrap()) {
         return Err(bad(path, "WAL header checksum mismatch"));
     }
-    let width = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    if width != expected_width {
-        return Err(bad(path, format!("key width {width} != configured {expected_width}")));
+    let max = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    if max != expected_max {
+        return Err(bad(path, format!("max key bytes {max} != configured {expected_max}")));
     }
     let mut commits = Vec::new();
     let mut pos = WAL_HEADER_LEN as usize;
@@ -208,7 +208,7 @@ pub fn replay_segment(path: &Path, expected_width: usize) -> Result<SegmentRepla
             return Err(bad(path, format!("mid-log checksum mismatch at byte {pos}")));
         }
         commits.push(
-            decode_payload(payload, expected_width)
+            decode_payload(payload, expected_max)
                 .map_err(|e| bad(path, format!("commit {} at byte {pos}: {e}", commits.len())))?,
         );
         pos = end;
@@ -219,7 +219,7 @@ pub fn replay_segment(path: &Path, expected_width: usize) -> Result<SegmentRepla
 /// Decode a CRC-valid commit payload. Any failure here is corruption: the
 /// checksum proved the bytes are exactly what was written, so a structural
 /// error cannot be a torn write.
-fn decode_payload(payload: &[u8], width: usize) -> std::result::Result<Vec<WalOp>, String> {
+fn decode_payload(payload: &[u8], max: usize) -> std::result::Result<Vec<WalOp>, String> {
     let mut r = ByteReader::new(payload);
     let err = |e: proteus_core::CodecError| e.to_string();
     let n = r.u32().map_err(err)? as usize;
@@ -227,8 +227,8 @@ fn decode_payload(payload: &[u8], width: usize) -> std::result::Result<Vec<WalOp
     for i in 0..n {
         let tag = r.u8().map_err(err)?;
         let key = r.bytes().map_err(err)?.to_vec();
-        if key.len() != width {
-            return Err(format!("op {i}: key length {} != width {width}", key.len()));
+        if key.is_empty() || key.len() > max {
+            return Err(format!("op {i}: key length {} outside 1..={max}", key.len()));
         }
         match tag {
             WAL_TAG_PUT => {
@@ -279,7 +279,7 @@ struct WalInner {
 /// MemTable so syncs batch across writers.
 pub struct Wal {
     dir: PathBuf,
-    key_width: usize,
+    max_key_bytes: usize,
     mode: SyncMode,
     inner: Mutex<WalInner>,
     /// Parks group-commit followers until the leader's sync covers them.
@@ -294,11 +294,11 @@ impl std::fmt::Debug for Wal {
 
 /// Create a segment file with a synced header, making the file itself
 /// durable (header write + file sync + directory sync).
-fn create_segment(dir: &Path, id: u64, width: usize) -> Result<File> {
+fn create_segment(dir: &Path, id: u64, max_key_bytes: usize) -> Result<File> {
     let path = segment_path(dir, id);
     let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
     header.extend_from_slice(&WAL_MAGIC);
-    header.put_u32(width as u32);
+    header.put_u32(max_key_bytes as u32);
     let crc = crc32(&header);
     header.put_u32(crc);
     let mut file = File::options().write(true).create_new(true).open(&path)?;
@@ -312,11 +312,11 @@ impl Wal {
     /// Open a fresh active segment `id` in `dir`. Replaying any surviving
     /// segments is the caller's job ([`crate::Db::open`] does it *before*
     /// creating the new active segment).
-    pub fn create(dir: &Path, id: u64, key_width: usize, mode: SyncMode) -> Result<Wal> {
-        let file = create_segment(dir, id, key_width)?;
+    pub fn create(dir: &Path, id: u64, max_key_bytes: usize, mode: SyncMode) -> Result<Wal> {
+        let file = create_segment(dir, id, max_key_bytes)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
-            key_width,
+            max_key_bytes,
             mode,
             inner: Mutex::new(WalInner {
                 file: Arc::new(file),
@@ -449,7 +449,7 @@ impl Wal {
             stats.wal_empty_seals.inc();
         }
         g.synced_seq = g.appended_seq;
-        let file = create_segment(&self.dir, new_id, self.key_width)?;
+        let file = create_segment(&self.dir, new_id, self.max_key_bytes)?;
         let old_id = g.id;
         g.file = Arc::new(file);
         g.id = new_id;
@@ -598,7 +598,7 @@ mod tests {
         bytes[8] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(replay_segment(&path, 8), Err(Error::Corruption(_))));
-        // Width mismatch against the opener's configuration.
+        // Key-length-limit mismatch against the opener's configuration.
         std::fs::write(&path, &orig).unwrap();
         assert!(matches!(replay_segment(&path, 16), Err(Error::Corruption(_))));
         // Sub-header file: a crash during create — empty, torn, no error.

@@ -193,7 +193,10 @@ fn torn_mid_batch_commit_is_all_or_nothing_at_every_cut() {
     let src = tmpdir("torn-batch-src");
     std::fs::create_dir_all(&src).unwrap();
     let stats = proteus_lsm::Stats::default();
-    let w = Wal::create(&src, 1, 8, SyncMode::Always).unwrap();
+    // The segment header records the opener's key-length limit; it must
+    // match the config the probe dirs are opened with below.
+    let max_key_bytes = wal_only_cfg(SyncMode::Off).max_key_bytes();
+    let w = Wal::create(&src, 1, max_key_bytes, SyncMode::Always).unwrap();
     w.append_commit(&[(u64_key(10).to_vec(), Some(b"pre".to_vec()))], &stats).unwrap();
     w.sync(&stats).unwrap();
     let boundary = std::fs::metadata(wal::segment_path(&src, 1)).unwrap().len() as usize;
@@ -301,7 +304,7 @@ fn torn_wal_tail_never_fails_open_and_recovers_the_replayable_prefix() {
         } else {
             let tmp = probe.join("oracle.bin");
             std::fs::write(&tmp, truncated).unwrap();
-            let commits = wal::replay_segment(&tmp, 8).unwrap().commits;
+            let commits = wal::replay_segment(&tmp, cfg.max_key_bytes()).unwrap().commits;
             std::fs::remove_file(&tmp).unwrap();
             commits
         };
@@ -401,6 +404,65 @@ fn concurrent_writers_are_group_committed_and_fully_durable() {
     }
     drop(db);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn string_keys_survive_kill_and_power_loss_like_u64_keys() {
+    // Variable-length keys through the whole crash path: URL-ish strings
+    // of wildly different lengths (1 byte up to 900 bytes, shared
+    // prefixes included) put/deleted across rotations, then killed and
+    // replayed. Every acked write must come back byte-exact.
+    let keys: Vec<Vec<u8>> = (0..120u64)
+        .map(|i| match i % 4 {
+            0 => format!("https://example.com/{:03}", i).into_bytes(),
+            1 => format!("https://example.com/{:03}/deep/path?q={}", i, i * 7).into_bytes(),
+            2 => vec![b'a' + (i % 26) as u8],
+            _ => {
+                let mut k = format!("long/{:03}/", i).into_bytes();
+                k.resize(900, b'x');
+                k
+            }
+        })
+        .collect();
+    for (tag, kind) in [("kill", CrashKind::ProcessKill), ("power", CrashKind::PowerLoss)] {
+        let dir = tmpdir(&format!("string-{tag}"));
+        let cfg = crash_cfg(SyncMode::Always);
+        let factory: Arc<dyn FilterFactory> = Arc::new(ProteusFactory::default());
+        let db = Db::open(&dir, cfg.clone(), Arc::clone(&factory)).unwrap();
+        let mut mirror: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let v = format!("val-{i}").into_bytes();
+            db.put(k, &v).unwrap();
+            mirror.insert(k.clone(), Some(v));
+        }
+        db.flush().unwrap();
+        for k in keys.iter().step_by(3) {
+            db.delete(k).unwrap();
+            mirror.insert(k.clone(), None);
+        }
+        let db = crash_and_reopen(db, &dir, &cfg, factory, kind);
+        for (k, want) in &mirror {
+            assert_eq!(
+                db.get(k).unwrap(),
+                *want,
+                "{tag}: key {:?} diverged",
+                String::from_utf8_lossy(k)
+            );
+        }
+        // Ordered scan across the recovered store stays globally sorted.
+        let scanned: Vec<Vec<u8>> = db
+            .range::<&[u8], _>(..)
+            .unwrap()
+            .map(|e| e.map(|(k, _)| k))
+            .collect::<proteus_lsm::Result<_>>()
+            .unwrap();
+        let live: Vec<&Vec<u8>> =
+            mirror.iter().filter(|(_, v)| v.is_some()).map(|(k, _)| k).collect();
+        assert_eq!(scanned.len(), live.len(), "{tag}: live key count diverged");
+        assert!(scanned.windows(2).all(|w| w[0] < w[1]), "{tag}: scan not sorted");
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

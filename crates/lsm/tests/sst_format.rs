@@ -1,12 +1,14 @@
-//! On-disk format compatibility: a committed `PRSSTv1` golden file (the
-//! tombstone-free pre-v2 format) must keep opening read-only under the v2
-//! reader, and the v2 entry-flag byte must fail *loudly* (typed
-//! corruption, never a panic or a silent misread) under truncation and
-//! bit-flip sweeps.
+//! On-disk format compatibility: committed `PRSSTv1` and `PRSSTv2` golden
+//! files (the fixed-width legacy formats) must keep opening read-only
+//! under the v3 reader, and the current `PRSSTv3` layout — length-prefixed
+//! keys with restart-point prefix compression — is pinned by a byte-exact
+//! golden of its own plus truncation/bit-flip sweeps that must fail
+//! *loudly* (typed corruption, never a panic or a silent misread).
 //!
-//! The golden fixture is committed at `tests/fixtures/v1/golden_v1.sst`
-//! and is byte-exact: it pins the v1 layout forever, independent of the
-//! current writer (which only emits v2). Regenerate deliberately with
+//! The golden fixtures are committed under `tests/fixtures/{v1,v2,v3}/`
+//! and are byte-exact: each pins its format forever, hand-encoded
+//! independently of the writer (which only emits v3). Regenerate
+//! deliberately with
 //! `PROTEUS_REGEN_FIXTURES=1 cargo test -p proteus-lsm --test sst_format`.
 
 use proteus_core::codec::crc32;
@@ -16,12 +18,73 @@ use proteus_lsm::{Db, DbConfig, Error, NoFilterFactory, QueryQueue, Stats};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-const GOLDEN: &str = "tests/fixtures/v1/golden_v1.sst";
+const GOLDEN_V1: &str = "tests/fixtures/v1/golden_v1.sst";
+const GOLDEN_V2: &str = "tests/fixtures/v2/golden_v2.sst";
+const GOLDEN_V3: &str = "tests/fixtures/v3/golden_v3.sst";
 const N_KEYS: u64 = 500;
 
-fn golden_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN)
+fn fixture_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
 }
+
+fn load_fixture(rel: &str, encode: impl Fn() -> Vec<u8>) -> Vec<u8> {
+    let path = fixture_path(rel);
+    if std::env::var("PROTEUS_REGEN_FIXTURES").is_ok() || !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encode()).unwrap();
+    }
+    std::fs::read(&path).unwrap()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("proteus-sstfmt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Wrap a block body in the raw (codec 0) disk envelope:
+/// `[u8 codec][u32 raw_len][u32 stored_len][body]`.
+fn raw_disk_block(body: &[u8]) -> Vec<u8> {
+    let mut disk = vec![0u8];
+    disk.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    disk.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    disk.extend_from_slice(body);
+    disk
+}
+
+/// Serialize the 64-byte footer shared by every format version (the
+/// version selects the magic and whether `n_tombstones` is meaningful).
+#[allow(clippy::too_many_arguments)]
+fn encode_footer(
+    index_off: u64,
+    index_len: u64,
+    n_entries: u64,
+    n_tombstones: u32,
+    level: u32,
+    width: u32,
+    version: u16,
+    magic: &[u8; 8],
+) -> [u8; 64] {
+    let mut footer = [0u8; 64];
+    footer[0..8].copy_from_slice(&index_off.to_le_bytes());
+    footer[8..16].copy_from_slice(&index_len.to_le_bytes());
+    footer[16..24].copy_from_slice(&(index_off + index_len).to_le_bytes());
+    footer[24..32].copy_from_slice(&0u64.to_le_bytes()); // filter_len: none
+    footer[32..40].copy_from_slice(&n_entries.to_le_bytes());
+    footer[40..44].copy_from_slice(&level.to_le_bytes());
+    footer[44..48].copy_from_slice(&width.to_le_bytes());
+    footer[48..50].copy_from_slice(&version.to_le_bytes());
+    if version >= 2 {
+        footer[50..54].copy_from_slice(&n_tombstones.to_le_bytes());
+    }
+    footer[56..64].copy_from_slice(magic);
+    footer
+}
+
+// ---------------------------------------------------------------------------
+// PRSSTv1 golden: fixed-width keys, no flag byte, no tombstones.
+// ---------------------------------------------------------------------------
 
 fn v1_key(i: u64) -> [u8; 8] {
     u64_key(i * 7)
@@ -32,23 +95,20 @@ fn v1_value(i: u64) -> Vec<u8> {
 }
 
 /// Emit the v1 SST layout byte-for-byte: raw (codec 0) data blocks with
-/// flag-less entries, the indexed-CRC block index, no filter block, and
-/// the 64-byte `PRSSTv1` footer.
+/// flag-less entries, the fixed-width CRC'd block index, no filter block,
+/// and the 64-byte `PRSSTv1` footer.
 fn encode_v1_golden() -> Vec<u8> {
     let mut file = Vec::new();
     let mut index: Vec<(Vec<u8>, Vec<u8>, u64, u32)> = Vec::new();
     for chunk in (0..N_KEYS).collect::<Vec<_>>().chunks(100) {
-        let mut payload = (chunk.len() as u32).to_le_bytes().to_vec();
+        let mut body = (chunk.len() as u32).to_le_bytes().to_vec();
         for &i in chunk {
-            payload.extend_from_slice(&v1_key(i));
+            body.extend_from_slice(&v1_key(i));
             let v = v1_value(i);
-            payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
-            payload.extend_from_slice(&v);
+            body.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            body.extend_from_slice(&v);
         }
-        let mut disk = vec![0u8]; // codec 0 = raw
-        disk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        disk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        disk.extend_from_slice(&payload);
+        let disk = raw_disk_block(&body);
         index.push((
             v1_key(chunk[0]).to_vec(),
             v1_key(*chunk.last().unwrap()).to_vec(),
@@ -69,48 +129,23 @@ fn encode_v1_golden() -> Vec<u8> {
     ib.extend_from_slice(&crc.to_le_bytes());
     let index_len = ib.len() as u64;
     file.extend_from_slice(&ib);
-    // Footer: no filter block (v1 files may also carry one; absent here).
-    let mut footer = [0u8; 64];
-    footer[0..8].copy_from_slice(&index_off.to_le_bytes());
-    footer[8..16].copy_from_slice(&index_len.to_le_bytes());
-    footer[16..24].copy_from_slice(&(index_off + index_len).to_le_bytes());
-    footer[24..32].copy_from_slice(&0u64.to_le_bytes()); // filter_len
-    footer[32..40].copy_from_slice(&N_KEYS.to_le_bytes());
-    footer[40..44].copy_from_slice(&1u32.to_le_bytes()); // level 1
-    footer[44..48].copy_from_slice(&8u32.to_le_bytes()); // key width
-    footer[48..50].copy_from_slice(&1u16.to_le_bytes()); // format version 1
-    footer[56..64].copy_from_slice(b"PRSSTv1\0");
-    file.extend_from_slice(&footer);
+    file.extend_from_slice(&encode_footer(index_off, index_len, N_KEYS, 0, 1, 8, 1, b"PRSSTv1\0"));
     file
-}
-
-fn load_golden() -> Vec<u8> {
-    let path = golden_path();
-    if std::env::var("PROTEUS_REGEN_FIXTURES").is_ok() || !path.exists() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, encode_v1_golden()).unwrap();
-    }
-    std::fs::read(&path).unwrap()
-}
-
-fn tmpdir(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("proteus-sstfmt-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&d);
-    std::fs::create_dir_all(&d).unwrap();
-    d
 }
 
 #[test]
 fn committed_golden_bytes_match_the_generator() {
-    // The committed fixture must stay byte-identical to the documented
-    // layout; if this fails, someone changed either the fixture or the
+    // The committed fixtures must stay byte-identical to the documented
+    // layouts; if this fails, someone changed either a fixture or its
     // generator — both are format-freezing mistakes.
-    assert_eq!(load_golden(), encode_v1_golden(), "golden v1 fixture drifted");
+    assert_eq!(load_fixture(GOLDEN_V1, encode_v1_golden), encode_v1_golden(), "v1 drifted");
+    assert_eq!(load_fixture(GOLDEN_V2, encode_v2_golden), encode_v2_golden(), "v2 drifted");
+    assert_eq!(load_fixture(GOLDEN_V3, encode_v3_golden), encode_v3_golden(), "v3 drifted");
 }
 
 #[test]
-fn v1_golden_opens_readonly_under_the_v2_reader() {
-    let bytes = load_golden();
+fn v1_golden_opens_readonly_under_the_v3_reader() {
+    let bytes = load_fixture(GOLDEN_V1, encode_v1_golden);
     let dir = tmpdir("v1-open");
     let path = dir.join("00000001.sst");
     std::fs::write(&path, &bytes).unwrap();
@@ -138,8 +173,8 @@ fn v1_golden_opens_readonly_under_the_v2_reader() {
 }
 
 #[test]
-fn db_recovers_v1_files_and_serves_v2_reads_over_them() {
-    let bytes = load_golden();
+fn db_recovers_v1_files_and_serves_reads_over_them() {
+    let bytes = load_fixture(GOLDEN_V1, encode_v1_golden);
     let dir = tmpdir("v1-db");
     std::fs::write(dir.join("00000001.sst"), &bytes).unwrap();
 
@@ -152,29 +187,29 @@ fn db_recovers_v1_files_and_serves_v2_reads_over_them() {
         .unwrap();
     let db = Db::open(&dir, cfg, Arc::new(NoFilterFactory)).unwrap();
     assert_eq!(db.stats().ssts_recovered.get(), 1);
-    // The full v2 read surface works over the legacy file.
+    // The full read surface works over the legacy file.
     assert_eq!(db.get_u64(7).unwrap().as_deref(), Some(v1_value(1).as_slice()));
     assert!(db.seek_u64(0, 10).unwrap());
     assert!(!db.seek_u64(1, 6).unwrap());
     let live = db.range_u64(0..=70).unwrap().count();
     assert_eq!(live, 11); // keys 0,7,...,70
-                          // ...and so do v2 writes layered on top: a delete shadows a v1 entry.
+                          // ...and so do writes layered on top: a delete shadows a v1 entry.
     db.delete_u64(7).unwrap();
     assert_eq!(db.get_u64(7).unwrap(), None, "tombstone must shadow the v1 entry");
     for i in 0..N_KEYS {
         db.put_u64(1_000_000 + i, &[i as u8; 32]).unwrap();
     }
     db.flush_and_settle().unwrap();
-    // Compaction consumed the v1 input and re-wrote everything as v2;
+    // Compaction consumed the v1 input and re-wrote everything as v3;
     // the deleted key stays dead, every other v1 key survives.
     assert_eq!(db.get_u64(7).unwrap(), None);
     for i in (0..N_KEYS).step_by(37) {
         if i != 1 {
-            assert!(db.seek_u64(i * 7, i * 7).unwrap(), "v1 key {i} lost in v2 compaction");
+            assert!(db.seek_u64(i * 7, i * 7).unwrap(), "v1 key {i} lost in compaction");
         }
     }
     drop(db);
-    // All surviving files are v2 now (the v1 golden was compacted away).
+    // All surviving files are v3 now (the v1 golden was compacted away).
     for entry in std::fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
         if path.extension().and_then(|e| e.to_str()) != Some("sst") {
@@ -182,39 +217,123 @@ fn db_recovers_v1_files_and_serves_v2_reads_over_them() {
         }
         let id: u64 = path.file_stem().unwrap().to_str().unwrap().parse().unwrap();
         let sst = SstReader::open(&path, id, 8).unwrap();
-        assert_eq!(sst.format_version, SST_FORMAT_VERSION, "{path:?} should be v2");
+        assert_eq!(sst.format_version, SST_FORMAT_VERSION, "{path:?} should be v3");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// PRSSTv2 golden: fixed-width keys plus a per-entry flag byte (tombstones).
+// ---------------------------------------------------------------------------
 
 /// Base for keys whose big-endian bytes are all non-zero, so the zero-RLE
 /// codec finds nothing to compress and blocks are stored raw (predictable
 /// entry offsets for targeted corruption).
 const V2_KEY_BASE: u64 = 0x8070_6050_4030_2010;
+const N_V2: u64 = 50;
 
-/// Write a v2 file whose blocks do not compress, so every data block is
-/// stored raw and entry offsets are predictable for targeted corruption.
-fn write_v2_raw(dir: &Path) -> PathBuf {
-    let stats = Stats::default();
-    let queue = QueryQueue::new(4, 1);
-    let mut w = SstWriter::create(dir, 9, 8, 1 << 20, 0).unwrap();
-    for i in 0..50u64 {
-        let v: Vec<u8> = (0..24).map(|j| (i * 37 + j * 11 + 1) as u8 | 1).collect();
-        if i % 10 == 3 {
-            w.delete(&u64_key(V2_KEY_BASE + i)).unwrap();
-        } else {
-            w.add(&u64_key(V2_KEY_BASE + i), &v).unwrap();
+fn v2_tombstone(i: u64) -> bool {
+    i % 10 == 3
+}
+
+fn v2_value(i: u64) -> Vec<u8> {
+    (0..24).map(|j| (i * 37 + j * 11 + 1) as u8 | 1).collect()
+}
+
+/// Emit the v2 SST layout byte-for-byte: raw (codec 0) data blocks of
+/// `[key(8)][u8 flags][u32 value_len][value]` entries (tombstone =
+/// flags 1, value_len 0), the fixed-width index, and the `PRSSTv2` footer
+/// with the tombstone count at bytes 50..54.
+fn encode_v2_golden() -> Vec<u8> {
+    let mut file = Vec::new();
+    let mut index: Vec<(Vec<u8>, Vec<u8>, u64, u32)> = Vec::new();
+    for chunk in (0..N_V2).collect::<Vec<_>>().chunks(20) {
+        let mut body = (chunk.len() as u32).to_le_bytes().to_vec();
+        for &i in chunk {
+            body.extend_from_slice(&u64_key(V2_KEY_BASE + i));
+            if v2_tombstone(i) {
+                body.push(0x01);
+                body.extend_from_slice(&0u32.to_le_bytes());
+            } else {
+                body.push(0x00);
+                let v = v2_value(i);
+                body.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                body.extend_from_slice(&v);
+            }
         }
+        let disk = raw_disk_block(&body);
+        index.push((
+            u64_key(V2_KEY_BASE + chunk[0]).to_vec(),
+            u64_key(V2_KEY_BASE + chunk.last().unwrap()).to_vec(),
+            file.len() as u64,
+            disk.len() as u32,
+        ));
+        file.extend_from_slice(&disk);
     }
-    drop(w.finish(&NoFilterFactory, &queue, 0.0, &stats).unwrap());
-    dir.join("00000009.sst")
+    let index_off = file.len() as u64;
+    let mut ib = (index.len() as u32).to_le_bytes().to_vec();
+    for (first, last, off, len) in &index {
+        ib.extend_from_slice(first);
+        ib.extend_from_slice(last);
+        ib.extend_from_slice(&off.to_le_bytes());
+        ib.extend_from_slice(&len.to_le_bytes());
+    }
+    let crc = crc32(&ib);
+    ib.extend_from_slice(&crc.to_le_bytes());
+    let index_len = ib.len() as u64;
+    file.extend_from_slice(&ib);
+    let n_tomb = (0..N_V2).filter(|&i| v2_tombstone(i)).count() as u32;
+    file.extend_from_slice(&encode_footer(
+        index_off,
+        index_len,
+        N_V2,
+        n_tomb,
+        0,
+        8,
+        2,
+        b"PRSSTv2\0",
+    ));
+    file
+}
+
+#[test]
+fn v2_golden_opens_readonly_under_the_v3_reader() {
+    let bytes = load_fixture(GOLDEN_V2, encode_v2_golden);
+    let dir = tmpdir("v2-open");
+    let path = dir.join("00000002.sst");
+    std::fs::write(&path, &bytes).unwrap();
+
+    // v2 files are fixed-width: the expected width is enforced exactly.
+    assert!(SstReader::open(&path, 2, 16).is_err(), "width mismatch must fail");
+    let sst = SstReader::open(&path, 2, 8).unwrap();
+    assert_eq!(sst.format_version, 2);
+    assert_eq!(sst.n_entries, N_V2);
+    assert_eq!(sst.n_tombstones, 5);
+    assert_eq!(sst.min_key, u64_key(V2_KEY_BASE));
+    assert_eq!(sst.max_key, u64_key(V2_KEY_BASE + N_V2 - 1));
+
+    // Entries decode with the flag-byte layout; tombstones come out None.
+    let mut scan = SstScanner::new(Arc::new(sst), Arc::new(Stats::default()));
+    let mut i = 0u64;
+    while let Some((k, v)) = scan.try_next().unwrap() {
+        assert_eq!(k, u64_key(V2_KEY_BASE + i));
+        if v2_tombstone(i) {
+            assert_eq!(v, None, "entry {i} must be a tombstone");
+        } else {
+            assert_eq!(v.as_deref(), Some(v2_value(i).as_slice()), "entry {i} must be live");
+        }
+        i += 1;
+    }
+    assert_eq!(i, N_V2);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn v2_entry_flag_corruption_is_typed_not_silent() {
     let dir = tmpdir("flag-corrupt");
-    let path = write_v2_raw(&dir);
-    let orig = std::fs::read(&path).unwrap();
+    let path = dir.join("00000009.sst");
+    let orig = encode_v2_golden();
+    std::fs::write(&path, &orig).unwrap();
     assert_eq!(orig[0], 0, "first block must be stored raw for this sweep");
 
     // First entry of the first block: [9B block header][4B n][8B key][flag].
@@ -243,18 +362,239 @@ fn v2_entry_flag_corruption_is_typed_not_silent() {
     assert!(matches!(db.get_u64(V2_KEY_BASE), Err(Error::Corruption(_))));
     assert!(matches!(db.seek_u64(V2_KEY_BASE, V2_KEY_BASE + 5), Err(Error::Corruption(_))));
     drop(db);
-    std::fs::write(&path, &orig).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// PRSSTv3 golden: length-prefixed keys, restart-point prefix compression.
+// ---------------------------------------------------------------------------
+
+/// The v3 golden key set: a 1-byte key, URL-style keys with heavy shared
+/// prefixes (several per restart interval), and a 300-byte key — sorted,
+/// strictly ascending, wildly different lengths.
+fn v3_entries() -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+    let mut keys: Vec<Vec<u8>> = vec![vec![0x01]];
+    for i in 0..40u32 {
+        let page = "x".repeat((i % 5) as usize);
+        keys.push(format!("https://example.com/{:02}/page-{page}", i / 4).into_bytes());
+    }
+    keys.push(vec![b'z'; 300]);
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let v = (i % 7 != 3).then(|| {
+                (0..10 + i % 7).map(|j| (i * 13 + j * 5 + 7) as u8 | 1).collect::<Vec<u8>>()
+            });
+            (k, v)
+        })
+        .collect()
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Encode one v3 block body's entry section (everything after the `u32 n`
+/// count): `[u16 shared][u16 non_shared][u8 flags][u32 value_len]
+/// [key_suffix][value]` per entry, with `shared = 0` at every 16-entry
+/// restart point. Returns the bytes plus each entry's offset within them
+/// (for targeted corruption).
+fn encode_v3_entries(entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> (Vec<u8>, Vec<usize>) {
+    let mut payload = Vec::new();
+    let mut offsets = Vec::new();
+    let mut prev: &[u8] = &[];
+    for (idx, (key, value)) in entries.iter().enumerate() {
+        offsets.push(payload.len());
+        let shared = if idx % 16 == 0 { 0 } else { common_prefix(prev, key) };
+        payload.extend_from_slice(&(shared as u16).to_le_bytes());
+        payload.extend_from_slice(&((key.len() - shared) as u16).to_le_bytes());
+        match value {
+            Some(v) => {
+                payload.push(0x00);
+                payload.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                payload.extend_from_slice(&key[shared..]);
+                payload.extend_from_slice(v);
+            }
+            None => {
+                payload.push(0x01);
+                payload.extend_from_slice(&0u32.to_le_bytes());
+                payload.extend_from_slice(&key[shared..]);
+            }
+        }
+        prev = key;
+    }
+    (payload, offsets)
+}
+
+/// Entries per data block in the v3 golden: 18 puts a second restart point
+/// (entry 16) inside each full block, with compressed entries after it.
+const V3_BLOCK_ENTRIES: usize = 18;
+
+/// Emit the v3 SST layout byte-for-byte: raw (codec 0) data blocks of
+/// prefix-compressed entries, the length-prefixed CRC'd index, no filter
+/// block, and the `PRSSTv3` footer (the width field is only the canonical
+/// filter-training width — it does not constrain key lengths).
+fn encode_v3_golden() -> Vec<u8> {
+    let entries = v3_entries();
+    let mut file = Vec::new();
+    let mut index: Vec<(Vec<u8>, Vec<u8>, u64, u32)> = Vec::new();
+    for chunk in entries.chunks(V3_BLOCK_ENTRIES) {
+        let mut body = (chunk.len() as u32).to_le_bytes().to_vec();
+        body.extend_from_slice(&encode_v3_entries(chunk).0);
+        let disk = raw_disk_block(&body);
+        index.push((
+            chunk[0].0.clone(),
+            chunk.last().unwrap().0.clone(),
+            file.len() as u64,
+            disk.len() as u32,
+        ));
+        file.extend_from_slice(&disk);
+    }
+    let index_off = file.len() as u64;
+    let mut ib = (index.len() as u32).to_le_bytes().to_vec();
+    for (first, last, off, len) in &index {
+        ib.extend_from_slice(&(first.len() as u16).to_le_bytes());
+        ib.extend_from_slice(first);
+        ib.extend_from_slice(&(last.len() as u16).to_le_bytes());
+        ib.extend_from_slice(last);
+        ib.extend_from_slice(&off.to_le_bytes());
+        ib.extend_from_slice(&len.to_le_bytes());
+    }
+    let crc = crc32(&ib);
+    ib.extend_from_slice(&crc.to_le_bytes());
+    let index_len = ib.len() as u64;
+    file.extend_from_slice(&ib);
+    let n_tomb = entries.iter().filter(|(_, v)| v.is_none()).count() as u32;
+    file.extend_from_slice(&encode_footer(
+        index_off,
+        index_len,
+        entries.len() as u64,
+        n_tomb,
+        1,
+        8,
+        3,
+        b"PRSSTv3\0",
+    ));
+    file
+}
+
+#[test]
+fn v3_golden_decodes_byte_exactly_and_is_self_describing() {
+    let bytes = load_fixture(GOLDEN_V3, encode_v3_golden);
+    let dir = tmpdir("v3-open");
+    let path = dir.join("00000003.sst");
+    std::fs::write(&path, &bytes).unwrap();
+    let entries = v3_entries();
+
+    let sst = SstReader::open(&path, 3, 8).unwrap();
+    assert_eq!(sst.format_version, 3);
+    assert_eq!(sst.level, 1);
+    assert_eq!(sst.n_entries, entries.len() as u64);
+    assert_eq!(sst.n_tombstones, entries.iter().filter(|(_, v)| v.is_none()).count() as u64);
+    assert_eq!(sst.min_key, entries[0].0);
+    assert_eq!(sst.max_key, entries.last().unwrap().0);
+    assert_eq!(sst.filter_width(), 8);
+
+    // v3 files are self-describing: the caller's expected width is ignored
+    // (it only constrains fixed-width v1/v2 files).
+    let wide = SstReader::open(&path, 3, 32).unwrap();
+    assert_eq!(wide.filter_width(), 8);
+
+    // Every prefix-compressed entry reconstructs its raw key byte-exactly,
+    // tombstones included, in order.
+    let mut scan = SstScanner::new(Arc::new(sst), Arc::new(Stats::default()));
+    let mut i = 0usize;
+    while let Some((k, v)) = scan.try_next().unwrap() {
+        assert_eq!(k, entries[i].0, "entry {i} key");
+        assert_eq!(v, entries[i].1, "entry {i} value");
+        i += 1;
+    }
+    assert_eq!(i, entries.len());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn v2_truncation_sweep_never_panics() {
-    let dir = tmpdir("truncate");
-    let path = write_v2_raw(&dir);
-    let orig = std::fs::read(&path).unwrap();
+fn v3_entry_corruption_is_typed_not_silent() {
+    let dir = tmpdir("v3-corrupt");
+    let path = dir.join("00000003.sst");
+    let orig = encode_v3_golden();
+    assert_eq!(orig[0], 0, "first block must be stored raw for this sweep");
+    let entries = v3_entries();
+    let (_, offsets) = encode_v3_entries(&entries[..V3_BLOCK_ENTRIES]);
+
+    // Entry j of block 0 starts at [9B block header][4B n] + offsets[j];
+    // its fields: [u16 shared][u16 non_shared][u8 flags][u32 value_len].
+    let entry = |j: usize| 9 + 4 + offsets[j];
+    let corrupt = |mutate: &dyn Fn(&mut Vec<u8>), what: &str| {
+        let mut bytes = orig.clone();
+        mutate(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        let sst = SstReader::open(&path, 3, 8).unwrap(); // footer is fine
+        let err = sst.read_block(0, &Stats::default());
+        assert!(matches!(err, Err(Error::Corruption(_))), "{what}: got {err:?}");
+    };
+
+    // A restart entry with a nonzero shared count.
+    corrupt(&|b| b[entry(0)] = 1, "nonzero shared at restart");
+    // A non-restart entry sharing more bytes than the previous key has.
+    corrupt(
+        &|b| b[entry(1)..entry(1) + 2].copy_from_slice(&u16::MAX.to_le_bytes()),
+        "shared exceeds previous key length",
+    );
+    // A zero-length key (shared = 0 at the restart, non_shared forced 0).
+    corrupt(
+        &|b| b[entry(0) + 2..entry(0) + 4].copy_from_slice(&0u16.to_le_bytes()),
+        "zero-length key",
+    );
+    // Reserved flag bits, and the tombstone flag on an entry with a value.
+    for bad_flag in [0x02u8, 0x80, 0xFF, 0x01] {
+        corrupt(&|b| b[entry(0) + 4] = bad_flag, "bad flag byte");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v3_golden_truncation_sweep_never_panics() {
+    let orig = encode_v3_golden();
+    let dir = tmpdir("v3-truncate");
+    let path = dir.join("00000003.sst");
     // Any truncation either fails the open (footer/index damage) or, for
     // cuts inside the data section of an already-open reader, fails the
     // block read — always typed, never a panic.
+    for cut in (0..orig.len()).step_by(3) {
+        std::fs::write(&path, &orig[..cut]).unwrap();
+        if let Ok(sst) = SstReader::open(&path, 3, 8) {
+            let mut scan = SstScanner::new(Arc::new(sst), Arc::new(Stats::default()));
+            while let Ok(Some(_)) = scan.try_next() {}
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Write a v3 file through the real writer (variable-length string keys),
+/// for sweeps over writer-produced bytes (which may use the compressed
+/// block codec, unlike the hand-encoded golden).
+fn write_v3_with_writer(dir: &Path) -> PathBuf {
+    let stats = Stats::default();
+    let queue = QueryQueue::new(4, 1);
+    let mut w = SstWriter::create(dir, 9, 8, 1 << 12, 0).unwrap();
+    for (key, value) in v3_entries() {
+        match value {
+            Some(v) => w.add(&key, &v).unwrap(),
+            None => w.delete(&key).unwrap(),
+        }
+    }
+    drop(w.finish(&NoFilterFactory, &queue, 0.0, &stats).unwrap());
+    dir.join("00000009.sst")
+}
+
+#[test]
+fn writer_output_truncation_sweep_never_panics() {
+    let dir = tmpdir("truncate");
+    let path = write_v3_with_writer(&dir);
+    let orig = std::fs::read(&path).unwrap();
     for cut in (0..orig.len()).step_by(7) {
         std::fs::write(&path, &orig[..cut]).unwrap();
         if let Ok(sst) = SstReader::open(&path, 9, 8) {

@@ -260,11 +260,22 @@ fn structural_damage_inside_a_crc_valid_record_is_corruption() {
     bytes.extend_from_slice(&payload);
     assert!(matches!(replay_bytes(&dir, &bytes), Err(Error::Corruption(_))));
 
-    // A key whose length disagrees with the configured width.
+    // A zero-length key (the writer never logs one).
     let mut payload = 1u32.to_le_bytes().to_vec();
     payload.push(WAL_TAG_DELETE);
-    payload.extend_from_slice(&3u64.to_le_bytes());
-    payload.extend_from_slice(b"abc");
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    let mut bytes = header.clone();
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    assert!(matches!(replay_bytes(&dir, &bytes), Err(Error::Corruption(_))));
+
+    // A key longer than the segment's recorded key-length limit.
+    let big = vec![0xAB; KEY_WIDTH + 1];
+    let mut payload = 1u32.to_le_bytes().to_vec();
+    payload.push(WAL_TAG_DELETE);
+    payload.extend_from_slice(&(big.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&big);
     let mut bytes = header.clone();
     bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -278,5 +289,96 @@ fn structural_damage_inside_a_crc_valid_record_is_corruption() {
     bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
     bytes.extend_from_slice(&payload);
     assert!(matches!(replay_bytes(&dir, &bytes), Err(Error::Corruption(_))));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- variable-length records ----------------------------------------------
+
+/// Key-length limit frozen into the var-len golden segment (the default
+/// `DbConfig::max_key_bytes`).
+const VARLEN_MAX: usize = 1024;
+
+const VARLEN_GOLDEN: &str = "tests/fixtures/wal/golden_varlen.wal";
+
+/// The commits frozen into the var-len golden segment: single-byte keys,
+/// URL-shaped string keys, a shared-prefix pair, and one 300-byte key so
+/// the torn-tail sweep has a cut point at every offset *inside* a long
+/// key.
+fn varlen_golden_commits() -> Vec<Vec<WalOp>> {
+    let long_key = vec![b'L'; 300];
+    vec![
+        vec![(vec![0x00], Some(b"nul".to_vec()))],
+        vec![(b"https://example.com/a".to_vec(), Some(b"page-a".to_vec()))],
+        vec![
+            (b"https://example.com/a/b".to_vec(), Some(b"page-ab".to_vec())),
+            (b"https://example.com/a".to_vec(), None),
+        ],
+        vec![(long_key, Some(b"long".to_vec()))],
+        vec![(vec![0xFF], None)],
+    ]
+}
+
+fn encode_varlen_golden() -> (Vec<u8>, Vec<usize>) {
+    let mut file = Vec::new();
+    file.extend_from_slice(&WAL_MAGIC);
+    file.extend_from_slice(&(VARLEN_MAX as u32).to_le_bytes());
+    let crc = crc32(&file);
+    file.extend_from_slice(&crc.to_le_bytes());
+    let mut boundaries = vec![file.len()];
+    for commit in varlen_golden_commits() {
+        push_record(&mut file, &commit);
+        boundaries.push(file.len());
+    }
+    (file, boundaries)
+}
+
+fn load_varlen_golden() -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(VARLEN_GOLDEN);
+    if std::env::var("PROTEUS_REGEN_FIXTURES").is_ok() || !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encode_varlen_golden().0).unwrap();
+    }
+    std::fs::read(&path).unwrap()
+}
+
+#[test]
+fn varlen_golden_bytes_match_writer_and_replay() {
+    assert_eq!(load_varlen_golden(), encode_varlen_golden().0, "var-len WAL fixture drifted");
+    // The live writer reproduces the fixture byte-for-byte.
+    let dir = tmpdir("varlen-writer");
+    let stats = Stats::default();
+    let w = Wal::create(&dir, 1, VARLEN_MAX, SyncMode::Off).unwrap();
+    for commit in varlen_golden_commits() {
+        w.append_commit(&commit, &stats).unwrap();
+    }
+    w.sync(&stats).unwrap();
+    drop(w);
+    let written = std::fs::read(segment_path(&dir, 1)).unwrap();
+    assert_eq!(written, load_varlen_golden(), "writer diverged on var-len records");
+    // And replay round-trips the commits exactly.
+    let replay = replay_segment(&segment_path(&dir, 1), VARLEN_MAX).unwrap();
+    assert!(!replay.torn_tail);
+    assert_eq!(replay.commits, varlen_golden_commits());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn varlen_torn_tail_sweep_cuts_inside_long_keys() {
+    // Every cut point — including each of the 300 offsets inside the long
+    // key's bytes — must recover exactly the commits whose records fit,
+    // never a partial op and never an error.
+    let (full, boundaries) = encode_varlen_golden();
+    let want = varlen_golden_commits();
+    let dir = tmpdir("varlen-torn");
+    let path = dir.join("probe.wal");
+    for cut in 0..=full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let replay = replay_segment(&path, VARLEN_MAX)
+            .unwrap_or_else(|e| panic!("cut at {cut} must not fail open: {e}"));
+        let n_complete = boundaries[1..].iter().filter(|&&b| b <= cut).count();
+        assert_eq!(replay.commits, want[..n_complete], "cut {cut}: not the longest prefix");
+        let at_boundary = cut >= WAL_HEADER_LEN as usize && boundaries.contains(&cut);
+        assert_eq!(replay.torn_tail, !at_boundary, "cut {cut}: torn_tail mislabeled");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -13,9 +13,9 @@
 //!
 //! * [`protocol`] — the frame layout, request verbs, response statuses and
 //!   typed [`protocol::ErrorCode`]s;
-//! * [`router`] — monotone range-sharding of the fixed-width big-endian
-//!   key space (range ops touch a contiguous shard run, results
-//!   concatenate already sorted);
+//! * [`router`] — monotone range-sharding of the byte-string key space by
+//!   ordered boundary keys (range ops touch a contiguous shard run,
+//!   results concatenate already sorted);
 //! * [`server`] — the accept loop, thread-per-connection dispatch, and the
 //!   graceful-shutdown ordering contract (drain, join, then let
 //!   [`proteus_lsm::Db`]'s drop run the final WAL sync);

@@ -30,9 +30,10 @@
 //! | `STATS`    | `0x06` | — |
 //! | `SHUTDOWN` | `0x07` | — |
 //!
-//! Keys are opaque length-prefixed bytes on the wire; the *server* enforces
-//! its configured fixed key width and answers [`ErrorCode::BadKey`] on a
-//! mismatch, mirroring [`proteus_lsm::Error::Config`] at the Db API.
+//! Keys are opaque length-prefixed bytes on the wire — arbitrary byte
+//! strings; the *server* enforces its configured key-length limit
+//! (non-empty, at most `max_key_bytes`) and answers [`ErrorCode::BadKey`]
+//! outside it, mirroring [`proteus_lsm::Error::Config`] at the Db API.
 //!
 //! ## Responses
 //!

@@ -1,28 +1,36 @@
 //! Range-sharded key routing.
 //!
-//! The server partitions the key space across `n` shards by the key's
-//! 8-byte big-endian prefix: shard `i` owns the contiguous slice of the
-//! `u64` prefix space `[i * 2^64 / n, (i+1) * 2^64 / n)`. Because the
-//! store's keys are fixed-width big-endian ([`proteus_core::key::u64_key`]
-//! layout), this mapping is **monotone in key order**: every key in shard
-//! `i` sorts before every key in shard `i + 1`. Range operations
-//! (`SCAN` / `SEEK`) therefore touch only the contiguous shard run
-//! [`Router::shards_for_range`] and can concatenate per-shard results in
-//! shard order to get a globally sorted answer — no merge needed.
+//! The server partitions the key space across `n` shards by `n - 1`
+//! **ordered boundary keys**: shard `i` owns the contiguous slice of key
+//! space `[boundary[i-1], boundary[i])` (shard 0 runs from the smallest
+//! key, the last shard to the largest). A key routes to the number of
+//! boundaries that are `<=` it — a plain lexicographic
+//! `partition_point`, so the mapping is **monotone in key order** for
+//! keys of *any* length: every key in shard `i` sorts before every key
+//! in shard `i + 1`. Range operations (`SCAN` / `SEEK`) therefore touch
+//! only the contiguous shard run [`Router::shards_for_range`] and can
+//! concatenate per-shard results in shard order to get a globally sorted
+//! answer — no merge needed.
 //!
-//! Keys narrower than 8 bytes are right-padded with zeros for routing
-//! (padding preserves big-endian order); bytes past the eighth never
-//! influence the shard, which is fine — they refine order *within* a
-//! prefix, and a prefix never straddles shards.
+//! [`Router::new`] seeds the boundaries with an even split of the 8-byte
+//! big-endian prefix space (boundary `i` is the 8-byte key
+//! `ceil(i * 2^64 / n)`), which routes fixed-width u64 keys exactly like
+//! the earlier multiply-shift router did. Boundary keys are compared as
+//! ordinary keys — no padding: a key that is a strict prefix of a
+//! boundary sorts (and routes) below it.
 
-/// Maps fixed-width big-endian keys to one of `n` contiguous range shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Maps byte-string keys to one of `n` contiguous range shards by ordered
+/// boundary keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Router {
-    n_shards: usize,
+    /// `n_shards - 1` strictly ascending split keys; shard `i` owns
+    /// `[boundaries[i-1], boundaries[i])`.
+    boundaries: Vec<Vec<u8>>,
 }
 
 impl Router {
-    /// A router over `n_shards` shards.
+    /// A router over `n_shards` shards, splitting the 8-byte big-endian
+    /// prefix space evenly.
     ///
     /// # Panics
     ///
@@ -31,23 +39,29 @@ impl Router {
     pub fn new(n_shards: usize) -> Router {
         assert!(n_shards > 0, "a server needs at least one shard");
         assert!(n_shards <= u32::MAX as usize, "shard count must fit in u32");
-        Router { n_shards }
+        let boundaries = (1..n_shards)
+            .map(|i| {
+                let split = ((i as u128) << 64).div_ceil(n_shards as u128) as u64;
+                split.to_be_bytes().to_vec()
+            })
+            .collect();
+        Router { boundaries }
     }
 
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
-        self.n_shards
+        self.boundaries.len() + 1
     }
 
-    /// The shard owning `key`. Always in `0..n_shards`.
+    /// The ordered split keys (one fewer than the shard count).
+    pub fn boundaries(&self) -> &[Vec<u8>] {
+        &self.boundaries
+    }
+
+    /// The shard owning `key`: the number of boundary keys `<= key`.
+    /// Always in `0..n_shards`, monotone in lexicographic key order.
     pub fn shard_of(&self, key: &[u8]) -> usize {
-        let mut prefix = [0u8; 8];
-        let take = key.len().min(8);
-        prefix[..take].copy_from_slice(&key[..take]);
-        let p = u64::from_be_bytes(prefix);
-        // Multiply-shift split: shard i owns an equal 1/n slice of the
-        // prefix space, and the map is monotone (key order => shard order).
-        ((p as u128 * self.n_shards as u128) >> 64) as usize
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
     }
 
     /// The inclusive run of shards a closed key range `[lo, hi]` can
@@ -75,6 +89,7 @@ mod tests {
     fn every_key_lands_in_bounds_and_routing_is_monotone() {
         for n in [1usize, 2, 3, 4, 7, 16] {
             let r = Router::new(n);
+            assert_eq!(r.n_shards(), n);
             for step in 0..4096u64 {
                 let key = k(step.wrapping_mul(0x0004_0000_0000_0421));
                 let s = r.shard_of(&key);
@@ -94,6 +109,21 @@ mod tests {
     }
 
     #[test]
+    fn u64_routing_matches_the_legacy_multiply_shift_split() {
+        // The boundary seed must keep routing fixed-width u64 keys exactly
+        // where the old `(p * n) >> 64` router put them, so existing
+        // sharded directories stay valid.
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let r = Router::new(n);
+            for step in 0..8192u64 {
+                let p = step.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let legacy = ((p as u128 * n as u128) >> 64) as usize;
+                assert_eq!(r.shard_of(&k(p)), legacy, "key {p:#x} diverged for n={n}");
+            }
+        }
+    }
+
+    #[test]
     fn shards_split_the_space_roughly_evenly() {
         let n = 8;
         let r = Router::new(n);
@@ -109,12 +139,32 @@ mod tests {
     }
 
     #[test]
-    fn short_keys_route_like_their_zero_padded_prefix() {
+    fn variable_length_keys_route_in_lexicographic_order() {
         let r = Router::new(4);
-        assert_eq!(r.shard_of(&[0x80, 0x00]), r.shard_of(&[0x80, 0x00, 0, 0, 0, 0, 0, 0]));
-        // Bytes past the eighth never change the shard.
-        let long = [0xC0, 1, 2, 3, 4, 5, 6, 7, 0xFF, 0xFF];
-        assert_eq!(r.shard_of(&long), r.shard_of(&long[..8]));
+        // Boundaries are ordinary keys: a strict prefix of a boundary
+        // sorts (and routes) below it, longer keys above.
+        assert_eq!(r.boundaries()[1], k(0x8000_0000_0000_0000));
+        assert_eq!(r.shard_of(&[0x80]), 1, "strict prefix of a boundary routes below it");
+        assert_eq!(r.shard_of(&[0x80, 0, 0, 0, 0, 0, 0, 0]), 2);
+        assert_eq!(r.shard_of(&[0x80, 0, 0, 0, 0, 0, 0, 0, 0xFF]), 2);
+        assert_eq!(r.shard_of(b""), 0);
+        assert_eq!(r.shard_of(&[0xFF; 1024]), 3);
+        // Monotone over a mixed-length sorted key set.
+        let mut keys: Vec<Vec<u8>> = vec![
+            vec![0x01],
+            b"https://example.com/a".to_vec(),
+            b"https://example.com/a/b".to_vec(),
+            vec![0x90; 3],
+            vec![0xC0, 0x01],
+            vec![0xFE; 300],
+        ];
+        keys.sort();
+        let mut prev = 0usize;
+        for key in &keys {
+            let s = r.shard_of(key);
+            assert!(s >= prev, "shard order regressed at {key:?}");
+            prev = s;
+        }
     }
 
     #[test]

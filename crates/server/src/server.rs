@@ -60,7 +60,9 @@ pub struct Server {
 struct Shared {
     shards: Vec<Db>,
     router: Router,
-    key_width: usize,
+    /// Longest key the shards accept (uniform across shards); validated
+    /// up front so a malformed key never reaches a store.
+    max_key_bytes: usize,
     /// The listener's bound address — the self-connect target that wakes
     /// the blocking accept loop during shutdown.
     listen_addr: SocketAddr,
@@ -89,7 +91,7 @@ impl Server {
         factory: Arc<dyn FilterFactory>,
     ) -> std::io::Result<Server> {
         let router = Router::new(n_shards);
-        let key_width = cfg.key_width();
+        let max_key_bytes = cfg.max_key_bytes();
         let mut shards = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
             let shard_dir: PathBuf = dir.as_ref().join(format!("shard-{i:04}"));
@@ -103,7 +105,7 @@ impl Server {
         let shared = Arc::new(Shared {
             shards,
             router,
-            key_width,
+            max_key_bytes,
             listen_addr: local_addr,
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
@@ -366,19 +368,26 @@ fn store_error(e: DbError) -> Response {
 }
 
 impl Shared {
-    /// Validate the key width up front (uniform across shards), then route.
+    /// Validate the key length up front (uniform across shards), then
+    /// route. Keys are arbitrary byte strings of 1..=`max_key_bytes`
+    /// bytes.
     fn shard_for(&self, key: &[u8]) -> Result<&Db, Response> {
-        if key.len() != self.key_width {
+        self.check_key("key", key)?;
+        Ok(&self.shards[self.router.shard_of(key)])
+    }
+
+    fn check_key(&self, name: &str, key: &[u8]) -> Result<(), Response> {
+        if key.is_empty() || key.len() > self.max_key_bytes {
             return Err(Response::Error {
                 code: ErrorCode::BadKey,
                 message: format!(
-                    "key is {} bytes; this server stores {}-byte keys",
+                    "{name} is {} bytes; this server stores keys of 1..={} bytes",
                     key.len(),
-                    self.key_width
+                    self.max_key_bytes
                 ),
             });
         }
-        Ok(&self.shards[self.router.shard_of(key)])
+        Ok(())
     }
 
     /// Ordered scan of `[lo, hi]` across the shard run. Shards partition
@@ -430,19 +439,8 @@ impl Shared {
     }
 
     fn check_bounds(&self, lo: &[u8], hi: &[u8]) -> Result<(), Response> {
-        for (name, b) in [("lo", lo), ("hi", hi)] {
-            if b.len() != self.key_width {
-                return Err(Response::Error {
-                    code: ErrorCode::BadKey,
-                    message: format!(
-                        "{name} bound is {} bytes; this server stores {}-byte keys",
-                        b.len(),
-                        self.key_width
-                    ),
-                });
-            }
-        }
-        Ok(())
+        self.check_key("lo bound", lo)?;
+        self.check_key("hi bound", hi)
     }
 
     fn stats(&self) -> Vec<ShardStats> {

@@ -6,6 +6,7 @@
 //! errors (never a panic, never a hang), and kill-and-reconnect proving
 //! every shard recovers acked writes through its WAL.
 
+use proptest::prelude::*;
 use proteus_lsm::{DbConfig, ProteusFactory};
 use proteus_server::protocol::{write_frame, MAX_FRAME_LEN, VERB_GET, VERB_PUT};
 use proteus_server::{Client, ClientError, ErrorCode, Server};
@@ -145,16 +146,28 @@ fn malformed_frames_get_typed_errors_not_panics_or_hangs() {
     let server = start_server(dir.path(), 2);
     let addr = server.local_addr();
 
-    // Wrong key width → BadKey, and the connection stays usable.
+    // Out-of-bounds key lengths → BadKey, and the connection stays
+    // usable. Keys are arbitrary byte strings now, so only the empty key
+    // and keys over the configured `max_key_bytes` are rejected.
     let mut c = Client::connect(addr).unwrap();
-    match c.get(b"short") {
+    match c.get(b"") {
         Err(ClientError::Remote { code: ErrorCode::BadKey, .. }) => {}
-        other => panic!("expected BadKey, got {other:?}"),
+        other => panic!("expected BadKey for the empty key, got {other:?}"),
     }
-    match c.scan(b"short", &key(5), 0) {
+    match c.get(&[7u8; 2000]) {
+        Err(ClientError::Remote { code: ErrorCode::BadKey, .. }) => {}
+        other => panic!("expected BadKey for an oversized key, got {other:?}"),
+    }
+    match c.scan(b"", &key(5), 0) {
         Err(ClientError::Remote { code: ErrorCode::BadKey, .. }) => {}
         other => panic!("expected BadKey for scan bounds, got {other:?}"),
     }
+    match c.seek(&key(0), &[7u8; 2000]) {
+        Err(ClientError::Remote { code: ErrorCode::BadKey, .. }) => {}
+        other => panic!("expected BadKey for seek bounds, got {other:?}"),
+    }
+    c.put(b"short", b"legal").unwrap(); // 5-byte keys are valid now
+    assert_eq!(c.get(b"short").unwrap(), Some(b"legal".to_vec()));
     c.ping().unwrap(); // same connection still serves
 
     // Unknown verb byte → UnknownVerb.
@@ -294,6 +307,180 @@ fn shutdown_verb_drains_and_stops_the_server() {
     let server = start_server(dir.path(), 2);
     let mut c = Client::connect(server.local_addr()).unwrap();
     assert_eq!(c.get(&key(42)).unwrap(), Some(b"v".to_vec()));
+}
+
+#[test]
+fn string_keys_scan_globally_sorted_across_shards() {
+    let dir = tempdir();
+    let server = start_server(dir.path(), 4);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    // Variable-length keys whose first bytes span the whole space, so
+    // every shard owns some; lengths range from 1 byte to ~1 KiB.
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    for i in 0..128u32 {
+        let first = (i * 2) as u8;
+        let mut k = vec![first];
+        match i % 4 {
+            0 => {}
+            1 => k.extend_from_slice(format!("/url/{:03}/page", i).as_bytes()),
+            2 => k.extend_from_slice(&[first; 16]),
+            _ => k.resize(1 + (i as usize % 900), b'x'),
+        }
+        keys.push(k);
+    }
+    keys.sort();
+    keys.dedup();
+    // Insert in reverse order; values echo the key for byte-exact checks.
+    for k in keys.iter().rev() {
+        c.put(k, k).unwrap();
+    }
+    let stats = c.stats().unwrap();
+    let per_shard: Vec<u64> = stats.iter().map(|s| s.commits).collect();
+    assert!(per_shard.iter().all(|&n| n > 0), "every shard must own keys: {per_shard:?}");
+
+    // One cross-shard scan over everything: globally sorted, complete,
+    // byte-exact — zero false negatives through each shard's filters.
+    let (entries, more) = c.scan(&[0x00], &[0xFF; 1024], 0).unwrap();
+    assert!(!more);
+    let got: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+    assert_eq!(got, keys, "cross-shard string scan must be globally sorted and complete");
+    for (k, v) in &entries {
+        assert_eq!(k, v, "value served under the wrong key");
+    }
+
+    // Point ops agree on both sides of a shard boundary prefix.
+    assert!(c.seek(&keys[0], keys.last().unwrap()).unwrap());
+    c.delete(&keys[3]).unwrap();
+    assert_eq!(c.get(&keys[3]).unwrap(), None);
+    assert_eq!(c.get(&keys[4]).unwrap(), Some(keys[4].clone()));
+}
+
+#[test]
+fn malformed_var_len_key_frames_get_typed_errors() {
+    let dir = tempdir();
+    let server = start_server(dir.path(), 2);
+    let addr = server.local_addr();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A key length prefix promising more bytes than the frame holds →
+    // BadFrame (the decoder must not over-read).
+    for promised in [9u64, 1 << 20, u64::MAX] {
+        let mut payload = vec![VERB_GET];
+        payload.extend_from_slice(&promised.to_le_bytes());
+        payload.extend_from_slice(b"tiny"); // 4 actual bytes
+        write_frame(&mut raw, &payload).unwrap();
+        raw.flush().unwrap();
+        assert_eq!(
+            read_status(&mut raw),
+            ErrorCode::BadFrame.as_byte(),
+            "length prefix {promised} must be BadFrame"
+        );
+    }
+
+    // A well-formed frame carrying an empty key → BadKey (wire-legal,
+    // store-illegal).
+    let mut payload = vec![VERB_GET];
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    write_frame(&mut raw, &payload).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(read_status(&mut raw), ErrorCode::BadKey.as_byte());
+
+    // A well-formed frame carrying a key over `max_key_bytes` → BadKey.
+    let mut payload = vec![VERB_PUT];
+    payload.extend_from_slice(&1025u64.to_le_bytes());
+    payload.extend_from_slice(&[7u8; 1025]);
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(b'v');
+    write_frame(&mut raw, &payload).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(read_status(&mut raw), ErrorCode::BadKey.as_byte());
+
+    // A SCAN whose hi bound's length prefix lies → BadFrame; whose hi
+    // bound is empty → BadKey.
+    let mut payload = vec![proteus_server::protocol::VERB_SCAN];
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(b'a');
+    payload.extend_from_slice(&500u64.to_le_bytes()); // promises 500, sends 1
+    payload.push(b'z');
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    write_frame(&mut raw, &payload).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(read_status(&mut raw), ErrorCode::BadFrame.as_byte());
+
+    let mut payload = vec![proteus_server::protocol::VERB_SCAN];
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.push(b'a');
+    payload.extend_from_slice(&0u64.to_le_bytes()); // empty hi bound
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    write_frame(&mut raw, &payload).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(read_status(&mut raw), ErrorCode::BadKey.as_byte());
+
+    // After every rejection the same connection still serves valid
+    // var-len traffic.
+    let mut c = Client::connect(addr).unwrap();
+    c.put(b"https://example.com/a", b"ok").unwrap();
+    assert_eq!(c.get(b"https://example.com/a").unwrap(), Some(b"ok".to_vec()));
+    write_frame(&mut raw, &[proteus_server::protocol::VERB_PING]).unwrap();
+    raw.flush().unwrap();
+    assert_eq!(read_status(&mut raw), 0);
+}
+
+// ------------------------------------------------- router property tests
+
+/// Tiny xorshift for deterministic key generation inside proptest cases.
+struct KeyRng(u64);
+
+impl KeyRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.0 = x;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x
+    }
+
+    /// An arbitrary byte-string key, 1..=64 bytes, arbitrary content.
+    fn key(&mut self) -> Vec<u8> {
+        let len = 1 + self.next() as usize % 64;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Router monotonicity over arbitrary byte-string keys: sorting keys
+    /// must sort their shards, every shard is in bounds, and a range's
+    /// shard run brackets exactly the shards its keys land in — the
+    /// property that lets cross-shard SCAN concatenate per-shard results
+    /// without a merge.
+    #[test]
+    fn router_is_monotone_over_string_keys(seed in 0u64..u64::MAX / 2, n_shards in 1u64..12) {
+        let router = proteus_server::Router::new(n_shards as usize);
+        let mut rng = KeyRng(seed);
+        let mut keys: Vec<Vec<u8>> = (0..200).map(|_| rng.key()).collect();
+        keys.sort();
+        let mut prev = 0usize;
+        for k in &keys {
+            let s = router.shard_of(k);
+            prop_assert!(s < n_shards as usize, "shard {s} out of bounds");
+            prop_assert!(s >= prev, "shard order regressed at {k:?}");
+            prev = s;
+        }
+        // Any [lo, hi] pair: the shard run is exactly shard(lo)..=shard(hi)
+        // and contains the shard of every key inside the range.
+        let (lo, hi) = (&keys[17], &keys[180]);
+        let run = router.shards_for_range(lo, hi);
+        for k in &keys[17..=180] {
+            prop_assert!(run.contains(&router.shard_of(k)), "key {k:?} outside its range's run");
+        }
+        // Inverted bounds are an empty run.
+        prop_assert_eq!(router.shards_for_range(hi, lo).count(), 0);
+    }
 }
 
 // ---------------------------------------------------------------- tempdir

@@ -11,16 +11,20 @@
 //!   `.org` domains) and big-endian string range arithmetic;
 //! * [`values`] — §6.2 half-zero value payloads for the LSM experiments;
 //! * [`zipf`] — YCSB-style zipfian popularity sampling for the skewed
-//!   server load generator (`fig_server`).
+//!   server load generator (`fig_server`);
+//! * [`ycsb`] — the YCSB core mixes A–F over zipfian / latest / hotspot
+//!   request distributions and u64 / URL key spaces (`fig_ycsb`).
 
 pub mod datasets;
 pub mod queries;
 pub mod strings;
 pub mod values;
+pub mod ycsb;
 pub mod zipf;
 
 pub use datasets::Dataset;
 pub use queries::{QueryGen, Workload, DEFAULT_CORR_DEGREE};
-pub use strings::{generate_domains, StringDataset, StringQueryGen};
+pub use strings::{generate_domains, generate_urls, StringDataset, StringQueryGen};
 pub use values::value_for_key;
+pub use ycsb::{Distribution, KeySpace, Mix, Ycsb, YcsbOp, MAX_SCAN_LEN};
 pub use zipf::Zipfian;

@@ -121,6 +121,46 @@ pub fn generate_domains(n: usize, seed: u64) -> Vec<Vec<u8>> {
     keys
 }
 
+/// `n` distinct synthetic URLs (`https://<domain>/<segment>…[-<num>]`),
+/// sorted lexicographically.
+///
+/// Every key shares the `https://` scheme prefix and reuses a small
+/// domain pool and path-segment dictionary, giving the long common
+/// prefixes real crawled URL sets have — the shape that stresses prefix
+/// compression in SST blocks and prefix-based filter training. Used by
+/// [`crate::ycsb`]'s [`crate::ycsb::KeySpace::Url`] key space.
+pub fn generate_urls(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    const SEGMENTS: &[&str] = &[
+        "about", "api", "archive", "blog", "cart", "docs", "faq", "feed", "help", "img", "index",
+        "items", "news", "page", "post", "search", "shop", "tag", "user", "wiki",
+    ];
+    assert!(n > 0, "empty URL pool");
+    let domains = generate_domains((n / 8).clamp(4, 2048), seed ^ 0x0075_12F5);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0072_11CA);
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(n + n / 8);
+    while keys.len() < n {
+        let missing = n - keys.len();
+        for _ in 0..missing {
+            let mut k = b"https://".to_vec();
+            k.extend_from_slice(&domains[rng.gen_range(0..domains.len())]);
+            for _ in 0..rng.gen_range(1..=3u32) {
+                k.push(b'/');
+                k.extend_from_slice(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].as_bytes());
+            }
+            // Most pages in a crawl are numbered (pagination, ids).
+            if rng.gen_range(0..4u32) > 0 {
+                k.push(b'-');
+                k.extend_from_slice(rng.gen_range(0..1_000_000u64).to_string().as_bytes());
+            }
+            keys.push(k);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+    }
+    keys.truncate(n);
+    keys
+}
+
 /// Add `offset` to a fixed-width big-endian key, saturating at all-ones.
 pub fn add_offset(key: &[u8], offset: u64) -> Vec<u8> {
     let mut out = key.to_vec();
@@ -250,6 +290,24 @@ mod tests {
         for d in domains.iter().take(50) {
             assert!(d.ends_with(b".org"));
         }
+    }
+
+    #[test]
+    fn urls_are_distinct_sorted_and_urlish() {
+        let urls = generate_urls(4000, 9);
+        assert_eq!(urls.len(), 4000);
+        assert!(urls.windows(2).all(|w| w[0] < w[1]), "must be sorted and distinct");
+        for u in urls.iter().take(200) {
+            assert!(u.starts_with(b"https://"), "{:?}", String::from_utf8_lossy(u));
+            let path = &u[b"https://".len()..];
+            assert!(path.contains(&b'/'), "URL without a path: {:?}", String::from_utf8_lossy(u));
+        }
+        // Deterministic across calls with the same seed.
+        assert_eq!(urls, generate_urls(4000, 9));
+        // Variable lengths, not a fixed-width set in disguise.
+        let (min, max) =
+            urls.iter().fold((usize::MAX, 0), |(lo, hi), u| (lo.min(u.len()), hi.max(u.len())));
+        assert!(max - min >= 10, "length spread too narrow: {min}..{max}");
     }
 
     #[test]
