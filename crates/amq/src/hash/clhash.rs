@@ -107,6 +107,7 @@ impl ClHasher {
         let mut words = data.chunks_exact(8);
         let mut m0: Option<u64> = None;
         for w in words.by_ref() {
+            // lint: allow(no-panic): chunks_exact(8) guarantees the width
             let lane = u64::from_le_bytes(w.try_into().unwrap());
             match m0.take() {
                 None => m0 = Some(lane),

@@ -76,6 +76,12 @@ pub enum FilterKind {
 }
 
 impl FilterKind {
+    /// The stable wire tag this kind serializes as.
+    pub const fn tag(self) -> u8 {
+        // lint: allow(truncating-cast): `#[repr(u8)]` discriminants fit by construction
+        self as u8
+    }
+
     /// Map a raw wire tag back to its kind; `None` for tags this build
     /// does not know (a filter written by a newer version).
     pub fn from_tag(tag: u8) -> Option<FilterKind> {
@@ -110,14 +116,14 @@ pub struct Unsealed<'a> {
 
 /// Wrap `payload` in the current envelope for `kind`, with no fingerprint.
 pub fn seal(kind: FilterKind, payload: &[u8]) -> Vec<u8> {
-    seal_raw(kind as u8, payload)
+    seal_raw(kind.tag(), payload)
 }
 
 /// Wrap `payload` in the current envelope together with a training
 /// fingerprint (the serialized [`crate::QuerySketch`] of the sample the
 /// filter was trained on).
 pub fn seal_with_fingerprint(kind: FilterKind, payload: &[u8], fingerprint: &[u8]) -> Vec<u8> {
-    seal_parts(kind as u8, payload, fingerprint)
+    seal_parts(kind.tag(), payload, fingerprint)
 }
 
 /// [`seal`] with an arbitrary kind tag — used by forward-compatibility
@@ -134,6 +140,10 @@ fn seal_parts(tag: u8, payload: &[u8], fingerprint: &[u8]) -> Vec<u8> {
     out.put_u8(0);
     out.put_u64(payload.len() as u64);
     out.extend_from_slice(payload);
+    // A fingerprint is a bounded `QuerySketch` serialization, orders of
+    // magnitude below 4 GiB; the assert documents the wire-width invariant.
+    debug_assert!(u32::try_from(fingerprint.len()).is_ok());
+    // lint: allow(truncating-cast): bounded sketch length, asserted above
     out.put_u32(fingerprint.len() as u32);
     out.extend_from_slice(fingerprint);
     let crc = crc32(&out);
@@ -147,7 +157,7 @@ pub fn seal_v1(kind: FilterKind, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
     out.extend_from_slice(&FILTER_MAGIC);
     out.put_u16(1);
-    out.put_u8(kind as u8);
+    out.put_u8(kind.tag());
     out.put_u8(0);
     out.put_u64(payload.len() as u64);
     out.extend_from_slice(payload);
@@ -189,6 +199,25 @@ pub fn unseal(bytes: &[u8]) -> Result<Unsealed<'_>, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Golden fixture: the envelope header bytes are part of the on-disk
+    /// format. If this test needs updating, the format changed — bump
+    /// [`FORMAT_VERSION`] and extend the decoder instead of editing the
+    /// expectation.
+    #[test]
+    fn envelope_header_golden_bytes() {
+        let sealed = seal(FilterKind::NoFilter, &[]);
+        assert_eq!(&sealed[..4], b"PRFC");
+        assert_eq!(sealed[..4], FILTER_MAGIC);
+        assert_eq!(u16::from_le_bytes([sealed[4], sealed[5]]), FORMAT_VERSION);
+        assert_eq!(FORMAT_VERSION, 2);
+        // The compatibility floor: v1 envelopes must keep decoding for as
+        // long as MIN_FORMAT_VERSION says they do.
+        assert_eq!(MIN_FORMAT_VERSION, 1);
+        let v1 = seal_v1(FilterKind::NoFilter, &[]);
+        assert_eq!(u16::from_le_bytes([v1[4], v1[5]]), MIN_FORMAT_VERSION);
+        assert!(unseal(&v1).is_ok());
+    }
 
     #[test]
     fn seal_unseal_roundtrip() {

@@ -51,6 +51,7 @@ pub mod prefix_bf;
 pub mod proteus;
 pub mod sample;
 pub mod sketch;
+pub mod sync;
 pub mod trie;
 pub mod two_pbf;
 

@@ -124,7 +124,7 @@ impl ProteusModel {
             let mut results: Vec<Option<(u64, Vec<ProbeBins>)>> =
                 (0..l1_candidates.len()).map(|_| None).collect();
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots = std::sync::Mutex::new(&mut results);
+            let slots = crate::sync::Mutex::new(crate::sync::rank::SCRATCH, &mut results);
             std::thread::scope(|scope| {
                 for _ in 0..opts.threads.min(l1_candidates.len()) {
                     scope.spawn(|| loop {
@@ -133,11 +133,18 @@ impl ProteusModel {
                             break;
                         }
                         let r = accumulate(c);
-                        slots.lock().unwrap()[c] = Some(r);
+                        // A worker panic propagates out of the scope, so a
+                        // poisoned scratch lock is unreachable here; recover
+                        // rather than panic to keep this path panic-free.
+                        slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[c] =
+                            Some(r);
                     });
                 }
             });
-            results.into_iter().map(|r| r.unwrap()).collect()
+            // Every index was claimed by exactly one worker and the scope
+            // joined them all, so each slot is filled; `unwrap_or_default`
+            // keeps positional alignment without a panic path.
+            results.into_iter().map(Option::unwrap_or_default).collect()
         } else {
             (0..l1_candidates.len()).map(accumulate).collect()
         };
@@ -178,7 +185,9 @@ impl ProteusModel {
         };
         for (c, &l1) in self.l1_candidates.iter().enumerate() {
             // Trie-only design (bLen = 0 in Algorithm 1 line 17).
-            let t_fpr = self.expected_fpr(keys, l1, 0, m_bits).unwrap();
+            // `l1` comes from our own candidate list, so the model always
+            // has an answer; skip defensively rather than panic.
+            let Some(t_fpr) = self.expected_fpr(keys, l1, 0, m_bits) else { continue };
             if t_fpr <= best.expected_fpr {
                 best = ProteusDesign {
                     trie_depth_bits: l1,
@@ -194,7 +203,7 @@ impl ProteusModel {
                 if l2 <= l1 {
                     continue;
                 }
-                let fpr = self.expected_fpr(keys, l1, l2, m_bits).unwrap();
+                let Some(fpr) = self.expected_fpr(keys, l1, l2, m_bits) else { continue };
                 if fpr <= best.expected_fpr {
                     best = ProteusDesign {
                         trie_depth_bits: l1,
@@ -228,7 +237,9 @@ impl ProteusModel {
         };
         let mut best_score = f64::INFINITY;
         for (c, &l1) in self.l1_candidates.iter().enumerate() {
-            let t_fpr = self.expected_fpr(keys, l1, 0, m_bits).unwrap();
+            // `l1` comes from our own candidate list, so the model always
+            // has an answer; skip defensively rather than panic.
+            let Some(t_fpr) = self.expected_fpr(keys, l1, 0, m_bits) else { continue };
             if t_fpr <= best_score {
                 best_score = t_fpr; // trie-only designs probe nothing
                 best = ProteusDesign {
@@ -245,7 +256,7 @@ impl ProteusModel {
                 if l2 <= l1 {
                     continue;
                 }
-                let fpr = self.expected_fpr(keys, l1, l2, m_bits).unwrap();
+                let Some(fpr) = self.expected_fpr(keys, l1, l2, m_bits) else { continue };
                 let probes = self.expected_probes(c, l2);
                 let score = fpr + probe_cost_weight * probes;
                 if score <= best_score {

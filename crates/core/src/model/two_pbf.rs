@@ -169,7 +169,7 @@ impl TwoPbfModel {
         let per_l1: Vec<Vec<f64>> = if opts.threads > 1 {
             let mut results: Vec<Option<Vec<f64>>> = (0..l1_values.len()).map(|_| None).collect();
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let slots = std::sync::Mutex::new(&mut results);
+            let slots = crate::sync::Mutex::new(crate::sync::rank::SCRATCH, &mut results);
             std::thread::scope(|scope| {
                 for _ in 0..opts.threads.min(l1_values.len().max(1)) {
                     scope.spawn(|| loop {
@@ -178,11 +178,18 @@ impl TwoPbfModel {
                             break;
                         }
                         let r = eval_l1(l1_values[c]);
-                        slots.lock().unwrap()[c] = Some(r);
+                        // A worker panic propagates out of the scope, so a
+                        // poisoned scratch lock is unreachable here; recover
+                        // rather than panic to keep this path panic-free.
+                        slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[c] =
+                            Some(r);
                     });
                 }
             });
-            results.into_iter().map(|r| r.unwrap()).collect()
+            // Every index was claimed by exactly one worker and the scope
+            // joined them all, so each slot is filled; `unwrap_or_default`
+            // keeps positional alignment without a panic path.
+            results.into_iter().map(Option::unwrap_or_default).collect()
         } else {
             l1_values.iter().map(|&l1| eval_l1(l1)).collect()
         };

@@ -1,0 +1,851 @@
+//! Lock-doctor: rank-checked synchronization primitives.
+//!
+//! Every lock in the workspace is a [`Mutex`] or [`RwLock`] from this
+//! module, constructed with a [`Rank`] from the canonical hierarchy in
+//! [`rank`]. A thread may only acquire a lock whose rank is **strictly
+//! lower** than every lock it already holds — acquisitions run "down" the
+//! hierarchy, which makes cross-thread acquisition cycles (deadlocks)
+//! impossible by construction.
+//!
+//! In debug builds (`cfg(debug_assertions)`) or with the `lock-doctor`
+//! feature enabled, the wrappers are instrumented: each thread keeps a
+//! stack of the locks it holds, a global acquisition-order graph collects
+//! first-witness call sites for every observed rank pair, and any rank
+//! inversion or order-graph cycle panics with **both** acquisition sites
+//! named (the one being taken and the one already held). Hold and
+//! contention nanoseconds are reported through a per-lock
+//! [`LockObserver`], which the LSM store wires into its `Stats` counters.
+//!
+//! In release builds without the feature the wrappers are transparent
+//! newtypes around `std::sync` with no extra state, no `Drop` glue and no
+//! timing calls — `size_of` is identical and guards are the std guards
+//! themselves.
+//!
+//! The `proteus-lint` pass enforces that no code outside this module
+//! touches `std::sync::{Mutex, RwLock, Condvar}` directly.
+
+use std::sync::Arc;
+
+/// A level in the canonical lock hierarchy. Locks must be acquired in
+/// strictly decreasing [`Rank::level`] order within a thread.
+///
+/// The levels in [`rank`] are deliberately spaced so future locks can
+/// slot between existing ones without renumbering the world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rank {
+    level: u16,
+    name: &'static str,
+}
+
+impl Rank {
+    /// Define a rank. Levels must be unique per name; two distinct locks
+    /// may share a rank only if they are never held simultaneously by one
+    /// thread (the doctor treats same-level nesting as an inversion).
+    pub const fn new(level: u16, name: &'static str) -> Rank {
+        Rank { level, name }
+    }
+
+    /// Numeric level; higher acquires first.
+    pub const fn level(&self) -> u16 {
+        self.level
+    }
+
+    /// Human-readable name used in panic messages and the order graph.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// The canonical lock hierarchy (acquire top-to-bottom). The table in
+/// `ARCHITECTURE.md` § "Lock hierarchy & analysis tooling" documents the
+/// why behind each ordering edge.
+pub mod rank {
+    use super::Rank;
+
+    /// Adaptive re-training pass serialization (`adapt_lock` in the LSM
+    /// `Db`). Held across manifest edits, gate checks and SST filter
+    /// rewrites, so it sits above everything.
+    pub const ADAPT: Rank = Rank::new(90, "adapt");
+    /// The MemTable state (`RwLock<MemState>`): writers append under it
+    /// and it nests over the WAL (append/rotate) and the gate
+    /// (rotation publish).
+    pub const MEMTABLE: Rank = Rank::new(80, "memtable");
+    /// The flush/compaction coordination gate (`Mutex<Coord>` plus its
+    /// condvars).
+    pub const GATE: Rank = Rank::new(70, "gate");
+    /// The write-ahead-log interior (segment writer + group-commit
+    /// state).
+    pub const WAL: Rank = Rank::new(60, "wal");
+    /// The manifest (`RwLock<Arc<Version>>` of live levels).
+    pub const MANIFEST: Rank = Rank::new(50, "manifest");
+    /// Per-SST lazily-decoded metadata (pending filter bytes, training
+    /// fingerprint).
+    pub const SST_META: Rank = Rank::new(40, "sst-meta");
+    /// One shard of the sharded block cache. Shards are never nested
+    /// with each other (guards are dropped between shards), so a single
+    /// rank covers all sixteen.
+    pub const CACHE_SHARD: Rank = Rank::new(30, "cache-shard");
+    /// The sample-query queue.
+    pub const QUERY_QUEUE: Rank = Rank::new(20, "query-queue");
+    /// The server's connection-handle registry.
+    pub const SERVER_CONNS: Rank = Rank::new(15, "server-conns");
+    /// Leaf-level scratch state (e.g. the CPFPR trainers' result-slot
+    /// collectors). Never nests over anything.
+    pub const SCRATCH: Rank = Rank::new(10, "scratch");
+}
+
+/// Receives one event per completed lock hold (on guard drop, and on the
+/// release half of a condvar wait). `contended_ns` is time spent blocked
+/// acquiring; `hold_ns` is time the guard was held. Only called in
+/// instrumented builds.
+pub trait LockObserver: Send + Sync + 'static {
+    /// Report one acquisition/release cycle of a lock with rank `rank`.
+    fn lock_event(&self, rank: Rank, contended_ns: u64, hold_ns: u64);
+}
+
+/// True when lock-doctor instrumentation is compiled in (debug build or
+/// the `lock-doctor` feature).
+pub const fn doctor_enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "lock-doctor"))
+}
+
+#[cfg(any(debug_assertions, feature = "lock-doctor"))]
+mod imp {
+    use super::{LockObserver, Rank};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::fmt;
+    use std::mem::ManuallyDrop;
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::sync::{Arc, LockResult, OnceLock, PoisonError, TryLockError, WaitTimeoutResult};
+    use std::time::{Duration, Instant};
+
+    #[derive(Clone, Copy)]
+    struct Held {
+        token: u64,
+        level: u16,
+        name: &'static str,
+        site: &'static Location<'static>,
+    }
+
+    thread_local! {
+        static HELD: RefCell<(u64, Vec<Held>)> = const { RefCell::new((0, Vec::new())) };
+    }
+
+    /// First-witness sites for one observed acquisition edge
+    /// `from` → `to` ("a thread holding `from` acquired `to`").
+    struct Edge {
+        from_site: &'static Location<'static>,
+        to_site: &'static Location<'static>,
+    }
+
+    /// `graph[a][b]` exists iff some thread acquired `b` while holding
+    /// `a`. With the strict rank check active a cycle can only appear if
+    /// two locks share a level; the graph check catches that case (and
+    /// any future relaxation of the rank rule) with real witnesses.
+    type Graph = HashMap<&'static str, HashMap<&'static str, Edge>>;
+
+    fn graph() -> &'static std::sync::Mutex<Graph> {
+        static GRAPH: OnceLock<std::sync::Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| std::sync::Mutex::new(HashMap::new()))
+    }
+
+    fn find_path(g: &Graph, from: &'static str, to: &'static str) -> Option<Vec<&'static str>> {
+        let mut stack = vec![vec![from]];
+        let mut seen = vec![from];
+        while let Some(path) = stack.pop() {
+            let last = path[path.len() - 1];
+            if last == to {
+                return Some(path);
+            }
+            if let Some(nexts) = g.get(last) {
+                for &n in nexts.keys() {
+                    if !seen.contains(&n) {
+                        seen.push(n);
+                        let mut p = path.clone();
+                        p.push(n);
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Record `held → new` in the global order graph, then fail if the
+    /// graph now contains a cycle through the new edge.
+    fn record_edge(held: &Held, rank: Rank, site: &'static Location<'static>) {
+        let mut g = graph().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.entry(held.name)
+            .or_default()
+            .entry(rank.name())
+            .or_insert(Edge { from_site: held.site, to_site: site });
+        if let Some(path) = find_path(&g, rank.name(), held.name) {
+            let witness = &g[held.name][rank.name()];
+            let mut cycle = path.join(" -> ");
+            cycle.push_str(" -> ");
+            cycle.push_str(rank.name());
+            // lint: allow(no-panic): the doctor reports violations by panicking
+            panic!(
+                "lock-doctor: acquisition-order cycle: {cycle}; closing edge \
+                 `{held_name}` (held, acquired at {held_site}) -> `{new_name}` \
+                 (acquiring at {new_site}); first witness for that edge: \
+                 {w_from} -> {w_to}",
+                held_name = held.name,
+                held_site = held.site,
+                new_name = rank.name(),
+                new_site = site,
+                w_from = witness.from_site,
+                w_to = witness.to_site,
+            );
+        }
+    }
+
+    /// The acquisition check: every held lock must outrank the new one.
+    /// Panics name both sites. Called *before* blocking on the lock so a
+    /// would-be deadlock is reported instead of hung.
+    fn check_acquire(rank: Rank, site: &'static Location<'static>) {
+        HELD.with(|held| {
+            let held = held.borrow();
+            if let Some(lowest) = held.1.iter().min_by_key(|h| h.level) {
+                if rank.level() >= lowest.level {
+                    // lint: allow(no-panic): the doctor reports violations by panicking
+                    panic!(
+                        "lock-doctor: rank inversion: acquiring `{new_name}` \
+                         (rank {new_level}) at {new_site} while holding \
+                         `{held_name}` (rank {held_level}) acquired at \
+                         {held_site}; locks must be taken in strictly \
+                         decreasing rank order — see the lock hierarchy \
+                         table in ARCHITECTURE.md",
+                        new_name = rank.name(),
+                        new_level = rank.level(),
+                        new_site = site,
+                        held_name = lowest.name,
+                        held_level = lowest.level,
+                        held_site = lowest.site,
+                    );
+                }
+            }
+            if let Some(top) = held.1.last() {
+                let top = *top;
+                drop(held);
+                record_edge(&top, rank, site);
+            }
+        });
+    }
+
+    /// Push a successfully acquired lock onto the thread's held stack,
+    /// returning the token its guard will pop with.
+    fn push_held(rank: Rank, site: &'static Location<'static>) -> u64 {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            held.0 += 1;
+            let token = held.0;
+            held.1.push(Held { token, level: rank.level(), name: rank.name(), site });
+            token
+        })
+    }
+
+    fn pop_held(token: u64) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held.1.iter().rposition(|h| h.token == token) {
+                held.1.remove(i);
+            }
+        });
+    }
+
+    /// The ranks (level, name) of locks the current thread holds,
+    /// acquisition order. Test/diagnostic hook.
+    pub fn held_ranks() -> Vec<(u16, &'static str)> {
+        HELD.with(|held| held.borrow().1.iter().map(|h| (h.level, h.name)).collect())
+    }
+
+    struct DoctorShared {
+        rank: Rank,
+        observer: Option<Arc<dyn LockObserver>>,
+    }
+
+    impl DoctorShared {
+        fn observe(&self, contended_ns: u64, hold_ns: u64) {
+            if let Some(obs) = &self.observer {
+                obs.lock_event(self.rank, contended_ns, hold_ns);
+            }
+        }
+    }
+
+    /// Book-keeping one live guard carries.
+    struct GuardDoc<'a> {
+        shared: &'a DoctorShared,
+        token: u64,
+        acquired: Instant,
+        contended_ns: u64,
+    }
+
+    impl GuardDoc<'_> {
+        /// Close out this hold: pop the held stack and report the event.
+        fn finish(&self) {
+            let hold_ns = self.acquired.elapsed().as_nanos() as u64;
+            pop_held(self.token);
+            self.shared.observe(self.contended_ns, hold_ns);
+        }
+    }
+
+    /// `lock()`-style acquisition with the doctor checks around an
+    /// arbitrary pair of try/block closures. Returns the inner guard (or
+    /// poisoned inner guard), the contention time, and the held token.
+    fn acquire<G, P>(
+        shared: &DoctorShared,
+        site: &'static Location<'static>,
+        try_acquire: impl FnOnce() -> Result<Result<G, P>, ()>,
+        block_acquire: impl FnOnce() -> Result<G, P>,
+    ) -> (Result<G, P>, u64, u64) {
+        check_acquire(shared.rank, site);
+        let (res, contended_ns) = match try_acquire() {
+            Ok(res) => (res, 0),
+            Err(()) => {
+                let start = Instant::now();
+                let res = block_acquire();
+                (res, start.elapsed().as_nanos() as u64)
+            }
+        };
+        let token = push_held(shared.rank, site);
+        (res, contended_ns, token)
+    }
+
+    /// A rank-checked [`std::sync::Mutex`].
+    pub struct Mutex<T: ?Sized> {
+        doc: DoctorShared,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A mutex at `rank` in the lock hierarchy.
+        pub fn new(rank: Rank, value: T) -> Self {
+            Mutex {
+                doc: DoctorShared { rank, observer: None },
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// A mutex whose hold/contention times are reported to
+        /// `observer` (instrumented builds only; the observer is unused
+        /// in release builds without `lock-doctor`).
+        pub fn with_observer(rank: Rank, value: T, observer: Arc<dyn LockObserver>) -> Self {
+            Mutex {
+                doc: DoctorShared { rank, observer: Some(observer) },
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire, checking the lock hierarchy. Mirrors
+        /// [`std::sync::Mutex::lock`]: a poisoned lock still returns the
+        /// (wrapped) guard inside the error.
+        #[track_caller]
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let site = Location::caller();
+            let (res, contended_ns, token) = acquire(
+                &self.doc,
+                site,
+                || match self.inner.try_lock() {
+                    Ok(g) => Ok(Ok(g)),
+                    Err(TryLockError::Poisoned(p)) => Ok(Err(p)),
+                    Err(TryLockError::WouldBlock) => Err(()),
+                },
+                || self.inner.lock(),
+            );
+            let wrap = |inner| MutexGuard {
+                inner: ManuallyDrop::new(inner),
+                doc: GuardDoc { shared: &self.doc, token, acquired: Instant::now(), contended_ns },
+            };
+            match res {
+                Ok(g) => Ok(wrap(g)),
+                Err(p) => Err(PoisonError::new(wrap(p.into_inner()))),
+            }
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Guard for [`Mutex`]; pops the held-lock stack and reports hold
+    /// time on drop.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+        doc: GuardDoc<'a>,
+    }
+
+    impl<'a, T: ?Sized> MutexGuard<'a, T> {
+        /// Close out the hold and hand back the std guard (for
+        /// [`Condvar::wait`], which must pass it to the std condvar
+        /// without running our `Drop`).
+        fn suspend(mut self) -> (std::sync::MutexGuard<'a, T>, &'a DoctorShared) {
+            self.doc.finish();
+            let shared = self.doc.shared;
+            // SAFETY: `self` is forgotten immediately after, so the
+            // inner guard is moved out exactly once and our Drop (which
+            // would drop it again) never runs.
+            let inner = unsafe { ManuallyDrop::take(&mut self.inner) };
+            std::mem::forget(self);
+            (inner, shared)
+        }
+
+        /// Re-wrap a std guard handed back by a condvar, re-running the
+        /// acquisition bookkeeping.
+        fn resume(
+            inner: std::sync::MutexGuard<'a, T>,
+            shared: &'a DoctorShared,
+            site: &'static Location<'static>,
+        ) -> Self {
+            check_acquire(shared.rank, site);
+            let token = push_held(shared.rank, site);
+            MutexGuard {
+                inner: ManuallyDrop::new(inner),
+                doc: GuardDoc { shared, token, acquired: Instant::now(), contended_ns: 0 },
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.doc.finish();
+            // SAFETY: drop runs exactly once; `suspend` forgets `self`
+            // before this could run on a moved-out guard.
+            unsafe { ManuallyDrop::drop(&mut self.inner) };
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+
+    /// A condition variable for [`Mutex`]. Waiting releases the hold
+    /// (popping the held-lock stack, so the doctor knows the lock is
+    /// free during the wait) and re-runs the acquisition checks on
+    /// wake-up.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// An empty condvar.
+        pub fn new() -> Self {
+            Condvar { inner: std::sync::Condvar::new() }
+        }
+
+        /// Mirror of [`std::sync::Condvar::wait`].
+        #[track_caller]
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let site = Location::caller();
+            let (inner, shared) = guard.suspend();
+            match self.inner.wait(inner) {
+                Ok(g) => Ok(MutexGuard::resume(g, shared, site)),
+                Err(p) => Err(PoisonError::new(MutexGuard::resume(p.into_inner(), shared, site))),
+            }
+        }
+
+        /// Mirror of [`std::sync::Condvar::wait_timeout`].
+        #[track_caller]
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            let site = Location::caller();
+            let (inner, shared) = guard.suspend();
+            match self.inner.wait_timeout(inner, dur) {
+                Ok((g, t)) => Ok((MutexGuard::resume(g, shared, site), t)),
+                Err(p) => {
+                    let (g, t) = p.into_inner();
+                    Err(PoisonError::new((MutexGuard::resume(g, shared, site), t)))
+                }
+            }
+        }
+
+        /// Wake one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wake all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// A rank-checked [`std::sync::RwLock`]. Read and write acquisitions
+    /// follow the same strictly-decreasing rule (a read lock still
+    /// blocks writers, so it participates in deadlock cycles all the
+    /// same).
+    pub struct RwLock<T: ?Sized> {
+        doc: DoctorShared,
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// An rwlock at `rank` in the lock hierarchy.
+        pub fn new(rank: Rank, value: T) -> Self {
+            RwLock {
+                doc: DoctorShared { rank, observer: None },
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// An rwlock reporting hold/contention times to `observer`.
+        pub fn with_observer(rank: Rank, value: T, observer: Arc<dyn LockObserver>) -> Self {
+            RwLock {
+                doc: DoctorShared { rank, observer: Some(observer) },
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Shared acquisition; mirrors [`std::sync::RwLock::read`].
+        #[track_caller]
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            let site = Location::caller();
+            let (res, contended_ns, token) = acquire(
+                &self.doc,
+                site,
+                || match self.inner.try_read() {
+                    Ok(g) => Ok(Ok(g)),
+                    Err(TryLockError::Poisoned(p)) => Ok(Err(p)),
+                    Err(TryLockError::WouldBlock) => Err(()),
+                },
+                || self.inner.read(),
+            );
+            let wrap = |inner| RwLockReadGuard {
+                inner: ManuallyDrop::new(inner),
+                doc: GuardDoc { shared: &self.doc, token, acquired: Instant::now(), contended_ns },
+            };
+            match res {
+                Ok(g) => Ok(wrap(g)),
+                Err(p) => Err(PoisonError::new(wrap(p.into_inner()))),
+            }
+        }
+
+        /// Exclusive acquisition; mirrors [`std::sync::RwLock::write`].
+        #[track_caller]
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            let site = Location::caller();
+            let (res, contended_ns, token) = acquire(
+                &self.doc,
+                site,
+                || match self.inner.try_write() {
+                    Ok(g) => Ok(Ok(g)),
+                    Err(TryLockError::Poisoned(p)) => Ok(Err(p)),
+                    Err(TryLockError::WouldBlock) => Err(()),
+                },
+                || self.inner.write(),
+            );
+            let wrap = |inner| RwLockWriteGuard {
+                inner: ManuallyDrop::new(inner),
+                doc: GuardDoc { shared: &self.doc, token, acquired: Instant::now(), contended_ns },
+            };
+            match res {
+                Ok(g) => Ok(wrap(g)),
+                Err(p) => Err(PoisonError::new(wrap(p.into_inner()))),
+            }
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Shared guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>,
+        doc: GuardDoc<'a>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            self.doc.finish();
+            // SAFETY: drop runs exactly once and the guard is never
+            // moved out (read guards have no `suspend`).
+            unsafe { ManuallyDrop::drop(&mut self.inner) };
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+
+    /// Exclusive guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+        doc: GuardDoc<'a>,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            self.doc.finish();
+            // SAFETY: drop runs exactly once and the guard is never
+            // moved out (write guards have no `suspend`).
+            unsafe { ManuallyDrop::drop(&mut self.inner) };
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            (**self).fmt(f)
+        }
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "lock-doctor")))]
+mod imp {
+    use super::{LockObserver, Rank};
+    use std::fmt;
+    use std::sync::{Arc, LockResult};
+
+    /// The ranks of locks the current thread holds. Always empty in
+    /// uninstrumented builds.
+    pub fn held_ranks() -> Vec<(u16, &'static str)> {
+        Vec::new()
+    }
+
+    /// Uninstrumented [`std::sync::Mutex`] newtype: the rank is checked
+    /// only in instrumented builds, and guards are the std guards
+    /// themselves.
+    pub struct Mutex<T: ?Sized> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// In uninstrumented builds the guard *is* the std guard — no drop
+    /// glue, no timing.
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+    /// Std read guard (uninstrumented builds).
+    pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+    /// Std write guard (uninstrumented builds).
+    pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+    /// Std condvar (uninstrumented builds): the guard aliases above make
+    /// the std wait methods line up exactly.
+    pub use std::sync::Condvar;
+
+    impl<T> Mutex<T> {
+        /// A mutex at `rank` (unchecked in this build).
+        #[inline]
+        pub fn new(_rank: Rank, value: T) -> Self {
+            Mutex { inner: std::sync::Mutex::new(value) }
+        }
+
+        /// Observer variant; the observer is dropped in this build.
+        #[inline]
+        pub fn with_observer(rank: Rank, value: T, _observer: Arc<dyn LockObserver>) -> Self {
+            Mutex::new(rank, value)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Plain [`std::sync::Mutex::lock`].
+        #[inline]
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            self.inner.lock()
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Uninstrumented [`std::sync::RwLock`] newtype.
+    pub struct RwLock<T: ?Sized> {
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// An rwlock at `rank` (unchecked in this build).
+        #[inline]
+        pub fn new(_rank: Rank, value: T) -> Self {
+            RwLock { inner: std::sync::RwLock::new(value) }
+        }
+
+        /// Observer variant; the observer is dropped in this build.
+        #[inline]
+        pub fn with_observer(rank: Rank, value: T, _observer: Arc<dyn LockObserver>) -> Self {
+            RwLock::new(rank, value)
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Plain [`std::sync::RwLock::read`].
+        #[inline]
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            self.inner.read()
+        }
+
+        /// Plain [`std::sync::RwLock::write`].
+        #[inline]
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            self.inner.write()
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+}
+
+pub use imp::{held_ranks, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A no-op observer handle, handy as a default in tests.
+pub fn no_observer() -> Option<Arc<dyn LockObserver>> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(rank::SCRATCH, 1u32);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(rank::SCRATCH, vec![1, 2, 3]);
+        assert_eq!(l.read().unwrap().len(), 3);
+        l.write().unwrap().push(4);
+        assert_eq!(l.read().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn descending_acquisition_is_fine() {
+        let hi = Mutex::new(rank::MEMTABLE, ());
+        let lo = Mutex::new(rank::WAL, ());
+        let _a = hi.lock().unwrap();
+        let _b = lo.lock().unwrap();
+        if doctor_enabled() {
+            assert_eq!(
+                held_ranks(),
+                vec![(rank::MEMTABLE.level(), "memtable"), (rank::WAL.level(), "wal")]
+            );
+        }
+    }
+
+    #[test]
+    fn held_stack_pops_on_drop() {
+        if !doctor_enabled() {
+            return;
+        }
+        let m = Mutex::new(rank::GATE, ());
+        {
+            let _g = m.lock().unwrap();
+            assert_eq!(held_ranks(), vec![(rank::GATE.level(), "gate")]);
+        }
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    fn non_lifo_guard_drop_keeps_stack_consistent() {
+        if !doctor_enabled() {
+            return;
+        }
+        let hi = Mutex::new(rank::MEMTABLE, ());
+        let lo = Mutex::new(rank::WAL, ());
+        let a = hi.lock().unwrap();
+        let b = lo.lock().unwrap();
+        drop(a); // out of order
+        assert_eq!(held_ranks(), vec![(rank::WAL.level(), "wal")]);
+        drop(b);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    fn observer_sees_hold_events() {
+        struct Count(AtomicU64);
+        impl LockObserver for Count {
+            fn lock_event(&self, rank: Rank, _c: u64, _h: u64) {
+                assert_eq!(rank.name(), "scratch");
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Count(AtomicU64::new(0)));
+        let m = Mutex::with_observer(rank::SCRATCH, (), counter.clone());
+        drop(m.lock().unwrap());
+        drop(m.lock().unwrap());
+        if doctor_enabled() {
+            assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_returns_guard_in_error() {
+        let m = Arc::new(Mutex::new(rank::SCRATCH, 7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(*g, 7);
+        if doctor_enabled() {
+            assert_eq!(held_ranks().len(), 1);
+        }
+    }
+}

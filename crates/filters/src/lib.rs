@@ -16,6 +16,8 @@
 //! the lowest crate that can see all of their types); the LSM harness uses
 //! it to embed filters in SST files and reload them on reopen.
 
+#![warn(missing_docs)]
+
 pub mod arf;
 pub mod codec;
 pub mod rosetta;

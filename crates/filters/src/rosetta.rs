@@ -22,8 +22,11 @@ use proteus_core::{KeySet, RangeFilter, SampleQueries};
 /// Construction options for [`Rosetta`].
 #[derive(Debug, Clone)]
 pub struct RosettaOptions {
+    /// Which hash family the per-level Bloom filters use.
     pub hash_family: HashFamily,
+    /// Cap on Bloom probes per query (the doubting budget).
     pub probe_cap: u64,
+    /// Seed for the per-level hashers.
     pub seed: u32,
     /// Candidate bottom-level memory fractions for the tuner.
     pub bottom_fractions: Vec<f64>,
@@ -198,6 +201,7 @@ impl Rosetta {
         self.top_len
     }
 
+    /// Total filter memory, in bits.
     pub fn size_bits(&self) -> u64 {
         self.filters.iter().map(|f| f.size_bits()).sum()
     }
@@ -214,6 +218,8 @@ impl Rosetta {
         }
     }
 
+    /// Decode a filter previously written by `encode_into`, validating
+    /// the level geometry.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Rosetta, CodecError> {
         let width = r.u32()? as usize;
         let bits = r.u32()? as usize;
@@ -245,6 +251,7 @@ impl Rosetta {
         self.descend(&mut prefix, 0, lo, hi, &mut budget)
     }
 
+    /// [`Rosetta::query`] over `u64` keys (closed range).
     pub fn query_u64(&self, lo: u64, hi: u64) -> bool {
         self.query(&u64_key(lo), &u64_key(hi))
     }

@@ -24,8 +24,11 @@ use proteus_succinct::{Fst, FstBuilder, ValueStore, Visit};
 /// Suffix configuration (SuRF-Base / SuRF-Hash / SuRF-Real).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SurfSuffix {
+    /// No suffix bits: the trie alone answers queries.
     Base,
+    /// `n` hash bits per key (point-query false positives only).
     Hash(u32),
+    /// `n` real key bits past the trie depth (helps range queries too).
     Real(u32),
 }
 
@@ -84,10 +87,12 @@ impl Surf {
         Surf { fst, suffix, hasher, width: keys.width() }
     }
 
+    /// The configured suffix mode.
     pub fn suffix_mode(&self) -> SurfSuffix {
         self.suffix
     }
 
+    /// Trie + suffix memory, in bits.
     pub fn size_bits(&self) -> u64 {
         self.fst.size_bits()
     }
@@ -107,6 +112,7 @@ impl Surf {
         self.fst.encode_into(out);
     }
 
+    /// Decode a filter previously written by `encode_into`.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Surf, CodecError> {
         let width = r.u32()? as usize;
         if width == 0 {

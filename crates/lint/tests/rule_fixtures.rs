@@ -1,0 +1,291 @@
+//! Self-tests for the lint rules: tiny raw-string sources pin exactly
+//! which constructs each rule hits and — just as important — which it
+//! must *not* hit (test code, string literals, doc-comment examples).
+
+use proteus_lint::rules::{self, MagicConst, Violation};
+use proteus_lint::SourceFile;
+
+fn lint_one(path: &str, src: &str) -> Vec<Violation> {
+    rules::run_all(&[SourceFile::parse(path, src)])
+}
+
+fn rules_hit(v: &[Violation]) -> Vec<&'static str> {
+    let mut r: Vec<&'static str> = v.iter().map(|v| v.rule).collect();
+    r.dedup();
+    r
+}
+
+// ---------------------------------------------------------------------------
+// no-panic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_panic_hits_unwrap_expect_and_panic_in_lib_code() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("boom");
+    if a + b == 0 { panic!("zero"); }
+    a
+}
+"#;
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert_eq!(v.iter().filter(|v| v.rule == "no-panic").count(), 3, "{v:?}");
+    assert_eq!(v[0].line, 3, "first finding anchors to the unwrap line");
+}
+
+#[test]
+fn no_panic_ignores_cfg_test_modules_and_test_fns() {
+    let src = r#"
+pub fn fine() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}
+
+#[test]
+fn free_standing_test() {
+    Option::<u32>::None.expect("also fine");
+}
+"#;
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn no_panic_ignores_strings_comments_and_doc_examples() {
+    let src = r##"
+// a comment mentioning .unwrap() is not a call
+/// Doc example:
+/// ```
+/// some_option.unwrap();
+/// panic!("doc code blocks are comments");
+/// ```
+pub fn g() -> &'static str {
+    let s = "contains .unwrap() and panic! in a string";
+    let r = r#"raw string: x.expect("nope")"#;
+    if s.len() > r.len() { s } else { r }
+}
+"##;
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn no_panic_ignores_non_lib_crates_and_respects_waivers() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lint_one("crates/lint/src/demo.rs", src).is_empty(), "lint crate itself is exempt");
+    assert!(lint_one("crates/bench/src/demo.rs", src).is_empty());
+
+    let waived = r#"
+pub fn f(w: &[u8]) -> u64 {
+    // lint: allow(no-panic): chunks_exact(8) guarantees the width
+    u64::from_le_bytes(w.try_into().unwrap())
+}
+"#;
+    assert!(lint_one("crates/lsm/src/demo.rs", waived).is_empty());
+}
+
+#[test]
+fn no_panic_distinguishes_unwrap_call_from_identifiers() {
+    // `unwrap_or_default()` / `my_unwrap()` must not fire.
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+"#;
+    assert!(lint_one("crates/lsm/src/demo.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-sync
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_sync_hits_raw_primitives_outside_sync_module() {
+    let src = r#"
+pub struct S {
+    m: std::sync::Mutex<u32>,
+    r: std::sync::RwLock<u32>,
+    c: std::sync::Condvar,
+}
+"#;
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert_eq!(v.iter().filter(|v| v.rule == "raw-sync").count(), 3, "{v:?}");
+}
+
+#[test]
+fn raw_sync_exempts_the_sync_module_tests_and_strings() {
+    let src = "pub struct S { m: std::sync::Mutex<u32> }\n";
+    assert!(lint_one("crates/core/src/sync.rs", src).is_empty(), "sync.rs is the one home");
+
+    let in_test = r#"
+#[cfg(test)]
+mod tests {
+    fn t() { let _m = std::sync::Mutex::new(0u32); }
+}
+"#;
+    assert!(lint_one("crates/lsm/src/demo.rs", in_test).is_empty());
+
+    // A string literal mentioning the primitive (e.g. a lint message or a
+    // panic string naming "lock()") is not a use.
+    let in_string = r#"
+pub fn msg() -> &'static str {
+    "do not call std::sync::Mutex::lock() directly"
+}
+"#;
+    assert!(lint_one("crates/lsm/src/demo.rs", in_string).is_empty());
+
+    // PoisonError and other std::sync items that carry no rank are fine.
+    let poison = "pub fn f() { let _ = std::sync::PoisonError::<u32>::into_inner; }\n";
+    assert!(lint_one("crates/lsm/src/demo.rs", poison).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// io-result-pub
+// ---------------------------------------------------------------------------
+
+#[test]
+fn io_result_pub_hits_public_signatures() {
+    let src = r#"
+use std::io;
+pub fn bad(path: &str) -> std::io::Result<()> { Ok(()) }
+pub(crate) fn also_bad() -> io::Result<u32> { Ok(0) }
+pub const fn qualified_bad() -> io::Result<u32> { Ok(0) }
+"#;
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert_eq!(v.iter().filter(|v| v.rule == "io-result-pub").count(), 3, "{v:?}");
+}
+
+#[test]
+fn io_result_pub_ignores_private_fns_bodies_and_tests() {
+    let src = r#"
+fn private_is_fine() -> std::io::Result<()> { Ok(()) }
+
+pub fn wraps(path: &str) -> Result<(), String> {
+    // io::Result used *inside* the body is fine; only signatures matter.
+    let r: std::io::Result<()> = Ok(());
+    r.map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn helper() -> std::io::Result<()> { Ok(()) }
+}
+"#;
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+// ---------------------------------------------------------------------------
+// magic-needs-golden
+// ---------------------------------------------------------------------------
+
+#[test]
+fn magic_without_a_test_reference_is_flagged() {
+    let src = "pub const DEMO_MAGIC: [u8; 4] = *b\"DEMO\";\n";
+    let v = lint_one("crates/lsm/src/demo.rs", src);
+    assert_eq!(rules_hit(&v), ["magic-needs-golden"], "{v:?}");
+    assert!(v[0].msg.contains("DEMO_MAGIC"));
+}
+
+#[test]
+fn magic_referenced_from_tests_dir_or_cfg_test_passes() {
+    let decl = SourceFile::parse(
+        "crates/lsm/src/demo.rs",
+        "pub const DEMO_MAGIC: [u8; 4] = *b\"DEMO\";\npub const DEMO_FORMAT_VERSION: u16 = 1;\n",
+    );
+    // One constant pinned by an integration test file, the other by a
+    // #[cfg(test)] unit test.
+    let golden = SourceFile::parse(
+        "crates/lsm/tests/golden.rs",
+        "fn t() { assert_eq!(demo::DEMO_MAGIC, *b\"DEMO\"); }\n",
+    );
+    let unit = SourceFile::parse(
+        "crates/lsm/src/other.rs",
+        "#[cfg(test)]\nmod tests {\n fn t() { assert_eq!(crate::DEMO_FORMAT_VERSION, 1); }\n}\n",
+    );
+    let v = rules::run_all(&[decl, golden, unit]);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn magic_declaration_line_does_not_count_as_its_own_reference() {
+    // A reference on the declaration line (e.g. in a same-line comment
+    // turned code) must not satisfy the rule; nor does a non-test use.
+    let decl = SourceFile::parse(
+        "crates/lsm/src/demo.rs",
+        "pub const DEMO_MAGIC: [u8; 4] = *b\"DEMO\";\npub fn stamp() -> [u8; 4] { DEMO_MAGIC }\n",
+    );
+    let mut consts: Vec<MagicConst> = Vec::new();
+    rules::collect_magic(&decl, &mut consts);
+    assert_eq!(consts.len(), 1);
+    let mut out = Vec::new();
+    rules::magic_needs_golden(&consts, &[decl], &mut out);
+    assert_eq!(out.len(), 1, "non-test use must not satisfy the rule");
+}
+
+// ---------------------------------------------------------------------------
+// truncating-cast
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncating_cast_hits_wire_files_only() {
+    let src = r#"
+pub fn encode(len: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(len as u8);
+    let _w = len as u16;
+}
+"#;
+    let v = lint_one("crates/lsm/src/wal.rs", src);
+    assert_eq!(v.iter().filter(|v| v.rule == "truncating-cast").count(), 3, "{v:?}");
+    // The same text in a non-wire file is not a wire hazard.
+    assert!(lint_one("crates/lsm/src/demo.rs", src).is_empty());
+}
+
+#[test]
+fn truncating_cast_ignores_widening_tests_and_waivers() {
+    let src = r#"
+pub fn f(n: u32, b: u8) -> u64 {
+    let wide = n as u64 + b as usize as u64; // widening casts are fine
+    // lint: allow(truncating-cast): asserted to fit above
+    let narrowed = (wide as u32) as u64;
+    narrowed
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(x: u64) -> u32 { x as u32 }
+}
+"#;
+    let v = lint_one("crates/server/src/protocol.rs", src);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+// ---------------------------------------------------------------------------
+// cross-rule ordering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn findings_are_sorted_by_path_line_rule() {
+    let a = SourceFile::parse(
+        "crates/lsm/src/wal.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g(n: usize) -> u32 { n as u32 }\n",
+    );
+    let b = SourceFile::parse(
+        "crates/core/src/demo.rs",
+        "pub fn h(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let v = rules::run_all(&[a, b]);
+    let keys: Vec<(String, usize)> = v.iter().map(|v| (v.path.clone(), v.line)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "{v:?}");
+    assert_eq!(v.first().map(|v| v.path.as_str()), Some("crates/core/src/demo.rs"));
+}

@@ -1,0 +1,45 @@
+//! Runs the full lint pass over the real workspace as part of `cargo
+//! test`, so a violation (or a stale baseline entry) fails CI even when
+//! nobody invokes the binary by hand.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = proteus_lint::run(&root).expect("lint pass runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the crate layout move?",
+        report.files_scanned
+    );
+    for v in &report.violations {
+        eprintln!("{v}");
+    }
+    for s in &report.stale {
+        eprintln!("stale baseline entry: {s}");
+    }
+    assert!(
+        report.clean(),
+        "proteus-lint found {} violation(s) and {} stale baseline entr(ies)",
+        report.violations.len(),
+        report.stale.len()
+    );
+}
+
+#[test]
+fn baseline_stays_small() {
+    // The grandfathered-debt budget from the lint's charter: at most 10
+    // entries, shrink-only. Growing this file is a build failure by
+    // design — fix the site or consciously raise the budget here.
+    let text = std::fs::read_to_string(workspace_root().join(proteus_lint::BASELINE_FILE))
+        .expect("baseline file exists");
+    let entries =
+        text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+    assert!(entries <= 10, "baseline has {entries} entries; the budget is 10, shrink-only");
+}

@@ -34,6 +34,46 @@
 use crate::compress;
 use crate::error::{Error, Result};
 
+/// Total little-endian `u16` read: `None` when the slice is too short.
+#[inline]
+fn le_u16_at(b: &[u8], off: usize) -> Option<u16> {
+    let s = b.get(off..off.checked_add(2)?)?;
+    Some(u16::from_le_bytes(s.try_into().ok()?))
+}
+
+/// Total little-endian `u32` read: `None` when the slice is too short.
+#[inline]
+fn le_u32_at(b: &[u8], off: usize) -> Option<u32> {
+    let s = b.get(off..off.checked_add(4)?)?;
+    Some(u32::from_le_bytes(s.try_into().ok()?))
+}
+
+/// Checked narrowing for decoder-side offsets; a block whose spans escape
+/// `u32` is reported as corruption, never truncated silently.
+#[inline]
+fn to_u32(v: usize, what: &'static str) -> Result<u32> {
+    u32::try_from(v).map_err(|_| corrupt(what))
+}
+
+/// Append a length as a little-endian `u32` wire field. Builder payloads
+/// are bounded by the writer's block-size budget, far below 4 GiB; debug
+/// builds assert the invariant.
+#[inline]
+fn put_len_u32(buf: &mut Vec<u8>, len: usize) {
+    debug_assert!(u32::try_from(len).is_ok(), "length {len} overflows the u32 wire field");
+    // lint: allow(truncating-cast): asserted to fit above
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Append a length as a little-endian `u16` wire field (v3 key spans).
+/// Key lengths are bounded well below 64 KiB; debug builds assert.
+#[inline]
+fn put_len_u16(buf: &mut Vec<u8>, len: usize) {
+    debug_assert!(u16::try_from(len).is_ok(), "length {len} overflows the u16 wire field");
+    // lint: allow(truncating-cast): asserted to fit above
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+}
+
 /// Entry flag bit marking a tombstone (v2 and v3 layouts).
 pub const FLAG_TOMBSTONE: u8 = 1;
 
@@ -71,7 +111,7 @@ impl BlockBuilder {
         match value {
             Some(v) => {
                 self.buf.push(0);
-                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                put_len_u32(&mut self.buf, v.len());
                 self.buf.extend_from_slice(v);
             }
             None => {
@@ -96,6 +136,7 @@ impl BlockBuilder {
     pub fn finish(mut self) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
         assert!(self.n > 0, "empty block");
         self.buf[..4].copy_from_slice(&self.n.to_le_bytes());
+        // lint: allow(no-panic): the assert above guarantees at least one entry
         (to_disk(self.buf), self.first_key.unwrap(), self.last_key.unwrap())
     }
 }
@@ -137,12 +178,12 @@ impl VarBlockBuilder {
             self.last_key.iter().zip(key).take_while(|(a, b)| a == b).count()
         };
         let non_shared = key.len() - shared;
-        self.buf.extend_from_slice(&(shared as u16).to_le_bytes());
-        self.buf.extend_from_slice(&(non_shared as u16).to_le_bytes());
+        put_len_u16(&mut self.buf, shared);
+        put_len_u16(&mut self.buf, non_shared);
         match value {
             Some(v) => {
                 self.buf.push(0);
-                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                put_len_u32(&mut self.buf, v.len());
                 self.buf.extend_from_slice(&key[shared..]);
                 self.buf.extend_from_slice(v);
             }
@@ -174,6 +215,7 @@ impl VarBlockBuilder {
     pub fn finish(mut self) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
         assert!(self.n > 0, "empty block");
         self.buf[..4].copy_from_slice(&self.n.to_le_bytes());
+        // lint: allow(no-panic): the assert above guarantees at least one entry
         (to_disk(self.buf), self.first_key.unwrap(), self.last_key)
     }
 }
@@ -181,15 +223,15 @@ impl VarBlockBuilder {
 /// Wrap a finished raw payload in the on-disk codec header, compressing
 /// when it pays.
 fn to_disk(raw: Vec<u8>) -> Vec<u8> {
-    let raw_len = raw.len() as u32;
+    let raw_len = raw.len();
     let (codec, payload) = match compress::compress(&raw) {
         Some(c) => (1u8, c),
         None => (0u8, raw),
     };
     let mut disk = Vec::with_capacity(payload.len() + 9);
     disk.push(codec);
-    disk.extend_from_slice(&raw_len.to_le_bytes());
-    disk.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    put_len_u32(&mut disk, raw_len);
+    put_len_u32(&mut disk, payload.len());
     disk.extend_from_slice(&payload);
     disk
 }
@@ -232,8 +274,8 @@ fn decode_disk(disk: &[u8]) -> Result<Vec<u8>> {
         return Err(corrupt("shorter than its header"));
     }
     let codec = disk[0];
-    let raw_len = u32::from_le_bytes(disk[1..5].try_into().unwrap()) as usize;
-    let stored_len = u32::from_le_bytes(disk[5..9].try_into().unwrap()) as usize;
+    let raw_len = le_u32_at(disk, 1).ok_or_else(|| corrupt("shorter than its header"))? as usize;
+    let stored_len = le_u32_at(disk, 5).ok_or_else(|| corrupt("shorter than its header"))? as usize;
     if disk.len() < 9 + stored_len {
         return Err(corrupt("stored length overruns the block"));
     }
@@ -263,7 +305,7 @@ impl Block {
         if data.len() < 4 {
             return Err(corrupt("missing entry count"));
         }
-        let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let n = le_u32_at(&data, 0).ok_or_else(|| corrupt("missing entry count"))? as usize;
         let head = if has_flags { width + 5 } else { width + 4 };
         let mut offsets = Vec::with_capacity(n);
         let mut pos = 4usize;
@@ -271,7 +313,7 @@ impl Block {
             if pos + head > data.len() {
                 return Err(corrupt("entry overruns the block"));
             }
-            offsets.push(pos as u32);
+            offsets.push(to_u32(pos, "entry offset exceeds u32")?);
             let vlen_off = if has_flags {
                 let flags = data[pos + width];
                 if flags & !FLAG_TOMBSTONE != 0 {
@@ -281,8 +323,9 @@ impl Block {
             } else {
                 pos + width
             };
-            let vlen =
-                u32::from_le_bytes(data[vlen_off..vlen_off + 4].try_into().unwrap()) as usize;
+            let vlen = le_u32_at(&data, vlen_off)
+                .ok_or_else(|| corrupt("entry overruns the block"))?
+                as usize;
             if has_flags && data[pos + width] & FLAG_TOMBSTONE != 0 && vlen != 0 {
                 return Err(corrupt("tombstone entry carries a value"));
             }
@@ -308,7 +351,7 @@ impl Block {
         if data.len() < 4 {
             return Err(corrupt("missing entry count"));
         }
-        let n = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let n = le_u32_at(&data, 0).ok_or_else(|| corrupt("missing entry count"))? as usize;
         let mut keybuf: Vec<u8> = Vec::new();
         let mut entries = Vec::with_capacity(n.min(data.len()));
         let mut pos = 4usize;
@@ -318,15 +361,15 @@ impl Block {
             if pos + 9 > data.len() {
                 return Err(corrupt("entry header overruns the block"));
             }
-            let shared = u16::from_le_bytes(data[pos..pos + 2].try_into().unwrap()) as usize;
-            let non_shared =
-                u16::from_le_bytes(data[pos + 2..pos + 4].try_into().unwrap()) as usize;
+            let short = || corrupt("entry header overruns the block");
+            let shared = le_u16_at(&data, pos).ok_or_else(short)? as usize;
+            let non_shared = le_u16_at(&data, pos + 2).ok_or_else(short)? as usize;
             let flags = data[pos + 4];
             if flags & !FLAG_TOMBSTONE != 0 {
                 return Err(corrupt(&format!("reserved entry flag bits set ({flags:#04x})")));
             }
             let tombstone = flags & FLAG_TOMBSTONE != 0;
-            let vlen = u32::from_le_bytes(data[pos + 5..pos + 9].try_into().unwrap()) as usize;
+            let vlen = le_u32_at(&data, pos + 5).ok_or_else(short)? as usize;
             if tombstone && vlen != 0 {
                 return Err(corrupt("tombstone entry carries a value"));
             }
@@ -354,10 +397,10 @@ impl Block {
             }
             let val_off = pos + non_shared;
             entries.push(VarEntry {
-                key_off: key_off as u32,
-                key_len: (shared + non_shared) as u32,
-                val_off: val_off as u32,
-                val_len: vlen as u32,
+                key_off: to_u32(key_off, "key area exceeds u32")?,
+                key_len: to_u32(shared + non_shared, "key length exceeds u32")?,
+                val_off: to_u32(val_off, "value offset exceeds u32")?,
+                val_len: to_u32(vlen, "value length exceeds u32")?,
                 tombstone,
             });
             pos = val_off + vlen;
@@ -375,11 +418,8 @@ impl Block {
     /// pointing into a truncated tail — is [`Error::Corruption`], never a
     /// panic (the repo-wide malformed-bytes invariant).
     pub fn disk_len(disk: &[u8]) -> Result<usize> {
-        let stored: [u8; 4] = disk
-            .get(5..9)
-            .map(|s| s.try_into().unwrap())
-            .ok_or_else(|| corrupt("shorter than its header"))?;
-        Ok(9 + u32::from_le_bytes(stored) as usize)
+        let stored = le_u32_at(disk, 5).ok_or_else(|| corrupt("shorter than its header"))?;
+        Ok(9 + stored as usize)
     }
 
     /// Number of entries in the block.
@@ -430,6 +470,7 @@ impl Block {
             Layout::Fixed { width, has_flags, offsets } => {
                 let off = offsets[i] as usize;
                 let vlen_off = if *has_flags { off + width + 1 } else { off + width };
+                // lint: allow(no-panic): entry spans were validated at decode time
                 let vlen = u32::from_le_bytes(self.data[vlen_off..vlen_off + 4].try_into().unwrap())
                     as usize;
                 &self.data[vlen_off + 4..vlen_off + 4 + vlen]

@@ -8,8 +8,9 @@
 //! same mutex (the RocksDB `LRUCache` sharding scheme).
 
 use crate::block::Block;
+use proteus_core::sync::{rank, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, PoisonError};
 
 /// Cache key: (SST id, block index).
 pub type BlockId = (u64, u32);
@@ -81,9 +82,14 @@ impl BlockCache {
         // anything else remains). Linear scan per eviction is fine at the
         // block counts we cache.
         while self.used_bytes > self.capacity_bytes {
-            let (&victim, _) =
-                self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).expect("non-empty cache");
-            let (old, _) = self.map.remove(&victim).unwrap();
+            let victim = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(&id, _)| id);
+            let Some((old, _)) = victim.and_then(|v| self.map.remove(&v)) else {
+                // Unreachable: used_bytes > 0 implies a resident entry. Kept
+                // as a defensive exit so an accounting bug degrades to an
+                // over-budget cache instead of a panic in the read path.
+                debug_assert!(self.map.is_empty());
+                break;
+            };
             self.used_bytes -= old.mem_bytes();
         }
     }
@@ -161,65 +167,78 @@ impl ShardedBlockCache {
         let remainder = capacity_bytes % CACHE_SHARDS;
         ShardedBlockCache {
             shards: (0..CACHE_SHARDS)
-                .map(|i| Mutex::new(BlockCache::new(per_shard + usize::from(i < remainder))))
+                .map(|i| {
+                    Mutex::new(
+                        rank::CACHE_SHARD,
+                        BlockCache::new(per_shard + usize::from(i < remainder)),
+                    )
+                })
                 .collect(),
         }
     }
 
-    fn shard(&self, id: BlockId) -> &Mutex<BlockCache> {
+    fn shard(&self, id: BlockId) -> MutexGuard<'_, BlockCache> {
         // Fibonacci-hash the (sst, block) pair so consecutive blocks of one
         // file spread across shards.
         let h = (id.0 ^ ((id.1 as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 60) as usize & (CACHE_SHARDS - 1)]
+        Self::locked(&self.shards[(h >> 60) as usize & (CACHE_SHARDS - 1)])
+    }
+
+    /// Take one shard's lock, recovering from poison: every cache op
+    /// restores the LRU invariants before returning, and the cache is an
+    /// optimization layer — a panicked reader must not take block caching
+    /// (or compaction's purges) down with it.
+    fn locked(shard: &Mutex<BlockCache>) -> MutexGuard<'_, BlockCache> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Look up a block in its shard, refreshing recency on a hit.
     pub fn get(&self, id: BlockId) -> Option<Arc<Block>> {
-        self.shard(id).lock().unwrap().get(id)
+        self.shard(id).get(id)
     }
 
     /// Insert a block into its shard, evicting LRU entries to fit.
     pub fn insert(&self, id: BlockId, block: Arc<Block>) {
-        self.shard(id).lock().unwrap().insert(id, block);
+        self.shard(id).insert(id, block);
     }
 
     /// Drop a single entry if present (used to undo an insert that raced
     /// with a purge).
     pub fn remove(&self, id: BlockId) {
-        self.shard(id).lock().unwrap().remove(id);
+        self.shard(id).remove(id);
     }
 
     /// Drop every cached block belonging to `sst_id` (file deleted by
     /// compaction). Touches all shards.
     pub fn purge_sst(&self, sst_id: u64) {
         for shard in &self.shards {
-            shard.lock().unwrap().purge_sst(sst_id);
+            Self::locked(shard).purge_sst(sst_id);
         }
     }
 
     /// Hits across all shards.
     pub fn hits(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().unwrap().hits()).sum()
+        self.shards.iter().map(|s| Self::locked(s).hits()).sum()
     }
 
     /// Misses across all shards.
     pub fn misses(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().unwrap().misses()).sum()
+        self.shards.iter().map(|s| Self::locked(s).misses()).sum()
     }
 
     /// Oversized-insert bypasses across all shards.
     pub fn bypasses(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().unwrap().bypasses()).sum()
+        self.shards.iter().map(|s| Self::locked(s).bypasses()).sum()
     }
 
     /// Bytes of cached payload across all shards.
     pub fn used_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().used_bytes()).sum()
+        self.shards.iter().map(|s| Self::locked(s).used_bytes()).sum()
     }
 
     /// Cached blocks across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| Self::locked(s).len()).sum()
     }
 
     /// True when nothing is cached in any shard.

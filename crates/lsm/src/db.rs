@@ -59,13 +59,20 @@
 //!   target (the §6.2 "wait for all background compactions" setup step),
 //!   making multi-step tests deterministic.
 //!
-//! Lock discipline: the manifest lock is never held together with any
-//! other lock, and the only permitted nestings are MemTable → WAL mutex
-//! (appends and seals happen under the MemTable write lock) and MemTable
-//! → coordination mutex (a rotation publishes its counter bump before
-//! releasing the MemTable lock, which is what makes the `flush` barrier
-//! race-free); nothing ever acquires the MemTable lock while holding
-//! either mutex, so no lock-order deadlock is possible. Background I/O errors are
+//! Lock discipline: every lock in this crate is a ranked
+//! [`proteus_core::sync`] wrapper, and locks must be acquired in strictly
+//! decreasing rank order (the full hierarchy table lives in
+//! `ARCHITECTURE.md`). The ranks used here: `ADAPT` (90, the adaptive-pass
+//! serializer) > `MEMTABLE` (80) > `GATE` (70, worker coordination) >
+//! `WAL` (60) > `MANIFEST` (50) > `SST_META` (40) > `CACHE_SHARD` (30) >
+//! `QUERY_QUEUE` (20). The permitted nestings all descend: MemTable → WAL
+//! (appends and seals happen under the MemTable write lock), MemTable →
+//! gate (a rotation publishes its counter bump before releasing the
+//! MemTable lock, which is what makes the `flush` barrier race-free), and
+//! adapt → {gate, manifest, SST metadata, query queue} during an adaptive
+//! pass. Debug builds (and release builds with the `lock-doctor` feature)
+//! verify the ordering at runtime and panic, naming both acquisition
+//! sites, on any inversion. Background I/O errors are
 //! sticky: they surface as `Err` from the next `flush`/`flush_and_settle`
 //! (and from writes on the rotation path). A poisoned foreground lock
 //! (another thread panicked) surfaces as [`Error::Poisoned`]; background
@@ -74,8 +81,10 @@
 //! coordination gate in turn). Shutdown ([`Db::drop`], crash injection)
 //! and error recording *recover* a poisoned gate guard instead of
 //! propagating it, so dropping a `Db` whose worker crashed always
-//! completes instead of double-panicking into a process abort. Only a
-//! poisoned manifest lock is unrecoverable and panics.
+//! completes instead of double-panicking into a process abort. A poisoned
+//! manifest lock is recovered too: the manifest content is an `Arc`
+//! swapped in a single assignment, so a panic under the lock can never
+//! expose a half-edited version.
 
 use crate::batch::WriteBatch;
 use crate::block::Block;
@@ -89,12 +98,15 @@ use crate::sst::{SstReader, SstScanner, SstWriter};
 use crate::stats::Stats;
 use crate::wal::{self, Wal};
 use proteus_core::key::{pad_key, u64_key};
+use proteus_core::sync::{
+    rank, Condvar, LockObserver, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::ops::{Bound, RangeBounds};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -350,37 +362,48 @@ impl Db {
             }
             std::fs::File::open(&dir)?.sync_all()?;
         }
+        // The two hottest locks report hold/contention time into `Stats`
+        // when lock-doctor instrumentation is compiled in; the other
+        // ranked locks are ordering-checked but not timed.
+        let observer: Arc<dyn LockObserver> = Arc::clone(&stats) as Arc<dyn LockObserver>;
         let inner = Arc::new(DbInner {
             cfg,
             dir,
-            mem: RwLock::new(MemState { active, imms: Vec::new() }),
+            mem: RwLock::with_observer(
+                rank::MEMTABLE,
+                MemState { active, imms: Vec::new() },
+                Arc::clone(&observer),
+            ),
             wal,
-            manifest: RwLock::new(Arc::new(Version { levels })),
+            manifest: RwLock::new(rank::MANIFEST, Arc::new(Version { levels })),
             next_sst_id: AtomicU64::new(next_id),
             factory,
             queue,
             cache,
             stats,
-            gate: Mutex::new(Coord::default()),
+            gate: Mutex::with_observer(rank::GATE, Coord::default(), observer),
             flush_cv: Condvar::new(),
             compact_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             adapt_cv: Condvar::new(),
-            adapt_lock: Mutex::new(()),
+            adapt_lock: Mutex::new(rank::ADAPT, ()),
         });
+        // Thread spawning can genuinely fail (resource exhaustion); surface
+        // it as the I/O error it is instead of panicking mid-open.
+        let spawn_err = Error::Io;
         let flusher = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("proteus-lsm-flush".into())
                 .spawn(move || inner.flusher_loop())
-                .expect("spawn flusher")
+                .map_err(spawn_err)?
         };
         let compactor = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("proteus-lsm-compact".into())
                 .spawn(move || inner.compactor_loop())
-                .expect("spawn compactor")
+                .map_err(spawn_err)?
         };
         let mut workers = vec![flusher, compactor];
         if inner.cfg.adapt_enabled() {
@@ -389,7 +412,7 @@ impl Db {
                 std::thread::Builder::new()
                     .name("proteus-lsm-adapt".into())
                     .spawn(move || inner.adapter_loop())
-                    .expect("spawn adapter")
+                    .map_err(spawn_err)?
             };
             workers.push(adapter);
         }
@@ -429,8 +452,8 @@ impl Db {
         if recovered.is_empty() {
             return Ok((vec![Vec::new()], 1));
         }
-        let next_id = recovered.iter().map(|s| s.id).max().unwrap() + 1;
-        let max_level = recovered.iter().map(|s| s.level).max().unwrap() as usize;
+        let next_id = recovered.iter().map(|s| s.id).max().unwrap_or(0) + 1;
+        let max_level = recovered.iter().map(|s| s.level).max().unwrap_or(0) as usize;
         let mut levels: Vec<Vec<Arc<SstReader>>> = vec![Vec::new(); max_level + 1];
         stats.ssts_recovered.add(recovered.len() as u64);
         for sst in recovered {
@@ -811,14 +834,21 @@ impl Drop for Db {
 
 impl DbInner {
     /// Current manifest snapshot (read lock held only for the Arc clone).
-    /// A poisoned manifest lock is unrecoverable: panic.
+    /// A poisoned manifest lock is *recovered*: the content is an `Arc`
+    /// replaced in a single assignment (see [`DbInner::edit_manifest`]),
+    /// so whatever the panicking thread left behind is a complete,
+    /// self-consistent version — either the old one or the new one.
     pub(crate) fn version(&self) -> Arc<Version> {
-        Arc::clone(&self.manifest.read().expect("manifest lock poisoned"))
+        Arc::clone(&self.manifest.read().unwrap_or_else(PoisonError::into_inner))
     }
 
-    /// Swap in an edited manifest under a short-held write lock.
+    /// Swap in an edited manifest under a short-held write lock. The edit
+    /// runs on a private clone and publishes with one `Arc` assignment,
+    /// which is what makes poison recovery in [`DbInner::version`] sound:
+    /// a panic inside `edit` (or anywhere under the lock) cannot expose a
+    /// half-mutated version.
     fn edit_manifest(&self, edit: impl FnOnce(&mut Version)) {
-        let mut m = self.manifest.write().expect("manifest lock poisoned");
+        let mut m = self.manifest.write().unwrap_or_else(PoisonError::into_inner);
         let mut v = (**m).clone();
         edit(&mut v);
         *m = Arc::new(v);
@@ -844,7 +874,7 @@ impl DbInner {
     /// and refusing to shut down (or worse, double-panicking in `Drop`)
     /// because a worker died would abort the whole process.
     fn gate_lock_recover(&self) -> MutexGuard<'_, Coord> {
-        self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.gate.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn wait_idle<'g>(&self, g: MutexGuard<'g, Coord>) -> Result<MutexGuard<'g, Coord>> {
@@ -1239,7 +1269,7 @@ impl DbInner {
                         // over the SSTs, so a failed unlink is a sticky
                         // error that stops this worker.
                         if let Err(e) = wal::delete_segment(&self.dir, wal_id) {
-                            self.record_error(e.into());
+                            self.record_error(e);
                             return;
                         }
                         let Some(mut g) = self.worker_guard(self.gate_lock()) else { return };
@@ -1477,8 +1507,14 @@ impl DbInner {
         if l0.len() > self.cfg.l0_compaction_trigger() || (settle && !l0.is_empty()) {
             // Newest-first rank order for the merge.
             let inputs_new: Vec<Arc<SstReader>> = l0.iter().rev().cloned().collect();
-            let lo = inputs_new.iter().map(|s| s.min_key.clone()).min().unwrap();
-            let hi = inputs_new.iter().map(|s| s.max_key.clone()).max().unwrap();
+            // Both triggers above imply at least one L0 input; an empty
+            // snapshot (impossible) just means there is nothing to compact.
+            let (Some(lo), Some(hi)) = (
+                inputs_new.iter().map(|s| s.min_key.clone()).min(),
+                inputs_new.iter().map(|s| s.max_key.clone()).max(),
+            ) else {
+                return None;
+            };
             let inputs_old = match v.levels.get(1) {
                 Some(l1) => collect_overlapping(l1, &lo, &hi),
                 None => Vec::new(),
@@ -1586,29 +1622,32 @@ impl DbInner {
                 self.stats.tombstones_dropped.inc();
                 continue;
             }
-            if writer.is_none() {
-                let id = self.alloc_id();
-                writer = Some(SstWriter::create(
-                    &self.dir,
-                    id,
-                    self.cfg.key_width(),
-                    self.cfg.block_bytes(),
-                    target_level as u32,
-                )?);
-            }
-            let w = writer.as_mut().unwrap();
+            let w = match writer.as_mut() {
+                Some(w) => w,
+                None => {
+                    let id = self.alloc_id();
+                    writer.insert(SstWriter::create(
+                        &self.dir,
+                        id,
+                        self.cfg.key_width(),
+                        self.cfg.block_bytes(),
+                        target_level as u32,
+                    )?)
+                }
+            };
             match &v {
                 Some(v) => w.add(&k, v)?,
                 None => w.delete(&k)?,
             }
             if w.bytes_written() >= self.cfg.sst_target_bytes() {
-                let w = writer.take().unwrap();
-                outputs.push(Arc::new(w.finish(
-                    self.factory.as_ref(),
-                    &self.queue,
-                    self.cfg.bits_per_key(),
-                    &self.stats,
-                )?));
+                if let Some(w) = writer.take() {
+                    outputs.push(Arc::new(w.finish(
+                        self.factory.as_ref(),
+                        &self.queue,
+                        self.cfg.bits_per_key(),
+                        &self.stats,
+                    )?));
+                }
             }
         }
         if let Some(w) = writer {

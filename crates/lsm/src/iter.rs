@@ -173,7 +173,10 @@ impl BoundedScan<'_> {
                 };
                 self.block = Some(block);
             }
-            let block = self.block.as_ref().unwrap();
+            let Some(block) = self.block.as_ref() else {
+                // Unreachable: the branch above just installed the block.
+                return Ok(None);
+            };
             if self.entry_idx < block.len() {
                 let i = self.entry_idx;
                 if block.key(i) > self.hi.as_slice() {

@@ -11,10 +11,11 @@
 //! snapshots touch the inner mutex.
 
 use proteus_core::key::pad_key;
+use proteus_core::sync::{rank, Mutex};
 use proteus_core::SampleQueries;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::PoisonError;
 
 /// Fixed-capacity FIFO of recent empty range queries.
 ///
@@ -50,7 +51,7 @@ impl QueryQueue {
     /// `every`-th offer (§6.1 uses 20 000 and 100).
     pub fn new(capacity: usize, every: u64) -> Self {
         QueryQueue {
-            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            inner: Mutex::new(rank::QUERY_QUEUE, VecDeque::with_capacity(capacity)),
             capacity,
             every: every.max(1),
             offered: AtomicU64::new(0),
@@ -64,7 +65,7 @@ impl QueryQueue {
         if self.capacity == 0 {
             return;
         }
-        let mut q = self.inner.lock().unwrap();
+        let mut q = self.lock_queue();
         for (lo, hi) in queries {
             Self::push(&mut q, self.capacity, lo, hi);
         }
@@ -79,7 +80,7 @@ impl QueryQueue {
         if self.capacity == 0 || !n.is_multiple_of(self.every) {
             return false;
         }
-        let mut q = self.inner.lock().unwrap();
+        let mut q = self.lock_queue();
         Self::push(&mut q, self.capacity, lo.to_vec(), hi.to_vec());
         true
     }
@@ -97,9 +98,17 @@ impl QueryQueue {
         q.push_back((lo, hi));
     }
 
+    /// Take the queue lock, recovering from poison: the queue is a FIFO
+    /// of sample queries whose per-entry pushes are atomic, so state left
+    /// by a panicking caller (e.g. a `seed` iterator that panicked) is
+    /// still a valid queue — sampling must keep working afterwards.
+    fn lock_queue(&self) -> proteus_core::sync::MutexGuard<'_, VecDeque<(Vec<u8>, Vec<u8>)>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Queries currently recorded.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.lock_queue().len()
     }
 
     /// True when no query has been recorded.
@@ -113,7 +122,7 @@ impl QueryQueue {
     /// (NUL-pad + truncate — order-preserving, so a canonicalized sample
     /// still brackets the canonicalized keys it originally bracketed).
     pub fn snapshot(&self, width: usize) -> SampleQueries {
-        let q = self.inner.lock().unwrap();
+        let q = self.lock_queue();
         let mut s = SampleQueries::new(width);
         for (lo, hi) in q.iter() {
             let (clo, chi) = (pad_key(lo, width), pad_key(hi, width));
@@ -183,6 +192,38 @@ mod tests {
         let s = q.snapshot(8);
         assert_eq!(s.len(), 1);
         assert_eq!(s.width(), 8);
+    }
+
+    #[test]
+    fn poisoned_queue_keeps_sampling() {
+        // Regression test for a panic-reachable site: `seed` takes the
+        // inner lock and then drives a caller-supplied iterator, so a
+        // panicking iterator poisons the mutex. Every later accessor used
+        // `.lock().unwrap()` and panicked on the poison — one adaptation
+        // tick's panic would take down every subsequent reader's `offer`
+        // and the flush worker's `snapshot`. With poison recovery this
+        // test passes: the queue holds whatever was pushed before the
+        // panic (entry-at-a-time pushes keep it a valid FIFO) and keeps
+        // recording.
+        let q = QueryQueue::new(10, 1);
+        let panicked = std::thread::scope(|s| {
+            s.spawn(|| {
+                q.seed((0..5u64).map(|i| {
+                    if i == 3 {
+                        panic!("iterator blew up mid-seed");
+                    }
+                    (u64_key(i).to_vec(), u64_key(i + 1).to_vec())
+                }));
+            })
+            .join()
+        });
+        assert!(panicked.is_err(), "the seeding thread must have panicked");
+        // Failing-before: each of these was an unconditional poison panic.
+        assert_eq!(q.len(), 3, "entries pushed before the panic survive");
+        assert!(q.offer(&u64_key(90), &u64_key(91)), "offer must keep recording");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.snapshot(8).len(), 4, "snapshot must keep working");
+        assert!(!q.is_empty());
     }
 
     #[test]

@@ -60,6 +60,7 @@ use crate::stats::Stats;
 use proteus_core::codec::crc32;
 use proteus_core::key::pad_key;
 use proteus_core::keyset::KeySet;
+use proteus_core::sync::{rank, Mutex};
 use proteus_core::{QuerySketch, RangeFilter};
 use proteus_filters::FilterCodec;
 use std::fs::File;
@@ -67,7 +68,7 @@ use std::io::Write;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// SST format version the writer emits.
@@ -93,6 +94,32 @@ fn bad(path: &Path, what: &str) -> Error {
     Error::corruption(format!("{}: {what}", path.display()))
 }
 
+/// Bounds-checked little-endian field reads: a short or overrun slice is
+/// a corruption error, never a panic — the decode paths below must stay
+/// panic-free on arbitrary on-disk bytes.
+fn le_u16(buf: &[u8], o: usize, path: &Path) -> Result<u16> {
+    match buf.get(o..o + 2).and_then(|s| s.try_into().ok()) {
+        Some(b) => Ok(u16::from_le_bytes(b)),
+        None => Err(bad(path, "field overruns the buffer")),
+    }
+}
+
+/// See [`le_u16`].
+fn le_u32(buf: &[u8], o: usize, path: &Path) -> Result<u32> {
+    match buf.get(o..o + 4).and_then(|s| s.try_into().ok()) {
+        Some(b) => Ok(u32::from_le_bytes(b)),
+        None => Err(bad(path, "field overruns the buffer")),
+    }
+}
+
+/// See [`le_u16`].
+fn le_u64(buf: &[u8], o: usize, path: &Path) -> Result<u64> {
+    match buf.get(o..o + 8).and_then(|s| s.try_into().ok()) {
+        Some(b) => Ok(u64::from_le_bytes(b)),
+        None => Err(bad(path, "field overruns the buffer")),
+    }
+}
+
 /// Serialize the fixed 64-byte footer (shared by the writer and the
 /// adaptive filter-block rewrite). `version` selects the magic, so a
 /// rewritten v1 file keeps its v1 footer and block layout.
@@ -106,7 +133,7 @@ fn encode_footer(
     level: u32,
     width: usize,
     version: u16,
-) -> [u8; SST_FOOTER_LEN as usize] {
+) -> Result<[u8; SST_FOOTER_LEN as usize]> {
     let mut f = [0u8; SST_FOOTER_LEN as usize];
     f[0..8].copy_from_slice(&index_off.to_le_bytes());
     f[8..16].copy_from_slice(&index_len.to_le_bytes());
@@ -120,13 +147,14 @@ fn encode_footer(
         // The footer field is u32; a file with 2^32 tombstones is far
         // beyond any real SST, but a silent wrap would corrupt the count,
         // so the impossible case fails loudly instead.
-        let n = u32::try_from(n_tombstones).expect("more than u32::MAX tombstones in one SST");
+        let n = u32::try_from(n_tombstones)
+            .map_err(|_| Error::corruption("more than u32::MAX tombstones in one SST"))?;
         f[50..54].copy_from_slice(&n.to_le_bytes());
         f[56..64].copy_from_slice(if version >= 3 { &SST_MAGIC_V3 } else { &SST_MAGIC });
     } else {
         f[56..64].copy_from_slice(&SST_MAGIC_V1);
     }
-    f
+    Ok(f)
 }
 
 /// Index entry for one block.
@@ -227,7 +255,7 @@ impl SstReader {
         }
         let mut footer = [0u8; SST_FOOTER_LEN as usize];
         file.read_exact_at(&mut footer, file_len - SST_FOOTER_LEN)?;
-        let version = u16::from_le_bytes(footer[48..50].try_into().unwrap());
+        let version = le_u16(&footer, 48, &path)?;
         if footer[56..64] == SST_MAGIC_V3 {
             if version != 3 {
                 return Err(bad(&path, "v3 magic with a non-3 format version"));
@@ -243,19 +271,14 @@ impl SstReader {
         } else {
             return Err(bad(&path, "bad SST magic"));
         }
-        let u64_at = |o: usize| u64::from_le_bytes(footer[o..o + 8].try_into().unwrap());
-        let index_off = u64_at(0);
-        let index_len = u64_at(8);
-        let filter_off = u64_at(16);
-        let filter_len = u64_at(24);
-        let n_entries = u64_at(32);
-        let level = u32::from_le_bytes(footer[40..44].try_into().unwrap());
-        let width = u32::from_le_bytes(footer[44..48].try_into().unwrap()) as usize;
-        let n_tombstones = if version >= 2 {
-            u32::from_le_bytes(footer[50..54].try_into().unwrap()) as u64
-        } else {
-            0
-        };
+        let index_off = le_u64(&footer, 0, &path)?;
+        let index_len = le_u64(&footer, 8, &path)?;
+        let filter_off = le_u64(&footer, 16, &path)?;
+        let filter_len = le_u64(&footer, 24, &path)?;
+        let n_entries = le_u64(&footer, 32, &path)?;
+        let level = le_u32(&footer, 40, &path)?;
+        let width = le_u32(&footer, 44, &path)? as usize;
+        let n_tombstones = if version >= 2 { le_u32(&footer, 50, &path)? as u64 } else { 0 };
         // v1/v2 keys are fixed-width: the footer width must match the
         // store's configured width exactly. v3 files are self-describing
         // (the footer width is only the filter-training width), so the
@@ -287,12 +310,13 @@ impl SstReader {
         if raw.len() < 8 {
             return Err(bad(&path, "index block too short"));
         }
-        let (body, crc_bytes) = raw.split_at(raw.len() - 4);
-        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let crc_off = raw.len() - 4;
+        let (body, _) = raw.split_at(crc_off);
+        let stored_crc = le_u32(&raw, crc_off, &path)?;
         if crc32(body) != stored_crc {
             return Err(bad(&path, "index checksum mismatch"));
         }
-        let n_blocks = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        let n_blocks = le_u32(body, 0, &path)? as usize;
         if n_blocks == 0 {
             return Err(bad(&path, "index block length mismatch"));
         }
@@ -305,7 +329,7 @@ impl SstReader {
                 if lo + 2 > body.len() {
                     return Err(bad(&path, "index entry overruns the block"));
                 }
-                let len = u16::from_le_bytes(body[lo..lo + 2].try_into().unwrap()) as usize;
+                let len = le_u16(body, lo, &path)? as usize;
                 if len == 0 || lo + 2 + len > body.len() {
                     return Err(bad(&path, "index key length out of bounds"));
                 }
@@ -318,8 +342,8 @@ impl SstReader {
                 if pos + 12 > body.len() {
                     return Err(bad(&path, "index entry overruns the block"));
                 }
-                let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
-                let len = u32::from_le_bytes(body[pos + 8..pos + 12].try_into().unwrap());
+                let offset = le_u64(body, pos, &path)?;
+                let len = le_u32(body, pos + 8, &path)?;
                 pos += 12;
                 if first_key > last_key
                     || offset.checked_add(len as u64).is_none_or(|e| e > index_off)
@@ -341,8 +365,8 @@ impl SstReader {
                 let first_key = body[pos..pos + width].to_vec();
                 let last_key = body[pos + width..pos + 2 * width].to_vec();
                 pos += 2 * width;
-                let offset = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
-                let len = u32::from_le_bytes(body[pos + 8..pos + 12].try_into().unwrap());
+                let offset = le_u64(body, pos, &path)?;
+                let len = le_u32(body, pos + 8, &path)?;
                 pos += 12;
                 if first_key > last_key
                     || offset.checked_add(len as u64).is_none_or(|e| e > index_off)
@@ -352,8 +376,10 @@ impl SstReader {
                 index.push(BlockMeta { first_key, last_key, offset, len });
             }
         }
-        let min_key = index.first().unwrap().first_key.clone();
-        let max_key = index.last().unwrap().last_key.clone();
+        let (min_key, max_key) = match (index.first(), index.last()) {
+            (Some(f), Some(l)) => (f.first_key.clone(), l.last_key.clone()),
+            _ => return Err(bad(&path, "index block length mismatch")),
+        };
 
         let mut filter_bytes = vec![0u8; filter_len as usize];
         file.read_exact_at(&mut filter_bytes, filter_off)?;
@@ -366,9 +392,9 @@ impl SstReader {
             index,
             index_len,
             filter_block_len: filter_bytes.len(),
-            pending_filter_bytes: Mutex::new(filter_bytes),
+            pending_filter_bytes: Mutex::new(rank::SST_META, filter_bytes),
             filter: OnceLock::new(),
-            fingerprint: Mutex::new(None),
+            fingerprint: Mutex::new(rank::SST_META, None),
             probe_fp: AtomicU64::new(0),
             probe_tn: AtomicU64::new(0),
             retrain_count: 0,
@@ -407,7 +433,9 @@ impl SstReader {
     pub fn filter(&self, stats: &Stats) -> Option<&dyn RangeFilter> {
         self.filter
             .get_or_init(|| {
-                let bytes = std::mem::take(&mut *self.pending_filter_bytes.lock().unwrap());
+                let bytes = std::mem::take(
+                    &mut *self.pending_filter_bytes.lock().unwrap_or_else(PoisonError::into_inner),
+                );
                 if bytes.is_empty() {
                     return None;
                 }
@@ -416,7 +444,8 @@ impl SstReader {
                     Ok(decoded) if !decoded.degraded => {
                         stats.filter_load_ns.add(t0.elapsed().as_nanos() as u64);
                         stats.filters_loaded.inc();
-                        *self.fingerprint.lock().unwrap() = decoded.fingerprint;
+                        *self.fingerprint.lock().unwrap_or_else(PoisonError::into_inner) =
+                            decoded.fingerprint;
                         Some(decoded.filter)
                     }
                     // Unknown kind tag (valid envelope from a newer build)
@@ -434,7 +463,7 @@ impl SstReader {
     /// The training fingerprint of this file's filter, if one is known
     /// (decoded from a codec-v2 filter block or set at build time).
     pub fn training_fingerprint(&self) -> Option<QuerySketch> {
-        self.fingerprint.lock().unwrap().clone()
+        self.fingerprint.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Record the outcome of one real filter probe against this file.
@@ -509,7 +538,7 @@ impl SstReader {
             self.level,
             self.width,
             self.format_version,
-        );
+        )?;
         let dir = self.path.parent().unwrap_or(Path::new("."));
         let tmp_path = dir.join(format!("{:08}.sst.tmp", self.id));
         let tmp = File::create(&tmp_path)?;
@@ -531,9 +560,9 @@ impl SstReader {
             index: self.index.clone(),
             index_len: self.index_len,
             filter_block_len: filter_bytes.len(),
-            pending_filter_bytes: Mutex::new(Vec::new()),
+            pending_filter_bytes: Mutex::new(rank::SST_META, Vec::new()),
             filter: slot,
-            fingerprint: Mutex::new((!sketch.is_empty()).then_some(sketch)),
+            fingerprint: Mutex::new(rank::SST_META, (!sketch.is_empty()).then_some(sketch)),
             probe_fp: AtomicU64::new(0),
             probe_tn: AtomicU64::new(0),
             retrain_count: self.retrain_count + 1,
@@ -785,8 +814,10 @@ impl SstWriter {
     ) -> Result<SstReader> {
         self.flush_block()?;
         assert!(self.n_entries > 0, "empty SST");
-        let min_key = self.index.first().unwrap().first_key.clone();
-        let max_key = self.index.last().unwrap().last_key.clone();
+        let (min_key, max_key) = match (self.index.first(), self.index.last()) {
+            (Some(f), Some(l)) => (f.first_key.clone(), l.last_key.clone()),
+            _ => return Err(Error::corruption("finish() on an SST with no blocks")),
+        };
 
         let t0 = Instant::now();
         let keyset = KeySet::from_sorted_canonical(std::mem::take(&mut self.keys), self.width);
@@ -834,7 +865,7 @@ impl SstWriter {
             self.level,
             self.width,
             SST_FORMAT_VERSION,
-        );
+        )?;
         self.file.write_all(&footer)?;
         self.file.sync_all()?;
         // The file is complete and durable: atomically give it its real
@@ -857,9 +888,12 @@ impl SstWriter {
             index: self.index,
             index_len: index_bytes.len() as u64,
             filter_block_len: filter_bytes.len(),
-            pending_filter_bytes: Mutex::new(Vec::new()),
+            pending_filter_bytes: Mutex::new(rank::SST_META, Vec::new()),
             filter: slot,
-            fingerprint: Mutex::new((has_filter && !sketch.is_empty()).then_some(sketch)),
+            fingerprint: Mutex::new(
+                rank::SST_META,
+                (has_filter && !sketch.is_empty()).then_some(sketch),
+            ),
             probe_fp: AtomicU64::new(0),
             probe_tn: AtomicU64::new(0),
             retrain_count: 0,
@@ -902,7 +936,10 @@ impl SstScanner {
                 self.block = Some(self.sst.read_block(self.block_idx, &self.stats)?);
                 self.entry_idx = 0;
             }
-            let block = self.block.as_ref().unwrap();
+            let Some(block) = self.block.as_ref() else {
+                // Unreachable: the branch above always fills `self.block`.
+                return Ok(None);
+            };
             if self.entry_idx < block.len() {
                 let (k, v) = block.entry(self.entry_idx);
                 let out = (k.to_vec(), v.map(<[u8]>::to_vec));

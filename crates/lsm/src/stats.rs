@@ -135,6 +135,24 @@ pub struct Stats {
     /// Commit records replayed from surviving WAL segments by
     /// [`crate::Db::open`] (zero on a clean reopen).
     pub wal_replayed_records: Counter,
+    /// Total nanoseconds instrumented locks were held (guard lifetime).
+    /// Fed by the lock-doctor observer on the coordination gate and the
+    /// MemTable lock; always zero in uninstrumented release builds (see
+    /// [`proteus_core::sync`]).
+    pub lock_hold_ns: Counter,
+    /// Total nanoseconds threads spent blocked waiting for instrumented
+    /// locks another thread held (contended acquisitions only). Same
+    /// instrumentation caveat as [`Stats::lock_hold_ns`].
+    pub lock_contention_ns: Counter,
+}
+
+impl proteus_core::sync::LockObserver for Stats {
+    fn lock_event(&self, _rank: proteus_core::sync::Rank, contended_ns: u64, hold_ns: u64) {
+        if contended_ns > 0 {
+            self.lock_contention_ns.add(contended_ns);
+        }
+        self.lock_hold_ns.add(hold_ns);
+    }
 }
 
 impl Stats {
@@ -190,6 +208,8 @@ impl Stats {
             wal_bytes: self.wal_bytes.get(),
             group_commit_sizes: self.group_commit_sizes.get(),
             wal_replayed_records: self.wal_replayed_records.get(),
+            lock_hold_ns: self.lock_hold_ns.get(),
+            lock_contention_ns: self.lock_contention_ns.get(),
         }
     }
 
@@ -261,6 +281,8 @@ pub struct StatsSnapshot {
     pub wal_bytes: u64,
     pub group_commit_sizes: u64,
     pub wal_replayed_records: u64,
+    pub lock_hold_ns: u64,
+    pub lock_contention_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -304,6 +326,8 @@ impl StatsSnapshot {
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
             group_commit_sizes: self.group_commit_sizes - earlier.group_commit_sizes,
             wal_replayed_records: self.wal_replayed_records - earlier.wal_replayed_records,
+            lock_hold_ns: self.lock_hold_ns - earlier.lock_hold_ns,
+            lock_contention_ns: self.lock_contention_ns - earlier.lock_contention_ns,
         }
     }
 

@@ -67,10 +67,11 @@
 use crate::config::SyncMode;
 use crate::error::{Error, Result};
 use proteus_core::codec::{crc32, ByteReader, WireWrite};
+use proteus_core::sync::{rank, Condvar, Mutex, MutexGuard};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Leading magic of every WAL segment.
@@ -96,9 +97,10 @@ pub fn segment_path(dir: &Path, id: u64) -> PathBuf {
 }
 
 /// Durably remove segment `id` from `dir` (unlink + directory sync).
-pub fn delete_segment(dir: &Path, id: u64) -> std::io::Result<()> {
+pub fn delete_segment(dir: &Path, id: u64) -> Result<()> {
     std::fs::remove_file(segment_path(dir, id))?;
-    sync_dir(dir)
+    sync_dir(dir)?;
+    Ok(())
 }
 
 /// List the WAL segments in `dir`, sorted ascending by id (= MemTable
@@ -127,10 +129,25 @@ fn bad(path: &Path, what: impl std::fmt::Display) -> Error {
     Error::corruption(format!("{}: {what}", path.display()))
 }
 
+/// Bounds-checked little-endian u32 read: replay must stay panic-free on
+/// arbitrary on-disk bytes, so a short slice is a typed error.
+fn le_u32(bytes: &[u8], o: usize, path: &Path) -> Result<u32> {
+    match bytes.get(o..o + 4).and_then(|s| s.try_into().ok()) {
+        Some(b) => Ok(u32::from_le_bytes(b)),
+        None => Err(bad(path, "field overruns the segment")),
+    }
+}
+
+/// The wire length prefixes are u32: a count or payload over `u32::MAX`
+/// cannot be represented, so the encoder refuses instead of truncating.
+fn wire_u32(n: usize, what: &str) -> Result<u32> {
+    u32::try_from(n).map_err(|_| Error::corruption(format!("{what} {n} exceeds u32::MAX")))
+}
+
 /// Encode one commit record (length prefix + CRC-32 + payload) for `ops`.
-fn encode_record(ops: &[WalOp]) -> Vec<u8> {
+fn encode_record(ops: &[WalOp]) -> Result<Vec<u8>> {
     let mut payload = Vec::with_capacity(16 * ops.len());
-    payload.put_u32(ops.len() as u32);
+    payload.put_u32(wire_u32(ops.len(), "op count")?);
     for (key, value) in ops {
         match value {
             Some(v) => {
@@ -145,10 +162,10 @@ fn encode_record(ops: &[WalOp]) -> Vec<u8> {
         }
     }
     let mut record = Vec::with_capacity(payload.len() + 8);
-    record.put_u32(payload.len() as u32);
+    record.put_u32(wire_u32(payload.len(), "record payload length")?);
     record.put_u32(crc32(&payload));
     record.extend_from_slice(&payload);
-    record
+    Ok(record)
 }
 
 /// The result of replaying one segment.
@@ -177,10 +194,10 @@ pub fn replay_segment(path: &Path, expected_max: usize) -> Result<SegmentReplay>
     if bytes[0..8] != WAL_MAGIC {
         return Err(bad(path, "bad WAL magic"));
     }
-    if crc32(&bytes[0..12]) != u32::from_le_bytes(bytes[12..16].try_into().unwrap()) {
+    if crc32(&bytes[0..12]) != le_u32(&bytes, 12, path)? {
         return Err(bad(path, "WAL header checksum mismatch"));
     }
-    let max = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let max = le_u32(&bytes, 8, path)? as usize;
     if max != expected_max {
         return Err(bad(path, format!("max key bytes {max} != configured {expected_max}")));
     }
@@ -190,8 +207,8 @@ pub fn replay_segment(path: &Path, expected_max: usize) -> Result<SegmentReplay>
         if bytes.len() - pos < 8 {
             return Ok(SegmentReplay { commits, torn_tail: true }); // torn length prefix
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let len = le_u32(&bytes, pos, path)? as usize;
+        let crc = le_u32(&bytes, pos + 4, path)?;
         let end = pos + 8 + len;
         if end > bytes.len() {
             // The record claims bytes past EOF: a write cut mid-record (or
@@ -298,7 +315,7 @@ fn create_segment(dir: &Path, id: u64, max_key_bytes: usize) -> Result<File> {
     let path = segment_path(dir, id);
     let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
     header.extend_from_slice(&WAL_MAGIC);
-    header.put_u32(max_key_bytes as u32);
+    header.put_u32(wire_u32(max_key_bytes, "max key bytes")?);
     let crc = crc32(&header);
     header.put_u32(crc);
     let mut file = File::options().write(true).create_new(true).open(&path)?;
@@ -318,17 +335,20 @@ impl Wal {
             dir: dir.to_path_buf(),
             max_key_bytes,
             mode,
-            inner: Mutex::new(WalInner {
-                file: Arc::new(file),
-                id,
-                generation: 0,
-                appended_seq: 0,
-                synced_seq: 0,
-                appended_bytes: WAL_HEADER_LEN,
-                synced_bytes: WAL_HEADER_LEN,
-                syncing: false,
-                last_sync: Instant::now(),
-            }),
+            inner: Mutex::new(
+                rank::WAL,
+                WalInner {
+                    file: Arc::new(file),
+                    id,
+                    generation: 0,
+                    appended_seq: 0,
+                    synced_seq: 0,
+                    appended_bytes: WAL_HEADER_LEN,
+                    synced_bytes: WAL_HEADER_LEN,
+                    syncing: false,
+                    last_sync: Instant::now(),
+                },
+            ),
             sync_cv: Condvar::new(),
         })
     }
@@ -352,7 +372,7 @@ impl Wal {
         if ops.is_empty() {
             return Ok(g.appended_seq);
         }
-        let record = encode_record(ops);
+        let record = encode_record(ops)?;
         (&*g.file).write_all(&record)?;
         g.appended_seq += 1;
         g.appended_bytes += record.len() as u64;

@@ -604,3 +604,20 @@ fn writer_output_truncation_sweep_never_panics() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn golden_fixtures_end_with_pinned_magics() {
+    use proteus_lsm::sst::{SST_MAGIC, SST_MAGIC_V1, SST_MAGIC_V3};
+    // The last 8 bytes of every footer are the format magic; each generation
+    // is pinned here against its committed fixture so any accidental edit to
+    // the exported constants (or the footer layout) breaks a golden test.
+    let v1 = load_fixture(GOLDEN_V1, encode_v1_golden);
+    let v2 = load_fixture(GOLDEN_V2, encode_v2_golden);
+    let v3 = load_fixture(GOLDEN_V3, encode_v3_golden);
+    assert_eq!(&v1[v1.len() - 8..], &SST_MAGIC_V1, "v1 magic drifted");
+    assert_eq!(&v2[v2.len() - 8..], &SST_MAGIC, "v2 magic drifted");
+    assert_eq!(&v3[v3.len() - 8..], &SST_MAGIC_V3, "v3 magic drifted");
+    assert_eq!(SST_MAGIC_V1, *b"PRSSTv1\0");
+    assert_eq!(SST_MAGIC, *b"PRSSTv2\0");
+    assert_eq!(SST_MAGIC_V3, *b"PRSSTv3\0");
+}

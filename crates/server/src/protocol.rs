@@ -360,6 +360,8 @@ impl Response {
             Response::Entries { entries, more } => {
                 out.put_u8(STATUS_OK);
                 out.put_u8(u8::from(*more));
+                debug_assert!(u32::try_from(entries.len()).is_ok());
+                // lint: allow(truncating-cast): scan batches are bounded far below u32::MAX
                 out.put_u32(entries.len() as u32);
                 for (k, v) in entries {
                     out.put_bytes(k);
@@ -372,6 +374,7 @@ impl Response {
             }
             Response::Stats(shards) => {
                 out.put_u8(STATUS_OK);
+                // lint: allow(truncating-cast): shard counts are tiny (one per CPU)
                 out.put_u32(shards.len() as u32);
                 for s in shards {
                     s.encode_into(&mut out);
@@ -440,6 +443,7 @@ impl Response {
 /// callers batch the flush per response.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    // lint: allow(truncating-cast): asserted ≤ MAX_FRAME_LEN (16 MiB) above
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
 }

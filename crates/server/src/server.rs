@@ -35,13 +35,14 @@ use crate::protocol::{
     write_frame, ErrorCode, Request, Response, ShardStats, DEFAULT_SCAN_LIMIT, MAX_FRAME_LEN,
 };
 use crate::router::Router;
+use proteus_core::sync::{rank, Mutex};
 use proteus_lsm::{Db, DbConfig, Error as DbError, FilterFactory};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long an idle connection blocks in `read` before re-checking the
@@ -108,7 +109,7 @@ impl Server {
             max_key_bytes,
             listen_addr: local_addr,
             shutting_down: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(rank::SERVER_CONNS, Vec::new()),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);

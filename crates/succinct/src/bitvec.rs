@@ -11,10 +11,12 @@ pub struct BitVec {
 }
 
 impl BitVec {
+    /// An empty bit vector.
     pub fn new() -> Self {
         BitVec { words: Vec::new(), len: 0 }
     }
 
+    /// An empty bit vector with room for `bits` bits before reallocating.
     pub fn with_capacity(bits: usize) -> Self {
         BitVec { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
     }
@@ -29,6 +31,7 @@ impl BitVec {
         self.len
     }
 
+    /// True when no bit has been pushed.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

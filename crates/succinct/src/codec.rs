@@ -27,7 +27,12 @@ pub enum CodecError {
     /// The CRC-32 over the envelope did not match its trailer.
     ChecksumMismatch,
     /// A tag byte had no defined meaning.
-    UnknownTag { what: &'static str, tag: u8 },
+    UnknownTag {
+        /// What kind of field carried the tag.
+        what: &'static str,
+        /// The unrecognized tag value.
+        tag: u8,
+    },
     /// A structural invariant failed (lengths disagree, bits out of range).
     Invalid(&'static str),
     /// The filter type does not support serialization (e.g. ARF).
@@ -55,10 +60,15 @@ impl std::error::Error for CodecError {}
 /// Little-endian append helpers; implemented for `Vec<u8>` so encoders can
 /// write straight into an output buffer.
 pub trait WireWrite {
+    /// Append `v` as one byte.
     fn put_u8(&mut self, v: u8);
+    /// Append `v` little-endian (2 bytes).
     fn put_u16(&mut self, v: u16);
+    /// Append `v` little-endian (4 bytes).
     fn put_u32(&mut self, v: u32);
+    /// Append `v` little-endian (8 bytes).
     fn put_u64(&mut self, v: u64);
+    /// Append `v` as its IEEE-754 bits, little-endian (8 bytes).
     fn put_f64(&mut self, v: f64);
     /// Length-prefixed (u64) byte run.
     fn put_bytes(&mut self, v: &[u8]);
@@ -94,14 +104,17 @@ pub struct ByteReader<'a> {
 }
 
 impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
         ByteReader { buf, pos: 0 }
     }
 
+    /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
+    /// True when every byte has been consumed.
     pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
@@ -116,22 +129,30 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// Consume one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
+    /// Consume a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
+        // lint: allow(no-panic): take(2) just guaranteed the width
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
+    /// Consume a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
+        // lint: allow(no-panic): take(4) just guaranteed the width
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Consume a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
+        // lint: allow(no-panic): take(8) just guaranteed the width
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Consume a little-endian IEEE-754 `f64`.
     pub fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.u64()?))
     }
@@ -173,22 +194,22 @@ pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
 
 const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    let mut i = 0u32;
     while i < 256 {
-        let mut c = i as u32;
+        let mut c = i;
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        table[i as usize] = c;
         i += 1;
     }
     table

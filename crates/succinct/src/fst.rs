@@ -19,7 +19,9 @@ use crate::values::ValueStore;
 /// Flow control for [`Fst::visit_overlapping`] visitors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Visit {
+    /// Keep visiting further branches.
     Continue,
+    /// Stop the traversal early.
     Stop,
 }
 
@@ -57,6 +59,7 @@ impl Fst {
         self.values = values;
     }
 
+    /// The per-terminal value store.
     pub fn values(&self) -> &ValueStore {
         &self.values
     }
@@ -66,6 +69,7 @@ impl Fst {
         self.n_branches
     }
 
+    /// True for a trie with no branches.
     pub fn is_empty(&self) -> bool {
         self.n_branches == 0
     }
@@ -90,6 +94,7 @@ impl Fst {
         out.put_u64(self.height as u64);
     }
 
+    /// Decode a trie previously written by `encode_into`.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Fst, CodecError> {
         let dense = LoudsDense::decode_from(r)?;
         let sparse = LoudsSparse::decode_from(r)?;
@@ -356,10 +361,12 @@ struct TempLevel {
 }
 
 impl FstBuilder {
+    /// A builder that picks the dense/sparse split automatically.
     pub fn new() -> Self {
         FstBuilder { dense_levels: None }
     }
 
+    /// A builder forcing the top `levels` levels dense.
     pub fn with_dense_levels(levels: usize) -> Self {
         FstBuilder { dense_levels: Some(levels) }
     }

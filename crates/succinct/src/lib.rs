@@ -17,6 +17,8 @@
 //! * [`codec`] — wire primitives (bounds-checked reader, CRC-32, typed
 //!   [`codec::CodecError`]) for the versioned filter serialization format.
 
+#![warn(missing_docs)]
+
 pub mod bitvec;
 pub mod codec;
 pub mod cost;

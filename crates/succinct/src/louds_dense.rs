@@ -35,14 +35,17 @@ impl LoudsDense {
         }
     }
 
+    /// A dense encoding with no nodes.
     pub fn empty() -> Self {
         LoudsDense::new(BitVec::new(), BitVec::new(), BitVec::new(), 0)
     }
 
+    /// Number of nodes in the dense levels.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
     }
 
+    /// True when the dense half encodes no nodes.
     pub fn is_empty(&self) -> bool {
         self.n_nodes == 0
     }
@@ -121,6 +124,7 @@ impl LoudsDense {
         self.has_child.count_ones()
     }
 
+    /// Number of edges that lead to a child node.
     pub fn size_bits(&self) -> u64 {
         self.labels.size_bits() + self.has_child.size_bits() + self.is_prefix_key.size_bits()
     }
@@ -134,6 +138,7 @@ impl LoudsDense {
         self.is_prefix_key.bits().encode_into(out);
     }
 
+    /// Encoded size of the structure, in bits.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<LoudsDense, CodecError> {
         let n_nodes =
             usize::try_from(r.u64()?).map_err(|_| CodecError::Invalid("dense node count"))?;

@@ -15,6 +15,8 @@ use crate::rank::RankedBits;
 use crate::select::SelectIndex;
 
 #[derive(Debug, Clone)]
+/// The LOUDS-Sparse encoding: byte labels plus unary degree bits
+/// (one `louds` bit per edge marks each node's first edge).
 pub struct LoudsSparse {
     labels: Vec<u8>,
     has_child: RankedBits,
@@ -25,6 +27,8 @@ pub struct LoudsSparse {
 }
 
 impl LoudsSparse {
+    /// Assemble from the raw label array and bit vectors, building the
+    /// rank/select directories.
     pub fn new(labels: Vec<u8>, has_child: BitVec, louds: BitVec, is_prefix_key: BitVec) -> Self {
         assert_eq!(labels.len(), has_child.len());
         assert_eq!(labels.len(), louds.len());
@@ -42,18 +46,22 @@ impl LoudsSparse {
         }
     }
 
+    /// A sparse encoding with no nodes.
     pub fn empty() -> Self {
         LoudsSparse::new(Vec::new(), BitVec::new(), BitVec::new(), BitVec::new())
     }
 
+    /// Number of nodes in the sparse levels.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
     }
 
+    /// Number of edges (= labels).
     pub fn n_edges(&self) -> usize {
         self.labels.len()
     }
 
+    /// True when the sparse half encodes no nodes.
     pub fn is_empty(&self) -> bool {
         self.n_nodes == 0
     }
@@ -133,6 +141,7 @@ impl LoudsSparse {
         self.is_prefix_key.count_ones() + self.labels.len() - self.has_child.count_ones()
     }
 
+    /// Encoded size of the structure, in bits.
     pub fn size_bits(&self) -> u64 {
         (self.labels.len() as u64) * 8
             + self.has_child.size_bits()
@@ -150,6 +159,7 @@ impl LoudsSparse {
         self.is_prefix_key.bits().encode_into(out);
     }
 
+    /// Decode an encoding previously written by `encode_into`.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<LoudsSparse, CodecError> {
         let labels = r.bytes()?.to_vec();
         let has_child = BitVec::decode_from(r)?;

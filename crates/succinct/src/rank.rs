@@ -20,6 +20,7 @@ pub struct RankedBits {
 }
 
 impl RankedBits {
+    /// Build the rank directory over `bits` (one pass, 64 bits per 512-bit block).
     pub fn new(bits: BitVec) -> Self {
         let nblocks = bits.len().div_ceil(BLOCK_BITS);
         let mut blocks = Vec::with_capacity(nblocks + 1);
@@ -79,27 +80,33 @@ impl RankedBits {
     }
 
     #[inline]
+    /// Number of bits.
     pub fn len(&self) -> usize {
         self.bits.len()
     }
 
+    /// True for an empty underlying vector.
     pub fn is_empty(&self) -> bool {
         self.bits.is_empty()
     }
 
     #[inline]
+    /// The `i`-th bit.
     pub fn get(&self, i: usize) -> bool {
         self.bits.get(i)
     }
 
+    /// Position of the first set bit at or after `from`, if any.
     pub fn next_set_bit(&self, from: usize) -> Option<usize> {
         self.bits.next_set_bit(from)
     }
 
+    /// Position of the last set bit strictly before `before`, if any.
     pub fn prev_set_bit(&self, before: usize) -> Option<usize> {
         self.bits.prev_set_bit(before)
     }
 
+    /// The underlying bit vector.
     pub fn bits(&self) -> &BitVec {
         &self.bits
     }

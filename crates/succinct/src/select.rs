@@ -18,6 +18,7 @@ pub struct SelectIndex {
 }
 
 impl SelectIndex {
+    /// Sample every `SAMPLE_EVERY`-th one of `rb` for constant-ish `select1`.
     pub fn new(rb: &RankedBits) -> Self {
         let ones = rb.count_ones();
         let nsamples = ones.div_ceil(SAMPLE_EVERY);

@@ -40,6 +40,7 @@ impl PackedInts {
         }
     }
 
+    /// The `i`-th packed value.
     pub fn get(&self, i: usize) -> u64 {
         debug_assert!(i < self.len);
         let mut v = 0u64;
@@ -52,24 +53,30 @@ impl PackedInts {
         v
     }
 
+    /// Number of packed values.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// True when no value is stored.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
+    /// Encoded size, in bits.
     pub fn size_bits(&self) -> u64 {
         self.bits.size_bits()
     }
 
+    /// Serialize as `[u8 width][u64 len][bit vector]`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_u8(self.width as u8);
         out.put_u64(self.len as u64);
         self.bits.encode_into(out);
     }
 
+    /// Decode a packing previously written by `encode_into`, validating
+    /// width and length against the bit vector.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<PackedInts, CodecError> {
         let width = r.u8()? as u32;
         if width > 64 {
@@ -94,9 +101,17 @@ pub enum ValueStore {
     Empty,
     /// Variable-length byte suffixes (Proteus explicit key bits). Indexed by
     /// bit-packed offsets into a shared buffer.
-    Bytes { offsets: PackedInts, data: Vec<u8> },
+    Bytes {
+        /// `len + 1` monotone offsets into `data`, bit-packed.
+        offsets: PackedInts,
+        /// Concatenated suffix bytes.
+        data: Vec<u8>,
+    },
     /// Fixed-width bit suffixes (SuRF-Hash / SuRF-Real).
-    FixedBits { values: PackedInts },
+    FixedBits {
+        /// One fixed-width value per slot.
+        values: PackedInts,
+    },
 }
 
 impl ValueStore {
@@ -153,6 +168,7 @@ impl ValueStore {
         }
     }
 
+    /// Encoded size of the store, in bits.
     pub fn size_bits(&self) -> u64 {
         match self {
             ValueStore::Empty => 0,
@@ -161,6 +177,7 @@ impl ValueStore {
         }
     }
 
+    /// Serialize as a tag byte plus the variant payload.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             ValueStore::Empty => out.put_u8(0),
@@ -176,6 +193,8 @@ impl ValueStore {
         }
     }
 
+    /// Decode a store previously written by `encode_into`; offsets are
+    /// validated so `bytes(slot)` can never slice out of range.
     pub fn decode_from(r: &mut ByteReader<'_>) -> Result<ValueStore, CodecError> {
         match r.u8()? {
             0 => Ok(ValueStore::Empty),
